@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Figures 2-8 and Table 3 are all read off the same PRA sweep; the sweep is run
+once per session by the ``bench_study`` fixture (untimed) so each per-figure
+benchmark measures only the figure's own derivation.  A dedicated benchmark
+(`test_bench_pra_sweep.py`) measures the sweep itself at a reduced size so the
+tournament cost is still tracked.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+regenerated tables/series printed by each benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import PRAStudyResult
+from repro.experiments.pra_study import shared_pra_study
+
+#: The scale used by every benchmark in this directory (see EXPERIMENTS.md).
+BENCH_SCALE = "bench"
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def bench_study() -> PRAStudyResult:
+    """The shared bench-scale PRA sweep (computed once per session)."""
+    return shared_pra_study(BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED

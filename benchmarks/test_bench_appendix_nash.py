@@ -1,0 +1,29 @@
+"""Appendix: the single-deviant Nash-equilibrium analysis."""
+
+from __future__ import annotations
+
+from repro.experiments import section2_analytic
+from repro.gametheory.analytic import SwarmModel
+from repro.gametheory.classes import piatek_classes
+
+
+def test_appendix_deviation_analysis(benchmark):
+    model = SwarmModel(piatek_classes(50), regular_unchoke_slots=4)
+
+    def deviations():
+        return (
+            model.birds_deviant_in_bittorrent_swarm(0),
+            model.bittorrent_deviant_in_birds_swarm(0),
+        )
+
+    birds_deviant, bt_deviant = benchmark(deviations)
+    result = section2_analytic.run()
+    print()
+    print(section2_analytic.render(result))
+
+    # Paper's Appendix result: BitTorrent is not a Nash equilibrium (a Birds
+    # deviant gains), Birds is (a BitTorrent deviant loses).
+    assert birds_deviant.deviation_profitable
+    assert not bt_deviant.deviation_profitable
+    assert result.bittorrent_is_nash is False
+    assert result.birds_is_nash is True

@@ -1,0 +1,23 @@
+"""§4.4 churn check: performance conclusions under churn 0.01 and 0.1."""
+
+from __future__ import annotations
+
+from repro.experiments import churn_check
+
+
+def test_churn_check(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        churn_check.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(churn_check.render(result))
+
+    assert set(result.performance) == {0.0, 0.01, 0.1}
+    # Paper: the performance conclusions survive churn; here that shows up as
+    # a strongly positive correlation between churned and churn-free
+    # performance rankings.
+    assert result.correlation_with_baseline[0.01] > 0.5
+    assert result.correlation_with_baseline[0.1] > 0.3

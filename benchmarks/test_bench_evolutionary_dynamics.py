@@ -1,0 +1,63 @@
+"""Ablation: imitation dynamics as a dynamic counterpart of the Nash analysis.
+
+The Appendix shows analytically that a BitTorrent deviant does not gain in a
+Birds swarm while freeriding strategies are exploitable.  This benchmark runs
+the imitation dynamics on the cycle simulator and checks the dynamic
+analogues: cooperative protocols drive out freeriders, and the reference
+protocol retains its majority against a small freerider invasion.
+"""
+
+from __future__ import annotations
+
+from repro.core.evolution import EvolutionConfig, ImitationDynamics, is_evolutionarily_stable
+from repro.core.protocol import Protocol, bittorrent_reference, loyal_when_needed
+from repro.sim.behavior import PeerBehavior
+from repro.sim.config import SimulationConfig
+
+
+def _freerider() -> Protocol:
+    return Protocol(
+        PeerBehavior(stranger_policy="defect", stranger_count=1, allocation="freeride"),
+        name="Freerider",
+    )
+
+
+def test_imitation_dynamics_drive_out_freeriders(benchmark):
+    config = EvolutionConfig(
+        sim=SimulationConfig(n_peers=20, rounds=40),
+        generations=10,
+        imitation_rate=0.5,
+        mutation_rate=0.0,
+        seed=3,
+    )
+
+    def run():
+        return ImitationDynamics(
+            [bittorrent_reference(), loyal_when_needed(), _freerider()], config
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    final = result.final_shares()
+    print()
+    print("final shares:", {k: round(v, 2) for k, v in final.items()})
+
+    assert final[_freerider().key] < 1.0 / 3.0
+    assert result.dominant_protocol() != _freerider().key
+
+
+def test_reference_protocol_resists_freerider_invasion(benchmark):
+    config = EvolutionConfig(
+        sim=SimulationConfig(n_peers=20, rounds=40),
+        generations=8,
+        imitation_rate=0.5,
+        mutation_rate=0.0,
+        seed=4,
+    )
+
+    stable = benchmark.pedantic(
+        is_evolutionarily_stable,
+        args=(bittorrent_reference(), _freerider(), config),
+        rounds=1,
+        iterations=1,
+    )
+    assert stable

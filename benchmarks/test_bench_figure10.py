@@ -1,0 +1,25 @@
+"""Figure 10: homogeneous-swarm performance of the five client variants."""
+
+from __future__ import annotations
+
+from repro.experiments import figure10
+
+
+def test_figure10_homogeneous_swarms(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        figure10.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure10.render(result))
+
+    assert set(result.summaries) == set(figure10.VARIANT_ORDER)
+    for name in figure10.VARIANT_ORDER:
+        assert result.completion[name] == 1.0
+    # Paper: the Random-ranking client performs about as well as the reference
+    # BitTorrent client in a homogeneous swarm.
+    bt = result.mean_download_time("BitTorrent")
+    random_variant = result.mean_download_time("Random")
+    assert abs(random_variant - bt) / bt < 0.35

@@ -1,0 +1,16 @@
+"""Figure 1: payoff matrices, dominance and equilibria of the two games."""
+
+from __future__ import annotations
+
+from repro.experiments import figure1
+
+
+def test_figure1_payoff_analysis(benchmark):
+    result = benchmark(figure1.run)
+    print()
+    print(figure1.render(result))
+
+    # Paper: fast defects / slow cooperates under (a); both defect under (c).
+    assert result.dominance["bittorrent_dilemma"] == {"fast": "D", "slow": "C"}
+    assert result.dominance["birds"] == {"fast": "D", "slow": "D"}
+    assert ("D", "D") in result.equilibria["birds"]

@@ -1,0 +1,18 @@
+"""Figure 2: Robustness vs Performance scatter over the swept design space."""
+
+from __future__ import annotations
+
+from repro.experiments import figure2
+
+
+def test_figure2_scatter(benchmark, bench_study):
+    result = benchmark(figure2.from_study, bench_study)
+    print()
+    print(figure2.render(result))
+
+    assert result.n_protocols == len(bench_study)
+    # Paper: freeriders populate the low-performance cluster (their best
+    # protocol reaches only 0.31); our substrate keeps them clearly below the
+    # cooperative protocols.
+    assert result.freerider_max_performance < 0.5
+    assert abs(sum(result.performance_hist) - 1.0) < 1e-9

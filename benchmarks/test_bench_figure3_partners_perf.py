@@ -1,0 +1,17 @@
+"""Figure 3: Performance histograms for different numbers of partners."""
+
+from __future__ import annotations
+
+from repro.experiments import figure3
+
+
+def test_figure3_partner_performance_histogram(benchmark, bench_study):
+    result = benchmark(figure3.from_study, bench_study)
+    print()
+    print(figure3.render(result))
+
+    assert result.measure == "performance"
+    assert len(result.matrix) == 10 and len(result.matrix[0]) == 10
+    for row in result.matrix:
+        assert abs(sum(row) - 1.0) < 1e-9 or sum(row) == 0.0
+    assert 0.0 <= result.mean_partners_top <= 9.0

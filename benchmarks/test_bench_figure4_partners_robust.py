@@ -1,0 +1,18 @@
+"""Figure 4: Robustness histograms for different numbers of partners."""
+
+from __future__ import annotations
+
+from repro.experiments import figure4
+
+
+def test_figure4_partner_robustness_histogram(benchmark, bench_study):
+    result = benchmark(figure4.from_study, bench_study)
+    print()
+    print(figure4.render(result))
+
+    assert result.measure == "robustness"
+    assert len(result.matrix) == 10
+    # Paper: highly robust protocols maintain many partners; at bench scale we
+    # only require the summary to be well-formed and the top group to not be
+    # dominated by the degenerate zero-partner protocols.
+    assert result.mean_partners_top >= 1.0

@@ -1,0 +1,17 @@
+"""Figure 5: complementary CDFs of robustness per stranger policy."""
+
+from __future__ import annotations
+
+from repro.experiments import figure5
+
+
+def test_figure5_robustness_ccdf_by_stranger_policy(benchmark, bench_study):
+    result = benchmark(figure5.from_study, bench_study)
+    print()
+    print(figure5.render(result))
+
+    assert {"B1", "B2", "B3"} <= set(result.curves)
+    # Paper: the Defect stranger policy is the worst choice for robustness,
+    # while the cooperative policies (Periodic / When-needed) dominate it.
+    assert result.group_means["B3"] < result.group_means["B2"]
+    assert result.group_means["B3"] < result.group_means["B1"]

@@ -1,0 +1,15 @@
+"""Figure 6: robustness per resource-allocation policy."""
+
+from __future__ import annotations
+
+from repro.experiments import figure6
+
+
+def test_figure6_robustness_by_allocation(benchmark, bench_study):
+    result = benchmark(figure6.from_study, bench_study)
+    print()
+    print(figure6.render(result))
+
+    assert set(result.points) == {"R1", "R2", "R3"}
+    # Paper: Freeride (R3) protocols are far less robust than Equal Split.
+    assert result.group_means["R3"] < result.group_means["R1"]

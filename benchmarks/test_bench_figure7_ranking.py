@@ -1,0 +1,16 @@
+"""Figure 7: robustness per ranking function."""
+
+from __future__ import annotations
+
+from repro.experiments import figure7
+
+
+def test_figure7_robustness_by_ranking(benchmark, bench_study):
+    result = benchmark(figure7.from_study, bench_study)
+    print()
+    print(figure7.render(result))
+
+    assert len(result.points) == 6
+    # Paper: Sort Fastest protocols are the most robust ranking group; Sort
+    # Slowest trails it.
+    assert result.group_means["I1"] > result.group_means["I2"]

@@ -1,0 +1,17 @@
+"""Figure 8: robustness vs aggressiveness correlation."""
+
+from __future__ import annotations
+
+from repro.experiments import figure8
+
+
+def test_figure8_robustness_aggressiveness_correlation(benchmark, bench_study):
+    result = benchmark(figure8.from_study, bench_study)
+    print()
+    print(figure8.render(result))
+
+    assert len(result.points) == len(bench_study)
+    # Paper: Pearson correlation of 0.96 between robustness and
+    # aggressiveness; the strong positive correlation survives the scaled-down
+    # sweep.
+    assert result.pearson_r > 0.6

@@ -1,0 +1,28 @@
+"""Figure 9(a): BitTorrent vs Loyal-When-needed swarm encounters."""
+
+from __future__ import annotations
+
+from repro.bittorrent.variants import loyal_when_needed_client, reference_bittorrent
+from repro.experiments import figure9
+
+
+def test_figure9a_bittorrent_vs_loyal_when_needed(benchmark, bench_scale, bench_seed):
+    panel = benchmark.pedantic(
+        figure9.run_panel,
+        args=(loyal_when_needed_client(), reference_bittorrent(), "a"),
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure9.render(figure9.Figure9Result(panels={"a": panel}, runs_per_point=3)))
+
+    fractions = [p.fraction for p in panel.points]
+    assert fractions[0] == 0.0 and fractions[-1] == 1.0
+    # Every populated data point reports a positive mean download time and
+    # full completion.
+    for point in panel.points:
+        for variant, mean in point.mean_time.items():
+            if mean is not None:
+                assert mean > 0
+                assert point.completion[variant] == 1.0

@@ -1,0 +1,26 @@
+"""Figure 9(b): Birds vs BitTorrent swarm encounters."""
+
+from __future__ import annotations
+
+from repro.bittorrent.variants import birds_client, reference_bittorrent
+from repro.experiments import figure9
+
+
+def test_figure9b_birds_vs_bittorrent(benchmark, bench_scale, bench_seed):
+    panel = benchmark.pedantic(
+        figure9.run_panel,
+        args=(birds_client(), reference_bittorrent(), "b"),
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure9.render(figure9.Figure9Result(panels={"b": panel}, runs_per_point=3)))
+
+    # All-Birds and all-BitTorrent swarms both complete; their average
+    # download times are of the same order (the paper finds the all-Birds
+    # swarm significantly faster; see EXPERIMENTS.md for the measured gap).
+    all_bt = panel.points[0].mean_time["BitTorrent"]
+    all_birds = panel.points[-1].mean_time["Birds"]
+    assert all_bt > 0 and all_birds > 0
+    assert all_birds < all_bt * 1.3

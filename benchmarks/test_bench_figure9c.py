@@ -1,0 +1,23 @@
+"""Figure 9(c): Birds vs Loyal-When-needed swarm encounters."""
+
+from __future__ import annotations
+
+from repro.bittorrent.variants import birds_client, loyal_when_needed_client
+from repro.experiments import figure9
+
+
+def test_figure9c_birds_vs_loyal_when_needed(benchmark, bench_scale, bench_seed):
+    panel = benchmark.pedantic(
+        figure9.run_panel,
+        args=(loyal_when_needed_client(), birds_client(), "c"),
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(figure9.render(figure9.Figure9Result(panels={"c": panel}, runs_per_point=3)))
+
+    for point in panel.points:
+        for variant, mean in point.mean_time.items():
+            if mean is not None:
+                assert mean > 0

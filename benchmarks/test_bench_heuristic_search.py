@@ -1,0 +1,72 @@
+"""Ablation: heuristic design-space exploration vs. an exhaustive scan.
+
+The paper's future-work section proposes heuristic exploration for design
+spaces too large to scan.  This benchmark runs hill climbing and evolutionary
+search over the full 3270-protocol space with a small evaluation budget and
+checks that the discovered protocols are sensible (cooperative, competitive
+objective scores), tracking the cost of a budgeted search run.
+"""
+
+from __future__ import annotations
+
+from repro.core.pra import PRAConfig
+from repro.core.protocol import Protocol, bittorrent_reference, loyal_when_needed
+from repro.core.search import EvolutionarySearch, HillClimbingSearch, SearchObjective
+from repro.core.space import DesignSpace
+from repro.sim.behavior import PeerBehavior
+from repro.sim.config import SimulationConfig
+
+
+def _objective() -> SearchObjective:
+    freerider = Protocol(
+        PeerBehavior(stranger_policy="defect", stranger_count=1, allocation="freeride"),
+        name="Freerider",
+    )
+    config = PRAConfig(
+        sim=SimulationConfig(n_peers=12, rounds=25),
+        performance_runs=1,
+        encounter_runs=1,
+        seed=7,
+    )
+    return SearchObjective(
+        [bittorrent_reference(), loyal_when_needed(), freerider], config
+    )
+
+
+def test_hill_climbing_search(benchmark):
+    space = DesignSpace.default()
+
+    def search():
+        objective = _objective()
+        return HillClimbingSearch(
+            space, objective, max_evaluations=40, restarts=2, seed=1
+        ).run(start=bittorrent_reference())
+
+    result = benchmark.pedantic(search, rounds=1, iterations=1)
+    print()
+    print(f"hill climbing best: {result.best_protocol.label} score={result.best_score:.3f} "
+          f"({result.evaluations} evaluations)")
+
+    assert result.evaluations <= 40
+    # A budgeted search should never end on a protocol that uploads nothing.
+    assert not result.best_protocol.behavior.uploads_nothing
+    assert result.best_score >= 0.5
+
+
+def test_evolutionary_search(benchmark):
+    space = DesignSpace.default()
+
+    def search():
+        objective = _objective()
+        return EvolutionarySearch(
+            space, objective, population_size=6, generations=3, elite=2,
+            max_evaluations=40, seed=2,
+        ).run(initial_population=[bittorrent_reference(), loyal_when_needed()])
+
+    result = benchmark.pedantic(search, rounds=1, iterations=1)
+    print()
+    print(f"evolutionary best: {result.best_protocol.label} score={result.best_score:.3f} "
+          f"({result.evaluations} evaluations)")
+
+    assert result.evaluations <= 40
+    assert not result.best_protocol.behavior.uploads_nothing

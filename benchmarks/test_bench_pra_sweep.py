@@ -1,0 +1,34 @@
+"""The PRA sweep itself: performance runs plus both tournaments.
+
+The per-figure benchmarks reuse the session-wide bench-scale sweep; this
+benchmark measures the sweep machinery end-to-end on a smaller protocol
+sample so the cost of the tournament engine is tracked explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.core.pra import PRAConfig
+from repro.core.space import DesignSpace
+from repro.core.study import PRAStudy
+from repro.experiments import base
+from repro.sim.config import SimulationConfig
+
+
+def test_pra_sweep_small_sample(benchmark):
+    space = DesignSpace.default()
+    protocols = space.sample(10, seed=3, include=base.named_protocols())
+    config = PRAConfig(
+        sim=SimulationConfig(n_peers=12, rounds=30),
+        performance_runs=1,
+        encounter_runs=1,
+        seed=3,
+    )
+
+    def sweep():
+        PRAStudy.clear_memo()
+        return PRAStudy(protocols, config).run(use_cache=False)
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(result) == 10
+    assert max(result.performance.values()) == 1.0
+    assert all(0.0 <= v <= 1.0 for v in result.robustness.values())

@@ -1,0 +1,20 @@
+"""Section 2.2: the analytical expected-game-win model over bandwidth classes."""
+
+from __future__ import annotations
+
+from repro.experiments import section2_analytic
+
+
+def test_section2_expected_wins(benchmark):
+    result = benchmark(section2_analytic.run)
+    print()
+    print(section2_analytic.render(result))
+
+    # Wherever the model assumptions hold (enough faster peers above the
+    # class, i.e. NA > Ur), a homogeneous Birds swarm gives its peers more
+    # expected wins than a homogeneous BitTorrent swarm does — the Section 2.3
+    # observation that motivates the Birds variant.  The fastest class has no
+    # peers above it, so the comparison does not apply there.
+    for row in result.homogeneous_rows:
+        if row["NA"] > result.regular_unchoke_slots:
+            assert row["birds_total"] > row["bt_total"]

@@ -1,0 +1,20 @@
+"""§4.3.2 consistency check: robustness under 50/50 vs 90/10 splits."""
+
+from __future__ import annotations
+
+from repro.experiments import robustness_split_check
+
+
+def test_split_check(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        robustness_split_check.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(robustness_split_check.render(result))
+
+    # Paper: Pearson correlation 0.97 between the two splits; the strong
+    # positive relationship holds on the scaled-down sample too.
+    assert result.pearson_r > 0.4

@@ -1,0 +1,14 @@
+"""Table 2: existing systems mapped onto the generic design space."""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def test_table2_registry(benchmark):
+    result = benchmark(table2.run)
+    print()
+    print(table2.render(result))
+
+    assert len(result.rows) == 6
+    assert {row[0] for row in result.rows} >= {"Maze", "BarterCast", "Pulse"}

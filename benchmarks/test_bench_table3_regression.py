@@ -1,0 +1,22 @@
+"""Table 3: regression of the PRA measures on the design dimensions."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import table3
+
+
+def test_table3_regression(benchmark, bench_study):
+    result = benchmark(table3.from_study, bench_study)
+    print()
+    print(table3.render(result))
+
+    assert set(result.fits) == {"performance", "robustness", "aggressiveness"}
+    for value in result.adjusted_r_squared().values():
+        assert math.isfinite(value)
+    # Paper's headline regression signs: Freeride (R3) has the biggest
+    # negative impact on Performance, and the Defect stranger policy (B3) has
+    # the biggest negative effect on Robustness.
+    assert result.coefficient("performance", "R3") < 0
+    assert result.coefficient("robustness", "B3") < 0

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Design-space sweep: the Section 4 analysis on a configurable budget.
+
+This example runs the full analysis pipeline behind Figures 2-8 and Table 3:
+
+1. sample (or fully enumerate) the 3270-protocol design space,
+2. run the PRA quantification (performance runs + robustness and
+   aggressiveness tournaments),
+3. print the figure-level summaries: the robustness/performance extremes,
+   the per-dimension robustness breakdowns, the robustness/aggressiveness
+   correlation, and the Table 3 regression,
+4. optionally persist the raw study as JSON for later re-analysis.
+
+The default budget finishes in a couple of minutes on a laptop; pass
+``--scale paper`` (and a lot of patience or a big machine) for the full
+3270-protocol sweep the paper ran on a cluster.
+
+Run::
+
+    python examples/design_space_sweep.py                 # bench scale
+    python examples/design_space_sweep.py --scale smoke   # seconds
+    python examples/design_space_sweep.py --output study.json
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import figure2, figure5, figure6, figure7, figure8, table3
+from repro.experiments.pra_study import shared_pra_study
+from repro.utils.logging import configure_logging
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=("smoke", "bench", "paper"),
+                        help="sweep budget (see repro.experiments.base)")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="optional path to save the raw PRA study as JSON")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="optional directory for the on-disk study cache")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    configure_logging()
+
+    study = shared_pra_study(args.scale, seed=args.seed, cache_dir=args.cache_dir)
+    if args.output is not None:
+        study.save(args.output)
+        print(f"raw study written to {args.output}\n")
+
+    print(figure2.render(figure2.from_study(study)))
+    print()
+    print(figure5.render(figure5.from_study(study)))
+    print()
+    print(figure6.render(figure6.from_study(study)))
+    print()
+    print(figure7.render(figure7.from_study(study)))
+    print()
+    print(figure8.render(figure8.from_study(study)))
+    print()
+    print(table3.render(table3.from_study(study)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Section 2 walk-through: BitTorrent as a strategy in a repeated game.
+
+This example reproduces the game-theoretic analysis of the paper without any
+large simulation:
+
+* the BitTorrent Dilemma payoff matrix (Figure 1a) and its dominance
+  structure — the fast peer defects, the slow peer cooperates;
+* the modified Birds payoffs (Figure 1c) where defection is dominant for
+  both classes;
+* iterated-game intuition: a small Axelrod-style tournament showing why
+  Tit-for-Tat-like reciprocation is attractive in repeated settings;
+* the analytical expected-game-win model of Section 2.2 over a multi-class
+  swarm, and the Appendix deviation analysis proving that BitTorrent is not
+  a Nash equilibrium under this abstraction while Birds is.
+
+Run::
+
+    python examples/nash_analysis.py
+    python examples/nash_analysis.py --peers 100 --unchoke-slots 5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import figure1, section2_analytic
+from repro.gametheory import (
+    AxelrodTournament,
+    AlwaysCooperate,
+    AlwaysDefect,
+    GrimTrigger,
+    Pavlov,
+    SwarmModel,
+    TitForTat,
+    TitForTwoTats,
+    piatek_classes,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", type=float, default=100.0, help="fast peer upload speed")
+    parser.add_argument("--slow", type=float, default=25.0, help="slow peer upload speed")
+    parser.add_argument("--peers", type=int, default=50, help="swarm size for the analytical model")
+    parser.add_argument("--unchoke-slots", type=int, default=4, help="regular unchoke slots (Ur)")
+    parser.add_argument("--rounds", type=int, default=200, help="rounds per iterated match")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+
+    # --- Figure 1: the stage games --------------------------------------- #
+    print(figure1.render(figure1.run(args.fast, args.slow)))
+    print()
+
+    # --- Repeated-game intuition: an Axelrod-style tournament ------------- #
+    strategies = [
+        TitForTat(), TitForTwoTats(), AlwaysCooperate(), AlwaysDefect(),
+        GrimTrigger(), Pavlov(),
+    ]
+    tournament = AxelrodTournament(strategies, rounds=args.rounds, repetitions=1, seed=1)
+    ranking = tournament.play().ranking()
+    print("Axelrod-style iterated Prisoner's Dilemma tournament (average score per round):")
+    for name, score in ranking:
+        print(f"  {name:10s} {score:.3f}")
+    print()
+
+    # --- Section 2.2 analytical model and Appendix verdicts --------------- #
+    population = piatek_classes(args.peers)
+    result = section2_analytic.run(population, regular_unchoke_slots=args.unchoke_slots)
+    print(section2_analytic.render(result))
+
+    model = SwarmModel(population, regular_unchoke_slots=args.unchoke_slots)
+    print()
+    print("Per-class deviation advantages (positive = deviating pays):")
+    for index, cls in enumerate(population):
+        if model.assumption_violations(index):
+            print(f"  class {cls.name:8s}: model assumptions not satisfied, skipped")
+            continue
+        birds_dev = model.birds_deviant_in_bittorrent_swarm(index)
+        bt_dev = model.bittorrent_deviant_in_birds_swarm(index)
+        print(
+            f"  class {cls.name:8s}: Birds deviant in BT swarm {birds_dev.advantage:+.3f}, "
+            f"BT deviant in Birds swarm {bt_dev.advantage:+.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

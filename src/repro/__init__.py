@@ -1,0 +1,25 @@
+"""repro — reproduction of "Design Space Analysis for Modeling Incentives in Distributed Systems".
+
+This package is a from-scratch Python implementation of the systems described
+in Rahman et al., SIGCOMM 2011:
+
+* :mod:`repro.gametheory` — game-theoretic substrate: normal-form games, the
+  BitTorrent Dilemma and Birds payoffs, iterated-game strategies and
+  tournaments, and the analytical expected-game-win model with the Appendix
+  Nash-equilibrium analysis.
+* :mod:`repro.sim` — the cycle-based P2P simulation model of Section 4.3.1 on
+  which protocols from the design space are executed.
+* :mod:`repro.core` — the paper's primary contribution: Design Space Analysis
+  (Parameterization, Actualization, the 3270-protocol file-swarming space)
+  and the PRA (Performance / Robustness / Aggressiveness) quantification.
+* :mod:`repro.bittorrent` — a piece-level BitTorrent swarm simulator used to
+  validate DSA-discovered protocols (Section 5).
+* :mod:`repro.stats` — regression, correlation and distribution tools used by
+  the analysis (Table 3, Figures 2-8).
+* :mod:`repro.experiments` — drivers that regenerate every table and figure
+  of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

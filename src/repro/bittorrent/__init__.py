@@ -1,0 +1,57 @@
+"""Piece-level BitTorrent swarm simulator (the Section 5 validation substrate).
+
+The paper validates DSA-discovered protocols by modifying an instrumented
+BitTorrent client and running cluster experiments: 1 seeder (128 KBps), 50
+leechers with Piatek-style upload capacities, a 5 MB file, peers leaving on
+completion, and average download times compared across protocol mixes
+(Figures 9 and 10).  This sub-package reproduces that substrate as a
+discrete-time simulator:
+
+* :mod:`repro.bittorrent.torrent` / :mod:`repro.bittorrent.pieces` — torrent
+  metadata, per-peer piece sets and local-rarest-first piece selection;
+* :mod:`repro.bittorrent.tracker` — the (local) tracker handing out peer
+  lists;
+* :mod:`repro.bittorrent.rate` — sliding-window download-rate estimation, the
+  signal BitTorrent's choker ranks on;
+* :mod:`repro.bittorrent.variants` — client variants: reference BitTorrent,
+  Birds, Loyal-When-needed, Sort-S and Random ranking;
+* :mod:`repro.bittorrent.peer` / :mod:`repro.bittorrent.seeder` /
+  :mod:`repro.bittorrent.choker` — leecher and seeder state plus the rechoke
+  algorithm (regular unchokes + rotating optimistic unchoke);
+* :mod:`repro.bittorrent.swarm` — the swarm driver measuring per-peer
+  download completion times.
+"""
+
+from repro.bittorrent.config import SwarmConfig
+from repro.bittorrent.pieces import PieceSet, select_piece_rarest_first
+from repro.bittorrent.rate import RateEstimator
+from repro.bittorrent.swarm import SwarmResult, SwarmSimulation
+from repro.bittorrent.torrent import TorrentMetadata
+from repro.bittorrent.tracker import Tracker
+from repro.bittorrent.variants import (
+    ClientVariant,
+    birds_client,
+    loyal_when_needed_client,
+    random_client,
+    reference_bittorrent,
+    sort_s_client,
+    variant_by_name,
+)
+
+__all__ = [
+    "SwarmConfig",
+    "PieceSet",
+    "select_piece_rarest_first",
+    "RateEstimator",
+    "SwarmResult",
+    "SwarmSimulation",
+    "TorrentMetadata",
+    "Tracker",
+    "ClientVariant",
+    "reference_bittorrent",
+    "birds_client",
+    "loyal_when_needed_client",
+    "sort_s_client",
+    "random_client",
+    "variant_by_name",
+]

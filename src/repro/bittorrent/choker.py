@@ -1,0 +1,109 @@
+"""The leecher choking algorithm.
+
+At every rechoke interval a leecher re-evaluates which interested neighbours
+to unchoke:
+
+* the **regular slots** go to the top-ranked interested neighbours, where the
+  ranking is the client variant's (fastest-first for the reference client,
+  proximity for Birds, loyalty for Loyal-When-needed, slowest for Sort-S,
+  random for the Random variant);
+* the **optimistic slot** depends on the variant's policy: the reference
+  client rotates it over random interested choked neighbours every optimistic
+  interval, Loyal-When-needed only opens it when it has fewer interested
+  candidates than regular slots, and Sort-S never opens it.
+
+The choker is a pure function of the leecher's state plus the candidate list,
+which makes it independently testable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Sequence
+
+from repro.bittorrent.peer import Leecher
+
+__all__ = ["run_rechoke"]
+
+
+def run_rechoke(
+    leecher: Leecher,
+    interested: Sequence[int],
+    tick: int,
+    default_slots: int,
+    optimistic_rotation_due: bool,
+    rng: random.Random,
+) -> None:
+    """Re-evaluate the leecher's unchoke set in place.
+
+    Parameters
+    ----------
+    leecher:
+        The choking leecher.
+    interested:
+        Active neighbours currently interested in the leecher's pieces.
+    tick:
+        Current simulation tick (used for rate lookups).
+    default_slots:
+        Swarm-wide default number of regular slots (a variant may override).
+    optimistic_rotation_due:
+        Whether this rechoke coincides with an optimistic-unchoke rotation
+        boundary (every ``optimistic_interval`` seconds).
+    rng:
+        Random generator for ranking tie-breaks and optimistic selection.
+    """
+    variant = leecher.variant
+    slots = variant.effective_slots(default_slots)
+
+    rates: Dict[int, float] = {
+        neighbour: leecher.rates.rate(neighbour, tick) for neighbour in interested
+    }
+    ranked = variant.rank(
+        interested,
+        rates,
+        leecher.loyalty,
+        leecher.per_slot_rate(default_slots),
+        rng,
+    )
+    leecher.unchoked = set(ranked[:slots])
+
+    _update_optimistic(leecher, ranked, slots, optimistic_rotation_due, rng)
+
+
+def _update_optimistic(
+    leecher: Leecher,
+    ranked: Sequence[int],
+    slots: int,
+    rotation_due: bool,
+    rng: random.Random,
+) -> None:
+    """Apply the variant's optimistic-unchoke policy."""
+    variant = leecher.variant
+    policy = variant.optimistic_policy
+
+    if policy == "never":
+        leecher.optimistic_target = None
+        return
+
+    # Candidates for the optimistic slot: interested neighbours not already
+    # holding a regular slot.
+    candidates = [n for n in ranked if n not in leecher.unchoked]
+
+    if policy == "when_needed":
+        if len(leecher.unchoked) >= slots or not candidates:
+            leecher.optimistic_target = None
+        else:
+            leecher.optimistic_target = rng.choice(candidates)
+        return
+
+    # Periodic policy (reference client): keep the current target between
+    # rotations as long as it is still a valid candidate; rotate to a random
+    # candidate when the rotation is due or the target became invalid.
+    if not candidates:
+        leecher.optimistic_target = None
+        return
+    target_invalid = (
+        leecher.optimistic_target is None or leecher.optimistic_target not in candidates
+    )
+    if rotation_due or target_invalid:
+        leecher.optimistic_target = rng.choice(candidates)

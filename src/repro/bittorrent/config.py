@@ -1,0 +1,104 @@
+"""Configuration of a swarm experiment.
+
+The defaults follow the experimental setup of Section 5: 50 leechers, one
+seeder with 128 KBps upload, a local tracker, a 5 MB file, peers leaving upon
+completion and upload capacities from the Piatek-style distribution.  Reduced
+presets are provided for tests and benchmarks; the scale actually used per
+experiment is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.sim.bandwidth import BandwidthDistribution, piatek_distribution
+
+__all__ = ["SwarmConfig"]
+
+
+@dataclass(frozen=True)
+class SwarmConfig:
+    """Parameters of one piece-level swarm simulation.
+
+    Parameters
+    ----------
+    n_leechers:
+        Number of leechers joining at time zero (a flash crowd, as in the
+        paper's cluster runs).
+    seeder_upload_kbps:
+        Upload capacity of the single initial seeder.
+    file_size_mb, piece_size_kb:
+        Content size and piece size.
+    rechoke_interval:
+        Seconds between choker evaluations (the reference client uses 10 s).
+    optimistic_interval:
+        Seconds between optimistic-unchoke rotations (reference: 30 s).
+    regular_slots:
+        Number of regular (reciprocating) unchoke slots per leecher.
+    seeder_slots:
+        Number of peers the seeder unchokes at a time (uniformly rotated).
+    max_ticks:
+        Simulation horizon in seconds; leechers that have not finished by
+        then are reported as incomplete.
+    bandwidth:
+        Upload-capacity distribution of the leechers; ``None`` selects the
+        Piatek-style default.
+    """
+
+    n_leechers: int = 50
+    seeder_upload_kbps: float = 128.0
+    file_size_mb: float = 5.0
+    piece_size_kb: float = 256.0
+    rechoke_interval: int = 10
+    optimistic_interval: int = 30
+    regular_slots: int = 3
+    seeder_slots: int = 4
+    max_ticks: int = 3600
+    bandwidth: Optional[BandwidthDistribution] = None
+
+    def __post_init__(self) -> None:
+        if self.n_leechers < 2:
+            raise ValueError("n_leechers must be at least 2")
+        if self.seeder_upload_kbps <= 0:
+            raise ValueError("seeder_upload_kbps must be positive")
+        if self.file_size_mb <= 0:
+            raise ValueError("file_size_mb must be positive")
+        if self.piece_size_kb <= 0:
+            raise ValueError("piece_size_kb must be positive")
+        if self.rechoke_interval < 1:
+            raise ValueError("rechoke_interval must be >= 1")
+        if self.optimistic_interval < self.rechoke_interval:
+            raise ValueError("optimistic_interval must be >= rechoke_interval")
+        if self.regular_slots < 1:
+            raise ValueError("regular_slots must be >= 1")
+        if self.seeder_slots < 1:
+            raise ValueError("seeder_slots must be >= 1")
+        if self.max_ticks < self.rechoke_interval:
+            raise ValueError("max_ticks must cover at least one rechoke interval")
+
+    def distribution(self) -> BandwidthDistribution:
+        """The effective leecher bandwidth distribution."""
+        return self.bandwidth if self.bandwidth is not None else piatek_distribution()
+
+    def with_(self, **changes) -> "SwarmConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper(cls) -> "SwarmConfig":
+        """The Section 5 setup (50 leechers, 1 seeder @ 128 KBps, 5 MB file)."""
+        return cls()
+
+    @classmethod
+    def small(cls) -> "SwarmConfig":
+        """Benchmark-scale swarm: fewer leechers, smaller file."""
+        return cls(n_leechers=20, file_size_mb=2.0, max_ticks=2400)
+
+    @classmethod
+    def smoke(cls) -> "SwarmConfig":
+        """Minimal swarm for unit tests."""
+        return cls(n_leechers=6, file_size_mb=1.0, max_ticks=1800)

@@ -1,0 +1,46 @@
+"""Metrics over swarm results: per-variant download-time summaries.
+
+Figures 9 and 10 report average download times per client variant with 95%
+confidence intervals over at least 10 runs.  :func:`summarize_by_variant`
+pools the download times of repeated runs per variant and returns
+:class:`~repro.stats.summary.SummaryStats` for each, which is what the
+experiment drivers print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.bittorrent.swarm import SwarmResult
+from repro.stats.summary import SummaryStats, summarize
+
+__all__ = ["pooled_download_times", "summarize_by_variant"]
+
+
+def pooled_download_times(
+    results: Iterable[SwarmResult], variant: Optional[str] = None
+) -> List[float]:
+    """Download times of completed leechers pooled across runs."""
+    times: List[float] = []
+    for result in results:
+        times.extend(result.download_times(variant))
+    return times
+
+
+def summarize_by_variant(
+    results: Iterable[SwarmResult], confidence: float = 0.95
+) -> Dict[str, SummaryStats]:
+    """Per-variant download-time summaries pooled across runs.
+
+    Variants with no completed leechers are omitted (printing a mean of an
+    empty sample would hide a failure; the completion fraction is reported
+    separately by the experiment drivers).
+    """
+    results = list(results)
+    variants = sorted({v for result in results for v in result.variants()})
+    summaries: Dict[str, SummaryStats] = {}
+    for variant in variants:
+        times = pooled_download_times(results, variant)
+        if times:
+            summaries[variant] = summarize(times, confidence=confidence)
+    return summaries

@@ -1,0 +1,142 @@
+"""Leecher state for the piece-level swarm simulator.
+
+A :class:`Leecher` owns everything a simulated BitTorrent client tracks: its
+piece set, the neighbours the tracker told it about, the download-rate
+estimators feeding the choker, loyalty counters (for the Loyal-When-needed
+variant), the set of peers it is currently unchoking, its optimistic-unchoke
+target, and the in-flight piece it is fetching from each unchoking
+neighbour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.bittorrent.pieces import PieceSet
+from repro.bittorrent.rate import RateEstimator
+from repro.bittorrent.variants import ClientVariant
+
+__all__ = ["Leecher"]
+
+
+@dataclass
+class Leecher:
+    """Mutable state of one leecher.
+
+    Attributes
+    ----------
+    peer_id:
+        Identity within the swarm (the seeder uses a separate id).
+    upload_capacity:
+        Upload bandwidth in KB per tick (KBps).
+    variant:
+        The client variant this leecher runs.
+    pieces:
+        Pieces owned so far.
+    neighbours:
+        Peer ids learned from the tracker (includes the seeder).
+    rates:
+        Sliding-window estimator of download rates received per neighbour.
+    loyalty:
+        Consecutive rechoke periods each neighbour kept uploading to us.
+    received_this_period:
+        KB received per neighbour since the last rechoke (feeds loyalty).
+    unchoked:
+        Neighbours currently receiving our regular unchokes.
+    optimistic_target:
+        Neighbour currently holding our optimistic-unchoke slot, if any.
+    in_flight:
+        For each unchoking neighbour, the piece currently being fetched from
+        it.
+    joined_tick / completion_tick:
+        Arrival time and completion time (``None`` while incomplete).
+    """
+
+    peer_id: int
+    upload_capacity: float
+    variant: ClientVariant
+    pieces: PieceSet
+    neighbours: Set[int] = field(default_factory=set)
+    rates: RateEstimator = field(default_factory=RateEstimator)
+    loyalty: Dict[int, int] = field(default_factory=dict)
+    received_this_period: Dict[int, float] = field(default_factory=dict)
+    unchoked: Set[int] = field(default_factory=set)
+    optimistic_target: Optional[int] = None
+    in_flight: Dict[int, int] = field(default_factory=dict)
+    piece_progress: Dict[int, float] = field(default_factory=dict)
+    joined_tick: int = 0
+    completion_tick: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.upload_capacity <= 0:
+            raise ValueError("upload_capacity must be positive")
+
+    # ------------------------------------------------------------------ #
+    # status
+    # ------------------------------------------------------------------ #
+    @property
+    def is_complete(self) -> bool:
+        """Whether the leecher has every piece."""
+        return self.pieces.is_complete
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the leecher is still in the swarm (not yet completed)."""
+        return self.completion_tick is None
+
+    @property
+    def download_time(self) -> Optional[float]:
+        """Seconds from joining to completion, or ``None`` if incomplete."""
+        if self.completion_tick is None:
+            return None
+        return float(self.completion_tick - self.joined_tick)
+
+    def per_slot_rate(self, default_slots: int) -> float:
+        """Own upload capacity per unchoke slot (the Birds proximity reference)."""
+        slots = self.variant.effective_slots(default_slots) + 1
+        return self.upload_capacity / slots
+
+    # ------------------------------------------------------------------ #
+    # transfer bookkeeping
+    # ------------------------------------------------------------------ #
+    def record_received(self, sender: int, tick: int, amount_kb: float) -> None:
+        """Record bytes received from ``sender`` at ``tick``."""
+        self.rates.record(sender, tick, amount_kb)
+        self.received_this_period[sender] = (
+            self.received_this_period.get(sender, 0.0) + amount_kb
+        )
+
+    def update_loyalty_period(self) -> None:
+        """Advance loyalty counters at a rechoke boundary and reset the period."""
+        givers = {n for n, amount in self.received_this_period.items() if amount > 0}
+        for neighbour in givers:
+            self.loyalty[neighbour] = self.loyalty.get(neighbour, 0) + 1
+        for neighbour in list(self.loyalty.keys()):
+            if neighbour not in givers:
+                self.loyalty[neighbour] = 0
+        self.received_this_period.clear()
+
+    def forget_neighbour(self, neighbour: int) -> None:
+        """Remove all state about a departed neighbour."""
+        self.neighbours.discard(neighbour)
+        self.unchoked.discard(neighbour)
+        self.in_flight.pop(neighbour, None)
+        self.loyalty.pop(neighbour, None)
+        self.received_this_period.pop(neighbour, None)
+        self.rates.forget(neighbour)
+        if self.optimistic_target == neighbour:
+            self.optimistic_target = None
+
+    def currently_unchoked(self) -> Set[int]:
+        """Regular unchokes plus the optimistic target (if any)."""
+        targets = set(self.unchoked)
+        if self.optimistic_target is not None:
+            targets.add(self.optimistic_target)
+        return targets
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Leecher(id={self.peer_id}, variant={self.variant.name}, "
+            f"pieces={self.pieces.owned_count()}/{self.pieces.piece_count})"
+        )

@@ -1,0 +1,125 @@
+"""Per-peer piece bookkeeping and rarest-first piece selection.
+
+Every peer tracks which pieces it owns (:class:`PieceSet`).  When a leecher
+is unchoked by a neighbour it must decide which missing piece to request;
+BitTorrent's *local rarest first* policy picks the piece that the fewest of
+the leecher's neighbours have, which keeps piece availability balanced and is
+essential for swarm health.  :func:`select_piece_rarest_first` implements
+that policy over the neighbours' piece sets (with random tie-breaking).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+__all__ = ["PieceSet", "select_piece_rarest_first"]
+
+
+class PieceSet:
+    """The set of pieces a peer owns, out of ``piece_count`` total."""
+
+    def __init__(self, piece_count: int, complete: bool = False):
+        if piece_count < 1:
+            raise ValueError("piece_count must be >= 1")
+        self.piece_count = int(piece_count)
+        self._owned: Set[int] = set(range(piece_count)) if complete else set()
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add(self, piece: int) -> None:
+        """Mark ``piece`` as owned."""
+        self._check(piece)
+        self._owned.add(piece)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def has(self, piece: int) -> bool:
+        """Whether ``piece`` is owned."""
+        self._check(piece)
+        return piece in self._owned
+
+    def owned(self) -> Set[int]:
+        """A copy of the owned piece indices."""
+        return set(self._owned)
+
+    def missing(self) -> Set[int]:
+        """The piece indices not yet owned."""
+        return set(range(self.piece_count)) - self._owned
+
+    def owned_count(self) -> int:
+        return len(self._owned)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every piece is owned."""
+        return len(self._owned) == self.piece_count
+
+    def interesting_pieces(self, other: "PieceSet") -> Set[int]:
+        """Pieces ``other`` owns that this peer lacks (i.e. why ``other`` is interesting)."""
+        return other._owned - self._owned
+
+    def is_interested_in(self, other: "PieceSet") -> bool:
+        """Whether this peer wants anything ``other`` has."""
+        return bool(other._owned - self._owned)
+
+    def _check(self, piece: int) -> None:
+        if not 0 <= piece < self.piece_count:
+            raise IndexError(f"piece {piece} out of range [0, {self.piece_count})")
+
+    def __len__(self) -> int:
+        return len(self._owned)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"PieceSet({len(self._owned)}/{self.piece_count})"
+
+
+def select_piece_rarest_first(
+    downloader: PieceSet,
+    uploader: PieceSet,
+    neighbour_sets: Sequence[PieceSet],
+    rng: random.Random,
+    exclude: Optional[Iterable[int]] = None,
+) -> Optional[int]:
+    """Pick the next piece to request from ``uploader`` using local rarest first.
+
+    Parameters
+    ----------
+    downloader:
+        The requesting peer's pieces.
+    uploader:
+        The unchoking peer's pieces; only pieces it owns can be requested.
+    neighbour_sets:
+        Piece sets of the downloader's neighbours, used to estimate rarity.
+    rng:
+        Random generator for tie-breaking among equally rare pieces.
+    exclude:
+        Pieces to skip (e.g. already being fetched from another neighbour).
+        If excluding everything leaves no choice, the exclusion is ignored
+        (end-game behaviour: duplicate requests are preferable to idling).
+
+    Returns
+    -------
+    int or None
+        The chosen piece index, or ``None`` when the uploader has nothing the
+        downloader wants.
+    """
+    wanted = downloader.interesting_pieces(uploader)
+    if not wanted:
+        return None
+    excluded = set(exclude) if exclude is not None else set()
+    candidates = wanted - excluded
+    if not candidates:
+        candidates = wanted  # end-game: allow duplicate in-flight pieces
+
+    availability: Dict[int, int] = {piece: 0 for piece in candidates}
+    for neighbour in neighbour_sets:
+        for piece in candidates:
+            if neighbour.has(piece):
+                availability[piece] += 1
+
+    rarest_count = min(availability.values())
+    rarest = [piece for piece, count in availability.items() if count == rarest_count]
+    return rng.choice(rarest)

@@ -1,0 +1,72 @@
+"""Sliding-window transfer-rate estimation.
+
+BitTorrent's choker ranks neighbours by the download rate recently received
+from them (the reference client averages over a ~20 second window).  The
+simulator needs the same signal, so :class:`RateEstimator` records the bytes
+received from each neighbour per tick and reports the average rate over a
+configurable window.  The same estimator doubles as the "observed upload
+bandwidth" signal used by the Birds proximity ranking.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+__all__ = ["RateEstimator"]
+
+
+class RateEstimator:
+    """Per-neighbour sliding-window rate estimation.
+
+    Parameters
+    ----------
+    window_ticks:
+        Length of the averaging window, in simulation ticks (seconds).
+    """
+
+    def __init__(self, window_ticks: int = 20):
+        if window_ticks < 1:
+            raise ValueError("window_ticks must be >= 1")
+        self.window_ticks = int(window_ticks)
+        #: per neighbour: deque of (tick, amount_kb)
+        self._samples: Dict[int, Deque[Tuple[int, float]]] = {}
+
+    def record(self, neighbour: int, tick: int, amount_kb: float) -> None:
+        """Record ``amount_kb`` received from ``neighbour`` during ``tick``."""
+        if amount_kb < 0:
+            raise ValueError("amount_kb must be >= 0")
+        samples = self._samples.setdefault(neighbour, deque())
+        samples.append((tick, float(amount_kb)))
+
+    def _prune(self, neighbour: int, current_tick: int) -> None:
+        samples = self._samples.get(neighbour)
+        if not samples:
+            return
+        cutoff = current_tick - self.window_ticks
+        while samples and samples[0][0] < cutoff:
+            samples.popleft()
+
+    def rate(self, neighbour: int, current_tick: int) -> float:
+        """Average KB/s received from ``neighbour`` over the window ending now."""
+        self._prune(neighbour, current_tick)
+        samples = self._samples.get(neighbour)
+        if not samples:
+            return 0.0
+        total = sum(amount for _tick, amount in samples)
+        return total / self.window_ticks
+
+    def total_received(self, neighbour: int) -> float:
+        """Total KB currently remembered from ``neighbour`` (within the window)."""
+        samples = self._samples.get(neighbour)
+        if not samples:
+            return 0.0
+        return sum(amount for _tick, amount in samples)
+
+    def known_neighbours(self) -> Dict[int, float]:
+        """Mapping of neighbour id to remembered received volume."""
+        return {n: self.total_received(n) for n in self._samples}
+
+    def forget(self, neighbour: int) -> None:
+        """Drop all samples for ``neighbour`` (it left the swarm)."""
+        self._samples.pop(neighbour, None)

@@ -1,0 +1,49 @@
+"""Seeder state and unchoking.
+
+The Section 5 setup uses a single seeder with 128 KBps upload.  Following the
+paper's modelling assumption (after Chow et al.) that "seeders interact
+uniformly with all peers", the simulated seeder rotates its unchoke slots
+uniformly at random over the interested leechers at every rechoke interval.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence, Set
+
+from repro.bittorrent.pieces import PieceSet
+
+__all__ = ["Seeder"]
+
+
+@dataclass
+class Seeder:
+    """The initial seeder: owns every piece and uploads uniformly at random."""
+
+    peer_id: int
+    upload_capacity: float
+    pieces: PieceSet
+    slots: int = 4
+    unchoked: Set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.upload_capacity <= 0:
+            raise ValueError("upload_capacity must be positive")
+        if self.slots < 1:
+            raise ValueError("slots must be >= 1")
+        if not self.pieces.is_complete:
+            raise ValueError("a seeder must own every piece")
+
+    def rechoke(self, interested: Sequence[int], rng: random.Random) -> Set[int]:
+        """Pick a fresh uniform random set of up to ``slots`` interested leechers."""
+        pool = list(interested)
+        if len(pool) <= self.slots:
+            self.unchoked = set(pool)
+        else:
+            self.unchoked = set(rng.sample(pool, self.slots))
+        return set(self.unchoked)
+
+    def forget_neighbour(self, neighbour: int) -> None:
+        """Drop a departed leecher from the unchoke set."""
+        self.unchoked.discard(neighbour)

@@ -1,0 +1,301 @@
+"""The swarm driver: discrete-time simulation of a BitTorrent download.
+
+:class:`SwarmSimulation` wires together the tracker, the seeder, the leechers
+and the choker, advancing time in one-second ticks:
+
+* every ``rechoke_interval`` ticks each leecher (and the seeder) re-evaluates
+  its unchoke set; loyalty counters advance at the same boundary;
+* every tick each uploader divides its upload capacity equally over its
+  unchoked, interested, still-active neighbours; the receiving peer
+  accumulates the bytes towards a piece chosen by local rarest first;
+* a leecher that completes all pieces leaves the swarm at the end of the tick
+  (the Section 5 setup has peers leave upon completing their download);
+* the run ends when every leecher has finished or the time horizon is hit.
+
+The result records each leecher's download time, which is the quantity
+Figures 9 and 10 compare across protocol mixes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.bittorrent.choker import run_rechoke
+from repro.bittorrent.config import SwarmConfig
+from repro.bittorrent.peer import Leecher
+from repro.bittorrent.pieces import PieceSet, select_piece_rarest_first
+from repro.bittorrent.seeder import Seeder
+from repro.bittorrent.torrent import TorrentMetadata
+from repro.bittorrent.tracker import Tracker
+from repro.bittorrent.variants import ClientVariant
+
+__all__ = ["SwarmPeerRecord", "SwarmResult", "SwarmSimulation"]
+
+
+@dataclass(frozen=True)
+class SwarmPeerRecord:
+    """Per-leecher outcome of a swarm run."""
+
+    peer_id: int
+    variant: str
+    upload_capacity: float
+    download_time: Optional[float]
+
+    @property
+    def completed(self) -> bool:
+        return self.download_time is not None
+
+
+@dataclass
+class SwarmResult:
+    """Outcome of one swarm simulation."""
+
+    config: SwarmConfig
+    records: List[SwarmPeerRecord]
+    ticks_executed: int
+
+    def variants(self) -> List[str]:
+        """Distinct variant names present, sorted."""
+        return sorted({r.variant for r in self.records})
+
+    def download_times(self, variant: Optional[str] = None) -> List[float]:
+        """Download times of completed leechers (optionally one variant only)."""
+        return [
+            r.download_time
+            for r in self.records
+            if r.download_time is not None and (variant is None or r.variant == variant)
+        ]
+
+    def mean_download_time(self, variant: Optional[str] = None) -> float:
+        """Average download time of completed leechers (``nan`` if none completed)."""
+        times = self.download_times(variant)
+        if not times:
+            return float("nan")
+        return sum(times) / len(times)
+
+    def completion_fraction(self, variant: Optional[str] = None) -> float:
+        """Fraction of leechers (of the given variant) that completed in time."""
+        relevant = [
+            r for r in self.records if variant is None or r.variant == variant
+        ]
+        if not relevant:
+            return 0.0
+        return sum(1 for r in relevant if r.completed) / len(relevant)
+
+
+class SwarmSimulation:
+    """One piece-level swarm run.
+
+    Parameters
+    ----------
+    config:
+        Swarm parameters (size, file, choker timings, ...).
+    variants:
+        Client variant per leecher, or a single variant broadcast to all.
+    seed:
+        Seed of the run's private random generator.
+    """
+
+    def __init__(
+        self,
+        config: SwarmConfig,
+        variants: Sequence[ClientVariant],
+        seed: Optional[int] = None,
+    ):
+        self.config = config
+        self._rng = random.Random(seed)
+        self.torrent = TorrentMetadata(
+            total_size_kb=config.file_size_mb * 1024.0,
+            piece_size_kb=config.piece_size_kb,
+        )
+
+        variants = list(variants)
+        if len(variants) == 1:
+            variants = variants * config.n_leechers
+        if len(variants) != config.n_leechers:
+            raise ValueError(
+                f"expected 1 or {config.n_leechers} variants, got {len(variants)}"
+            )
+
+        piece_count = self.torrent.piece_count
+        distribution = config.distribution()
+
+        self.seeder_id = config.n_leechers
+        self.tracker = Tracker(max_peers_per_announce=max(50, config.n_leechers))
+        self.seeder = Seeder(
+            peer_id=self.seeder_id,
+            upload_capacity=config.seeder_upload_kbps,
+            pieces=PieceSet(piece_count, complete=True),
+            slots=config.seeder_slots,
+        )
+        self.tracker.register(self.seeder_id)
+
+        self.leechers: Dict[int, Leecher] = {}
+        for peer_id in range(config.n_leechers):
+            self.tracker.register(peer_id)
+            self.leechers[peer_id] = Leecher(
+                peer_id=peer_id,
+                upload_capacity=distribution.sample(self._rng),
+                variant=variants[peer_id],
+                pieces=PieceSet(piece_count),
+            )
+
+        # Everyone announces once the swarm is fully registered; the seeder is
+        # always added so the swarm is guaranteed to be bootstrappable.
+        for leecher in self.leechers.values():
+            neighbours = set(self.tracker.announce(leecher.peer_id, self._rng))
+            neighbours.add(self.seeder_id)
+            neighbours.discard(leecher.peer_id)
+            leecher.neighbours = neighbours
+
+        self._active: Set[int] = set(self.leechers.keys())
+        self._ticks_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _pieces_of(self, peer_id: int) -> PieceSet:
+        if peer_id == self.seeder_id:
+            return self.seeder.pieces
+        return self.leechers[peer_id].pieces
+
+    def _interested_in(self, owner_pieces: PieceSet, peer_ids: Sequence[int]) -> List[int]:
+        """Active leechers among ``peer_ids`` that want something from ``owner_pieces``."""
+        interested = []
+        for peer_id in peer_ids:
+            if peer_id == self.seeder_id or peer_id not in self._active:
+                continue
+            if self.leechers[peer_id].pieces.is_interested_in(owner_pieces):
+                interested.append(peer_id)
+        return interested
+
+    def _rechoke_all(self, tick: int) -> None:
+        config = self.config
+        rotation_due = tick % config.optimistic_interval == 0
+        for peer_id in sorted(self._active):
+            leecher = self.leechers[peer_id]
+            if tick > 0:
+                leecher.update_loyalty_period()
+            interested = self._interested_in(leecher.pieces, sorted(leecher.neighbours))
+            run_rechoke(
+                leecher,
+                interested,
+                tick,
+                config.regular_slots,
+                rotation_due,
+                self._rng,
+            )
+        seeder_interested = self._interested_in(
+            self.seeder.pieces, sorted(self._active)
+        )
+        self.seeder.rechoke(seeder_interested, self._rng)
+
+    def _transfer(
+        self,
+        uploader_id: int,
+        uploader_pieces: PieceSet,
+        target: Leecher,
+        amount_kb: float,
+        tick: int,
+    ) -> None:
+        """Deliver ``amount_kb`` from ``uploader_id`` to ``target`` this tick."""
+        piece = target.in_flight.get(uploader_id)
+        if piece is None or target.pieces.has(piece) or not uploader_pieces.has(piece):
+            neighbour_sets = [
+                self._pieces_of(n)
+                for n in target.neighbours
+                if n == self.seeder_id or n in self._active
+            ]
+            piece = select_piece_rarest_first(
+                target.pieces,
+                uploader_pieces,
+                neighbour_sets,
+                self._rng,
+                exclude=target.in_flight.values(),
+            )
+            if piece is None:
+                return
+            target.in_flight[uploader_id] = piece
+
+        target.record_received(uploader_id, tick, amount_kb)
+        progress = target.piece_progress.get(piece, 0.0) + amount_kb
+        if progress >= self.torrent.piece_size_kb:
+            target.pieces.add(piece)
+            target.piece_progress.pop(piece, None)
+            # Drop every in-flight entry pointing at the finished piece.
+            for neighbour, in_flight_piece in list(target.in_flight.items()):
+                if in_flight_piece == piece:
+                    del target.in_flight[neighbour]
+        else:
+            target.piece_progress[piece] = progress
+
+    def _upload_from(self, uploader_id: int, tick: int) -> None:
+        """Run one tick of uploads from ``uploader_id`` to its unchoked targets."""
+        if uploader_id == self.seeder_id:
+            capacity = self.seeder.upload_capacity
+            unchoked = self.seeder.unchoked
+            uploader_pieces = self.seeder.pieces
+        else:
+            leecher = self.leechers[uploader_id]
+            capacity = leecher.upload_capacity
+            unchoked = leecher.currently_unchoked()
+            uploader_pieces = leecher.pieces
+
+        targets = [
+            t
+            for t in unchoked
+            if t in self._active
+            and self.leechers[t].pieces.is_interested_in(uploader_pieces)
+        ]
+        if not targets:
+            return
+        per_target = capacity / len(targets)
+        for target_id in sorted(targets):
+            self._transfer(
+                uploader_id, uploader_pieces, self.leechers[target_id], per_target, tick
+            )
+
+    def _handle_completions(self, tick: int) -> None:
+        finished = [pid for pid in self._active if self.leechers[pid].is_complete]
+        for peer_id in finished:
+            leecher = self.leechers[peer_id]
+            leecher.completion_tick = tick + 1
+            self._active.discard(peer_id)
+            self.tracker.unregister(peer_id)
+            self.seeder.forget_neighbour(peer_id)
+            for other_id in self._active:
+                self.leechers[other_id].forget_neighbour(peer_id)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self) -> SwarmResult:
+        """Execute the swarm until everyone finishes or the horizon is reached."""
+        config = self.config
+        for tick in range(config.max_ticks):
+            self._ticks_executed = tick + 1
+            if not self._active:
+                break
+            if tick % config.rechoke_interval == 0:
+                self._rechoke_all(tick)
+            self._upload_from(self.seeder_id, tick)
+            for uploader_id in sorted(self._active):
+                self._upload_from(uploader_id, tick)
+            self._handle_completions(tick)
+            if not self._active:
+                break
+
+        records = [
+            SwarmPeerRecord(
+                peer_id=leecher.peer_id,
+                variant=leecher.variant.name,
+                upload_capacity=leecher.upload_capacity,
+                download_time=leecher.download_time,
+            )
+            for leecher in self.leechers.values()
+        ]
+        return SwarmResult(
+            config=config, records=records, ticks_executed=self._ticks_executed
+        )

@@ -1,0 +1,53 @@
+"""Torrent metadata.
+
+A torrent is described, for the purposes of the swarm simulator, by its total
+size and piece size, from which the number of pieces follows.  The Section 5
+experiments download a 5 MB file; the default piece size of 256 KB matches
+common BitTorrent practice for small torrents (and gives the 20 pieces the
+swarm trades).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TorrentMetadata"]
+
+
+@dataclass(frozen=True)
+class TorrentMetadata:
+    """Static description of the content being distributed.
+
+    Parameters
+    ----------
+    total_size_kb:
+        Total content size in kilobytes.
+    piece_size_kb:
+        Piece size in kilobytes.  The last piece may be smaller; the
+        simulator treats all pieces as equal-sized, which only changes
+        completion times by a sub-piece rounding amount.
+    """
+
+    total_size_kb: float
+    piece_size_kb: float = 256.0
+
+    def __post_init__(self) -> None:
+        if self.total_size_kb <= 0:
+            raise ValueError("total_size_kb must be positive")
+        if self.piece_size_kb <= 0:
+            raise ValueError("piece_size_kb must be positive")
+        if self.piece_size_kb > self.total_size_kb:
+            raise ValueError("piece_size_kb cannot exceed total_size_kb")
+
+    @property
+    def piece_count(self) -> int:
+        """Number of pieces (rounded up)."""
+        full, remainder = divmod(self.total_size_kb, self.piece_size_kb)
+        return int(full) + (1 if remainder > 0 else 0)
+
+    @classmethod
+    def for_file(cls, size_mb: float = 5.0, piece_size_kb: float = 256.0) -> "TorrentMetadata":
+        """Convenience constructor for a file of ``size_mb`` megabytes."""
+        if size_mb <= 0:
+            raise ValueError("size_mb must be positive")
+        return cls(total_size_kb=size_mb * 1024.0, piece_size_kb=piece_size_kb)

@@ -1,0 +1,68 @@
+"""The tracker: peer registration and peer-list announcements.
+
+The Section 5 experiments use a local tracker.  In the simulator the tracker
+keeps the set of active swarm members and answers announces with a bounded
+random subset of the other members, exactly like a real tracker's announce
+response.  With 50 leechers the default response size covers the whole swarm,
+matching the paper's fully-connected assumption, but the bound matters for
+larger simulated swarms (and is unit tested).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set
+
+__all__ = ["Tracker"]
+
+
+class Tracker:
+    """A minimal BitTorrent tracker for the swarm simulator.
+
+    Parameters
+    ----------
+    max_peers_per_announce:
+        Maximum number of peer ids returned per announce (real trackers
+        default to 50).
+    """
+
+    def __init__(self, max_peers_per_announce: int = 50):
+        if max_peers_per_announce < 1:
+            raise ValueError("max_peers_per_announce must be >= 1")
+        self.max_peers_per_announce = int(max_peers_per_announce)
+        self._members: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # membership
+    # ------------------------------------------------------------------ #
+    def register(self, peer_id: int) -> None:
+        """Add a peer to the swarm."""
+        self._members.add(peer_id)
+
+    def unregister(self, peer_id: int) -> None:
+        """Remove a peer from the swarm (e.g. it completed and left)."""
+        self._members.discard(peer_id)
+
+    def members(self) -> Set[int]:
+        """A copy of the current member set."""
+        return set(self._members)
+
+    @property
+    def swarm_size(self) -> int:
+        return len(self._members)
+
+    # ------------------------------------------------------------------ #
+    # announces
+    # ------------------------------------------------------------------ #
+    def announce(self, peer_id: int, rng: random.Random) -> List[int]:
+        """Return a peer list for ``peer_id`` (never containing itself).
+
+        The requesting peer is registered as a side effect, as with a real
+        announce.
+        """
+        self.register(peer_id)
+        others = [member for member in self._members if member != peer_id]
+        if len(others) <= self.max_peers_per_announce:
+            rng.shuffle(others)
+            return others
+        return rng.sample(others, self.max_peers_per_announce)

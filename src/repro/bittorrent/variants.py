@@ -1,0 +1,169 @@
+"""BitTorrent client variants (the protocols compared in Section 5).
+
+A :class:`ClientVariant` captures the two knobs the paper modifies in the
+instrumented client:
+
+* the **ranking** used by the regular unchokes (fastest = reference
+  BitTorrent, proximity = Birds, loyal = Loyal-When-needed, slowest = Sort-S,
+  random = the Random protocol of Figure 10), and
+* the **optimistic-unchoke policy** (periodic rotation for the reference
+  client and Birds; only-when-needed for Loyal-When-needed; never for
+  Sort-S, which "always defects on strangers").
+
+plus the number of regular unchoke slots (Sort-S maintains a single partner).
+The named constructors build the five variants evaluated in Figures 9 and 10.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "ClientVariant",
+    "reference_bittorrent",
+    "birds_client",
+    "loyal_when_needed_client",
+    "sort_s_client",
+    "random_client",
+    "variant_by_name",
+]
+
+_RANKINGS = ("fastest", "slowest", "proximity", "loyal", "random")
+_OPTIMISTIC_POLICIES = ("periodic", "when_needed", "never")
+
+
+@dataclass(frozen=True)
+class ClientVariant:
+    """A BitTorrent client behaviour variant.
+
+    Parameters
+    ----------
+    name:
+        Display name used in experiment output.
+    ranking:
+        Ranking applied to interested neighbours at every rechoke.
+    optimistic_policy:
+        When the optimistic-unchoke slot is used: ``"periodic"`` (rotate on
+        the optimistic interval), ``"when_needed"`` (only when fewer
+        interested candidates than regular slots) or ``"never"``.
+    regular_slots:
+        Number of regular unchoke slots; ``None`` means "use the swarm
+        configuration default".
+    """
+
+    name: str
+    ranking: str = "fastest"
+    optimistic_policy: str = "periodic"
+    regular_slots: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ranking not in _RANKINGS:
+            raise ValueError(f"unknown ranking {self.ranking!r}; expected one of {_RANKINGS}")
+        if self.optimistic_policy not in _OPTIMISTIC_POLICIES:
+            raise ValueError(
+                f"unknown optimistic_policy {self.optimistic_policy!r}; "
+                f"expected one of {_OPTIMISTIC_POLICIES}"
+            )
+        if self.regular_slots is not None and self.regular_slots < 1:
+            raise ValueError("regular_slots must be >= 1 when given")
+
+    def effective_slots(self, default_slots: int) -> int:
+        """The number of regular unchoke slots to use."""
+        return self.regular_slots if self.regular_slots is not None else default_slots
+
+    # ------------------------------------------------------------------ #
+    # ranking
+    # ------------------------------------------------------------------ #
+    def rank(
+        self,
+        candidates: Sequence[int],
+        rates: Dict[int, float],
+        loyalty: Dict[int, int],
+        own_per_slot_rate: float,
+        rng: random.Random,
+    ) -> List[int]:
+        """Order ``candidates`` best-first according to this variant's ranking.
+
+        Parameters
+        ----------
+        candidates:
+            Interested, active neighbour ids.
+        rates:
+            Recent download rate observed from each candidate (KB/s).
+        loyalty:
+            Consecutive rechoke periods each candidate has kept uploading.
+        own_per_slot_rate:
+            The ranking peer's own upload capacity per unchoke slot (the
+            proximity reference point of the Birds selection policy).
+        rng:
+            Random generator for tie-breaking / the random ranking.
+        """
+        pool = list(candidates)
+        rng.shuffle(pool)
+        if self.ranking == "random":
+            return pool
+        if self.ranking == "fastest":
+            pool.sort(key=lambda c: rates.get(c, 0.0), reverse=True)
+        elif self.ranking == "slowest":
+            pool.sort(key=lambda c: rates.get(c, 0.0))
+        elif self.ranking == "proximity":
+            pool.sort(key=lambda c: abs(rates.get(c, 0.0) - own_per_slot_rate))
+        elif self.ranking == "loyal":
+            pool.sort(key=lambda c: (-loyalty.get(c, 0), -rates.get(c, 0.0)))
+        else:  # pragma: no cover - guarded in __post_init__
+            raise ValueError(f"unknown ranking {self.ranking!r}")
+        return pool
+
+
+# ---------------------------------------------------------------------- #
+# the five variants of Figures 9 and 10
+# ---------------------------------------------------------------------- #
+def reference_bittorrent() -> ClientVariant:
+    """The reference BitTorrent client: fastest-first unchoking, periodic optimistic unchoke."""
+    return ClientVariant(name="BitTorrent", ranking="fastest", optimistic_policy="periodic")
+
+
+def birds_client() -> ClientVariant:
+    """Birds: reciprocate with peers closest to one's own upload bandwidth."""
+    return ClientVariant(name="Birds", ranking="proximity", optimistic_policy="periodic")
+
+
+def loyal_when_needed_client() -> ClientVariant:
+    """Loyal-When-needed: Sort Loyal ranking, optimistic unchoke only when short of partners."""
+    return ClientVariant(
+        name="Loyal-When-needed", ranking="loyal", optimistic_policy="when_needed"
+    )
+
+
+def sort_s_client() -> ClientVariant:
+    """Sort-S: slowest-first ranking, a single regular slot, never optimistically unchokes."""
+    return ClientVariant(
+        name="Sort-S", ranking="slowest", optimistic_policy="never", regular_slots=1
+    )
+
+
+def random_client() -> ClientVariant:
+    """Random ranking with otherwise reference behaviour (Figure 10's 'Random')."""
+    return ClientVariant(name="Random", ranking="random", optimistic_policy="periodic")
+
+
+def variant_by_name(name: str) -> ClientVariant:
+    """Look up one of the named variants by its display name (case-insensitive)."""
+    variants = {
+        v.name.lower(): v
+        for v in (
+            reference_bittorrent(),
+            birds_client(),
+            loyal_when_needed_client(),
+            sort_s_client(),
+            random_client(),
+        )
+    }
+    try:
+        return variants[name.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown variant {name!r}; known: {sorted(variants)}"
+        ) from exc

@@ -1,0 +1,141 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run figure2 --scale bench
+    python -m repro.cli run table3 --scale smoke --seed 7
+    python -m repro.cli all --scale smoke
+
+Each experiment prints the plain-text rows/series corresponding to the
+paper's table or figure; the scale argument selects the run budget (see
+:mod:`repro.experiments.base` and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import (
+    churn_check,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    robustness_split_check,
+    section2_analytic,
+    table2,
+    table3,
+)
+from repro.utils.logging import configure_logging
+
+__all__ = ["main", "EXPERIMENTS"]
+
+Runner = Callable[[str, int], str]
+
+
+def _scaled(module) -> Runner:
+    def runner(scale: str, seed: int) -> str:
+        return module.render(module.run(scale=scale, seed=seed))
+
+    return runner
+
+
+def _unscaled(module) -> Runner:
+    def runner(scale: str, seed: int) -> str:  # scale/seed intentionally unused
+        return module.render(module.run())
+
+    return runner
+
+
+#: Experiment name -> (description, runner).
+EXPERIMENTS: Dict[str, Tuple[str, Runner]] = {
+    "figure1": ("BitTorrent Dilemma and Birds payoff matrices", _unscaled(figure1)),
+    "section2": ("Analytical expected-win model and Nash verdicts", _unscaled(section2_analytic)),
+    "table2": ("Existing systems mapped to the generic design space", _unscaled(table2)),
+    "figure2": ("Robustness vs Performance scatter", _scaled(figure2)),
+    "figure3": ("Performance vs number of partners", _scaled(figure3)),
+    "figure4": ("Robustness vs number of partners", _scaled(figure4)),
+    "figure5": ("Robustness CCDF per stranger policy", _scaled(figure5)),
+    "figure6": ("Robustness per resource-allocation policy", _scaled(figure6)),
+    "figure7": ("Robustness per ranking function", _scaled(figure7)),
+    "figure8": ("Robustness vs Aggressiveness correlation", _scaled(figure8)),
+    "table3": ("Regression of PRA measures on design dimensions", _scaled(table3)),
+    "split-check": ("50/50 vs 90/10 robustness consistency", _scaled(robustness_split_check)),
+    "churn-check": ("Performance under churn", _scaled(churn_check)),
+    "figure9": ("Swarm encounters between client variants", _scaled(figure9)),
+    "figure10": ("Homogeneous-swarm client performance", _scaled(figure10)),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of the DSA paper (SIGCOMM 2011).",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="enable progress logging"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument(
+        "--scale", default="bench", choices=("smoke", "bench", "paper"),
+        help="run budget (default: bench)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="master seed")
+
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.add_argument(
+        "--scale", default="smoke", choices=("smoke", "bench", "paper"),
+        help="run budget (default: smoke)",
+    )
+    all_parser.add_argument("--seed", type=int, default=0, help="master seed")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.verbose:
+        configure_logging()
+
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            description, _runner = EXPERIMENTS[name]
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    if args.command == "run":
+        _description, runner = EXPERIMENTS[args.experiment]
+        print(runner(args.scale, args.seed))
+        return 0
+
+    if args.command == "all":
+        for name in sorted(EXPERIMENTS):
+            _description, runner = EXPERIMENTS[name]
+            print(f"===== {name} =====")
+            print(runner(args.scale, args.seed))
+            print()
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

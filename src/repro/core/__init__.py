@@ -1,0 +1,111 @@
+"""Design Space Analysis (DSA) — the paper's primary contribution.
+
+This sub-package implements the DSA methodology of Section 3 and its
+application to P2P file-swarming systems in Section 4:
+
+* :mod:`repro.core.design_space` — the generic *Parameterization* /
+  *Actualization* framework (design dimensions and their concrete
+  implementations), including the generic P2P parameterization of Section 4.1
+  and the gossip-protocol example of Section 3.1;
+* :mod:`repro.core.protocol` — a protocol as a point in the actualized
+  design space, plus the named protocols referenced in the paper
+  (reference BitTorrent, Birds, Loyal-When-needed, Sort-S, ...);
+* :mod:`repro.core.space` — the concrete Section 4.2 file-swarming space of
+  3270 protocols, with enumeration and sampling;
+* :mod:`repro.core.encounter` / :mod:`repro.core.tournament` — two-protocol
+  encounters and round-robin tournaments on the cycle-based simulator;
+* :mod:`repro.core.pra` / :mod:`repro.core.study` — the PRA
+  (Performance / Robustness / Aggressiveness) quantification and the study
+  driver that produces the per-protocol PRA scores consumed by every figure
+  in Section 4.4;
+* :mod:`repro.core.registry` — Table 2: existing systems mapped onto the
+  generic design space;
+* :mod:`repro.core.search` — heuristic exploration of the design space
+  (hill climbing and evolutionary search), the paper's stated future-work
+  solution concept for spaces too large to scan exhaustively;
+* :mod:`repro.core.evolution` — imitation dynamics over protocol populations
+  and an evolutionary-stability check complementing the Appendix's
+  Nash-equilibrium analysis.
+"""
+
+from repro.core.design_space import (
+    Actualization,
+    Dimension,
+    Parameterization,
+    generic_p2p_parameterization,
+    gossip_parameterization,
+)
+from repro.core.protocol import (
+    Protocol,
+    birds_protocol,
+    bittorrent_reference,
+    loyal_when_needed,
+    random_ranking_protocol,
+    sort_s,
+)
+from repro.core.space import DesignSpace
+from repro.core.sampling import sample_protocols
+from repro.core.encounter import EncounterOutcome, run_encounter
+from repro.core.tournament import Tournament, TournamentOutcome
+from repro.core.pra import (
+    PRAConfig,
+    aggressiveness_tournament,
+    measure_performance,
+    normalize_scores,
+    robustness_tournament,
+)
+from repro.core.results import PRAStudyResult
+from repro.core.study import PRAStudy
+from repro.core.registry import SYSTEM_REGISTRY, SystemMapping, registry_rows
+from repro.core.search import (
+    EvolutionarySearch,
+    HillClimbingSearch,
+    SearchObjective,
+    SearchResult,
+    protocol_neighbors,
+)
+from repro.core.evolution import (
+    EvolutionConfig,
+    EvolutionResult,
+    ImitationDynamics,
+    is_evolutionarily_stable,
+)
+
+__all__ = [
+    "Actualization",
+    "Dimension",
+    "Parameterization",
+    "generic_p2p_parameterization",
+    "gossip_parameterization",
+    "Protocol",
+    "bittorrent_reference",
+    "birds_protocol",
+    "loyal_when_needed",
+    "sort_s",
+    "random_ranking_protocol",
+    "DesignSpace",
+    "sample_protocols",
+    "EncounterOutcome",
+    "run_encounter",
+    "Tournament",
+    "TournamentOutcome",
+    "PRAConfig",
+    "measure_performance",
+    "normalize_scores",
+    "robustness_tournament",
+    "aggressiveness_tournament",
+    "PRAStudyResult",
+    "PRAStudy",
+    "SYSTEM_REGISTRY",
+    "SystemMapping",
+    "registry_rows",
+    "SearchObjective",
+    "SearchResult",
+    "HillClimbingSearch",
+    "EvolutionarySearch",
+    "protocol_neighbors",
+    "EvolutionConfig",
+    "EvolutionResult",
+    "ImitationDynamics",
+    "is_evolutionarily_stable",
+]

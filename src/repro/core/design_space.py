@@ -1,0 +1,241 @@
+"""The generic Parameterization / Actualization framework of DSA (Section 3.1).
+
+Design Space Analysis specifies a design space in two steps:
+
+* **Parameterization** — identify the salient design dimensions of a family
+  of protocols (for P2P systems: Peer Discovery, Stranger Policy, Selection
+  Function, Resource Allocation — Section 4.1);
+* **Actualization** — specify concrete implementations ("actualizations")
+  for each dimension (Section 4.2).
+
+This module provides the small, domain-independent vocabulary for that:
+:class:`Actualization` (one concrete implementation of a dimension),
+:class:`Dimension` (a named dimension with its actualizations) and
+:class:`Parameterization` (an ordered set of dimensions with a few
+convenience queries).  Two ready-made parameterizations mirror the paper's
+examples: the generic P2P protocol space of Section 4.1 and the gossip
+protocol example of Section 3.1.
+
+The concrete, executable file-swarming space (including the numeric ``k`` and
+``h`` sweeps) lives in :mod:`repro.core.space`; this module is about
+describing spaces, which is useful on its own — e.g. to apply DSA to another
+domain, one starts by writing down a new :class:`Parameterization`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Actualization",
+    "Dimension",
+    "Parameterization",
+    "generic_p2p_parameterization",
+    "gossip_parameterization",
+]
+
+
+@dataclass(frozen=True)
+class Actualization:
+    """One concrete implementation of a design dimension.
+
+    Parameters
+    ----------
+    code:
+        Short identifier used in tables and labels (e.g. ``"B2"``).
+    name:
+        Human-readable name (e.g. ``"When needed"``).
+    description:
+        What the actualization does; typically one sentence.
+    """
+
+    code: str
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise ValueError("an actualization needs a non-empty code")
+        if not self.name:
+            raise ValueError("an actualization needs a non-empty name")
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A salient design dimension together with its actualizations."""
+
+    name: str
+    description: str = ""
+    actualizations: Tuple[Actualization, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a dimension needs a non-empty name")
+        codes = [a.code for a in self.actualizations]
+        if len(set(codes)) != len(codes):
+            raise ValueError(f"duplicate actualization codes in dimension {self.name!r}")
+
+    @property
+    def cardinality(self) -> int:
+        """Number of actualizations specified for this dimension."""
+        return len(self.actualizations)
+
+    def actualization(self, code: str) -> Actualization:
+        """Look up an actualization by its code (raises ``KeyError`` if absent)."""
+        for act in self.actualizations:
+            if act.code == code:
+                return act
+        raise KeyError(code)
+
+    def codes(self) -> List[str]:
+        """The actualization codes, in declaration order."""
+        return [a.code for a in self.actualizations]
+
+
+class Parameterization:
+    """An ordered collection of design dimensions.
+
+    The *size* of a parameterization is the number of protocol variants
+    obtained by independently choosing one actualization per dimension
+    (dimensions without declared actualizations are treated as having a
+    single implicit choice, as the paper does for Peer Discovery, which it
+    deliberately leaves out of the sweep).
+    """
+
+    def __init__(self, name: str, dimensions: Iterable[Dimension]):
+        self.name = name
+        self._dimensions: Tuple[Dimension, ...] = tuple(dimensions)
+        if not self._dimensions:
+            raise ValueError("a parameterization needs at least one dimension")
+        names = [d.name for d in self._dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError("dimension names must be unique")
+
+    @property
+    def dimensions(self) -> Tuple[Dimension, ...]:
+        return self._dimensions
+
+    def dimension(self, name: str) -> Dimension:
+        """Look up a dimension by name (raises ``KeyError`` if absent)."""
+        for dim in self._dimensions:
+            if dim.name == name:
+                return dim
+        raise KeyError(name)
+
+    def dimension_names(self) -> List[str]:
+        return [d.name for d in self._dimensions]
+
+    def size(self) -> int:
+        """Number of protocol variants implied by the actualizations."""
+        total = 1
+        for dim in self._dimensions:
+            total *= max(1, dim.cardinality)
+        return total
+
+    def describe(self) -> str:
+        """A printable multi-line description of the parameterization."""
+        lines = [f"Parameterization: {self.name} ({self.size()} variants)"]
+        for dim in self._dimensions:
+            lines.append(f"  {dim.name}: {dim.description}")
+            for act in dim.actualizations:
+                lines.append(f"    [{act.code}] {act.name} - {act.description}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Parameterization({self.name!r}, {len(self._dimensions)} dimensions)"
+
+
+def generic_p2p_parameterization() -> Parameterization:
+    """The generic P2P protocol design space of Section 4.1.
+
+    Peer Discovery is included as a dimension (it is salient) but carries no
+    swept actualizations, matching the paper's choice to fix it ("all peers
+    can connect to each other").
+    """
+    return Parameterization(
+        "Generic P2P protocol design space",
+        [
+            Dimension(
+                "Peer Discovery",
+                "How peers find partners for productive interactions "
+                "(timing and nature of the discovery policy).",
+            ),
+            Dimension(
+                "Stranger Policy",
+                "How resources are allocated to peers with no interaction history.",
+                (
+                    Actualization("B1", "Periodic", "Give resources to up to h strangers periodically."),
+                    Actualization("B2", "When needed", "Give to strangers only when the partner set is not full."),
+                    Actualization("B3", "Defect", "Never give resources to strangers."),
+                ),
+            ),
+            Dimension(
+                "Selection Function",
+                "Which known peers are selected for interaction (candidate list, "
+                "ranking and number of partners).",
+                (
+                    Actualization("C1", "TFT candidate list", "Candidates are peers that reciprocated in the last round."),
+                    Actualization("C2", "TF2T candidate list", "Candidates are peers that reciprocated in either of the last two rounds."),
+                    Actualization("I1", "Sort Fastest", "Rank candidates fastest first."),
+                    Actualization("I2", "Sort Slowest", "Rank candidates slowest first."),
+                    Actualization("I3", "Sort Proximity", "Rank by proximity to one's own upload bandwidth (Birds)."),
+                    Actualization("I4", "Sort Adaptive", "Rank by proximity to an adaptive aspiration level."),
+                    Actualization("I5", "Sort Loyal", "Rank by duration of continuous cooperation."),
+                    Actualization("I6", "Random", "Do not rank; choose randomly."),
+                ),
+            ),
+            Dimension(
+                "Resource Allocation",
+                "How upload resources are divided among the selected peers.",
+                (
+                    Actualization("R1", "Equal Split", "All selected peers receive equal resources."),
+                    Actualization("R2", "Prop Share", "Resources proportional to past contribution."),
+                    Actualization("R3", "Freeride", "Give nothing to partners."),
+                ),
+            ),
+        ],
+    )
+
+
+def gossip_parameterization() -> Parameterization:
+    """The gossip-protocol example parameterization sketched in Section 3.1."""
+    return Parameterization(
+        "Gossip protocol design space (illustrative)",
+        [
+            Dimension(
+                "Selection Function",
+                "How partners are chosen for exchanging data.",
+                (
+                    Actualization("G1", "Random", "Choose partners randomly."),
+                    Actualization("G2", "Best", "Choose partners who have given the best service."),
+                    Actualization("G3", "Loyal", "Choose the most loyal partners."),
+                    Actualization("G4", "Similarity", "Choose partners based on similarity."),
+                ),
+            ),
+            Dimension(
+                "Periodicity",
+                "How often data exchange takes place.",
+                (
+                    Actualization("P1", "Every round", "Exchange every round."),
+                    Actualization("P2", "Lazy", "Exchange every few rounds."),
+                ),
+            ),
+            Dimension(
+                "Filtering Function",
+                "Which data items are selected for exchange.",
+                (
+                    Actualization("F1", "Newest first", "Prefer the most recent items."),
+                    Actualization("F2", "Rarest first", "Prefer the least replicated items."),
+                ),
+            ),
+            Dimension(
+                "Record Maintenance",
+                "How the local database of records is maintained.",
+                (
+                    Actualization("M1", "Keep all", "Never evict records."),
+                    Actualization("M2", "Sliding window", "Keep only recent records."),
+                ),
+            ),
+        ],
+    )

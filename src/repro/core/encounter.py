@@ -1,0 +1,139 @@
+"""Two-protocol encounters (the building block of the PRA tournament).
+
+An *encounter* is "a mixed population of peers executing one of two
+protocols" (Section 3.2).  The population is split according to a fraction,
+the cycle-based simulation is run, and the protocol whose peers obtain the
+higher average utility (download) wins.  Robustness uses a 50/50 split (the
+largest share an invader can hold without being the majority);
+Aggressiveness puts the protocol under test in a 10% minority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.protocol import Protocol
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulation
+from repro.utils.rng import derive_seed
+
+__all__ = ["EncounterOutcome", "run_encounter"]
+
+#: Group labels used inside encounter simulations.
+GROUP_A = "A"
+GROUP_B = "B"
+
+
+@dataclass(frozen=True)
+class EncounterOutcome:
+    """Aggregated result of repeated encounters between two protocols.
+
+    ``wins_a`` counts the runs in which protocol A's peers averaged a strictly
+    higher download than protocol B's peers; ``wins_b`` the converse; ``ties``
+    the remainder.  Mean downloads are averaged over runs.
+    """
+
+    protocol_a: str
+    protocol_b: str
+    fraction_a: float
+    runs: int
+    wins_a: int
+    wins_b: int
+    ties: int
+    mean_download_a: float
+    mean_download_b: float
+    peers_a: int
+    peers_b: int
+
+    @property
+    def win_rate_a(self) -> float:
+        """Fraction of runs won by protocol A."""
+        return self.wins_a / self.runs if self.runs else 0.0
+
+    @property
+    def win_rate_b(self) -> float:
+        """Fraction of runs won by protocol B."""
+        return self.wins_b / self.runs if self.runs else 0.0
+
+    def winner(self) -> Optional[str]:
+        """Key of the protocol that won more runs, or ``None`` for a draw."""
+        if self.wins_a > self.wins_b:
+            return self.protocol_a
+        if self.wins_b > self.wins_a:
+            return self.protocol_b
+        return None
+
+
+def _split_population(n_peers: int, fraction_a: float) -> Tuple[int, int]:
+    """Split ``n_peers`` into (count_a, count_b), each at least 1."""
+    count_a = int(round(fraction_a * n_peers))
+    count_a = max(1, min(n_peers - 1, count_a))
+    return count_a, n_peers - count_a
+
+
+def run_encounter(
+    protocol_a: Protocol,
+    protocol_b: Protocol,
+    sim_config: SimulationConfig,
+    fraction_a: float = 0.5,
+    runs: int = 10,
+    seed: int = 0,
+) -> EncounterOutcome:
+    """Run ``runs`` independent encounters between two protocols.
+
+    Parameters
+    ----------
+    protocol_a, protocol_b:
+        The competing protocols.  Group A executes ``protocol_a``.
+    sim_config:
+        Simulation parameters shared by every run.
+    fraction_a:
+        Fraction of the population executing protocol A (0.5 for Robustness
+        encounters, 0.1 when measuring A's Aggressiveness).
+    runs:
+        Number of independent repetitions (the paper uses 10).
+    seed:
+        Master seed; each run derives an independent sub-seed so outcomes do
+        not depend on evaluation order elsewhere in a study.
+    """
+    if runs < 1:
+        raise ValueError("runs must be at least 1")
+    if not 0.0 < fraction_a < 1.0:
+        raise ValueError("fraction_a must be strictly between 0 and 1")
+
+    count_a, count_b = _split_population(sim_config.n_peers, fraction_a)
+    behaviors = [protocol_a.behavior] * count_a + [protocol_b.behavior] * count_b
+    groups = [GROUP_A] * count_a + [GROUP_B] * count_b
+
+    wins_a = wins_b = ties = 0
+    total_a = total_b = 0.0
+    for run_index in range(runs):
+        run_seed = derive_seed(
+            seed, f"encounter/{protocol_a.key}/{protocol_b.key}/{fraction_a}/{run_index}"
+        )
+        result = Simulation(sim_config, behaviors, groups, seed=run_seed).run()
+        mean_a = result.group_mean_download(GROUP_A)
+        mean_b = result.group_mean_download(GROUP_B)
+        total_a += mean_a
+        total_b += mean_b
+        if mean_a > mean_b:
+            wins_a += 1
+        elif mean_b > mean_a:
+            wins_b += 1
+        else:
+            ties += 1
+
+    return EncounterOutcome(
+        protocol_a=protocol_a.key,
+        protocol_b=protocol_b.key,
+        fraction_a=fraction_a,
+        runs=runs,
+        wins_a=wins_a,
+        wins_b=wins_b,
+        ties=ties,
+        mean_download_a=total_a / runs,
+        mean_download_b=total_b / runs,
+        peers_a=count_a,
+        peers_b=count_b,
+    )

@@ -1,0 +1,174 @@
+"""The PRA quantification: Performance, Robustness, Aggressiveness (Section 3.2).
+
+For a protocol ``Π`` from a design space ``D`` the PRA quantification defines
+a mapping ``S : D -> [0, 1]^3``:
+
+* **Performance** — the sum of individual utilities (download throughput)
+  when the entire population executes ``Π``, normalised over the protocols
+  under study so the best protocol scores 1;
+* **Robustness** — the proportion of encounter games that ``Π`` wins against
+  every other protocol when half the population executes ``Π`` and half the
+  opponent (50% being the largest share an invader can have without becoming
+  the majority);
+* **Aggressiveness** — the same, but with ``Π`` executed by a 10% minority.
+
+This module provides the three measurement primitives (performance runs and
+the two tournaments) plus score normalisation; :class:`repro.core.study.PRAStudy`
+combines them into the study object the figures consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.protocol import Protocol
+from repro.core.tournament import Tournament, TournamentOutcome
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulation
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "PRAConfig",
+    "measure_performance",
+    "normalize_scores",
+    "robustness_tournament",
+    "aggressiveness_tournament",
+]
+
+
+@dataclass(frozen=True)
+class PRAConfig:
+    """Configuration of a PRA study.
+
+    Parameters
+    ----------
+    sim:
+        Simulation parameters used for every run (population size, rounds,
+        bandwidth distribution, churn, ...).
+    performance_runs:
+        Homogeneous-population runs per protocol (the paper uses 100).
+    encounter_runs:
+        Runs per encounter in the tournaments (the paper uses 10).
+    robustness_split:
+        Fraction of the population executing the protocol under test in
+        Robustness encounters (0.5 in the paper; 0.9 is used for the §4.3.2
+        consistency check).
+    aggressiveness_split:
+        Minority fraction for Aggressiveness encounters (0.1 in the paper).
+    seed:
+        Master seed from which every run derives an independent sub-seed.
+    """
+
+    sim: SimulationConfig
+    performance_runs: int = 100
+    encounter_runs: int = 10
+    robustness_split: float = 0.5
+    aggressiveness_split: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.performance_runs < 1:
+            raise ValueError("performance_runs must be >= 1")
+        if self.encounter_runs < 1:
+            raise ValueError("encounter_runs must be >= 1")
+        if not 0.0 < self.robustness_split < 1.0:
+            raise ValueError("robustness_split must be in (0, 1)")
+        if not 0.0 < self.aggressiveness_split < 1.0:
+            raise ValueError("aggressiveness_split must be in (0, 1)")
+
+    def with_(self, **changes) -> "PRAConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # presets (the scale actually used per experiment is in EXPERIMENTS.md)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper(cls, seed: int = 0) -> "PRAConfig":
+        """The paper-scale configuration (50 peers, 500 rounds, 100/10 runs)."""
+        return cls(sim=SimulationConfig.paper(), performance_runs=100,
+                   encounter_runs=10, seed=seed)
+
+    @classmethod
+    def bench(cls, seed: int = 0) -> "PRAConfig":
+        """Benchmark-scale configuration: small swarms, few repetitions."""
+        return cls(sim=SimulationConfig.small(), performance_runs=2,
+                   encounter_runs=1, seed=seed)
+
+    @classmethod
+    def smoke(cls, seed: int = 0) -> "PRAConfig":
+        """Minimal configuration for unit tests."""
+        return cls(sim=SimulationConfig.smoke(), performance_runs=1,
+                   encounter_runs=1, seed=seed)
+
+
+def measure_performance(
+    protocols: Sequence[Protocol], config: PRAConfig
+) -> Dict[str, float]:
+    """Raw (unnormalised) performance of each protocol.
+
+    For every protocol the entire population executes it; the returned value
+    is the population throughput averaged over ``config.performance_runs``
+    independent runs.
+    """
+    raw: Dict[str, float] = {}
+    for protocol in protocols:
+        total = 0.0
+        for run_index in range(config.performance_runs):
+            seed = derive_seed(config.seed, f"performance/{protocol.key}/{run_index}")
+            result = Simulation(
+                config.sim, [protocol.behavior], seed=seed
+            ).run()
+            total += result.throughput
+        raw[protocol.key] = total / config.performance_runs
+    return raw
+
+
+def normalize_scores(raw: Dict[str, float]) -> Dict[str, float]:
+    """Normalise raw scores into [0, 1] by dividing by the maximum.
+
+    The paper normalises performance "over the entire protocol design space"
+    so the best protocol scores 1; an all-zero input maps to all zeros.
+    """
+    if not raw:
+        return {}
+    maximum = max(raw.values())
+    if maximum <= 0.0:
+        return {key: 0.0 for key in raw}
+    return {key: value / maximum for key, value in raw.items()}
+
+
+def robustness_tournament(
+    protocols: Sequence[Protocol],
+    config: PRAConfig,
+    split: Optional[float] = None,
+) -> TournamentOutcome:
+    """Run the Robustness tournament (symmetric split; default 50/50).
+
+    Robustness of ``Π`` is the fraction of games it wins over all opponents
+    and runs; it is read off :attr:`TournamentOutcome.scores`.
+    """
+    tournament = Tournament(
+        protocols,
+        config.sim,
+        encounter_runs=config.encounter_runs,
+        seed=derive_seed(config.seed, "robustness"),
+    )
+    return tournament.run_symmetric(
+        split=config.robustness_split if split is None else split
+    )
+
+
+def aggressiveness_tournament(
+    protocols: Sequence[Protocol],
+    config: PRAConfig,
+) -> TournamentOutcome:
+    """Run the Aggressiveness tournament (protocol under test in a 10% minority)."""
+    tournament = Tournament(
+        protocols,
+        config.sim,
+        encounter_runs=config.encounter_runs,
+        seed=derive_seed(config.seed, "aggressiveness"),
+    )
+    return tournament.run_minority(minority_fraction=config.aggressiveness_split)

@@ -1,0 +1,262 @@
+"""Protocols as points in the actualized design space.
+
+A :class:`Protocol` wraps an executable :class:`~repro.sim.behavior.PeerBehavior`
+with design-space metadata: its index in the enumerated space (when it comes
+from a :class:`~repro.core.space.DesignSpace`), its dimension codes (B/C/I/R
+plus the numeric ``h`` and ``k``), and convenience predicates (is it a
+freerider?  a Birds variant?).  The regression analysis of Table 3 is driven
+directly by :meth:`Protocol.coordinates`.
+
+The module also provides the named protocols the paper keeps referring to:
+
+* :func:`bittorrent_reference` — the reference BitTorrent behaviour mapped
+  onto the abstract space (TFT candidate list, Sort Fastest, equal split,
+  periodic optimistic unchoke);
+* :func:`birds_protocol` — the Nash-equilibrium variant of Section 2.3
+  (Sort Proximity, equal split);
+* :func:`loyal_when_needed` — the DSA-discovered protocol validated in
+  Section 5 (Sort Loyal ranking, When-needed stranger policy);
+* :func:`sort_s` — the counter-intuitive top performer of Section 4.4
+  (Sort Slowest, defect on strangers, one partner);
+* :func:`random_ranking_protocol` — the Random-ranking protocol compared in
+  Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sim.behavior import PeerBehavior
+
+__all__ = [
+    "Protocol",
+    "bittorrent_reference",
+    "birds_protocol",
+    "loyal_when_needed",
+    "sort_s",
+    "random_ranking_protocol",
+]
+
+#: Dimension-code tables shared with the behaviour labels.
+STRANGER_CODES = {"none": "B0", "periodic": "B1", "when_needed": "B2", "defect": "B3"}
+CANDIDATE_CODES = {"tft": "C1", "tf2t": "C2"}
+RANKING_CODES = {
+    "fastest": "I1",
+    "slowest": "I2",
+    "proximity": "I3",
+    "adaptive": "I4",
+    "loyal": "I5",
+    "random": "I6",
+}
+ALLOCATION_CODES = {"equal_split": "R1", "prop_share": "R2", "freeride": "R3"}
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """One protocol variant: an executable behaviour plus design-space metadata.
+
+    Parameters
+    ----------
+    behavior:
+        The executable actualization.
+    protocol_id:
+        Index of the protocol within an enumerated design space, or ``None``
+        for ad-hoc protocols constructed outside a space.
+    name:
+        Optional human-readable name (e.g. ``"Birds"``); defaults to the
+        compact behaviour label.
+    """
+
+    behavior: PeerBehavior
+    protocol_id: Optional[int] = None
+    name: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # identity and labels
+    # ------------------------------------------------------------------ #
+    @property
+    def label(self) -> str:
+        """Compact dimension-code label, e.g. ``"B2h2-C1-I5k7-R2"``."""
+        return self.behavior.label()
+
+    @property
+    def display_name(self) -> str:
+        """The protocol's name if given, else its compact label."""
+        return self.name if self.name else self.label
+
+    @property
+    def key(self) -> str:
+        """Stable string key for dictionaries and JSON (id if present, else label)."""
+        return str(self.protocol_id) if self.protocol_id is not None else self.label
+
+    # ------------------------------------------------------------------ #
+    # design-space coordinates (used by the Table 3 regression)
+    # ------------------------------------------------------------------ #
+    def coordinates(self) -> Dict[str, object]:
+        """The protocol's position along every design dimension.
+
+        Returns a mapping with the categorical codes (``stranger``,
+        ``candidate``, ``ranking``, ``allocation``) and the numeric
+        covariates (``h`` — number of strangers, ``k`` — number of partners).
+        """
+        b = self.behavior
+        return {
+            "stranger": STRANGER_CODES[b.stranger_policy],
+            "h": b.stranger_count,
+            "candidate": CANDIDATE_CODES[b.candidate_policy],
+            "ranking": RANKING_CODES[b.ranking],
+            "k": b.partner_count,
+            "allocation": ALLOCATION_CODES[b.allocation],
+        }
+
+    # ------------------------------------------------------------------ #
+    # predicates used by the analysis narrative
+    # ------------------------------------------------------------------ #
+    @property
+    def is_freerider(self) -> bool:
+        """Whether the protocol gives nothing to partners (R3)."""
+        return self.behavior.allocation == "freeride"
+
+    @property
+    def defects_on_strangers(self) -> bool:
+        """Whether the protocol never gives resources to strangers."""
+        return self.behavior.stranger_policy in ("defect", "none")
+
+    @property
+    def is_birds_variant(self) -> bool:
+        """Whether the protocol "at the very least ranks others by Proximity
+        and employs Equal Split reciprocation" (Section 4.4.2)."""
+        return (
+            self.behavior.ranking == "proximity"
+            and self.behavior.allocation == "equal_split"
+        )
+
+    @property
+    def number_of_partners(self) -> int:
+        """``k``: the number of partners the protocol maintains."""
+        return self.behavior.partner_count
+
+    @property
+    def number_of_strangers(self) -> int:
+        """``h``: the number of strangers the protocol deals with at a time."""
+        return self.behavior.stranger_count
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "protocol_id": self.protocol_id,
+            "name": self.name,
+            "behavior": self.behavior.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Protocol":
+        """Inverse of :meth:`as_dict`."""
+        raw_id = data.get("protocol_id")
+        return cls(
+            behavior=PeerBehavior.from_dict(dict(data["behavior"])),
+            protocol_id=None if raw_id is None else int(raw_id),
+            name=data.get("name") or None,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.display_name
+
+
+# ---------------------------------------------------------------------- #
+# named protocols
+# ---------------------------------------------------------------------- #
+def bittorrent_reference(partner_count: int = 4) -> Protocol:
+    """The reference BitTorrent client mapped onto the abstract design space.
+
+    Regular unchokes reciprocate with the fastest uploaders (TFT candidate
+    list, Sort Fastest, Equal Split); the optimistic unchoke is a periodic
+    single-stranger cooperation.
+    """
+    return Protocol(
+        PeerBehavior(
+            stranger_policy="periodic",
+            stranger_count=1,
+            candidate_policy="tft",
+            ranking="fastest",
+            partner_count=partner_count,
+            allocation="equal_split",
+        ),
+        name="BitTorrent",
+    )
+
+
+def birds_protocol(partner_count: int = 4) -> Protocol:
+    """The Birds protocol of Section 2.3: reciprocate with bandwidth-proximate peers."""
+    return Protocol(
+        PeerBehavior(
+            stranger_policy="periodic",
+            stranger_count=1,
+            candidate_policy="tft",
+            ranking="proximity",
+            partner_count=partner_count,
+            allocation="equal_split",
+        ),
+        name="Birds",
+    )
+
+
+def loyal_when_needed(partner_count: int = 4, stranger_count: int = 2) -> Protocol:
+    """The DSA-discovered 'Loyal-When-needed' protocol validated in Section 5.
+
+    Uses the Sort Loyal ranking function with the When-needed stranger policy,
+    the combination the paper selects because it scores high on both
+    Performance and Robustness.
+    """
+    return Protocol(
+        PeerBehavior(
+            stranger_policy="when_needed",
+            stranger_count=stranger_count,
+            candidate_policy="tft",
+            ranking="loyal",
+            partner_count=partner_count,
+            allocation="equal_split",
+        ),
+        name="Loyal-When-needed",
+    )
+
+
+def sort_s() -> Protocol:
+    """The 'Sort-S' protocol of Sections 4.4 and 5.
+
+    The counter-intuitive top performer: always defects on strangers, ranks
+    candidates slowest-first and maintains a single partner with equal-split
+    allocation (the paper notes it must *not* use Prop Share or it fails to
+    bootstrap).
+    """
+    return Protocol(
+        PeerBehavior(
+            stranger_policy="defect",
+            stranger_count=1,
+            candidate_policy="tft",
+            ranking="slowest",
+            partner_count=1,
+            allocation="equal_split",
+        ),
+        name="Sort-S",
+    )
+
+
+def random_ranking_protocol(partner_count: int = 4) -> Protocol:
+    """A protocol identical to reference BitTorrent except for a Random ranking.
+
+    Figure 10 observes that it performs about as well as BitTorrent in a
+    homogeneous swarm, recalling the results of Leong et al.
+    """
+    return Protocol(
+        PeerBehavior(
+            stranger_policy="periodic",
+            stranger_count=1,
+            candidate_policy="tft",
+            ranking="random",
+            partner_count=partner_count,
+            allocation="equal_split",
+        ),
+        name="Random",
+    )

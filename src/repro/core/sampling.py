@@ -1,0 +1,121 @@
+"""Sampling strategies over the protocol design space.
+
+The full PRA sweep over all 3270 protocols is a cluster-scale job (the paper
+reports roughly 107 million simulation runs).  DSA explicitly allows both an
+exhaustive scan and cheaper systematic explorations; this module provides the
+two samplers used throughout the experiments:
+
+* **random** — a uniform sample of the space;
+* **stratified** — protocols are grouped by their categorical coordinates
+  (stranger policy, ranking function, allocation policy) and the sample is
+  drawn round-robin across groups, so every actualization of every dimension
+  is represented even in small samples.  This is what keeps the Table 3
+  regression estimable on a laptop-sized subsample.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.core.protocol import Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.space import DesignSpace
+
+__all__ = ["sample_protocols"]
+
+
+def _stratified_sample(space: "DesignSpace", count: int, rng: random.Random) -> List[Protocol]:
+    groups: Dict[tuple, List[int]] = {}
+    for index in range(len(space)):
+        protocol = space.protocol(index)
+        coords = protocol.coordinates()
+        key = (coords["stranger"], coords["ranking"], coords["allocation"])
+        groups.setdefault(key, []).append(index)
+
+    group_keys = sorted(groups.keys())
+    rng.shuffle(group_keys)
+    for key in group_keys:
+        rng.shuffle(groups[key])
+
+    selected: List[int] = []
+    # Round-robin over groups until the requested count is reached.
+    position = 0
+    while len(selected) < count and any(groups[key] for key in group_keys):
+        key = group_keys[position % len(group_keys)]
+        position += 1
+        if groups[key]:
+            selected.append(groups[key].pop())
+    return [space.protocol(i) for i in selected]
+
+
+def sample_protocols(
+    space: "DesignSpace",
+    count: int,
+    seed: int = 0,
+    method: str = "stratified",
+    include: Optional[Sequence[Protocol]] = None,
+) -> List[Protocol]:
+    """Sample ``count`` distinct protocols from ``space``.
+
+    Parameters
+    ----------
+    space:
+        The design space to sample from.
+    count:
+        Number of protocols to return (capped at the size of the space).
+    seed:
+        Seed of the sampling RNG.
+    method:
+        ``"stratified"`` or ``"random"``.
+    include:
+        Protocols that must be part of the sample (e.g. Birds, the reference
+        BitTorrent).  They are re-anchored to their space ids and count
+        towards ``count``.
+
+    Returns
+    -------
+    list of Protocol
+        Distinct protocols, each carrying its id within ``space``.
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    if method not in ("stratified", "random"):
+        raise ValueError(f"unknown sampling method {method!r}")
+    count = min(count, len(space))
+    rng = random.Random(seed)
+
+    forced: List[Protocol] = []
+    forced_ids = set()
+    for protocol in include or []:
+        index = space.index_of(protocol.behavior)
+        if index not in forced_ids:
+            forced_ids.add(index)
+            forced.append(
+                Protocol(
+                    behavior=space.protocol(index).behavior,
+                    protocol_id=index,
+                    name=protocol.name,
+                )
+            )
+    if len(forced) > count:
+        raise ValueError(
+            f"include list has {len(forced)} protocols but only {count} were requested"
+        )
+
+    remaining = count - len(forced)
+    if method == "random":
+        candidates = [i for i in range(len(space)) if i not in forced_ids]
+        chosen = rng.sample(candidates, min(remaining, len(candidates)))
+        sampled = [space.protocol(i) for i in chosen]
+    else:
+        sampled = []
+        for protocol in _stratified_sample(space, remaining + len(forced), rng):
+            if protocol.protocol_id in forced_ids:
+                continue
+            sampled.append(protocol)
+            if len(sampled) >= remaining:
+                break
+
+    return forced + sampled

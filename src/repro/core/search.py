@@ -1,0 +1,454 @@
+"""Heuristic exploration of the design space (the paper's future work).
+
+Section 7 of the paper: *"we would like to explore if a solution concept
+similar to PRA quantification could be developed which explores the design
+space using a heuristic based approach.  This could be needed in situations
+where a thorough scan of the design space becomes infeasible due to its
+size."*  This module provides that solution concept:
+
+* :class:`SearchObjective` — a cheap, absolute stand-in for the PRA scores:
+  performance is measured as upload-capacity utilisation of a homogeneous
+  run (so no normalisation over the whole space is needed), robustness and
+  aggressiveness as win rates against a fixed *opponent panel* rather than
+  against every other protocol.  The three are combined with configurable
+  weights.  Evaluations are memoised, so search algorithms can revisit
+  points for free.
+* :func:`protocol_neighbors` — the one-step neighbourhood of a protocol in
+  the design space (change a single dimension by one step).
+* :class:`HillClimbingSearch` — random-restart steepest-ascent hill climbing
+  over that neighbourhood structure.
+* :class:`EvolutionarySearch` — a (mu + lambda)-style evolutionary search
+  with mutation (random neighbour) and uniform crossover over the protocol
+  dimensions.
+
+Both searchers respect a global evaluation budget and return a
+:class:`SearchResult` with the best protocol found and the full evaluation
+trajectory, which the ablation benchmark compares against an exhaustive scan
+of a reduced space.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.encounter import run_encounter
+from repro.core.pra import PRAConfig
+from repro.core.protocol import Protocol
+from repro.core.space import DesignSpace
+from repro.sim.behavior import (
+    ALLOCATION_POLICIES,
+    CANDIDATE_POLICIES,
+    MAX_PARTNERS,
+    MAX_STRANGERS,
+    RANKING_FUNCTIONS,
+    PeerBehavior,
+)
+from repro.sim.engine import Simulation
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "ObjectiveValue",
+    "SearchObjective",
+    "protocol_neighbors",
+    "SearchResult",
+    "HillClimbingSearch",
+    "EvolutionarySearch",
+]
+
+
+@dataclass(frozen=True)
+class ObjectiveValue:
+    """The decomposed objective of one protocol evaluation."""
+
+    score: float
+    performance: float
+    robustness: float
+    aggressiveness: float
+
+
+class SearchObjective:
+    """Weighted PRA-style objective evaluated against a fixed opponent panel.
+
+    Parameters
+    ----------
+    opponents:
+        The opponent panel used for the robustness/aggressiveness win rates.
+        A small panel of representative protocols (e.g. the named protocols
+        plus a freerider) keeps evaluations cheap while still punishing
+        exploitable designs.
+    config:
+        PRA configuration providing the simulation parameters, the number of
+        runs and the population splits.
+    performance_weight, robustness_weight, aggressiveness_weight:
+        Non-negative weights of the three measures in the scalar score
+        (normalised internally so the score stays in [0, 1]).
+    """
+
+    def __init__(
+        self,
+        opponents: Sequence[Protocol],
+        config: PRAConfig,
+        performance_weight: float = 1.0,
+        robustness_weight: float = 1.0,
+        aggressiveness_weight: float = 0.0,
+    ):
+        if not opponents:
+            raise ValueError("the opponent panel must contain at least one protocol")
+        weights = (performance_weight, robustness_weight, aggressiveness_weight)
+        if any(w < 0 for w in weights):
+            raise ValueError("objective weights must be non-negative")
+        if sum(weights) <= 0:
+            raise ValueError("at least one objective weight must be positive")
+        self.opponents = list(opponents)
+        self.config = config
+        self._weights = weights
+        self._cache: Dict[str, ObjectiveValue] = {}
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    @property
+    def evaluations(self) -> int:
+        """Number of *distinct* protocols evaluated so far."""
+        return self._evaluations
+
+    def cached(self, protocol: Protocol) -> Optional[ObjectiveValue]:
+        """The memoised value for ``protocol``, if it has been evaluated."""
+        return self._cache.get(protocol.label)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def _measure_performance(self, protocol: Protocol) -> float:
+        total = 0.0
+        for run_index in range(self.config.performance_runs):
+            seed = derive_seed(
+                self.config.seed, f"search/performance/{protocol.label}/{run_index}"
+            )
+            result = Simulation(self.config.sim, [protocol.behavior], seed=seed).run()
+            total += result.utilization()
+        return total / self.config.performance_runs
+
+    def _win_rate(self, protocol: Protocol, fraction: float) -> float:
+        wins = 0
+        games = 0
+        for opponent in self.opponents:
+            if opponent.behavior == protocol.behavior:
+                continue
+            outcome = run_encounter(
+                protocol,
+                opponent,
+                self.config.sim,
+                fraction_a=fraction,
+                runs=self.config.encounter_runs,
+                seed=derive_seed(self.config.seed, f"search/{fraction}/{protocol.label}"),
+            )
+            wins += outcome.wins_a
+            games += outcome.runs
+        return wins / games if games else 1.0
+
+    def evaluate(self, protocol: Protocol) -> ObjectiveValue:
+        """Evaluate (or look up) the objective value of ``protocol``."""
+        cached = self._cache.get(protocol.label)
+        if cached is not None:
+            return cached
+
+        performance = self._measure_performance(protocol)
+        robustness = self._win_rate(protocol, self.config.robustness_split)
+        aggressiveness = (
+            self._win_rate(protocol, self.config.aggressiveness_split)
+            if self._weights[2] > 0
+            else 0.0
+        )
+        w_p, w_r, w_a = self._weights
+        score = (w_p * performance + w_r * robustness + w_a * aggressiveness) / (
+            w_p + w_r + w_a
+        )
+        value = ObjectiveValue(
+            score=score,
+            performance=performance,
+            robustness=robustness,
+            aggressiveness=aggressiveness,
+        )
+        self._cache[protocol.label] = value
+        self._evaluations += 1
+        return value
+
+
+def protocol_neighbors(protocol: Protocol, space: DesignSpace) -> List[Protocol]:
+    """One-step neighbours of ``protocol`` within ``space``.
+
+    A neighbour differs in exactly one dimension: the stranger policy, the
+    number of strangers (±1), the candidate list, the ranking function, the
+    number of partners (±1) or the allocation policy.  Only behaviours that
+    are actual points of ``space`` are returned.
+    """
+    behavior = protocol.behavior
+    candidates: List[PeerBehavior] = []
+
+    for policy in ("none", "periodic", "when_needed", "defect"):
+        if policy == behavior.stranger_policy:
+            continue
+        h = 0 if policy == "none" else max(1, behavior.stranger_count)
+        candidates.append(behavior.with_(stranger_policy=policy, stranger_count=h))
+    for delta in (-1, 1):
+        h = behavior.stranger_count + delta
+        if 1 <= h <= MAX_STRANGERS and behavior.stranger_policy not in ("none",):
+            candidates.append(behavior.with_(stranger_count=h))
+    for candidate_policy in CANDIDATE_POLICIES:
+        if candidate_policy != behavior.candidate_policy:
+            candidates.append(behavior.with_(candidate_policy=candidate_policy))
+    for ranking in RANKING_FUNCTIONS:
+        if ranking != behavior.ranking:
+            candidates.append(behavior.with_(ranking=ranking))
+    for delta in (-1, 1):
+        k = behavior.partner_count + delta
+        if 0 <= k <= MAX_PARTNERS:
+            candidates.append(behavior.with_(partner_count=k))
+    for allocation in ALLOCATION_POLICIES:
+        if allocation != behavior.allocation:
+            candidates.append(behavior.with_(allocation=allocation))
+
+    neighbors: List[Protocol] = []
+    seen = set()
+    for neighbor_behavior in candidates:
+        if neighbor_behavior == behavior:
+            continue
+        try:
+            index = space.index_of(neighbor_behavior)
+        except KeyError:
+            continue
+        canonical = space.protocol(index)
+        if canonical.label in seen:
+            continue
+        seen.add(canonical.label)
+        neighbors.append(canonical)
+    return neighbors
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a heuristic design-space search."""
+
+    best_protocol: Protocol
+    best_value: ObjectiveValue
+    evaluations: int
+    trajectory: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def best_score(self) -> float:
+        return self.best_value.score
+
+
+class HillClimbingSearch:
+    """Random-restart steepest-ascent hill climbing over the design space.
+
+    Parameters
+    ----------
+    space:
+        The design space searched.
+    objective:
+        The evaluation objective (shared across restarts; its memo persists).
+    max_evaluations:
+        Global budget of distinct protocol evaluations.
+    restarts:
+        Number of random restarts (each starts from a random space point).
+    seed:
+        Seed of the search's private random generator.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objective: SearchObjective,
+        max_evaluations: int = 100,
+        restarts: int = 3,
+        seed: int = 0,
+    ):
+        if max_evaluations < 1:
+            raise ValueError("max_evaluations must be >= 1")
+        if restarts < 1:
+            raise ValueError("restarts must be >= 1")
+        self.space = space
+        self.objective = objective
+        self.max_evaluations = max_evaluations
+        self.restarts = restarts
+        self._rng = random.Random(seed)
+
+    def _budget_left(self) -> bool:
+        return self.objective.evaluations < self.max_evaluations
+
+    def run(self, start: Optional[Protocol] = None) -> SearchResult:
+        """Run the search and return the best protocol found."""
+        trajectory: List[Tuple[str, float]] = []
+        best_protocol: Optional[Protocol] = None
+        best_value: Optional[ObjectiveValue] = None
+
+        for restart in range(self.restarts):
+            if not self._budget_left():
+                break
+            if start is not None and restart == 0:
+                current = self.space.protocol(self.space.index_of(start.behavior))
+            else:
+                current = self.space.protocol(self._rng.randrange(len(self.space)))
+            current_value = self.objective.evaluate(current)
+            trajectory.append((current.label, current_value.score))
+
+            improved = True
+            while improved and self._budget_left():
+                improved = False
+                neighbors = protocol_neighbors(current, self.space)
+                self._rng.shuffle(neighbors)
+                best_neighbor = None
+                best_neighbor_value = None
+                for neighbor in neighbors:
+                    if not self._budget_left():
+                        break
+                    value = self.objective.evaluate(neighbor)
+                    trajectory.append((neighbor.label, value.score))
+                    if best_neighbor_value is None or value.score > best_neighbor_value.score:
+                        best_neighbor, best_neighbor_value = neighbor, value
+                if (
+                    best_neighbor is not None
+                    and best_neighbor_value.score > current_value.score
+                ):
+                    current, current_value = best_neighbor, best_neighbor_value
+                    improved = True
+
+            if best_value is None or current_value.score > best_value.score:
+                best_protocol, best_value = current, current_value
+
+        assert best_protocol is not None and best_value is not None
+        return SearchResult(
+            best_protocol=best_protocol,
+            best_value=best_value,
+            evaluations=self.objective.evaluations,
+            trajectory=trajectory,
+        )
+
+
+class EvolutionarySearch:
+    """(mu + lambda)-style evolutionary search over the design space.
+
+    Each generation keeps the ``elite`` best individuals, fills the rest of
+    the population with offspring produced by uniform crossover of two
+    tournament-selected parents followed by mutation (a random one-step
+    neighbour), and re-evaluates everyone through the shared objective memo.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objective: SearchObjective,
+        population_size: int = 8,
+        generations: int = 5,
+        elite: int = 2,
+        mutation_probability: float = 0.5,
+        max_evaluations: int = 150,
+        seed: int = 0,
+    ):
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 1 <= elite < population_size:
+            raise ValueError("elite must be in [1, population_size)")
+        if generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 0.0 <= mutation_probability <= 1.0:
+            raise ValueError("mutation_probability must be in [0, 1]")
+        self.space = space
+        self.objective = objective
+        self.population_size = population_size
+        self.generations = generations
+        self.elite = elite
+        self.mutation_probability = mutation_probability
+        self.max_evaluations = max_evaluations
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    # genetic operators
+    # ------------------------------------------------------------------ #
+    def _crossover(self, parent_a: Protocol, parent_b: Protocol) -> Protocol:
+        a, b = parent_a.behavior, parent_b.behavior
+        pick = lambda x, y: x if self._rng.random() < 0.5 else y  # noqa: E731
+        stranger_policy = pick(a.stranger_policy, b.stranger_policy)
+        if stranger_policy == "none":
+            stranger_count = 0
+        else:
+            stranger_count = max(1, pick(a.stranger_count, b.stranger_count))
+        child = PeerBehavior(
+            stranger_policy=stranger_policy,
+            stranger_count=stranger_count,
+            candidate_policy=pick(a.candidate_policy, b.candidate_policy),
+            ranking=pick(a.ranking, b.ranking),
+            partner_count=pick(a.partner_count, b.partner_count),
+            allocation=pick(a.allocation, b.allocation),
+        )
+        return self.space.protocol(self.space.index_of(child))
+
+    def _mutate(self, protocol: Protocol) -> Protocol:
+        if self._rng.random() >= self.mutation_probability:
+            return protocol
+        neighbors = protocol_neighbors(protocol, self.space)
+        if not neighbors:
+            return protocol
+        return self._rng.choice(neighbors)
+
+    def _tournament_select(self, scored: List[Tuple[Protocol, ObjectiveValue]]) -> Protocol:
+        contenders = self._rng.sample(scored, min(2, len(scored)))
+        return max(contenders, key=lambda item: item[1].score)[0]
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self, initial_population: Optional[Sequence[Protocol]] = None) -> SearchResult:
+        """Run the evolutionary search and return the best protocol found."""
+        if initial_population:
+            population = [
+                self.space.protocol(self.space.index_of(p.behavior))
+                for p in initial_population
+            ]
+        else:
+            population = [
+                self.space.protocol(self._rng.randrange(len(self.space)))
+                for _ in range(self.population_size)
+            ]
+        while len(population) < self.population_size:
+            population.append(self.space.protocol(self._rng.randrange(len(self.space))))
+
+        trajectory: List[Tuple[str, float]] = []
+
+        def evaluate_all(members: Sequence[Protocol]) -> List[Tuple[Protocol, ObjectiveValue]]:
+            scored = []
+            for member in members:
+                if self.objective.evaluations >= self.max_evaluations and \
+                        self.objective.cached(member) is None:
+                    continue
+                value = self.objective.evaluate(member)
+                trajectory.append((member.label, value.score))
+                scored.append((member, value))
+            return scored
+
+        scored = evaluate_all(population)
+        for _generation in range(self.generations):
+            if self.objective.evaluations >= self.max_evaluations:
+                break
+            scored.sort(key=lambda item: item[1].score, reverse=True)
+            next_population = [protocol for protocol, _value in scored[: self.elite]]
+            while len(next_population) < self.population_size:
+                parent_a = self._tournament_select(scored)
+                parent_b = self._tournament_select(scored)
+                child = self._mutate(self._crossover(parent_a, parent_b))
+                next_population.append(child)
+            scored = evaluate_all(next_population)
+
+        scored.sort(key=lambda item: item[1].score, reverse=True)
+        best_protocol, best_value = scored[0]
+        return SearchResult(
+            best_protocol=best_protocol,
+            best_value=best_value,
+            evaluations=self.objective.evaluations,
+            trajectory=trajectory,
+        )

@@ -1,0 +1,190 @@
+"""PRA study driver: performance runs plus both tournaments, with caching.
+
+A :class:`PRAStudy` evaluates a set of protocols under a
+:class:`~repro.core.pra.PRAConfig` and produces a
+:class:`~repro.core.results.PRAStudyResult`.  Because every Section 4.4
+figure and the Table 3 regression consume the *same* sweep, the study
+supports two layers of caching:
+
+* an in-process memo keyed by (protocol set, configuration), so the
+  benchmark harness does not repeat the sweep for every figure, and
+* an optional on-disk JSON cache, so an expensive sweep can be reused across
+  processes (and inspected by hand).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.pra import (
+    PRAConfig,
+    aggressiveness_tournament,
+    measure_performance,
+    normalize_scores,
+    robustness_tournament,
+)
+from repro.core.protocol import Protocol
+from repro.core.results import PRAStudyResult
+from repro.utils.logging import get_logger
+
+__all__ = ["PRAStudy"]
+
+_LOGGER = get_logger("core.study")
+
+#: In-process study memo shared by all PRAStudy instances.
+_MEMO: Dict[str, PRAStudyResult] = {}
+
+
+def _config_fingerprint(protocols: Sequence[Protocol], config: PRAConfig) -> str:
+    """A stable hash of everything that determines the study outcome."""
+    sim = config.sim
+    payload = {
+        "protocols": [p.behavior.as_dict() for p in protocols],
+        "sim": {
+            "n_peers": sim.n_peers,
+            "rounds": sim.rounds,
+            "churn_rate": sim.churn_rate,
+            "requests_per_round": sim.requests_per_round,
+            "discovery_per_round": sim.discovery_per_round,
+            "warmup_rounds": sim.warmup_rounds,
+            "stranger_bandwidth_cap": sim.stranger_bandwidth_cap,
+            "history_rounds": sim.history_rounds,
+            "aspiration_smoothing": sim.aspiration_smoothing,
+            "bandwidth": repr(sim.distribution()),
+        },
+        "performance_runs": config.performance_runs,
+        "encounter_runs": config.encounter_runs,
+        "robustness_split": config.robustness_split,
+        "aggressiveness_split": config.aggressiveness_split,
+        "seed": config.seed,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class PRAStudy:
+    """Evaluate Performance, Robustness and Aggressiveness for a protocol set.
+
+    Parameters
+    ----------
+    protocols:
+        The protocols under study (a full design space, a sample of one, or
+        an ad-hoc list).  Keys must be unique.
+    config:
+        The PRA configuration (scale, splits, seed).
+    cache_dir:
+        Optional directory for the on-disk JSON cache.
+    """
+
+    def __init__(
+        self,
+        protocols: Sequence[Protocol],
+        config: PRAConfig,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ):
+        keys = [p.key for p in protocols]
+        if len(set(keys)) != len(keys):
+            raise ValueError("protocol keys must be unique within a study")
+        if not protocols:
+            raise ValueError("a study needs at least one protocol")
+        self.protocols: List[Protocol] = list(protocols)
+        self.config = config
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._fingerprint = _config_fingerprint(self.protocols, self.config)
+
+    # ------------------------------------------------------------------ #
+    # caching
+    # ------------------------------------------------------------------ #
+    @property
+    def fingerprint(self) -> str:
+        """Hash identifying this exact study (protocols + configuration)."""
+        return self._fingerprint
+
+    def _cache_path(self) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"pra_study_{self._fingerprint[:16]}.json"
+
+    def _load_cached(self) -> Optional[PRAStudyResult]:
+        if self._fingerprint in _MEMO:
+            return _MEMO[self._fingerprint]
+        path = self._cache_path()
+        if path is not None and path.exists():
+            result = PRAStudyResult.load(path)
+            _MEMO[self._fingerprint] = result
+            return result
+        return None
+
+    def _store(self, result: PRAStudyResult) -> None:
+        _MEMO[self._fingerprint] = result
+        path = self._cache_path()
+        if path is not None:
+            result.save(path)
+
+    @staticmethod
+    def clear_memo() -> None:
+        """Drop the in-process study memo (mainly for tests)."""
+        _MEMO.clear()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, use_cache: bool = True) -> PRAStudyResult:
+        """Run (or load) the study and return its result.
+
+        With ``use_cache`` (default) a previously computed result with the
+        same fingerprint is returned without re-simulation.
+        """
+        if use_cache:
+            cached = self._load_cached()
+            if cached is not None:
+                return cached
+
+        n = len(self.protocols)
+        _LOGGER.info("PRA study: %d protocols, fingerprint %s", n, self._fingerprint[:12])
+
+        _LOGGER.info("measuring performance (%d runs per protocol)", self.config.performance_runs)
+        raw_performance = measure_performance(self.protocols, self.config)
+        performance = normalize_scores(raw_performance)
+
+        robustness: Dict[str, float]
+        aggressiveness: Dict[str, float]
+        if n >= 2:
+            _LOGGER.info("robustness tournament (%d pairs)", n * (n - 1) // 2)
+            robustness_outcome = robustness_tournament(self.protocols, self.config)
+            robustness = dict(robustness_outcome.scores)
+
+            _LOGGER.info("aggressiveness tournament (%d ordered pairs)", n * (n - 1))
+            aggressiveness_outcome = aggressiveness_tournament(self.protocols, self.config)
+            aggressiveness = dict(aggressiveness_outcome.scores)
+        else:
+            # A single protocol has no opponents; both tournament measures are
+            # vacuously zero.
+            only = self.protocols[0].key
+            robustness = {only: 0.0}
+            aggressiveness = {only: 0.0}
+
+        result = PRAStudyResult(
+            protocols=self.protocols,
+            performance_raw=raw_performance,
+            performance=performance,
+            robustness=robustness,
+            aggressiveness=aggressiveness,
+            metadata={
+                "fingerprint": self._fingerprint,
+                "n_protocols": n,
+                "n_peers": self.config.sim.n_peers,
+                "rounds": self.config.sim.rounds,
+                "performance_runs": self.config.performance_runs,
+                "encounter_runs": self.config.encounter_runs,
+                "robustness_split": self.config.robustness_split,
+                "aggressiveness_split": self.config.aggressiveness_split,
+                "seed": self.config.seed,
+            },
+        )
+        if use_cache:
+            self._store(result)
+        return result

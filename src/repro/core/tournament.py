@@ -1,0 +1,180 @@
+"""Round-robin protocol tournaments.
+
+The PRA quantification "takes the form of a tournament in which each protocol
+competes against every other protocol" (Section 1).  :class:`Tournament`
+schedules those encounters — either unordered pairs at a symmetric split
+(Robustness) or ordered pairs with the first protocol in the minority
+(Aggressiveness) — and aggregates per-protocol win counts.
+
+The tournament is deliberately a thin deterministic scheduler on top of
+:func:`repro.core.encounter.run_encounter`; all simulation parameters come
+from the caller so the same class serves smoke tests, benchmark-scale sweeps
+and the full paper-scale study.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.encounter import EncounterOutcome, run_encounter
+from repro.core.protocol import Protocol
+from repro.sim.config import SimulationConfig
+
+__all__ = ["TournamentOutcome", "Tournament"]
+
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass
+class TournamentOutcome:
+    """Aggregated result of a round-robin tournament.
+
+    ``scores[key]`` is the fraction of encounter runs won by the protocol
+    with that key; ``wins``/``games`` hold the raw counts; ``encounters`` the
+    individual :class:`EncounterOutcome` records for downstream analysis.
+    """
+
+    mode: str
+    scores: Dict[str, float]
+    wins: Dict[str, int]
+    games: Dict[str, int]
+    encounters: List[EncounterOutcome] = field(default_factory=list)
+
+    def ranking(self) -> List[str]:
+        """Protocol keys ordered by decreasing score."""
+        return sorted(self.scores, key=lambda key: self.scores[key], reverse=True)
+
+
+class Tournament:
+    """Round-robin tournament over a set of protocols.
+
+    Parameters
+    ----------
+    protocols:
+        The competing protocols.  Keys (ids or labels) must be unique.
+    sim_config:
+        Simulation parameters for every encounter.
+    encounter_runs:
+        Independent repetitions per pairing (the paper uses 10).
+    seed:
+        Master seed for all encounters.
+    """
+
+    def __init__(
+        self,
+        protocols: Sequence[Protocol],
+        sim_config: SimulationConfig,
+        encounter_runs: int = 10,
+        seed: int = 0,
+    ):
+        keys = [p.key for p in protocols]
+        if len(set(keys)) != len(keys):
+            raise ValueError("protocol keys must be unique within a tournament")
+        if len(protocols) < 2:
+            raise ValueError("a tournament needs at least two protocols")
+        self.protocols = list(protocols)
+        self.sim_config = sim_config
+        self.encounter_runs = encounter_runs
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # schedules
+    # ------------------------------------------------------------------ #
+    def _symmetric_pairs(self) -> List[tuple]:
+        return list(itertools.combinations(range(len(self.protocols)), 2))
+
+    def _ordered_pairs(self) -> List[tuple]:
+        return [
+            (i, j)
+            for i in range(len(self.protocols))
+            for j in range(len(self.protocols))
+            if i != j
+        ]
+
+    # ------------------------------------------------------------------ #
+    # tournaments
+    # ------------------------------------------------------------------ #
+    def run_symmetric(
+        self, split: float = 0.5, progress: Optional[ProgressCallback] = None
+    ) -> TournamentOutcome:
+        """Tournament over unordered pairs at a symmetric population split.
+
+        A single encounter per pair provides win/loss counts for both
+        protocols (this is the Robustness schedule when ``split`` is 0.5).
+        """
+        keys = [p.key for p in self.protocols]
+        wins = {key: 0 for key in keys}
+        games = {key: 0 for key in keys}
+        encounters: List[EncounterOutcome] = []
+
+        pairs = self._symmetric_pairs()
+        for done, (i, j) in enumerate(pairs):
+            outcome = run_encounter(
+                self.protocols[i],
+                self.protocols[j],
+                self.sim_config,
+                fraction_a=split,
+                runs=self.encounter_runs,
+                seed=self.seed,
+            )
+            encounters.append(outcome)
+            wins[keys[i]] += outcome.wins_a
+            wins[keys[j]] += outcome.wins_b
+            games[keys[i]] += outcome.runs
+            games[keys[j]] += outcome.runs
+            if progress is not None:
+                progress(done + 1, len(pairs))
+
+        scores = {
+            key: (wins[key] / games[key] if games[key] else 0.0) for key in keys
+        }
+        return TournamentOutcome(
+            mode=f"symmetric@{split:g}",
+            scores=scores,
+            wins=wins,
+            games=games,
+            encounters=encounters,
+        )
+
+    def run_minority(
+        self, minority_fraction: float = 0.1, progress: Optional[ProgressCallback] = None
+    ) -> TournamentOutcome:
+        """Tournament over ordered pairs with the first protocol in the minority.
+
+        Each protocol is scored only for the encounters in which it is the
+        minority (this is the Aggressiveness schedule when
+        ``minority_fraction`` is 0.1).
+        """
+        keys = [p.key for p in self.protocols]
+        wins = {key: 0 for key in keys}
+        games = {key: 0 for key in keys}
+        encounters: List[EncounterOutcome] = []
+
+        pairs = self._ordered_pairs()
+        for done, (i, j) in enumerate(pairs):
+            outcome = run_encounter(
+                self.protocols[i],
+                self.protocols[j],
+                self.sim_config,
+                fraction_a=minority_fraction,
+                runs=self.encounter_runs,
+                seed=self.seed,
+            )
+            encounters.append(outcome)
+            wins[keys[i]] += outcome.wins_a
+            games[keys[i]] += outcome.runs
+            if progress is not None:
+                progress(done + 1, len(pairs))
+
+        scores = {
+            key: (wins[key] / games[key] if games[key] else 0.0) for key in keys
+        }
+        return TournamentOutcome(
+            mode=f"minority@{minority_fraction:g}",
+            scores=scores,
+            wins=wins,
+            games=games,
+            encounters=encounters,
+        )

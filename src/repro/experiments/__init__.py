@@ -1,0 +1,22 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every driver exposes a ``run(scale=..., seed=...)`` function returning a
+result dataclass and a ``render(result)`` function producing the plain-text
+rows/series corresponding to the paper's table or figure.  The ``scale``
+argument selects the run budget:
+
+* ``"smoke"`` — seconds; used by the unit tests,
+* ``"bench"`` — minutes; used by the pytest-benchmark harness (the defaults
+  recorded in EXPERIMENTS.md),
+* ``"paper"`` — the full configuration of the paper (cluster-scale for the
+  PRA sweep; hours to days on one machine).
+
+Figures 2-8 and Table 3 all consume the same PRA sweep, which is computed
+once per process (and optionally persisted) by
+:func:`repro.experiments.pra_study.shared_pra_study`.
+"""
+
+from repro.experiments import base
+from repro.experiments.pra_study import shared_pra_study
+
+__all__ = ["base", "shared_pra_study"]

@@ -1,0 +1,116 @@
+"""Shared experiment scaffolding: scales, configurations and named protocols.
+
+The paper's full evaluation is a cluster-scale job; the experiment drivers
+therefore support three *scales* that trade fidelity for wall-clock time
+while keeping the code paths identical:
+
+========  ====================================================================
+smoke      seconds — unit tests (tiny swarms, few protocols, one repetition)
+bench      minutes — the pytest-benchmark harness and EXPERIMENTS.md numbers
+paper      the paper's own scale (full 3270-protocol space, 50 peers,
+           500 rounds, 100/10 repetitions; 50 leechers and >= 10 swarm runs)
+========  ====================================================================
+
+Every scale knob lives here so EXPERIMENTS.md can point at a single place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bittorrent.config import SwarmConfig
+from repro.core.pra import PRAConfig
+from repro.core.protocol import (
+    Protocol,
+    birds_protocol,
+    bittorrent_reference,
+    loyal_when_needed,
+    random_ranking_protocol,
+    sort_s,
+)
+from repro.sim.config import SimulationConfig
+
+__all__ = [
+    "SCALES",
+    "check_scale",
+    "pra_config",
+    "pra_sample_size",
+    "named_protocols",
+    "swarm_config",
+    "swarm_runs",
+    "mix_fractions",
+]
+
+SCALES = ("smoke", "bench", "paper")
+
+
+def check_scale(scale: str) -> str:
+    """Validate and return ``scale``."""
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    return scale
+
+
+# ---------------------------------------------------------------------- #
+# PRA sweep scaling (Figures 2-8, Table 3, churn / split checks)
+# ---------------------------------------------------------------------- #
+def pra_config(scale: str = "bench", seed: int = 0) -> PRAConfig:
+    """The PRA configuration for a given scale."""
+    check_scale(scale)
+    if scale == "paper":
+        return PRAConfig.paper(seed=seed)
+    if scale == "bench":
+        return PRAConfig(
+            sim=SimulationConfig(n_peers=16, rounds=40),
+            performance_runs=2,
+            encounter_runs=1,
+            seed=seed,
+        )
+    return PRAConfig.smoke(seed=seed)
+
+
+def pra_sample_size(scale: str = "bench") -> int:
+    """Number of protocols swept at a given scale (the paper sweeps all 3270)."""
+    check_scale(scale)
+    # The smoke sample must stay larger than the Table 3 regression's
+    # parameter count (intercept + 2 numeric + up to 11 dummy columns).
+    return {"smoke": 18, "bench": 36, "paper": 3270}[scale]
+
+
+def named_protocols() -> List[Protocol]:
+    """The named protocols whose ranks the paper reports; always included in samples."""
+    return [
+        bittorrent_reference(),
+        birds_protocol(),
+        loyal_when_needed(),
+        sort_s(),
+        random_ranking_protocol(),
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# swarm-experiment scaling (Figures 9 and 10)
+# ---------------------------------------------------------------------- #
+def swarm_config(scale: str = "bench") -> SwarmConfig:
+    """The swarm configuration for a given scale."""
+    check_scale(scale)
+    if scale == "paper":
+        return SwarmConfig.paper()
+    if scale == "bench":
+        # Keep the paper's swarm size and file but do fewer repetitions.
+        return SwarmConfig.paper()
+    return SwarmConfig.smoke()
+
+
+def swarm_runs(scale: str = "bench") -> int:
+    """Independent swarm runs per data point (the paper uses at least 10)."""
+    check_scale(scale)
+    return {"smoke": 1, "bench": 3, "paper": 10}[scale]
+
+
+def mix_fractions(scale: str = "bench") -> List[float]:
+    """Population-mix fractions swept in Figure 9."""
+    check_scale(scale)
+    if scale == "smoke":
+        return [0.0, 0.5, 1.0]
+    return [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]

@@ -1,0 +1,92 @@
+"""Figure 1: the BitTorrent Dilemma and the modified Birds payoffs.
+
+The figure in the paper shows (a) the payoff matrix of the BitTorrent
+Dilemma between a fast and a slow peer, (b) an illustration of their
+interaction and (c) the modified payoffs that define Birds.  This driver
+regenerates the two payoff matrices for a concrete fast/slow speed pair and
+reports the dominance / equilibrium structure the paper derives from them:
+
+* under (a) the fast peer's dominant strategy is to defect and the slow
+  peer's is to cooperate (a Dictator-like, one-sided dilemma);
+* under (c) defection is dominant for both, so cross-class defection
+  (i.e. intra-class reciprocation — Birds) is the equilibrium outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.gametheory.equilibrium import dominant_strategy, pure_nash_equilibria
+from repro.gametheory.games import NormalFormGame, birds_game, bittorrent_dilemma
+
+__all__ = ["Figure1Result", "run", "render"]
+
+
+@dataclass
+class Figure1Result:
+    """Payoff matrices and their strategic structure."""
+
+    fast_speed: float
+    slow_speed: float
+    bittorrent_dilemma: NormalFormGame
+    birds: NormalFormGame
+    dominance: Dict[str, Dict[str, Optional[str]]]
+    equilibria: Dict[str, List[Tuple[str, str]]]
+
+
+def run(fast_speed: float = 100.0, slow_speed: float = 25.0) -> Figure1Result:
+    """Build both games and analyse their dominance / equilibria."""
+    dilemma = bittorrent_dilemma(fast_speed, slow_speed)
+    birds = birds_game(fast_speed, slow_speed)
+    dominance = {
+        "bittorrent_dilemma": {
+            "fast": dominant_strategy(dilemma, "row"),
+            "slow": dominant_strategy(dilemma, "column"),
+        },
+        "birds": {
+            "fast": dominant_strategy(birds, "row"),
+            "slow": dominant_strategy(birds, "column"),
+        },
+    }
+    equilibria = {
+        "bittorrent_dilemma": pure_nash_equilibria(dilemma),
+        "birds": pure_nash_equilibria(birds),
+    }
+    return Figure1Result(
+        fast_speed=fast_speed,
+        slow_speed=slow_speed,
+        bittorrent_dilemma=dilemma,
+        birds=birds,
+        dominance=dominance,
+        equilibria=equilibria,
+    )
+
+
+def render(result: Figure1Result) -> str:
+    """Plain-text rendering of Figure 1(a) and 1(c) plus the analysis."""
+    lines: List[str] = []
+    lines.append(
+        f"Figure 1 — BitTorrent Dilemma and Birds payoffs "
+        f"(f = {result.fast_speed:g}, s = {result.slow_speed:g})"
+    )
+    lines.append("")
+    lines.append("(a) BitTorrent Dilemma")
+    lines.append(result.bittorrent_dilemma.describe())
+    lines.append(
+        "    dominant strategies: fast -> "
+        f"{result.dominance['bittorrent_dilemma']['fast']}, "
+        f"slow -> {result.dominance['bittorrent_dilemma']['slow']}"
+    )
+    lines.append(
+        f"    pure Nash equilibria: {result.equilibria['bittorrent_dilemma']}"
+    )
+    lines.append("")
+    lines.append("(c) Birds payoffs (slow peer's opportunity cost accounted for)")
+    lines.append(result.birds.describe())
+    lines.append(
+        "    dominant strategies: fast -> "
+        f"{result.dominance['birds']['fast']}, slow -> {result.dominance['birds']['slow']}"
+    )
+    lines.append(f"    pure Nash equilibria: {result.equilibria['birds']}")
+    return "\n".join(lines)

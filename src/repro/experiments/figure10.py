@@ -1,0 +1,106 @@
+"""Figure 10: homogeneous-swarm performance of the five client variants.
+
+Every leecher in the swarm runs the same client variant; the figure compares
+the resulting average download times for Sort-S, Random, Loyal-When-needed,
+reference BitTorrent and Birds.  The paper finds Sort-S and Birds fastest and
+Random on par with BitTorrent — and stresses that the figure says nothing
+about robustness (Sort-S in particular is fragile, per Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bittorrent.metrics import summarize_by_variant
+from repro.bittorrent.swarm import SwarmSimulation
+from repro.bittorrent.variants import (
+    birds_client,
+    loyal_when_needed_client,
+    random_client,
+    reference_bittorrent,
+    sort_s_client,
+)
+from repro.experiments import base
+from repro.stats.summary import SummaryStats
+from repro.stats.tables import format_table
+from repro.utils.rng import derive_seed
+
+__all__ = ["Figure10Result", "run", "render"]
+
+#: The variants compared, in the paper's x-axis order.
+VARIANT_ORDER = ("Sort-S", "Random", "Loyal-When-needed", "BitTorrent", "Birds")
+
+_FACTORIES = {
+    "Sort-S": sort_s_client,
+    "Random": random_client,
+    "Loyal-When-needed": loyal_when_needed_client,
+    "BitTorrent": reference_bittorrent,
+    "Birds": birds_client,
+}
+
+
+@dataclass
+class Figure10Result:
+    """Per-variant download-time summaries for homogeneous swarms."""
+
+    summaries: Dict[str, SummaryStats]
+    completion: Dict[str, float]
+    runs_per_variant: int
+
+    def mean_download_time(self, variant: str) -> float:
+        """Mean download time of one variant (KeyError if it never completed)."""
+        return self.summaries[variant].mean
+
+    def ordering(self) -> List[str]:
+        """Variants ordered from fastest (lowest mean download time) to slowest."""
+        return sorted(self.summaries, key=lambda v: self.summaries[v].mean)
+
+
+def run(scale: str = "bench", seed: int = 0) -> Figure10Result:
+    """Run homogeneous swarms for every variant."""
+    base.check_scale(scale)
+    config = base.swarm_config(scale)
+    runs = base.swarm_runs(scale)
+
+    summaries: Dict[str, SummaryStats] = {}
+    completion: Dict[str, float] = {}
+    for name in VARIANT_ORDER:
+        variant = _FACTORIES[name]()
+        results = []
+        for run_index in range(runs):
+            run_seed = derive_seed(seed, f"figure10/{name}/{run_index}")
+            results.append(SwarmSimulation(config, [variant], seed=run_seed).run())
+        per_variant = summarize_by_variant(results)
+        if name in per_variant:
+            summaries[name] = per_variant[name]
+        completion[name] = sum(r.completion_fraction(name) for r in results) / len(results)
+    return Figure10Result(
+        summaries=summaries, completion=completion, runs_per_variant=runs
+    )
+
+
+def render(result: Figure10Result) -> str:
+    """Plain-text rendering of the per-variant download times."""
+    rows = []
+    for name in VARIANT_ORDER:
+        if name in result.summaries:
+            stats = result.summaries[name]
+            rows.append(
+                (
+                    name,
+                    stats.mean,
+                    f"±{stats.ci_half_width:.1f}",
+                    result.completion.get(name, 0.0),
+                )
+            )
+        else:
+            rows.append((name, "-", "-", result.completion.get(name, 0.0)))
+    return format_table(
+        ("variant", "avg DL time (s)", "95% CI", "completion"),
+        rows,
+        title=(
+            "Figure 10 — homogeneous-swarm performance "
+            f"({result.runs_per_variant} runs per variant)"
+        ),
+    )

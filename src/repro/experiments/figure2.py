@@ -1,0 +1,125 @@
+"""Figure 2: scatter of Robustness against Performance over the design space.
+
+Every protocol in the swept space becomes one point (robustness, performance),
+with marginal histograms of both scores.  The paper's observations read off
+this figure — the freerider clusters at low performance/robustness, the
+protocols above 0.99 robustness, the handful of protocols that score above
+0.8 on both — are exposed as structured fields so the tests and EXPERIMENTS.md
+can check them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.results import PRAStudyResult
+from repro.experiments.pra_study import shared_pra_study
+from repro.stats.distribution import normalized_histogram
+from repro.stats.tables import format_table
+
+__all__ = ["Figure2Result", "run", "render", "from_study"]
+
+
+@dataclass
+class Figure2Result:
+    """Scatter points and marginal histograms of Figure 2."""
+
+    points: List[Dict[str, object]]
+    performance_hist_edges: List[float]
+    performance_hist: List[float]
+    robustness_hist_edges: List[float]
+    robustness_hist: List[float]
+    n_protocols: int
+    best_both: List[Dict[str, object]]
+    freerider_max_performance: float
+
+    def performance_values(self) -> List[float]:
+        return [float(p["performance"]) for p in self.points]
+
+    def robustness_values(self) -> List[float]:
+        return [float(p["robustness"]) for p in self.points]
+
+
+def from_study(study: PRAStudyResult, both_threshold: float = 0.8) -> Figure2Result:
+    """Derive the Figure 2 data from an existing PRA study."""
+    points = study.rows()
+    performance = [float(p["performance"]) for p in points]
+    robustness = [float(p["robustness"]) for p in points]
+    perf_edges, perf_hist = normalized_histogram(performance, bins=10)
+    rob_edges, rob_hist = normalized_histogram(robustness, bins=10)
+
+    best_both = [
+        p
+        for p in points
+        if p["performance"] >= both_threshold and p["robustness"] >= both_threshold
+    ]
+    freerider_performance = [
+        float(p["performance"]) for p in points if p["allocation"] == "R3"
+    ]
+    return Figure2Result(
+        points=points,
+        performance_hist_edges=[float(x) for x in perf_edges],
+        performance_hist=[float(x) for x in perf_hist],
+        robustness_hist_edges=[float(x) for x in rob_edges],
+        robustness_hist=[float(x) for x in rob_hist],
+        n_protocols=len(points),
+        best_both=best_both,
+        freerider_max_performance=(
+            max(freerider_performance) if freerider_performance else float("nan")
+        ),
+    )
+
+
+def run(scale: str = "bench", seed: int = 0) -> Figure2Result:
+    """Run (or reuse) the shared PRA sweep and derive the Figure 2 data."""
+    return from_study(shared_pra_study(scale, seed=seed))
+
+
+def render(result: Figure2Result, max_points: int = 20) -> str:
+    """Plain-text rendering: marginal histograms plus the highest-scoring points."""
+    lines: List[str] = [
+        f"Figure 2 — Robustness vs Performance scatter over {result.n_protocols} protocols"
+    ]
+    lines.append("")
+    hist_rows = []
+    for i in range(len(result.performance_hist)):
+        lo = result.performance_hist_edges[i]
+        hi = result.performance_hist_edges[i + 1]
+        hist_rows.append(
+            (f"[{lo:.1f},{hi:.1f})", result.performance_hist[i], result.robustness_hist[i])
+        )
+    lines.append(
+        format_table(
+            ("score interval", "performance freq", "robustness freq"),
+            hist_rows,
+            title="Marginal histograms",
+        )
+    )
+    lines.append("")
+    ranked = sorted(
+        result.points,
+        key=lambda p: (float(p["robustness"]) + float(p["performance"])),
+        reverse=True,
+    )[:max_points]
+    lines.append(
+        format_table(
+            ("protocol", "performance", "robustness", "aggressiveness"),
+            [
+                (p["label"], p["performance"], p["robustness"], p["aggressiveness"])
+                for p in ranked
+            ],
+            title=f"Top {len(ranked)} protocols by performance + robustness",
+        )
+    )
+    lines.append("")
+    lines.append(
+        f"protocols with performance and robustness both >= 0.8: {len(result.best_both)}"
+    )
+    lines.append(
+        f"highest performance achieved by a freerider (R3): "
+        f"{result.freerider_max_performance:.3f}"
+    )
+    return "\n".join(lines)

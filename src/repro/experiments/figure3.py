@@ -1,0 +1,92 @@
+"""Figure 3: Performance histograms for different numbers of partners.
+
+For each performance interval the paper plots the relative frequency of every
+``number of partners`` value (darker squares = higher frequency), observing
+that the top-performing protocols maintain few partners.  This driver builds
+the same matrix from the shared PRA sweep and summarises the partner counts
+of the top-performing protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.results import PRAStudyResult
+from repro.experiments.pra_study import shared_pra_study
+from repro.stats.distribution import histogram2d_frequency
+from repro.stats.tables import format_table
+
+__all__ = ["PartnerHistogramResult", "run", "render", "from_study"]
+
+#: The partner counts swept by the design space (0-9).
+PARTNER_VALUES = list(range(10))
+
+
+@dataclass
+class PartnerHistogramResult:
+    """The score-vs-partner-count frequency matrix of Figures 3 / 4."""
+
+    measure: str
+    score_bin_edges: List[float]
+    partner_values: List[int]
+    matrix: List[List[float]]
+    top_protocol_partner_counts: List[int]
+    mean_partners_top: float
+    mean_partners_all: float
+
+
+def _build(study: PRAStudyResult, measure: str, top_count: int = 15) -> PartnerHistogramResult:
+    rows = study.rows()
+    partners = [int(r["k"]) for r in rows]
+    scores = [float(r[measure]) for r in rows]
+    edges, values, matrix = histogram2d_frequency(
+        partners, scores, PARTNER_VALUES, score_bins=10
+    )
+    ranked = sorted(rows, key=lambda r: float(r[measure]), reverse=True)
+    top = ranked[: min(top_count, len(ranked))]
+    top_partners = [int(r["k"]) for r in top]
+    return PartnerHistogramResult(
+        measure=measure,
+        score_bin_edges=[float(x) for x in edges],
+        partner_values=[int(v) for v in values],
+        matrix=[[float(x) for x in row] for row in matrix],
+        top_protocol_partner_counts=top_partners,
+        mean_partners_top=float(np.mean(top_partners)) if top_partners else float("nan"),
+        mean_partners_all=float(np.mean(partners)) if partners else float("nan"),
+    )
+
+
+def from_study(study: PRAStudyResult) -> PartnerHistogramResult:
+    """Derive the Figure 3 matrix (performance vs partners) from a study."""
+    return _build(study, "performance")
+
+
+def run(scale: str = "bench", seed: int = 0) -> PartnerHistogramResult:
+    """Run (or reuse) the shared PRA sweep and derive the Figure 3 data."""
+    return from_study(shared_pra_study(scale, seed=seed))
+
+
+def render(result: PartnerHistogramResult) -> str:
+    """Plain-text rendering of the frequency matrix (rows = score intervals)."""
+    headers = ["interval"] + [f"k={k}" for k in result.partner_values]
+    rows = []
+    for i, row in enumerate(result.matrix):
+        lo = result.score_bin_edges[i]
+        hi = result.score_bin_edges[i + 1]
+        rows.append([f"[{lo:.1f},{hi:.1f})"] + [f"{x:.2f}" for x in row])
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"Figure {'3' if result.measure == 'performance' else '4'} — "
+            f"{result.measure} vs number of partners (relative frequency per interval)"
+        ),
+    )
+    summary = (
+        f"\nmean partners of top protocols by {result.measure}: "
+        f"{result.mean_partners_top:.2f} (population mean {result.mean_partners_all:.2f})"
+    )
+    return table + summary

@@ -1,0 +1,24 @@
+"""Figure 4: Robustness histograms for different numbers of partners.
+
+Same construction as Figure 3 but with robustness on the score axis; the
+paper observes the trend reverses — the most robust protocols maintain many
+partners.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import PRAStudyResult
+from repro.experiments.figure3 import PartnerHistogramResult, _build, render
+from repro.experiments.pra_study import shared_pra_study
+
+__all__ = ["PartnerHistogramResult", "run", "render", "from_study"]
+
+
+def from_study(study: PRAStudyResult) -> PartnerHistogramResult:
+    """Derive the Figure 4 matrix (robustness vs partners) from a study."""
+    return _build(study, "robustness")
+
+
+def run(scale: str = "bench", seed: int = 0) -> PartnerHistogramResult:
+    """Run (or reuse) the shared PRA sweep and derive the Figure 4 data."""
+    return from_study(shared_pra_study(scale, seed=seed))

@@ -1,0 +1,38 @@
+"""Figure 7: Robustness per ranking function.
+
+Same construction as Figure 6 but grouped by the ranking function; the paper
+observes that Sort Fastest protocols are the most robust, Sort Loyal still
+reaches a very high maximum, and the remaining rankings trail behind.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import PRAStudyResult
+from repro.experiments.figure6 import GroupedRobustnessResult, group_by, render as _render
+from repro.experiments.pra_study import shared_pra_study
+
+__all__ = ["GroupedRobustnessResult", "run", "render", "from_study"]
+
+RANKING_NAMES = {
+    "I1": "Fastest",
+    "I2": "Slowest",
+    "I3": "Proximity",
+    "I4": "Adaptive",
+    "I5": "Loyal",
+    "I6": "Random",
+}
+
+
+def from_study(study: PRAStudyResult) -> GroupedRobustnessResult:
+    """Figure 7 grouping: robustness by ranking function."""
+    return group_by(study, "ranking", RANKING_NAMES)
+
+
+def run(scale: str = "bench", seed: int = 0) -> GroupedRobustnessResult:
+    """Run (or reuse) the shared PRA sweep and derive the Figure 7 data."""
+    return from_study(shared_pra_study(scale, seed=seed))
+
+
+def render(result: GroupedRobustnessResult) -> str:
+    """Plain-text per-ranking robustness summary."""
+    return _render(result, figure_name="Figure 7")

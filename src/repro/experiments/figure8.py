@@ -1,0 +1,62 @@
+"""Figure 8: scatter of Robustness against Aggressiveness.
+
+The paper reports that robustness and aggressiveness are strongly linearly
+correlated (Pearson's r = 0.96), concluding that the robustness findings
+carry over to aggressiveness.  This driver extracts the per-protocol pairs
+and the correlation from the shared PRA sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.results import PRAStudyResult
+from repro.experiments.pra_study import shared_pra_study
+from repro.stats.correlation import pearson_correlation
+from repro.stats.tables import format_table
+
+__all__ = ["Figure8Result", "run", "render", "from_study"]
+
+
+@dataclass
+class Figure8Result:
+    """Robustness/aggressiveness pairs and their Pearson correlation."""
+
+    points: List[Dict[str, object]]
+    pearson_r: float
+
+
+def from_study(study: PRAStudyResult) -> Figure8Result:
+    """Derive the Figure 8 data from an existing PRA study."""
+    rows = study.rows()
+    points = [
+        {
+            "label": row["label"],
+            "robustness": float(row["robustness"]),
+            "aggressiveness": float(row["aggressiveness"]),
+        }
+        for row in rows
+    ]
+    r = pearson_correlation(
+        [p["robustness"] for p in points], [p["aggressiveness"] for p in points]
+    )
+    return Figure8Result(points=points, pearson_r=r)
+
+
+def run(scale: str = "bench", seed: int = 0) -> Figure8Result:
+    """Run (or reuse) the shared PRA sweep and derive the Figure 8 data."""
+    return from_study(shared_pra_study(scale, seed=seed))
+
+
+def render(result: Figure8Result, max_points: int = 15) -> str:
+    """Plain-text rendering: correlation plus the extreme points."""
+    ranked = sorted(
+        result.points, key=lambda p: float(p["robustness"]), reverse=True
+    )[:max_points]
+    table = format_table(
+        ("protocol", "robustness", "aggressiveness"),
+        [(p["label"], p["robustness"], p["aggressiveness"]) for p in ranked],
+        title="Figure 8 — robustness vs aggressiveness (most robust protocols)",
+    )
+    return table + f"\nPearson correlation (all {len(result.points)} protocols): {result.pearson_r:.3f}"

@@ -1,0 +1,190 @@
+"""Figure 9: competitive swarm encounters between client variants.
+
+The three panels pit two client variants against each other in a real
+(simulated) BitTorrent swarm, sweeping the population mix and reporting the
+average download time of each variant with 95% confidence intervals over
+repeated runs:
+
+* (a) BitTorrent vs Loyal-When-needed (x-axis: fraction of Loyal-When-needed
+  clients),
+* (b) Birds vs BitTorrent (x-axis: fraction of Birds clients),
+* (c) Birds vs Loyal-When-needed (x-axis: fraction of Loyal-When-needed
+  clients).
+
+The paper's qualitative findings: Loyal-When-needed never does worse than
+BitTorrent and does significantly better when it is the majority; Birds does
+as well as or better than BitTorrent at every mix; and Loyal-When-needed is
+more robust than Birds when they compete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bittorrent.metrics import summarize_by_variant
+from repro.bittorrent.swarm import SwarmSimulation
+from repro.bittorrent.variants import (
+    ClientVariant,
+    birds_client,
+    loyal_when_needed_client,
+    reference_bittorrent,
+)
+from repro.experiments import base
+from repro.stats.tables import format_table
+from repro.utils.rng import derive_seed
+
+__all__ = ["MixPoint", "PanelResult", "Figure9Result", "run", "run_panel", "render"]
+
+#: Panel definitions: (panel key, sweep variant, opponent variant).  The
+#: sweep variant's population fraction is the x-axis of the panel.
+PANELS: Tuple[Tuple[str, str, str], ...] = (
+    ("a", "Loyal-When-needed", "BitTorrent"),
+    ("b", "Birds", "BitTorrent"),
+    ("c", "Loyal-When-needed", "Birds"),
+)
+
+_VARIANTS = {
+    "BitTorrent": reference_bittorrent,
+    "Birds": birds_client,
+    "Loyal-When-needed": loyal_when_needed_client,
+}
+
+
+@dataclass
+class MixPoint:
+    """One x-axis point of a panel: the mix fraction and both variants' times."""
+
+    fraction: float
+    mean_time: Dict[str, Optional[float]]
+    ci_half_width: Dict[str, Optional[float]]
+    completion: Dict[str, Optional[float]]
+
+
+@dataclass
+class PanelResult:
+    """One panel of Figure 9."""
+
+    panel: str
+    sweep_variant: str
+    opponent_variant: str
+    points: List[MixPoint]
+
+
+@dataclass
+class Figure9Result:
+    """All three panels."""
+
+    panels: Dict[str, PanelResult]
+    runs_per_point: int
+
+
+def run_panel(
+    sweep_variant: ClientVariant,
+    opponent_variant: ClientVariant,
+    panel: str,
+    scale: str = "bench",
+    seed: int = 0,
+) -> PanelResult:
+    """Sweep the population mix for one pair of client variants."""
+    config = base.swarm_config(scale)
+    runs = base.swarm_runs(scale)
+    fractions = base.mix_fractions(scale)
+    n = config.n_leechers
+
+    points: List[MixPoint] = []
+    for fraction in fractions:
+        count_sweep = int(round(fraction * n))
+        count_sweep = max(0, min(n, count_sweep))
+        variants = [sweep_variant] * count_sweep + [opponent_variant] * (n - count_sweep)
+
+        results = []
+        for run_index in range(runs):
+            run_seed = derive_seed(
+                seed, f"figure9/{panel}/{fraction}/{run_index}"
+            )
+            results.append(SwarmSimulation(config, variants, seed=run_seed).run())
+
+        summaries = summarize_by_variant(results)
+        mean_time: Dict[str, Optional[float]] = {}
+        ci: Dict[str, Optional[float]] = {}
+        completion: Dict[str, Optional[float]] = {}
+        for name in (sweep_variant.name, opponent_variant.name):
+            if name in summaries:
+                mean_time[name] = summaries[name].mean
+                ci[name] = summaries[name].ci_half_width
+            else:
+                mean_time[name] = None
+                ci[name] = None
+            fractions_completed = [r.completion_fraction(name) for r in results
+                                   if any(rec.variant == name for rec in r.records)]
+            completion[name] = (
+                sum(fractions_completed) / len(fractions_completed)
+                if fractions_completed
+                else None
+            )
+        points.append(
+            MixPoint(
+                fraction=fraction,
+                mean_time=mean_time,
+                ci_half_width=ci,
+                completion=completion,
+            )
+        )
+    return PanelResult(
+        panel=panel,
+        sweep_variant=sweep_variant.name,
+        opponent_variant=opponent_variant.name,
+        points=points,
+    )
+
+
+def run(scale: str = "bench", seed: int = 0) -> Figure9Result:
+    """Run all three panels."""
+    base.check_scale(scale)
+    panels: Dict[str, PanelResult] = {}
+    for panel, sweep_name, opponent_name in PANELS:
+        panels[panel] = run_panel(
+            _VARIANTS[sweep_name](),
+            _VARIANTS[opponent_name](),
+            panel,
+            scale=scale,
+            seed=seed,
+        )
+    return Figure9Result(panels=panels, runs_per_point=base.swarm_runs(scale))
+
+
+def render(result: Figure9Result) -> str:
+    """Plain-text rendering of all three panels."""
+    blocks: List[str] = []
+    for panel_key in sorted(result.panels):
+        panel = result.panels[panel_key]
+        rows = []
+        for point in panel.points:
+            def fmt(name: str) -> Tuple[str, str]:
+                mean = point.mean_time.get(name)
+                ci = point.ci_half_width.get(name)
+                if mean is None:
+                    return "-", "-"
+                return f"{mean:.1f}", f"±{ci:.1f}" if ci is not None else "-"
+
+            sweep_mean, sweep_ci = fmt(panel.sweep_variant)
+            opp_mean, opp_ci = fmt(panel.opponent_variant)
+            rows.append((f"{point.fraction:g}", sweep_mean, sweep_ci, opp_mean, opp_ci))
+        blocks.append(
+            format_table(
+                (
+                    f"frac {panel.sweep_variant}",
+                    f"{panel.sweep_variant} avg DL time (s)",
+                    "95% CI",
+                    f"{panel.opponent_variant} avg DL time (s)",
+                    "95% CI",
+                ),
+                rows,
+                title=(
+                    f"Figure 9({panel.panel}) — {panel.sweep_variant} vs "
+                    f"{panel.opponent_variant} ({result.runs_per_point} runs per point)"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)

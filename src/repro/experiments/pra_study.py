@@ -1,0 +1,50 @@
+"""The shared PRA sweep behind Figures 2-8 and Table 3.
+
+The paper runs a single gigantic sweep (performance runs plus the robustness
+and aggressiveness tournaments over all 3270 protocols) and then reads every
+Section 4.4 figure off the resulting per-protocol scores.  This module does
+the same: :func:`shared_pra_study` builds the protocol set for the requested
+scale (the full space at ``"paper"`` scale, a dimension-stratified sample
+otherwise — always including the named protocols the paper tracks), runs the
+study once, and returns the cached result on subsequent calls.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.results import PRAStudyResult
+from repro.core.space import DesignSpace
+from repro.core.study import PRAStudy
+from repro.experiments import base
+
+__all__ = ["shared_pra_study", "build_study"]
+
+
+def build_study(
+    scale: str = "bench",
+    seed: int = 0,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> PRAStudy:
+    """Construct (without running) the PRA study for a scale."""
+    base.check_scale(scale)
+    space = DesignSpace.default()
+    config = base.pra_config(scale, seed=seed)
+    sample_size = base.pra_sample_size(scale)
+    if sample_size >= len(space):
+        protocols = space.protocols()
+    else:
+        protocols = space.sample(
+            sample_size, seed=seed, method="stratified", include=base.named_protocols()
+        )
+    return PRAStudy(protocols, config, cache_dir=cache_dir)
+
+
+def shared_pra_study(
+    scale: str = "bench",
+    seed: int = 0,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> PRAStudyResult:
+    """Run (or fetch from cache) the PRA sweep shared by Figures 2-8 and Table 3."""
+    return build_study(scale, seed=seed, cache_dir=cache_dir).run()

@@ -1,0 +1,77 @@
+"""The §4.3.2 consistency check: 50/50 versus 90/10 robustness splits.
+
+The paper hypothesises that a protocol robust against an invader holding 50%
+of the population is also robust against small invading populations, and
+verifies this by re-running the robustness tournament with a 90/10 split,
+finding a Pearson correlation of 0.97 between the two sets of robustness
+values.  This driver repeats that check on a protocol sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.pra import robustness_tournament
+from repro.core.space import DesignSpace
+from repro.experiments import base
+from repro.stats.correlation import pearson_correlation
+from repro.stats.tables import format_table
+
+__all__ = ["SplitCheckResult", "run", "render"]
+
+
+@dataclass
+class SplitCheckResult:
+    """Robustness under the two splits plus their correlation."""
+
+    robustness_50: Dict[str, float]
+    robustness_90: Dict[str, float]
+    pearson_r: float
+    n_protocols: int
+
+
+def run(scale: str = "bench", seed: int = 0, sample_size: int = None) -> SplitCheckResult:
+    """Run both robustness tournaments on a protocol sample and correlate them."""
+    base.check_scale(scale)
+    if sample_size is None:
+        # The split check repeats the whole tournament, so use a smaller
+        # sample than the main sweep at sub-paper scales.
+        sample_size = {"smoke": 8, "bench": 16, "paper": 3270}[scale]
+    config = base.pra_config(scale, seed=seed)
+    space = DesignSpace.default()
+    if sample_size >= len(space):
+        protocols = space.protocols()
+    else:
+        protocols = space.sample(
+            sample_size, seed=seed, method="stratified", include=base.named_protocols()
+        )
+
+    outcome_50 = robustness_tournament(protocols, config, split=0.5)
+    outcome_90 = robustness_tournament(protocols, config, split=0.9)
+    keys = [p.key for p in protocols]
+    r = pearson_correlation(
+        [outcome_50.scores[k] for k in keys], [outcome_90.scores[k] for k in keys]
+    )
+    return SplitCheckResult(
+        robustness_50=dict(outcome_50.scores),
+        robustness_90=dict(outcome_90.scores),
+        pearson_r=r,
+        n_protocols=len(protocols),
+    )
+
+
+def render(result: SplitCheckResult, max_rows: int = 15) -> str:
+    """Plain-text comparison of the two robustness measures."""
+    keys = sorted(
+        result.robustness_50, key=lambda k: result.robustness_50[k], reverse=True
+    )[:max_rows]
+    table = format_table(
+        ("protocol", "robustness (50/50)", "robustness (90/10)"),
+        [(k, result.robustness_50[k], result.robustness_90[k]) for k in keys],
+        title="§4.3.2 — robustness under 50/50 vs 90/10 population splits",
+    )
+    return (
+        table
+        + f"\nPearson correlation over {result.n_protocols} protocols: {result.pearson_r:.3f}"
+    )

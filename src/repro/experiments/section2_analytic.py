@@ -1,0 +1,144 @@
+"""Section 2.2 / Appendix: the analytical expected-game-win model.
+
+This driver evaluates the analytical model for a concrete multi-class swarm:
+for every bandwidth class it tabulates the expected reciprocation and free
+game wins of a BitTorrent peer and of a Birds peer in homogeneous swarms
+(Sections 2.2-2.3), and it evaluates the Appendix deviation analysis — a
+single Birds deviant in a BitTorrent swarm and a single BitTorrent deviant in
+a Birds swarm — reporting the per-class advantage and the resulting Nash
+verdicts (BitTorrent is not a Nash equilibrium; Birds is).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.gametheory.analytic import DeviationAnalysis, SwarmModel
+from repro.gametheory.classes import ClassPopulation, piatek_classes
+from repro.stats.tables import format_table
+
+__all__ = ["Section2Result", "run", "render"]
+
+
+@dataclass
+class Section2Result:
+    """Expected-win tables and deviation verdicts for one swarm model."""
+
+    population_description: str
+    regular_unchoke_slots: int
+    homogeneous_rows: List[Dict[str, object]]
+    deviation_rows: List[Dict[str, object]]
+    bittorrent_is_nash: bool
+    birds_is_nash: bool
+
+
+def run(
+    population: ClassPopulation = None,
+    regular_unchoke_slots: int = 4,
+    deviation_class_index: int = 0,
+) -> Section2Result:
+    """Evaluate the analytical model.
+
+    Parameters
+    ----------
+    population:
+        The class structure; defaults to the three-class Piatek-style
+        population of 50 peers.
+    regular_unchoke_slots:
+        ``Ur``, the number of regular unchoke slots.
+    deviation_class_index:
+        The class hosting the single deviant in the Appendix analysis.
+    """
+    if population is None:
+        population = piatek_classes(50)
+    model = SwarmModel(population, regular_unchoke_slots=regular_unchoke_slots)
+
+    homogeneous_rows: List[Dict[str, object]] = []
+    for index, cls in enumerate(population):
+        bt = model.bittorrent_expected_wins(index)
+        birds = model.birds_expected_wins(index)
+        homogeneous_rows.append(
+            {
+                "class": cls.name,
+                "NA": population.peers_above(index),
+                "NB": population.peers_below(index),
+                "NC": population.peers_same(index),
+                "bt_reciprocation": bt.total_reciprocation,
+                "bt_free": bt.total_free,
+                "bt_total": bt.total,
+                "birds_reciprocation": birds.total_reciprocation,
+                "birds_free": birds.total_free,
+                "birds_total": birds.total,
+            }
+        )
+
+    deviations: List[DeviationAnalysis] = [
+        model.birds_deviant_in_bittorrent_swarm(deviation_class_index),
+        model.bittorrent_deviant_in_birds_swarm(deviation_class_index),
+    ]
+    deviation_rows = [
+        {
+            "resident": d.resident_protocol,
+            "deviant": d.deviant_protocol,
+            "class_index": d.class_index,
+            "deviant_total_wins": d.deviant_wins.total,
+            "resident_total_wins": d.resident_wins.total,
+            "advantage": d.advantage,
+            "deviation_profitable": d.deviation_profitable,
+        }
+        for d in deviations
+    ]
+
+    return Section2Result(
+        population_description=repr(population),
+        regular_unchoke_slots=regular_unchoke_slots,
+        homogeneous_rows=homogeneous_rows,
+        deviation_rows=deviation_rows,
+        bittorrent_is_nash=not deviations[0].deviation_profitable,
+        birds_is_nash=not deviations[1].deviation_profitable,
+    )
+
+
+def render(result: Section2Result) -> str:
+    """Plain-text tables mirroring the Section 2.2 / Appendix derivations."""
+    lines: List[str] = []
+    lines.append(
+        f"Section 2.2 analytical model — {result.population_description}, "
+        f"Ur = {result.regular_unchoke_slots}"
+    )
+    homogeneous = format_table(
+        (
+            "class", "NA", "NB", "NC",
+            "BT recip", "BT free", "BT total",
+            "Birds recip", "Birds free", "Birds total",
+        ),
+        [
+            (
+                row["class"], row["NA"], row["NB"], row["NC"],
+                row["bt_reciprocation"], row["bt_free"], row["bt_total"],
+                row["birds_reciprocation"], row["birds_free"], row["birds_total"],
+            )
+            for row in result.homogeneous_rows
+        ],
+        title="Expected game wins per round (homogeneous swarms)",
+    )
+    lines.append(homogeneous)
+    lines.append("")
+    deviations = format_table(
+        ("resident swarm", "deviant", "deviant wins", "resident wins", "advantage", "profitable"),
+        [
+            (
+                row["resident"], row["deviant"],
+                row["deviant_total_wins"], row["resident_total_wins"],
+                row["advantage"], row["deviation_profitable"],
+            )
+            for row in result.deviation_rows
+        ],
+        title="Appendix deviation analysis (single deviant)",
+    )
+    lines.append(deviations)
+    lines.append("")
+    lines.append(f"BitTorrent is a Nash equilibrium: {result.bittorrent_is_nash}")
+    lines.append(f"Birds is a Nash equilibrium:      {result.birds_is_nash}")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Table 2: existing protocols/designs mapped onto the generic design space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.registry import DIMENSIONS, registry_rows
+
+__all__ = ["Table2Result", "run", "render"]
+
+
+@dataclass
+class Table2Result:
+    """The rows of Table 2."""
+
+    headers: Tuple[str, ...]
+    rows: List[Tuple[str, str, str, str, str]]
+
+
+def run() -> Table2Result:
+    """Assemble Table 2 from the system registry."""
+    return Table2Result(headers=("Protocol",) + DIMENSIONS, rows=registry_rows())
+
+
+def render(result: Table2Result) -> str:
+    """Render Table 2 as aligned plain text."""
+    from repro.stats.tables import format_table
+
+    return format_table(result.headers, result.rows, title="Table 2")

@@ -1,0 +1,98 @@
+"""Game-theory substrate for the reproduction.
+
+This sub-package implements everything Section 2 of the paper relies on:
+
+* two-player normal-form games with dominance, best-response and pure Nash
+  equilibrium analysis (:mod:`repro.gametheory.games`,
+  :mod:`repro.gametheory.equilibrium`),
+* the canonical games used in the paper — Prisoner's Dilemma, Dictator game,
+  the *BitTorrent Dilemma* of Figure 1(a) and the modified *Birds* payoffs of
+  Figure 1(c) (:mod:`repro.gametheory.games`),
+* iterated-game strategies (TFT, TF2T, AllC, AllD, Grim, Pavlov, ...) and a
+  match/tournament engine in the style of Axelrod
+  (:mod:`repro.gametheory.strategies`, :mod:`repro.gametheory.iterated`,
+  :mod:`repro.gametheory.tournament`),
+* bandwidth-class populations and the analytical expected-game-win model of
+  Section 2.2 together with the Appendix Nash-equilibrium deviation analysis
+  (:mod:`repro.gametheory.classes`, :mod:`repro.gametheory.analytic`).
+"""
+
+from repro.gametheory.games import (
+    Action,
+    NormalFormGame,
+    birds_game,
+    bittorrent_dilemma,
+    dictator_game,
+    one_sided_prisoners_dilemma,
+    prisoners_dilemma,
+)
+from repro.gametheory.equilibrium import (
+    best_responses,
+    dominant_strategy,
+    is_nash_equilibrium,
+    iterated_elimination_of_dominated_strategies,
+    pure_nash_equilibria,
+)
+from repro.gametheory.strategies import (
+    AlwaysCooperate,
+    AlwaysDefect,
+    GenerousTitForTat,
+    GrimTrigger,
+    Pavlov,
+    RandomStrategy,
+    Strategy,
+    SuspiciousTitForTat,
+    TitForTat,
+    TitForTwoTats,
+    strategy_registry,
+)
+from repro.gametheory.iterated import IteratedMatch, MatchResult
+from repro.gametheory.tournament import AxelrodTournament, TournamentResult
+from repro.gametheory.classes import BandwidthClass, ClassPopulation, piatek_classes
+from repro.gametheory.analytic import (
+    BirdsExpectedWins,
+    BitTorrentExpectedWins,
+    DeviationAnalysis,
+    SwarmModel,
+    birds_is_nash_equilibrium,
+    bittorrent_is_nash_equilibrium,
+)
+
+__all__ = [
+    "Action",
+    "NormalFormGame",
+    "prisoners_dilemma",
+    "dictator_game",
+    "one_sided_prisoners_dilemma",
+    "bittorrent_dilemma",
+    "birds_game",
+    "best_responses",
+    "dominant_strategy",
+    "pure_nash_equilibria",
+    "is_nash_equilibrium",
+    "iterated_elimination_of_dominated_strategies",
+    "Strategy",
+    "TitForTat",
+    "TitForTwoTats",
+    "AlwaysCooperate",
+    "AlwaysDefect",
+    "GrimTrigger",
+    "Pavlov",
+    "RandomStrategy",
+    "SuspiciousTitForTat",
+    "GenerousTitForTat",
+    "strategy_registry",
+    "IteratedMatch",
+    "MatchResult",
+    "AxelrodTournament",
+    "TournamentResult",
+    "BandwidthClass",
+    "ClassPopulation",
+    "piatek_classes",
+    "SwarmModel",
+    "BitTorrentExpectedWins",
+    "BirdsExpectedWins",
+    "DeviationAnalysis",
+    "bittorrent_is_nash_equilibrium",
+    "birds_is_nash_equilibrium",
+]

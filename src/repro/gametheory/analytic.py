@@ -1,0 +1,331 @@
+"""Analytical model of the BitTorrent Dilemma (Section 2.2, 2.3 and Appendix).
+
+The paper derives, for a peer ``c`` in a given bandwidth class, the expected
+number of *games won* per unchoke period — where winning a game means
+obtaining cooperation (an upload) from another peer.  Wins come in two kinds:
+
+* **reciprocation wins** (``Er[X -> c]``): games won because peers in class
+  ``X`` reciprocate to ``c`` through their regular unchoke slots, and
+* **free game wins** (``E[X -> c]``): games won because peers in class ``X``
+  optimistically unchoke ``c`` (first-move cooperation of TFT), giving ``c``
+  a free win.
+
+``X`` ranges over ``A`` (classes above ``c``'s class), ``B`` (classes below)
+and ``C`` (``c``'s own class).  The notation follows Table 1 of the paper:
+
+========  =====================================================================
+``NA``     number of TFT players in classes above ``c``'s class
+``NB``     number of TFT players in classes below ``c``'s class
+``NC``     number of TFT players in ``c``'s class (including ``c``)
+``Ur``     number of regular unchoke slots
+``Nr``     ``NA + NB + NC - Ur - 1``
+========  =====================================================================
+
+Two protocols are modelled:
+
+* **BitTorrent** (TFT with fastest-first reciprocation): peers reciprocate to
+  faster classes, so a peer wins no reciprocation games from classes above
+  itself but receives free wins from their optimistic unchokes.
+* **Birds** (proximity-based reciprocation, Section 2.3): peers only
+  reciprocate within their own class.
+
+The Appendix extends the model to *deviation analysis*: a single Birds peer
+in a swarm of BitTorrent peers wins more games than the BitTorrent residents
+(hence BitTorrent is **not** a Nash equilibrium under this abstraction),
+whereas a single BitTorrent peer in a swarm of Birds peers wins fewer games
+than the Birds residents (hence Birds **is** a Nash equilibrium).  This
+module implements those formulas directly and exposes boolean verdict helpers
+used by the Section 2 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.gametheory.classes import ClassPopulation
+
+__all__ = [
+    "ExpectedWins",
+    "BitTorrentExpectedWins",
+    "BirdsExpectedWins",
+    "DeviationAnalysis",
+    "SwarmModel",
+    "bittorrent_is_nash_equilibrium",
+    "birds_is_nash_equilibrium",
+]
+
+
+@dataclass(frozen=True)
+class ExpectedWins:
+    """Expected per-period game wins of a peer, broken down by source class.
+
+    ``reciprocation[x]`` is ``Er[X -> c]`` and ``free[x]`` is ``E[X -> c]``
+    for ``x`` in ``{"above", "below", "same"}``.
+    """
+
+    reciprocation: Dict[str, float]
+    free: Dict[str, float]
+
+    @property
+    def total_reciprocation(self) -> float:
+        return sum(self.reciprocation.values())
+
+    @property
+    def total_free(self) -> float:
+        return sum(self.free.values())
+
+    @property
+    def total(self) -> float:
+        """Total expected wins per period (reciprocation + free)."""
+        return self.total_reciprocation + self.total_free
+
+
+class BitTorrentExpectedWins(ExpectedWins):
+    """Expected wins of a peer following BitTorrent's TFT in a homogeneous swarm."""
+
+
+class BirdsExpectedWins(ExpectedWins):
+    """Expected wins of a peer following Birds in a homogeneous swarm."""
+
+
+@dataclass(frozen=True)
+class DeviationAnalysis:
+    """Outcome of the Appendix single-deviant analysis for one class.
+
+    ``resident_protocol`` is the protocol run by the ``N - 1`` swarm members,
+    ``deviant_protocol`` the protocol of the single deviating peer placed in
+    the class at ``class_index``.  ``advantage`` is the deviant's expected
+    total wins minus a resident's (in the same class); a positive advantage
+    means deviating pays, i.e. the resident protocol is not a Nash
+    equilibrium.
+    """
+
+    resident_protocol: str
+    deviant_protocol: str
+    class_index: int
+    deviant_wins: ExpectedWins
+    resident_wins: ExpectedWins
+
+    @property
+    def advantage(self) -> float:
+        return self.deviant_wins.total - self.resident_wins.total
+
+    @property
+    def deviation_profitable(self) -> bool:
+        """Whether the deviant strictly outperforms the residents."""
+        return self.advantage > 0.0
+
+
+class SwarmModel:
+    """The analytical multi-class swarm model of Section 2.2.
+
+    Parameters
+    ----------
+    population:
+        Bandwidth-class structure of the swarm.
+    regular_unchoke_slots:
+        ``Ur``, the number of peers a player reciprocates with simultaneously.
+        The number of optimistic unchoke slots is fixed at 1, as in the paper.
+
+    Notes
+    -----
+    The derivation assumes ``NA > Ur`` (enough faster peers that none of them
+    reciprocates down) and ``NC - 1 >= Ur`` (enough same-class peers to fill
+    the unchoke slots).  :meth:`assumption_violations` reports which of these
+    are violated for a given class; the formulas are still evaluated so the
+    caller can explore edge cases, but the Nash-equilibrium verdicts in the
+    paper only apply where the assumptions hold.
+    """
+
+    def __init__(self, population: ClassPopulation, regular_unchoke_slots: int = 4):
+        if regular_unchoke_slots < 1:
+            raise ValueError("regular_unchoke_slots (Ur) must be >= 1")
+        self.population = population
+        self.ur = int(regular_unchoke_slots)
+        total = population.total_peers
+        if total - self.ur - 1 <= 0:
+            raise ValueError(
+                "population too small: NA + NB + NC - Ur - 1 must be positive"
+            )
+
+    # ------------------------------------------------------------------ #
+    # shared quantities
+    # ------------------------------------------------------------------ #
+    def aggregates(self, class_index: int) -> Dict[str, int]:
+        """Return ``{"NA": ..., "NB": ..., "NC": ...}`` for ``class_index``."""
+        na, nb, nc = self.population.aggregates(class_index)
+        return {"NA": na, "NB": nb, "NC": nc}
+
+    def nr(self, class_index: int) -> int:
+        """``Nr = NA + NB + NC - Ur - 1`` (identical for every class)."""
+        na, nb, nc = self.population.aggregates(class_index)
+        return na + nb + nc - self.ur - 1
+
+    def assumption_violations(self, class_index: int) -> List[str]:
+        """List of model assumptions violated for the class at ``class_index``."""
+        na, _nb, nc = self.population.aggregates(class_index)
+        problems: List[str] = []
+        if class_index < len(self.population) - 1 and na <= self.ur:
+            problems.append(
+                f"NA ({na}) should exceed Ur ({self.ur}) for classes with faster peers above"
+            )
+        if nc - 1 < self.ur:
+            problems.append(
+                f"NC - 1 ({nc - 1}) should be at least Ur ({self.ur}) to fill unchoke slots in-class"
+            )
+        return problems
+
+    def _free_win_probability(self, class_index: int) -> float:
+        """``E[A -> c] = NA / Nr`` — probability-weighted free wins from above."""
+        na, _nb, _nc = self.population.aggregates(class_index)
+        return na / self.nr(class_index)
+
+    def _k(self, class_index: int, slots: Optional[int] = None) -> float:
+        """The correction term ``K`` of equation (1).
+
+        ``K = 1 - ((1 - E[A -> c]) (1 - 1/Ur))**slots`` with ``slots = Ur`` by
+        default; the Appendix also uses the exponent ``Ur - 1`` (``K'``).
+        """
+        exponent = self.ur if slots is None else slots
+        e_a = self._free_win_probability(class_index)
+        base = (1.0 - e_a) * (1.0 - 1.0 / self.ur)
+        return 1.0 - base**exponent
+
+    # ------------------------------------------------------------------ #
+    # homogeneous swarms (Sections 2.2 and 2.3)
+    # ------------------------------------------------------------------ #
+    def bittorrent_expected_wins(self, class_index: int) -> BitTorrentExpectedWins:
+        """Expected wins of a BitTorrent peer in an all-BitTorrent swarm."""
+        na, nb, nc = self.population.aggregates(class_index)
+        nr = self.nr(class_index)
+        e_a = na / nr
+        er_b = nb / nr
+        k = self._k(class_index)
+        er_c = self.ur - e_a - k
+        e_c = (nc - 1 - er_c) / nr
+        return BitTorrentExpectedWins(
+            reciprocation={"above": 0.0, "below": er_b, "same": er_c},
+            free={"above": e_a, "below": nb / nr, "same": e_c},
+        )
+
+    def birds_expected_wins(self, class_index: int) -> BirdsExpectedWins:
+        """Expected wins of a Birds peer in an all-Birds swarm."""
+        na, nb, nc = self.population.aggregates(class_index)
+        nr = self.nr(class_index)
+        e_a = na / nr
+        erb_c = float(self.ur)
+        eb_c = (nc - 1 - self.ur) / nr
+        return BirdsExpectedWins(
+            reciprocation={"above": 0.0, "below": 0.0, "same": erb_c},
+            free={"above": e_a, "below": nb / nr, "same": eb_c},
+        )
+
+    # ------------------------------------------------------------------ #
+    # deviation analysis (Appendix)
+    # ------------------------------------------------------------------ #
+    def birds_deviant_in_bittorrent_swarm(self, class_index: int) -> DeviationAnalysis:
+        """One Birds peer among ``N - 1`` BitTorrent peers (Appendix, part 1).
+
+        Returns the expected wins of the Birds deviant and of a BitTorrent
+        resident in the same class.  Per the paper, the deviant wins more
+        games, which shows BitTorrent is not a Nash equilibrium under this
+        abstraction.
+        """
+        na, nb, nc = self.population.aggregates(class_index)
+        nr = self.nr(class_index)
+        e_a = na / nr
+        k = self._k(class_index)
+        k_prime = self._k(class_index, slots=self.ur - 1) if self.ur > 1 else 0.0
+        nc_prime = nc - 1
+        if nc_prime < 1:
+            raise ValueError("the deviant's class must contain at least 2 peers")
+
+        # Reciprocation wins within class C.
+        erb_c_deviant = self.ur - k
+        er_c_resident = self.ur - k - e_a - (self.ur / nc_prime) * (k + k_prime)
+
+        # Free game wins within class C.
+        eb_c_deviant = (nc_prime / nc) * (nc - er_c_resident) / nr
+        e_c_resident = eb_c_deviant + (nc - erb_c_deviant) / (nc * nr)
+
+        deviant = ExpectedWins(
+            reciprocation={"above": 0.0, "below": nb / nr, "same": erb_c_deviant},
+            free={"above": e_a, "below": nb / nr, "same": eb_c_deviant},
+        )
+        resident = ExpectedWins(
+            reciprocation={"above": 0.0, "below": nb / nr, "same": er_c_resident},
+            free={"above": e_a, "below": nb / nr, "same": e_c_resident},
+        )
+        return DeviationAnalysis(
+            resident_protocol="BitTorrent",
+            deviant_protocol="Birds",
+            class_index=class_index,
+            deviant_wins=deviant,
+            resident_wins=resident,
+        )
+
+    def bittorrent_deviant_in_birds_swarm(self, class_index: int) -> DeviationAnalysis:
+        """One BitTorrent peer among ``N - 1`` Birds peers (Appendix, part 2).
+
+        Returns the expected wins of the BitTorrent deviant and of a Birds
+        resident in the same class.  Per the paper the residents win more
+        games, which shows Birds is a Nash equilibrium.
+        """
+        na, nb, nc = self.population.aggregates(class_index)
+        nr = self.nr(class_index)
+        e_a = na / nr
+        nc_prime = nc - 1
+        if nc_prime < 1:
+            raise ValueError("the deviant's class must contain at least 2 peers")
+
+        # Reciprocation wins within class C.  Neither protocol receives
+        # reciprocation from other classes in an (almost) all-Birds swarm.
+        erb_c_resident = self.ur - (self.ur / nc_prime) * e_a
+        er_c_deviant = self.ur - e_a
+
+        # Free game wins within class C; the formulas reference the
+        # homogeneous-swarm values Er[C -> c] and ErB[C -> c].
+        er_c_homog = self.bittorrent_expected_wins(class_index).reciprocation["same"]
+        erb_c_homog = self.birds_expected_wins(class_index).reciprocation["same"]
+        e_c_deviant = (nc_prime / nc) * (nc_prime - erb_c_homog) / nr
+        eb_c_resident = e_c_deviant + (nc_prime - er_c_homog) / (nc_prime * nr)
+
+        deviant = ExpectedWins(
+            reciprocation={"above": 0.0, "below": 0.0, "same": er_c_deviant},
+            free={"above": e_a, "below": nb / nr, "same": e_c_deviant},
+        )
+        resident = ExpectedWins(
+            reciprocation={"above": 0.0, "below": 0.0, "same": erb_c_resident},
+            free={"above": e_a, "below": nb / nr, "same": eb_c_resident},
+        )
+        return DeviationAnalysis(
+            resident_protocol="Birds",
+            deviant_protocol="BitTorrent",
+            class_index=class_index,
+            deviant_wins=deviant,
+            resident_wins=resident,
+        )
+
+
+def bittorrent_is_nash_equilibrium(model: SwarmModel, class_index: int = 0) -> bool:
+    """Whether BitTorrent is a Nash equilibrium against a Birds deviation.
+
+    Evaluates the Appendix deviation analysis for the class at
+    ``class_index`` (default: the slowest class, where the paper's assumptions
+    are easiest to satisfy).  Returns ``False`` whenever a Birds deviant
+    strictly gains, which is the paper's result for swarms satisfying the
+    model assumptions.
+    """
+    analysis = model.birds_deviant_in_bittorrent_swarm(class_index)
+    return not analysis.deviation_profitable
+
+
+def birds_is_nash_equilibrium(model: SwarmModel, class_index: int = 0) -> bool:
+    """Whether Birds is a Nash equilibrium against a BitTorrent deviation.
+
+    Returns ``True`` whenever the BitTorrent deviant does not strictly gain,
+    which is the paper's result for swarms satisfying the model assumptions.
+    """
+    analysis = model.bittorrent_deviant_in_birds_swarm(class_index)
+    return not analysis.deviation_profitable

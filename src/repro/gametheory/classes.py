@@ -1,0 +1,169 @@
+"""Bandwidth-class populations for the analytical BitTorrent model.
+
+Section 2.2 of the paper analyses a swarm partitioned into bandwidth classes
+(e.g. *fast* and *slow* peers, or finer partitions).  For a peer ``c`` in a
+given class the model only cares about three aggregate counts — the number of
+peers in classes *above* ``c``'s class (``NA``), *below* it (``NB``) and in
+the *same* class (``NC``) — plus the number of regular unchoke slots ``Ur``.
+
+This module provides :class:`BandwidthClass` and :class:`ClassPopulation`,
+which hold a concrete class structure and compute those aggregates, and
+:func:`piatek_classes`, a convenience population whose class speeds follow the
+qualitative shape of the Piatek et al. bandwidth measurement used by the
+paper's experiments (a large population of slow peers, fewer medium peers and
+a small number of very fast peers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+__all__ = ["BandwidthClass", "ClassPopulation", "piatek_classes"]
+
+
+@dataclass(frozen=True)
+class BandwidthClass:
+    """A homogeneous group of peers sharing one upload capacity.
+
+    Parameters
+    ----------
+    name:
+        Label for the class (e.g. ``"slow"``).
+    upload_speed:
+        Upload capacity of every peer in the class (KBps, but any consistent
+        unit works).
+    count:
+        Number of peers in the class.
+    """
+
+    name: str
+    upload_speed: float
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.upload_speed <= 0:
+            raise ValueError(f"upload_speed must be positive, got {self.upload_speed}")
+        if self.count <= 0:
+            raise ValueError(f"count must be positive, got {self.count}")
+
+
+class ClassPopulation:
+    """An ordered collection of bandwidth classes.
+
+    Classes are kept sorted by increasing upload speed; class indices used by
+    the analytical model refer to this sorted order (index 0 = slowest).
+    """
+
+    def __init__(self, classes: Iterable[BandwidthClass]):
+        ordered = sorted(classes, key=lambda c: c.upload_speed)
+        if not ordered:
+            raise ValueError("a population needs at least one class")
+        speeds = [c.upload_speed for c in ordered]
+        if len(set(speeds)) != len(speeds):
+            raise ValueError("class upload speeds must be distinct")
+        names = [c.name for c in ordered]
+        if len(set(names)) != len(names):
+            raise ValueError("class names must be distinct")
+        self._classes: Tuple[BandwidthClass, ...] = tuple(ordered)
+
+    # ------------------------------------------------------------------ #
+    # container interface
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __iter__(self):
+        return iter(self._classes)
+
+    def __getitem__(self, index: int) -> BandwidthClass:
+        return self._classes[index]
+
+    @property
+    def classes(self) -> Tuple[BandwidthClass, ...]:
+        return self._classes
+
+    @property
+    def total_peers(self) -> int:
+        """Total number of peers across all classes."""
+        return sum(c.count for c in self._classes)
+
+    def index_of(self, name: str) -> int:
+        """Return the index of the class named ``name``."""
+        for i, cls in enumerate(self._classes):
+            if cls.name == name:
+                return i
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------ #
+    # aggregates used by the analytical model (Table 1 of the paper)
+    # ------------------------------------------------------------------ #
+    def peers_above(self, class_index: int) -> int:
+        """``NA``: number of peers in classes with higher upload speed."""
+        self._check_index(class_index)
+        return sum(c.count for c in self._classes[class_index + 1:])
+
+    def peers_below(self, class_index: int) -> int:
+        """``NB``: number of peers in classes with lower upload speed."""
+        self._check_index(class_index)
+        return sum(c.count for c in self._classes[:class_index])
+
+    def peers_same(self, class_index: int) -> int:
+        """``NC``: number of peers in the class itself (including peer ``c``)."""
+        self._check_index(class_index)
+        return self._classes[class_index].count
+
+    def aggregates(self, class_index: int) -> Tuple[int, int, int]:
+        """Return ``(NA, NB, NC)`` for the class at ``class_index``."""
+        return (
+            self.peers_above(class_index),
+            self.peers_below(class_index),
+            self.peers_same(class_index),
+        )
+
+    def speeds(self) -> List[float]:
+        """Upload speeds in increasing order."""
+        return [c.upload_speed for c in self._classes]
+
+    def expand(self) -> List[float]:
+        """Per-peer upload speeds for the whole population (class order)."""
+        speeds: List[float] = []
+        for cls in self._classes:
+            speeds.extend([cls.upload_speed] * cls.count)
+        return speeds
+
+    def _check_index(self, class_index: int) -> None:
+        if not 0 <= class_index < len(self._classes):
+            raise IndexError(
+                f"class index {class_index} out of range for {len(self._classes)} classes"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        inner = ", ".join(
+            f"{c.name}({c.count}x{c.upload_speed:g})" for c in self._classes
+        )
+        return f"ClassPopulation[{inner}]"
+
+
+def piatek_classes(total_peers: int = 50) -> ClassPopulation:
+    """A three-class population shaped like the Piatek et al. measurement.
+
+    The real measurement (NSDI'07) is a long-tailed distribution of upload
+    capacities dominated by slow residential links.  For the analytical model
+    only a discrete class structure is needed; this helper splits
+    ``total_peers`` into roughly 60% slow (30 KBps), 30% medium (100 KBps)
+    and 10% fast (500 KBps) peers, which preserves the fast/slow asymmetry
+    the Section 2 analysis depends on.
+    """
+    if total_peers < 10:
+        raise ValueError("total_peers must be at least 10 to populate three classes")
+    slow = max(1, round(total_peers * 0.6))
+    medium = max(1, round(total_peers * 0.3))
+    fast = max(1, total_peers - slow - medium)
+    return ClassPopulation(
+        [
+            BandwidthClass("slow", 30.0, slow),
+            BandwidthClass("medium", 100.0, medium),
+            BandwidthClass("fast", 500.0, fast),
+        ]
+    )

@@ -1,0 +1,166 @@
+"""Equilibrium and dominance analysis for two-player normal-form games.
+
+The paper's Section 2 argument revolves around dominance ("the dominant
+strategy for fast peers is to always defect on the slow peers") and Nash
+equilibrium claims.  This module provides the corresponding primitives for
+:class:`~repro.gametheory.games.NormalFormGame`:
+
+* best responses of each player to each opposing action,
+* strictly / weakly dominant strategies,
+* enumeration of pure-strategy Nash equilibria,
+* a Nash-equilibrium check for a given action profile,
+* iterated elimination of strictly dominated strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gametheory.games import NormalFormGame
+
+__all__ = [
+    "best_responses",
+    "dominant_strategy",
+    "pure_nash_equilibria",
+    "is_nash_equilibrium",
+    "iterated_elimination_of_dominated_strategies",
+]
+
+_EPS = 1e-12
+
+
+def best_responses(game: NormalFormGame, player: str, opponent_action: str) -> List[str]:
+    """Best responses of ``player`` ("row" or "column") to ``opponent_action``.
+
+    Returns every action achieving the maximal payoff (ties included).
+    """
+    if player not in ("row", "column"):
+        raise ValueError("player must be 'row' or 'column'")
+    if player == "row":
+        j = game.col_index(opponent_action)
+        payoffs = game.row_matrix()[:, j]
+        actions = game.row_actions
+    else:
+        i = game.row_index(opponent_action)
+        payoffs = game.col_matrix()[i, :]
+        actions = game.col_actions
+    best = payoffs.max()
+    return [a for a, p in zip(actions, payoffs) if p >= best - _EPS]
+
+
+def dominant_strategy(
+    game: NormalFormGame, player: str, strict: bool = False
+) -> Optional[str]:
+    """Return the dominant strategy of ``player`` if one exists, else ``None``.
+
+    With ``strict=False`` (the default) a *weakly* dominant strategy is
+    accepted: it must be at least as good as every alternative against every
+    opposing action and strictly better against at least one.  This matches
+    the paper's usage — e.g. in the BitTorrent Dilemma the fast peer's
+    "defect" is only weakly dominant because the payoffs tie when the slow
+    peer defects.
+    """
+    if player not in ("row", "column"):
+        raise ValueError("player must be 'row' or 'column'")
+    if player == "row":
+        matrix = game.row_matrix()          # own action x opponent action
+        actions = game.row_actions
+    else:
+        matrix = game.col_matrix().T        # own action x opponent action
+        actions = game.col_actions
+
+    n_actions = matrix.shape[0]
+    for candidate in range(n_actions):
+        dominates_all = True
+        for other in range(n_actions):
+            if other == candidate:
+                continue
+            diff = matrix[candidate] - matrix[other]
+            if strict:
+                if not np.all(diff > _EPS):
+                    dominates_all = False
+                    break
+            else:
+                if not (np.all(diff >= -_EPS) and np.any(diff > _EPS)):
+                    dominates_all = False
+                    break
+        if dominates_all and n_actions > 1:
+            return actions[candidate]
+    return None
+
+
+def pure_nash_equilibria(game: NormalFormGame) -> List[Tuple[str, str]]:
+    """Enumerate all pure-strategy Nash equilibria of ``game``.
+
+    Returns action profiles ``(row_action, col_action)`` in which each action
+    is a best response to the other.
+    """
+    equilibria: List[Tuple[str, str]] = []
+    row_m, col_m = game.row_matrix(), game.col_matrix()
+    for i, row_action in enumerate(game.row_actions):
+        for j, col_action in enumerate(game.col_actions):
+            row_best = row_m[:, j].max()
+            col_best = col_m[i, :].max()
+            if row_m[i, j] >= row_best - _EPS and col_m[i, j] >= col_best - _EPS:
+                equilibria.append((row_action, col_action))
+    return equilibria
+
+
+def is_nash_equilibrium(game: NormalFormGame, row_action: str, col_action: str) -> bool:
+    """Whether the profile ``(row_action, col_action)`` is a pure Nash equilibrium."""
+    return (row_action, col_action) in pure_nash_equilibria(game)
+
+
+def iterated_elimination_of_dominated_strategies(
+    game: NormalFormGame,
+) -> Dict[str, List[str]]:
+    """Iteratively eliminate strictly dominated strategies.
+
+    Returns the surviving action sets ``{"row": [...], "column": [...]}``.
+    Only strict dominance is used (weak elimination is order-dependent and
+    therefore avoided).
+    """
+    row_alive = list(range(len(game.row_actions)))
+    col_alive = list(range(len(game.col_actions)))
+    row_m, col_m = game.row_matrix(), game.col_matrix()
+
+    changed = True
+    while changed:
+        changed = False
+
+        # Row player: eliminate rows strictly dominated on surviving columns.
+        if len(row_alive) > 1:
+            for candidate in list(row_alive):
+                for other in row_alive:
+                    if other == candidate:
+                        continue
+                    diff = row_m[other, col_alive] - row_m[candidate, col_alive]
+                    if np.all(diff > _EPS):
+                        row_alive.remove(candidate)
+                        changed = True
+                        break
+                if changed:
+                    break
+        if changed:
+            continue
+
+        # Column player: eliminate columns strictly dominated on surviving rows.
+        if len(col_alive) > 1:
+            for candidate in list(col_alive):
+                for other in col_alive:
+                    if other == candidate:
+                        continue
+                    diff = col_m[row_alive, other] - col_m[row_alive, candidate]
+                    if np.all(diff > _EPS):
+                        col_alive.remove(candidate)
+                        changed = True
+                        break
+                if changed:
+                    break
+
+    return {
+        "row": [game.row_actions[i] for i in row_alive],
+        "column": [game.col_actions[j] for j in col_alive],
+    }

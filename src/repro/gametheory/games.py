@@ -1,0 +1,327 @@
+"""Two-player normal-form games and the canonical games of the paper.
+
+The central object is :class:`NormalFormGame`, a plain bimatrix game with
+named actions per player.  On top of it this module provides constructors for
+the games referenced in Section 2 of the paper:
+
+* the classic **Prisoner's Dilemma**,
+* the **Dictator game** (one player has no strategic input),
+* the **One-Sided Prisoner's Dilemma**,
+* the **BitTorrent Dilemma** of Figure 1(a) — the game between a *fast* and
+  a *slow* peer once repeated interaction ("shadow of the future") and
+  opportunity costs are taken into account, and
+* the modified **Birds** payoffs of Figure 1(c), in which the slow peer's
+  payoffs also account for the opportunity cost of cooperating with a fast
+  peer, making mutual defection (across classes) the dominant outcome.
+
+Payoff-matrix reconstruction
+----------------------------
+The figure in the paper lays the two payoff matrices out graphically; the
+entries used here are reconstructed from the accompanying prose (with
+``f`` the upload speed of a fast peer, ``s`` of a slow one, ``f > s > 0``):
+
+Figure 1(a), rows = fast peer, columns = slow peer, cells = (fast, slow)::
+
+                 slow cooperates     slow defects
+    fast C        (s - f,  f)          (0,  s)
+    fast D        (s,      0)          (0,  0)
+
+* A fast peer that cooperates with a slow peer nets ``s - f`` (it receives
+  ``s`` but forgoes ``f`` from another fast peer — its opportunity cost).
+* A fast peer that defects while the slow peer cooperates receives ``s``
+  for free.
+* A slow peer that cooperates with a cooperating fast peer sustains the
+  relationship and receives ``f``.
+* A slow peer that defects on a cooperating fast peer grabs a one-off ``f``
+  and then falls back to a slow partnership; the paper values this at
+  ``f + (s - f) = s``.
+
+Hence, under (a), *defect* is dominant for the fast peer and *cooperate* is
+dominant for the slow peer — the "BitTorrent Dilemma", which is structurally
+a Dictator-like / one-sided dilemma rather than a Prisoner's Dilemma.
+
+Figure 1(c) (Birds) re-evaluates the slow peer's opportunity costs: there is
+no opportunity cost in defecting against a fast peer, but cooperating with
+one costs a missed slow partnership (worth ``s``)::
+
+                 slow cooperates     slow defects
+    fast C        (s - f,  f - s)      (0,  f)
+    fast D        (s,      0)          (0,  0)
+
+Under (c) *defect* is dominant for both classes, i.e. peers prefer partners
+from their own bandwidth class ("birds of a feather stick together").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Action",
+    "NormalFormGame",
+    "prisoners_dilemma",
+    "dictator_game",
+    "one_sided_prisoners_dilemma",
+    "bittorrent_dilemma",
+    "birds_game",
+]
+
+
+class Action(str, Enum):
+    """The two actions of the cooperation games used throughout the paper."""
+
+    COOPERATE = "C"
+    DEFECT = "D"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class NormalFormGame:
+    """A two-player normal-form (bimatrix) game.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name of the game.
+    row_actions, col_actions:
+        Ordered action labels for the row and column player.
+    row_payoffs, col_payoffs:
+        Payoff matrices of shape ``(len(row_actions), len(col_actions))``.
+    row_label, col_label:
+        Optional descriptive labels for the players (e.g. ``"fast"`` and
+        ``"slow"`` in the BitTorrent Dilemma).
+    """
+
+    name: str
+    row_actions: Tuple[str, ...]
+    col_actions: Tuple[str, ...]
+    row_payoffs: Tuple[Tuple[float, ...], ...]
+    col_payoffs: Tuple[Tuple[float, ...], ...]
+    row_label: str = "row"
+    col_label: str = "column"
+
+    def __post_init__(self) -> None:
+        rows, cols = len(self.row_actions), len(self.col_actions)
+        if rows == 0 or cols == 0:
+            raise ValueError("games need at least one action per player")
+        for matrix_name, matrix in (("row_payoffs", self.row_payoffs),
+                                    ("col_payoffs", self.col_payoffs)):
+            if len(matrix) != rows or any(len(r) != cols for r in matrix):
+                raise ValueError(
+                    f"{matrix_name} must have shape ({rows}, {cols})"
+                )
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        row_actions: Sequence[str],
+        col_actions: Sequence[str],
+        row_payoffs: Sequence[Sequence[float]],
+        col_payoffs: Sequence[Sequence[float]],
+        row_label: str = "row",
+        col_label: str = "column",
+    ) -> "NormalFormGame":
+        """Build a game from nested sequences (converted to tuples)."""
+        return cls(
+            name=name,
+            row_actions=tuple(str(a) for a in row_actions),
+            col_actions=tuple(str(a) for a in col_actions),
+            row_payoffs=tuple(tuple(float(x) for x in row) for row in row_payoffs),
+            col_payoffs=tuple(tuple(float(x) for x in row) for row in col_payoffs),
+            row_label=row_label,
+            col_label=col_label,
+        )
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(number of row actions, number of column actions)``."""
+        return len(self.row_actions), len(self.col_actions)
+
+    def row_index(self, action: str) -> int:
+        """Index of ``action`` among the row player's actions."""
+        return self.row_actions.index(str(action))
+
+    def col_index(self, action: str) -> int:
+        """Index of ``action`` among the column player's actions."""
+        return self.col_actions.index(str(action))
+
+    def payoffs(self, row_action: str, col_action: str) -> Tuple[float, float]:
+        """Return ``(row payoff, column payoff)`` for an action profile."""
+        i, j = self.row_index(row_action), self.col_index(col_action)
+        return self.row_payoffs[i][j], self.col_payoffs[i][j]
+
+    def row_matrix(self) -> np.ndarray:
+        """Row player's payoff matrix as a numpy array."""
+        return np.asarray(self.row_payoffs, dtype=float)
+
+    def col_matrix(self) -> np.ndarray:
+        """Column player's payoff matrix as a numpy array."""
+        return np.asarray(self.col_payoffs, dtype=float)
+
+    def is_symmetric(self) -> bool:
+        """Whether the game is symmetric (same actions, transposed payoffs)."""
+        if self.row_actions != self.col_actions:
+            return False
+        return bool(np.allclose(self.row_matrix(), self.col_matrix().T))
+
+    def transpose(self) -> "NormalFormGame":
+        """Return the game with the player roles swapped."""
+        return NormalFormGame.from_arrays(
+            name=f"{self.name} (transposed)",
+            row_actions=self.col_actions,
+            col_actions=self.row_actions,
+            row_payoffs=self.col_matrix().T,
+            col_payoffs=self.row_matrix().T,
+            row_label=self.col_label,
+            col_label=self.row_label,
+        )
+
+    def describe(self) -> str:
+        """A printable description of the payoff matrix."""
+        lines: List[str] = [f"{self.name} ({self.row_label} x {self.col_label})"]
+        header = " " * 12 + "  ".join(f"{a:>14}" for a in self.col_actions)
+        lines.append(header)
+        for i, row_action in enumerate(self.row_actions):
+            cells = []
+            for j in range(len(self.col_actions)):
+                cells.append(
+                    f"({self.row_payoffs[i][j]:+.2f},{self.col_payoffs[i][j]:+.2f})"
+                )
+            lines.append(f"{row_action:>10}  " + "  ".join(f"{c:>14}" for c in cells))
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation of the game."""
+        return {
+            "name": self.name,
+            "row_label": self.row_label,
+            "col_label": self.col_label,
+            "row_actions": list(self.row_actions),
+            "col_actions": list(self.col_actions),
+            "row_payoffs": [list(r) for r in self.row_payoffs],
+            "col_payoffs": [list(r) for r in self.col_payoffs],
+        }
+
+
+# ---------------------------------------------------------------------- #
+# canonical games
+# ---------------------------------------------------------------------- #
+_CD = (Action.COOPERATE.value, Action.DEFECT.value)
+
+
+def prisoners_dilemma(
+    reward: float = 3.0,
+    temptation: float = 5.0,
+    sucker: float = 0.0,
+    punishment: float = 1.0,
+) -> NormalFormGame:
+    """The classic Prisoner's Dilemma.
+
+    Requires ``temptation > reward > punishment > sucker`` for the dilemma to
+    hold; the default values (5, 3, 1, 0) are Axelrod's.
+    """
+    if not temptation > reward > punishment > sucker:
+        raise ValueError(
+            "Prisoner's Dilemma requires temptation > reward > punishment > sucker"
+        )
+    row = [[reward, sucker], [temptation, punishment]]
+    col = [[reward, temptation], [sucker, punishment]]
+    return NormalFormGame.from_arrays(
+        "Prisoner's Dilemma", _CD, _CD, row, col, "player 1", "player 2"
+    )
+
+
+def dictator_game(endowment: float = 10.0, transfer: float = 5.0) -> NormalFormGame:
+    """A Dictator game in bimatrix form.
+
+    The row player (the dictator) chooses whether to share ``transfer`` of an
+    ``endowment``; the column player has a single passive action and no
+    strategic input — the structural property the paper compares the
+    fast/slow BitTorrent interaction to.
+    """
+    if not 0 <= transfer <= endowment:
+        raise ValueError("transfer must lie in [0, endowment]")
+    row = [[endowment - transfer], [endowment]]
+    col = [[transfer], [0.0]]
+    return NormalFormGame.from_arrays(
+        "Dictator game",
+        ("share", "keep"),
+        ("accept",),
+        row,
+        col,
+        "dictator",
+        "recipient",
+    )
+
+
+def one_sided_prisoners_dilemma(
+    benefit: float = 4.0, cost: float = 1.0
+) -> NormalFormGame:
+    """A One-Sided Prisoner's Dilemma.
+
+    Only the row player faces a defection temptation; the column player's
+    cooperation is weakly dominant.  ``benefit`` must exceed ``cost``.
+    """
+    if not benefit > cost > 0:
+        raise ValueError("requires benefit > cost > 0")
+    row = [[benefit - cost, 0.0], [benefit, 0.0]]
+    col = [[benefit - cost, benefit], [0.0, 0.0]]
+    return NormalFormGame.from_arrays(
+        "One-Sided Prisoner's Dilemma", _CD, _CD, row, col, "tempted", "committed"
+    )
+
+
+def _check_speeds(fast_speed: float, slow_speed: float) -> None:
+    if not fast_speed > slow_speed > 0:
+        raise ValueError(
+            "the BitTorrent Dilemma requires fast_speed > slow_speed > 0, "
+            f"got fast={fast_speed!r}, slow={slow_speed!r}"
+        )
+
+
+def bittorrent_dilemma(fast_speed: float = 100.0, slow_speed: float = 25.0) -> NormalFormGame:
+    """The BitTorrent Dilemma of Figure 1(a).
+
+    Row player is the *fast* peer (upload speed ``fast_speed``), column player
+    the *slow* peer (``slow_speed``).  Under these payoffs defection is the
+    dominant strategy of the fast peer while cooperation is the dominant
+    strategy of the slow peer, which is what makes the game Dictator-like
+    rather than a Prisoner's Dilemma.
+    """
+    _check_speeds(fast_speed, slow_speed)
+    f, s = float(fast_speed), float(slow_speed)
+    row = [[s - f, 0.0], [s, 0.0]]            # fast peer payoffs
+    col = [[f, s], [0.0, 0.0]]                # slow peer payoffs
+    return NormalFormGame.from_arrays(
+        "BitTorrent Dilemma", _CD, _CD, row, col, "fast", "slow"
+    )
+
+
+def birds_game(fast_speed: float = 100.0, slow_speed: float = 25.0) -> NormalFormGame:
+    """The modified payoffs of Figure 1(c) underlying the Birds protocol.
+
+    Compared to :func:`bittorrent_dilemma`, the slow peer's payoffs now charge
+    the opportunity cost of cooperating with a fast peer (a missed sustained
+    relationship with another slow peer, worth ``slow_speed``), so defection
+    becomes dominant for both classes.
+    """
+    _check_speeds(fast_speed, slow_speed)
+    f, s = float(fast_speed), float(slow_speed)
+    row = [[s - f, 0.0], [s, 0.0]]            # fast peer payoffs (unchanged)
+    col = [[f - s, f], [0.0, 0.0]]            # slow peer payoffs with opportunity cost
+    return NormalFormGame.from_arrays(
+        "Birds payoffs", _CD, _CD, row, col, "fast", "slow"
+    )

@@ -1,0 +1,139 @@
+"""Iterated two-player matches.
+
+An :class:`IteratedMatch` plays two :class:`~repro.gametheory.strategies.Strategy`
+instances against each other for a number of rounds on a symmetric two-action
+game (by default the Prisoner's Dilemma), optionally with action noise —
+the "trembling hand" that makes strategies like TF2T interesting.  The match
+records the full action history and cumulative payoffs; this is the engine
+behind the Axelrod-style tournament in :mod:`repro.gametheory.tournament` and
+is used in the paper's discussion of BitTorrent as a strategy in a repeated
+game.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.gametheory.games import Action, NormalFormGame, prisoners_dilemma
+from repro.gametheory.strategies import Strategy
+
+__all__ = ["MatchResult", "IteratedMatch"]
+
+
+@dataclass
+class MatchResult:
+    """Outcome of an iterated match between two strategies."""
+
+    strategy_names: Tuple[str, str]
+    rounds: int
+    actions: List[Tuple[Action, Action]] = field(default_factory=list)
+    scores: Tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def average_scores(self) -> Tuple[float, float]:
+        """Per-round average payoff of each player."""
+        if self.rounds == 0:
+            return (0.0, 0.0)
+        return (self.scores[0] / self.rounds, self.scores[1] / self.rounds)
+
+    def cooperation_rates(self) -> Tuple[float, float]:
+        """Fraction of rounds in which each player cooperated."""
+        if not self.actions:
+            return (0.0, 0.0)
+        coop1 = sum(1 for a, _ in self.actions if a == Action.COOPERATE)
+        coop2 = sum(1 for _, b in self.actions if b == Action.COOPERATE)
+        return (coop1 / len(self.actions), coop2 / len(self.actions))
+
+    def winner(self) -> Optional[str]:
+        """Name of the strategy with the higher score, or ``None`` on a tie."""
+        if self.scores[0] > self.scores[1]:
+            return self.strategy_names[0]
+        if self.scores[1] > self.scores[0]:
+            return self.strategy_names[1]
+        return None
+
+
+class IteratedMatch:
+    """Play two strategies against each other for a fixed number of rounds.
+
+    Parameters
+    ----------
+    strategy_one, strategy_two:
+        The competing strategies.
+    game:
+        A symmetric two-action game whose actions are ``"C"`` and ``"D"``.
+        Defaults to the standard Prisoner's Dilemma.
+    rounds:
+        Number of rounds to play (the paper's "shadow of the future" is large,
+        i.e. many rounds).
+    noise:
+        Probability that an intended action is flipped, independently per
+        player per round.
+    seed:
+        Seed for the match's private random generator (used by stochastic
+        strategies and by noise).
+    """
+
+    def __init__(
+        self,
+        strategy_one: Strategy,
+        strategy_two: Strategy,
+        game: Optional[NormalFormGame] = None,
+        rounds: int = 200,
+        noise: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError("noise must be in [0, 1]")
+        self.game = game if game is not None else prisoners_dilemma()
+        expected_actions = (Action.COOPERATE.value, Action.DEFECT.value)
+        if (
+            tuple(self.game.row_actions) != expected_actions
+            or tuple(self.game.col_actions) != expected_actions
+        ):
+            raise ValueError(
+                "IteratedMatch requires a game with actions ('C', 'D') for both players"
+            )
+        self.strategy_one = strategy_one
+        self.strategy_two = strategy_two
+        self.rounds = rounds
+        self.noise = noise
+        self._rng = random.Random(seed)
+
+    def _maybe_flip(self, action: Action) -> Action:
+        if self.noise > 0.0 and self._rng.random() < self.noise:
+            return Action.DEFECT if action == Action.COOPERATE else Action.COOPERATE
+        return action
+
+    def play(self) -> MatchResult:
+        """Run the match and return its :class:`MatchResult`."""
+        history_one: List[Action] = []
+        history_two: List[Action] = []
+        actions: List[Tuple[Action, Action]] = []
+        score_one = 0.0
+        score_two = 0.0
+
+        for _ in range(self.rounds):
+            move_one = self._maybe_flip(
+                self.strategy_one.decide(history_one, history_two, self._rng)
+            )
+            move_two = self._maybe_flip(
+                self.strategy_two.decide(history_two, history_one, self._rng)
+            )
+            payoff_one, payoff_two = self.game.payoffs(move_one.value, move_two.value)
+            score_one += payoff_one
+            score_two += payoff_two
+            history_one.append(move_one)
+            history_two.append(move_two)
+            actions.append((move_one, move_two))
+
+        return MatchResult(
+            strategy_names=(self.strategy_one.name, self.strategy_two.name),
+            rounds=self.rounds,
+            actions=actions,
+            scores=(score_one, score_two),
+        )

@@ -1,0 +1,221 @@
+"""Iterated-game strategies.
+
+Section 2.1 of the paper models BitTorrent peers as players of repeated
+two-action games following Tit-for-Tat-like strategies, and Section 4.2's
+candidate-list actualizations (TFT / TF2T) are lifted directly from the
+repeated-games literature (Axelrod).  This module provides a small library of
+memory-bounded strategies with a uniform interface, used by the iterated
+match engine and the Axelrod-style tournament.
+
+A strategy decides its next action from the match history so far.  History is
+provided as two equal-length sequences: the actions the strategy itself played
+and the actions its opponent played, most recent last.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.gametheory.games import Action
+
+__all__ = [
+    "Strategy",
+    "AlwaysCooperate",
+    "AlwaysDefect",
+    "TitForTat",
+    "TitForTwoTats",
+    "SuspiciousTitForTat",
+    "GenerousTitForTat",
+    "GrimTrigger",
+    "Pavlov",
+    "RandomStrategy",
+    "Alternator",
+    "strategy_registry",
+]
+
+C, D = Action.COOPERATE, Action.DEFECT
+
+
+class Strategy(ABC):
+    """Base class for iterated-game strategies.
+
+    Subclasses implement :meth:`decide`.  Strategies are stateless between
+    matches: any per-match state must be derived from the provided history,
+    which keeps matches trivially replayable and the tournament engine free
+    to reuse strategy instances.
+    """
+
+    #: Short name used in tournament tables; defaults to the class name.
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+
+    @abstractmethod
+    def decide(
+        self,
+        own_history: Sequence[Action],
+        opponent_history: Sequence[Action],
+        rng: Optional[random.Random] = None,
+    ) -> Action:
+        """Return the next action given the match history."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class AlwaysCooperate(Strategy):
+    """Cooperate unconditionally."""
+
+    name = "AllC"
+
+    def decide(self, own_history, opponent_history, rng=None) -> Action:
+        return C
+
+
+class AlwaysDefect(Strategy):
+    """Defect unconditionally (the strategy of Locher et al.'s BitThief-style client)."""
+
+    name = "AllD"
+
+    def decide(self, own_history, opponent_history, rng=None) -> Action:
+        return D
+
+
+class TitForTat(Strategy):
+    """Cooperate first, then mirror the opponent's previous move.
+
+    This is the strategy the paper identifies with BitTorrent's regular
+    unchoke behaviour.
+    """
+
+    name = "TFT"
+
+    def decide(self, own_history, opponent_history, rng=None) -> Action:
+        if not opponent_history:
+            return C
+        return opponent_history[-1]
+
+
+class TitForTwoTats(Strategy):
+    """Defect only after two consecutive opponent defections (Axelrod's TF2T).
+
+    This is the C2 candidate-list actualization of Section 4.2: a partner is
+    forgiven a single lapse.
+    """
+
+    name = "TF2T"
+
+    def decide(self, own_history, opponent_history, rng=None) -> Action:
+        if len(opponent_history) < 2:
+            return C
+        if opponent_history[-1] == D and opponent_history[-2] == D:
+            return D
+        return C
+
+
+class SuspiciousTitForTat(Strategy):
+    """Like TFT but opens with defection."""
+
+    name = "STFT"
+
+    def decide(self, own_history, opponent_history, rng=None) -> Action:
+        if not opponent_history:
+            return D
+        return opponent_history[-1]
+
+
+class GenerousTitForTat(Strategy):
+    """TFT that forgives a defection with probability ``generosity``."""
+
+    name = "GTFT"
+
+    def __init__(self, generosity: float = 0.1):
+        super().__init__()
+        if not 0.0 <= generosity <= 1.0:
+            raise ValueError("generosity must be in [0, 1]")
+        self.generosity = generosity
+
+    def decide(self, own_history, opponent_history, rng=None) -> Action:
+        if not opponent_history:
+            return C
+        if opponent_history[-1] == C:
+            return C
+        rng = rng or random
+        return C if rng.random() < self.generosity else D
+
+
+class GrimTrigger(Strategy):
+    """Cooperate until the opponent defects once, then defect forever."""
+
+    name = "Grim"
+
+    def decide(self, own_history, opponent_history, rng=None) -> Action:
+        return D if D in opponent_history else C
+
+
+class Pavlov(Strategy):
+    """Win-Stay / Lose-Shift (the aspiration-based strategy of Posch [25]).
+
+    Repeats its previous action after a "win" (opponent cooperated), switches
+    after a "loss" (opponent defected).  This is the inspiration behind the
+    Sort Adaptive ranking function (I4).
+    """
+
+    name = "Pavlov"
+
+    def decide(self, own_history, opponent_history, rng=None) -> Action:
+        if not own_history:
+            return C
+        last_own, last_opp = own_history[-1], opponent_history[-1]
+        if last_opp == C:
+            return last_own
+        return C if last_own == D else D
+
+
+class RandomStrategy(Strategy):
+    """Cooperate with a fixed probability each round."""
+
+    name = "Random"
+
+    def __init__(self, cooperation_probability: float = 0.5):
+        super().__init__()
+        if not 0.0 <= cooperation_probability <= 1.0:
+            raise ValueError("cooperation_probability must be in [0, 1]")
+        self.cooperation_probability = cooperation_probability
+
+    def decide(self, own_history, opponent_history, rng=None) -> Action:
+        rng = rng or random
+        return C if rng.random() < self.cooperation_probability else D
+
+
+class Alternator(Strategy):
+    """Alternate cooperate / defect starting with cooperation."""
+
+    name = "Alternator"
+
+    def decide(self, own_history, opponent_history, rng=None) -> Action:
+        return C if len(own_history) % 2 == 0 else D
+
+
+def strategy_registry() -> Dict[str, Type[Strategy]]:
+    """Mapping of strategy short names to strategy classes.
+
+    Useful for building tournaments from configuration strings.
+    """
+    classes: List[Type[Strategy]] = [
+        AlwaysCooperate,
+        AlwaysDefect,
+        TitForTat,
+        TitForTwoTats,
+        SuspiciousTitForTat,
+        GenerousTitForTat,
+        GrimTrigger,
+        Pavlov,
+        RandomStrategy,
+        Alternator,
+    ]
+    return {cls.name: cls for cls in classes}

@@ -1,0 +1,148 @@
+"""Axelrod-style round-robin tournaments of iterated-game strategies.
+
+The paper's Design Space Analysis is explicitly "inspired by the work of
+Axelrod", whose computer tournaments pitted every submitted strategy against
+every other (and itself) in an iterated Prisoner's Dilemma.  This module
+implements that tournament as a reusable component: it is used in tests and
+examples to demonstrate the lineage between Axelrod's tournament and the PRA
+quantification (which generalises the idea from strategies in a matrix game
+to full protocols in a simulated P2P system).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gametheory.games import NormalFormGame, prisoners_dilemma
+from repro.gametheory.iterated import IteratedMatch, MatchResult
+from repro.gametheory.strategies import Strategy
+from repro.utils.rng import RngFactory
+
+__all__ = ["TournamentResult", "AxelrodTournament"]
+
+
+@dataclass
+class TournamentResult:
+    """Aggregated outcome of a round-robin tournament."""
+
+    strategy_names: List[str]
+    total_scores: Dict[str, float]
+    rounds_played: Dict[str, int]
+    match_results: List[MatchResult] = field(default_factory=list)
+
+    def average_scores(self) -> Dict[str, float]:
+        """Average per-round score of each strategy across all its matches."""
+        return {
+            name: (self.total_scores[name] / self.rounds_played[name]
+                   if self.rounds_played[name] else 0.0)
+            for name in self.strategy_names
+        }
+
+    def ranking(self) -> List[Tuple[str, float]]:
+        """Strategies ordered by decreasing average score."""
+        return sorted(
+            self.average_scores().items(), key=lambda item: item[1], reverse=True
+        )
+
+    def winner(self) -> str:
+        """Name of the top-ranked strategy."""
+        return self.ranking()[0][0]
+
+
+class AxelrodTournament:
+    """Round-robin iterated-game tournament.
+
+    Every strategy plays every other strategy (and, optionally, itself) for a
+    fixed number of rounds per match and a number of repetitions per pairing.
+
+    Parameters
+    ----------
+    strategies:
+        The participating strategies.  Names must be unique.
+    game:
+        Symmetric two-action stage game; defaults to the Prisoner's Dilemma.
+    rounds:
+        Rounds per match.
+    repetitions:
+        Number of independent matches per pairing (relevant when strategies
+        or noise are stochastic).
+    noise:
+        Per-action flip probability passed to every match.
+    include_self_play:
+        Whether each strategy also plays a copy of itself (as in Axelrod's
+        original tournament).
+    seed:
+        Master seed; every match derives an independent sub-seed.
+    """
+
+    def __init__(
+        self,
+        strategies: Sequence[Strategy],
+        game: Optional[NormalFormGame] = None,
+        rounds: int = 200,
+        repetitions: int = 1,
+        noise: float = 0.0,
+        include_self_play: bool = True,
+        seed: int = 0,
+    ):
+        names = [s.name for s in strategies]
+        if len(set(names)) != len(names):
+            raise ValueError(f"strategy names must be unique, got {names!r}")
+        if len(strategies) < 2:
+            raise ValueError("a tournament needs at least two strategies")
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        self.strategies = list(strategies)
+        self.game = game if game is not None else prisoners_dilemma()
+        self.rounds = rounds
+        self.repetitions = repetitions
+        self.noise = noise
+        self.include_self_play = include_self_play
+        self._rng_factory = RngFactory(seed)
+
+    def _pairings(self) -> List[Tuple[int, int]]:
+        indices = range(len(self.strategies))
+        pairs = list(itertools.combinations(indices, 2))
+        if self.include_self_play:
+            pairs.extend((i, i) for i in indices)
+        return pairs
+
+    def play(self) -> TournamentResult:
+        """Run the full tournament and return aggregated results."""
+        names = [s.name for s in self.strategies]
+        totals: Dict[str, float] = {name: 0.0 for name in names}
+        rounds_played: Dict[str, int] = {name: 0 for name in names}
+        matches: List[MatchResult] = []
+
+        for i, j in self._pairings():
+            for rep in range(self.repetitions):
+                seed = self._rng_factory.seed_for(f"match/{i}/{j}/{rep}")
+                match = IteratedMatch(
+                    self.strategies[i],
+                    self.strategies[j],
+                    game=self.game,
+                    rounds=self.rounds,
+                    noise=self.noise,
+                    seed=seed,
+                )
+                result = match.play()
+                matches.append(result)
+                totals[names[i]] += result.scores[0]
+                rounds_played[names[i]] += result.rounds
+                if i != j:
+                    totals[names[j]] += result.scores[1]
+                    rounds_played[names[j]] += result.rounds
+                else:
+                    # Self-play: both seats belong to the same strategy; count
+                    # the second seat as well so averages stay comparable.
+                    totals[names[i]] += result.scores[1]
+                    rounds_played[names[i]] += result.rounds
+
+        return TournamentResult(
+            strategy_names=names,
+            total_scores=totals,
+            rounds_played=rounds_played,
+            match_results=matches,
+        )

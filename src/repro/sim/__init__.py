@@ -1,0 +1,64 @@
+"""Cycle-based P2P simulation model (Section 4.3.1 of the paper).
+
+This sub-package implements the simulation substrate on which the Design
+Space Analysis of Section 4 executes protocol variants:
+
+* time consists of rounds; in each round every peer selects partners from a
+  candidate list built from recent interactions, decides how to treat
+  strangers, and divides its upload capacity over the chosen targets;
+* peers are initialised with upload capacities drawn from a Piatek-style
+  bandwidth distribution (:mod:`repro.sim.bandwidth`);
+* a peer's behaviour is fully described by a :class:`~repro.sim.behavior.PeerBehavior`
+  (stranger policy, candidate list, ranking function, number of partners and
+  resource-allocation policy) — exactly the dimensions actualised in
+  Section 4.2;
+* optional churn replaces peers with fresh ones at a configurable per-round
+  rate (used for the §4.4 churn check).
+
+The engine (:mod:`repro.sim.engine`) is deliberately lightweight — plain
+dictionaries, no per-message objects — so the PRA tournament can run tens of
+thousands of simulations in a benchmark session.
+"""
+
+from repro.sim.bandwidth import (
+    BandwidthDistribution,
+    ConstantBandwidth,
+    EmpiricalBandwidth,
+    TwoClassBandwidth,
+    UniformBandwidth,
+    piatek_distribution,
+)
+from repro.sim.behavior import (
+    ALLOCATION_POLICIES,
+    CANDIDATE_POLICIES,
+    RANKING_FUNCTIONS,
+    STRANGER_POLICIES,
+    PeerBehavior,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulation, SimulationResult
+from repro.sim.history import InteractionHistory
+from repro.sim.metrics import GroupMetrics, compute_group_metrics, population_throughput
+from repro.sim.peer import PeerState
+
+__all__ = [
+    "BandwidthDistribution",
+    "ConstantBandwidth",
+    "EmpiricalBandwidth",
+    "TwoClassBandwidth",
+    "UniformBandwidth",
+    "piatek_distribution",
+    "PeerBehavior",
+    "STRANGER_POLICIES",
+    "CANDIDATE_POLICIES",
+    "RANKING_FUNCTIONS",
+    "ALLOCATION_POLICIES",
+    "SimulationConfig",
+    "Simulation",
+    "SimulationResult",
+    "InteractionHistory",
+    "PeerState",
+    "GroupMetrics",
+    "compute_group_metrics",
+    "population_throughput",
+]

@@ -1,0 +1,212 @@
+"""Upload-capacity (bandwidth) distributions for peer populations.
+
+The paper initialises its simulated peers "using the bandwidth distribution
+provided by Piatek et al." — an empirical distribution of BitTorrent peers'
+upload capacities measured in NSDI'07, dominated by slow residential uplinks
+with a long tail of very fast peers.  The measured trace itself is not
+available offline, so :func:`piatek_distribution` provides a synthetic
+piecewise-empirical stand-in with the same qualitative shape (documented in
+DESIGN.md).  The class hierarchy also provides constant, uniform, two-class
+and fully custom empirical distributions used by tests, examples and the
+analytical-model comparisons.
+
+All distributions are sampled with an explicit ``random.Random`` so peer
+populations are reproducible.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BandwidthDistribution",
+    "ConstantBandwidth",
+    "UniformBandwidth",
+    "TwoClassBandwidth",
+    "EmpiricalBandwidth",
+    "piatek_distribution",
+]
+
+
+class BandwidthDistribution(ABC):
+    """Base class for upload-capacity distributions (values in KBps)."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one upload capacity."""
+
+    def sample_population(self, count: int, rng: random.Random) -> List[float]:
+        """Draw ``count`` upload capacities."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.sample(rng) for _ in range(count)]
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected upload capacity."""
+
+
+class ConstantBandwidth(BandwidthDistribution):
+    """Every peer has the same upload capacity."""
+
+    def __init__(self, capacity: float = 100.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.capacity
+
+    def mean(self) -> float:
+        return self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ConstantBandwidth({self.capacity:g})"
+
+
+class UniformBandwidth(BandwidthDistribution):
+    """Upload capacities drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 20.0, high: float = 200.0):
+        if not 0 < low <= high:
+            raise ValueError("require 0 < low <= high")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"UniformBandwidth({self.low:g}, {self.high:g})"
+
+
+class TwoClassBandwidth(BandwidthDistribution):
+    """A fast/slow two-class population, as in the Section 2 analysis.
+
+    Parameters
+    ----------
+    slow_capacity, fast_capacity:
+        Upload capacity of slow and fast peers (``fast > slow``).
+    fast_fraction:
+        Probability that a sampled peer is fast.
+    """
+
+    def __init__(
+        self,
+        slow_capacity: float = 25.0,
+        fast_capacity: float = 100.0,
+        fast_fraction: float = 0.5,
+    ):
+        if not fast_capacity > slow_capacity > 0:
+            raise ValueError("require fast_capacity > slow_capacity > 0")
+        if not 0.0 <= fast_fraction <= 1.0:
+            raise ValueError("fast_fraction must be in [0, 1]")
+        self.slow_capacity = float(slow_capacity)
+        self.fast_capacity = float(fast_capacity)
+        self.fast_fraction = float(fast_fraction)
+
+    def sample(self, rng: random.Random) -> float:
+        if rng.random() < self.fast_fraction:
+            return self.fast_capacity
+        return self.slow_capacity
+
+    def mean(self) -> float:
+        return (
+            self.fast_fraction * self.fast_capacity
+            + (1.0 - self.fast_fraction) * self.slow_capacity
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"TwoClassBandwidth(slow={self.slow_capacity:g}, "
+            f"fast={self.fast_capacity:g}, fast_fraction={self.fast_fraction:g})"
+        )
+
+
+class EmpiricalBandwidth(BandwidthDistribution):
+    """A piecewise-empirical distribution defined by (probability, capacity) buckets.
+
+    Sampling picks a bucket according to its probability and then draws
+    uniformly between the bucket's capacity and the next bucket's capacity
+    (the last bucket returns its capacity exactly), giving a continuous
+    long-tailed distribution from a small table.
+    """
+
+    def __init__(self, buckets: Sequence[Tuple[float, float]]):
+        """``buckets`` is a sequence of ``(probability, capacity_kbps)`` pairs."""
+        if not buckets:
+            raise ValueError("at least one bucket is required")
+        probs = [float(p) for p, _ in buckets]
+        caps = [float(c) for _, c in buckets]
+        if any(p <= 0 for p in probs):
+            raise ValueError("bucket probabilities must be positive")
+        if any(c <= 0 for c in caps):
+            raise ValueError("bucket capacities must be positive")
+        if abs(sum(probs) - 1.0) > 1e-6:
+            raise ValueError(f"bucket probabilities must sum to 1, got {sum(probs)}")
+        if caps != sorted(caps):
+            raise ValueError("bucket capacities must be given in increasing order")
+        self._probabilities = probs
+        self._capacities = caps
+        self._cumulative: List[float] = []
+        running = 0.0
+        for p in probs:
+            running += p
+            self._cumulative.append(running)
+        self._cumulative[-1] = 1.0
+
+    @property
+    def buckets(self) -> List[Tuple[float, float]]:
+        """The ``(probability, capacity)`` table."""
+        return list(zip(self._probabilities, self._capacities))
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        index = bisect.bisect_left(self._cumulative, u)
+        index = min(index, len(self._capacities) - 1)
+        low = self._capacities[index]
+        if index + 1 < len(self._capacities):
+            high = self._capacities[index + 1]
+            return rng.uniform(low, high)
+        return low
+
+    def mean(self) -> float:
+        total = 0.0
+        for i, (p, low) in enumerate(zip(self._probabilities, self._capacities)):
+            if i + 1 < len(self._capacities):
+                total += p * (low + self._capacities[i + 1]) / 2.0
+            else:
+                total += p * low
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"EmpiricalBandwidth({len(self._capacities)} buckets)"
+
+
+def piatek_distribution() -> EmpiricalBandwidth:
+    """Synthetic stand-in for the Piatek et al. upload-capacity distribution.
+
+    The measured distribution (NSDI'07, Figure 2 of that paper) is dominated
+    by peers with a few tens of KBps upload capacity, has a substantial
+    population in the 100-300 KBps range and a thin tail of very fast peers.
+    The bucket table below reproduces that qualitative shape; absolute
+    percentiles are synthetic (see DESIGN.md, substitutions table).
+    """
+    return EmpiricalBandwidth(
+        [
+            (0.15, 10.0),
+            (0.25, 30.0),
+            (0.25, 60.0),
+            (0.15, 100.0),
+            (0.10, 200.0),
+            (0.06, 400.0),
+            (0.03, 1000.0),
+            (0.01, 3000.0),
+        ]
+    )

@@ -1,0 +1,214 @@
+"""Executable peer behaviour: the actualized protocol dimensions of Section 4.2.
+
+A :class:`PeerBehavior` is the *executable* form of a protocol from the
+design space: it fixes one actualization for every dimension the paper
+sweeps —
+
+* **stranger policy** (B1 Periodic / B2 When-needed / B3 Defect, plus the
+  degenerate "no strangers" policy) and the number of strangers ``h``,
+* **candidate list** (C1 TFT — peers seen interacting in the last round,
+  C2 TF2T — last two rounds),
+* **ranking function** (I1 Sort Fastest, I2 Sort Slowest, I3 Sort Proximity
+  as in Birds, I4 Sort Adaptive, I5 Sort Loyal, I6 Random),
+* **number of partners** ``k`` (0-9),
+* **resource allocation** (R1 Equal Split, R2 Prop Share, R3 Freeride).
+
+The DSA layer (:mod:`repro.core.protocol`) wraps a :class:`PeerBehavior` with
+design-space metadata; the simulation engine only ever sees behaviours, which
+keeps the substrate independent of the analysis framework built on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+__all__ = [
+    "PeerBehavior",
+    "STRANGER_POLICIES",
+    "CANDIDATE_POLICIES",
+    "RANKING_FUNCTIONS",
+    "ALLOCATION_POLICIES",
+    "MAX_PARTNERS",
+    "MAX_STRANGERS",
+]
+
+#: Stranger-policy actualizations (paper labels in parentheses).
+STRANGER_POLICIES: Tuple[str, ...] = (
+    "none",         # the extra 10th policy: zero strangers
+    "periodic",     # B1: cooperate with up to h strangers periodically
+    "when_needed",  # B2: cooperate with strangers only when partner set not full
+    "defect",       # B3: always defect on strangers (explicit refusal)
+)
+
+#: Candidate-list actualizations.
+CANDIDATE_POLICIES: Tuple[str, ...] = (
+    "tft",   # C1: peers that interacted with us in the last round
+    "tf2t",  # C2: peers that interacted with us in either of the last two rounds
+)
+
+#: Ranking-function actualizations.
+RANKING_FUNCTIONS: Tuple[str, ...] = (
+    "fastest",    # I1
+    "slowest",    # I2
+    "proximity",  # I3 (Birds)
+    "adaptive",   # I4 (aspiration-based, Win-Stay-Lose-Shift inspired)
+    "loyal",      # I5
+    "random",     # I6
+)
+
+#: Resource-allocation actualizations.
+ALLOCATION_POLICIES: Tuple[str, ...] = (
+    "equal_split",  # R1
+    "prop_share",   # R2
+    "freeride",     # R3
+)
+
+#: Paper sweep bounds: k in [0, 9], h in [0, 3].
+MAX_PARTNERS = 9
+MAX_STRANGERS = 3
+
+
+@dataclass(frozen=True)
+class PeerBehavior:
+    """One fully-actualized protocol, as executed by the simulation engine.
+
+    Parameters
+    ----------
+    stranger_policy:
+        One of :data:`STRANGER_POLICIES`.
+    stranger_count:
+        ``h``, the maximum number of strangers cooperated with at a time
+        (must be 0 iff the policy is ``"none"`` or ``"defect"``-with-zero; the
+        paper uses 1-3 for B1/B2/B3).
+    candidate_policy:
+        One of :data:`CANDIDATE_POLICIES`.
+    ranking:
+        One of :data:`RANKING_FUNCTIONS`.
+    partner_count:
+        ``k``, the maximum number of partners selected from the ranked
+        candidate list (0-9; 0 is the degenerate "no partners" protocol).
+    allocation:
+        One of :data:`ALLOCATION_POLICIES`.
+    stranger_period:
+        Period (in rounds) of the B1 Periodic policy; 1 means every round.
+    """
+
+    stranger_policy: str = "periodic"
+    stranger_count: int = 1
+    candidate_policy: str = "tft"
+    ranking: str = "fastest"
+    partner_count: int = 4
+    allocation: str = "equal_split"
+    stranger_period: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stranger_policy not in STRANGER_POLICIES:
+            raise ValueError(
+                f"unknown stranger_policy {self.stranger_policy!r}; "
+                f"expected one of {STRANGER_POLICIES}"
+            )
+        if self.candidate_policy not in CANDIDATE_POLICIES:
+            raise ValueError(
+                f"unknown candidate_policy {self.candidate_policy!r}; "
+                f"expected one of {CANDIDATE_POLICIES}"
+            )
+        if self.ranking not in RANKING_FUNCTIONS:
+            raise ValueError(
+                f"unknown ranking {self.ranking!r}; expected one of {RANKING_FUNCTIONS}"
+            )
+        if self.allocation not in ALLOCATION_POLICIES:
+            raise ValueError(
+                f"unknown allocation {self.allocation!r}; "
+                f"expected one of {ALLOCATION_POLICIES}"
+            )
+        if not 0 <= self.partner_count <= MAX_PARTNERS:
+            raise ValueError(
+                f"partner_count must be in [0, {MAX_PARTNERS}], got {self.partner_count}"
+            )
+        if not 0 <= self.stranger_count <= MAX_STRANGERS:
+            raise ValueError(
+                f"stranger_count must be in [0, {MAX_STRANGERS}], got {self.stranger_count}"
+            )
+        if self.stranger_policy == "none" and self.stranger_count != 0:
+            raise ValueError("stranger_policy 'none' requires stranger_count == 0")
+        if self.stranger_policy in ("periodic", "when_needed") and self.stranger_count == 0:
+            raise ValueError(
+                f"stranger_policy {self.stranger_policy!r} requires stranger_count >= 1"
+            )
+        if self.stranger_period < 1:
+            raise ValueError("stranger_period must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def candidate_window(self) -> int:
+        """History window (in rounds) of the candidate list (1 for TFT, 2 for TF2T)."""
+        return 1 if self.candidate_policy == "tft" else 2
+
+    @property
+    def total_slots(self) -> int:
+        """Nominal upload slots: partners plus stranger slots (at least 0)."""
+        return self.partner_count + self.stranger_count
+
+    @property
+    def uploads_nothing(self) -> bool:
+        """Whether this behaviour can never upload anything.
+
+        A peer uploads nothing when it freerides on partners *and* has no
+        stranger slots (or defects on strangers), or when it has zero slots
+        altogether.
+        """
+        gives_to_strangers = self.stranger_policy in ("periodic", "when_needed")
+        gives_to_partners = self.allocation != "freeride" and self.partner_count > 0
+        return not (gives_to_strangers or gives_to_partners)
+
+    def with_(self, **changes) -> "PeerBehavior":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def label(self) -> str:
+        """A compact human-readable label, e.g. ``"B2h2-C1-I5k7-R2"``."""
+        stranger_codes = {"none": "B0", "periodic": "B1", "when_needed": "B2", "defect": "B3"}
+        candidate_codes = {"tft": "C1", "tf2t": "C2"}
+        ranking_codes = {
+            "fastest": "I1",
+            "slowest": "I2",
+            "proximity": "I3",
+            "adaptive": "I4",
+            "loyal": "I5",
+            "random": "I6",
+        }
+        allocation_codes = {"equal_split": "R1", "prop_share": "R2", "freeride": "R3"}
+        return (
+            f"{stranger_codes[self.stranger_policy]}h{self.stranger_count}-"
+            f"{candidate_codes[self.candidate_policy]}-"
+            f"{ranking_codes[self.ranking]}k{self.partner_count}-"
+            f"{allocation_codes[self.allocation]}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "stranger_policy": self.stranger_policy,
+            "stranger_count": self.stranger_count,
+            "candidate_policy": self.candidate_policy,
+            "ranking": self.ranking,
+            "partner_count": self.partner_count,
+            "allocation": self.allocation,
+            "stranger_period": self.stranger_period,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PeerBehavior":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            stranger_policy=str(data["stranger_policy"]),
+            stranger_count=int(data["stranger_count"]),
+            candidate_policy=str(data["candidate_policy"]),
+            ranking=str(data["ranking"]),
+            partner_count=int(data["partner_count"]),
+            allocation=str(data["allocation"]),
+            stranger_period=int(data.get("stranger_period", 1)),
+        )

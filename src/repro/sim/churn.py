@@ -1,0 +1,80 @@
+"""Churn process: peers leaving and being replaced by fresh peers.
+
+Section 4.4 of the paper checks that its performance conclusions survive
+churn rates of 0.01 and 0.1 per round.  The churn model here is the simplest
+one consistent with that experiment: each round, every peer independently
+departs with probability ``churn_rate`` and is immediately replaced by a new
+peer (same protocol group, freshly sampled or retained upload capacity, empty
+history).  Other peers forget everything they knew about the departed
+identity, exactly as if a new node had joined under a new identity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.sim.bandwidth import BandwidthDistribution
+from repro.sim.peer import PeerState
+
+__all__ = ["apply_churn"]
+
+
+def apply_churn(
+    peers: Sequence[PeerState],
+    churn_rate: float,
+    round_index: int,
+    rng: random.Random,
+    bandwidth: BandwidthDistribution,
+    resample_capacity: bool = True,
+) -> List[int]:
+    """Apply one round of churn to ``peers`` in place.
+
+    Parameters
+    ----------
+    peers:
+        All peers in the simulation.
+    churn_rate:
+        Per-peer departure probability for this round.
+    round_index:
+        Current round (recorded as the replacement peer's join round).
+    rng:
+        Random generator driving departures and capacity resampling.
+    bandwidth:
+        Distribution used to draw the replacement peer's upload capacity when
+        ``resample_capacity`` is true.
+    resample_capacity:
+        Whether the replacement draws a fresh capacity (a genuinely new node)
+        or inherits the old one (pure session reset).
+
+    Returns
+    -------
+    list of int
+        The peer ids that churned this round.
+    """
+    if not 0.0 <= churn_rate < 1.0:
+        raise ValueError("churn_rate must be in [0, 1)")
+    if churn_rate == 0.0:
+        return []
+
+    churned: List[int] = []
+    for peer in peers:
+        if rng.random() < churn_rate:
+            churned.append(peer.peer_id)
+
+    if not churned:
+        return []
+
+    churned_set = set(churned)
+    for peer in peers:
+        if peer.peer_id in churned_set:
+            if resample_capacity:
+                peer.upload_capacity = bandwidth.sample(rng)
+            peer.reset_for_rejoin(round_index)
+        else:
+            # Everyone else forgets the departed identities.
+            for gone in churned_set:
+                peer.history.forget_peer(gone)
+                peer.loyalty.pop(gone, None)
+                peer.pending_requests.discard(gone)
+    return churned

@@ -1,0 +1,291 @@
+"""The cycle-based simulation engine (Section 4.3.1).
+
+One :class:`Simulation` executes a population of peers, each running a
+:class:`~repro.sim.behavior.PeerBehavior`, for a configured number of rounds.
+Every round proceeds in two phases:
+
+1. **Decision phase** — each peer, using only information available at the
+   start of the round, (a) builds its candidate list from recent
+   interactions, (b) ranks the candidates and selects up to ``k`` partners,
+   (c) applies its stranger policy to recent contacts it has no history
+   with, (d) divides its upload capacity over the chosen targets according to
+   its allocation policy, and (e) issues discovery/service requests to random
+   peers.
+
+2. **Transfer phase** — all allocations are applied simultaneously: the
+   receiving peers record the interactions (including explicit zero-amount
+   refusals), transfer accounting is updated, loyalty counters and adaptive
+   aspiration levels are refreshed, and the requests issued this round become
+   the targets' pending contacts for the next round.
+
+The two-phase structure removes any dependence on peer iteration order within
+a round, which keeps runs reproducible and unbiased.
+
+Churn, when enabled, is applied at the start of each round (see
+:mod:`repro.sim.churn`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.behavior import PeerBehavior
+from repro.sim.churn import apply_churn
+from repro.sim.config import SimulationConfig
+from repro.sim.history import InteractionHistory
+from repro.sim.metrics import (
+    GroupMetrics,
+    PeerRecord,
+    compute_group_metrics,
+    population_throughput,
+)
+from repro.sim.peer import PeerState
+from repro.sim.policies.allocation import allocate_upload
+from repro.sim.policies.candidate import candidate_list
+from repro.sim.policies.ranking import rank_candidates
+from repro.sim.policies.stranger import stranger_decision
+
+__all__ = ["Simulation", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    config: SimulationConfig
+    records: List[PeerRecord]
+    rounds_executed: int
+    churn_events: int = 0
+    total_explicit_refusals: int = 0
+
+    @property
+    def measured_rounds(self) -> int:
+        return self.config.measured_rounds
+
+    @property
+    def throughput(self) -> float:
+        """Population throughput per measured round (the Performance metric)."""
+        return population_throughput(self.records, self.measured_rounds)
+
+    @property
+    def mean_download_per_peer(self) -> float:
+        """Average cumulative download per peer over the measured rounds."""
+        if not self.records:
+            return 0.0
+        return sum(r.downloaded for r in self.records) / len(self.records)
+
+    def group_metrics(self) -> Dict[str, GroupMetrics]:
+        """Aggregate metrics per protocol group."""
+        return compute_group_metrics(self.records, self.measured_rounds)
+
+    def group_mean_download(self, group: str) -> float:
+        """Average per-peer download of one group (KeyError if absent)."""
+        return self.group_metrics()[group].mean_downloaded
+
+    def groups(self) -> List[str]:
+        """The distinct group labels present, sorted."""
+        return sorted({r.group for r in self.records})
+
+    def utilization(self) -> float:
+        """Fraction of total upload capacity actually used across the run."""
+        capacity = sum(r.upload_capacity for r in self.records) * self.measured_rounds
+        if capacity <= 0:
+            return 0.0
+        return sum(r.uploaded for r in self.records) / capacity
+
+
+class Simulation:
+    """A single cycle-based simulation run.
+
+    Parameters
+    ----------
+    config:
+        Run parameters (population size, rounds, churn, ...).
+    behaviors:
+        Either one behaviour per peer (``len == n_peers``) or a single
+        behaviour broadcast to the entire population.
+    groups:
+        Optional group label per peer (same length rules).  PRA encounters
+        label the two sub-populations so their utilities can be compared;
+        homogeneous runs can omit this.
+    seed:
+        Seed of the run's private random generator.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        behaviors: Sequence[PeerBehavior],
+        groups: Optional[Sequence[str]] = None,
+        seed: Optional[int] = None,
+    ):
+        self.config = config
+        self._rng = random.Random(seed)
+
+        behaviors = list(behaviors)
+        if len(behaviors) == 1:
+            behaviors = behaviors * config.n_peers
+        if len(behaviors) != config.n_peers:
+            raise ValueError(
+                f"expected 1 or {config.n_peers} behaviors, got {len(behaviors)}"
+            )
+
+        if groups is None:
+            group_labels = ["default"] * config.n_peers
+        else:
+            group_labels = list(groups)
+            if len(group_labels) == 1:
+                group_labels = group_labels * config.n_peers
+            if len(group_labels) != config.n_peers:
+                raise ValueError(
+                    f"expected 1 or {config.n_peers} group labels, got {len(group_labels)}"
+                )
+
+        distribution = config.distribution()
+        self.peers: List[PeerState] = []
+        for peer_id in range(config.n_peers):
+            capacity = distribution.sample(self._rng)
+            self.peers.append(
+                PeerState(
+                    peer_id=peer_id,
+                    upload_capacity=capacity,
+                    behavior=behaviors[peer_id],
+                    group=group_labels[peer_id],
+                    history=InteractionHistory(max_rounds=config.history_rounds),
+                )
+            )
+        self._peer_ids = [p.peer_id for p in self.peers]
+        self._churn_events = 0
+        self._explicit_refusals = 0
+        # Measured (post-warmup) transfer accounting, kept separately from the
+        # peers' lifetime totals so warmup rounds do not pollute the metrics.
+        self._measured_down: Dict[int, float] = {pid: 0.0 for pid in self._peer_ids}
+        self._measured_up: Dict[int, float] = {pid: 0.0 for pid in self._peer_ids}
+
+    # ------------------------------------------------------------------ #
+    # round processing
+    # ------------------------------------------------------------------ #
+    def _decide_peer(
+        self, peer: PeerState, round_index: int
+    ) -> Tuple[Dict[int, float], List[int]]:
+        """Phase-1 decision for one peer: returns (allocation, request targets)."""
+        config = self.config
+        behavior = peer.behavior
+
+        candidates = candidate_list(peer, round_index)
+        ranked = rank_candidates(peer, candidates, round_index, self._rng)
+        partners = ranked[: behavior.partner_count]
+        partner_set = set(partners)
+
+        # Build the stranger pool: recent contacts (incoming requests) plus a
+        # few freshly discovered peers, excluding self, current partners and
+        # anyone already in the candidate list (they are not strangers).
+        pool = set(peer.pending_requests)
+        if config.discovery_per_round > 0 and len(self._peer_ids) > 1:
+            others = [pid for pid in self._peer_ids if pid != peer.peer_id]
+            sample_size = min(config.discovery_per_round, len(others))
+            pool.update(self._rng.sample(others, sample_size))
+        pool.discard(peer.peer_id)
+        pool -= partner_set
+        pool -= candidates
+        stranger_pool = sorted(pool)
+
+        decision = stranger_decision(
+            peer, stranger_pool, len(partners), round_index, self._rng
+        )
+
+        allocation = allocate_upload(
+            peer,
+            partners,
+            decision.cooperate,
+            round_index,
+            stranger_bandwidth_cap=config.stranger_bandwidth_cap,
+        )
+        for refused in decision.refuse:
+            allocation.setdefault(refused, 0.0)
+            self._explicit_refusals += 1
+
+        # Discovery / service requests for the next round.
+        request_targets: List[int] = []
+        if config.requests_per_round > 0 and len(self._peer_ids) > 1:
+            eligible = [
+                pid
+                for pid in self._peer_ids
+                if pid != peer.peer_id and pid not in partner_set
+            ]
+            if eligible:
+                sample_size = min(config.requests_per_round, len(eligible))
+                request_targets = self._rng.sample(eligible, sample_size)
+
+        return allocation, request_targets
+
+    def _run_round(self, round_index: int) -> None:
+        config = self.config
+        peers_by_id = {p.peer_id: p for p in self.peers}
+
+        if config.churn_rate > 0.0:
+            churned = apply_churn(
+                self.peers,
+                config.churn_rate,
+                round_index,
+                self._rng,
+                config.distribution(),
+            )
+            self._churn_events += len(churned)
+
+        # Phase 1: decisions.
+        decisions: List[Tuple[PeerState, Dict[int, float]]] = []
+        incoming_requests: Dict[int, set] = {pid: set() for pid in self._peer_ids}
+        for peer in self.peers:
+            allocation, request_targets = self._decide_peer(peer, round_index)
+            decisions.append((peer, allocation))
+            for target in request_targets:
+                incoming_requests[target].add(peer.peer_id)
+
+        # Phase 2: transfers and bookkeeping.
+        measuring = round_index >= config.warmup_rounds
+        for peer, allocation in decisions:
+            for target_id, amount in allocation.items():
+                target = peers_by_id[target_id]
+                target.history.record(round_index, peer.peer_id, amount)
+                if amount > 0.0:
+                    target.total_downloaded += amount
+                    peer.total_uploaded += amount
+                    if measuring:
+                        self._measured_down[target_id] += amount
+                        self._measured_up[peer.peer_id] += amount
+
+        for peer in self.peers:
+            peer.update_loyalty(round_index)
+            received = peer.history.total_received(round_index)
+            peer.update_aspiration(received, smoothing=config.aspiration_smoothing)
+            peer.pending_requests = incoming_requests[peer.peer_id]
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Execute all rounds and return the :class:`SimulationResult`."""
+        for round_index in range(self.config.rounds):
+            self._run_round(round_index)
+
+        records = [
+            PeerRecord(
+                peer_id=peer.peer_id,
+                group=peer.group,
+                upload_capacity=peer.upload_capacity,
+                behavior_label=peer.behavior.label(),
+                downloaded=self._measured_down[peer.peer_id],
+                uploaded=self._measured_up[peer.peer_id],
+            )
+            for peer in self.peers
+        ]
+        return SimulationResult(
+            config=self.config,
+            records=records,
+            rounds_executed=self.config.rounds,
+            churn_events=self._churn_events,
+            total_explicit_refusals=self._explicit_refusals,
+        )

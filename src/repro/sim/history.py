@@ -1,0 +1,136 @@
+"""Per-peer interaction history.
+
+The simulation model states that "a peer also maintains a short history of
+actions by others".  :class:`InteractionHistory` is that short history: for
+every recent round it records, per sender, the amount of bandwidth received
+(including explicit zero-amount responses such as a stranger-policy refusal
+or a freerider's empty allocation — an interaction the receiving peer can
+observe and react to, which is what makes rankings like *Sort Slowest*
+behave the way Section 4.4 describes).
+
+Only a bounded number of recent rounds is retained, which keeps memory and
+lookup costs constant regardless of simulation length.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Set
+
+__all__ = ["InteractionHistory"]
+
+
+class InteractionHistory:
+    """Bounded per-round record of interactions observed by one peer.
+
+    Parameters
+    ----------
+    max_rounds:
+        Number of most-recent rounds retained.  The candidate-list policies
+        need at most two rounds (TF2T); loyalty tracking is maintained
+        separately by the engine, so a small window suffices.
+    """
+
+    def __init__(self, max_rounds: int = 3):
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        self.max_rounds = int(max_rounds)
+        self._rounds: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record(self, round_index: int, sender: int, amount: float) -> None:
+        """Record that ``sender`` delivered ``amount`` to this peer in ``round_index``.
+
+        Amounts may be zero (an observed refusal); negative amounts are
+        rejected.  Multiple records from the same sender in the same round
+        accumulate.
+        """
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        bucket = self._rounds.get(round_index)
+        if bucket is None:
+            bucket = {}
+            self._rounds[round_index] = bucket
+            self._trim()
+        bucket[sender] = bucket.get(sender, 0.0) + float(amount)
+
+    def _trim(self) -> None:
+        while len(self._rounds) > self.max_rounds:
+            self._rounds.popitem(last=False)
+
+    def forget_peer(self, peer_id: int) -> None:
+        """Remove every record about ``peer_id`` (used when a peer churns out)."""
+        for bucket in self._rounds.values():
+            bucket.pop(peer_id, None)
+
+    def clear(self) -> None:
+        """Drop all history (a freshly joined peer)."""
+        self._rounds.clear()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def rounds_recorded(self) -> List[int]:
+        """The round indices currently retained, oldest first."""
+        return list(self._rounds.keys())
+
+    def senders_in_window(self, current_round: int, window: int) -> Set[int]:
+        """Peers observed interacting in rounds ``[current_round - window, current_round - 1]``.
+
+        This is the candidate list of the TFT (window=1) and TF2T (window=2)
+        policies, evaluated at the start of ``current_round``.
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        senders: Set[int] = set()
+        for round_index in range(current_round - window, current_round):
+            bucket = self._rounds.get(round_index)
+            if bucket:
+                senders.update(bucket.keys())
+        return senders
+
+    def amount_from(self, sender: int, round_index: int) -> float:
+        """Amount received from ``sender`` in ``round_index`` (0.0 if none recorded)."""
+        bucket = self._rounds.get(round_index)
+        if not bucket:
+            return 0.0
+        return bucket.get(sender, 0.0)
+
+    def received_in_window(self, sender: int, current_round: int, window: int) -> float:
+        """Total amount received from ``sender`` over the window before ``current_round``."""
+        total = 0.0
+        for round_index in range(current_round - window, current_round):
+            total += self.amount_from(sender, round_index)
+        return total
+
+    def observed_rate(self, sender: int, current_round: int, window: int) -> float:
+        """Average per-round amount received from ``sender`` over the window."""
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        return self.received_in_window(sender, current_round, window) / window
+
+    def total_received(self, round_index: int) -> float:
+        """Total amount received (from everyone) in ``round_index``."""
+        bucket = self._rounds.get(round_index)
+        if not bucket:
+            return 0.0
+        return sum(bucket.values())
+
+    def all_known_peers(self) -> Set[int]:
+        """Every peer id appearing anywhere in the retained window."""
+        known: Set[int] = set()
+        for bucket in self._rounds.values():
+            known.update(bucket.keys())
+        return known
+
+    def interactions_in_round(self, round_index: int) -> Dict[int, float]:
+        """A copy of the ``sender -> amount`` record for ``round_index``."""
+        return dict(self._rounds.get(round_index, {}))
+
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"InteractionHistory(rounds={list(self._rounds.keys())})"

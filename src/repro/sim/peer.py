@@ -1,0 +1,122 @@
+"""Per-peer simulation state.
+
+A :class:`PeerState` bundles everything the engine tracks for one peer: its
+identity and upload capacity, the behaviour (protocol) it executes, its
+interaction history, loyalty counters (for the Sort Loyal ranking), its
+adaptive aspiration level (for the Sort Adaptive ranking), incoming discovery
+requests, and cumulative transfer accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.sim.behavior import PeerBehavior
+from repro.sim.history import InteractionHistory
+
+__all__ = ["PeerState"]
+
+
+@dataclass
+class PeerState:
+    """Mutable state of one simulated peer.
+
+    Attributes
+    ----------
+    peer_id:
+        Stable integer identity within one simulation run.
+    upload_capacity:
+        Upload bandwidth per round (KBps-equivalent units).
+    behavior:
+        The protocol actualization this peer executes.
+    group:
+        Label of the protocol group the peer belongs to (used by PRA
+        encounters to compare the two sub-populations).
+    history:
+        Interactions observed by this peer (who gave it how much, per round).
+    loyalty:
+        For each known peer, the number of *consecutive* recent rounds in
+        which that peer delivered a positive amount — the quantity ranked by
+        the Sort Loyal function (I5).
+    aspiration:
+        The adaptive aspiration level of the Sort Adaptive function (I4),
+        updated every round from the peer's own received throughput.
+    pending_requests:
+        Peers that contacted this peer since its last decision (discovery /
+        service requests); candidates for stranger treatment next round.
+    total_downloaded, total_uploaded:
+        Cumulative transfer accounting over the whole run.
+    joined_round:
+        Round at which the peer (re-)joined; reset by churn.
+    """
+
+    peer_id: int
+    upload_capacity: float
+    behavior: PeerBehavior
+    group: str = "default"
+    history: InteractionHistory = field(default_factory=InteractionHistory)
+    loyalty: Dict[int, int] = field(default_factory=dict)
+    aspiration: float = 0.0
+    pending_requests: Set[int] = field(default_factory=set)
+    total_downloaded: float = 0.0
+    total_uploaded: float = 0.0
+    joined_round: int = 0
+
+    def __post_init__(self) -> None:
+        if self.upload_capacity <= 0:
+            raise ValueError("upload_capacity must be positive")
+        if self.aspiration == 0.0:
+            # A newly joined peer aspires to receive roughly what it can give:
+            # its own capacity spread over its nominal slot count.
+            self.aspiration = self.upload_capacity / max(1, self.behavior.total_slots)
+
+    # ------------------------------------------------------------------ #
+    # loyalty tracking
+    # ------------------------------------------------------------------ #
+    def update_loyalty(self, round_index: int) -> None:
+        """Update consecutive-cooperation counters from round ``round_index``'s records."""
+        interactions = self.history.interactions_in_round(round_index)
+        givers = {peer for peer, amount in interactions.items() if amount > 0}
+        for peer in givers:
+            self.loyalty[peer] = self.loyalty.get(peer, 0) + 1
+        for peer in list(self.loyalty.keys()):
+            if peer not in givers:
+                self.loyalty[peer] = 0
+
+    def loyalty_of(self, peer_id: int) -> int:
+        """Consecutive cooperative rounds observed from ``peer_id``."""
+        return self.loyalty.get(peer_id, 0)
+
+    # ------------------------------------------------------------------ #
+    # aspiration tracking (Sort Adaptive)
+    # ------------------------------------------------------------------ #
+    def update_aspiration(self, received_this_round: float, smoothing: float = 0.25) -> None:
+        """Exponentially adapt the aspiration level towards recent per-partner receipts.
+
+        The Sort Adaptive ranking (I4) ranks candidates by proximity to an
+        aspiration level "which is adaptive and changes based on a peer's
+        evaluation of its performance"; here the evaluation is the average
+        amount received per filled slot this round.
+        """
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        per_slot = received_this_round / max(1, self.behavior.total_slots)
+        self.aspiration = (1.0 - smoothing) * self.aspiration + smoothing * per_slot
+
+    # ------------------------------------------------------------------ #
+    # churn support
+    # ------------------------------------------------------------------ #
+    def reset_for_rejoin(self, round_index: int) -> None:
+        """Reset all session state, as if a fresh peer took over this slot."""
+        self.history.clear()
+        self.loyalty.clear()
+        self.pending_requests.clear()
+        self.aspiration = self.upload_capacity / max(1, self.behavior.total_slots)
+        self.joined_round = round_index
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"PeerState(id={self.peer_id}, capacity={self.upload_capacity:g}, "
+            f"group={self.group!r}, behavior={self.behavior.label()})"
+        )

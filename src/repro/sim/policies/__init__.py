@@ -1,0 +1,24 @@
+"""Policy implementations for the actualized protocol dimensions.
+
+Each module implements one dimension of the Section 4.2 design space as a
+pure function over peer state:
+
+* :mod:`repro.sim.policies.candidate` — candidate-list construction
+  (C1 TFT, C2 TF2T),
+* :mod:`repro.sim.policies.ranking` — ranking functions (I1-I6),
+* :mod:`repro.sim.policies.stranger` — stranger policies (B1-B3 plus "none"),
+* :mod:`repro.sim.policies.allocation` — resource allocation (R1-R3).
+"""
+
+from repro.sim.policies.allocation import allocate_upload
+from repro.sim.policies.candidate import candidate_list
+from repro.sim.policies.ranking import rank_candidates
+from repro.sim.policies.stranger import StrangerDecision, stranger_decision
+
+__all__ = [
+    "candidate_list",
+    "rank_candidates",
+    "stranger_decision",
+    "StrangerDecision",
+    "allocate_upload",
+]

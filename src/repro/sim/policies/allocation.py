@@ -1,0 +1,130 @@
+"""Resource-allocation policies (dimension R of the design space).
+
+Once a peer has selected its partners and the strangers to cooperate with,
+the allocation policy decides how its upload capacity is divided:
+
+* **R1 Equal Split** — every selected partner receives one equal slot
+  (BitTorrent's equal-split unchoking);
+* **R2 Prop Share** — the partner budget is divided in proportion to what
+  each partner contributed over the candidate window (Levin et al.'s
+  proportional-share auction view); partners that contributed nothing receive
+  nothing, which is what makes the Defect-stranger + PropShare combination
+  fail to bootstrap (Section 4.4);
+* **R3 Freeride** — partners receive nothing at all (the allocation is still
+  recorded as an observable zero-amount interaction).
+
+Capacity is divided over the *active* slots of the round — the selected
+partners plus the strangers being cooperated with.  A peer that ends a round
+with no active slots (no candidates and a stranger policy that refuses to
+cooperate) uploads nothing that round; a freerider reserves its partner slots
+but sends nothing on them, wasting that share of its capacity.  These two
+effects are the throughput mechanisms behind the performance results of
+Section 4.4 (see DESIGN.md, "deliberate modelling decisions").
+
+Cooperating strangers receive one slot each, subject to a configurable cap on
+the total fraction of capacity spent on strangers per round (strangers are of
+unknown quality, so no sensible client dedicates most of its capacity to
+them — BitTorrent itself reserves roughly one slot in five for optimistic
+unchokes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.sim.peer import PeerState
+
+__all__ = ["allocate_upload"]
+
+
+def allocate_upload(
+    peer: PeerState,
+    partners: Sequence[int],
+    strangers: Sequence[int],
+    current_round: int,
+    stranger_bandwidth_cap: float = 0.5,
+) -> Dict[int, float]:
+    """Compute the peer's upload allocation for this round.
+
+    Parameters
+    ----------
+    peer:
+        The allocating peer.
+    partners:
+        Selected partners (already capped at ``k`` by the engine).
+    strangers:
+        Strangers the stranger policy decided to cooperate with.
+    current_round:
+        Round being decided (used to look up recent contributions for
+        Prop Share).
+    stranger_bandwidth_cap:
+        Maximum fraction of upload capacity that may go to strangers in one
+        round.
+
+    Returns
+    -------
+    dict
+        Mapping ``target peer id -> amount``; zero amounts are included so
+        the engine records them as observable interactions (an explicit
+        "you got nothing from me this round").
+    """
+    if not 0.0 <= stranger_bandwidth_cap <= 1.0:
+        raise ValueError("stranger_bandwidth_cap must be in [0, 1]")
+
+    behavior = peer.behavior
+    allocation: Dict[int, float] = {}
+    active_slots = len(partners) + len(strangers)
+    if active_slots == 0:
+        return allocation
+    per_slot = peer.upload_capacity / active_slots
+
+    # ------------------------------------------------------------------ #
+    # strangers: one slot each, capped in aggregate
+    # ------------------------------------------------------------------ #
+    if strangers:
+        stranger_budget = min(
+            per_slot * len(strangers),
+            stranger_bandwidth_cap * peer.upload_capacity,
+        )
+        per_stranger = stranger_budget / len(strangers)
+        for stranger in strangers:
+            allocation[stranger] = per_stranger
+
+    # ------------------------------------------------------------------ #
+    # partners: policy-dependent division of the partner budget
+    # ------------------------------------------------------------------ #
+    if not partners:
+        return allocation
+
+    policy = behavior.allocation
+    if policy == "freeride":
+        for partner in partners:
+            allocation[partner] = 0.0
+        return allocation
+
+    if policy == "equal_split":
+        for partner in partners:
+            allocation[partner] = per_slot
+        return allocation
+
+    if policy == "prop_share":
+        window = behavior.candidate_window
+        contributions = {
+            partner: peer.history.received_in_window(partner, current_round, window)
+            for partner in partners
+        }
+        total_contribution = sum(contributions.values())
+        budget = per_slot * len(partners)
+        if total_contribution <= 0.0:
+            # Nobody contributed: nothing is reciprocated.  (Strangers, if
+            # any, still received their slots above — that is the lightweight
+            # bootstrapping path the paper contrasts with cryptographic
+            # bootstrapping.)
+            for partner in partners:
+                allocation[partner] = 0.0
+            return allocation
+        for partner in partners:
+            allocation[partner] = budget * contributions[partner] / total_contribution
+        return allocation
+
+    raise ValueError(f"unknown allocation policy {policy!r}")  # pragma: no cover

@@ -1,0 +1,34 @@
+"""Candidate-list policies (dimension C of the design space).
+
+The candidate list is the set of peers a peer considers for partner
+selection.  The paper actualizes two policies:
+
+* **C1 (TFT)** — peers observed interacting with us in the last round;
+* **C2 (TF2T)** — peers observed interacting with us in either of the last
+  two rounds (a more forgiving window, taken from Axelrod's Tit-for-Two-Tats).
+
+"Interacting" includes explicit zero-amount responses (a refusal under the
+Defect stranger policy, or an empty Freeride/PropShare allocation): the peer
+observed an action by the other and can rank it — which is precisely what
+allows the counter-intuitive Sort-Slowest dynamics discussed in Section 4.4.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.sim.peer import PeerState
+
+__all__ = ["candidate_list"]
+
+
+def candidate_list(peer: PeerState, current_round: int) -> Set[int]:
+    """Return the candidate set of ``peer`` at the start of ``current_round``.
+
+    The window length is derived from the peer's candidate policy (1 round
+    for TFT, 2 for TF2T).  The peer itself is never a candidate.
+    """
+    window = peer.behavior.candidate_window
+    candidates = peer.history.senders_in_window(current_round, window)
+    candidates.discard(peer.peer_id)
+    return candidates

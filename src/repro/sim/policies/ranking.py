@@ -1,0 +1,89 @@
+"""Ranking functions (dimension I of the design space).
+
+Given a peer's candidate list, a ranking function orders the candidates; the
+peer then selects the top ``k`` as partners.  The paper actualizes six
+functions:
+
+* **I1 Sort Fastest** — decreasing observed upload rate (BitTorrent's
+  default behaviour);
+* **I2 Sort Slowest** — increasing observed upload rate;
+* **I3 Sort Proximity** — increasing distance between the candidate's
+  observed rate and the peer's own per-slot upload rate (the Birds
+  selection policy);
+* **I4 Sort Adaptive** — increasing distance to an adaptive aspiration level
+  (inspired by Win-Stay-Lose-Shift aspiration strategies);
+* **I5 Sort Loyal** — decreasing duration of consecutive cooperation;
+* **I6 Random** — uniformly random order.
+
+Ties are broken randomly (via a pre-shuffle with the provided generator) so
+no peer is systematically favoured by its identifier.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List
+
+from repro.sim.peer import PeerState
+
+__all__ = ["rank_candidates"]
+
+
+def _observed_rates(
+    peer: PeerState, candidates: Iterable[int], current_round: int
+) -> dict:
+    window = peer.behavior.candidate_window
+    return {
+        candidate: peer.history.observed_rate(candidate, current_round, window)
+        for candidate in candidates
+    }
+
+
+def rank_candidates(
+    peer: PeerState,
+    candidates: Iterable[int],
+    current_round: int,
+    rng: random.Random,
+) -> List[int]:
+    """Return ``candidates`` ordered best-first according to the peer's ranking.
+
+    Parameters
+    ----------
+    peer:
+        The ranking peer (provides behaviour, history, loyalty, aspiration).
+    candidates:
+        Candidate peer ids (any iterable; consumed once).
+    current_round:
+        The round being decided; observed rates are computed over the
+        candidate window ending just before this round.
+    rng:
+        Random generator used for tie-breaking and the Random ranking.
+    """
+    pool = list(candidates)
+    if not pool:
+        return []
+    # Randomise first so that the subsequent stable sort breaks ties randomly.
+    rng.shuffle(pool)
+
+    ranking = peer.behavior.ranking
+    if ranking == "random":
+        return pool
+
+    rates = _observed_rates(peer, pool, current_round)
+
+    if ranking == "fastest":
+        pool.sort(key=lambda c: rates[c], reverse=True)
+    elif ranking == "slowest":
+        pool.sort(key=lambda c: rates[c])
+    elif ranking == "proximity":
+        own_rate = peer.upload_capacity / max(1, peer.behavior.total_slots)
+        pool.sort(key=lambda c: abs(rates[c] - own_rate))
+    elif ranking == "adaptive":
+        aspiration = peer.aspiration
+        pool.sort(key=lambda c: abs(rates[c] - aspiration))
+    elif ranking == "loyal":
+        # Most loyal first; among equally loyal candidates prefer the faster.
+        pool.sort(key=lambda c: (-peer.loyalty_of(c), -rates[c]))
+    else:  # pragma: no cover - guarded by PeerBehavior validation
+        raise ValueError(f"unknown ranking function {ranking!r}")
+    return pool

@@ -1,0 +1,108 @@
+"""Stranger policies (dimension B of the design space).
+
+A *stranger* is a peer about which no recent history exists — past behaviour
+cannot inform the decision, so a dedicated policy is needed.  The paper
+actualizes three policies plus the degenerate zero-stranger variant:
+
+* **B1 Periodic** — cooperate with up to ``h`` strangers periodically (every
+  ``stranger_period`` rounds; the reference BitTorrent optimistic unchoke is
+  the special case of one stranger every period);
+* **B2 When needed** — cooperate with up to ``h`` strangers only when the
+  partner set is not full (inspired by Izhak-Ratzin's collaboration scheme);
+* **B3 Defect** — never give resources to strangers; incoming contacts are
+  answered with an explicit refusal (a zero-amount interaction the requester
+  can observe);
+* **none** — the extra policy with zero strangers: strangers are simply
+  ignored (no refusal message either).
+
+The decision returns both the strangers to cooperate with and the contacts to
+explicitly refuse, because a refusal still creates an observable interaction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.sim.peer import PeerState
+
+__all__ = ["StrangerDecision", "stranger_decision"]
+
+
+@dataclass(frozen=True)
+class StrangerDecision:
+    """Outcome of a stranger-policy evaluation for one round."""
+
+    cooperate: List[int] = field(default_factory=list)
+    refuse: List[int] = field(default_factory=list)
+
+
+def _pick(
+    pool: Sequence[int], preferred: Sequence[int], count: int, rng: random.Random
+) -> List[int]:
+    """Pick up to ``count`` ids from ``pool``, preferring ``preferred`` members."""
+    if count <= 0 or not pool:
+        return []
+    preferred_set = set(preferred)
+    first = [p for p in pool if p in preferred_set]
+    rest = [p for p in pool if p not in preferred_set]
+    rng.shuffle(first)
+    rng.shuffle(rest)
+    ordered = first + rest
+    return ordered[:count]
+
+
+def stranger_decision(
+    peer: PeerState,
+    stranger_pool: Sequence[int],
+    selected_partner_count: int,
+    current_round: int,
+    rng: random.Random,
+) -> StrangerDecision:
+    """Evaluate the peer's stranger policy for ``current_round``.
+
+    Parameters
+    ----------
+    peer:
+        The deciding peer.
+    stranger_pool:
+        Peers eligible for stranger treatment this round (recent contacts and
+        discoveries that are neither partners nor candidates).
+    selected_partner_count:
+        How many partners the peer selected this round (the When-needed
+        policy cooperates with strangers only when this is below ``k``).
+    current_round:
+        Round index (used by the Periodic policy).
+    rng:
+        Random generator for choosing among eligible strangers.
+    """
+    behavior = peer.behavior
+    policy = behavior.stranger_policy
+    h = behavior.stranger_count
+    requesters = [p for p in stranger_pool if p in peer.pending_requests]
+
+    if policy == "none":
+        return StrangerDecision()
+
+    if policy == "defect":
+        # Explicitly refuse up to h (at least one) incoming contacts so the
+        # refused peers observe the interaction.
+        refusals = _pick(requesters, requesters, max(1, h), rng)
+        return StrangerDecision(refuse=refusals)
+
+    if policy == "periodic":
+        if current_round % behavior.stranger_period != 0:
+            return StrangerDecision()
+        return StrangerDecision(
+            cooperate=_pick(stranger_pool, requesters, h, rng)
+        )
+
+    if policy == "when_needed":
+        if selected_partner_count >= behavior.partner_count:
+            return StrangerDecision()
+        return StrangerDecision(
+            cooperate=_pick(stranger_pool, requesters, h, rng)
+        )
+
+    raise ValueError(f"unknown stranger policy {policy!r}")  # pragma: no cover

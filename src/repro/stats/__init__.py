@@ -1,0 +1,56 @@
+"""Statistics substrate used by the DSA analysis.
+
+The paper's analysis section relies on a small set of statistical tools:
+
+* multiple linear regression with categorical dummy coding, adjusted R²,
+  standard errors, t-values and significance flags (Table 3),
+* Pearson correlation (robustness vs. aggressiveness, Figure 8; the 50/50
+  vs. 90/10 robustness consistency check in §4.3.2),
+* empirical CDF / complementary CDF curves (Figure 5),
+* 2-D histograms of a score against a design parameter (Figures 3 and 4),
+* simple summary statistics with confidence intervals (error bars of
+  Figures 9 and 10).
+
+All of these are implemented here on top of numpy/scipy so the experiment
+drivers stay small and testable.
+"""
+
+from repro.stats.correlation import pearson_correlation
+from repro.stats.distribution import (
+    ccdf,
+    ecdf,
+    histogram2d_frequency,
+    normalized_histogram,
+)
+from repro.stats.regression import (
+    DesignMatrix,
+    RegressionResult,
+    RegressionTerm,
+    dummy_code,
+    fit_ols,
+    standardize,
+)
+from repro.stats.summary import (
+    SummaryStats,
+    confidence_interval,
+    mean_confidence_interval,
+    summarize,
+)
+
+__all__ = [
+    "pearson_correlation",
+    "ccdf",
+    "ecdf",
+    "histogram2d_frequency",
+    "normalized_histogram",
+    "DesignMatrix",
+    "RegressionResult",
+    "RegressionTerm",
+    "dummy_code",
+    "fit_ols",
+    "standardize",
+    "SummaryStats",
+    "confidence_interval",
+    "mean_confidence_interval",
+    "summarize",
+]

@@ -1,0 +1,118 @@
+"""Empirical distribution helpers (ECDF, CCDF, histograms).
+
+Figure 5 of the paper plots complementary CDFs of robustness per stranger
+policy; Figures 3 and 4 plot, for each score interval, the relative frequency
+of every ``number of partners`` value (rendered in the paper as darker /
+lighter squares).  The functions here compute exactly those curves and
+matrices as plain arrays so the experiment drivers can print or export them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ecdf", "ccdf", "normalized_histogram", "histogram2d_frequency"]
+
+
+def ecdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the empirical CDF of ``values`` as ``(sorted_x, cumulative_prob)``.
+
+    The returned probabilities are ``P(X <= x)`` evaluated at each sorted
+    sample point.
+
+    Raises
+    ------
+    ValueError
+        If ``values`` is empty.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("ecdf requires at least one observation")
+    xs = np.sort(data)
+    probs = np.arange(1, xs.size + 1, dtype=float) / xs.size
+    return xs, probs
+
+
+def ccdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the complementary CDF ``P(X > x)`` of ``values``.
+
+    The curve is evaluated at each sorted sample point, matching the style of
+    Figure 5 in the paper (``P(X > x)`` on the y-axis against ``x``).
+    """
+    xs, cdf = ecdf(values)
+    return xs, 1.0 - cdf
+
+
+def normalized_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    value_range: Tuple[float, float] = (0.0, 1.0),
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of ``values`` normalised to relative frequencies.
+
+    Returns ``(bin_edges, frequencies)`` where frequencies sum to 1 (unless
+    the input is empty, in which case they are all zero).
+    """
+    data = np.asarray(values, dtype=float)
+    counts, edges = np.histogram(data, bins=bins, range=value_range)
+    total = counts.sum()
+    freqs = counts / total if total > 0 else counts.astype(float)
+    return edges, freqs
+
+
+def histogram2d_frequency(
+    categories: Sequence[float],
+    scores: Sequence[float],
+    category_values: Sequence[float],
+    score_bins: int = 10,
+    score_range: Tuple[float, float] = (0.0, 1.0),
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-score-interval relative frequency of each category value.
+
+    This reproduces the presentation of Figures 3 and 4: for every score
+    interval (rows), the relative frequency of each category value (columns),
+    where "category" is the number of partners a protocol maintains.
+
+    Parameters
+    ----------
+    categories:
+        Category value per observation (e.g. number of partners of each
+        protocol).
+    scores:
+        Score per observation in ``score_range`` (e.g. normalised
+        performance).
+    category_values:
+        The ordered set of category values to report columns for.
+    score_bins:
+        Number of score intervals (rows).
+    score_range:
+        Interval covered by the score axis.
+
+    Returns
+    -------
+    (bin_edges, category_values, matrix)
+        ``matrix[i, j]`` is the relative frequency (within score interval
+        ``i``) of category ``category_values[j]``.  Rows with no observations
+        are all zero.
+    """
+    cats = np.asarray(categories, dtype=float)
+    vals = np.asarray(scores, dtype=float)
+    if cats.shape != vals.shape:
+        raise ValueError("categories and scores must have the same length")
+    col_values = np.asarray(list(category_values), dtype=float)
+    edges = np.linspace(score_range[0], score_range[1], score_bins + 1)
+    matrix = np.zeros((score_bins, col_values.size), dtype=float)
+
+    # np.digitize puts x == right edge into the next bin; clamp the top value
+    # into the last interval so a score of exactly 1.0 is counted.
+    bin_index = np.clip(np.digitize(vals, edges) - 1, 0, score_bins - 1)
+    for row in range(score_bins):
+        mask = bin_index == row
+        row_total = int(mask.sum())
+        if row_total == 0:
+            continue
+        for col, cat_value in enumerate(col_values):
+            matrix[row, col] = float(np.sum(cats[mask] == cat_value)) / row_total
+    return edges, col_values, matrix

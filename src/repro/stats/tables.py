@@ -1,0 +1,74 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows/series as the paper's tables and
+figures.  This module renders lists of rows as aligned plain-text tables so
+the drivers don't each reinvent string formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value, digits: int = 3) -> str:
+    """Format a float for table output, passing through non-numeric cells."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int,)):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    digits: int = 3,
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` cells.
+    digits:
+        Decimal places used to format float cells.
+    title:
+        Optional title printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table, ending without a trailing newline.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        cells = [format_float(cell, digits) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        rendered_rows.append(cells)
+
+    widths = [len(str(h)) for h in headers]
+    for cells in rendered_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered_rows:
+        lines.append(render_line(cells))
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Shared utilities for the reproduction package.
+
+This sub-package contains small, dependency-free helpers used throughout the
+library: deterministic random number management (:mod:`repro.utils.rng`),
+result serialization (:mod:`repro.utils.serialization`), argument validation
+(:mod:`repro.utils.validation`), lightweight timing (:mod:`repro.utils.timer`)
+and logging configuration (:mod:`repro.utils.logging`).
+"""
+
+from repro.utils.rng import RngFactory, derive_seed, spawn_rng
+from repro.utils.serialization import (
+    dump_json,
+    load_json,
+    to_jsonable,
+)
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RngFactory",
+    "derive_seed",
+    "spawn_rng",
+    "dump_json",
+    "load_json",
+    "to_jsonable",
+    "Timer",
+    "check_fraction",
+    "check_in",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,57 @@
+"""Logging configuration for the library.
+
+The library never configures the root logger on import; applications opt in
+by calling :func:`configure_logging`.  Library modules obtain loggers via
+:func:`get_logger` so all output shares the ``repro.`` namespace and can be
+filtered by the host application.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["configure_logging", "get_logger"]
+
+_ROOT_NAME = "repro"
+_DEFAULT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger in the ``repro`` namespace.
+
+    ``get_logger("core.pra")`` returns the logger ``repro.core.pra``;
+    ``get_logger()`` returns the package root logger.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + ".") or name == _ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` root logger.
+
+    Calling this more than once replaces the previously attached handler so
+    interactive sessions do not accumulate duplicate output.
+
+    Parameters
+    ----------
+    level:
+        Logging level for the ``repro`` namespace.
+    stream:
+        Output stream; defaults to ``sys.stderr``.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_managed", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_DEFAULT_FORMAT))
+    handler._repro_managed = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,50 @@
+"""Lightweight wall-clock timing used by the experiment drivers."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """A simple start/stop timer usable as a context manager.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        """Start (or restart) the timer and return ``self``."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the timer and return the elapsed time in seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds of the last completed interval (or the running one)."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,56 @@
+"""Argument-validation helpers.
+
+These helpers centralise the small amount of defensive checking done at the
+public API boundary.  They raise ``ValueError`` with consistent messages so
+tests can assert on behaviour and users get actionable errors instead of
+silent misconfiguration (a "magic number" typo in an experiment config should
+fail loudly).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_fraction",
+    "check_in",
+]
+
+T = TypeVar("T")
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is strictly positive, else raise ``ValueError``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is >= 0, else raise ``ValueError``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` if it lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Alias of :func:`check_probability` for population-fraction arguments."""
+    return check_probability(value, name)
+
+
+def check_in(value: T, allowed: Iterable[T], name: str) -> T:
+    """Return ``value`` if it is a member of ``allowed``, else raise ``ValueError``."""
+    allowed_list = list(allowed)
+    if value not in allowed_list:
+        raise ValueError(f"{name} must be one of {allowed_list!r}, got {value!r}")
+    return value

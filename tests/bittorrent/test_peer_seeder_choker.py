@@ -1,0 +1,168 @@
+"""Tests for leecher state, the seeder, and the choking algorithm."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bittorrent.choker import run_rechoke
+from repro.bittorrent.config import SwarmConfig
+from repro.bittorrent.peer import Leecher
+from repro.bittorrent.pieces import PieceSet
+from repro.bittorrent.seeder import Seeder
+from repro.bittorrent.variants import (
+    loyal_when_needed_client,
+    reference_bittorrent,
+    sort_s_client,
+)
+
+
+def make_leecher(variant=None, piece_count=10, peer_id=0) -> Leecher:
+    return Leecher(
+        peer_id=peer_id,
+        upload_capacity=100.0,
+        variant=variant or reference_bittorrent(),
+        pieces=PieceSet(piece_count),
+    )
+
+
+class TestLeecher:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Leecher(0, 0.0, reference_bittorrent(), PieceSet(5))
+
+    def test_completion_lifecycle(self):
+        leecher = make_leecher(piece_count=2)
+        assert leecher.is_active and not leecher.is_complete
+        leecher.pieces.add(0)
+        leecher.pieces.add(1)
+        assert leecher.is_complete
+        leecher.completion_tick = 120
+        assert leecher.download_time == 120.0
+        assert not leecher.is_active
+
+    def test_record_received_feeds_rates_and_period(self):
+        leecher = make_leecher()
+        leecher.record_received(3, tick=5, amount_kb=40.0)
+        assert leecher.rates.rate(3, current_tick=6) > 0.0
+        assert leecher.received_this_period[3] == 40.0
+
+    def test_loyalty_period_update(self):
+        leecher = make_leecher()
+        leecher.record_received(3, 0, 10.0)
+        leecher.update_loyalty_period()
+        assert leecher.loyalty[3] == 1
+        leecher.update_loyalty_period()  # no new data: reset
+        assert leecher.loyalty[3] == 0
+        assert leecher.received_this_period == {}
+
+    def test_forget_neighbour_clears_all_state(self):
+        leecher = make_leecher()
+        leecher.neighbours = {3, 4}
+        leecher.unchoked = {3}
+        leecher.optimistic_target = 3
+        leecher.in_flight[3] = 1
+        leecher.loyalty[3] = 2
+        leecher.record_received(3, 0, 5.0)
+        leecher.forget_neighbour(3)
+        assert 3 not in leecher.neighbours
+        assert leecher.unchoked == set()
+        assert leecher.optimistic_target is None
+        assert leecher.in_flight == {}
+        assert leecher.rates.rate(3, 1) == 0.0
+
+    def test_currently_unchoked_includes_optimistic(self):
+        leecher = make_leecher()
+        leecher.unchoked = {1, 2}
+        leecher.optimistic_target = 5
+        assert leecher.currently_unchoked() == {1, 2, 5}
+
+    def test_per_slot_rate(self):
+        leecher = make_leecher(variant=reference_bittorrent())
+        assert leecher.per_slot_rate(default_slots=3) == pytest.approx(100.0 / 4)
+
+
+class TestSeeder:
+    def test_requires_complete_pieces(self):
+        with pytest.raises(ValueError):
+            Seeder(peer_id=9, upload_capacity=128.0, pieces=PieceSet(4))
+
+    def test_rechoke_bounded_by_slots(self, rng):
+        seeder = Seeder(9, 128.0, PieceSet(4, complete=True), slots=2)
+        unchoked = seeder.rechoke([1, 2, 3, 4, 5], rng)
+        assert len(unchoked) == 2
+
+    def test_rechoke_with_few_interested(self, rng):
+        seeder = Seeder(9, 128.0, PieceSet(4, complete=True), slots=4)
+        assert seeder.rechoke([1], rng) == {1}
+
+    def test_forget_neighbour(self, rng):
+        seeder = Seeder(9, 128.0, PieceSet(4, complete=True), slots=4)
+        seeder.rechoke([1, 2], rng)
+        seeder.forget_neighbour(1)
+        assert 1 not in seeder.unchoked
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Seeder(9, 0.0, PieceSet(4, complete=True))
+        with pytest.raises(ValueError):
+            Seeder(9, 128.0, PieceSet(4, complete=True), slots=0)
+
+
+class TestChoker:
+    def test_regular_slots_take_top_ranked(self, rng):
+        leecher = make_leecher(variant=reference_bittorrent())
+        for neighbour, amount in ((1, 50.0), (2, 10.0), (3, 30.0), (4, 5.0)):
+            leecher.record_received(neighbour, tick=5, amount_kb=amount)
+        run_rechoke(leecher, [1, 2, 3, 4], tick=10, default_slots=2,
+                    optimistic_rotation_due=False, rng=rng)
+        assert leecher.unchoked == {1, 3}
+
+    def test_optimistic_target_not_a_regular_unchoke(self, rng):
+        leecher = make_leecher(variant=reference_bittorrent())
+        for neighbour in (1, 2, 3, 4, 5):
+            leecher.record_received(neighbour, tick=5, amount_kb=float(neighbour))
+        run_rechoke(leecher, [1, 2, 3, 4, 5], tick=10, default_slots=2,
+                    optimistic_rotation_due=True, rng=rng)
+        assert leecher.optimistic_target is not None
+        assert leecher.optimistic_target not in leecher.unchoked
+
+    def test_never_policy_has_no_optimistic(self, rng):
+        leecher = make_leecher(variant=sort_s_client())
+        run_rechoke(leecher, [1, 2, 3], tick=0, default_slots=3,
+                    optimistic_rotation_due=True, rng=rng)
+        assert leecher.optimistic_target is None
+        assert len(leecher.unchoked) == 1  # Sort-S overrides slots to 1
+
+    def test_when_needed_only_when_short_of_candidates(self, rng):
+        leecher = make_leecher(variant=loyal_when_needed_client())
+        # Plenty of candidates: no optimistic unchoke.
+        run_rechoke(leecher, [1, 2, 3, 4, 5], tick=0, default_slots=3,
+                    optimistic_rotation_due=True, rng=rng)
+        assert leecher.optimistic_target is None
+        # Fewer candidates than slots: one extra optimistic unchoke.
+        run_rechoke(leecher, [1, 2], tick=0, default_slots=3,
+                    optimistic_rotation_due=False, rng=rng)
+        assert leecher.optimistic_target is None or leecher.optimistic_target in {1, 2}
+
+    def test_periodic_target_kept_between_rotations(self, rng):
+        leecher = make_leecher(variant=reference_bittorrent())
+        run_rechoke(leecher, [1, 2, 3, 4, 5], tick=0, default_slots=1,
+                    optimistic_rotation_due=True, rng=rng)
+        target = leecher.optimistic_target
+        run_rechoke(leecher, [1, 2, 3, 4, 5], tick=10, default_slots=1,
+                    optimistic_rotation_due=False, rng=rng)
+        # Ranking may reshuffle the regular slot, but if the old target is
+        # still a candidate it must be kept until the next rotation.
+        if target not in leecher.unchoked:
+            assert leecher.optimistic_target == target
+
+    def test_no_candidates_clears_unchokes(self, rng):
+        leecher = make_leecher()
+        leecher.unchoked = {1}
+        leecher.optimistic_target = 2
+        run_rechoke(leecher, [], tick=0, default_slots=3,
+                    optimistic_rotation_due=True, rng=rng)
+        assert leecher.unchoked == set()
+        assert leecher.optimistic_target is None

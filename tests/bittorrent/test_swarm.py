@@ -1,0 +1,128 @@
+"""Tests for the swarm simulation driver and its config/metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bittorrent.config import SwarmConfig
+from repro.bittorrent.metrics import pooled_download_times, summarize_by_variant
+from repro.bittorrent.swarm import SwarmSimulation
+from repro.bittorrent.variants import (
+    birds_client,
+    loyal_when_needed_client,
+    reference_bittorrent,
+    sort_s_client,
+)
+from repro.sim.bandwidth import ConstantBandwidth
+
+
+@pytest.fixture
+def config() -> SwarmConfig:
+    return SwarmConfig(
+        n_leechers=6,
+        file_size_mb=0.5,
+        piece_size_kb=128.0,
+        max_ticks=1200,
+        bandwidth=ConstantBandwidth(80.0),
+    )
+
+
+class TestSwarmConfig:
+    def test_paper_defaults(self):
+        config = SwarmConfig.paper()
+        assert config.n_leechers == 50
+        assert config.seeder_upload_kbps == 128.0
+        assert config.file_size_mb == 5.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_leechers": 1},
+            {"seeder_upload_kbps": 0},
+            {"file_size_mb": 0},
+            {"piece_size_kb": 0},
+            {"rechoke_interval": 0},
+            {"optimistic_interval": 5, "rechoke_interval": 10},
+            {"regular_slots": 0},
+            {"seeder_slots": 0},
+            {"max_ticks": 1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SwarmConfig(**kwargs)
+
+    def test_with_override(self):
+        assert SwarmConfig().with_(n_leechers=10).n_leechers == 10
+
+
+class TestSwarmSimulation:
+    def test_variant_broadcast_and_count_check(self, config):
+        sim = SwarmSimulation(config, [reference_bittorrent()], seed=0)
+        assert len(sim.leechers) == config.n_leechers
+        with pytest.raises(ValueError):
+            SwarmSimulation(config, [reference_bittorrent()] * 3, seed=0)
+
+    def test_all_leechers_complete_with_reference_client(self, config):
+        result = SwarmSimulation(config, [reference_bittorrent()], seed=1).run()
+        assert result.completion_fraction() == 1.0
+        assert all(t > 0 for t in result.download_times())
+
+    def test_download_times_bounded_by_horizon(self, config):
+        result = SwarmSimulation(config, [reference_bittorrent()], seed=1).run()
+        assert max(result.download_times()) <= config.max_ticks
+
+    def test_deterministic_given_seed(self, config):
+        a = SwarmSimulation(config, [reference_bittorrent()], seed=3).run()
+        b = SwarmSimulation(config, [reference_bittorrent()], seed=3).run()
+        assert a.download_times() == b.download_times()
+
+    def test_seed_changes_outcome(self, config):
+        a = SwarmSimulation(config, [reference_bittorrent()], seed=3).run()
+        b = SwarmSimulation(config, [reference_bittorrent()], seed=4).run()
+        assert a.download_times() != b.download_times()
+
+    def test_all_variants_complete_homogeneous_swarms(self, config):
+        for variant in (birds_client(), loyal_when_needed_client(), sort_s_client()):
+            result = SwarmSimulation(config, [variant], seed=5).run()
+            assert result.completion_fraction() == 1.0, variant.name
+
+    def test_mixed_swarm_reports_both_variants(self, config):
+        n = config.n_leechers
+        variants = [reference_bittorrent()] * (n // 2) + [birds_client()] * (n - n // 2)
+        result = SwarmSimulation(config, variants, seed=6).run()
+        assert set(result.variants()) == {"BitTorrent", "Birds"}
+        assert result.mean_download_time("Birds") > 0
+
+    def test_faster_seeder_speeds_up_swarm(self, config):
+        slow = SwarmSimulation(config, [reference_bittorrent()], seed=7).run()
+        fast = SwarmSimulation(
+            config.with_(seeder_upload_kbps=1024.0), [reference_bittorrent()], seed=7
+        ).run()
+        assert fast.mean_download_time() < slow.mean_download_time()
+
+    def test_mean_download_time_nan_when_none_completed(self, config):
+        # A one-tick horizon: nobody can complete.
+        result = SwarmSimulation(
+            config.with_(max_ticks=config.rechoke_interval), [reference_bittorrent()], seed=8
+        ).run()
+        assert math.isnan(result.mean_download_time())
+        assert result.completion_fraction() == 0.0
+
+
+class TestSwarmMetrics:
+    def test_summaries_per_variant(self, config):
+        n = config.n_leechers
+        variants = [reference_bittorrent()] * (n // 2) + [birds_client()] * (n - n // 2)
+        results = [SwarmSimulation(config, variants, seed=s).run() for s in (0, 1)]
+        summaries = summarize_by_variant(results)
+        assert set(summaries) == {"BitTorrent", "Birds"}
+        assert summaries["Birds"].count == 2 * (n - n // 2)
+
+    def test_pooled_download_times_counts(self, config):
+        results = [SwarmSimulation(config, [reference_bittorrent()], seed=s).run() for s in (0, 1)]
+        assert len(pooled_download_times(results)) == 2 * config.n_leechers
+        assert len(pooled_download_times(results, "BitTorrent")) == 2 * config.n_leechers
+        assert pooled_download_times(results, "Birds") == []

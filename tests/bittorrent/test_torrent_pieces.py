@@ -1,0 +1,124 @@
+"""Tests for torrent metadata, piece sets and rarest-first selection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bittorrent.pieces import PieceSet, select_piece_rarest_first
+from repro.bittorrent.torrent import TorrentMetadata
+
+
+class TestTorrentMetadata:
+    def test_piece_count_rounds_up(self):
+        torrent = TorrentMetadata(total_size_kb=1000.0, piece_size_kb=256.0)
+        assert torrent.piece_count == 4
+
+    def test_exact_division(self):
+        torrent = TorrentMetadata(total_size_kb=1024.0, piece_size_kb=256.0)
+        assert torrent.piece_count == 4
+
+    def test_for_file_helper(self):
+        torrent = TorrentMetadata.for_file(5.0, piece_size_kb=256.0)
+        assert torrent.piece_count == 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_size_kb": 0.0},
+            {"total_size_kb": 100.0, "piece_size_kb": 0.0},
+            {"total_size_kb": 100.0, "piece_size_kb": 200.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TorrentMetadata(**kwargs)
+
+    def test_for_file_invalid_size(self):
+        with pytest.raises(ValueError):
+            TorrentMetadata.for_file(0.0)
+
+
+class TestPieceSet:
+    def test_empty_and_complete_construction(self):
+        empty = PieceSet(5)
+        full = PieceSet(5, complete=True)
+        assert empty.owned_count() == 0 and not empty.is_complete
+        assert full.owned_count() == 5 and full.is_complete
+
+    def test_add_and_has(self):
+        pieces = PieceSet(4)
+        pieces.add(2)
+        assert pieces.has(2)
+        assert not pieces.has(1)
+        assert pieces.missing() == {0, 1, 3}
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            PieceSet(3).add(3)
+        with pytest.raises(IndexError):
+            PieceSet(3).has(-1)
+
+    def test_interest(self):
+        a, b = PieceSet(4), PieceSet(4)
+        b.add(1)
+        assert a.is_interested_in(b)
+        assert not b.is_interested_in(a)
+        assert a.interesting_pieces(b) == {1}
+
+    def test_no_interest_when_equal(self):
+        a, b = PieceSet(3), PieceSet(3)
+        a.add(0)
+        b.add(0)
+        assert not a.is_interested_in(b)
+
+    def test_invalid_piece_count(self):
+        with pytest.raises(ValueError):
+            PieceSet(0)
+
+
+class TestRarestFirst:
+    def test_none_when_uploader_has_nothing_interesting(self, rng):
+        downloader, uploader = PieceSet(4), PieceSet(4)
+        assert select_piece_rarest_first(downloader, uploader, [], rng) is None
+
+    def test_selects_rarest_among_neighbours(self, rng):
+        downloader = PieceSet(3)
+        uploader = PieceSet(3, complete=True)
+        # Piece 0 is held by two neighbours, piece 1 by one, piece 2 by none.
+        n1, n2 = PieceSet(3), PieceSet(3)
+        n1.add(0)
+        n2.add(0)
+        n2.add(1)
+        choice = select_piece_rarest_first(downloader, uploader, [n1, n2], rng)
+        assert choice == 2
+
+    def test_exclusion_respected_when_alternatives_exist(self, rng):
+        downloader = PieceSet(3)
+        uploader = PieceSet(3, complete=True)
+        choice = select_piece_rarest_first(downloader, uploader, [], rng, exclude={0, 1})
+        assert choice == 2
+
+    def test_endgame_ignores_exclusion_when_nothing_left(self, rng):
+        downloader = PieceSet(2)
+        downloader.add(0)
+        uploader = PieceSet(2, complete=True)
+        choice = select_piece_rarest_first(downloader, uploader, [], rng, exclude={1})
+        assert choice == 1
+
+    def test_only_uploader_pieces_selected(self, rng):
+        downloader = PieceSet(4)
+        uploader = PieceSet(4)
+        uploader.add(3)
+        for _ in range(10):
+            assert select_piece_rarest_first(downloader, uploader, [], rng) == 3
+
+    def test_random_tie_break_varies(self):
+        downloader = PieceSet(6)
+        uploader = PieceSet(6, complete=True)
+        choices = {
+            select_piece_rarest_first(downloader, uploader, [], random.Random(seed))
+            for seed in range(20)
+        }
+        assert len(choices) > 1

@@ -1,0 +1,81 @@
+"""Tests for the tracker and the sliding-window rate estimator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bittorrent.rate import RateEstimator
+from repro.bittorrent.tracker import Tracker
+
+
+class TestTracker:
+    def test_register_and_members(self):
+        tracker = Tracker()
+        tracker.register(1)
+        tracker.register(2)
+        assert tracker.members() == {1, 2}
+        assert tracker.swarm_size == 2
+
+    def test_unregister(self):
+        tracker = Tracker()
+        tracker.register(1)
+        tracker.unregister(1)
+        tracker.unregister(99)  # idempotent
+        assert tracker.swarm_size == 0
+
+    def test_announce_registers_and_excludes_self(self, rng):
+        tracker = Tracker()
+        tracker.register(1)
+        peers = tracker.announce(2, rng)
+        assert 2 not in peers
+        assert set(peers) == {1}
+        assert 2 in tracker.members()
+
+    def test_announce_bounded(self, rng):
+        tracker = Tracker(max_peers_per_announce=5)
+        for peer_id in range(20):
+            tracker.register(peer_id)
+        assert len(tracker.announce(100, rng)) == 5
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            Tracker(max_peers_per_announce=0)
+
+
+class TestRateEstimator:
+    def test_rate_over_window(self):
+        estimator = RateEstimator(window_ticks=10)
+        estimator.record(1, tick=0, amount_kb=50.0)
+        estimator.record(1, tick=5, amount_kb=50.0)
+        assert estimator.rate(1, current_tick=9) == pytest.approx(10.0)
+
+    def test_old_samples_pruned(self):
+        estimator = RateEstimator(window_ticks=5)
+        estimator.record(1, tick=0, amount_kb=100.0)
+        assert estimator.rate(1, current_tick=10) == 0.0
+
+    def test_unknown_neighbour_zero(self):
+        assert RateEstimator().rate(42, 10) == 0.0
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            RateEstimator().record(1, 0, -1.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            RateEstimator(window_ticks=0)
+
+    def test_total_received_and_known_neighbours(self):
+        estimator = RateEstimator(window_ticks=20)
+        estimator.record(1, 0, 5.0)
+        estimator.record(2, 0, 7.0)
+        assert estimator.total_received(1) == 5.0
+        assert estimator.known_neighbours() == {1: 5.0, 2: 7.0}
+
+    def test_forget(self):
+        estimator = RateEstimator()
+        estimator.record(1, 0, 5.0)
+        estimator.forget(1)
+        assert estimator.total_received(1) == 0.0

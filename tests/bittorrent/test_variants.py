@@ -1,0 +1,101 @@
+"""Tests for BitTorrent client variants."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bittorrent.variants import (
+    ClientVariant,
+    birds_client,
+    loyal_when_needed_client,
+    random_client,
+    reference_bittorrent,
+    sort_s_client,
+    variant_by_name,
+)
+
+
+class TestValidation:
+    def test_unknown_ranking(self):
+        with pytest.raises(ValueError):
+            ClientVariant(name="x", ranking="bogus")
+
+    def test_unknown_optimistic_policy(self):
+        with pytest.raises(ValueError):
+            ClientVariant(name="x", optimistic_policy="bogus")
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            ClientVariant(name="x", regular_slots=0)
+
+    def test_effective_slots(self):
+        assert ClientVariant(name="x").effective_slots(3) == 3
+        assert ClientVariant(name="x", regular_slots=1).effective_slots(3) == 1
+
+
+class TestNamedVariants:
+    def test_reference_bittorrent(self):
+        variant = reference_bittorrent()
+        assert variant.ranking == "fastest"
+        assert variant.optimistic_policy == "periodic"
+
+    def test_birds(self):
+        assert birds_client().ranking == "proximity"
+
+    def test_loyal_when_needed(self):
+        variant = loyal_when_needed_client()
+        assert variant.ranking == "loyal"
+        assert variant.optimistic_policy == "when_needed"
+
+    def test_sort_s(self):
+        variant = sort_s_client()
+        assert variant.ranking == "slowest"
+        assert variant.optimistic_policy == "never"
+        assert variant.regular_slots == 1
+
+    def test_random(self):
+        assert random_client().ranking == "random"
+
+    def test_lookup_by_name(self):
+        assert variant_by_name("birds").name == "Birds"
+        assert variant_by_name("BitTorrent").ranking == "fastest"
+        with pytest.raises(KeyError):
+            variant_by_name("unknown")
+
+
+class TestRanking:
+    def _rank(self, variant, rates, loyalty=None, own_rate=25.0, seed=0):
+        candidates = list(rates)
+        return variant.rank(
+            candidates, rates, loyalty or {}, own_rate, random.Random(seed)
+        )
+
+    def test_fastest(self):
+        order = self._rank(reference_bittorrent(), {1: 5.0, 2: 50.0, 3: 20.0})
+        assert order == [2, 3, 1]
+
+    def test_slowest(self):
+        order = self._rank(sort_s_client(), {1: 5.0, 2: 50.0, 3: 20.0})
+        assert order == [1, 3, 2]
+
+    def test_proximity_prefers_own_rate(self):
+        order = self._rank(birds_client(), {1: 24.0, 2: 100.0}, own_rate=25.0)
+        assert order[0] == 1
+
+    def test_loyal_prefers_long_standing(self):
+        order = self._rank(
+            loyal_when_needed_client(), {1: 100.0, 2: 1.0}, loyalty={1: 0, 2: 5}
+        )
+        assert order[0] == 2
+
+    def test_random_is_permutation(self):
+        order = self._rank(random_client(), {1: 1.0, 2: 2.0, 3: 3.0})
+        assert sorted(order) == [1, 2, 3]
+
+    def test_missing_rates_treated_as_zero(self):
+        order = reference_bittorrent().rank(
+            [1, 2], {1: 10.0}, {}, 25.0, random.Random(0)
+        )
+        assert order[0] == 1

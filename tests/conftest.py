@@ -1,0 +1,64 @@
+"""Shared pytest fixtures.
+
+All fixtures are deliberately tiny (smoke-scale) so the unit-test suite stays
+fast; the benchmark harness under ``benchmarks/`` exercises the larger
+configurations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.pra import PRAConfig
+from repro.core.protocol import (
+    birds_protocol,
+    bittorrent_reference,
+    loyal_when_needed,
+    sort_s,
+)
+from repro.core.space import DesignSpace
+from repro.sim.behavior import PeerBehavior
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator for policy-level tests."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def smoke_sim_config() -> SimulationConfig:
+    """A minimal simulation configuration for engine tests."""
+    return SimulationConfig(n_peers=8, rounds=12)
+
+
+@pytest.fixture
+def smoke_pra_config() -> PRAConfig:
+    """A minimal PRA configuration for tournament/study tests."""
+    return PRAConfig(
+        sim=SimulationConfig(n_peers=8, rounds=12),
+        performance_runs=1,
+        encounter_runs=1,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def design_space() -> DesignSpace:
+    """The full 3270-protocol design space (cheap to construct)."""
+    return DesignSpace.default()
+
+
+@pytest.fixture
+def bt_behavior() -> PeerBehavior:
+    """Reference-BitTorrent-like behaviour."""
+    return bittorrent_reference().behavior
+
+
+@pytest.fixture
+def named_protocol_list():
+    """The named protocols referenced throughout the paper."""
+    return [bittorrent_reference(), birds_protocol(), loyal_when_needed(), sort_s()]

@@ -1,0 +1,98 @@
+"""Tests for the generic Parameterization / Actualization framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.design_space import (
+    Actualization,
+    Dimension,
+    Parameterization,
+    generic_p2p_parameterization,
+    gossip_parameterization,
+)
+
+
+class TestActualization:
+    def test_requires_code_and_name(self):
+        with pytest.raises(ValueError):
+            Actualization("", "x")
+        with pytest.raises(ValueError):
+            Actualization("X", "")
+
+
+class TestDimension:
+    def test_cardinality(self):
+        dim = Dimension("d", "", (Actualization("A", "a"), Actualization("B", "b")))
+        assert dim.cardinality == 2
+
+    def test_lookup_by_code(self):
+        dim = Dimension("d", "", (Actualization("A", "a"),))
+        assert dim.actualization("A").name == "a"
+        with pytest.raises(KeyError):
+            dim.actualization("Z")
+
+    def test_duplicate_codes_rejected(self):
+        with pytest.raises(ValueError):
+            Dimension("d", "", (Actualization("A", "a"), Actualization("A", "b")))
+
+    def test_codes_order_preserved(self):
+        dim = Dimension("d", "", (Actualization("B", "b"), Actualization("A", "a")))
+        assert dim.codes() == ["B", "A"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Dimension("", "desc")
+
+
+class TestParameterization:
+    def test_size_is_product_of_cardinalities(self):
+        param = Parameterization(
+            "p",
+            [
+                Dimension("a", "", (Actualization("A1", "x"), Actualization("A2", "y"))),
+                Dimension("b", "", (Actualization("B1", "x"),)),
+                Dimension("c", ""),  # no declared actualizations: counts as 1
+            ],
+        )
+        assert param.size() == 2
+
+    def test_dimension_lookup(self):
+        param = generic_p2p_parameterization()
+        assert param.dimension("Stranger Policy").cardinality == 3
+        with pytest.raises(KeyError):
+            param.dimension("nope")
+
+    def test_duplicate_dimension_names_rejected(self):
+        with pytest.raises(ValueError):
+            Parameterization("p", [Dimension("a", ""), Dimension("a", "")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Parameterization("p", [])
+
+    def test_describe_mentions_every_dimension(self):
+        text = generic_p2p_parameterization().describe()
+        for name in ("Peer Discovery", "Stranger Policy", "Selection Function", "Resource Allocation"):
+            assert name in text
+
+
+class TestPaperParameterizations:
+    def test_generic_p2p_dimension_names(self):
+        names = generic_p2p_parameterization().dimension_names()
+        assert names == [
+            "Peer Discovery",
+            "Stranger Policy",
+            "Selection Function",
+            "Resource Allocation",
+        ]
+
+    def test_generic_p2p_contains_section42_codes(self):
+        param = generic_p2p_parameterization()
+        selection = param.dimension("Selection Function")
+        assert {"C1", "C2", "I1", "I2", "I3", "I4", "I5", "I6"} <= set(selection.codes())
+        allocation = param.dimension("Resource Allocation")
+        assert allocation.codes() == ["R1", "R2", "R3"]
+
+    def test_gossip_example_has_four_dimensions(self):
+        assert len(gossip_parameterization().dimensions) == 4

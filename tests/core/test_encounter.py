@@ -1,0 +1,85 @@
+"""Tests for two-protocol encounters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encounter import run_encounter
+from repro.core.protocol import Protocol, bittorrent_reference
+from repro.sim.behavior import PeerBehavior
+from repro.sim.bandwidth import ConstantBandwidth
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture
+def sim_config() -> SimulationConfig:
+    return SimulationConfig(n_peers=10, rounds=15, bandwidth=ConstantBandwidth(100.0))
+
+
+def full_defector() -> Protocol:
+    return Protocol(
+        PeerBehavior(stranger_policy="defect", stranger_count=1, allocation="freeride"),
+        name="Defector",
+    )
+
+
+class TestRunEncounter:
+    def test_cooperator_beats_full_defector(self, sim_config):
+        outcome = run_encounter(
+            bittorrent_reference(), full_defector(), sim_config, runs=3, seed=0
+        )
+        assert outcome.wins_a == 3
+        assert outcome.wins_b == 0
+        assert outcome.mean_download_a > outcome.mean_download_b
+        assert outcome.winner() == bittorrent_reference().key
+
+    def test_population_split_counts(self, sim_config):
+        outcome = run_encounter(
+            bittorrent_reference(), full_defector(), sim_config, fraction_a=0.1, runs=1, seed=0
+        )
+        assert outcome.peers_a == 1
+        assert outcome.peers_b == sim_config.n_peers - 1
+
+    def test_minority_fraction_never_rounds_to_zero(self, sim_config):
+        outcome = run_encounter(
+            bittorrent_reference(), full_defector(), sim_config, fraction_a=0.01, runs=1, seed=0
+        )
+        assert outcome.peers_a == 1
+
+    def test_win_rates_sum_at_most_one(self, sim_config):
+        outcome = run_encounter(
+            bittorrent_reference(), full_defector(), sim_config, runs=4, seed=1
+        )
+        assert outcome.win_rate_a + outcome.win_rate_b <= 1.0 + 1e-9
+        assert outcome.wins_a + outcome.wins_b + outcome.ties == outcome.runs
+
+    def test_deterministic_given_seed(self, sim_config):
+        a = run_encounter(bittorrent_reference(), full_defector(), sim_config, runs=2, seed=5)
+        b = run_encounter(bittorrent_reference(), full_defector(), sim_config, runs=2, seed=5)
+        assert a == b
+
+    def test_seed_changes_means(self, sim_config):
+        a = run_encounter(bittorrent_reference(), full_defector(), sim_config, runs=1, seed=5)
+        b = run_encounter(bittorrent_reference(), full_defector(), sim_config, runs=1, seed=6)
+        assert a.mean_download_a != b.mean_download_a
+
+    def test_invalid_runs(self, sim_config):
+        with pytest.raises(ValueError):
+            run_encounter(bittorrent_reference(), full_defector(), sim_config, runs=0)
+
+    def test_invalid_fraction(self, sim_config):
+        with pytest.raises(ValueError):
+            run_encounter(
+                bittorrent_reference(), full_defector(), sim_config, fraction_a=1.0
+            )
+
+    def test_self_encounter_statistically_balanced(self, sim_config):
+        outcome = run_encounter(
+            bittorrent_reference(),
+            Protocol(bittorrent_reference().behavior, name="Clone"),
+            sim_config,
+            runs=6,
+            seed=2,
+        )
+        # Identical protocols should not produce a lopsided result.
+        assert abs(outcome.wins_a - outcome.wins_b) <= 4

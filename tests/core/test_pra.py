@@ -1,0 +1,105 @@
+"""Tests for the PRA quantification primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pra import (
+    PRAConfig,
+    aggressiveness_tournament,
+    measure_performance,
+    normalize_scores,
+    robustness_tournament,
+)
+from repro.core.protocol import Protocol, bittorrent_reference, loyal_when_needed
+from repro.sim.behavior import PeerBehavior
+from repro.sim.bandwidth import ConstantBandwidth
+from repro.sim.config import SimulationConfig
+
+
+def defector() -> Protocol:
+    return Protocol(
+        PeerBehavior(stranger_policy="defect", stranger_count=1, allocation="freeride"),
+        name="Defector",
+    )
+
+
+@pytest.fixture
+def config() -> PRAConfig:
+    return PRAConfig(
+        sim=SimulationConfig(n_peers=8, rounds=12, bandwidth=ConstantBandwidth(100.0)),
+        performance_runs=1,
+        encounter_runs=1,
+        seed=0,
+    )
+
+
+class TestPRAConfig:
+    def test_presets(self):
+        assert PRAConfig.paper().performance_runs == 100
+        assert PRAConfig.paper().encounter_runs == 10
+        assert PRAConfig.smoke().performance_runs == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"performance_runs": 0},
+            {"encounter_runs": 0},
+            {"robustness_split": 0.0},
+            {"aggressiveness_split": 1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PRAConfig(sim=SimulationConfig.smoke(), **kwargs)
+
+    def test_with_override(self, config):
+        assert config.with_(encounter_runs=5).encounter_runs == 5
+
+
+class TestMeasurePerformance:
+    def test_cooperator_outperforms_defector(self, config):
+        raw = measure_performance([bittorrent_reference(), defector()], config)
+        assert raw[bittorrent_reference().key] > raw[defector().key]
+
+    def test_deterministic(self, config):
+        protocols = [bittorrent_reference(), defector()]
+        assert measure_performance(protocols, config) == measure_performance(protocols, config)
+
+    def test_one_entry_per_protocol(self, config):
+        protocols = [bittorrent_reference(), loyal_when_needed(), defector()]
+        raw = measure_performance(protocols, config)
+        assert set(raw) == {p.key for p in protocols}
+
+
+class TestNormalizeScores:
+    def test_best_maps_to_one(self):
+        normalized = normalize_scores({"a": 2.0, "b": 4.0})
+        assert normalized == {"a": 0.5, "b": 1.0}
+
+    def test_all_zero_stays_zero(self):
+        assert normalize_scores({"a": 0.0, "b": 0.0}) == {"a": 0.0, "b": 0.0}
+
+    def test_empty(self):
+        assert normalize_scores({}) == {}
+
+
+class TestTournaments:
+    def test_robustness_defector_low(self, config):
+        protocols = [bittorrent_reference(), loyal_when_needed(), defector()]
+        outcome = robustness_tournament(protocols, config)
+        assert outcome.scores[defector().key] <= min(
+            outcome.scores[bittorrent_reference().key],
+            outcome.scores[loyal_when_needed().key],
+        )
+
+    def test_robustness_split_override(self, config):
+        protocols = [bittorrent_reference(), defector()]
+        outcome = robustness_tournament(protocols, config, split=0.9)
+        assert outcome.mode == "symmetric@0.9"
+
+    def test_aggressiveness_mode(self, config):
+        protocols = [bittorrent_reference(), defector()]
+        outcome = aggressiveness_tournament(protocols, config)
+        assert outcome.mode == "minority@0.1"
+        assert set(outcome.scores) == {p.key for p in protocols}

@@ -1,0 +1,114 @@
+"""Tests for Protocol and the named protocols of the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import (
+    Protocol,
+    birds_protocol,
+    bittorrent_reference,
+    loyal_when_needed,
+    random_ranking_protocol,
+    sort_s,
+)
+from repro.sim.behavior import PeerBehavior
+
+
+class TestProtocolBasics:
+    def test_label_matches_behavior(self):
+        protocol = bittorrent_reference()
+        assert protocol.label == protocol.behavior.label()
+
+    def test_key_uses_id_when_present(self):
+        protocol = Protocol(PeerBehavior(), protocol_id=17)
+        assert protocol.key == "17"
+
+    def test_key_falls_back_to_label(self):
+        protocol = Protocol(PeerBehavior())
+        assert protocol.key == protocol.label
+
+    def test_display_name(self):
+        assert bittorrent_reference().display_name == "BitTorrent"
+        assert Protocol(PeerBehavior()).display_name == PeerBehavior().label()
+
+    def test_dict_roundtrip(self):
+        protocol = Protocol(PeerBehavior(ranking="loyal"), protocol_id=3, name="X")
+        restored = Protocol.from_dict(protocol.as_dict())
+        assert restored.behavior == protocol.behavior
+        assert restored.protocol_id == 3
+        assert restored.name == "X"
+
+
+class TestCoordinates:
+    def test_coordinate_codes(self):
+        coords = loyal_when_needed().coordinates()
+        assert coords["stranger"] == "B2"
+        assert coords["candidate"] == "C1"
+        assert coords["ranking"] == "I5"
+        assert coords["allocation"] == "R1"
+        assert coords["k"] == 4
+        assert coords["h"] == 2
+
+    def test_partner_and_stranger_counts(self):
+        protocol = sort_s()
+        assert protocol.number_of_partners == 1
+        assert protocol.number_of_strangers == 1
+
+
+class TestPredicates:
+    def test_freerider_predicate(self):
+        freerider = Protocol(PeerBehavior(allocation="freeride"))
+        assert freerider.is_freerider
+        assert not bittorrent_reference().is_freerider
+
+    def test_defects_on_strangers(self):
+        assert sort_s().defects_on_strangers
+        assert not bittorrent_reference().defects_on_strangers
+
+    def test_birds_variant_predicate(self):
+        assert birds_protocol().is_birds_variant
+        assert not bittorrent_reference().is_birds_variant
+        prop_share_proximity = Protocol(
+            PeerBehavior(ranking="proximity", allocation="prop_share")
+        )
+        assert not prop_share_proximity.is_birds_variant
+
+
+class TestNamedProtocols:
+    def test_bittorrent_reference_shape(self):
+        behavior = bittorrent_reference().behavior
+        assert behavior.ranking == "fastest"
+        assert behavior.stranger_policy == "periodic"
+        assert behavior.allocation == "equal_split"
+
+    def test_birds_uses_proximity(self):
+        assert birds_protocol().behavior.ranking == "proximity"
+
+    def test_loyal_when_needed_shape(self):
+        behavior = loyal_when_needed().behavior
+        assert behavior.ranking == "loyal"
+        assert behavior.stranger_policy == "when_needed"
+
+    def test_sort_s_shape(self):
+        behavior = sort_s().behavior
+        assert behavior.ranking == "slowest"
+        assert behavior.stranger_policy == "defect"
+        assert behavior.partner_count == 1
+        assert behavior.allocation == "equal_split"
+
+    def test_random_protocol_shape(self):
+        assert random_ranking_protocol().behavior.ranking == "random"
+
+    def test_named_protocols_have_distinct_behaviours(self):
+        behaviours = {
+            p.behavior
+            for p in (
+                bittorrent_reference(),
+                birds_protocol(),
+                loyal_when_needed(),
+                sort_s(),
+                random_ranking_protocol(),
+            )
+        }
+        assert len(behaviours) == 5

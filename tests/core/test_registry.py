@@ -1,0 +1,35 @@
+"""Tests for the Table 2 system registry."""
+
+from __future__ import annotations
+
+from repro.core.registry import DIMENSIONS, SYSTEM_REGISTRY, registry_rows, registry_table
+
+
+class TestRegistry:
+    def test_contains_the_six_table2_systems(self):
+        names = {system.name for system in SYSTEM_REGISTRY}
+        assert names == {
+            "P2P Replica Storage",
+            "Give-to-Get (GTG)",
+            "Maze",
+            "Pulse",
+            "BarterCast",
+            "Private BT Communities",
+        }
+
+    def test_dimension_values_cover_all_columns(self):
+        for system in SYSTEM_REGISTRY:
+            values = system.dimension_values()
+            assert list(values) == list(DIMENSIONS)
+            assert all(values.values())
+
+    def test_rows_align_with_registry(self):
+        rows = registry_rows()
+        assert len(rows) == len(SYSTEM_REGISTRY)
+        assert rows[0][0] == SYSTEM_REGISTRY[0].name
+        assert all(len(row) == 5 for row in rows)
+
+    def test_rendered_table_mentions_every_system(self):
+        text = registry_table()
+        for system in SYSTEM_REGISTRY:
+            assert system.name in text

@@ -1,0 +1,132 @@
+"""Tests for PRA study results and the study driver (with caching)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pra import PRAConfig
+from repro.core.protocol import Protocol, bittorrent_reference, loyal_when_needed, sort_s
+from repro.core.results import PRAStudyResult
+from repro.core.study import PRAStudy
+from repro.sim.behavior import PeerBehavior
+from repro.sim.bandwidth import ConstantBandwidth
+from repro.sim.config import SimulationConfig
+
+
+def defector() -> Protocol:
+    return Protocol(
+        PeerBehavior(stranger_policy="defect", stranger_count=1, allocation="freeride"),
+        name="Defector",
+    )
+
+
+@pytest.fixture
+def config() -> PRAConfig:
+    return PRAConfig(
+        sim=SimulationConfig(n_peers=8, rounds=12, bandwidth=ConstantBandwidth(100.0)),
+        performance_runs=1,
+        encounter_runs=1,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def protocols():
+    return [bittorrent_reference(), loyal_when_needed(), sort_s(), defector()]
+
+
+@pytest.fixture
+def study_result(config, protocols) -> PRAStudyResult:
+    PRAStudy.clear_memo()
+    return PRAStudy(protocols, config).run()
+
+
+class TestPRAStudy:
+    def test_scores_for_every_protocol(self, study_result, protocols):
+        keys = {p.key for p in protocols}
+        assert set(study_result.performance) == keys
+        assert set(study_result.robustness) == keys
+        assert set(study_result.aggressiveness) == keys
+
+    def test_scores_in_unit_interval(self, study_result):
+        for scores in (study_result.performance, study_result.robustness,
+                       study_result.aggressiveness):
+            assert all(0.0 <= v <= 1.0 for v in scores.values())
+
+    def test_best_performance_is_one(self, study_result):
+        assert max(study_result.performance.values()) == pytest.approx(1.0)
+
+    def test_memo_returns_same_object(self, config, protocols):
+        PRAStudy.clear_memo()
+        first = PRAStudy(protocols, config).run()
+        second = PRAStudy(protocols, config).run()
+        assert first is second
+
+    def test_disk_cache_roundtrip(self, config, protocols, tmp_path):
+        PRAStudy.clear_memo()
+        first = PRAStudy(protocols, config, cache_dir=tmp_path).run()
+        PRAStudy.clear_memo()
+        second = PRAStudy(protocols, config, cache_dir=tmp_path).run()
+        assert second.performance == first.performance
+        assert second.robustness == first.robustness
+
+    def test_fingerprint_changes_with_config(self, config, protocols):
+        a = PRAStudy(protocols, config)
+        b = PRAStudy(protocols, config.with_(seed=99))
+        assert a.fingerprint != b.fingerprint
+
+    def test_duplicate_protocols_rejected(self, config):
+        with pytest.raises(ValueError):
+            PRAStudy([bittorrent_reference(), bittorrent_reference()], config)
+
+    def test_single_protocol_study(self, config):
+        PRAStudy.clear_memo()
+        result = PRAStudy([bittorrent_reference()], config).run()
+        assert result.robustness[bittorrent_reference().key] == 0.0
+
+
+class TestPRAStudyResult:
+    def test_rows_contain_coordinates_and_scores(self, study_result):
+        rows = study_result.rows()
+        assert len(rows) == 4
+        for row in rows:
+            assert {"stranger", "ranking", "allocation", "k", "h"} <= set(row)
+            assert 0.0 <= row["performance"] <= 1.0
+
+    def test_rank_of(self, study_result):
+        best_key = study_result.top_by_performance(1)[0][0]
+        assert study_result.rank_of(best_key, "performance") == 1
+
+    def test_rank_of_unknown_key(self, study_result):
+        with pytest.raises(KeyError):
+            study_result.rank_of("nope")
+
+    def test_top_by_measures_sorted(self, study_result):
+        top = study_result.top_by_robustness(4)
+        scores = [s for _k, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_protocol_by_key(self, study_result):
+        key = bittorrent_reference().key
+        assert study_result.protocol_by_key(key).name == "BitTorrent"
+        with pytest.raises(KeyError):
+            study_result.protocol_by_key("missing")
+
+    def test_correlation_finite(self, study_result):
+        r = study_result.robustness_aggressiveness_correlation()
+        assert -1.0 <= r <= 1.0 or r != r  # allow nan for degenerate smoke data
+
+    def test_json_roundtrip(self, study_result, tmp_path):
+        path = study_result.save(tmp_path / "study.json")
+        restored = PRAStudyResult.load(path)
+        assert restored.performance == study_result.performance
+        assert restored.keys() == study_result.keys()
+        assert restored.protocol_by_key(bittorrent_reference().key).behavior == \
+            bittorrent_reference().behavior
+
+    def test_scores_of(self, study_result):
+        key = study_result.keys()[0]
+        p, r, a = study_result.scores_of(key)
+        assert p == study_result.performance[key]
+        assert r == study_result.robustness[key]
+        assert a == study_result.aggressiveness[key]

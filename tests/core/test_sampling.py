@@ -1,0 +1,69 @@
+"""Tests for design-space sampling strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import bittorrent_reference, birds_protocol
+from repro.core.sampling import sample_protocols
+from repro.core.space import DesignSpace
+
+
+@pytest.fixture
+def space() -> DesignSpace:
+    return DesignSpace.default()
+
+
+class TestSampleProtocols:
+    def test_invalid_count(self, space):
+        with pytest.raises(ValueError):
+            sample_protocols(space, 0)
+
+    def test_invalid_method(self, space):
+        with pytest.raises(ValueError):
+            sample_protocols(space, 5, method="nope")
+
+    def test_random_and_stratified_both_distinct(self, space):
+        for method in ("random", "stratified"):
+            sample = sample_protocols(space, 20, seed=1, method=method)
+            ids = [p.protocol_id for p in sample]
+            assert len(set(ids)) == 20
+
+    def test_stratified_covers_stranger_policies(self, space):
+        sample = sample_protocols(space, 40, seed=0, method="stratified")
+        strangers = {p.behavior.stranger_policy for p in sample}
+        assert strangers == {"none", "periodic", "when_needed", "defect"}
+
+    def test_stratified_covers_rankings(self, space):
+        sample = sample_protocols(space, 40, seed=0, method="stratified")
+        rankings = {p.behavior.ranking for p in sample}
+        assert len(rankings) == 6
+
+    def test_include_counts_towards_total(self, space):
+        included = [bittorrent_reference(), birds_protocol()]
+        sample = sample_protocols(space, 10, seed=0, include=included)
+        assert len(sample) == 10
+        assert sample[0].name == "BitTorrent"
+        assert sample[1].name == "Birds"
+
+    def test_included_not_duplicated(self, space):
+        included = [bittorrent_reference()]
+        sample = sample_protocols(space, 30, seed=0, include=included)
+        bt_id = space.index_of(bittorrent_reference().behavior)
+        assert [p.protocol_id for p in sample].count(bt_id) == 1
+
+    def test_include_larger_than_count_rejected(self, space):
+        with pytest.raises(ValueError):
+            sample_protocols(space, 1, include=[bittorrent_reference(), birds_protocol()])
+
+    def test_duplicate_includes_collapsed(self, space):
+        sample = sample_protocols(
+            space, 5, include=[bittorrent_reference(), bittorrent_reference()]
+        )
+        names = [p.name for p in sample if p.name == "BitTorrent"]
+        assert len(names) == 1
+
+    def test_seed_changes_sample(self, space):
+        a = {p.protocol_id for p in sample_protocols(space, 15, seed=1)}
+        b = {p.protocol_id for p in sample_protocols(space, 15, seed=2)}
+        assert a != b

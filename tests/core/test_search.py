@@ -1,0 +1,164 @@
+"""Tests for heuristic design-space search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pra import PRAConfig
+from repro.core.protocol import Protocol, bittorrent_reference, sort_s
+from repro.core.search import (
+    EvolutionarySearch,
+    HillClimbingSearch,
+    SearchObjective,
+    protocol_neighbors,
+)
+from repro.core.space import DesignSpace
+from repro.sim.behavior import PeerBehavior
+from repro.sim.bandwidth import ConstantBandwidth
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture
+def space() -> DesignSpace:
+    return DesignSpace.default()
+
+
+@pytest.fixture
+def objective() -> SearchObjective:
+    config = PRAConfig(
+        sim=SimulationConfig(n_peers=8, rounds=10, bandwidth=ConstantBandwidth(100.0)),
+        performance_runs=1,
+        encounter_runs=1,
+        seed=0,
+    )
+    freerider = Protocol(
+        PeerBehavior(stranger_policy="defect", stranger_count=1, allocation="freeride"),
+        name="Freerider",
+    )
+    return SearchObjective([bittorrent_reference(), freerider], config)
+
+
+class TestSearchObjective:
+    def test_requires_panel_and_positive_weights(self):
+        config = PRAConfig.smoke()
+        with pytest.raises(ValueError):
+            SearchObjective([], config)
+        with pytest.raises(ValueError):
+            SearchObjective([bittorrent_reference()], config, performance_weight=-1)
+        with pytest.raises(ValueError):
+            SearchObjective(
+                [bittorrent_reference()], config,
+                performance_weight=0, robustness_weight=0, aggressiveness_weight=0,
+            )
+
+    def test_evaluation_memoised(self, objective):
+        protocol = bittorrent_reference()
+        first = objective.evaluate(protocol)
+        count = objective.evaluations
+        second = objective.evaluate(protocol)
+        assert first == second
+        assert objective.evaluations == count == 1
+        assert objective.cached(protocol) == first
+
+    def test_values_in_unit_interval(self, objective):
+        value = objective.evaluate(sort_s())
+        assert 0.0 <= value.performance <= 1.0
+        assert 0.0 <= value.robustness <= 1.0
+        assert 0.0 <= value.score <= 1.0
+
+    def test_cooperator_scores_above_freerider(self, objective):
+        freerider = Protocol(
+            PeerBehavior(stranger_policy="defect", stranger_count=1, allocation="freeride"),
+        )
+        assert objective.evaluate(bittorrent_reference()).score > objective.evaluate(freerider).score
+
+
+class TestProtocolNeighbors:
+    def test_neighbors_differ_in_one_dimension(self, space):
+        protocol = space.protocol(space.index_of(bittorrent_reference().behavior))
+        for neighbor in protocol_neighbors(protocol, space):
+            a, b = protocol.behavior, neighbor.behavior
+            differences = sum(
+                1
+                for fields in (
+                    ("stranger_policy", "stranger_count"),
+                    ("candidate_policy",),
+                    ("ranking",),
+                    ("partner_count",),
+                    ("allocation",),
+                )
+                if any(getattr(a, f) != getattr(b, f) for f in fields)
+            )
+            assert differences == 1
+
+    def test_neighbors_are_space_members_with_ids(self, space):
+        protocol = space.protocol(1234)
+        neighbors = protocol_neighbors(protocol, space)
+        assert neighbors
+        for neighbor in neighbors:
+            assert neighbor.protocol_id is not None
+            assert space.protocol(neighbor.protocol_id).label == neighbor.label
+
+    def test_no_duplicate_neighbors(self, space):
+        protocol = space.protocol(42)
+        labels = [n.label for n in protocol_neighbors(protocol, space)]
+        assert len(labels) == len(set(labels))
+
+    def test_partner_count_bounds_respected(self, space):
+        zero_partner = space.protocol(space.index_of(PeerBehavior(partner_count=0)))
+        for neighbor in protocol_neighbors(zero_partner, space):
+            assert neighbor.behavior.partner_count >= 0
+
+
+class TestHillClimbingSearch:
+    def test_respects_budget_and_returns_best(self, space, objective):
+        search = HillClimbingSearch(space, objective, max_evaluations=15, restarts=2, seed=1)
+        result = search.run()
+        assert result.evaluations <= 15
+        assert result.best_score == max(score for _label, score in result.trajectory)
+
+    def test_start_point_honoured(self, space, objective):
+        search = HillClimbingSearch(space, objective, max_evaluations=10, restarts=1, seed=1)
+        result = search.run(start=bittorrent_reference())
+        assert result.trajectory[0][0] == bittorrent_reference().behavior.label()
+
+    def test_best_never_a_full_defector(self, space, objective):
+        search = HillClimbingSearch(space, objective, max_evaluations=30, restarts=2, seed=3)
+        result = search.run(start=bittorrent_reference())
+        assert not result.best_protocol.behavior.uploads_nothing
+
+    def test_validation(self, space, objective):
+        with pytest.raises(ValueError):
+            HillClimbingSearch(space, objective, max_evaluations=0)
+        with pytest.raises(ValueError):
+            HillClimbingSearch(space, objective, restarts=0)
+
+
+class TestEvolutionarySearch:
+    def test_runs_within_budget(self, space, objective):
+        search = EvolutionarySearch(
+            space, objective, population_size=4, generations=2,
+            elite=1, max_evaluations=20, seed=2,
+        )
+        result = search.run()
+        assert result.evaluations <= 20
+        assert result.best_value.score >= 0.0
+
+    def test_initial_population_used(self, space, objective):
+        search = EvolutionarySearch(
+            space, objective, population_size=4, generations=1,
+            elite=1, max_evaluations=20, seed=2,
+        )
+        result = search.run(initial_population=[bittorrent_reference(), sort_s()])
+        labels = {label for label, _score in result.trajectory}
+        assert bittorrent_reference().behavior.label() in labels
+
+    def test_validation(self, space, objective):
+        with pytest.raises(ValueError):
+            EvolutionarySearch(space, objective, population_size=1)
+        with pytest.raises(ValueError):
+            EvolutionarySearch(space, objective, population_size=4, elite=4)
+        with pytest.raises(ValueError):
+            EvolutionarySearch(space, objective, generations=0)
+        with pytest.raises(ValueError):
+            EvolutionarySearch(space, objective, mutation_probability=1.5)

@@ -1,0 +1,115 @@
+"""Tests for the enumerated Section 4.2 design space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import bittorrent_reference, sort_s
+from repro.core.space import DesignSpace
+from repro.sim.behavior import PeerBehavior
+
+
+class TestEnumeration:
+    def test_full_space_has_3270_protocols(self, design_space):
+        assert len(design_space) == 3270
+
+    def test_dimension_sizes_match_paper(self, design_space):
+        stranger, selection, allocation = design_space.dimension_sizes()
+        assert stranger == 10
+        assert selection == 109
+        assert allocation == 3
+
+    def test_ids_are_stable_and_consistent(self, design_space):
+        for index in (0, 1, 500, 1234, 3269):
+            assert design_space.protocol(index).protocol_id == index
+
+    def test_out_of_range_rejected(self, design_space):
+        with pytest.raises(IndexError):
+            design_space.protocol(3270)
+        with pytest.raises(IndexError):
+            design_space.protocol(-1)
+
+    def test_all_labels_unique(self, design_space):
+        labels = {design_space.protocol(i).label for i in range(len(design_space))}
+        assert len(labels) == len(design_space)
+
+    def test_iteration_matches_indexing(self, design_space):
+        first_ten = [p.label for _, p in zip(range(10), iter(design_space))]
+        assert first_ten == [design_space.protocol(i).label for i in range(10)]
+
+    def test_getitem(self, design_space):
+        assert design_space[5].protocol_id == 5
+
+
+class TestIndexOf:
+    def test_roundtrip_for_sampled_ids(self, design_space):
+        for index in range(0, len(design_space), 217):
+            protocol = design_space.protocol(index)
+            assert design_space.index_of(protocol.behavior) == index
+
+    def test_named_protocols_present(self, design_space):
+        assert design_space.contains(bittorrent_reference().behavior)
+        assert design_space.contains(sort_s().behavior)
+
+    def test_zero_partner_behaviour_maps_to_canonical_entry(self, design_space):
+        behaviour = PeerBehavior(partner_count=0, ranking="loyal", candidate_policy="tf2t")
+        index = design_space.index_of(behaviour)
+        canonical = design_space.protocol(index)
+        assert canonical.behavior.partner_count == 0
+
+    def test_unknown_behaviour_rejected(self):
+        reduced = DesignSpace.reduced(partner_counts=(1,), stranger_counts=(1,))
+        with pytest.raises(KeyError):
+            reduced.index_of(PeerBehavior(partner_count=5))
+
+    def test_contains_false_for_missing(self):
+        reduced = DesignSpace.reduced(partner_counts=(1,), stranger_counts=(1,))
+        assert not reduced.contains(PeerBehavior(partner_count=5))
+
+
+class TestReducedSpace:
+    def test_reduced_size(self):
+        space = DesignSpace.reduced(partner_counts=(1, 5), stranger_counts=(1,))
+        # stranger: 1 + 3*1 = 4; selection: 1 + 2*6*2 = 25; allocation 3.
+        assert len(space) == 4 * 25 * 3
+
+    def test_reduced_space_still_covers_all_rankings(self):
+        space = DesignSpace.reduced(partner_counts=(3,), stranger_counts=(1,))
+        rankings = {p.behavior.ranking for p in space}
+        assert rankings == {"fastest", "slowest", "proximity", "adaptive", "loyal", "random"}
+
+
+class TestSampling:
+    def test_sample_size_and_distinctness(self, design_space):
+        sample = design_space.sample(25, seed=0)
+        assert len(sample) == 25
+        assert len({p.protocol_id for p in sample}) == 25
+
+    def test_sample_reproducible(self, design_space):
+        a = [p.protocol_id for p in design_space.sample(10, seed=3)]
+        b = [p.protocol_id for p in design_space.sample(10, seed=3)]
+        assert a == b
+
+    def test_include_anchored_to_space_ids(self, design_space):
+        bt = bittorrent_reference()
+        sample = design_space.sample(8, seed=1, include=[bt])
+        assert sample[0].name == "BitTorrent"
+        assert sample[0].protocol_id == design_space.index_of(bt.behavior)
+
+    def test_stratified_sample_covers_allocations(self, design_space):
+        sample = design_space.sample(30, seed=2, method="stratified")
+        allocations = {p.behavior.allocation for p in sample}
+        assert allocations == {"equal_split", "prop_share", "freeride"}
+
+    def test_random_sampling_method(self, design_space):
+        sample = design_space.sample(10, seed=4, method="random")
+        assert len(sample) == 10
+
+    def test_invalid_method_rejected(self, design_space):
+        with pytest.raises(ValueError):
+            design_space.sample(5, method="magic")
+
+    def test_sample_capped_at_space_size(self):
+        space = DesignSpace.reduced(partner_counts=(1,), stranger_counts=(1,))
+        sample = space.sample(10_000, seed=0)
+        assert len(sample) == len(space)

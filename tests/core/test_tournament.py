@@ -1,0 +1,82 @@
+"""Tests for the round-robin protocol tournament."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import Protocol, bittorrent_reference, loyal_when_needed
+from repro.core.tournament import Tournament
+from repro.sim.behavior import PeerBehavior
+from repro.sim.bandwidth import ConstantBandwidth
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture
+def sim_config() -> SimulationConfig:
+    return SimulationConfig(n_peers=8, rounds=12, bandwidth=ConstantBandwidth(100.0))
+
+
+def defector() -> Protocol:
+    return Protocol(
+        PeerBehavior(stranger_policy="defect", stranger_count=1, allocation="freeride"),
+        name="Defector",
+    )
+
+
+@pytest.fixture
+def protocols():
+    return [bittorrent_reference(), loyal_when_needed(), defector()]
+
+
+class TestTournamentValidation:
+    def test_needs_two_protocols(self, sim_config):
+        with pytest.raises(ValueError):
+            Tournament([bittorrent_reference()], sim_config)
+
+    def test_unique_keys_required(self, sim_config):
+        with pytest.raises(ValueError):
+            Tournament([bittorrent_reference(), bittorrent_reference()], sim_config)
+
+
+class TestSymmetricTournament:
+    def test_scores_in_unit_interval(self, protocols, sim_config):
+        outcome = Tournament(protocols, sim_config, encounter_runs=1, seed=0).run_symmetric()
+        assert set(outcome.scores) == {p.key for p in protocols}
+        assert all(0.0 <= s <= 1.0 for s in outcome.scores.values())
+
+    def test_games_counted_per_protocol(self, protocols, sim_config):
+        outcome = Tournament(protocols, sim_config, encounter_runs=2, seed=0).run_symmetric()
+        for key in outcome.games:
+            assert outcome.games[key] == (len(protocols) - 1) * 2
+
+    def test_encounter_count(self, protocols, sim_config):
+        outcome = Tournament(protocols, sim_config, encounter_runs=1, seed=0).run_symmetric()
+        assert len(outcome.encounters) == len(protocols) * (len(protocols) - 1) // 2
+
+    def test_defector_ranked_last(self, protocols, sim_config):
+        outcome = Tournament(protocols, sim_config, encounter_runs=1, seed=0).run_symmetric()
+        assert outcome.ranking()[-1] == defector().key
+
+    def test_progress_callback_invoked(self, protocols, sim_config):
+        calls = []
+        Tournament(protocols, sim_config, encounter_runs=1, seed=0).run_symmetric(
+            progress=lambda done, total: calls.append((done, total))
+        )
+        assert calls[-1][0] == calls[-1][1] == len(protocols) * (len(protocols) - 1) // 2
+
+
+class TestMinorityTournament:
+    def test_ordered_pairs_counted(self, protocols, sim_config):
+        outcome = Tournament(protocols, sim_config, encounter_runs=1, seed=0).run_minority()
+        assert len(outcome.encounters) == len(protocols) * (len(protocols) - 1)
+        for key in outcome.games:
+            assert outcome.games[key] == len(protocols) - 1
+
+    def test_mode_labels(self, protocols, sim_config):
+        tournament = Tournament(protocols, sim_config, encounter_runs=1, seed=0)
+        assert tournament.run_symmetric(split=0.5).mode == "symmetric@0.5"
+        assert tournament.run_minority(0.1).mode == "minority@0.1"
+
+    def test_scores_in_unit_interval(self, protocols, sim_config):
+        outcome = Tournament(protocols, sim_config, encounter_runs=1, seed=0).run_minority()
+        assert all(0.0 <= s <= 1.0 for s in outcome.scores.values())

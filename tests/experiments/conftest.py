@@ -1,0 +1,18 @@
+"""Shared fixtures for experiment-driver tests.
+
+All experiment tests run at ``smoke`` scale and share one PRA sweep through
+the study memo, so the whole directory costs seconds rather than minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import PRAStudyResult
+from repro.experiments.pra_study import shared_pra_study
+
+
+@pytest.fixture(scope="session")
+def smoke_study() -> PRAStudyResult:
+    """The shared smoke-scale PRA sweep used by Figures 2-8 and Table 3."""
+    return shared_pra_study(scale="smoke", seed=0)

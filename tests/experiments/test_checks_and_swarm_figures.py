@@ -1,0 +1,110 @@
+"""Tests for the split/churn checks and the swarm figures (9 and 10)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import base, churn_check, figure9, figure10, robustness_split_check
+from repro.bittorrent.variants import loyal_when_needed_client, reference_bittorrent
+
+
+class TestBaseScaling:
+    def test_scales_validated(self):
+        with pytest.raises(ValueError):
+            base.check_scale("huge")
+
+    def test_pra_config_scales_ordered(self):
+        assert base.pra_config("smoke").sim.n_peers <= base.pra_config("bench").sim.n_peers
+        assert base.pra_config("bench").sim.n_peers <= base.pra_config("paper").sim.n_peers
+
+    def test_paper_scale_covers_full_space(self):
+        assert base.pra_sample_size("paper") == 3270
+
+    def test_named_protocols_count(self):
+        assert len(base.named_protocols()) == 5
+
+    def test_mix_fractions_include_extremes(self):
+        for scale in ("smoke", "bench", "paper"):
+            fractions = base.mix_fractions(scale)
+            assert fractions[0] == 0.0 and fractions[-1] == 1.0
+
+    def test_swarm_runs_ordered(self):
+        assert base.swarm_runs("smoke") <= base.swarm_runs("bench") <= base.swarm_runs("paper")
+
+
+class TestSplitCheck:
+    def test_structure_and_correlation(self):
+        result = robustness_split_check.run(scale="smoke", seed=0, sample_size=6)
+        assert result.n_protocols == 6
+        assert set(result.robustness_50) == set(result.robustness_90)
+        assert (-1.0 <= result.pearson_r <= 1.0) or math.isnan(result.pearson_r)
+
+    def test_render(self):
+        result = robustness_split_check.run(scale="smoke", seed=0, sample_size=6)
+        assert "90/10" in robustness_split_check.render(result)
+
+
+class TestChurnCheck:
+    def test_structure(self):
+        result = churn_check.run(scale="smoke", seed=0, sample_size=6, top_count=3)
+        assert set(result.performance) == {0.0, 0.01, 0.1}
+        for rate, scores in result.performance.items():
+            assert len(scores) == 6
+            assert max(scores.values()) == pytest.approx(1.0)
+        assert set(result.correlation_with_baseline) == {0.01, 0.1}
+
+    def test_top_partner_means_in_range(self):
+        result = churn_check.run(scale="smoke", seed=0, sample_size=6, top_count=3)
+        for value in result.top_partner_means.values():
+            assert 0.0 <= value <= 9.0
+
+    def test_render(self):
+        result = churn_check.run(scale="smoke", seed=0, sample_size=6, top_count=3)
+        assert "churn" in churn_check.render(result)
+
+
+class TestFigure9:
+    def test_single_panel_structure(self):
+        panel = figure9.run_panel(
+            loyal_when_needed_client(), reference_bittorrent(), "a", scale="smoke", seed=0
+        )
+        fractions = [p.fraction for p in panel.points]
+        assert fractions == base.mix_fractions("smoke")
+        # At fraction 0 the sweep variant is absent; at 1 the opponent is absent.
+        assert panel.points[0].mean_time["Loyal-When-needed"] is None
+        assert panel.points[-1].mean_time["BitTorrent"] is None
+        # At an interior mix both variants report a positive mean download time.
+        interior = panel.points[1]
+        assert interior.mean_time["Loyal-When-needed"] > 0
+        assert interior.mean_time["BitTorrent"] > 0
+
+    def test_full_run_has_three_panels(self):
+        result = figure9.run(scale="smoke", seed=0)
+        assert set(result.panels) == {"a", "b", "c"}
+        assert result.panels["b"].sweep_variant == "Birds"
+
+    def test_render(self):
+        result = figure9.run(scale="smoke", seed=0)
+        text = figure9.render(result)
+        assert "Figure 9(a)" in text and "Figure 9(c)" in text
+
+
+class TestFigure10:
+    def test_all_variants_summarised(self):
+        result = figure10.run(scale="smoke", seed=0)
+        assert set(result.summaries) == set(figure10.VARIANT_ORDER)
+        for name in figure10.VARIANT_ORDER:
+            assert result.completion[name] == pytest.approx(1.0)
+            assert result.mean_download_time(name) > 0
+
+    def test_ordering_sorted_by_time(self):
+        result = figure10.run(scale="smoke", seed=0)
+        ordering = result.ordering()
+        times = [result.mean_download_time(v) for v in ordering]
+        assert times == sorted(times)
+
+    def test_render(self):
+        text = figure10.render(figure10.run(scale="smoke", seed=0))
+        assert "Figure 10" in text and "Sort-S" in text

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCliList:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_registry_covers_all_paper_artifacts(self):
+        expected = {
+            "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
+            "figure7", "figure8", "figure9", "figure10", "table2", "table3",
+            "section2", "split-check", "churn-check",
+        }
+        assert expected == set(EXPERIMENTS)
+
+
+class TestCliRun:
+    def test_run_unscaled_experiment(self, capsys):
+        assert main(["run", "figure1"]) == 0
+        assert "BitTorrent Dilemma" in capsys.readouterr().out
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        assert "BarterCast" in capsys.readouterr().out
+
+    def test_run_scaled_experiment_smoke(self, capsys):
+        assert main(["run", "figure8", "--scale", "smoke"]) == 0
+        assert "Pearson" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figure99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figure2", "--scale", "enormous"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_verbose_flag(self, capsys):
+        assert main(["-v", "run", "table2"]) == 0

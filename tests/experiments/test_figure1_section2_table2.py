@@ -1,0 +1,63 @@
+"""Tests for the Figure 1, Section 2 analytic, and Table 2 drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure1, section2_analytic, table2
+
+
+class TestFigure1Driver:
+    def test_dominance_structure_matches_paper(self):
+        result = figure1.run()
+        assert result.dominance["bittorrent_dilemma"] == {"fast": "D", "slow": "C"}
+        assert result.dominance["birds"] == {"fast": "D", "slow": "D"}
+
+    def test_equilibria_reported(self):
+        result = figure1.run()
+        assert ("D", "C") in result.equilibria["bittorrent_dilemma"]
+        assert ("D", "D") in result.equilibria["birds"]
+
+    def test_custom_speeds(self):
+        result = figure1.run(fast_speed=200.0, slow_speed=10.0)
+        assert result.bittorrent_dilemma.payoffs("C", "C")[0] == pytest.approx(-190.0)
+
+    def test_render_mentions_both_games(self):
+        text = figure1.render(figure1.run())
+        assert "BitTorrent Dilemma" in text
+        assert "Birds" in text
+        assert "dominant strategies" in text
+
+
+class TestSection2Driver:
+    def test_nash_verdicts(self):
+        result = section2_analytic.run()
+        assert result.bittorrent_is_nash is False
+        assert result.birds_is_nash is True
+
+    def test_homogeneous_rows_cover_all_classes(self):
+        result = section2_analytic.run()
+        assert {row["class"] for row in result.homogeneous_rows} == {"slow", "medium", "fast"}
+
+    def test_deviation_rows_signs(self):
+        result = section2_analytic.run()
+        by_resident = {row["resident"]: row for row in result.deviation_rows}
+        assert by_resident["BitTorrent"]["advantage"] > 0
+        assert by_resident["Birds"]["advantage"] < 0
+
+    def test_render_contains_tables(self):
+        text = section2_analytic.render(section2_analytic.run())
+        assert "Expected game wins" in text
+        assert "Nash equilibrium" in text
+
+
+class TestTable2Driver:
+    def test_six_rows(self):
+        result = table2.run()
+        assert len(result.rows) == 6
+        assert result.headers[0] == "Protocol"
+
+    def test_render(self):
+        text = table2.render(table2.run())
+        assert "BarterCast" in text
+        assert "Maze" in text

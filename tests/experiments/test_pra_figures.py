@@ -1,0 +1,160 @@
+"""Tests for the PRA-sweep-based drivers (Figures 2-8 and Table 3).
+
+These tests derive every figure from the shared smoke-scale study fixture, so
+they check structure and internal consistency rather than the paper's
+absolute numbers (which require the paper-scale sweep; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table3,
+)
+from repro.experiments import base
+from repro.experiments.pra_study import build_study, shared_pra_study
+
+
+class TestSharedStudy:
+    def test_includes_named_protocols(self, smoke_study):
+        names = {p.name for p in smoke_study.protocols if p.name}
+        assert {"BitTorrent", "Birds", "Loyal-When-needed", "Sort-S"} <= names
+
+    def test_sample_size_matches_scale(self, smoke_study):
+        assert len(smoke_study) == base.pra_sample_size("smoke")
+
+    def test_repeated_call_uses_memo(self, smoke_study):
+        again = shared_pra_study(scale="smoke", seed=0)
+        assert again is smoke_study
+
+    def test_build_study_fingerprint_stable(self):
+        assert build_study("smoke", seed=0).fingerprint == build_study("smoke", seed=0).fingerprint
+
+
+class TestFigure2:
+    def test_points_match_study(self, smoke_study):
+        result = figure2.from_study(smoke_study)
+        assert result.n_protocols == len(smoke_study)
+        assert len(result.points) == len(smoke_study)
+
+    def test_histograms_normalised(self, smoke_study):
+        result = figure2.from_study(smoke_study)
+        assert sum(result.performance_hist) == pytest.approx(1.0)
+        assert sum(result.robustness_hist) == pytest.approx(1.0)
+
+    def test_freerider_max_performance_below_best(self, smoke_study):
+        result = figure2.from_study(smoke_study)
+        assert result.freerider_max_performance < 1.0
+
+    def test_render(self, smoke_study):
+        text = figure2.render(figure2.from_study(smoke_study))
+        assert "Figure 2" in text and "freerider" in text
+
+
+class TestFigures3And4:
+    def test_matrix_shape(self, smoke_study):
+        result = figure3.from_study(smoke_study)
+        assert len(result.matrix) == 10
+        assert len(result.matrix[0]) == 10  # k = 0..9
+
+    def test_rows_are_frequencies(self, smoke_study):
+        result = figure3.from_study(smoke_study)
+        for row in result.matrix:
+            assert sum(row) == pytest.approx(1.0) or sum(row) == 0.0
+
+    def test_measures_differ_between_figures(self, smoke_study):
+        assert figure3.from_study(smoke_study).measure == "performance"
+        assert figure4.from_study(smoke_study).measure == "robustness"
+
+    def test_top_partner_summary_valid(self, smoke_study):
+        result = figure4.from_study(smoke_study)
+        assert 0 <= result.mean_partners_top <= 9
+        assert len(result.top_protocol_partner_counts) <= 15
+
+    def test_render(self, smoke_study):
+        assert "number of partners" in figure3.render(figure3.from_study(smoke_study))
+
+
+class TestFigure5:
+    def test_groups_cover_stranger_policies(self, smoke_study):
+        result = figure5.from_study(smoke_study)
+        assert {"B1", "B2", "B3"} <= set(result.curves)
+
+    def test_ccdf_values_monotone_decreasing(self, smoke_study):
+        result = figure5.from_study(smoke_study)
+        for curve in result.curves.values():
+            probs = curve["ccdf"]
+            assert all(b <= a + 1e-12 for a, b in zip(probs, probs[1:]))
+
+    def test_group_sizes_sum_to_study(self, smoke_study):
+        result = figure5.from_study(smoke_study)
+        assert sum(result.group_sizes.values()) == len(smoke_study)
+
+    def test_render(self, smoke_study):
+        assert "stranger policy" in figure5.render(figure5.from_study(smoke_study))
+
+
+class TestFigures6And7:
+    def test_allocation_groups(self, smoke_study):
+        result = figure6.from_study(smoke_study)
+        assert set(result.points) == {"R1", "R2", "R3"}
+
+    def test_ranking_groups(self, smoke_study):
+        result = figure7.from_study(smoke_study)
+        assert set(result.points) <= {"I1", "I2", "I3", "I4", "I5", "I6"}
+
+    def test_group_statistics_consistent(self, smoke_study):
+        result = figure6.from_study(smoke_study)
+        for code, points in result.points.items():
+            assert result.group_maxima[code] >= result.group_means[code]
+
+    def test_render(self, smoke_study):
+        assert "Figure 6" in figure6.render(figure6.from_study(smoke_study))
+        assert "Figure 7" in figure7.render(figure7.from_study(smoke_study))
+
+
+class TestFigure8:
+    def test_pearson_in_range_or_nan(self, smoke_study):
+        result = figure8.from_study(smoke_study)
+        assert (-1.0 <= result.pearson_r <= 1.0) or math.isnan(result.pearson_r)
+
+    def test_points_match_study(self, smoke_study):
+        result = figure8.from_study(smoke_study)
+        assert len(result.points) == len(smoke_study)
+
+    def test_render(self, smoke_study):
+        assert "Pearson" in figure8.render(figure8.from_study(smoke_study))
+
+
+class TestTable3:
+    def test_three_fits(self, smoke_study):
+        result = table3.from_study(smoke_study)
+        assert set(result.fits) == {"performance", "robustness", "aggressiveness"}
+
+    def test_adjusted_r_squared_finite(self, smoke_study):
+        result = table3.from_study(smoke_study)
+        for value in result.adjusted_r_squared().values():
+            assert math.isfinite(value)
+
+    def test_freeride_hurts_performance(self, smoke_study):
+        result = table3.from_study(smoke_study)
+        assert result.coefficient("performance", "R3") < 0
+
+    def test_terms_include_numeric_covariates(self, smoke_study):
+        result = table3.from_study(smoke_study)
+        names = result.fits["performance"].term_names
+        assert "log(k)" in names and "log(h)" in names
+
+    def test_render(self, smoke_study):
+        text = table3.render(table3.from_study(smoke_study))
+        assert "adj. R²" in text and "log(k)" in text

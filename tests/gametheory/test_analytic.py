@@ -1,0 +1,141 @@
+"""Tests for the Section 2.2 analytical model and the Appendix Nash analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gametheory.analytic import (
+    SwarmModel,
+    birds_is_nash_equilibrium,
+    bittorrent_is_nash_equilibrium,
+)
+from repro.gametheory.classes import BandwidthClass, ClassPopulation, piatek_classes
+
+
+@pytest.fixture
+def model() -> SwarmModel:
+    return SwarmModel(piatek_classes(50), regular_unchoke_slots=4)
+
+
+@pytest.fixture
+def two_class_model() -> SwarmModel:
+    population = ClassPopulation(
+        [BandwidthClass("slow", 25.0, 30), BandwidthClass("fast", 100.0, 20)]
+    )
+    return SwarmModel(population, regular_unchoke_slots=4)
+
+
+class TestSwarmModelBasics:
+    def test_nr_formula(self, model):
+        na, nb, nc = model.population.aggregates(0)
+        assert model.nr(0) == na + nb + nc - model.ur - 1
+
+    def test_nr_same_for_all_classes(self, model):
+        assert model.nr(0) == model.nr(1) == model.nr(2)
+
+    def test_invalid_ur(self):
+        with pytest.raises(ValueError):
+            SwarmModel(piatek_classes(50), regular_unchoke_slots=0)
+
+    def test_population_too_small(self):
+        tiny = ClassPopulation([BandwidthClass("only", 10.0, 3)])
+        with pytest.raises(ValueError):
+            SwarmModel(tiny, regular_unchoke_slots=4)
+
+    def test_assumption_violations_flagged(self):
+        population = ClassPopulation(
+            [BandwidthClass("slow", 10.0, 40), BandwidthClass("fast", 100.0, 2)]
+        )
+        model = SwarmModel(population, regular_unchoke_slots=4)
+        # For the slow class there are only 2 faster peers (< Ur).
+        assert model.assumption_violations(0)
+        # For the fast class NC - 1 = 1 < Ur.
+        assert model.assumption_violations(1)
+
+    def test_assumptions_hold_for_piatek_slow_class(self, model):
+        assert model.assumption_violations(0) == []
+
+
+class TestHomogeneousExpectedWins:
+    def test_bt_no_reciprocation_from_above(self, model):
+        wins = model.bittorrent_expected_wins(0)
+        assert wins.reciprocation["above"] == 0.0
+
+    def test_bt_free_wins_from_above(self, model):
+        na, _nb, _nc = model.population.aggregates(0)
+        wins = model.bittorrent_expected_wins(0)
+        assert wins.free["above"] == pytest.approx(na / model.nr(0))
+
+    def test_bt_below_reciprocation_equals_free(self, model):
+        wins = model.bittorrent_expected_wins(1)
+        assert wins.reciprocation["below"] == pytest.approx(wins.free["below"])
+
+    def test_bt_same_class_reciprocation_below_ur(self, model):
+        wins = model.bittorrent_expected_wins(0)
+        assert 0.0 < wins.reciprocation["same"] < model.ur
+
+    def test_birds_reciprocates_only_in_class(self, model):
+        wins = model.birds_expected_wins(0)
+        assert wins.reciprocation["above"] == 0.0
+        assert wins.reciprocation["below"] == 0.0
+        assert wins.reciprocation["same"] == pytest.approx(model.ur)
+
+    def test_birds_beats_bt_in_class_reciprocation(self, model):
+        bt = model.bittorrent_expected_wins(0)
+        birds = model.birds_expected_wins(0)
+        assert birds.reciprocation["same"] > bt.reciprocation["same"]
+
+    def test_totals_positive(self, model):
+        for index in range(len(model.population)):
+            assert model.bittorrent_expected_wins(index).total > 0
+            assert model.birds_expected_wins(index).total > 0
+
+    def test_top_class_has_no_free_wins_from_above(self, model):
+        top = len(model.population) - 1
+        assert model.bittorrent_expected_wins(top).free["above"] == 0.0
+
+
+class TestDeviationAnalysis:
+    def test_birds_deviant_gains_in_bt_swarm(self, model):
+        analysis = model.birds_deviant_in_bittorrent_swarm(0)
+        assert analysis.deviant_protocol == "Birds"
+        assert analysis.advantage > 0
+        assert analysis.deviation_profitable
+
+    def test_bt_deviant_loses_in_birds_swarm(self, model):
+        analysis = model.bittorrent_deviant_in_birds_swarm(0)
+        assert analysis.deviant_protocol == "BitTorrent"
+        assert analysis.advantage < 0
+        assert not analysis.deviation_profitable
+
+    def test_same_conclusions_for_two_class_swarm(self, two_class_model):
+        assert two_class_model.birds_deviant_in_bittorrent_swarm(0).deviation_profitable
+        assert not two_class_model.bittorrent_deviant_in_birds_swarm(0).deviation_profitable
+
+    def test_residents_beat_deviant_in_birds_swarm_reciprocation(self, model):
+        analysis = model.bittorrent_deviant_in_birds_swarm(0)
+        assert (
+            analysis.resident_wins.reciprocation["same"]
+            > analysis.deviant_wins.reciprocation["same"]
+        )
+
+    def test_single_member_class_rejected(self):
+        population = ClassPopulation(
+            [BandwidthClass("slow", 10.0, 30), BandwidthClass("fast", 100.0, 1)]
+        )
+        model = SwarmModel(population, regular_unchoke_slots=4)
+        with pytest.raises(ValueError):
+            model.birds_deviant_in_bittorrent_swarm(1)
+
+
+class TestNashVerdicts:
+    def test_bittorrent_not_nash(self, model):
+        assert bittorrent_is_nash_equilibrium(model, class_index=0) is False
+
+    def test_birds_is_nash(self, model):
+        assert birds_is_nash_equilibrium(model, class_index=0) is True
+
+    def test_verdicts_consistent_across_slow_and_medium_classes(self, model):
+        for class_index in (0, 1):
+            assert bittorrent_is_nash_equilibrium(model, class_index) is False
+            assert birds_is_nash_equilibrium(model, class_index) is True

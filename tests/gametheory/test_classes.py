@@ -1,0 +1,90 @@
+"""Tests for bandwidth-class populations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gametheory.classes import BandwidthClass, ClassPopulation, piatek_classes
+
+
+class TestBandwidthClass:
+    def test_valid(self):
+        cls = BandwidthClass("slow", 30.0, 10)
+        assert cls.upload_speed == 30.0
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            BandwidthClass("x", 0.0, 5)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            BandwidthClass("x", 10.0, 0)
+
+
+class TestClassPopulation:
+    def _population(self):
+        return ClassPopulation(
+            [
+                BandwidthClass("fast", 100.0, 5),
+                BandwidthClass("slow", 10.0, 20),
+                BandwidthClass("medium", 50.0, 10),
+            ]
+        )
+
+    def test_sorted_by_speed(self):
+        population = self._population()
+        assert [c.name for c in population] == ["slow", "medium", "fast"]
+
+    def test_aggregates(self):
+        population = self._population()
+        # Index 1 = medium: 5 faster, 20 slower, 10 in-class.
+        assert population.aggregates(1) == (5, 20, 10)
+
+    def test_total_peers(self):
+        assert self._population().total_peers == 35
+
+    def test_index_of(self):
+        assert self._population().index_of("fast") == 2
+        with pytest.raises(KeyError):
+            self._population().index_of("nope")
+
+    def test_expand_lengths(self):
+        expanded = self._population().expand()
+        assert len(expanded) == 35
+        assert expanded.count(100.0) == 5
+
+    def test_duplicate_speeds_rejected(self):
+        with pytest.raises(ValueError):
+            ClassPopulation(
+                [BandwidthClass("a", 10.0, 1), BandwidthClass("b", 10.0, 1)]
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ClassPopulation(
+                [BandwidthClass("a", 10.0, 1), BandwidthClass("a", 20.0, 1)]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClassPopulation([])
+
+    def test_out_of_range_index(self):
+        with pytest.raises(IndexError):
+            self._population().peers_above(5)
+
+
+class TestPiatekClasses:
+    def test_total_matches_request(self):
+        population = piatek_classes(50)
+        assert population.total_peers == 50
+
+    def test_slow_majority(self):
+        population = piatek_classes(50)
+        slow = population[population.index_of("slow")]
+        fast = population[population.index_of("fast")]
+        assert slow.count > fast.count
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            piatek_classes(5)

@@ -1,0 +1,108 @@
+"""Tests for dominance and Nash-equilibrium analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gametheory.equilibrium import (
+    best_responses,
+    dominant_strategy,
+    is_nash_equilibrium,
+    iterated_elimination_of_dominated_strategies,
+    pure_nash_equilibria,
+)
+from repro.gametheory.games import (
+    NormalFormGame,
+    birds_game,
+    bittorrent_dilemma,
+    prisoners_dilemma,
+)
+
+
+def matching_pennies() -> NormalFormGame:
+    return NormalFormGame.from_arrays(
+        "Matching Pennies",
+        ("H", "T"),
+        ("H", "T"),
+        [[1, -1], [-1, 1]],
+        [[-1, 1], [1, -1]],
+    )
+
+
+class TestBestResponses:
+    def test_pd_best_response_is_defect(self):
+        game = prisoners_dilemma()
+        assert best_responses(game, "row", "C") == ["D"]
+        assert best_responses(game, "column", "D") == ["D"]
+
+    def test_ties_returned_together(self):
+        game = bittorrent_dilemma()
+        # When the slow peer defects, the fast peer is indifferent (0 either way).
+        assert set(best_responses(game, "row", "D")) == {"C", "D"}
+
+    def test_invalid_player_rejected(self):
+        with pytest.raises(ValueError):
+            best_responses(prisoners_dilemma(), "middle", "C")
+
+
+class TestDominantStrategy:
+    def test_pd_defect_strictly_dominant(self):
+        game = prisoners_dilemma()
+        assert dominant_strategy(game, "row", strict=True) == "D"
+        assert dominant_strategy(game, "column", strict=True) == "D"
+
+    def test_bittorrent_dilemma_dominance_structure(self):
+        game = bittorrent_dilemma()
+        # The paper: fast defects, slow cooperates (both weakly dominant).
+        assert dominant_strategy(game, "row") == "D"
+        assert dominant_strategy(game, "column") == "C"
+
+    def test_birds_defection_dominant_for_both(self):
+        game = birds_game()
+        assert dominant_strategy(game, "row") == "D"
+        assert dominant_strategy(game, "column") == "D"
+
+    def test_no_dominant_strategy_in_matching_pennies(self):
+        game = matching_pennies()
+        assert dominant_strategy(game, "row") is None
+        assert dominant_strategy(game, "column") is None
+
+    def test_strict_dominance_not_found_when_only_weak(self):
+        game = bittorrent_dilemma()
+        assert dominant_strategy(game, "row", strict=True) is None
+
+
+class TestPureNashEquilibria:
+    def test_pd_unique_equilibrium(self):
+        assert pure_nash_equilibria(prisoners_dilemma()) == [("D", "D")]
+
+    def test_matching_pennies_has_none(self):
+        assert pure_nash_equilibria(matching_pennies()) == []
+
+    def test_bittorrent_dilemma_contains_defect_cooperate(self):
+        equilibria = pure_nash_equilibria(bittorrent_dilemma())
+        assert ("D", "C") in equilibria
+
+    def test_birds_mutual_defection_equilibrium(self):
+        assert ("D", "D") in pure_nash_equilibria(birds_game())
+
+    def test_is_nash_equilibrium_helper(self):
+        game = prisoners_dilemma()
+        assert is_nash_equilibrium(game, "D", "D")
+        assert not is_nash_equilibrium(game, "C", "C")
+
+
+class TestIteratedElimination:
+    def test_pd_reduces_to_defection(self):
+        surviving = iterated_elimination_of_dominated_strategies(prisoners_dilemma())
+        assert surviving == {"row": ["D"], "column": ["D"]}
+
+    def test_matching_pennies_nothing_eliminated(self):
+        surviving = iterated_elimination_of_dominated_strategies(matching_pennies())
+        assert surviving["row"] == ["H", "T"]
+        assert surviving["column"] == ["H", "T"]
+
+    def test_weakly_dominated_strategies_survive(self):
+        surviving = iterated_elimination_of_dominated_strategies(bittorrent_dilemma())
+        # Only strict dominance eliminates; the BitTorrent Dilemma has ties.
+        assert len(surviving["row"]) == 2

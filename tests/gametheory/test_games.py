@@ -1,0 +1,129 @@
+"""Tests for normal-form games and the paper's canonical games."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gametheory.games import (
+    Action,
+    NormalFormGame,
+    birds_game,
+    bittorrent_dilemma,
+    dictator_game,
+    one_sided_prisoners_dilemma,
+    prisoners_dilemma,
+)
+
+
+class TestNormalFormGame:
+    def test_payoffs_lookup(self):
+        game = prisoners_dilemma()
+        assert game.payoffs("C", "C") == (3.0, 3.0)
+        assert game.payoffs("D", "C") == (5.0, 0.0)
+
+    def test_shape(self):
+        assert prisoners_dilemma().shape == (2, 2)
+        assert dictator_game().shape == (2, 1)
+
+    def test_matrix_shapes(self):
+        game = prisoners_dilemma()
+        assert game.row_matrix().shape == (2, 2)
+        assert game.col_matrix().shape == (2, 2)
+
+    def test_invalid_payoff_shape_rejected(self):
+        with pytest.raises(ValueError):
+            NormalFormGame.from_arrays("bad", ("a", "b"), ("x",), [[1.0]], [[1.0]])
+
+    def test_symmetry(self):
+        assert prisoners_dilemma().is_symmetric()
+        assert not bittorrent_dilemma().is_symmetric()
+
+    def test_transpose_swaps_roles(self):
+        game = bittorrent_dilemma(100, 25)
+        transposed = game.transpose()
+        assert transposed.row_label == "slow"
+        assert transposed.payoffs("C", "C") == tuple(reversed(game.payoffs("C", "C")))
+
+    def test_describe_contains_actions(self):
+        text = prisoners_dilemma().describe()
+        assert "C" in text and "D" in text
+
+    def test_as_dict_roundtrippable_fields(self):
+        data = birds_game().as_dict()
+        assert data["row_label"] == "fast"
+        assert len(data["row_payoffs"]) == 2
+
+
+class TestPrisonersDilemma:
+    def test_default_ordering_holds(self):
+        game = prisoners_dilemma()
+        t = game.payoffs("D", "C")[0]
+        r = game.payoffs("C", "C")[0]
+        p = game.payoffs("D", "D")[0]
+        s = game.payoffs("C", "D")[0]
+        assert t > r > p > s
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            prisoners_dilemma(reward=5, temptation=3)
+
+
+class TestDictatorGame:
+    def test_recipient_is_passive(self):
+        game = dictator_game()
+        assert len(game.col_actions) == 1
+
+    def test_transfer_bounds(self):
+        with pytest.raises(ValueError):
+            dictator_game(endowment=5, transfer=6)
+
+
+class TestOneSidedPrisonersDilemma:
+    def test_requires_benefit_above_cost(self):
+        with pytest.raises(ValueError):
+            one_sided_prisoners_dilemma(benefit=1, cost=2)
+
+    def test_shape(self):
+        assert one_sided_prisoners_dilemma().shape == (2, 2)
+
+
+class TestBitTorrentDilemma:
+    def test_fast_cooperation_is_costly(self):
+        game = bittorrent_dilemma(100, 25)
+        fast_cc, slow_cc = game.payoffs("C", "C")
+        assert fast_cc == pytest.approx(25 - 100)
+        assert slow_cc == pytest.approx(100)
+
+    def test_fast_defection_on_cooperating_slow_is_free_gain(self):
+        game = bittorrent_dilemma(100, 25)
+        fast_dc, slow_dc = game.payoffs("D", "C")
+        assert fast_dc == pytest.approx(25)
+        assert slow_dc == pytest.approx(0)
+
+    def test_requires_fast_above_slow(self):
+        with pytest.raises(ValueError):
+            bittorrent_dilemma(25, 100)
+        with pytest.raises(ValueError):
+            bittorrent_dilemma(100, 0)
+
+    def test_mutual_defection_is_zero(self):
+        assert bittorrent_dilemma().payoffs("D", "D") == (0.0, 0.0)
+
+
+class TestBirdsGame:
+    def test_slow_cooperation_charged_opportunity_cost(self):
+        game = birds_game(100, 25)
+        _fast, slow = game.payoffs("C", "C")
+        assert slow == pytest.approx(100 - 25)
+
+    def test_slow_defection_now_preferred(self):
+        game = birds_game(100, 25)
+        slow_cooperate = game.payoffs("C", "C")[1]
+        slow_defect = game.payoffs("C", "D")[1]
+        assert slow_defect > slow_cooperate
+
+    def test_fast_payoffs_unchanged_from_dilemma(self):
+        dilemma = bittorrent_dilemma(100, 25)
+        birds = birds_game(100, 25)
+        assert np.allclose(dilemma.row_matrix(), birds.row_matrix())

@@ -1,0 +1,81 @@
+"""Tests for iterated matches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gametheory.games import Action, bittorrent_dilemma, prisoners_dilemma
+from repro.gametheory.iterated import IteratedMatch
+from repro.gametheory.strategies import (
+    AlwaysCooperate,
+    AlwaysDefect,
+    GrimTrigger,
+    TitForTat,
+)
+
+
+class TestIteratedMatch:
+    def test_tft_vs_tft_always_cooperates(self):
+        result = IteratedMatch(TitForTat(), TitForTat(), rounds=50, seed=0).play()
+        assert result.cooperation_rates() == (1.0, 1.0)
+        assert result.scores[0] == result.scores[1]
+
+    def test_alld_exploits_allc(self):
+        result = IteratedMatch(AlwaysDefect(), AlwaysCooperate(), rounds=30, seed=0).play()
+        assert result.scores[0] > result.scores[1]
+        assert result.winner() == "AllD"
+
+    def test_tft_retaliation_limits_alld_advantage(self):
+        rounds = 100
+        vs_tft = IteratedMatch(AlwaysDefect(), TitForTat(), rounds=rounds, seed=0).play()
+        vs_allc = IteratedMatch(AlwaysDefect(), AlwaysCooperate(), rounds=rounds, seed=0).play()
+        assert vs_tft.scores[0] < vs_allc.scores[0]
+
+    def test_average_scores_per_round(self):
+        result = IteratedMatch(TitForTat(), TitForTat(), rounds=10, seed=0).play()
+        assert result.average_scores == (3.0, 3.0)
+
+    def test_noise_can_break_cooperation_between_grims(self):
+        noiseless = IteratedMatch(GrimTrigger(), GrimTrigger(), rounds=100, seed=1).play()
+        noisy = IteratedMatch(
+            GrimTrigger(), GrimTrigger(), rounds=100, noise=0.2, seed=1
+        ).play()
+        assert noiseless.cooperation_rates() == (1.0, 1.0)
+        assert noisy.cooperation_rates()[0] < 1.0
+
+    def test_history_recorded_per_round(self):
+        result = IteratedMatch(TitForTat(), AlwaysDefect(), rounds=5, seed=0).play()
+        assert len(result.actions) == 5
+        assert result.actions[0] == (Action.COOPERATE, Action.DEFECT)
+        assert result.actions[1] == (Action.DEFECT, Action.DEFECT)
+
+    def test_tie_has_no_winner(self):
+        result = IteratedMatch(TitForTat(), TitForTat(), rounds=10, seed=0).play()
+        assert result.winner() is None
+
+    def test_requires_cd_action_game(self):
+        with pytest.raises(ValueError):
+            IteratedMatch(TitForTat(), TitForTat(), game=_non_cd_game())
+
+    def test_asymmetric_cd_game_allowed(self):
+        result = IteratedMatch(
+            AlwaysDefect(), AlwaysCooperate(), game=bittorrent_dilemma(), rounds=10, seed=0
+        ).play()
+        # Fast peer defecting on a cooperating slow peer collects s each round.
+        assert result.scores[0] == pytest.approx(10 * 25.0)
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            IteratedMatch(TitForTat(), TitForTat(), rounds=0)
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(ValueError):
+            IteratedMatch(TitForTat(), TitForTat(), noise=1.5)
+
+
+def _non_cd_game():
+    from repro.gametheory.games import NormalFormGame
+
+    return NormalFormGame.from_arrays(
+        "other", ("x", "y"), ("x", "y"), [[1, 0], [0, 1]], [[1, 0], [0, 1]]
+    )

@@ -1,0 +1,122 @@
+"""Tests for iterated-game strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.gametheory.games import Action
+from repro.gametheory.strategies import (
+    Alternator,
+    AlwaysCooperate,
+    AlwaysDefect,
+    GenerousTitForTat,
+    GrimTrigger,
+    Pavlov,
+    RandomStrategy,
+    SuspiciousTitForTat,
+    TitForTat,
+    TitForTwoTats,
+    strategy_registry,
+)
+
+C, D = Action.COOPERATE, Action.DEFECT
+
+
+class TestUnconditionalStrategies:
+    def test_always_cooperate(self):
+        assert AlwaysCooperate().decide([], []) == C
+        assert AlwaysCooperate().decide([C], [D]) == C
+
+    def test_always_defect(self):
+        assert AlwaysDefect().decide([], []) == D
+        assert AlwaysDefect().decide([D], [C]) == D
+
+
+class TestTitForTat:
+    def test_opens_with_cooperation(self):
+        assert TitForTat().decide([], []) == C
+
+    def test_mirrors_last_move(self):
+        tft = TitForTat()
+        assert tft.decide([C], [D]) == D
+        assert tft.decide([C, D], [D, C]) == C
+
+
+class TestTitForTwoTats:
+    def test_forgives_single_defection(self):
+        assert TitForTwoTats().decide([C, C], [C, D]) == C
+
+    def test_punishes_two_consecutive_defections(self):
+        assert TitForTwoTats().decide([C, C], [D, D]) == D
+
+    def test_opens_with_cooperation(self):
+        assert TitForTwoTats().decide([], []) == C
+
+
+class TestSuspiciousAndGenerous:
+    def test_suspicious_opens_with_defection(self):
+        assert SuspiciousTitForTat().decide([], []) == D
+
+    def test_generous_always_cooperates_after_cooperation(self):
+        assert GenerousTitForTat(0.0).decide([C], [C]) == C
+
+    def test_generous_forgiveness_probability_extremes(self):
+        rng = random.Random(0)
+        always_forgiving = GenerousTitForTat(1.0)
+        never_forgiving = GenerousTitForTat(0.0)
+        assert always_forgiving.decide([C], [D], rng) == C
+        assert never_forgiving.decide([C], [D], rng) == D
+
+    def test_generosity_validated(self):
+        with pytest.raises(ValueError):
+            GenerousTitForTat(1.5)
+
+
+class TestGrimTrigger:
+    def test_cooperates_until_first_defection(self):
+        grim = GrimTrigger()
+        assert grim.decide([C, C], [C, C]) == C
+        assert grim.decide([C, C, C], [C, D, C]) == D
+
+
+class TestPavlov:
+    def test_opens_with_cooperation(self):
+        assert Pavlov().decide([], []) == C
+
+    def test_win_stay(self):
+        assert Pavlov().decide([D], [C]) == D  # defected and opponent cooperated: stay
+
+    def test_lose_shift(self):
+        assert Pavlov().decide([C], [D]) == D  # cooperated and was defected on: shift
+        assert Pavlov().decide([D], [D]) == C
+
+
+class TestRandomAndAlternator:
+    def test_random_extremes(self):
+        rng = random.Random(1)
+        assert RandomStrategy(1.0).decide([], [], rng) == C
+        assert RandomStrategy(0.0).decide([], [], rng) == D
+
+    def test_random_probability_validated(self):
+        with pytest.raises(ValueError):
+            RandomStrategy(-0.1)
+
+    def test_alternator_sequence(self):
+        alternator = Alternator()
+        assert alternator.decide([], []) == C
+        assert alternator.decide([C], [C]) == D
+        assert alternator.decide([C, D], [C, C]) == C
+
+
+class TestRegistry:
+    def test_registry_names_unique_and_instantiable(self):
+        registry = strategy_registry()
+        assert "TFT" in registry and "AllD" in registry
+        for name, cls in registry.items():
+            instance = cls()
+            assert instance.name == name
+
+    def test_registry_covers_tf2t(self):
+        assert "TF2T" in strategy_registry()

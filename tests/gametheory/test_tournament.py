@@ -1,0 +1,67 @@
+"""Tests for the Axelrod-style round-robin tournament."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gametheory.strategies import (
+    AlwaysCooperate,
+    AlwaysDefect,
+    GrimTrigger,
+    Pavlov,
+    TitForTat,
+)
+from repro.gametheory.tournament import AxelrodTournament
+
+
+class TestAxelrodTournament:
+    def test_all_strategies_scored(self):
+        tournament = AxelrodTournament(
+            [TitForTat(), AlwaysDefect(), AlwaysCooperate()], rounds=20, seed=0
+        )
+        result = tournament.play()
+        assert set(result.average_scores()) == {"TFT", "AllD", "AllC"}
+
+    def test_nice_reciprocators_beat_alld_in_mixed_field(self):
+        strategies = [TitForTat(), GrimTrigger(), Pavlov(), AlwaysCooperate(), AlwaysDefect()]
+        result = AxelrodTournament(strategies, rounds=100, seed=1).play()
+        ranking = [name for name, _score in result.ranking()]
+        # With enough reciprocators in the field, AllD should not win the
+        # tournament (Axelrod's classic observation).
+        assert ranking[0] != "AllD"
+
+    def test_match_count_with_self_play(self):
+        tournament = AxelrodTournament(
+            [TitForTat(), AlwaysDefect()], rounds=5, repetitions=2, seed=0
+        )
+        result = tournament.play()
+        # 1 cross pairing + 2 self pairings, times 2 repetitions.
+        assert len(result.match_results) == 6
+
+    def test_without_self_play(self):
+        tournament = AxelrodTournament(
+            [TitForTat(), AlwaysDefect()], rounds=5, include_self_play=False, seed=0
+        )
+        assert len(tournament.play().match_results) == 1
+
+    def test_deterministic_given_seed(self):
+        def run():
+            return AxelrodTournament(
+                [TitForTat(), AlwaysDefect(), Pavlov()], rounds=30, noise=0.05, seed=7
+            ).play().average_scores()
+
+        assert run() == run()
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            AxelrodTournament([TitForTat(), TitForTat()])
+
+    def test_single_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            AxelrodTournament([TitForTat()])
+
+    def test_winner_is_top_of_ranking(self):
+        result = AxelrodTournament(
+            [TitForTat(), AlwaysDefect(), AlwaysCooperate()], rounds=50, seed=0
+        ).play()
+        assert result.winner() == result.ranking()[0][0]

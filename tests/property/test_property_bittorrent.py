@@ -1,0 +1,77 @@
+"""Property-based tests for the piece-level BitTorrent substrate."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bittorrent.pieces import PieceSet, select_piece_rarest_first
+from repro.bittorrent.rate import RateEstimator
+
+
+class TestPieceSetProperties:
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.lists(st.integers(min_value=0, max_value=49), max_size=60),
+    )
+    def test_owned_plus_missing_partition(self, piece_count, additions):
+        pieces = PieceSet(piece_count)
+        for piece in additions:
+            if piece < piece_count:
+                pieces.add(piece)
+        owned, missing = pieces.owned(), pieces.missing()
+        assert owned | missing == set(range(piece_count))
+        assert owned & missing == set()
+        assert pieces.is_complete == (len(missing) == 0)
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.lists(st.integers(min_value=0, max_value=29), max_size=30),
+        st.lists(st.integers(min_value=0, max_value=29), max_size=30),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100)
+    def test_rarest_first_always_returns_wanted_piece(
+        self, piece_count, downloader_pieces, uploader_pieces, seed
+    ):
+        downloader = PieceSet(piece_count)
+        uploader = PieceSet(piece_count)
+        for piece in downloader_pieces:
+            if piece < piece_count:
+                downloader.add(piece)
+        for piece in uploader_pieces:
+            if piece < piece_count:
+                uploader.add(piece)
+        choice = select_piece_rarest_first(
+            downloader, uploader, [], random.Random(seed)
+        )
+        wanted = downloader.interesting_pieces(uploader)
+        if wanted:
+            assert choice in wanted
+        else:
+            assert choice is None
+
+
+class TestRateEstimatorProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),   # tick
+                st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            ),
+            max_size=50,
+        ),
+        st.integers(min_value=1, max_value=30),
+    )
+    def test_rate_non_negative_and_window_bounded(self, samples, window):
+        estimator = RateEstimator(window_ticks=window)
+        for tick, amount in sorted(samples):
+            estimator.record(1, tick, amount)
+        current = 101
+        rate = estimator.rate(1, current)
+        assert rate >= 0.0
+        # The window only retains ticks >= current - window, so the rate can
+        # never exceed the total recorded volume divided by the window.
+        assert rate * window <= sum(a for _t, a in samples) + 1e-6

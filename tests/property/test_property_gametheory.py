@@ -1,0 +1,96 @@
+"""Property-based tests for games, strategies and the analytical model."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gametheory.analytic import SwarmModel
+from repro.gametheory.classes import BandwidthClass, ClassPopulation
+from repro.gametheory.equilibrium import dominant_strategy, pure_nash_equilibria
+from repro.gametheory.games import birds_game, bittorrent_dilemma
+from repro.gametheory.iterated import IteratedMatch
+from repro.gametheory.strategies import AlwaysDefect, TitForTat
+
+speeds = st.tuples(
+    st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+    st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+).filter(lambda pair: pair[0] > pair[1] * 1.001)
+
+
+class TestGameProperties:
+    @given(speeds)
+    def test_bittorrent_dilemma_dominance_for_any_speeds(self, pair):
+        fast, slow = pair
+        game = bittorrent_dilemma(fast, slow)
+        assert dominant_strategy(game, "row") == "D"
+        assert dominant_strategy(game, "column") == "C"
+
+    @given(speeds)
+    def test_birds_mutual_defection_equilibrium_for_any_speeds(self, pair):
+        fast, slow = pair
+        game = birds_game(fast, slow)
+        assert dominant_strategy(game, "column") == "D"
+        assert ("D", "D") in pure_nash_equilibria(game)
+
+    @given(speeds)
+    def test_defect_cooperate_always_nash_in_dilemma(self, pair):
+        fast, slow = pair
+        assert ("D", "C") in pure_nash_equilibria(bittorrent_dilemma(fast, slow))
+
+
+class TestIteratedMatchProperties:
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25)
+    def test_alld_never_scores_below_tft_opponent(self, rounds, seed):
+        result = IteratedMatch(AlwaysDefect(), TitForTat(), rounds=rounds, seed=seed).play()
+        assert result.scores[0] >= result.scores[1]
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=25)
+    def test_scores_bounded_by_extreme_payoffs(self, rounds):
+        result = IteratedMatch(AlwaysDefect(), TitForTat(), rounds=rounds, seed=0).play()
+        for score in result.scores:
+            assert 0.0 <= score <= 5.0 * rounds
+
+
+populations = st.tuples(
+    st.integers(min_value=6, max_value=60),   # slow count
+    st.integers(min_value=6, max_value=60),   # fast count
+    st.integers(min_value=1, max_value=4),    # Ur
+)
+
+
+class TestAnalyticModelProperties:
+    @given(populations)
+    @settings(max_examples=50)
+    def test_nash_verdicts_hold_whenever_assumptions_hold(self, params):
+        slow_count, fast_count, ur = params
+        population = ClassPopulation(
+            [
+                BandwidthClass("slow", 10.0, slow_count),
+                BandwidthClass("fast", 100.0, fast_count),
+            ]
+        )
+        model = SwarmModel(population, regular_unchoke_slots=ur)
+        assume(not model.assumption_violations(0))
+        birds_dev = model.birds_deviant_in_bittorrent_swarm(0)
+        bt_dev = model.bittorrent_deviant_in_birds_swarm(0)
+        assert birds_dev.advantage > 0          # BitTorrent is not a NE
+        assert bt_dev.advantage < 1e-12         # Birds deviation never profitable
+
+    @given(populations)
+    @settings(max_examples=50)
+    def test_expected_wins_non_negative_and_bounded(self, params):
+        slow_count, fast_count, ur = params
+        population = ClassPopulation(
+            [
+                BandwidthClass("slow", 10.0, slow_count),
+                BandwidthClass("fast", 100.0, fast_count),
+            ]
+        )
+        model = SwarmModel(population, regular_unchoke_slots=ur)
+        assume(not model.assumption_violations(0))
+        for wins in (model.bittorrent_expected_wins(0), model.birds_expected_wins(0)):
+            assert wins.total >= 0.0
+            assert wins.reciprocation["same"] <= ur + 1e-9

@@ -1,0 +1,120 @@
+"""Property-based tests for the simulator substrate and the design space."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.space import DesignSpace
+from repro.sim.behavior import PeerBehavior
+from repro.sim.history import InteractionHistory
+from repro.sim.peer import PeerState
+from repro.sim.policies.allocation import allocate_upload
+from repro.sim.policies.ranking import rank_candidates
+
+#: One shared space instance (construction is cheap but reuse keeps tests fast).
+_SPACE = DesignSpace.default()
+
+behaviors = st.builds(
+    lambda stranger, candidate, ranking, k, allocation: PeerBehavior(
+        stranger_policy=stranger[0],
+        stranger_count=stranger[1],
+        candidate_policy=candidate,
+        ranking=ranking,
+        partner_count=k,
+        allocation=allocation,
+    ),
+    stranger=st.sampled_from(
+        [("none", 0)]
+        + [(p, h) for p in ("periodic", "when_needed", "defect") for h in (1, 2, 3)]
+    ),
+    candidate=st.sampled_from(["tft", "tf2t"]),
+    ranking=st.sampled_from(
+        ["fastest", "slowest", "proximity", "adaptive", "loyal", "random"]
+    ),
+    k=st.integers(min_value=0, max_value=9),
+    allocation=st.sampled_from(["equal_split", "prop_share", "freeride"]),
+)
+
+
+class TestDesignSpaceProperties:
+    @given(st.integers(min_value=0, max_value=3269))
+    @settings(max_examples=100)
+    def test_index_roundtrip(self, index):
+        protocol = _SPACE.protocol(index)
+        assert _SPACE.index_of(protocol.behavior) == index
+
+    @given(behaviors)
+    @settings(max_examples=100)
+    def test_every_valid_behavior_is_in_the_space(self, behavior):
+        index = _SPACE.index_of(behavior)
+        canonical = _SPACE.protocol(index).behavior
+        if behavior.partner_count == 0:
+            # All zero-partner behaviours collapse onto one canonical protocol.
+            assert canonical.partner_count == 0
+        else:
+            assert canonical == behavior
+
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=30)
+    def test_sampling_returns_distinct_ids(self, count, seed):
+        sample = _SPACE.sample(count, seed=seed, method="stratified")
+        ids = [p.protocol_id for p in sample]
+        assert len(set(ids)) == len(ids) == count
+
+
+class TestHistoryProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),       # round
+                st.integers(min_value=0, max_value=9),        # sender
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            ),
+            max_size=80,
+        )
+    )
+    def test_window_bounded_and_senders_subset(self, events):
+        history = InteractionHistory(max_rounds=3)
+        for round_index, sender, amount in sorted(events, key=lambda e: e[0]):
+            history.record(round_index, sender, amount)
+        assert len(history.rounds_recorded()) <= 3
+        current = 21
+        assert history.senders_in_window(current, 2) <= history.all_known_peers()
+
+
+class TestAllocationProperties:
+    @given(
+        behaviors,
+        st.lists(st.integers(min_value=1, max_value=20), unique=True, max_size=9),
+        st.lists(st.integers(min_value=21, max_value=30), unique=True, max_size=3),
+        st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+    )
+    @settings(max_examples=150)
+    def test_allocation_never_exceeds_capacity_and_never_negative(
+        self, behavior, partners, strangers, capacity
+    ):
+        peer = PeerState(peer_id=0, upload_capacity=capacity, behavior=behavior)
+        partners = partners[: behavior.partner_count]
+        allocation = allocate_upload(peer, partners, strangers, current_round=1)
+        assert all(amount >= 0.0 for amount in allocation.values())
+        assert sum(allocation.values()) <= capacity * (1 + 1e-9)
+
+    @given(
+        behaviors,
+        st.dictionaries(
+            st.integers(min_value=1, max_value=15),
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=100)
+    def test_ranking_is_a_permutation_of_candidates(self, behavior, rates, seed):
+        peer = PeerState(peer_id=0, upload_capacity=100.0, behavior=behavior)
+        for candidate, amount in rates.items():
+            peer.history.record(4, candidate, amount)
+        ranked = rank_candidates(peer, list(rates), 5, random.Random(seed))
+        assert sorted(ranked) == sorted(rates)

@@ -1,0 +1,99 @@
+"""Property-based tests for the statistics substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.correlation import pearson_correlation
+from repro.stats.distribution import ccdf, ecdf, histogram2d_frequency, normalized_histogram
+from repro.stats.summary import confidence_interval, summarize
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCorrelationProperties:
+    @given(st.lists(finite_floats, min_size=2, max_size=50), st.integers(0, 1000))
+    def test_correlation_bounded_or_nan(self, xs, shift):
+        ys = [x + shift for x in xs]
+        r = pearson_correlation(xs, ys)
+        assert math.isnan(r) or -1.0 <= r <= 1.0
+
+    @given(st.lists(finite_floats, min_size=3, max_size=50))
+    def test_symmetry(self, xs):
+        ys = list(reversed(xs))
+        a = pearson_correlation(xs, ys)
+        b = pearson_correlation(ys, xs)
+        assert (math.isnan(a) and math.isnan(b)) or a == b
+
+    @given(
+        st.lists(finite_floats, min_size=2, max_size=30),
+        st.floats(min_value=0.1, max_value=10, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    def test_invariant_to_positive_affine_transform(self, xs, scale, offset):
+        ys = [scale * x + offset for x in xs]
+        r = pearson_correlation(xs, ys)
+        assert math.isnan(r) or r == 1.0 or abs(r - 1.0) < 1e-6
+
+
+class TestDistributionProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_ecdf_monotone_and_reaches_one(self, values):
+        xs, probs = ecdf(values)
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(probs) >= -1e-12)
+        assert probs[-1] == 1.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_ccdf_complements_ecdf(self, values):
+        _xs, up = ecdf(values)
+        _xs2, down = ccdf(values)
+        assert np.allclose(up + down, 1.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=100))
+    def test_histogram_is_probability_vector(self, values):
+        _edges, freqs = normalized_histogram(values, bins=10)
+        assert freqs.sum() == 1.0 or abs(freqs.sum() - 1.0) < 1e-9
+        assert np.all(freqs >= 0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_histogram2d_rows_are_distributions(self, pairs):
+        categories = [c for c, _ in pairs]
+        scores = [s for _, s in pairs]
+        _e, _v, matrix = histogram2d_frequency(categories, scores, range(10))
+        for row in matrix:
+            assert row.sum() == 0.0 or abs(row.sum() - 1.0) < 1e-9
+
+
+class TestSummaryProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_interval_contains_mean_and_is_ordered(self, values):
+        low, high = confidence_interval(values)
+        mean = float(np.mean(values))
+        assert low <= mean + 1e-9
+        assert mean <= high + 1e-9
+        assert low <= high
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_summary_bounds(self, values):
+        stats = summarize(values)
+        # Allow one part in 1e12 of slack: the mean of identical large floats
+        # can land one ULP outside [min, max].
+        slack = 1e-12 * max(1.0, abs(stats.mean))
+        assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+        assert stats.count == len(values)

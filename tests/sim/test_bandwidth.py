@@ -1,0 +1,110 @@
+"""Tests for bandwidth distributions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.bandwidth import (
+    ConstantBandwidth,
+    EmpiricalBandwidth,
+    TwoClassBandwidth,
+    UniformBandwidth,
+    piatek_distribution,
+)
+
+
+class TestConstantBandwidth:
+    def test_always_same_value(self, rng):
+        dist = ConstantBandwidth(42.0)
+        assert dist.sample(rng) == 42.0
+        assert dist.mean() == 42.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantBandwidth(0)
+
+
+class TestUniformBandwidth:
+    def test_within_bounds(self, rng):
+        dist = UniformBandwidth(10.0, 20.0)
+        for _ in range(100):
+            assert 10.0 <= dist.sample(rng) <= 20.0
+
+    def test_mean(self):
+        assert UniformBandwidth(10.0, 20.0).mean() == 15.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformBandwidth(20.0, 10.0)
+
+
+class TestTwoClassBandwidth:
+    def test_only_two_values(self, rng):
+        dist = TwoClassBandwidth(25.0, 100.0, 0.5)
+        values = {dist.sample(rng) for _ in range(200)}
+        assert values <= {25.0, 100.0}
+        assert len(values) == 2
+
+    def test_extreme_fractions(self, rng):
+        all_fast = TwoClassBandwidth(25.0, 100.0, 1.0)
+        all_slow = TwoClassBandwidth(25.0, 100.0, 0.0)
+        assert all_fast.sample(rng) == 100.0
+        assert all_slow.sample(rng) == 25.0
+
+    def test_mean(self):
+        assert TwoClassBandwidth(20.0, 100.0, 0.25).mean() == pytest.approx(40.0)
+
+    def test_requires_fast_above_slow(self):
+        with pytest.raises(ValueError):
+            TwoClassBandwidth(100.0, 25.0)
+
+
+class TestEmpiricalBandwidth:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            EmpiricalBandwidth([(0.5, 10.0), (0.4, 20.0)])
+
+    def test_capacities_must_increase(self):
+        with pytest.raises(ValueError):
+            EmpiricalBandwidth([(0.5, 20.0), (0.5, 10.0)])
+
+    def test_samples_positive_and_bounded(self, rng):
+        dist = EmpiricalBandwidth([(0.5, 10.0), (0.5, 100.0)])
+        for _ in range(200):
+            value = dist.sample(rng)
+            assert 10.0 <= value <= 100.0
+
+    def test_mean_positive(self):
+        assert EmpiricalBandwidth([(1.0, 50.0)]).mean() == 50.0
+
+    def test_sample_population_length(self, rng):
+        dist = EmpiricalBandwidth([(1.0, 50.0)])
+        assert len(dist.sample_population(7, rng)) == 7
+
+    def test_sample_population_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            piatek_distribution().sample_population(-1, rng)
+
+
+class TestPiatekDistribution:
+    def test_heterogeneous(self, rng):
+        dist = piatek_distribution()
+        values = dist.sample_population(300, rng)
+        assert min(values) < 60.0
+        assert max(values) > 300.0
+
+    def test_skewed_towards_slow_peers(self, rng):
+        values = piatek_distribution().sample_population(500, rng)
+        slow = sum(1 for v in values if v < 100)
+        fast = sum(1 for v in values if v > 400)
+        assert slow > fast
+
+    def test_mean_reasonable(self):
+        assert 50.0 < piatek_distribution().mean() < 500.0
+
+    def test_reproducible_given_seed(self):
+        a = piatek_distribution().sample_population(10, random.Random(3))
+        b = piatek_distribution().sample_population(10, random.Random(3))
+        assert a == b

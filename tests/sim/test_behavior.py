@@ -1,0 +1,116 @@
+"""Tests for the executable protocol behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.behavior import PeerBehavior
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        behavior = PeerBehavior()
+        assert behavior.stranger_policy == "periodic"
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("stranger_policy", "bogus"),
+            ("candidate_policy", "bogus"),
+            ("ranking", "bogus"),
+            ("allocation", "bogus"),
+        ],
+    )
+    def test_unknown_categorical_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            PeerBehavior(**{field: value})
+
+    def test_partner_count_bounds(self):
+        with pytest.raises(ValueError):
+            PeerBehavior(partner_count=10)
+        with pytest.raises(ValueError):
+            PeerBehavior(partner_count=-1)
+
+    def test_stranger_count_bounds(self):
+        with pytest.raises(ValueError):
+            PeerBehavior(stranger_count=4)
+
+    def test_none_policy_requires_zero_strangers(self):
+        with pytest.raises(ValueError):
+            PeerBehavior(stranger_policy="none", stranger_count=1)
+        assert PeerBehavior(stranger_policy="none", stranger_count=0).stranger_count == 0
+
+    def test_cooperative_policies_require_strangers(self):
+        with pytest.raises(ValueError):
+            PeerBehavior(stranger_policy="when_needed", stranger_count=0)
+
+    def test_stranger_period_positive(self):
+        with pytest.raises(ValueError):
+            PeerBehavior(stranger_period=0)
+
+
+class TestDerivedProperties:
+    def test_candidate_window(self):
+        assert PeerBehavior(candidate_policy="tft").candidate_window == 1
+        assert PeerBehavior(candidate_policy="tf2t").candidate_window == 2
+
+    def test_total_slots(self):
+        behavior = PeerBehavior(partner_count=4, stranger_count=2)
+        assert behavior.total_slots == 6
+
+    def test_uploads_nothing_for_full_defector(self):
+        behavior = PeerBehavior(
+            stranger_policy="defect", stranger_count=1, allocation="freeride"
+        )
+        assert behavior.uploads_nothing
+
+    def test_uploads_something_with_stranger_cooperation(self):
+        behavior = PeerBehavior(
+            stranger_policy="periodic", stranger_count=1, allocation="freeride"
+        )
+        assert not behavior.uploads_nothing
+
+    def test_uploads_something_with_partner_cooperation(self):
+        behavior = PeerBehavior(stranger_policy="defect", allocation="equal_split")
+        assert not behavior.uploads_nothing
+
+    def test_with_returns_modified_copy(self):
+        base = PeerBehavior()
+        changed = base.with_(partner_count=7)
+        assert changed.partner_count == 7
+        assert base.partner_count == 4
+
+
+class TestLabelAndSerialization:
+    def test_label_format(self):
+        behavior = PeerBehavior(
+            stranger_policy="when_needed",
+            stranger_count=2,
+            candidate_policy="tft",
+            ranking="loyal",
+            partner_count=7,
+            allocation="prop_share",
+        )
+        assert behavior.label() == "B2h2-C1-I5k7-R2"
+
+    def test_label_unique_over_sampled_space(self):
+        from repro.core.space import DesignSpace
+
+        space = DesignSpace.default()
+        labels = {space.protocol(i).behavior.label() for i in range(0, len(space), 37)}
+        assert len(labels) == len(range(0, len(space), 37))
+
+    def test_dict_roundtrip(self):
+        behavior = PeerBehavior(
+            stranger_policy="defect",
+            stranger_count=3,
+            candidate_policy="tf2t",
+            ranking="slowest",
+            partner_count=1,
+            allocation="freeride",
+        )
+        assert PeerBehavior.from_dict(behavior.as_dict()) == behavior
+
+    def test_hashable_and_equality(self):
+        assert PeerBehavior() == PeerBehavior()
+        assert len({PeerBehavior(), PeerBehavior()}) == 1

@@ -1,0 +1,86 @@
+"""Tests for the churn process."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.bandwidth import ConstantBandwidth
+from repro.sim.behavior import PeerBehavior
+from repro.sim.churn import apply_churn
+from repro.sim.peer import PeerState
+
+
+def make_peers(count=5) -> list:
+    return [
+        PeerState(peer_id=i, upload_capacity=100.0, behavior=PeerBehavior())
+        for i in range(count)
+    ]
+
+
+class TestApplyChurn:
+    def test_zero_rate_no_churn(self):
+        peers = make_peers()
+        churned = apply_churn(peers, 0.0, 1, random.Random(0), ConstantBandwidth(50.0))
+        assert churned == []
+
+    def test_full_state_reset_for_churned_peer(self):
+        peers = make_peers(3)
+        peers[0].history.record(0, 1, 5.0)
+        peers[0].loyalty[1] = 2
+        # Rate close to 1 so everyone churns.
+        churned = apply_churn(peers, 0.99, 5, random.Random(1), ConstantBandwidth(50.0))
+        assert 0 in churned
+        assert len(peers[0].history) == 0
+        assert peers[0].loyalty == {}
+        assert peers[0].joined_round == 5
+
+    def test_survivors_forget_churned_identities(self):
+        peers = make_peers(2)
+        peers[1].history.record(0, 0, 5.0)
+        peers[1].loyalty[0] = 3
+        peers[1].pending_requests.add(0)
+        rng = random.Random(2)
+        # Force only peer 0 to churn by repeatedly trying seeds until exactly
+        # peer 0 churned; with rate 0.5 and two peers this happens quickly.
+        for seed in range(100):
+            peers = make_peers(2)
+            peers[1].history.record(0, 0, 5.0)
+            peers[1].loyalty[0] = 3
+            peers[1].pending_requests.add(0)
+            churned = apply_churn(
+                peers, 0.5, 1, random.Random(seed), ConstantBandwidth(50.0)
+            )
+            if churned == [0]:
+                break
+        assert churned == [0]
+        assert peers[1].history.all_known_peers() == set()
+        assert 0 not in peers[1].loyalty
+        assert 0 not in peers[1].pending_requests
+
+    def test_capacity_resampled_when_requested(self):
+        peers = make_peers(4)
+        apply_churn(peers, 0.99, 1, random.Random(3), ConstantBandwidth(7.0),
+                    resample_capacity=True)
+        assert any(p.upload_capacity == 7.0 for p in peers)
+
+    def test_capacity_kept_when_not_resampling(self):
+        peers = make_peers(4)
+        apply_churn(peers, 0.99, 1, random.Random(3), ConstantBandwidth(7.0),
+                    resample_capacity=False)
+        assert all(p.upload_capacity == 100.0 for p in peers)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            apply_churn(make_peers(), 1.0, 0, random.Random(0), ConstantBandwidth(1.0))
+
+    def test_rate_statistics(self):
+        total = 0
+        for seed in range(30):
+            peers = make_peers(10)
+            total += len(
+                apply_churn(peers, 0.2, 0, random.Random(seed), ConstantBandwidth(1.0))
+            )
+        # Expected churn count is 30 * 10 * 0.2 = 60; allow generous slack.
+        assert 30 <= total <= 95

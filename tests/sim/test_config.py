@@ -1,0 +1,57 @@
+"""Tests for the simulation configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.bandwidth import ConstantBandwidth, EmpiricalBandwidth
+from repro.sim.config import SimulationConfig
+
+
+class TestValidation:
+    def test_defaults_follow_paper(self):
+        config = SimulationConfig.paper()
+        assert config.n_peers == 50
+        assert config.rounds == 500
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_peers": 1},
+            {"rounds": 0},
+            {"churn_rate": 1.0},
+            {"churn_rate": -0.1},
+            {"requests_per_round": -1},
+            {"discovery_per_round": -1},
+            {"warmup_rounds": 500},
+            {"stranger_bandwidth_cap": 1.5},
+            {"history_rounds": 1},
+            {"aspiration_smoothing": 0.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationConfig(**kwargs)
+
+    def test_measured_rounds(self):
+        config = SimulationConfig(n_peers=10, rounds=100, warmup_rounds=20)
+        assert config.measured_rounds == 80
+
+
+class TestHelpers:
+    def test_default_distribution_is_piatek_like(self):
+        assert isinstance(SimulationConfig().distribution(), EmpiricalBandwidth)
+
+    def test_explicit_distribution_used(self):
+        dist = ConstantBandwidth(64.0)
+        assert SimulationConfig(bandwidth=dist).distribution() is dist
+
+    def test_with_returns_copy(self):
+        base = SimulationConfig.small()
+        changed = base.with_(churn_rate=0.1)
+        assert changed.churn_rate == 0.1
+        assert base.churn_rate == 0.0
+
+    def test_presets_are_ordered_by_size(self):
+        assert SimulationConfig.smoke().n_peers < SimulationConfig.small().n_peers
+        assert SimulationConfig.small().n_peers < SimulationConfig.paper().n_peers

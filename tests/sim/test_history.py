@@ -1,0 +1,97 @@
+"""Tests for the bounded interaction history."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.history import InteractionHistory
+
+
+class TestRecording:
+    def test_record_and_lookup(self):
+        history = InteractionHistory()
+        history.record(5, sender=2, amount=10.0)
+        assert history.amount_from(2, 5) == 10.0
+        assert history.amount_from(2, 4) == 0.0
+
+    def test_amounts_accumulate_within_round(self):
+        history = InteractionHistory()
+        history.record(1, 3, 4.0)
+        history.record(1, 3, 6.0)
+        assert history.amount_from(3, 1) == 10.0
+
+    def test_zero_amount_recorded_as_interaction(self):
+        history = InteractionHistory()
+        history.record(1, 9, 0.0)
+        assert 9 in history.senders_in_window(2, 1)
+        assert history.amount_from(9, 1) == 0.0
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionHistory().record(0, 1, -1.0)
+
+    def test_window_trimming(self):
+        history = InteractionHistory(max_rounds=2)
+        for round_index in range(5):
+            history.record(round_index, 1, 1.0)
+        assert history.rounds_recorded() == [3, 4]
+
+    def test_invalid_max_rounds(self):
+        with pytest.raises(ValueError):
+            InteractionHistory(max_rounds=0)
+
+
+class TestQueries:
+    def test_senders_in_window_tft_vs_tf2t(self):
+        history = InteractionHistory(max_rounds=3)
+        history.record(1, 10, 1.0)
+        history.record(2, 20, 1.0)
+        assert history.senders_in_window(3, window=1) == {20}
+        assert history.senders_in_window(3, window=2) == {10, 20}
+
+    def test_senders_window_validation(self):
+        with pytest.raises(ValueError):
+            InteractionHistory().senders_in_window(3, window=0)
+
+    def test_received_in_window_and_rate(self):
+        history = InteractionHistory()
+        history.record(1, 5, 4.0)
+        history.record(2, 5, 8.0)
+        assert history.received_in_window(5, current_round=3, window=2) == 12.0
+        assert history.observed_rate(5, current_round=3, window=2) == 6.0
+
+    def test_total_received(self):
+        history = InteractionHistory()
+        history.record(4, 1, 5.0)
+        history.record(4, 2, 7.0)
+        assert history.total_received(4) == 12.0
+        assert history.total_received(3) == 0.0
+
+    def test_all_known_peers(self):
+        history = InteractionHistory()
+        history.record(0, 1, 1.0)
+        history.record(1, 2, 1.0)
+        assert history.all_known_peers() == {1, 2}
+
+    def test_interactions_in_round_returns_copy(self):
+        history = InteractionHistory()
+        history.record(0, 1, 1.0)
+        snapshot = history.interactions_in_round(0)
+        snapshot[99] = 5.0
+        assert 99 not in history.interactions_in_round(0)
+
+
+class TestForgetting:
+    def test_forget_peer(self):
+        history = InteractionHistory()
+        history.record(0, 1, 1.0)
+        history.record(0, 2, 1.0)
+        history.forget_peer(1)
+        assert history.all_known_peers() == {2}
+
+    def test_clear(self):
+        history = InteractionHistory()
+        history.record(0, 1, 1.0)
+        history.clear()
+        assert len(history) == 0
+        assert history.all_known_peers() == set()

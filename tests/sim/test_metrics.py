@@ -1,0 +1,56 @@
+"""Tests for simulation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import PeerRecord, compute_group_metrics, population_throughput
+
+
+def record(peer_id, group, downloaded, uploaded, capacity=100.0) -> PeerRecord:
+    return PeerRecord(
+        peer_id=peer_id,
+        group=group,
+        upload_capacity=capacity,
+        behavior_label="B1h1-C1-I1k4-R1",
+        downloaded=downloaded,
+        uploaded=uploaded,
+    )
+
+
+class TestGroupMetrics:
+    def test_grouping_and_means(self):
+        records = [
+            record(0, "a", downloaded=100.0, uploaded=50.0),
+            record(1, "a", downloaded=300.0, uploaded=150.0),
+            record(2, "b", downloaded=10.0, uploaded=5.0),
+        ]
+        metrics = compute_group_metrics(records, measured_rounds=10)
+        assert metrics["a"].peer_count == 2
+        assert metrics["a"].mean_downloaded == pytest.approx(200.0)
+        assert metrics["b"].total_uploaded == pytest.approx(5.0)
+
+    def test_upload_utilization(self):
+        records = [record(0, "a", downloaded=0.0, uploaded=500.0, capacity=100.0)]
+        metrics = compute_group_metrics(records, measured_rounds=10)
+        assert metrics["a"].upload_utilization == pytest.approx(0.5)
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            compute_group_metrics([], measured_rounds=0)
+
+    def test_empty_records(self):
+        assert compute_group_metrics([], measured_rounds=5) == {}
+
+
+class TestPopulationThroughput:
+    def test_total_per_round(self):
+        records = [
+            record(0, "a", downloaded=100.0, uploaded=0.0),
+            record(1, "a", downloaded=200.0, uploaded=0.0),
+        ]
+        assert population_throughput(records, measured_rounds=10) == pytest.approx(30.0)
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            population_throughput([], measured_rounds=0)

@@ -1,0 +1,89 @@
+"""Tests for per-peer simulation state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.behavior import PeerBehavior
+from repro.sim.peer import PeerState
+
+
+def make_peer(**behavior_kwargs) -> PeerState:
+    return PeerState(
+        peer_id=0,
+        upload_capacity=100.0,
+        behavior=PeerBehavior(**behavior_kwargs),
+    )
+
+
+class TestConstruction:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PeerState(peer_id=0, upload_capacity=0.0, behavior=PeerBehavior())
+
+    def test_initial_aspiration_per_slot(self):
+        peer = make_peer(partner_count=4, stranger_count=1)
+        assert peer.aspiration == pytest.approx(100.0 / 5)
+
+
+class TestLoyalty:
+    def test_consecutive_cooperation_increments(self):
+        peer = make_peer()
+        peer.history.record(0, 7, 5.0)
+        peer.update_loyalty(0)
+        peer.history.record(1, 7, 5.0)
+        peer.update_loyalty(1)
+        assert peer.loyalty_of(7) == 2
+
+    def test_break_in_cooperation_resets(self):
+        peer = make_peer()
+        peer.history.record(0, 7, 5.0)
+        peer.update_loyalty(0)
+        # Round 1: peer 7 gives nothing.
+        peer.update_loyalty(1)
+        assert peer.loyalty_of(7) == 0
+
+    def test_zero_amount_does_not_count_as_cooperation(self):
+        peer = make_peer()
+        peer.history.record(0, 7, 0.0)
+        peer.update_loyalty(0)
+        assert peer.loyalty_of(7) == 0
+
+    def test_unknown_peer_loyalty_zero(self):
+        assert make_peer().loyalty_of(99) == 0
+
+
+class TestAspiration:
+    def test_moves_towards_received(self):
+        peer = make_peer(partner_count=1, stranger_count=1)
+        initial = peer.aspiration
+        peer.update_aspiration(received_this_round=200.0, smoothing=0.5)
+        assert peer.aspiration > initial
+
+    def test_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            make_peer().update_aspiration(10.0, smoothing=0.0)
+
+    def test_full_smoothing_jumps_to_target(self):
+        peer = make_peer(partner_count=1, stranger_count=1)
+        peer.update_aspiration(50.0, smoothing=1.0)
+        assert peer.aspiration == pytest.approx(50.0 / 2)
+
+
+class TestRejoin:
+    def test_reset_clears_session_state(self):
+        peer = make_peer()
+        peer.history.record(0, 1, 5.0)
+        peer.loyalty[1] = 3
+        peer.pending_requests.add(4)
+        peer.reset_for_rejoin(round_index=10)
+        assert len(peer.history) == 0
+        assert peer.loyalty == {}
+        assert peer.pending_requests == set()
+        assert peer.joined_round == 10
+
+    def test_reset_restores_default_aspiration(self):
+        peer = make_peer(partner_count=4, stranger_count=1)
+        peer.update_aspiration(500.0, smoothing=1.0)
+        peer.reset_for_rejoin(3)
+        assert peer.aspiration == pytest.approx(100.0 / 5)

@@ -1,0 +1,102 @@
+"""Tests for resource-allocation policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.behavior import PeerBehavior
+from repro.sim.peer import PeerState
+from repro.sim.policies.allocation import allocate_upload
+
+
+def make_peer(allocation="equal_split", k=4, h=1, capacity=100.0) -> PeerState:
+    behavior = PeerBehavior(
+        allocation=allocation, partner_count=k, stranger_count=h
+    )
+    return PeerState(peer_id=0, upload_capacity=capacity, behavior=behavior)
+
+
+class TestEqualSplit:
+    def test_partners_share_equally(self):
+        peer = make_peer("equal_split", capacity=90.0)
+        allocation = allocate_upload(peer, partners=[1, 2, 3], strangers=[], current_round=1)
+        assert allocation == {1: 30.0, 2: 30.0, 3: 30.0}
+
+    def test_strangers_get_one_slot_each(self):
+        peer = make_peer("equal_split", capacity=100.0)
+        allocation = allocate_upload(peer, partners=[1], strangers=[9], current_round=1)
+        assert allocation[1] == pytest.approx(50.0)
+        assert allocation[9] == pytest.approx(50.0)
+
+    def test_no_targets_no_allocation(self):
+        peer = make_peer("equal_split")
+        assert allocate_upload(peer, [], [], 1) == {}
+
+    def test_total_never_exceeds_capacity(self):
+        peer = make_peer("equal_split", capacity=70.0)
+        allocation = allocate_upload(peer, [1, 2], [3], 1)
+        assert sum(allocation.values()) <= 70.0 + 1e-9
+
+
+class TestStrangerCap:
+    def test_cap_limits_stranger_budget(self):
+        peer = make_peer("equal_split", k=0, h=3, capacity=100.0)
+        allocation = allocate_upload(
+            peer, partners=[], strangers=[1, 2, 3], current_round=1,
+            stranger_bandwidth_cap=0.3,
+        )
+        assert sum(allocation.values()) == pytest.approx(30.0)
+
+    def test_invalid_cap_rejected(self):
+        peer = make_peer()
+        with pytest.raises(ValueError):
+            allocate_upload(peer, [1], [], 1, stranger_bandwidth_cap=1.5)
+
+
+class TestFreeride:
+    def test_partners_get_explicit_zero(self):
+        peer = make_peer("freeride")
+        allocation = allocate_upload(peer, partners=[1, 2], strangers=[], current_round=1)
+        assert allocation == {1: 0.0, 2: 0.0}
+
+    def test_strangers_still_served(self):
+        peer = make_peer("freeride", capacity=100.0)
+        allocation = allocate_upload(peer, partners=[1], strangers=[5], current_round=1)
+        assert allocation[1] == 0.0
+        assert allocation[5] > 0.0
+
+
+class TestPropShare:
+    def _peer_with_contributions(self, contributions, **kwargs):
+        peer = make_peer("prop_share", **kwargs)
+        for partner, amount in contributions.items():
+            peer.history.record(0, partner, amount)
+        return peer
+
+    def test_proportional_to_contribution(self):
+        peer = self._peer_with_contributions({1: 30.0, 2: 10.0}, capacity=120.0, k=2, h=1)
+        allocation = allocate_upload(peer, partners=[1, 2], strangers=[], current_round=1)
+        # Partner budget = 2 slots of 60 each = 80... capacity 120 over 2 active
+        # slots = 60 per slot, budget 120; split 3:1.
+        assert allocation[1] == pytest.approx(3 * allocation[2])
+
+    def test_zero_contributors_get_nothing(self):
+        peer = self._peer_with_contributions({1: 10.0, 2: 0.0})
+        allocation = allocate_upload(peer, partners=[1, 2], strangers=[], current_round=1)
+        assert allocation[2] == 0.0
+        assert allocation[1] > 0.0
+
+    def test_no_contributions_at_all_gives_nothing(self):
+        peer = make_peer("prop_share")
+        allocation = allocate_upload(peer, partners=[1, 2], strangers=[], current_round=1)
+        assert allocation == {1: 0.0, 2: 0.0}
+
+    def test_strangers_bootstrapping_still_served(self):
+        peer = make_peer("prop_share", capacity=100.0)
+        allocation = allocate_upload(peer, partners=[1], strangers=[7], current_round=1)
+        assert allocation[7] > 0.0
+
+    def test_budget_respected(self):
+        peer = self._peer_with_contributions({1: 5.0, 2: 15.0}, capacity=100.0)
+        allocation = allocate_upload(peer, partners=[1, 2], strangers=[], current_round=1)
+        assert sum(allocation.values()) <= 100.0 + 1e-9

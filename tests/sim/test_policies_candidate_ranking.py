@@ -1,0 +1,111 @@
+"""Tests for candidate-list construction and ranking functions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.behavior import PeerBehavior
+from repro.sim.peer import PeerState
+from repro.sim.policies.candidate import candidate_list
+from repro.sim.policies.ranking import rank_candidates
+
+
+def make_peer(ranking="fastest", candidate_policy="tft", **kwargs) -> PeerState:
+    behavior = PeerBehavior(
+        ranking=ranking, candidate_policy=candidate_policy, **kwargs
+    )
+    return PeerState(peer_id=0, upload_capacity=100.0, behavior=behavior)
+
+
+class TestCandidateList:
+    def test_tft_only_last_round(self):
+        peer = make_peer(candidate_policy="tft")
+        peer.history.record(1, 5, 1.0)
+        peer.history.record(2, 6, 1.0)
+        assert candidate_list(peer, current_round=3) == {6}
+
+    def test_tf2t_two_rounds(self):
+        peer = make_peer(candidate_policy="tf2t")
+        peer.history.record(1, 5, 1.0)
+        peer.history.record(2, 6, 1.0)
+        assert candidate_list(peer, current_round=3) == {5, 6}
+
+    def test_zero_amount_interactions_are_candidates(self):
+        peer = make_peer()
+        peer.history.record(2, 9, 0.0)
+        assert candidate_list(peer, current_round=3) == {9}
+
+    def test_self_excluded(self):
+        peer = make_peer()
+        peer.history.record(2, 0, 1.0)
+        assert candidate_list(peer, current_round=3) == set()
+
+    def test_empty_history_gives_empty_candidates(self):
+        assert candidate_list(make_peer(), current_round=5) == set()
+
+
+class TestRankingFunctions:
+    def _peer_with_rates(self, ranking, rates):
+        """Build a peer that observed the given {candidate: amount} last round."""
+        peer = make_peer(ranking=ranking)
+        for candidate, amount in rates.items():
+            peer.history.record(4, candidate, amount)
+        return peer
+
+    def test_empty_candidates(self, rng):
+        assert rank_candidates(make_peer(), [], 5, rng) == []
+
+    def test_fastest_orders_descending(self, rng):
+        peer = self._peer_with_rates("fastest", {1: 10.0, 2: 50.0, 3: 30.0})
+        assert rank_candidates(peer, [1, 2, 3], 5, rng) == [2, 3, 1]
+
+    def test_slowest_orders_ascending(self, rng):
+        peer = self._peer_with_rates("slowest", {1: 10.0, 2: 50.0, 3: 30.0})
+        assert rank_candidates(peer, [1, 2, 3], 5, rng) == [1, 3, 2]
+
+    def test_slowest_prefers_zero_givers(self, rng):
+        peer = self._peer_with_rates("slowest", {1: 10.0, 2: 0.0})
+        assert rank_candidates(peer, [1, 2], 5, rng)[0] == 2
+
+    def test_proximity_prefers_own_rate(self, rng):
+        # Own per-slot rate: 100 / (4 + 1) = 20.
+        peer = self._peer_with_rates("proximity", {1: 19.0, 2: 100.0, 3: 2.0})
+        assert rank_candidates(peer, [1, 2, 3], 5, rng)[0] == 1
+
+    def test_adaptive_uses_aspiration(self, rng):
+        peer = self._peer_with_rates("adaptive", {1: 5.0, 2: 60.0})
+        peer.aspiration = 58.0
+        assert rank_candidates(peer, [1, 2], 5, rng)[0] == 2
+
+    def test_loyal_prefers_long_cooperation(self, rng):
+        peer = self._peer_with_rates("loyal", {1: 100.0, 2: 1.0})
+        peer.loyalty[1] = 1
+        peer.loyalty[2] = 7
+        assert rank_candidates(peer, [1, 2], 5, rng)[0] == 2
+
+    def test_loyal_tiebreak_by_rate(self, rng):
+        peer = self._peer_with_rates("loyal", {1: 5.0, 2: 50.0})
+        peer.loyalty[1] = 3
+        peer.loyalty[2] = 3
+        assert rank_candidates(peer, [1, 2], 5, rng)[0] == 2
+
+    def test_random_is_permutation(self, rng):
+        peer = self._peer_with_rates("random", {1: 1.0, 2: 2.0, 3: 3.0})
+        ranked = rank_candidates(peer, [1, 2, 3], 5, rng)
+        assert sorted(ranked) == [1, 2, 3]
+
+    def test_random_order_varies_with_seed(self):
+        peer = self._peer_with_rates("random", {i: float(i) for i in range(1, 8)})
+        orders = {
+            tuple(rank_candidates(peer, list(range(1, 8)), 5, random.Random(seed)))
+            for seed in range(10)
+        }
+        assert len(orders) > 1
+
+    def test_deterministic_given_same_rng_state(self):
+        peer = self._peer_with_rates("fastest", {1: 1.0, 2: 2.0, 3: 3.0})
+        a = rank_candidates(peer, [1, 2, 3], 5, random.Random(3))
+        b = rank_candidates(peer, [1, 2, 3], 5, random.Random(3))
+        assert a == b

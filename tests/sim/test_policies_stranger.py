@@ -1,0 +1,95 @@
+"""Tests for stranger policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.behavior import PeerBehavior
+from repro.sim.peer import PeerState
+from repro.sim.policies.stranger import stranger_decision
+
+
+def make_peer(policy, h=1, k=4, period=1) -> PeerState:
+    behavior = PeerBehavior(
+        stranger_policy=policy,
+        stranger_count=h if policy not in ("none",) else 0,
+        partner_count=k,
+        stranger_period=period,
+    )
+    return PeerState(peer_id=0, upload_capacity=100.0, behavior=behavior)
+
+
+class TestNonePolicy:
+    def test_ignores_everyone(self, rng):
+        peer = make_peer("none")
+        peer.pending_requests = {3, 4}
+        decision = stranger_decision(peer, [3, 4, 5], 0, 1, rng)
+        assert decision.cooperate == []
+        assert decision.refuse == []
+
+
+class TestDefectPolicy:
+    def test_refuses_requesters(self, rng):
+        peer = make_peer("defect", h=2)
+        peer.pending_requests = {3, 4, 5}
+        decision = stranger_decision(peer, [3, 4, 5], 0, 1, rng)
+        assert decision.cooperate == []
+        assert 1 <= len(decision.refuse) <= 2
+        assert set(decision.refuse) <= {3, 4, 5}
+
+    def test_no_requesters_no_refusals(self, rng):
+        peer = make_peer("defect", h=1)
+        decision = stranger_decision(peer, [7, 8], 0, 1, rng)
+        assert decision.refuse == []
+
+    def test_refuses_at_least_one_even_with_h_one(self, rng):
+        peer = make_peer("defect", h=1)
+        peer.pending_requests = {9}
+        decision = stranger_decision(peer, [9], 0, 1, rng)
+        assert decision.refuse == [9]
+
+
+class TestPeriodicPolicy:
+    def test_cooperates_with_up_to_h(self, rng):
+        peer = make_peer("periodic", h=2)
+        decision = stranger_decision(peer, [1, 2, 3, 4], 4, 1, rng)
+        assert len(decision.cooperate) == 2
+        assert decision.refuse == []
+
+    def test_prefers_requesters(self, rng):
+        peer = make_peer("periodic", h=1)
+        peer.pending_requests = {7}
+        decision = stranger_decision(peer, [5, 6, 7], 4, 1, rng)
+        assert decision.cooperate == [7]
+
+    def test_respects_period(self, rng):
+        peer = make_peer("periodic", h=1, period=3)
+        # Round 1 is not a multiple of the period.
+        assert stranger_decision(peer, [1, 2], 4, 1, rng).cooperate == []
+        assert stranger_decision(peer, [1, 2], 4, 3, rng).cooperate != []
+
+    def test_empty_pool(self, rng):
+        peer = make_peer("periodic", h=3)
+        assert stranger_decision(peer, [], 0, 1, rng).cooperate == []
+
+
+class TestWhenNeededPolicy:
+    def test_cooperates_when_partner_set_not_full(self, rng):
+        peer = make_peer("when_needed", h=2, k=4)
+        decision = stranger_decision(peer, [1, 2, 3], selected_partner_count=2,
+                                     current_round=1, rng=rng)
+        assert len(decision.cooperate) == 2
+
+    def test_defects_when_partner_set_full(self, rng):
+        peer = make_peer("when_needed", h=2, k=4)
+        decision = stranger_decision(peer, [1, 2, 3], selected_partner_count=4,
+                                     current_round=1, rng=rng)
+        assert decision.cooperate == []
+        assert decision.refuse == []
+
+    def test_zero_partner_protocol_always_needs(self, rng):
+        # k = 0 means the partner set can never be "not full"; when_needed
+        # therefore never cooperates, which matches its definition.
+        peer = make_peer("when_needed", h=1, k=0)
+        decision = stranger_decision(peer, [1, 2], 0, 1, rng)
+        assert decision.cooperate == []

@@ -1,0 +1,44 @@
+"""Tests for the Pearson correlation implementation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.correlation import pearson_correlation
+
+
+class TestPearsonCorrelation:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3, 4], [2, 4, 6, 8]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=50)
+        y = 0.5 * x + rng.normal(size=50)
+        expected = float(np.corrcoef(x, y)[0, 1])
+        assert pearson_correlation(x, y) == pytest.approx(expected, abs=1e-12)
+
+    def test_zero_variance_returns_nan(self):
+        assert math.isnan(pearson_correlation([1, 1, 1], [1, 2, 3]))
+
+    def test_clipped_into_range(self):
+        r = pearson_correlation([1.0, 2.0, 3.0], [1.0 + 1e-15, 2.0, 3.0 - 1e-15])
+        assert -1.0 <= r <= 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_few_observations_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [2])
+
+    def test_two_dimensional_input_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones((2, 2)), np.ones((2, 2)))

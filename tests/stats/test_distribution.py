@@ -1,0 +1,88 @@
+"""Tests for ECDF/CCDF and histogram helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.distribution import (
+    ccdf,
+    ecdf,
+    histogram2d_frequency,
+    normalized_histogram,
+)
+
+
+class TestEcdf:
+    def test_sorted_and_reaches_one(self):
+        xs, probs = ecdf([3, 1, 2])
+        assert list(xs) == [1, 2, 3]
+        assert probs[-1] == pytest.approx(1.0)
+
+    def test_monotone(self):
+        _xs, probs = ecdf([5, 2, 9, 2, 7])
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+
+class TestCcdf:
+    def test_complement_of_ecdf(self):
+        xs, probs = ccdf([0.1, 0.4, 0.9])
+        _xs2, cdf = ecdf([0.1, 0.4, 0.9])
+        assert np.allclose(probs, 1.0 - cdf)
+
+    def test_last_point_zero(self):
+        _xs, probs = ccdf([1, 2, 3])
+        assert probs[-1] == pytest.approx(0.0)
+
+
+class TestNormalizedHistogram:
+    def test_frequencies_sum_to_one(self):
+        _edges, freqs = normalized_histogram([0.1, 0.2, 0.7, 0.9], bins=5)
+        assert freqs.sum() == pytest.approx(1.0)
+
+    def test_empty_input_gives_zeros(self):
+        _edges, freqs = normalized_histogram([], bins=4)
+        assert freqs.sum() == 0.0
+
+    def test_bin_count(self):
+        edges, freqs = normalized_histogram([0.5], bins=7)
+        assert len(freqs) == 7
+        assert len(edges) == 8
+
+
+class TestHistogram2dFrequency:
+    def test_rows_are_relative_frequencies(self):
+        categories = [1, 1, 2, 9]
+        scores = [0.05, 0.05, 0.05, 0.95]
+        edges, values, matrix = histogram2d_frequency(
+            categories, scores, category_values=range(10), score_bins=10
+        )
+        # First interval has 3 observations: two with k=1, one with k=2.
+        assert matrix[0, 1] == pytest.approx(2 / 3)
+        assert matrix[0, 2] == pytest.approx(1 / 3)
+        # Last interval has a single observation with k=9.
+        assert matrix[9, 9] == pytest.approx(1.0)
+
+    def test_score_of_exactly_one_counted_in_last_bin(self):
+        _e, _v, matrix = histogram2d_frequency([3], [1.0], range(10), score_bins=10)
+        assert matrix[9, 3] == pytest.approx(1.0)
+
+    def test_empty_rows_are_zero(self):
+        _e, _v, matrix = histogram2d_frequency([1], [0.5], range(10), score_bins=10)
+        assert matrix[0].sum() == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            histogram2d_frequency([1, 2], [0.5], range(10))
+
+    def test_row_sums_at_most_one(self):
+        rng = np.random.default_rng(1)
+        categories = rng.integers(0, 10, size=100)
+        scores = rng.random(size=100)
+        _e, _v, matrix = histogram2d_frequency(categories, scores, range(10))
+        for row in matrix:
+            assert row.sum() == pytest.approx(1.0) or row.sum() == 0.0

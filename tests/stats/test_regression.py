@@ -1,0 +1,154 @@
+"""Tests for the OLS regression with dummy coding (Table 3 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.regression import (
+    DesignMatrix,
+    dummy_code,
+    fit_ols,
+    standardize,
+)
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self):
+        z = standardize([1.0, 2.0, 3.0, 4.0])
+        assert np.mean(z) == pytest.approx(0.0, abs=1e-12)
+        assert np.std(z) == pytest.approx(1.0)
+
+    def test_constant_column_centred_not_scaled(self):
+        z = standardize([5.0, 5.0, 5.0])
+        assert np.allclose(z, 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            standardize([])
+
+
+class TestDummyCode:
+    def test_reference_level_absent(self):
+        columns = dummy_code(["a", "b", "a", "c"], reference="a")
+        assert set(columns) == {"b", "c"}
+        assert list(columns["b"]) == [0.0, 1.0, 0.0, 0.0]
+
+    def test_explicit_levels_order(self):
+        columns = dummy_code(["x"], reference="x", levels=["x", "y"])
+        assert list(columns) == ["y"]
+        assert list(columns["y"]) == [0.0]
+
+    def test_unknown_reference_raises(self):
+        with pytest.raises(ValueError):
+            dummy_code(["a"], reference="z")
+
+    def test_unknown_observation_raises(self):
+        with pytest.raises(ValueError):
+            dummy_code(["a", "q"], reference="a", levels=["a", "b"])
+
+
+class TestDesignMatrix:
+    def test_intercept_first(self):
+        dm = DesignMatrix(3)
+        assert dm.column_names == ["(intercept)"]
+        assert np.allclose(dm.matrix()[:, 0], 1.0)
+
+    def test_add_numeric_shape_checked(self):
+        dm = DesignMatrix(3)
+        with pytest.raises(ValueError):
+            dm.add_numeric("x", [1.0, 2.0])
+
+    def test_duplicate_name_rejected(self):
+        dm = DesignMatrix(2).add_numeric("x", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            dm.add_numeric("x", [3.0, 4.0])
+
+    def test_categorical_adds_level_columns(self):
+        dm = DesignMatrix(4)
+        dm.add_categorical("dim", ["a", "b", "c", "a"], reference="a")
+        assert dm.column_names == ["(intercept)", "b", "c"]
+
+    def test_zero_observations_rejected(self):
+        with pytest.raises(ValueError):
+            DesignMatrix(0)
+
+
+class TestFitOls:
+    def _make_data(self, n=200, seed=0):
+        rng = np.random.default_rng(seed)
+        x1 = rng.normal(size=n)
+        x2 = rng.normal(size=n)
+        noise = rng.normal(scale=0.05, size=n)
+        y = 1.5 + 2.0 * x1 - 3.0 * x2 + noise
+        return x1, x2, y
+
+    def test_recovers_known_coefficients(self):
+        x1, x2, y = self._make_data()
+        dm = DesignMatrix(len(y)).add_numeric("x1", x1).add_numeric("x2", x2)
+        result = fit_ols(dm, y)
+        assert result.term("(intercept)").estimate == pytest.approx(1.5, abs=0.02)
+        assert result.term("x1").estimate == pytest.approx(2.0, abs=0.02)
+        assert result.term("x2").estimate == pytest.approx(-3.0, abs=0.02)
+
+    def test_r_squared_near_one_for_clean_fit(self):
+        x1, x2, y = self._make_data()
+        dm = DesignMatrix(len(y)).add_numeric("x1", x1).add_numeric("x2", x2)
+        result = fit_ols(dm, y)
+        assert result.r_squared > 0.99
+        assert result.adjusted_r_squared <= result.r_squared
+
+    def test_significance_of_strong_effects(self):
+        x1, x2, y = self._make_data()
+        dm = DesignMatrix(len(y)).add_numeric("x1", x1).add_numeric("x2", x2)
+        result = fit_ols(dm, y)
+        assert result.term("x1").is_significant(0.001)
+        assert result.term("x2").is_significant(0.001)
+
+    def test_irrelevant_covariate_not_significant(self):
+        rng = np.random.default_rng(3)
+        n = 150
+        x = rng.normal(size=n)
+        junk = rng.normal(size=n)
+        y = 1.0 + x + rng.normal(scale=1.0, size=n)
+        dm = DesignMatrix(n).add_numeric("x", x).add_numeric("junk", junk)
+        result = fit_ols(dm, y)
+        assert not result.term("junk").is_significant(0.001)
+
+    def test_dummy_coefficients_match_group_means(self):
+        labels = ["a"] * 50 + ["b"] * 50
+        y = np.array([1.0] * 50 + [3.0] * 50)
+        dm = DesignMatrix(100).add_categorical("g", labels, reference="a")
+        result = fit_ols(dm, y)
+        assert result.term("(intercept)").estimate == pytest.approx(1.0, abs=1e-9)
+        assert result.term("b").estimate == pytest.approx(2.0, abs=1e-9)
+
+    def test_as_rows_structure(self):
+        x1, x2, y = self._make_data(n=50)
+        dm = DesignMatrix(len(y)).add_numeric("x1", x1).add_numeric("x2", x2)
+        rows = fit_ols(dm, y).as_rows()
+        assert len(rows) == 3
+        assert rows[0][0] == "(intercept)"
+        assert rows[1][3] in ("OK", "-")
+
+    def test_too_few_observations_raises(self):
+        dm = DesignMatrix(2).add_numeric("x", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_ols(dm, [1.0, 2.0])
+
+    def test_response_shape_checked(self):
+        dm = DesignMatrix(5).add_numeric("x", [1, 2, 3, 4, 5])
+        with pytest.raises(ValueError):
+            fit_ols(dm, [1.0, 2.0])
+
+    def test_coefficients_dict(self):
+        x1, x2, y = self._make_data(n=60)
+        dm = DesignMatrix(len(y)).add_numeric("x1", x1).add_numeric("x2", x2)
+        coefficients = fit_ols(dm, y).coefficients()
+        assert set(coefficients) == {"(intercept)", "x1", "x2"}
+
+    def test_missing_term_raises_keyerror(self):
+        x1, x2, y = self._make_data(n=60)
+        dm = DesignMatrix(len(y)).add_numeric("x1", x1).add_numeric("x2", x2)
+        with pytest.raises(KeyError):
+            fit_ols(dm, y).term("nope")

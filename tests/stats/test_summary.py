@@ -1,0 +1,59 @@
+"""Tests for summary statistics and confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.summary import confidence_interval, mean_confidence_interval, summarize
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        values = [10.0, 12.0, 9.0, 11.0, 13.0]
+        low, high = confidence_interval(values)
+        assert low <= np.mean(values) <= high
+
+    def test_single_observation_collapses(self):
+        assert confidence_interval([5.0]) == (5.0, 5.0)
+
+    def test_zero_variance_collapses(self):
+        assert confidence_interval([2.0, 2.0, 2.0]) == (2.0, 2.0)
+
+    def test_wider_at_higher_confidence(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low95, high95 = confidence_interval(values, 0.95)
+        low99, high99 = confidence_interval(values, 0.99)
+        assert (high99 - low99) > (high95 - low95)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+    def test_invalid_confidence_raises(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=1.5)
+
+
+class TestSummarize:
+    def test_fields(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.ci_low <= stats.mean <= stats.ci_high
+
+    def test_ci_half_width(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.ci_half_width == pytest.approx((stats.ci_high - stats.ci_low) / 2)
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.std == 0.0
+        assert stats.ci_low == stats.ci_high == 7.0
+
+    def test_mean_confidence_interval_helper(self):
+        mean, low, high = mean_confidence_interval([2.0, 4.0, 6.0])
+        assert mean == pytest.approx(4.0)
+        assert low <= mean <= high

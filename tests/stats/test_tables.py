@@ -1,0 +1,46 @@
+"""Tests for plain-text table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats.tables import format_float, format_table
+
+
+class TestFormatFloat:
+    def test_float_rounding(self):
+        assert format_float(0.123456, digits=3) == "0.123"
+
+    def test_int_passthrough(self):
+        assert format_float(7) == "7"
+
+    def test_bool_passthrough(self):
+        assert format_float(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_float("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(("name", "value"), [("alpha", 0.5), ("beta", 1.25)])
+        assert "name" in text and "value" in text
+        assert "alpha" in text and "1.250" in text
+
+    def test_title_on_first_line(self):
+        text = format_table(("a",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_alignment_consistent_width(self):
+        text = format_table(("col",), [("short",), ("a much longer cell",)])
+        lines = text.splitlines()
+        separator = lines[1]
+        assert len(separator) >= len("a much longer cell")
+
+    def test_wrong_cell_count_raises(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_empty_rows_ok(self):
+        text = format_table(("a", "b"), [])
+        assert "a" in text

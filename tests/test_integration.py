@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the whole library.
+
+These tests exercise the public API the way the examples and the benchmark
+harness do: build a design space, run a small PRA study, compare the named
+protocols in the cycle simulator and in the piece-level swarm, and check that
+the two analyses tell a consistent story with the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bittorrent import SwarmConfig, SwarmSimulation, reference_bittorrent as bt_client
+from repro.bittorrent.variants import loyal_when_needed_client
+from repro.core import (
+    DesignSpace,
+    PRAConfig,
+    PRAStudy,
+    bittorrent_reference,
+    birds_protocol,
+    loyal_when_needed,
+    sort_s,
+)
+from repro.core.protocol import Protocol
+from repro.gametheory import SwarmModel, piatek_classes
+from repro.sim.bandwidth import ConstantBandwidth
+from repro.sim.behavior import PeerBehavior
+from repro.sim.config import SimulationConfig
+
+
+class TestGameTheoryToSimulatorConsistency:
+    """The analytical claim (Birds resists invasion by BT) should also show up
+    in the agent-based substrate when bandwidth classes are explicit."""
+
+    def test_birds_outperforms_bt_deviant_in_two_class_swarm(self):
+        analytic = SwarmModel(piatek_classes(50), regular_unchoke_slots=4)
+        assert analytic.bittorrent_deviant_in_birds_swarm(0).advantage < 0
+
+    def test_cooperative_protocols_beat_freeriders_everywhere(self):
+        config = SimulationConfig(n_peers=10, rounds=40, bandwidth=ConstantBandwidth(100.0))
+        freerider = Protocol(
+            PeerBehavior(stranger_policy="defect", stranger_count=1, allocation="freeride"),
+            name="Freerider",
+        )
+        pra = PRAConfig(sim=config, performance_runs=1, encounter_runs=3, seed=1)
+        PRAStudy.clear_memo()
+        study = PRAStudy(
+            [bittorrent_reference(), loyal_when_needed(), freerider], pra
+        ).run()
+        assert study.performance[freerider.key] < study.performance[bittorrent_reference().key]
+        assert study.robustness[freerider.key] <= min(
+            study.robustness[bittorrent_reference().key],
+            study.robustness[loyal_when_needed().key],
+        )
+
+
+class TestDesignSpaceStudyPipeline:
+    def test_sampled_study_end_to_end(self, tmp_path):
+        space = DesignSpace.default()
+        # 16 protocols keeps the Table 3 regression estimable (more
+        # observations than design-matrix columns).
+        protocols = space.sample(
+            16, seed=5, include=[bittorrent_reference(), birds_protocol(), sort_s()]
+        )
+        config = PRAConfig(
+            sim=SimulationConfig(n_peers=8, rounds=12),
+            performance_runs=1,
+            encounter_runs=1,
+            seed=5,
+        )
+        PRAStudy.clear_memo()
+        study = PRAStudy(protocols, config, cache_dir=tmp_path).run()
+
+        # Every protocol is scored on all three measures, in [0, 1].
+        assert len(study) == 16
+        for key in study.keys():
+            p, r, a = study.scores_of(key)
+            assert 0.0 <= p <= 1.0 and 0.0 <= r <= 1.0 and 0.0 <= a <= 1.0
+
+        # The result persists and reloads identically through the disk cache.
+        PRAStudy.clear_memo()
+        reloaded = PRAStudy(protocols, config, cache_dir=tmp_path).run()
+        assert reloaded.performance == study.performance
+
+        # The regression machinery runs on the study output.
+        from repro.experiments.table3 import from_study
+
+        fits = from_study(study)
+        assert set(fits.fits) == {"performance", "robustness", "aggressiveness"}
+
+
+class TestSwarmValidationPipeline:
+    def test_loyal_when_needed_never_much_worse_than_bt(self):
+        """A scaled-down version of the Figure 9(a) qualitative claim."""
+        config = SwarmConfig(
+            n_leechers=12, file_size_mb=1.0, max_ticks=1800,
+            bandwidth=ConstantBandwidth(80.0),
+        )
+        mix = [loyal_when_needed_client()] * 6 + [bt_client()] * 6
+        times_lwn, times_bt = [], []
+        for seed in range(3):
+            result = SwarmSimulation(config, mix, seed=seed).run()
+            assert result.completion_fraction() == 1.0
+            times_lwn.append(result.mean_download_time("Loyal-When-needed"))
+            times_bt.append(result.mean_download_time("BitTorrent"))
+        mean_lwn = sum(times_lwn) / len(times_lwn)
+        mean_bt = sum(times_bt) / len(times_bt)
+        # The DSA-discovered protocol should not be dramatically worse than the
+        # reference client when they share a swarm (paper: it is never worse).
+        assert mean_lwn <= mean_bt * 1.15
+
+    def test_homogeneous_swarm_times_are_comparable_across_variants(self):
+        config = SwarmConfig(
+            n_leechers=10, file_size_mb=1.0, max_ticks=1800,
+            bandwidth=ConstantBandwidth(80.0),
+        )
+        results = {}
+        for variant in (bt_client(), loyal_when_needed_client()):
+            result = SwarmSimulation(config, [variant], seed=7).run()
+            assert result.completion_fraction() == 1.0
+            results[variant.name] = result.mean_download_time()
+        ratio = results["Loyal-When-needed"] / results["BitTorrent"]
+        assert 0.5 < ratio < 2.0

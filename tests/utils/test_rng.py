@@ -1,0 +1,74 @@
+"""Tests for deterministic seed derivation and the RNG factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.rng import RngFactory, coerce_rng, derive_seed, spawn_numpy_rng, spawn_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a/b") == derive_seed(42, "a/b")
+
+    def test_different_paths_differ(self):
+        assert derive_seed(42, "run-0") != derive_seed(42, "run-1")
+
+    def test_different_master_seeds_differ(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_range(self):
+        for path in ("a", "b", "a/very/long/path/with/segments"):
+            seed = derive_seed(7, path)
+            assert 0 <= seed < 2**63
+
+    def test_negative_master_seed_accepted(self):
+        assert 0 <= derive_seed(-5, "x") < 2**63
+
+
+class TestSpawnedGenerators:
+    def test_spawn_rng_reproducible(self):
+        a = spawn_rng(3, "p").random()
+        b = spawn_rng(3, "p").random()
+        assert a == b
+
+    def test_spawn_numpy_rng_reproducible(self):
+        a = spawn_numpy_rng(3, "p").random()
+        b = spawn_numpy_rng(3, "p").random()
+        assert a == b
+
+    def test_spawned_streams_independent(self):
+        values_a = [spawn_rng(3, "a").random() for _ in range(3)]
+        values_b = [spawn_rng(3, "b").random() for _ in range(3)]
+        assert values_a != values_b
+
+
+class TestRngFactory:
+    def test_same_path_same_stream(self):
+        factory = RngFactory(11)
+        assert factory.random("x").random() == factory.random("x").random()
+
+    def test_seed_for_matches_derive(self):
+        factory = RngFactory(11)
+        assert factory.seed_for("x") == derive_seed(11, "x")
+
+    def test_child_namespace(self):
+        factory = RngFactory(11)
+        child = factory.child("sub")
+        assert child.master_seed == factory.seed_for("sub")
+        assert child.seed_for("x") != factory.seed_for("x")
+
+    def test_numpy_generator(self):
+        factory = RngFactory(11)
+        assert 0.0 <= factory.numpy("n").random() < 1.0
+
+    def test_master_seed_property(self):
+        assert RngFactory(99).master_seed == 99
+
+
+class TestCoerceRng:
+    def test_passthrough(self, rng):
+        assert coerce_rng(rng) is rng
+
+    def test_from_seed(self):
+        assert coerce_rng(None, 5).random() == coerce_rng(None, 5).random()

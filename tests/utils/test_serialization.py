@@ -1,0 +1,69 @@
+"""Tests for JSON serialization helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+from enum import Enum
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+
+
+class Colour(Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+@dataclasses.dataclass
+class Point:
+    x: float
+    y: float
+    tags: list
+
+
+class TestToJsonable:
+    def test_primitives_unchanged(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert to_jsonable(value) == value
+
+    def test_enum(self):
+        assert to_jsonable(Colour.RED) == "red"
+
+    def test_dataclass(self):
+        assert to_jsonable(Point(1.0, 2.0, ["a"])) == {"x": 1.0, "y": 2.0, "tags": ["a"]}
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(4)) == 4
+        assert to_jsonable(np.float64(0.5)) == 0.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1, 2, 3])) == [1, 2, 3]
+
+    def test_nested_dict_keys_stringified(self):
+        assert to_jsonable({1: {"a": np.float64(2.0)}}) == {"1": {"a": 2.0}}
+
+    def test_sets_become_lists(self):
+        assert sorted(to_jsonable({3, 1, 2})) == [1, 2, 3]
+
+    def test_path_becomes_string(self, tmp_path):
+        assert to_jsonable(tmp_path) == str(tmp_path)
+
+
+class TestDumpLoad:
+    def test_roundtrip(self, tmp_path):
+        payload = {"scores": {"a": 0.5}, "values": [1, 2, 3]}
+        path = dump_json(payload, tmp_path / "out" / "result.json")
+        assert path.exists()
+        assert load_json(path) == payload
+
+    def test_dump_creates_parent_dirs(self, tmp_path):
+        target = tmp_path / "deeply" / "nested" / "file.json"
+        dump_json([1, 2], target)
+        assert target.exists()
+
+    def test_dump_returns_path_object(self, tmp_path):
+        assert isinstance(dump_json({}, tmp_path / "x.json"), Path)

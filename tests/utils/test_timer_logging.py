@@ -1,0 +1,70 @@
+"""Tests for the timer and logging helpers."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.utils.logging import configure_logging, get_logger
+from repro.utils.timer import Timer
+
+
+class TestTimer:
+    def test_context_manager_measures_elapsed(self):
+        with Timer() as timer:
+            sum(range(100))
+        assert timer.elapsed >= 0.0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_elapsed_while_running(self):
+        timer = Timer().start()
+        assert timer.elapsed >= 0.0
+        timer.stop()
+
+    def test_restart(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            sum(range(10))
+        assert timer.elapsed >= 0.0
+        assert first >= 0.0
+
+
+class TestLogging:
+    @pytest.fixture(autouse=True)
+    def _detach_managed_handlers(self):
+        """Remove handlers attached by configure_logging after each test.
+
+        Otherwise later tests that log via the ``repro`` namespace would write
+        to this test's (by then closed) StringIO stream.
+        """
+        yield
+        logger = get_logger()
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_managed", False):
+                logger.removeHandler(handler)
+
+    def test_get_logger_namespaced(self):
+        assert get_logger("core.pra").name == "repro.core.pra"
+        assert get_logger().name == "repro"
+        assert get_logger("repro.sim").name == "repro.sim"
+
+    def test_configure_logging_attaches_single_handler(self):
+        stream = io.StringIO()
+        logger = configure_logging(level=logging.INFO, stream=stream)
+        configure_logging(level=logging.INFO, stream=stream)
+        managed = [h for h in logger.handlers if getattr(h, "_repro_managed", False)]
+        assert len(managed) == 1
+
+    def test_configured_logger_writes_to_stream(self):
+        stream = io.StringIO()
+        configure_logging(level=logging.INFO, stream=stream)
+        get_logger("test").info("hello world")
+        assert "hello world" in stream.getvalue()

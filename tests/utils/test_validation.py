@@ -1,0 +1,55 @@
+"""Tests for argument-validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(value, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "n") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.001, "n")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, 2])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+    def test_fraction_alias(self):
+        assert check_fraction(0.25, "f") == 0.25
+
+
+class TestCheckIn:
+    def test_accepts_member(self):
+        assert check_in("b", ("a", "b"), "letter") == "b"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="letter"):
+            check_in("z", ("a", "b"), "letter")
