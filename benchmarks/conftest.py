@@ -6,6 +6,14 @@ benchmark measures only the figure's own derivation.  A dedicated benchmark
 (`test_bench_pra_sweep.py`) measures the sweep itself at a reduced size so the
 tournament cost is still tracked.
 
+The whole session additionally shares one experiment runner with a
+content-addressed result cache (``bench_runner``): any simulation already
+executed anywhere in the session — most importantly by the shared sweep — is
+reused instead of recomputed.  Results are bit-identical either way (cache
+hits reproduce fresh runs exactly; see the runner property tests), so the
+benchmarks measure each experiment's *novel* simulation work, mirroring how
+the paper's figures share one gigantic sweep.
+
 Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
 regenerated tables/series printed by each benchmark.
 """
@@ -16,14 +24,24 @@ import pytest
 
 from repro.core.results import PRAStudyResult
 from repro.experiments.pra_study import shared_pra_study
+from repro.runner import ExperimentRunner, configure_default_runner, set_default_runner
 
 #: The scale used by every benchmark in this directory (see EXPERIMENTS.md).
 BENCH_SCALE = "bench"
 BENCH_SEED = 0
 
 
+@pytest.fixture(scope="session", autouse=True)
+def bench_runner(tmp_path_factory) -> ExperimentRunner:
+    """Session-wide runner with a shared simulation result cache."""
+    cache_dir = tmp_path_factory.mktemp("bench-result-cache")
+    runner = configure_default_runner(jobs=1, cache_dir=cache_dir)
+    yield runner
+    set_default_runner(None)
+
+
 @pytest.fixture(scope="session")
-def bench_study() -> PRAStudyResult:
+def bench_study(bench_runner) -> PRAStudyResult:
     """The shared bench-scale PRA sweep (computed once per session)."""
     return shared_pra_study(BENCH_SCALE, seed=BENCH_SEED)
 

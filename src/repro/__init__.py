@@ -16,10 +16,12 @@ in Rahman et al., SIGCOMM 2011:
   validate DSA-discovered protocols (Section 5).
 * :mod:`repro.stats` — regression, correlation and distribution tools used by
   the analysis (Table 3, Figures 2-8).
+* :mod:`repro.runner` — the parallel, content-addressed-cached experiment
+  runner every sweep/tournament executes its simulations on.
 * :mod:`repro.experiments` — drivers that regenerate every table and figure
   of the paper's evaluation.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -5,20 +5,28 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run figure2 --scale bench
     python -m repro.cli run table3 --scale smoke --seed 7
+    python -m repro.cli run figure5 --scale bench --jobs 4 --cache-dir .repro-cache
     python -m repro.cli all --scale smoke
 
 Each experiment prints the plain-text rows/series corresponding to the
 paper's table or figure; the scale argument selects the run budget (see
-:mod:`repro.experiments.base` and EXPERIMENTS.md).
+:mod:`repro.experiments.base` and EXPERIMENTS.md).  ``--jobs`` fans the
+underlying simulations out over worker processes and ``--cache-dir`` reuses
+results across invocations via the content-addressed result cache
+(:mod:`repro.runner`); neither changes any number that is printed.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.runner.runner import ENV_CACHE_DIR, jobs_from_env
+
 from repro.experiments import (
+    base,
     churn_check,
     figure1,
     figure2,
@@ -95,6 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run budget (default: bench)",
     )
     run_parser.add_argument("--seed", type=int, default=0, help="master seed")
+    _add_runner_arguments(run_parser)
 
     all_parser = subparsers.add_parser("all", help="run every experiment")
     all_parser.add_argument(
@@ -102,7 +111,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run budget (default: smoke)",
     )
     all_parser.add_argument("--seed", type=int, default=0, help="master seed")
+    _add_runner_arguments(all_parser)
     return parser
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel simulation worker processes (1 = serial, 0 = all cores; "
+             "default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed simulation result cache shared across "
+             "invocations (default: REPRO_CACHE_DIR or disabled)",
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -112,6 +135,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.verbose:
         configure_logging()
+
+    if getattr(args, "jobs", None) is not None or getattr(args, "cache_dir", None):
+        if args.jobs is not None and args.jobs < 0:
+            parser.error(f"--jobs must be >= 0, got {args.jobs}")
+        # A flag that was not given keeps its environment-variable default,
+        # so e.g. REPRO_JOBS=8 plus --cache-dir still runs parallel.
+        if args.jobs is not None:
+            jobs = args.jobs
+        else:
+            try:
+                jobs = jobs_from_env()
+            except ValueError as error:
+                parser.error(str(error))
+        cache_dir = args.cache_dir or os.environ.get(ENV_CACHE_DIR) or None
+        base.configure_runner(jobs=jobs, cache_dir=cache_dir)
 
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)

@@ -6,19 +6,34 @@ the cycle-based simulation is run, and the protocol whose peers obtain the
 higher average utility (download) wins.  Robustness uses a 50/50 split (the
 largest share an invader can hold without being the majority);
 Aggressiveness puts the protocol under test in a 10% minority.
+
+The simulation runs themselves go through the experiment runner
+(:mod:`repro.runner`): :func:`encounter_jobs` describes an encounter's runs
+as deterministic jobs, :func:`outcome_from_results` folds the finished runs
+into an :class:`EncounterOutcome`, and :func:`run_encounter` wires the two
+together.  Tournaments use the split form directly so that *every encounter
+of a whole tournament* lands in a single runner batch (one cache lookup
+sweep, one parallel fan-out).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.protocol import Protocol
+from repro.runner.jobs import SimulationJob
+from repro.runner.runner import ExperimentRunner, get_default_runner
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import Simulation
+from repro.sim.engine import SimulationResult
 from repro.utils.rng import derive_seed
 
-__all__ = ["EncounterOutcome", "run_encounter"]
+__all__ = [
+    "EncounterOutcome",
+    "run_encounter",
+    "encounter_jobs",
+    "outcome_from_results",
+]
 
 #: Group labels used inside encounter simulations.
 GROUP_A = "A"
@@ -72,6 +87,83 @@ def _split_population(n_peers: int, fraction_a: float) -> Tuple[int, int]:
     return count_a, n_peers - count_a
 
 
+def encounter_jobs(
+    protocol_a: Protocol,
+    protocol_b: Protocol,
+    sim_config: SimulationConfig,
+    fraction_a: float = 0.5,
+    runs: int = 10,
+    seed: int = 0,
+) -> List[SimulationJob]:
+    """The ``runs`` simulation jobs of one encounter, in run order.
+
+    Each job derives an independent sub-seed from the (pair, split, run)
+    path, so outcomes do not depend on evaluation order elsewhere in a
+    study — or on which executor/cache state happens to run them.
+    """
+    if runs < 1:
+        raise ValueError("runs must be at least 1")
+    if not 0.0 < fraction_a < 1.0:
+        raise ValueError("fraction_a must be strictly between 0 and 1")
+
+    count_a, count_b = _split_population(sim_config.n_peers, fraction_a)
+    behaviors = (protocol_a.behavior,) * count_a + (protocol_b.behavior,) * count_b
+    groups = (GROUP_A,) * count_a + (GROUP_B,) * count_b
+    return [
+        SimulationJob(
+            config=sim_config,
+            behaviors=behaviors,
+            groups=groups,
+            seed=derive_seed(
+                seed,
+                f"encounter/{protocol_a.key}/{protocol_b.key}/{fraction_a}/{run_index}",
+            ),
+        )
+        for run_index in range(runs)
+    ]
+
+
+def outcome_from_results(
+    protocol_a: Protocol,
+    protocol_b: Protocol,
+    fraction_a: float,
+    results: Sequence[SimulationResult],
+) -> EncounterOutcome:
+    """Fold the finished runs of one encounter into an :class:`EncounterOutcome`."""
+    wins_a = wins_b = ties = 0
+    total_a = total_b = 0.0
+    peers_a = peers_b = 0
+    for result in results:
+        metrics = result.group_metrics()
+        mean_a = metrics[GROUP_A].mean_downloaded
+        mean_b = metrics[GROUP_B].mean_downloaded
+        peers_a = metrics[GROUP_A].peer_count
+        peers_b = metrics[GROUP_B].peer_count
+        total_a += mean_a
+        total_b += mean_b
+        if mean_a > mean_b:
+            wins_a += 1
+        elif mean_b > mean_a:
+            wins_b += 1
+        else:
+            ties += 1
+
+    runs = len(results)
+    return EncounterOutcome(
+        protocol_a=protocol_a.key,
+        protocol_b=protocol_b.key,
+        fraction_a=fraction_a,
+        runs=runs,
+        wins_a=wins_a,
+        wins_b=wins_b,
+        ties=ties,
+        mean_download_a=total_a / runs,
+        mean_download_b=total_b / runs,
+        peers_a=peers_a,
+        peers_b=peers_b,
+    )
+
+
 def run_encounter(
     protocol_a: Protocol,
     protocol_b: Protocol,
@@ -79,6 +171,7 @@ def run_encounter(
     fraction_a: float = 0.5,
     runs: int = 10,
     seed: int = 0,
+    runner: Optional[ExperimentRunner] = None,
 ) -> EncounterOutcome:
     """Run ``runs`` independent encounters between two protocols.
 
@@ -96,44 +189,10 @@ def run_encounter(
     seed:
         Master seed; each run derives an independent sub-seed so outcomes do
         not depend on evaluation order elsewhere in a study.
+    runner:
+        Experiment runner executing the batch (defaults to the process-wide
+        runner).
     """
-    if runs < 1:
-        raise ValueError("runs must be at least 1")
-    if not 0.0 < fraction_a < 1.0:
-        raise ValueError("fraction_a must be strictly between 0 and 1")
-
-    count_a, count_b = _split_population(sim_config.n_peers, fraction_a)
-    behaviors = [protocol_a.behavior] * count_a + [protocol_b.behavior] * count_b
-    groups = [GROUP_A] * count_a + [GROUP_B] * count_b
-
-    wins_a = wins_b = ties = 0
-    total_a = total_b = 0.0
-    for run_index in range(runs):
-        run_seed = derive_seed(
-            seed, f"encounter/{protocol_a.key}/{protocol_b.key}/{fraction_a}/{run_index}"
-        )
-        result = Simulation(sim_config, behaviors, groups, seed=run_seed).run()
-        mean_a = result.group_mean_download(GROUP_A)
-        mean_b = result.group_mean_download(GROUP_B)
-        total_a += mean_a
-        total_b += mean_b
-        if mean_a > mean_b:
-            wins_a += 1
-        elif mean_b > mean_a:
-            wins_b += 1
-        else:
-            ties += 1
-
-    return EncounterOutcome(
-        protocol_a=protocol_a.key,
-        protocol_b=protocol_b.key,
-        fraction_a=fraction_a,
-        runs=runs,
-        wins_a=wins_a,
-        wins_b=wins_b,
-        ties=ties,
-        mean_download_a=total_a / runs,
-        mean_download_b=total_b / runs,
-        peers_a=count_a,
-        peers_b=count_b,
-    )
+    jobs = encounter_jobs(protocol_a, protocol_b, sim_config, fraction_a, runs, seed)
+    results = (runner or get_default_runner()).run(jobs)
+    return outcome_from_results(protocol_a, protocol_b, fraction_a, results)

@@ -24,12 +24,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.protocol import Protocol
 from repro.core.tournament import Tournament, TournamentOutcome
+from repro.runner.jobs import SimulationJob
+from repro.runner.runner import ExperimentRunner, get_default_runner
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import Simulation
 from repro.utils.rng import derive_seed
 
 __all__ = [
     "PRAConfig",
+    "performance_jobs",
     "measure_performance",
     "normalize_scores",
     "robustness_tournament",
@@ -103,24 +105,42 @@ class PRAConfig:
                    encounter_runs=1, seed=seed)
 
 
-def measure_performance(
+def performance_jobs(
     protocols: Sequence[Protocol], config: PRAConfig
+) -> List[SimulationJob]:
+    """The homogeneous-population runs of a performance sweep, in sweep order."""
+    return [
+        SimulationJob(
+            config=config.sim,
+            behaviors=(protocol.behavior,),
+            seed=derive_seed(config.seed, f"performance/{protocol.key}/{run_index}"),
+        )
+        for protocol in protocols
+        for run_index in range(config.performance_runs)
+    ]
+
+
+def measure_performance(
+    protocols: Sequence[Protocol],
+    config: PRAConfig,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[str, float]:
     """Raw (unnormalised) performance of each protocol.
 
     For every protocol the entire population executes it; the returned value
     is the population throughput averaged over ``config.performance_runs``
-    independent runs.
+    independent runs.  All runs of the whole sweep are executed as a single
+    runner batch (parallelisable, cacheable); per-run accumulation order is
+    unchanged, so the averages are bit-identical to the historical loop.
     """
+    results = (runner or get_default_runner()).run(performance_jobs(protocols, config))
     raw: Dict[str, float] = {}
+    cursor = 0
     for protocol in protocols:
         total = 0.0
-        for run_index in range(config.performance_runs):
-            seed = derive_seed(config.seed, f"performance/{protocol.key}/{run_index}")
-            result = Simulation(
-                config.sim, [protocol.behavior], seed=seed
-            ).run()
-            total += result.throughput
+        for _ in range(config.performance_runs):
+            total += results[cursor].throughput
+            cursor += 1
         raw[protocol.key] = total / config.performance_runs
     return raw
 
@@ -143,6 +163,7 @@ def robustness_tournament(
     protocols: Sequence[Protocol],
     config: PRAConfig,
     split: Optional[float] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> TournamentOutcome:
     """Run the Robustness tournament (symmetric split; default 50/50).
 
@@ -154,6 +175,7 @@ def robustness_tournament(
         config.sim,
         encounter_runs=config.encounter_runs,
         seed=derive_seed(config.seed, "robustness"),
+        runner=runner,
     )
     return tournament.run_symmetric(
         split=config.robustness_split if split is None else split
@@ -163,6 +185,7 @@ def robustness_tournament(
 def aggressiveness_tournament(
     protocols: Sequence[Protocol],
     config: PRAConfig,
+    runner: Optional[ExperimentRunner] = None,
 ) -> TournamentOutcome:
     """Run the Aggressiveness tournament (protocol under test in a 10% minority)."""
     tournament = Tournament(
@@ -170,5 +193,6 @@ def aggressiveness_tournament(
         config.sim,
         encounter_runs=config.encounter_runs,
         seed=derive_seed(config.seed, "aggressiveness"),
+        runner=runner,
     )
     return tournament.run_minority(minority_fraction=config.aggressiveness_split)

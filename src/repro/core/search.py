@@ -37,6 +37,8 @@ from repro.core.encounter import run_encounter
 from repro.core.pra import PRAConfig
 from repro.core.protocol import Protocol
 from repro.core.space import DesignSpace
+from repro.runner.jobs import SimulationJob
+from repro.runner.runner import ExperimentRunner, get_default_runner
 from repro.sim.behavior import (
     ALLOCATION_POLICIES,
     CANDIDATE_POLICIES,
@@ -45,7 +47,6 @@ from repro.sim.behavior import (
     RANKING_FUNCTIONS,
     PeerBehavior,
 )
-from repro.sim.engine import Simulation
 from repro.utils.rng import derive_seed
 
 __all__ = [
@@ -84,6 +85,9 @@ class SearchObjective:
     performance_weight, robustness_weight, aggressiveness_weight:
         Non-negative weights of the three measures in the scalar score
         (normalised internally so the score stays in [0, 1]).
+    runner:
+        Experiment runner executing the evaluation simulations (defaults to
+        the process-wide runner).
     """
 
     def __init__(
@@ -93,6 +97,7 @@ class SearchObjective:
         performance_weight: float = 1.0,
         robustness_weight: float = 1.0,
         aggressiveness_weight: float = 0.0,
+        runner: Optional[ExperimentRunner] = None,
     ):
         if not opponents:
             raise ValueError("the opponent panel must contain at least one protocol")
@@ -103,6 +108,7 @@ class SearchObjective:
             raise ValueError("at least one objective weight must be positive")
         self.opponents = list(opponents)
         self.config = config
+        self.runner = runner
         self._weights = weights
         self._cache: Dict[str, ObjectiveValue] = {}
         self._evaluations = 0
@@ -123,12 +129,19 @@ class SearchObjective:
     # evaluation
     # ------------------------------------------------------------------ #
     def _measure_performance(self, protocol: Protocol) -> float:
-        total = 0.0
-        for run_index in range(self.config.performance_runs):
-            seed = derive_seed(
-                self.config.seed, f"search/performance/{protocol.label}/{run_index}"
+        jobs = [
+            SimulationJob(
+                config=self.config.sim,
+                behaviors=(protocol.behavior,),
+                seed=derive_seed(
+                    self.config.seed, f"search/performance/{protocol.label}/{run_index}"
+                ),
             )
-            result = Simulation(self.config.sim, [protocol.behavior], seed=seed).run()
+            for run_index in range(self.config.performance_runs)
+        ]
+        results = (self.runner or get_default_runner()).run(jobs)
+        total = 0.0
+        for result in results:
             total += result.utilization()
         return total / self.config.performance_runs
 
@@ -145,6 +158,7 @@ class SearchObjective:
                 fraction_a=fraction,
                 runs=self.config.encounter_runs,
                 seed=derive_seed(self.config.seed, f"search/{fraction}/{protocol.label}"),
+                runner=self.runner,
             )
             wins += outcome.wins_a
             games += outcome.runs

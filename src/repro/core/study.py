@@ -10,6 +10,11 @@ supports two layers of caching:
   benchmark harness does not repeat the sweep for every figure, and
 * an optional on-disk JSON cache, so an expensive sweep can be reused across
   processes (and inspected by hand).
+
+Below these study-level caches sits the experiment runner
+(:mod:`repro.runner`): every simulation of the sweep goes through it, so a
+study additionally benefits from per-run result caching and process
+parallelism (``PRAStudy(..., runner=ExperimentRunner(jobs=8, ...))``).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.core.pra import (
 )
 from repro.core.protocol import Protocol
 from repro.core.results import PRAStudyResult
+from repro.runner.runner import ExperimentRunner
 from repro.utils.logging import get_logger
 
 __all__ = ["PRAStudy"]
@@ -77,6 +83,10 @@ class PRAStudy:
         The PRA configuration (scale, splits, seed).
     cache_dir:
         Optional directory for the on-disk JSON cache.
+    runner:
+        Experiment runner executing the sweep's simulations (defaults to the
+        process-wide runner; pass ``ExperimentRunner(jobs=N, cache_dir=...)``
+        for parallel and/or per-run-cached execution).
     """
 
     def __init__(
@@ -84,6 +94,7 @@ class PRAStudy:
         protocols: Sequence[Protocol],
         config: PRAConfig,
         cache_dir: Optional[Union[str, Path]] = None,
+        runner: Optional[ExperimentRunner] = None,
     ):
         keys = [p.key for p in protocols]
         if len(set(keys)) != len(keys):
@@ -93,6 +104,7 @@ class PRAStudy:
         self.protocols: List[Protocol] = list(protocols)
         self.config = config
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.runner = runner
         self._fingerprint = _config_fingerprint(self.protocols, self.config)
 
     # ------------------------------------------------------------------ #
@@ -147,18 +159,24 @@ class PRAStudy:
         _LOGGER.info("PRA study: %d protocols, fingerprint %s", n, self._fingerprint[:12])
 
         _LOGGER.info("measuring performance (%d runs per protocol)", self.config.performance_runs)
-        raw_performance = measure_performance(self.protocols, self.config)
+        raw_performance = measure_performance(
+            self.protocols, self.config, runner=self.runner
+        )
         performance = normalize_scores(raw_performance)
 
         robustness: Dict[str, float]
         aggressiveness: Dict[str, float]
         if n >= 2:
             _LOGGER.info("robustness tournament (%d pairs)", n * (n - 1) // 2)
-            robustness_outcome = robustness_tournament(self.protocols, self.config)
+            robustness_outcome = robustness_tournament(
+                self.protocols, self.config, runner=self.runner
+            )
             robustness = dict(robustness_outcome.scores)
 
             _LOGGER.info("aggressiveness tournament (%d ordered pairs)", n * (n - 1))
-            aggressiveness_outcome = aggressiveness_tournament(self.protocols, self.config)
+            aggressiveness_outcome = aggressiveness_tournament(
+                self.protocols, self.config, runner=self.runner
+            )
             aggressiveness = dict(aggressiveness_outcome.scores)
         else:
             # A single protocol has no opponents; both tournament measures are

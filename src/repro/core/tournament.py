@@ -7,19 +7,28 @@ schedules those encounters — either unordered pairs at a symmetric split
 (Aggressiveness) — and aggregates per-protocol win counts.
 
 The tournament is deliberately a thin deterministic scheduler on top of
-:func:`repro.core.encounter.run_encounter`; all simulation parameters come
-from the caller so the same class serves smoke tests, benchmark-scale sweeps
-and the full paper-scale study.
+:mod:`repro.core.encounter`; all simulation parameters come from the caller
+so the same class serves smoke tests, benchmark-scale sweeps and the full
+paper-scale study.  Every encounter of a tournament is described as a batch
+of :class:`~repro.runner.jobs.SimulationJob`\\ s and submitted to the
+experiment runner in one go, so the whole round-robin parallelises across
+worker processes and deduplicates against the result cache; per-job seeds
+make the outcome identical to the historical pair-by-pair loop.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.encounter import EncounterOutcome, run_encounter
+from repro.core.encounter import (
+    EncounterOutcome,
+    encounter_jobs,
+    outcome_from_results,
+)
 from repro.core.protocol import Protocol
+from repro.runner.runner import ExperimentRunner, get_default_runner
 from repro.sim.config import SimulationConfig
 
 __all__ = ["TournamentOutcome", "Tournament"]
@@ -60,6 +69,9 @@ class Tournament:
         Independent repetitions per pairing (the paper uses 10).
     seed:
         Master seed for all encounters.
+    runner:
+        Experiment runner executing the encounter batches (defaults to the
+        process-wide runner).
     """
 
     def __init__(
@@ -68,6 +80,7 @@ class Tournament:
         sim_config: SimulationConfig,
         encounter_runs: int = 10,
         seed: int = 0,
+        runner: Optional[ExperimentRunner] = None,
     ):
         keys = [p.key for p in protocols]
         if len(set(keys)) != len(keys):
@@ -78,6 +91,7 @@ class Tournament:
         self.sim_config = sim_config
         self.encounter_runs = encounter_runs
         self.seed = seed
+        self.runner = runner
 
     # ------------------------------------------------------------------ #
     # schedules
@@ -94,6 +108,40 @@ class Tournament:
         ]
 
     # ------------------------------------------------------------------ #
+    # batched execution
+    # ------------------------------------------------------------------ #
+    def _run_pairs(
+        self, pairs: Sequence[tuple], fraction_a: float
+    ) -> List[EncounterOutcome]:
+        """Run every pairing's encounters as one runner batch."""
+        batch = []
+        for i, j in pairs:
+            batch.append(
+                encounter_jobs(
+                    self.protocols[i],
+                    self.protocols[j],
+                    self.sim_config,
+                    fraction_a=fraction_a,
+                    runs=self.encounter_runs,
+                    seed=self.seed,
+                )
+            )
+        flat = [job for jobs in batch for job in jobs]
+        results = (self.runner or get_default_runner()).run(flat)
+
+        outcomes: List[EncounterOutcome] = []
+        cursor = 0
+        for (i, j), jobs in zip(pairs, batch):
+            pair_results = results[cursor:cursor + len(jobs)]
+            cursor += len(jobs)
+            outcomes.append(
+                outcome_from_results(
+                    self.protocols[i], self.protocols[j], fraction_a, pair_results
+                )
+            )
+        return outcomes
+
+    # ------------------------------------------------------------------ #
     # tournaments
     # ------------------------------------------------------------------ #
     def run_symmetric(
@@ -107,19 +155,10 @@ class Tournament:
         keys = [p.key for p in self.protocols]
         wins = {key: 0 for key in keys}
         games = {key: 0 for key in keys}
-        encounters: List[EncounterOutcome] = []
 
         pairs = self._symmetric_pairs()
-        for done, (i, j) in enumerate(pairs):
-            outcome = run_encounter(
-                self.protocols[i],
-                self.protocols[j],
-                self.sim_config,
-                fraction_a=split,
-                runs=self.encounter_runs,
-                seed=self.seed,
-            )
-            encounters.append(outcome)
+        encounters = self._run_pairs(pairs, fraction_a=split)
+        for done, ((i, j), outcome) in enumerate(zip(pairs, encounters)):
             wins[keys[i]] += outcome.wins_a
             wins[keys[j]] += outcome.wins_b
             games[keys[i]] += outcome.runs
@@ -150,19 +189,10 @@ class Tournament:
         keys = [p.key for p in self.protocols]
         wins = {key: 0 for key in keys}
         games = {key: 0 for key in keys}
-        encounters: List[EncounterOutcome] = []
 
         pairs = self._ordered_pairs()
-        for done, (i, j) in enumerate(pairs):
-            outcome = run_encounter(
-                self.protocols[i],
-                self.protocols[j],
-                self.sim_config,
-                fraction_a=minority_fraction,
-                runs=self.encounter_runs,
-                seed=self.seed,
-            )
-            encounters.append(outcome)
+        encounters = self._run_pairs(pairs, fraction_a=minority_fraction)
+        for done, ((i, _j), outcome) in enumerate(zip(pairs, encounters)):
             wins[keys[i]] += outcome.wins_a
             games[keys[i]] += outcome.runs
             if progress is not None:

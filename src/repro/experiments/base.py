@@ -18,6 +18,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from pathlib import Path
+from typing import Optional, Union
+
 from repro.bittorrent.config import SwarmConfig
 from repro.core.pra import PRAConfig
 from repro.core.protocol import (
@@ -28,6 +31,7 @@ from repro.core.protocol import (
     random_ranking_protocol,
     sort_s,
 )
+from repro.runner import ExperimentRunner, configure_default_runner, get_default_runner
 from repro.sim.config import SimulationConfig
 
 __all__ = [
@@ -39,9 +43,37 @@ __all__ = [
     "swarm_config",
     "swarm_runs",
     "mix_fractions",
+    "experiment_runner",
+    "configure_runner",
 ]
 
 SCALES = ("smoke", "bench", "paper")
+
+
+# ---------------------------------------------------------------------- #
+# experiment execution (parallelism / result caching)
+# ---------------------------------------------------------------------- #
+def experiment_runner() -> ExperimentRunner:
+    """The runner every experiment driver executes its simulations on.
+
+    This is the process-wide default runner; it is serial and uncached
+    unless configured via :func:`configure_runner`, the CLI's
+    ``--jobs`` / ``--cache-dir`` flags, or the ``REPRO_JOBS`` /
+    ``REPRO_CACHE_DIR`` environment variables.
+    """
+    return get_default_runner()
+
+
+def configure_runner(
+    jobs: int = 1, cache_dir: Optional[Union[str, Path]] = None
+) -> ExperimentRunner:
+    """Install the runner used by subsequent experiment invocations.
+
+    ``jobs`` is the parallel worker count (``1`` serial, ``0`` all cores);
+    ``cache_dir`` enables the content-addressed result cache.  Returns the
+    installed runner so callers can inspect cache statistics afterwards.
+    """
+    return configure_default_runner(jobs=jobs, cache_dir=cache_dir)
 
 
 def check_scale(scale: str) -> str:

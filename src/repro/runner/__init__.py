@@ -1,0 +1,51 @@
+"""Parallel, cached experiment execution.
+
+The runner subsystem turns the library's "run thousands of simulations"
+workloads (PRA performance sweeps, robustness/aggressiveness tournaments,
+heuristic search, figure regeneration) into batches of deterministic,
+content-addressed :class:`~repro.runner.jobs.SimulationJob`\\ s executed by an
+:class:`~repro.runner.runner.ExperimentRunner`:
+
+* **batch dedupe** — identical jobs inside one batch are simulated once;
+* **content-addressed disk cache** — a job's SHA-256 fingerprint (config +
+  behaviours + groups + seed) addresses its result; warm sweeps are free;
+* **pluggable execution** — serial in-process by default, a
+  ``multiprocessing`` pool with ``jobs > 1`` (``repro.cli --jobs N`` or
+  ``REPRO_JOBS=N``).
+
+Determinism is the load-bearing property: every job derives its own seed, so
+serial, parallel and cached execution produce bit-identical results — the
+equivalence and property test suites enforce this.
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.executors import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    default_job_count,
+)
+from repro.runner.jobs import SimulationJob, result_from_payload, result_to_payload
+from repro.runner.runner import (
+    ExperimentRunner,
+    configure_default_runner,
+    get_default_runner,
+    set_default_runner,
+    using_runner,
+)
+
+__all__ = [
+    "SimulationJob",
+    "ResultCache",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "default_job_count",
+    "ExperimentRunner",
+    "get_default_runner",
+    "set_default_runner",
+    "configure_default_runner",
+    "using_runner",
+    "result_to_payload",
+    "result_from_payload",
+]

@@ -1,0 +1,130 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Results are stored as one JSON file per job under
+``<root>/<fp[:2]>/<fp>.json`` where ``fp`` is the job's SHA-256 content
+fingerprint (config + behaviours + groups + seed).  Because the engine is
+deterministic, a cache hit is *exactly* the result a fresh run would produce
+— JSON float serialisation round-trips bit-exactly — a property pinned by the
+runner test-suite.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent runner
+processes sharing one cache directory can never observe a torn file; the
+worst case under a write race is both processes writing the same content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.runner.jobs import (
+    RESULT_PAYLOAD_VERSION,
+    SimulationJob,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.sim.engine import SimulationResult
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Disk-backed, content-addressed store of simulation results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first store).
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # layout
+    # ------------------------------------------------------------------ #
+    def path_for(self, fingerprint: str) -> Path:
+        """The file a result with this fingerprint is stored at."""
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def __len__(self) -> int:
+        """Number of results currently stored."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    # ------------------------------------------------------------------ #
+    # get / put
+    # ------------------------------------------------------------------ #
+    def get(
+        self, job: SimulationJob, fingerprint: Optional[str] = None
+    ) -> Optional[SimulationResult]:
+        """The cached result for ``job``, or ``None`` on a miss.
+
+        ``fingerprint`` may be passed when the caller already computed it
+        (the runner does, to dedupe batches).
+        """
+        fingerprint = fingerprint or job.fingerprint()
+        path = self.path_for(fingerprint)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A corrupt entry behaves like a miss; the re-run overwrites it.
+            self.misses += 1
+            return None
+        if payload.get("version") != RESULT_PAYLOAD_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result_from_payload(payload, job.config)
+
+    def put(
+        self,
+        job: SimulationJob,
+        result: SimulationResult,
+        fingerprint: Optional[str] = None,
+    ) -> Path:
+        """Store ``result`` under ``job``'s fingerprint and return the path."""
+        fingerprint = fingerprint or job.fingerprint()
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = result_to_payload(result)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{fingerprint[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def clear(self) -> int:
+        """Delete every stored result; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ResultCache(root={str(self.root)!r}, hits={self.hits}, misses={self.misses})"

@@ -1,0 +1,179 @@
+"""Simulation jobs: the unit of work scheduled by the experiment runner.
+
+A :class:`SimulationJob` is a fully-specified, picklable description of one
+cycle-based simulation run — configuration, behaviours, group labels and
+seed.  Two jobs with the same content produce bit-identical results (the
+engine is deterministic given a seed), which is what makes the
+content-addressed result cache sound: the job's :meth:`fingerprint` *is* the
+result's identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.bandwidth import (
+    BandwidthDistribution,
+    ConstantBandwidth,
+    EmpiricalBandwidth,
+    TwoClassBandwidth,
+    UniformBandwidth,
+)
+from repro.sim.behavior import PeerBehavior
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulation, SimulationResult
+from repro.sim.metrics import PeerRecord
+
+__all__ = ["SimulationJob", "result_to_payload", "result_from_payload"]
+
+#: Bump when the cached result payload layout changes.
+RESULT_PAYLOAD_VERSION = 1
+
+
+def _bandwidth_payload(distribution: BandwidthDistribution) -> Dict[str, object]:
+    """A lossless, JSON-stable description of a bandwidth distribution.
+
+    ``repr`` is not enough here: :class:`EmpiricalBandwidth` collapses its
+    bucket table in ``repr``, and two different tables must not share a cache
+    key.  Unknown distribution subclasses fall back to ``repr`` — adequate as
+    long as their ``repr`` encodes their parameters.
+    """
+    if isinstance(distribution, ConstantBandwidth):
+        return {"type": "constant", "capacity": distribution.capacity}
+    if isinstance(distribution, UniformBandwidth):
+        return {"type": "uniform", "low": distribution.low, "high": distribution.high}
+    if isinstance(distribution, TwoClassBandwidth):
+        return {
+            "type": "two_class",
+            "slow": distribution.slow_capacity,
+            "fast": distribution.fast_capacity,
+            "fast_fraction": distribution.fast_fraction,
+        }
+    if isinstance(distribution, EmpiricalBandwidth):
+        return {"type": "empirical", "buckets": distribution.buckets}
+    return {"type": "repr", "repr": repr(distribution)}
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One simulation run, described by value.
+
+    Parameters
+    ----------
+    config:
+        The simulation configuration.
+    behaviors:
+        One behaviour per peer, or a single behaviour broadcast to the whole
+        population (same convention as :class:`~repro.sim.engine.Simulation`).
+    groups:
+        Optional group label per peer (or a single broadcast label).
+    seed:
+        Seed of the run's private random generator.
+    """
+
+    config: SimulationConfig
+    behaviors: Tuple[PeerBehavior, ...]
+    groups: Optional[Tuple[str, ...]] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.behaviors:
+            raise ValueError("a job needs at least one behavior")
+        # Normalise list inputs so jobs are hashable/picklable values.
+        if not isinstance(self.behaviors, tuple):
+            object.__setattr__(self, "behaviors", tuple(self.behaviors))
+        if self.groups is not None and not isinstance(self.groups, tuple):
+            object.__setattr__(self, "groups", tuple(self.groups))
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    def payload(self) -> Dict[str, object]:
+        """Everything that determines the run outcome, as JSON-stable data."""
+        config = self.config
+        return {
+            "config": {
+                "n_peers": config.n_peers,
+                "rounds": config.rounds,
+                "bandwidth": _bandwidth_payload(config.distribution()),
+                "churn_rate": config.churn_rate,
+                "requests_per_round": config.requests_per_round,
+                "discovery_per_round": config.discovery_per_round,
+                "warmup_rounds": config.warmup_rounds,
+                "stranger_bandwidth_cap": config.stranger_bandwidth_cap,
+                "history_rounds": config.history_rounds,
+                "aspiration_smoothing": config.aspiration_smoothing,
+            },
+            "behaviors": [behavior.as_dict() for behavior in self.behaviors],
+            "groups": list(self.groups) if self.groups is not None else None,
+            "seed": self.seed,
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this job (and therefore its result)."""
+        blob = json.dumps(self.payload(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self) -> SimulationResult:
+        """Run the simulation described by this job."""
+        return Simulation(
+            self.config, list(self.behaviors), groups=self.groups, seed=self.seed
+        ).run()
+
+
+# ---------------------------------------------------------------------- #
+# result (de)serialisation for the on-disk cache
+# ---------------------------------------------------------------------- #
+def result_to_payload(result: SimulationResult) -> Dict[str, object]:
+    """JSON-stable payload of a result (config omitted — the job carries it)."""
+    return {
+        "version": RESULT_PAYLOAD_VERSION,
+        "records": [
+            {
+                "peer_id": record.peer_id,
+                "group": record.group,
+                "upload_capacity": record.upload_capacity,
+                "behavior_label": record.behavior_label,
+                "downloaded": record.downloaded,
+                "uploaded": record.uploaded,
+            }
+            for record in result.records
+        ],
+        "rounds_executed": result.rounds_executed,
+        "churn_events": result.churn_events,
+        "total_explicit_refusals": result.total_explicit_refusals,
+    }
+
+
+def result_from_payload(
+    payload: Dict[str, object], config: SimulationConfig
+) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` cached by :func:`result_to_payload`.
+
+    The ``config`` comes from the job being looked up, so the reconstructed
+    result is indistinguishable from a fresh run.
+    """
+    records: List[PeerRecord] = [
+        PeerRecord(
+            peer_id=int(raw["peer_id"]),
+            group=str(raw["group"]),
+            upload_capacity=float(raw["upload_capacity"]),
+            behavior_label=str(raw["behavior_label"]),
+            downloaded=float(raw["downloaded"]),
+            uploaded=float(raw["uploaded"]),
+        )
+        for raw in payload["records"]
+    ]
+    return SimulationResult(
+        config=config,
+        records=records,
+        rounds_executed=int(payload["rounds_executed"]),
+        churn_events=int(payload["churn_events"]),
+        total_explicit_refusals=int(payload["total_explicit_refusals"]),
+    )

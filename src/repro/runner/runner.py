@@ -1,0 +1,233 @@
+"""The experiment runner: batch scheduling + dedupe + result cache.
+
+:class:`ExperimentRunner` is the single entry point through which the PRA
+machinery (performance sweeps, tournaments, heuristic search, the CLI) runs
+simulations.  Given a batch of :class:`~repro.runner.jobs.SimulationJob`\\ s
+it:
+
+1. **dedupes** the batch by content fingerprint (tournaments re-run the same
+   (pair, seed) encounter under several measures; identical jobs are
+   simulated once and fanned back out),
+2. **consults the cache** (optional, content-addressed, on disk) for each
+   unique job,
+3. **executes the misses** on its executor — serial in-process by default,
+   a ``multiprocessing`` pool when parallelism was requested,
+4. **stores** fresh results back into the cache and returns all results in
+   job order.
+
+Because every job is deterministic and carries its own derived seed, the
+observable results are identical whichever executor runs them and whether or
+not the cache was warm — "approximate fast, verify exactly" becomes simply
+"go fast, stay exact".
+
+A process-wide **default runner** (configurable with
+:func:`configure_default_runner`, the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``
+environment variables, or the CLI's ``--jobs`` / ``--cache-dir`` flags) is
+what the library uses when no explicit runner is passed.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.runner.cache import ResultCache
+from repro.runner.executors import Executor, ProcessExecutor, SerialExecutor
+from repro.runner.jobs import SimulationJob
+from repro.sim.engine import SimulationResult
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "ExperimentRunner",
+    "get_default_runner",
+    "set_default_runner",
+    "configure_default_runner",
+    "using_runner",
+    "jobs_from_env",
+]
+
+_LOGGER = get_logger("runner")
+
+#: Environment knobs honoured by :func:`get_default_runner`.
+ENV_JOBS = "REPRO_JOBS"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+class ExperimentRunner:
+    """Process-parallel, disk-cached executor of simulation job batches.
+
+    Parameters
+    ----------
+    jobs:
+        Parallel worker count.  ``1`` (default) executes in-process; larger
+        values use a ``multiprocessing`` pool; ``0`` means "all cores".
+        Ignored when an explicit ``executor`` is given.
+    cache_dir:
+        Directory of the content-addressed result cache; ``None`` disables
+        caching.  Ignored when an explicit ``cache`` is given.
+    executor:
+        Explicit execution backend (overrides ``jobs``).
+    cache:
+        Explicit :class:`~repro.runner.cache.ResultCache` (overrides
+        ``cache_dir``).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        executor: Optional[Executor] = None,
+        cache: Optional[ResultCache] = None,
+    ):
+        if executor is not None:
+            self.executor: Executor = executor
+        elif jobs == 1:
+            self.executor = SerialExecutor()
+        else:
+            self.executor = ProcessExecutor(processes=None if jobs == 0 else jobs)
+        if cache is not None:
+            self.cache: Optional[ResultCache] = cache
+        elif cache_dir is not None:
+            self.cache = ResultCache(cache_dir)
+        else:
+            self.cache = None
+        self.jobs_executed = 0
+        self.jobs_deduplicated = 0
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, jobs: Sequence[SimulationJob]) -> List[SimulationResult]:
+        """Execute ``jobs`` (cache- and dedupe-aware); results in job order."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+
+        # Dedupe by content fingerprint.
+        order: List[str] = []
+        indices: Dict[str, List[int]] = {}
+        unique: Dict[str, SimulationJob] = {}
+        for index, job in enumerate(jobs):
+            fingerprint = job.fingerprint()
+            if fingerprint not in indices:
+                indices[fingerprint] = []
+                unique[fingerprint] = job
+                order.append(fingerprint)
+            indices[fingerprint].append(index)
+        self.jobs_deduplicated += len(jobs) - len(unique)
+
+        resolved: Dict[str, SimulationResult] = {}
+        pending: List[str] = []
+        if self.cache is not None:
+            for fingerprint in order:
+                cached = self.cache.get(unique[fingerprint], fingerprint)
+                if cached is not None:
+                    resolved[fingerprint] = cached
+                else:
+                    pending.append(fingerprint)
+        else:
+            pending = order
+
+        if pending:
+            _LOGGER.info(
+                "executing %d simulations (%d cached, %d duplicate) on %r",
+                len(pending),
+                len(resolved),
+                len(jobs) - len(unique),
+                self.executor,
+            )
+            fresh = self.executor.run([unique[fp] for fp in pending])
+            for fingerprint, result in zip(pending, fresh):
+                resolved[fingerprint] = result
+                if self.cache is not None:
+                    self.cache.put(unique[fingerprint], result, fingerprint)
+            self.jobs_executed += len(pending)
+
+        results: List[Optional[SimulationResult]] = [None] * len(jobs)
+        for fingerprint, positions in indices.items():
+            result = resolved[fingerprint]
+            for position in positions:
+                results[position] = result
+        return results  # type: ignore[return-value]
+
+    def run_one(self, job: SimulationJob) -> SimulationResult:
+        """Execute a single job through the cache."""
+        return self.run([job])[0]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits if self.cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses if self.cache is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ExperimentRunner(executor={self.executor!r}, cache={self.cache!r}, "
+            f"executed={self.jobs_executed})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# process-wide default runner
+# ---------------------------------------------------------------------- #
+_default_runner: Optional[ExperimentRunner] = None
+
+
+def jobs_from_env() -> int:
+    """The worker count requested via ``REPRO_JOBS`` (validated; default 1)."""
+    raw = os.environ.get(ENV_JOBS, "1")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(f"{ENV_JOBS} must be an integer, got {raw!r}") from None
+    if jobs < 0:
+        raise ValueError(f"{ENV_JOBS} must be >= 0, got {jobs}")
+    return jobs
+
+
+def get_default_runner() -> ExperimentRunner:
+    """The process-wide runner used when no explicit runner is passed.
+
+    Created on first use from the environment: ``REPRO_JOBS`` selects the
+    worker count (``1`` → serial, ``0`` → all cores) and ``REPRO_CACHE_DIR``
+    enables the on-disk result cache.
+    """
+    global _default_runner
+    if _default_runner is None:
+        cache_dir = os.environ.get(ENV_CACHE_DIR) or None
+        _default_runner = ExperimentRunner(jobs=jobs_from_env(), cache_dir=cache_dir)
+    return _default_runner
+
+
+def set_default_runner(runner: Optional[ExperimentRunner]) -> None:
+    """Replace the process-wide default runner (``None`` resets to lazy env init)."""
+    global _default_runner
+    _default_runner = runner
+
+
+def configure_default_runner(
+    jobs: int = 1, cache_dir: Optional[Union[str, Path]] = None
+) -> ExperimentRunner:
+    """Build, install and return a default runner with the given settings."""
+    runner = ExperimentRunner(jobs=jobs, cache_dir=cache_dir)
+    set_default_runner(runner)
+    return runner
+
+
+@contextmanager
+def using_runner(runner: ExperimentRunner):
+    """Temporarily install ``runner`` as the process default (tests, scripts)."""
+    global _default_runner
+    previous = _default_runner
+    _default_runner = runner
+    try:
+        yield runner
+    finally:
+        _default_runner = previous

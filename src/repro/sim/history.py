@@ -15,7 +15,7 @@ lookup costs constant regardless of simulation length.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 __all__ = ["InteractionHistory"]
 
@@ -30,6 +30,8 @@ class InteractionHistory:
         need at most two rounds (TF2T); loyalty tracking is maintained
         separately by the engine, so a small window suffices.
     """
+
+    __slots__ = ("max_rounds", "_rounds")
 
     def __init__(self, max_rounds: int = 3):
         if max_rounds < 1:
@@ -60,6 +62,33 @@ class InteractionHistory:
         while len(self._rounds) > self.max_rounds:
             self._rounds.popitem(last=False)
 
+    def round_bucket(self, round_index: int) -> Optional[Dict[int, float]]:
+        """Read-only view of the ``sender -> amount`` record for ``round_index``.
+
+        Returns ``None`` when nothing was recorded.  Unlike
+        :meth:`interactions_in_round` this does not copy; callers must not
+        mutate the returned dict.
+        """
+        return self._rounds.get(round_index)
+
+    def window_buckets(self, current_round: int, window: int) -> List[Dict[int, float]]:
+        """The non-empty per-round buckets covering the candidate window.
+
+        Buckets are returned oldest-first for rounds
+        ``[current_round - window, current_round - 1]``; rounds with no
+        recorded interaction are omitted (they contribute nothing to any
+        windowed sum).  Used by the ranking and allocation hot paths to
+        resolve the window once instead of per candidate.
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        rounds = self._rounds
+        return [
+            bucket
+            for round_index in range(current_round - window, current_round)
+            if (bucket := rounds.get(round_index))
+        ]
+
     def forget_peer(self, peer_id: int) -> None:
         """Remove every record about ``peer_id`` (used when a peer churns out)."""
         for bucket in self._rounds.values():
@@ -84,9 +113,10 @@ class InteractionHistory:
         """
         if window < 1:
             raise ValueError("window must be >= 1")
+        rounds = self._rounds
         senders: Set[int] = set()
         for round_index in range(current_round - window, current_round):
-            bucket = self._rounds.get(round_index)
+            bucket = rounds.get(round_index)
             if bucket:
                 senders.update(bucket.keys())
         return senders
@@ -100,9 +130,12 @@ class InteractionHistory:
 
     def received_in_window(self, sender: int, current_round: int, window: int) -> float:
         """Total amount received from ``sender`` over the window before ``current_round``."""
+        rounds = self._rounds
         total = 0.0
         for round_index in range(current_round - window, current_round):
-            total += self.amount_from(sender, round_index)
+            bucket = rounds.get(round_index)
+            if bucket:
+                total += bucket.get(sender, 0.0)
         return total
 
     def observed_rate(self, sender: int, current_round: int, window: int) -> float:

@@ -18,7 +18,7 @@ from repro.sim.history import InteractionHistory
 __all__ = ["PeerState"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PeerState:
     """Mutable state of one simulated peer.
 
@@ -76,13 +76,16 @@ class PeerState:
     # ------------------------------------------------------------------ #
     def update_loyalty(self, round_index: int) -> None:
         """Update consecutive-cooperation counters from round ``round_index``'s records."""
-        interactions = self.history.interactions_in_round(round_index)
-        givers = {peer for peer, amount in interactions.items() if amount > 0}
+        bucket = self.history.round_bucket(round_index)
+        loyalty = self.loyalty
+        givers = (
+            {peer for peer, amount in bucket.items() if amount > 0} if bucket else ()
+        )
         for peer in givers:
-            self.loyalty[peer] = self.loyalty.get(peer, 0) + 1
-        for peer in list(self.loyalty.keys()):
+            loyalty[peer] = loyalty.get(peer, 0) + 1
+        for peer in loyalty:
             if peer not in givers:
-                self.loyalty[peer] = 0
+                loyalty[peer] = 0
 
     def loyalty_of(self, peer_id: int) -> int:
         """Consecutive cooperative rounds observed from ``peer_id``."""

@@ -109,10 +109,13 @@ def allocate_upload(
 
     if policy == "prop_share":
         window = behavior.candidate_window
-        contributions = {
-            partner: peer.history.received_in_window(partner, current_round, window)
-            for partner in partners
-        }
+        buckets = peer.history.window_buckets(current_round, window)
+        contributions = {}
+        for partner in partners:
+            total = 0.0
+            for bucket in buckets:
+                total += bucket.get(partner, 0.0)
+            contributions[partner] = total
         total_contribution = sum(contributions.values())
         budget = per_slot * len(partners)
         if total_contribution <= 0.0:

@@ -33,10 +33,14 @@ def _observed_rates(
     peer: PeerState, candidates: Iterable[int], current_round: int
 ) -> dict:
     window = peer.behavior.candidate_window
-    return {
-        candidate: peer.history.observed_rate(candidate, current_round, window)
-        for candidate in candidates
-    }
+    buckets = peer.history.window_buckets(current_round, window)
+    rates = {}
+    for candidate in candidates:
+        total = 0.0
+        for bucket in buckets:
+            total += bucket.get(candidate, 0.0)
+        rates[candidate] = total / window
+    return rates
 
 
 def rank_candidates(

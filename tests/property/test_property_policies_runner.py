@@ -1,0 +1,236 @@
+"""Property-based invariants for the policy hot paths and the runner cache.
+
+These pin the guarantees the optimised engine and the experiment runner rely
+on:
+
+* :func:`allocate_upload` never exceeds the peer's capacity and conserves
+  the per-slot budget under Equal Split;
+* :func:`rank_candidates` is deterministic given an RNG seed and — for the
+  rate-based rankings with distinct rates — independent of candidate
+  presentation order;
+* a runner cache hit reproduces a fresh run bit-for-bit (so warm-cache
+  figure regeneration can never drift).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import ExperimentRunner, ResultCache, SimulationJob
+from repro.sim.behavior import PeerBehavior
+from repro.sim.config import SimulationConfig
+from repro.sim.history import InteractionHistory
+from repro.sim.peer import PeerState
+from repro.sim.policies.allocation import allocate_upload
+from repro.sim.policies.ranking import rank_candidates
+
+behaviors = st.builds(
+    lambda stranger, candidate, ranking, k, allocation: PeerBehavior(
+        stranger_policy=stranger[0],
+        stranger_count=stranger[1],
+        candidate_policy=candidate,
+        ranking=ranking,
+        partner_count=k,
+        allocation=allocation,
+    ),
+    stranger=st.sampled_from(
+        [("none", 0)]
+        + [(p, h) for p in ("periodic", "when_needed", "defect") for h in (1, 2, 3)]
+    ),
+    candidate=st.sampled_from(["tft", "tf2t"]),
+    ranking=st.sampled_from(
+        ["fastest", "slowest", "proximity", "adaptive", "loyal", "random"]
+    ),
+    k=st.integers(min_value=0, max_value=9),
+    allocation=st.sampled_from(["equal_split", "prop_share", "freeride"]),
+)
+
+#: (sender, round, amount) interaction triples feeding a peer's history.
+interactions = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=4),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    ),
+    max_size=40,
+)
+
+
+def make_peer(behavior: PeerBehavior, events, capacity: float = 100.0) -> PeerState:
+    peer = PeerState(
+        peer_id=0,
+        upload_capacity=capacity,
+        behavior=behavior,
+        history=InteractionHistory(max_rounds=3),
+    )
+    for sender, round_index, amount in events:
+        peer.history.record(round_index, sender, amount)
+    return peer
+
+
+class TestAllocationProperties:
+    @given(
+        behavior=behaviors,
+        events=interactions,
+        partners=st.lists(
+            st.integers(min_value=1, max_value=12), max_size=6, unique=True
+        ),
+        strangers=st.lists(
+            st.integers(min_value=20, max_value=26), max_size=3, unique=True
+        ),
+        capacity=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+        cap=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=150)
+    def test_never_exceeds_capacity_and_nonnegative(
+        self, behavior, events, partners, strangers, capacity, cap
+    ):
+        peer = make_peer(behavior, events, capacity=capacity)
+        allocation = allocate_upload(
+            peer, partners, strangers, current_round=5, stranger_bandwidth_cap=cap
+        )
+        assert all(amount >= 0.0 for amount in allocation.values())
+        assert sum(allocation.values()) <= capacity * (1.0 + 1e-9)
+        # Every selected target received an entry (possibly an explicit zero).
+        assert set(allocation) == set(partners) | set(strangers)
+
+    @given(
+        events=interactions,
+        partners=st.lists(
+            st.integers(min_value=1, max_value=12),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        ),
+        capacity=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+    )
+    @settings(max_examples=100)
+    def test_equal_split_conserves_capacity_over_partners(
+        self, events, partners, capacity
+    ):
+        behavior = PeerBehavior(
+            stranger_policy="none", stranger_count=0, allocation="equal_split"
+        )
+        peer = make_peer(behavior, events, capacity=capacity)
+        allocation = allocate_upload(peer, partners, [], current_round=5)
+        total = sum(allocation.values())
+        assert abs(total - capacity) <= 1e-6 * capacity
+        amounts = set(allocation.values())
+        assert len(amounts) == 1  # equal slots
+
+    @given(
+        events=interactions,
+        partners=st.lists(
+            st.integers(min_value=1, max_value=4),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_prop_share_conserves_budget_iff_contributions_exist(
+        self, events, partners
+    ):
+        behavior = PeerBehavior(
+            stranger_policy="none", stranger_count=0, allocation="prop_share"
+        )
+        peer = make_peer(behavior, events)
+        allocation = allocate_upload(peer, partners, [], current_round=5)
+        window = behavior.candidate_window
+        contributed = any(
+            peer.history.received_in_window(p, 5, window) > 0 for p in partners
+        )
+        total = sum(allocation.values())
+        if contributed:
+            assert abs(total - peer.upload_capacity) <= 1e-6 * peer.upload_capacity
+        else:
+            assert total == 0.0
+
+
+class TestRankingProperties:
+    @given(behavior=behaviors, events=interactions, seed=st.integers(0, 2**20))
+    @settings(max_examples=150)
+    def test_deterministic_given_seed(self, behavior, events, seed):
+        peer_a = make_peer(behavior, events)
+        peer_b = make_peer(behavior, events)
+        candidates = sorted(peer_a.history.all_known_peers())
+        first = rank_candidates(peer_a, candidates, 5, random.Random(seed))
+        second = rank_candidates(peer_b, candidates, 5, random.Random(seed))
+        assert first == second
+
+    @given(
+        ranking=st.sampled_from(["fastest", "slowest", "proximity", "adaptive"]),
+        events=interactions,
+        seed=st.integers(0, 2**20),
+        order_seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=150)
+    def test_rate_rankings_are_order_independent_without_ties(
+        self, ranking, events, seed, order_seed
+    ):
+        behavior = PeerBehavior(ranking=ranking)
+        peer = make_peer(behavior, events)
+        window = behavior.candidate_window
+        candidates = sorted(peer.history.all_known_peers())
+        rates = {
+            c: peer.history.observed_rate(c, 5, window) for c in candidates
+        }
+        # Order independence is only guaranteed when no two keys tie
+        # (ties are broken by the random pre-shuffle, by design).
+        if ranking in ("proximity", "adaptive"):
+            own = (
+                peer.upload_capacity / max(1, behavior.total_slots)
+                if ranking == "proximity"
+                else peer.aspiration
+            )
+            keys = [abs(rates[c] - own) for c in candidates]
+        else:
+            keys = [rates[c] for c in candidates]
+        if len(set(keys)) != len(keys):
+            return
+        shuffled = list(candidates)
+        random.Random(order_seed).shuffle(shuffled)
+        ranked_sorted = rank_candidates(peer, candidates, 5, random.Random(seed))
+        ranked_shuffled = rank_candidates(peer, shuffled, 5, random.Random(seed))
+        assert ranked_sorted == ranked_shuffled
+
+    @given(events=interactions, seed=st.integers(0, 2**20))
+    @settings(max_examples=50)
+    def test_ranking_is_a_permutation_of_the_candidates(self, events, seed):
+        behavior = PeerBehavior(ranking="loyal")
+        peer = make_peer(behavior, events)
+        candidates = sorted(peer.history.all_known_peers())
+        ranked = rank_candidates(peer, candidates, 5, random.Random(seed))
+        assert sorted(ranked) == candidates
+
+
+class TestRunnerCacheProperties:
+    @given(
+        behavior=behaviors,
+        seed=st.integers(min_value=0, max_value=2**32),
+        n_peers=st.integers(min_value=4, max_value=10),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_cache_hits_reproduce_fresh_runs_exactly(
+        self, behavior, seed, n_peers, tmp_path_factory
+    ):
+        config = SimulationConfig(n_peers=n_peers, rounds=8)
+        job = SimulationJob(config=config, behaviors=(behavior,), seed=seed)
+
+        fresh = ExperimentRunner().run_one(job)
+
+        cache_dir = tmp_path_factory.mktemp("runner-cache")
+        cached_runner = ExperimentRunner(cache_dir=cache_dir)
+        miss_then_store = cached_runner.run_one(job)
+        hit = cached_runner.run_one(job)
+
+        assert cached_runner.cache_misses == 1
+        assert cached_runner.cache_hits == 1
+        for other in (miss_then_store, hit):
+            assert other.records == fresh.records
+            assert other.rounds_executed == fresh.rounds_executed
+            assert other.churn_events == fresh.churn_events
+            assert other.total_explicit_refusals == fresh.total_explicit_refusals

@@ -1,0 +1,178 @@
+"""Unit tests for the experiment runner: jobs, executors, dedupe, defaults."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import bittorrent_reference, sort_s
+from repro.runner import (
+    ExperimentRunner,
+    ProcessExecutor,
+    SerialExecutor,
+    SimulationJob,
+    configure_default_runner,
+    get_default_runner,
+    set_default_runner,
+    using_runner,
+)
+from repro.sim.bandwidth import ConstantBandwidth, EmpiricalBandwidth
+from repro.sim.config import SimulationConfig
+
+
+@pytest.fixture(autouse=True)
+def reset_default_runner():
+    """Keep the process-wide default runner pristine across tests."""
+    set_default_runner(None)
+    yield
+    set_default_runner(None)
+
+
+def make_job(seed: int = 0, rounds: int = 6, **config_changes) -> SimulationJob:
+    config = SimulationConfig(n_peers=6, rounds=rounds, **config_changes)
+    return SimulationJob(
+        config=config, behaviors=(bittorrent_reference().behavior,), seed=seed
+    )
+
+
+class TestSimulationJob:
+    def test_execute_matches_direct_simulation(self):
+        from repro.sim.engine import Simulation
+
+        job = make_job(seed=42)
+        direct = Simulation(
+            job.config, list(job.behaviors), groups=None, seed=42
+        ).run()
+        assert job.execute().records == direct.records
+
+    def test_fingerprint_is_stable_and_content_sensitive(self):
+        job = make_job(seed=1)
+        assert job.fingerprint() == make_job(seed=1).fingerprint()
+        assert job.fingerprint() != make_job(seed=2).fingerprint()
+        assert job.fingerprint() != make_job(seed=1, rounds=7).fingerprint()
+        other_behavior = SimulationJob(
+            config=job.config, behaviors=(sort_s().behavior,), seed=1
+        )
+        assert job.fingerprint() != other_behavior.fingerprint()
+
+    def test_fingerprint_sees_group_labels(self):
+        config = SimulationConfig(n_peers=4, rounds=5)
+        behaviors = (bittorrent_reference().behavior, sort_s().behavior) * 2
+        plain = SimulationJob(config=config, behaviors=behaviors, seed=0)
+        grouped = SimulationJob(
+            config=config, behaviors=behaviors, groups=("A", "B", "A", "B"), seed=0
+        )
+        assert plain.fingerprint() != grouped.fingerprint()
+
+    def test_fingerprint_distinguishes_bandwidth_distributions(self):
+        base = SimulationConfig(n_peers=4, rounds=5)
+        constant = base.with_(bandwidth=ConstantBandwidth(50.0))
+        empirical = base.with_(
+            bandwidth=EmpiricalBandwidth([(0.5, 10.0), (0.5, 100.0)])
+        )
+        other_empirical = base.with_(
+            bandwidth=EmpiricalBandwidth([(0.5, 20.0), (0.5, 100.0)])
+        )
+        behaviors = (bittorrent_reference().behavior,)
+        fingerprints = {
+            SimulationJob(config=c, behaviors=behaviors, seed=0).fingerprint()
+            for c in (base, constant, empirical, other_empirical)
+        }
+        assert len(fingerprints) == 4
+
+    def test_rejects_empty_behaviors(self):
+        with pytest.raises(ValueError):
+            SimulationJob(config=SimulationConfig(n_peers=4, rounds=5), behaviors=())
+
+
+class TestExecutors:
+    def test_serial_and_process_executors_agree(self):
+        jobs = [make_job(seed=s) for s in range(4)]
+        serial = SerialExecutor().run(jobs)
+        parallel = ProcessExecutor(processes=2).run(jobs)
+        assert [r.records for r in serial] == [r.records for r in parallel]
+
+    def test_process_executor_preserves_job_order(self):
+        jobs = [make_job(seed=s, rounds=4 + (s % 3)) for s in range(6)]
+        results = ProcessExecutor(processes=2).run(jobs)
+        assert [r.rounds_executed for r in results] == [4 + (s % 3) for s in range(6)]
+
+    def test_process_executor_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(processes=0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(chunksize=0)
+
+
+class TestExperimentRunner:
+    def test_empty_batch(self):
+        assert ExperimentRunner().run([]) == []
+
+    def test_batch_dedupe_runs_identical_jobs_once(self):
+        runner = ExperimentRunner()
+        job = make_job(seed=3)
+        results = runner.run([job, make_job(seed=3), job])
+        assert runner.jobs_executed == 1
+        assert runner.jobs_deduplicated == 2
+        assert results[0].records == results[1].records == results[2].records
+
+    def test_cache_round_trip_across_runner_instances(self, tmp_path):
+        job = make_job(seed=9)
+        first = ExperimentRunner(cache_dir=tmp_path)
+        fresh = first.run_one(job)
+        assert first.cache_misses == 1 and first.jobs_executed == 1
+
+        second = ExperimentRunner(cache_dir=tmp_path)
+        warm = second.run_one(job)
+        assert second.cache_hits == 1 and second.jobs_executed == 0
+        assert warm.records == fresh.records
+        assert warm.config is job.config  # config reattached from the job
+
+    def test_cache_layout_is_content_addressed(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        job = make_job(seed=4)
+        runner.run_one(job)
+        fingerprint = job.fingerprint()
+        expected = tmp_path / fingerprint[:2] / f"{fingerprint}.json"
+        assert expected.is_file()
+        assert len(runner.cache) == 1
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        job = make_job(seed=5)
+        fresh = runner.run_one(job)
+        path = runner.cache.path_for(job.fingerprint())
+        path.write_text("{not json", encoding="utf-8")
+        again = runner.run_one(job)
+        assert again.records == fresh.records
+
+    def test_parallel_cached_runner_matches_serial_uncached(self, tmp_path):
+        jobs = [make_job(seed=s) for s in range(5)]
+        serial = ExperimentRunner().run(jobs)
+        parallel = ExperimentRunner(jobs=2, cache_dir=tmp_path).run(jobs)
+        assert [r.records for r in serial] == [r.records for r in parallel]
+
+
+class TestDefaultRunner:
+    def test_default_runner_is_created_lazily_and_reused(self):
+        runner = get_default_runner()
+        assert get_default_runner() is runner
+
+    def test_configure_default_runner_installs(self, tmp_path):
+        runner = configure_default_runner(jobs=1, cache_dir=tmp_path)
+        assert get_default_runner() is runner
+        assert runner.cache is not None
+
+    def test_using_runner_restores_previous(self):
+        outer = configure_default_runner()
+        inner = ExperimentRunner()
+        with using_runner(inner):
+            assert get_default_runner() is inner
+        assert get_default_runner() is outer
+
+    def test_env_configuration(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        set_default_runner(None)
+        runner = get_default_runner()
+        assert isinstance(runner.executor, ProcessExecutor)
+        assert runner.cache is not None and runner.cache.root == tmp_path
