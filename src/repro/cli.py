@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli run table3 --scale smoke --seed 7
     python -m repro.cli run figure5 --scale bench --jobs 4 --cache-dir .repro-cache
     python -m repro.cli all --scale smoke
+    python -m repro.cli scenario --list
+    python -m repro.cli scenario flash-crowd --scale smoke --jobs 0 --cache-dir .repro-cache
 
 Each experiment prints the plain-text rows/series corresponding to the
 paper's table or figure; the scale argument selects the run budget (see
@@ -23,7 +25,8 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.runner.runner import ENV_CACHE_DIR, jobs_from_env
+from repro.runner.runner import ENV_CACHE_DIR, ENV_JOBS, jobs_from_env
+from repro.scenarios import get_scenario, all_scenarios
 
 from repro.experiments import (
     base,
@@ -39,6 +42,7 @@ from repro.experiments import (
     figure9,
     figure10,
     robustness_split_check,
+    scenario_sweep,
     section2_analytic,
     table2,
     table3,
@@ -81,6 +85,7 @@ EXPERIMENTS: Dict[str, Tuple[str, Runner]] = {
     "churn-check": ("Performance under churn", _scaled(churn_check)),
     "figure9": ("Swarm encounters between client variants", _scaled(figure9)),
     "figure10": ("Homogeneous-swarm client performance", _scaled(figure10)),
+    "scenarios": ("Named workload scenarios side by side", _scaled(scenario_sweep)),
 }
 
 
@@ -112,6 +117,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     all_parser.add_argument("--seed", type=int, default=0, help="master seed")
     _add_runner_arguments(all_parser)
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="run one named workload scenario (or list the registry)"
+    )
+    scenario_parser.add_argument(
+        "name", nargs="?", default=None,
+        help="registered scenario name (omit with --list)",
+    )
+    scenario_parser.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the registered scenarios and exit",
+    )
+    scenario_parser.add_argument(
+        "--scale", default="bench", choices=("smoke", "bench", "paper"),
+        help="run budget (default: bench)",
+    )
+    scenario_parser.add_argument("--seed", type=int, default=0, help="master seed")
+    scenario_parser.add_argument(
+        "--reps", type=int, default=None, metavar="N",
+        help="independent repetitions (default: per-scale)",
+    )
+    _add_runner_arguments(scenario_parser)
     return parser
 
 
@@ -136,19 +163,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.verbose:
         configure_logging()
 
-    if getattr(args, "jobs", None) is not None or getattr(args, "cache_dir", None):
-        if args.jobs is not None and args.jobs < 0:
-            parser.error(f"--jobs must be >= 0, got {args.jobs}")
+    flag_jobs = getattr(args, "jobs", None)
+    flag_cache_dir = getattr(args, "cache_dir", None)
+    # Configure the runner whenever parallelism/caching is requested via a
+    # flag *or* the environment: REPRO_JOBS/REPRO_CACHE_DIR alone must not
+    # silently fall through to the lazy default path (which a library call
+    # may already have initialised by the time experiments run).
+    if (
+        flag_jobs is not None
+        or flag_cache_dir
+        or os.environ.get(ENV_JOBS)
+        or os.environ.get(ENV_CACHE_DIR)
+    ):
+        if flag_jobs is not None and flag_jobs < 0:
+            parser.error(f"--jobs must be >= 0, got {flag_jobs}")
         # A flag that was not given keeps its environment-variable default,
         # so e.g. REPRO_JOBS=8 plus --cache-dir still runs parallel.
-        if args.jobs is not None:
-            jobs = args.jobs
+        if flag_jobs is not None:
+            jobs = flag_jobs
         else:
             try:
                 jobs = jobs_from_env()
             except ValueError as error:
                 parser.error(str(error))
-        cache_dir = args.cache_dir or os.environ.get(ENV_CACHE_DIR) or None
+        cache_dir = flag_cache_dir or os.environ.get(ENV_CACHE_DIR) or None
         base.configure_runner(jobs=jobs, cache_dir=cache_dir)
 
     if args.command == "list":
@@ -169,6 +207,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"===== {name} =====")
             print(runner(args.scale, args.seed))
             print()
+        return 0
+
+    if args.command == "scenario":
+        if args.list_scenarios or args.name is None:
+            width = max(len(spec.name) for spec in all_scenarios())
+            for spec in all_scenarios():
+                print(f"{spec.name.ljust(width)}  {spec.description}")
+            return 0
+        try:
+            get_scenario(args.name)
+        except KeyError as error:
+            parser.error(str(error.args[0]))
+        if args.reps is not None and args.reps < 1:
+            parser.error(f"--reps must be >= 1, got {args.reps}")
+        result = scenario_sweep.run(
+            scale=args.scale,
+            seed=args.seed,
+            scenarios=[args.name],
+            repetitions=args.reps,
+        )
+        print(scenario_sweep.render(result))
+        runner_stats = base.experiment_runner()
+        if runner_stats.cache is not None:
+            print(
+                f"cache: {runner_stats.cache_hits} hits, "
+                f"{runner_stats.cache_misses} misses "
+                f"({runner_stats.jobs_executed} simulated)"
+            )
         return 0
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,159 @@
+"""The scenario sweep: every named workload, side by side.
+
+The design-space method only pays off when protocol variants are stressed
+across *many* workloads; this driver fans the whole scenario registry (or a
+chosen subset) through the cached, parallel
+:class:`~repro.runner.runner.ExperimentRunner` — one flat batch of
+deterministic jobs, so repeated invocations are served from the result
+cache — and reports per-scenario population throughput, capacity
+utilisation, churn pressure and the per-group download split that makes
+adversarial scenarios (free-riders, colluders) legible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import base
+from repro.scenarios import all_scenarios, get_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.engine import SimulationResult
+from repro.stats.tables import format_table
+
+__all__ = ["ScenarioStats", "ScenarioSweepResult", "repetitions_for", "run", "render"]
+
+#: Independent repetitions (distinct derived seeds) per scenario, by scale.
+REPETITIONS = {"smoke": 2, "bench": 3, "paper": 10}
+
+
+def repetitions_for(scale: str) -> int:
+    """Number of repetitions the sweep runs at ``scale``."""
+    base.check_scale(scale)
+    return REPETITIONS[scale]
+
+
+@dataclass
+class ScenarioStats:
+    """Aggregates over one scenario's repetitions."""
+
+    spec: ScenarioSpec
+    n_peers: int
+    rounds: int
+    repetitions: int
+    mean_throughput: float
+    #: Upload utilisation against the end-of-run capacity snapshot; under
+    #: churn (capacities resample on replacement) this can exceed 1.
+    mean_utilization: float
+    churn_per_round: float
+    group_mean_download: Dict[str, float]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+@dataclass
+class ScenarioSweepResult:
+    """Outcome of one scenario sweep."""
+
+    scale: str
+    seed: int
+    stats: List[ScenarioStats]
+    jobs_run: int
+
+    def by_name(self) -> Dict[str, ScenarioStats]:
+        return {s.name: s for s in self.stats}
+
+
+def _aggregate(
+    spec: ScenarioSpec, scale: str, results: Sequence[SimulationResult]
+) -> ScenarioStats:
+    config = results[0].config
+    group_download: Dict[str, List[float]] = {}
+    for result in results:
+        for group, metrics in result.group_metrics().items():
+            group_download.setdefault(group, []).append(metrics.mean_downloaded)
+    return ScenarioStats(
+        spec=spec,
+        n_peers=config.n_peers,
+        rounds=config.rounds,
+        repetitions=len(results),
+        mean_throughput=mean(r.throughput for r in results),
+        mean_utilization=mean(r.utilization() for r in results),
+        churn_per_round=mean(r.churn_events / r.rounds_executed for r in results),
+        group_mean_download={
+            group: mean(values) for group, values in sorted(group_download.items())
+        },
+    )
+
+
+def run(
+    scale: str = "bench",
+    seed: int = 0,
+    scenarios: Optional[Sequence[str]] = None,
+    repetitions: Optional[int] = None,
+) -> ScenarioSweepResult:
+    """Run the scenario grid and aggregate per-scenario statistics.
+
+    ``scenarios`` selects registry names (default: every registered
+    scenario); ``repetitions`` overrides the per-scale default.  All jobs of
+    the whole grid form one batch, so a parallel runner overlaps scenarios
+    and a warm cache answers the entire sweep without simulating.
+    """
+    base.check_scale(scale)
+    if scenarios is None:
+        specs = all_scenarios()
+    else:
+        specs = [get_scenario(name) for name in scenarios]
+    if repetitions is None:
+        repetitions = repetitions_for(scale)
+
+    batches = [spec.jobs(scale, master_seed=seed, repetitions=repetitions) for spec in specs]
+    flat = [job for batch in batches for job in batch]
+    results = base.experiment_runner().run(flat)
+
+    stats: List[ScenarioStats] = []
+    cursor = 0
+    for spec, batch in zip(specs, batches):
+        chunk = results[cursor : cursor + len(batch)]
+        cursor += len(batch)
+        stats.append(_aggregate(spec, scale, chunk))
+    return ScenarioSweepResult(
+        scale=scale, seed=seed, stats=stats, jobs_run=len(flat)
+    )
+
+
+def render(result: ScenarioSweepResult) -> str:
+    """Plain-text table of the sweep."""
+    rows = []
+    for stats in result.stats:
+        groups = " ".join(
+            f"{group}={download:.0f}"
+            for group, download in stats.group_mean_download.items()
+        )
+        rows.append(
+            [
+                stats.name,
+                f"{stats.n_peers}x{stats.rounds}",
+                stats.repetitions,
+                stats.mean_throughput,
+                stats.mean_utilization,
+                stats.churn_per_round,
+                groups,
+            ]
+        )
+    return format_table(
+        (
+            "scenario",
+            "peers x rounds",
+            "reps",
+            "throughput",
+            "utilization",
+            "churn/round",
+            "mean download by group",
+        ),
+        rows,
+        title=f"scenario sweep — {result.scale} scale, seed {result.seed}",
+    )

@@ -10,6 +10,10 @@ runner test-suite.
 Writes are atomic (temp file + ``os.replace``) so concurrent runner
 processes sharing one cache directory can never observe a torn file; the
 worst case under a write race is both processes writing the same content.
+Entries that are corrupt anyway (a disk that filled up, a process killed
+mid-``fsync``, stray garbage) are treated as misses and *quarantined* — the
+damaged file is renamed to ``<name>.corrupt`` so it is never re-parsed and
+cannot shadow the fresh result the re-run stores.
 """
 
 from __future__ import annotations
@@ -77,15 +81,36 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (json.JSONDecodeError, OSError):
-            # A corrupt entry behaves like a miss; the re-run overwrites it.
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            # Truncated or garbage entry (disk full, killed process):
+            # quarantine it and miss; the re-run stores a fresh result.
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path)
             self.misses += 1
             return None
         if payload.get("version") != RESULT_PAYLOAD_VERSION:
             self.misses += 1
             return None
+        try:
+            result = result_from_payload(payload, job.config)
+        except (KeyError, TypeError, ValueError):
+            # Parseable JSON with a mangled payload is corruption too.
+            self._quarantine(path)
+            self.misses += 1
+            return None
         self.hits += 1
-        return result_from_payload(payload, job.config)
+        return result
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt entry aside (best effort, never raises)."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
 
     def put(
         self,

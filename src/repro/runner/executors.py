@@ -28,8 +28,16 @@ __all__ = ["Executor", "SerialExecutor", "ProcessExecutor", "default_job_count"]
 
 
 def default_job_count() -> int:
-    """Worker count used when the caller asks for "all cores"."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count used when the caller asks for "all cores".
+
+    Respects the process's CPU affinity mask where the platform exposes it
+    (``os.sched_getaffinity``), so cgroup-limited CI containers get the
+    cores they may actually run on rather than the machine's full count.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
 
 
 class Executor(Protocol):

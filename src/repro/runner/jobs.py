@@ -19,6 +19,7 @@ from repro.sim.bandwidth import (
     BandwidthDistribution,
     ConstantBandwidth,
     EmpiricalBandwidth,
+    MultiClassBandwidth,
     TwoClassBandwidth,
     UniformBandwidth,
 )
@@ -52,6 +53,8 @@ def _bandwidth_payload(distribution: BandwidthDistribution) -> Dict[str, object]
             "fast": distribution.fast_capacity,
             "fast_fraction": distribution.fast_fraction,
         }
+    if isinstance(distribution, MultiClassBandwidth):
+        return {"type": "multi_class", "classes": distribution.classes}
     if isinstance(distribution, EmpiricalBandwidth):
         return {"type": "empirical", "buckets": distribution.buckets}
     return {"type": "repr", "repr": repr(distribution)}
@@ -94,19 +97,24 @@ class SimulationJob:
     def payload(self) -> Dict[str, object]:
         """Everything that determines the run outcome, as JSON-stable data."""
         config = self.config
+        config_payload: Dict[str, object] = {
+            "n_peers": config.n_peers,
+            "rounds": config.rounds,
+            "bandwidth": _bandwidth_payload(config.distribution()),
+            "churn_rate": config.churn_rate,
+            "requests_per_round": config.requests_per_round,
+            "discovery_per_round": config.discovery_per_round,
+            "warmup_rounds": config.warmup_rounds,
+            "stranger_bandwidth_cap": config.stranger_bandwidth_cap,
+            "history_rounds": config.history_rounds,
+            "aspiration_smoothing": config.aspiration_smoothing,
+        }
+        # Only present for scenario runs, so every pre-scenario fingerprint
+        # (and the cache entries stored under it) stays valid.
+        if config.dynamics is not None and not config.dynamics.is_trivial():
+            config_payload["dynamics"] = config.dynamics.as_dict()
         return {
-            "config": {
-                "n_peers": config.n_peers,
-                "rounds": config.rounds,
-                "bandwidth": _bandwidth_payload(config.distribution()),
-                "churn_rate": config.churn_rate,
-                "requests_per_round": config.requests_per_round,
-                "discovery_per_round": config.discovery_per_round,
-                "warmup_rounds": config.warmup_rounds,
-                "stranger_bandwidth_cap": config.stranger_bandwidth_cap,
-                "history_rounds": config.history_rounds,
-                "aspiration_smoothing": config.aspiration_smoothing,
-            },
+            "config": config_payload,
             "behaviors": [behavior.as_dict() for behavior in self.behaviors],
             "groups": list(self.groups) if self.groups is not None else None,
             "seed": self.seed,

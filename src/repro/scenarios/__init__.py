@@ -1,0 +1,34 @@
+"""Declarative workload scenarios for dynamic and adversarial experiments.
+
+The public surface is the spec types (:class:`ScenarioSpec` and its
+components), which compile down to cached, parallel-executable simulation
+jobs, and the named-scenario registry shared by every experiment.
+"""
+
+from repro.scenarios.registry import (
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+    unregister,
+)
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    BandwidthClass,
+    PopulationSpec,
+    ScenarioSpec,
+    ShiftSpec,
+)
+
+__all__ = [
+    "ArrivalSpec",
+    "BandwidthClass",
+    "PopulationSpec",
+    "ScenarioSpec",
+    "ShiftSpec",
+    "all_scenarios",
+    "get_scenario",
+    "register",
+    "scenario_names",
+    "unregister",
+]

@@ -1,0 +1,159 @@
+"""The named-scenario registry: the shared workload vocabulary.
+
+Every experiment that stresses protocol variants across workloads draws its
+scenarios from here, so "flash-crowd" means the same population, arrival
+process and dynamics everywhere — in the CLI, the scenario sweep and any
+future experiment.  The built-ins cover the workload axes the ROADMAP calls
+for:
+
+==================  =====================================================
+baseline            the paper's static swarm (no churn, no dynamics)
+flash-crowd         a correlated batch of newcomers replaces 40% of the
+                    swarm mid-run, on top of mild steady churn
+burst-churn         repeated windows of elevated independent churn
+                    (correlated failure waves)
+capacity-skew       seed/leecher asymmetry: few fast generous seed-class
+                    peers among many slow leechers
+free-rider-wave     30% of peers switch to contributing nothing mid-run
+colluders           a clique switches on mid-run: loyal to each other,
+                    defecting on everyone else
+==================  =====================================================
+
+Additional scenarios can be registered at runtime with :func:`register`
+(name collisions are rejected; tests use :func:`unregister` to clean up).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    BandwidthClass,
+    PopulationSpec,
+    ScenarioSpec,
+    ShiftSpec,
+)
+from repro.sim.behavior import PeerBehavior
+
+__all__ = [
+    "register",
+    "unregister",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+]
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add ``spec`` to the registry (its name must be unused) and return it."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a registered scenario (KeyError if absent)."""
+    del _REGISTRY[name]
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """The registered scenario called ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[ScenarioSpec]:
+    """All registered scenarios, sorted by name."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+# ---------------------------------------------------------------------- #
+# built-in scenarios
+# ---------------------------------------------------------------------- #
+register(
+    ScenarioSpec(
+        name="baseline",
+        description="Static 50-peer swarm, Piatek capacities, no churn",
+        population=PopulationSpec(size=50),
+        rounds=200,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="flash-crowd",
+        description="40% of the swarm replaced by a newcomer burst at t=0.3",
+        population=PopulationSpec(size=50),
+        arrival=ArrivalSpec(
+            kind="flash_crowd", churn_rate=0.01, at=0.3, size=0.4, duration=2
+        ),
+        rounds=200,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="burst-churn",
+        description="Correlated failure waves: +15% churn for 3 rounds, every 20% of the run",
+        population=PopulationSpec(size=50),
+        arrival=ArrivalSpec(
+            kind="burst_churn", churn_rate=0.01, at=0.2, size=0.15,
+            duration=3, period=0.2,
+        ),
+        rounds=200,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="capacity-skew",
+        description="Seed/leecher asymmetry: 10% fast generous seeds, 90% slow leechers",
+        population=PopulationSpec(
+            size=50,
+            classes=(
+                BandwidthClass(
+                    name="seed",
+                    fraction=0.10,
+                    capacity=800.0,
+                    behavior=PeerBehavior.generous_seed(),
+                ),
+                BandwidthClass(name="mid", fraction=0.30, capacity=80.0),
+                BandwidthClass(name="leecher", fraction=0.60, capacity=20.0),
+            ),
+        ),
+        rounds=200,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="free-rider-wave",
+        description="30% of peers switch to contributing nothing at t=0.4",
+        population=PopulationSpec(size=50),
+        shift=ShiftSpec(kind="free_rider_wave", at=0.4, fraction=0.3),
+        rounds=200,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="colluders",
+        description="A 20% clique switches on at t=0.25: loyal in-group, defecting outward",
+        population=PopulationSpec(size=50),
+        arrival=ArrivalSpec(kind="steady", churn_rate=0.01),
+        shift=ShiftSpec(kind="colluders", at=0.25, fraction=0.2),
+        rounds=200,
+    )
+)

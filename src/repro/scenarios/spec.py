@@ -1,0 +1,526 @@
+"""Declarative scenario specifications for dynamic and adversarial workloads.
+
+A :class:`ScenarioSpec` composes three orthogonal aspects of a workload:
+
+* **population shape** (:class:`PopulationSpec`) — heterogeneous bandwidth
+  classes with exact shares, per-class behaviours and group labels
+  (seed/leecher asymmetry, capacity skew);
+* **arrival/departure process** (:class:`ArrivalSpec`) — steady-state
+  independent churn, a flash crowd (a correlated batch of fresh identities
+  joining at once) or repeated burst-churn waves, all layered on the
+  per-round model in :mod:`repro.sim.churn`;
+* **behaviour dynamics** (:class:`ShiftSpec`) — a population fraction
+  switching protocol at a point in the run (free-rider waves, colluding
+  groups switching on).
+
+Specs are frozen, fully serializable (``as_dict``/``from_dict`` round-trip)
+and *scale-free*: wave timing and shifted fractions are expressed relative
+to the run, so one declaration compiles consistently at ``smoke``, ``bench``
+and ``paper`` scale.  :meth:`ScenarioSpec.compile` reduces a spec to a
+:class:`~repro.runner.jobs.SimulationJob` — plain engine primitives
+(:class:`~repro.sim.config.SimulationConfig` +
+:class:`~repro.sim.dynamics.ScenarioDynamics` + per-peer behaviours/groups)
+— so scenario runs flow through the cached, parallel
+:class:`~repro.runner.runner.ExperimentRunner` like any other simulation,
+with deterministic per-spec seeds derived by :meth:`ScenarioSpec.job_seed`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from math import floor
+from typing import Dict, List, Optional, Tuple
+
+from repro.runner.jobs import SimulationJob
+from repro.sim.bandwidth import MultiClassBandwidth
+from repro.sim.behavior import PeerBehavior
+from repro.sim.config import SimulationConfig
+from repro.sim.dynamics import BehaviorShift, ChurnWave, ScenarioDynamics
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "SHIFT_KINDS",
+    "SCALE_FACTORS",
+    "BandwidthClass",
+    "PopulationSpec",
+    "ArrivalSpec",
+    "ShiftSpec",
+    "ScenarioSpec",
+]
+
+#: Arrival/departure process kinds.
+ARRIVAL_KINDS = ("steady", "flash_crowd", "burst_churn")
+
+#: Behaviour-dynamics kinds (``custom`` requires an explicit behaviour).
+SHIFT_KINDS = ("none", "free_rider_wave", "colluders", "custom")
+
+#: ``scale -> (population factor, rounds factor)`` applied by ``at_scale``.
+SCALE_FACTORS = {"paper": (1.0, 1.0), "bench": (0.4, 0.3), "smoke": (0.2, 0.1)}
+
+#: Floors keeping scaled-down scenarios meaningful.
+_MIN_PEERS = 8
+_MIN_ROUNDS = 16
+
+
+def _largest_remainder(fractions: List[float], total: int) -> List[int]:
+    """Integer counts summing to ``total`` with shares closest to ``fractions``."""
+    quotas = [f * total for f in fractions]
+    counts = [floor(q) for q in quotas]
+    shortfall = total - sum(counts)
+    by_remainder = sorted(
+        range(len(fractions)), key=lambda i: quotas[i] - counts[i], reverse=True
+    )
+    for i in by_remainder[:shortfall]:
+        counts[i] += 1
+    return counts
+
+
+def _spread_ids(n_peers: int, count: int) -> Tuple[int, ...]:
+    """``count`` distinct peer ids spread evenly over ``[0, n_peers)``."""
+    return tuple((i * n_peers) // count for i in range(count))
+
+
+@dataclass(frozen=True)
+class BandwidthClass:
+    """One capacity class of a heterogeneous population.
+
+    ``behavior`` overrides the population's default behaviour for this
+    class's peers; ``group`` overrides the group label (defaults to the
+    class name, so per-class metrics are separable in results).
+    """
+
+    name: str
+    fraction: float
+    capacity: float
+    behavior: Optional[PeerBehavior] = None
+    group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a bandwidth class needs a name")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("class fraction must be in (0, 1]")
+        if self.capacity <= 0:
+            raise ValueError("class capacity must be positive")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "fraction": self.fraction,
+            "capacity": self.capacity,
+            "behavior": self.behavior.as_dict() if self.behavior else None,
+            "group": self.group,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BandwidthClass":
+        behavior = data.get("behavior")
+        group = data.get("group")
+        return cls(
+            name=str(data["name"]),
+            fraction=float(data["fraction"]),
+            capacity=float(data["capacity"]),
+            behavior=PeerBehavior.from_dict(behavior) if behavior else None,
+            group=str(group) if group is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Population shape: size, default behaviour and optional capacity classes.
+
+    Without classes, capacities come from the Piatek-style default
+    distribution and every peer runs ``default_behavior`` in group
+    ``"default"``.  With classes (fractions summing to 1), peers are
+    assigned to classes with *exact* largest-remainder shares, contiguously
+    by peer id; capacities are pinned per class and churn replacements draw
+    from the matching :class:`~repro.sim.bandwidth.MultiClassBandwidth`.
+    """
+
+    size: int = 50
+    default_behavior: PeerBehavior = field(default_factory=PeerBehavior)
+    classes: Tuple[BandwidthClass, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.size < 2:
+            raise ValueError("population size must be at least 2")
+        if not isinstance(self.classes, tuple):
+            object.__setattr__(self, "classes", tuple(self.classes))
+        if self.classes:
+            total = sum(c.fraction for c in self.classes)
+            if abs(total - 1.0) > 1e-6:
+                raise ValueError(f"class fractions must sum to 1, got {total}")
+            names = [c.name for c in self.classes]
+            if len(set(names)) != len(names):
+                raise ValueError("class names must be distinct")
+
+    def compile(
+        self, n_peers: int
+    ) -> Tuple[
+        Tuple[PeerBehavior, ...],
+        Tuple[str, ...],
+        Optional[Tuple[float, ...]],
+        Optional[MultiClassBandwidth],
+    ]:
+        """Per-peer ``(behaviors, groups, capacities, replacement distribution)``.
+
+        ``capacities`` and the distribution are ``None`` without classes
+        (default Piatek sampling applies).
+        """
+        if not self.classes:
+            return (
+                (self.default_behavior,) * n_peers,
+                ("default",) * n_peers,
+                None,
+                None,
+            )
+        counts = _largest_remainder([c.fraction for c in self.classes], n_peers)
+        behaviors: List[PeerBehavior] = []
+        groups: List[str] = []
+        capacities: List[float] = []
+        for cls_spec, count in zip(self.classes, counts):
+            behaviors.extend([cls_spec.behavior or self.default_behavior] * count)
+            groups.extend([cls_spec.group or cls_spec.name] * count)
+            capacities.extend([cls_spec.capacity] * count)
+        distribution = MultiClassBandwidth(
+            [(c.fraction, c.capacity) for c in self.classes]
+        )
+        return tuple(behaviors), tuple(groups), tuple(capacities), distribution
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "size": self.size,
+            "default_behavior": self.default_behavior.as_dict(),
+            "classes": [c.as_dict() for c in self.classes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PopulationSpec":
+        return cls(
+            size=int(data["size"]),
+            default_behavior=PeerBehavior.from_dict(data["default_behavior"]),
+            classes=tuple(
+                BandwidthClass.from_dict(c) for c in data.get("classes", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """The arrival/departure process of a scenario.
+
+    Parameters
+    ----------
+    kind:
+        ``"steady"`` — only the base per-round churn;
+        ``"flash_crowd"`` — one correlated wave replacing ``size`` of the
+        swarm with fresh identities;
+        ``"burst_churn"`` — repeated windows of elevated independent churn.
+    churn_rate:
+        Base per-peer per-round departure probability (all kinds).
+    at:
+        Start of the (first) wave, as a fraction of the run.
+    size:
+        Wave intensity: the replaced fraction (flash crowd) or the extra
+        per-peer departure probability (burst churn).
+    duration:
+        Wave length in rounds.
+    period:
+        Burst churn only: distance between wave starts, as a fraction of the
+        run; waves repeat until the run ends.
+    """
+
+    kind: str = "steady"
+    churn_rate: float = 0.0
+    at: float = 0.3
+    size: float = 0.0
+    duration: int = 1
+    period: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; expected one of {ARRIVAL_KINDS}"
+            )
+        if not 0.0 <= self.churn_rate < 1.0:
+            raise ValueError("churn_rate must be in [0, 1)")
+        if not 0.0 <= self.at < 1.0:
+            raise ValueError("at must be in [0, 1)")
+        if self.duration < 1:
+            raise ValueError("duration must be >= 1")
+        if self.kind == "flash_crowd" and not 0.0 < self.size <= 1.0:
+            raise ValueError("flash crowd size must be in (0, 1]")
+        if self.kind == "burst_churn":
+            if not 0.0 < self.size < 1.0:
+                raise ValueError("burst churn size must be in (0, 1)")
+            if not 0.0 < self.period < 1.0:
+                raise ValueError("burst churn period must be in (0, 1)")
+
+    def compile(self, rounds: int) -> Tuple[float, Tuple[ChurnWave, ...]]:
+        """Reduce to ``(base churn rate, churn waves)`` for a run of ``rounds``."""
+        if self.kind == "steady":
+            return self.churn_rate, ()
+        start = min(rounds - 1, round(self.at * rounds))
+        if self.kind == "flash_crowd":
+            wave = ChurnWave(
+                start=start,
+                rounds=min(self.duration, rounds - start),
+                intensity=self.size,
+                correlated=True,
+            )
+            return self.churn_rate, (wave,)
+        # burst_churn: waves every `period` from `start` to the end of the run.
+        step = max(1, round(self.period * rounds))
+        waves = tuple(
+            ChurnWave(
+                start=wave_start,
+                rounds=min(self.duration, rounds - wave_start),
+                intensity=self.size,
+                correlated=False,
+            )
+            for wave_start in range(start, rounds, step)
+        )
+        return self.churn_rate, waves
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "churn_rate": self.churn_rate,
+            "at": self.at,
+            "size": self.size,
+            "duration": self.duration,
+            "period": self.period,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ArrivalSpec":
+        return cls(
+            kind=str(data["kind"]),
+            churn_rate=float(data["churn_rate"]),
+            at=float(data["at"]),
+            size=float(data["size"]),
+            duration=int(data["duration"]),
+            period=float(data["period"]),
+        )
+
+
+#: Default shifted-on behaviour and group label per shift kind.
+_SHIFT_DEFAULTS = {
+    "free_rider_wave": (PeerBehavior.free_rider, "freerider"),
+    "colluders": (PeerBehavior.colluder, "colluder"),
+}
+
+
+@dataclass(frozen=True)
+class ShiftSpec:
+    """Behaviour dynamics: a population fraction switching protocol mid-run.
+
+    Parameters
+    ----------
+    kind:
+        ``"none"``, ``"free_rider_wave"``, ``"colluders"`` or ``"custom"``.
+        The named kinds default the switched-on behaviour and group label
+        (:meth:`~repro.sim.behavior.PeerBehavior.free_rider` /
+        :meth:`~repro.sim.behavior.PeerBehavior.colluder`).
+    at:
+        When the shift fires, as a fraction of the run.
+    fraction:
+        Fraction of the population shifted; the affected peers are spread
+        evenly over the id space (and therefore over contiguous classes).
+    behavior, group:
+        Overrides for the switched-on behaviour / relabelled group.
+    """
+
+    kind: str = "none"
+    at: float = 0.5
+    fraction: float = 0.0
+    behavior: Optional[PeerBehavior] = None
+    group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SHIFT_KINDS:
+            raise ValueError(
+                f"unknown shift kind {self.kind!r}; expected one of {SHIFT_KINDS}"
+            )
+        if not 0.0 <= self.at < 1.0:
+            raise ValueError("at must be in [0, 1)")
+        if self.kind == "none":
+            if self.fraction != 0.0:
+                raise ValueError("shift kind 'none' requires fraction == 0")
+        elif not 0.0 < self.fraction <= 1.0:
+            raise ValueError("shift fraction must be in (0, 1]")
+        if self.kind == "custom" and self.behavior is None:
+            raise ValueError("shift kind 'custom' requires an explicit behavior")
+
+    def effective_behavior(self) -> Optional[PeerBehavior]:
+        """The behaviour peers switch onto (``None`` for kind ``"none"``)."""
+        if self.kind == "none":
+            return None
+        if self.behavior is not None:
+            return self.behavior
+        return _SHIFT_DEFAULTS[self.kind][0]()
+
+    def effective_group(self) -> Optional[str]:
+        """The group label applied to shifted peers (``None`` keeps labels)."""
+        if self.group is not None:
+            return self.group
+        default = _SHIFT_DEFAULTS.get(self.kind)
+        return default[1] if default else None
+
+    def compile(self, n_peers: int, rounds: int) -> Tuple[BehaviorShift, ...]:
+        """Reduce to engine :class:`~repro.sim.dynamics.BehaviorShift`\\ s."""
+        if self.kind == "none":
+            return ()
+        count = max(1, round(self.fraction * n_peers))
+        return (
+            BehaviorShift(
+                round=min(rounds - 1, round(self.at * rounds)),
+                peer_ids=_spread_ids(n_peers, count),
+                behavior=self.effective_behavior(),
+                group=self.effective_group(),
+            ),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "fraction": self.fraction,
+            "behavior": self.behavior.as_dict() if self.behavior else None,
+            "group": self.group,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ShiftSpec":
+        behavior = data.get("behavior")
+        group = data.get("group")
+        return cls(
+            kind=str(data["kind"]),
+            at=float(data["at"]),
+            fraction=float(data["fraction"]),
+            behavior=PeerBehavior.from_dict(behavior) if behavior else None,
+            group=str(group) if group is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete workload scenario: population × arrivals × dynamics.
+
+    ``rounds`` and ``population.size`` are the *paper-scale* declaration;
+    :meth:`at_scale` derives the smoke/bench variants, and the fractional
+    timing in :class:`ArrivalSpec`/:class:`ShiftSpec` keeps the scaled runs
+    qualitatively identical.
+    """
+
+    name: str
+    population: PopulationSpec = field(default_factory=PopulationSpec)
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    shift: ShiftSpec = field(default_factory=ShiftSpec)
+    rounds: int = 200
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if self.rounds < _MIN_ROUNDS:
+            raise ValueError(f"rounds must be >= {_MIN_ROUNDS}")
+
+    # ------------------------------------------------------------------ #
+    # scaling and compilation
+    # ------------------------------------------------------------------ #
+    def at_scale(self, scale: str) -> "ScenarioSpec":
+        """This scenario scaled down to the given run budget."""
+        if scale not in SCALE_FACTORS:
+            raise ValueError(
+                f"scale must be one of {tuple(SCALE_FACTORS)}, got {scale!r}"
+            )
+        size_factor, rounds_factor = SCALE_FACTORS[scale]
+        if size_factor == 1.0 and rounds_factor == 1.0:
+            return self
+        size = max(_MIN_PEERS, round(self.population.size * size_factor))
+        rounds = max(_MIN_ROUNDS, round(self.rounds * rounds_factor))
+        return ScenarioSpec(
+            name=self.name,
+            population=PopulationSpec(
+                size=size,
+                default_behavior=self.population.default_behavior,
+                classes=self.population.classes,
+            ),
+            arrival=self.arrival,
+            shift=self.shift,
+            rounds=rounds,
+            description=self.description,
+        )
+
+    def compile(self, scale: str = "paper", seed: Optional[int] = 0) -> SimulationJob:
+        """Reduce this scenario to one executable, cacheable simulation job."""
+        spec = self.at_scale(scale)
+        n_peers = spec.population.size
+        behaviors, groups, capacities, distribution = spec.population.compile(n_peers)
+        churn_rate, waves = spec.arrival.compile(spec.rounds)
+        shifts = spec.shift.compile(n_peers, spec.rounds)
+        dynamics = ScenarioDynamics(
+            initial_capacities=capacities,
+            churn_waves=waves,
+            behavior_shifts=shifts,
+        )
+        config = SimulationConfig(
+            n_peers=n_peers,
+            rounds=spec.rounds,
+            bandwidth=distribution,
+            churn_rate=churn_rate,
+            dynamics=None if dynamics.is_trivial() else dynamics,
+        )
+        return SimulationJob(
+            config=config, behaviors=behaviors, groups=groups, seed=seed
+        )
+
+    def job_seed(self, master_seed: int, repetition: int) -> int:
+        """Deterministic per-(spec, master seed, repetition) simulation seed."""
+        blob = f"{self.fingerprint()}:{master_seed}:{repetition}".encode("utf-8")
+        return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+    def jobs(
+        self, scale: str = "paper", master_seed: int = 0, repetitions: int = 1
+    ) -> List[SimulationJob]:
+        """``repetitions`` independent jobs with deterministic derived seeds."""
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        return [
+            self.compile(scale, seed=self.job_seed(master_seed, repetition))
+            for repetition in range(repetitions)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # identity and serialization
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "population": self.population.as_dict(),
+            "arrival": self.arrival.as_dict(),
+            "shift": self.shift.as_dict(),
+            "rounds": self.rounds,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            name=str(data["name"]),
+            population=PopulationSpec.from_dict(data["population"]),
+            arrival=ArrivalSpec.from_dict(data["arrival"]),
+            shift=ShiftSpec.from_dict(data["shift"]),
+            rounds=int(data["rounds"]),
+            description=str(data.get("description", "")),
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash of the full declaration (stable across processes)."""
+        blob = json.dumps(self.as_dict(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()

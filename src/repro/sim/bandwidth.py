@@ -26,6 +26,7 @@ __all__ = [
     "ConstantBandwidth",
     "UniformBandwidth",
     "TwoClassBandwidth",
+    "MultiClassBandwidth",
     "EmpiricalBandwidth",
     "piatek_distribution",
 ]
@@ -127,6 +128,58 @@ class TwoClassBandwidth(BandwidthDistribution):
             f"TwoClassBandwidth(slow={self.slow_capacity:g}, "
             f"fast={self.fast_capacity:g}, fast_fraction={self.fast_fraction:g})"
         )
+
+
+class MultiClassBandwidth(BandwidthDistribution):
+    """A discrete population of named capacity classes.
+
+    The scenario subsystem's heterogeneous populations (e.g. a few fast
+    "seed"-class peers among many slow leechers) use this distribution: each
+    class has a fraction and an exact capacity, and sampling returns one of
+    the class capacities — no interpolation, unlike
+    :class:`EmpiricalBandwidth`.  Churn replacements drawn from it therefore
+    stay on the class grid the scenario defined.
+    """
+
+    def __init__(self, classes: Sequence[Tuple[float, float]]):
+        """``classes`` is a sequence of ``(fraction, capacity_kbps)`` pairs."""
+        if not classes:
+            raise ValueError("at least one class is required")
+        fractions = [float(f) for f, _ in classes]
+        capacities = [float(c) for _, c in classes]
+        if any(f <= 0 for f in fractions):
+            raise ValueError("class fractions must be positive")
+        if any(c <= 0 for c in capacities):
+            raise ValueError("class capacities must be positive")
+        if abs(sum(fractions) - 1.0) > 1e-6:
+            raise ValueError(f"class fractions must sum to 1, got {sum(fractions)}")
+        self._fractions = fractions
+        self._capacities = capacities
+        self._cumulative: List[float] = []
+        running = 0.0
+        for f in fractions:
+            running += f
+            self._cumulative.append(running)
+        self._cumulative[-1] = 1.0
+
+    @property
+    def classes(self) -> List[Tuple[float, float]]:
+        """The ``(fraction, capacity)`` table."""
+        return list(zip(self._fractions, self._capacities))
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        index = bisect.bisect_left(self._cumulative, u)
+        return self._capacities[min(index, len(self._capacities) - 1)]
+
+    def mean(self) -> float:
+        return sum(f * c for f, c in zip(self._fractions, self._capacities))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        body = ", ".join(
+            f"{f:g}:{c:g}" for f, c in zip(self._fractions, self._capacities)
+        )
+        return f"MultiClassBandwidth({body})"
 
 
 class EmpiricalBandwidth(BandwidthDistribution):

@@ -168,6 +168,60 @@ class PeerBehavior:
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
 
+    # ------------------------------------------------------------------ #
+    # scenario presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def free_rider(cls) -> "PeerBehavior":
+        """A peer that contributes nothing: freerides on partners, defects on strangers.
+
+        The behaviour free-rider-wave scenarios switch peers onto; it keeps
+        requesting and receiving but never uploads
+        (:attr:`uploads_nothing` is true).
+        """
+        return cls(
+            stranger_policy="defect",
+            stranger_count=0,
+            candidate_policy="tft",
+            ranking="fastest",
+            partner_count=4,
+            allocation="freeride",
+        )
+
+    @classmethod
+    def colluder(cls) -> "PeerBehavior":
+        """A clique member: loyal to established partners, defects on all strangers.
+
+        Approximates a colluding group within the design space's primitives:
+        Sort Loyal locks the peer onto consistently-reciprocating partners
+        (in a group that switches on together, predominantly each other)
+        while the Defect stranger policy refuses bandwidth to outsiders.
+        """
+        return cls(
+            stranger_policy="defect",
+            stranger_count=2,
+            candidate_policy="tf2t",
+            ranking="loyal",
+            partner_count=3,
+            allocation="equal_split",
+        )
+
+    @classmethod
+    def generous_seed(cls) -> "PeerBehavior":
+        """A seed-like altruist: maximum stranger slots, equal split to partners.
+
+        Used for the seeder side of seed/leecher-asymmetric populations —
+        it hands out bandwidth to strangers every round and never freerides.
+        """
+        return cls(
+            stranger_policy="periodic",
+            stranger_count=MAX_STRANGERS,
+            candidate_policy="tf2t",
+            ranking="random",
+            partner_count=6,
+            allocation="equal_split",
+        )
+
     def label(self) -> str:
         """A compact human-readable label, e.g. ``"B2h2-C1-I5k7-R2"``."""
         stranger_codes = {"none": "B0", "periodic": "B1", "when_needed": "B2", "defect": "B3"}

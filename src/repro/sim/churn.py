@@ -7,17 +7,50 @@ departs with probability ``churn_rate`` and is immediately replaced by a new
 peer (same protocol group, freshly sampled or retained upload capacity, empty
 history).  Other peers forget everything they knew about the departed
 identity, exactly as if a new node had joined under a new identity.
+
+On top of that per-round model the scenario subsystem layers *correlated*
+churn (:func:`apply_correlated_churn`): an exact fraction of the swarm
+replaced together in one round, modelling flash crowds of newcomers and
+correlated failures rather than independent departures.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Sequence
+from typing import Iterable, List, Sequence
 
 from repro.sim.bandwidth import BandwidthDistribution
 from repro.sim.peer import PeerState
 
-__all__ = ["apply_churn"]
+__all__ = ["apply_churn", "apply_correlated_churn"]
+
+
+def _replace_and_forget(
+    peers: Sequence[PeerState],
+    churned: Iterable[int],
+    round_index: int,
+    rng: random.Random,
+    bandwidth: BandwidthDistribution,
+    resample_capacity: bool,
+) -> None:
+    """Reset the ``churned`` identities and erase them from everyone else.
+
+    Iterates peers in id order, resampling capacities as it reaches each
+    churned peer — the exact draw order the seed implementation used, which
+    the golden-equivalence suite pins for the legacy path.
+    """
+    churned_set = set(churned)
+    for peer in peers:
+        if peer.peer_id in churned_set:
+            if resample_capacity:
+                peer.upload_capacity = bandwidth.sample(rng)
+            peer.reset_for_rejoin(round_index)
+        else:
+            # Everyone else forgets the departed identities.
+            for gone in churned_set:
+                peer.history.forget_peer(gone)
+                peer.loyalty.pop(gone, None)
+                peer.pending_requests.discard(gone)
 
 
 def apply_churn(
@@ -28,7 +61,7 @@ def apply_churn(
     bandwidth: BandwidthDistribution,
     resample_capacity: bool = True,
 ) -> List[int]:
-    """Apply one round of churn to ``peers`` in place.
+    """Apply one round of independent churn to ``peers`` in place.
 
     Parameters
     ----------
@@ -65,16 +98,56 @@ def apply_churn(
     if not churned:
         return []
 
-    churned_set = set(churned)
-    for peer in peers:
-        if peer.peer_id in churned_set:
-            if resample_capacity:
-                peer.upload_capacity = bandwidth.sample(rng)
-            peer.reset_for_rejoin(round_index)
-        else:
-            # Everyone else forgets the departed identities.
-            for gone in churned_set:
-                peer.history.forget_peer(gone)
-                peer.loyalty.pop(gone, None)
-                peer.pending_requests.discard(gone)
+    _replace_and_forget(
+        peers, churned, round_index, rng, bandwidth, resample_capacity
+    )
+    return churned
+
+
+def apply_correlated_churn(
+    peers: Sequence[PeerState],
+    fraction: float,
+    round_index: int,
+    rng: random.Random,
+    bandwidth: BandwidthDistribution,
+    resample_capacity: bool = True,
+    exclude: Iterable[int] = (),
+) -> List[int]:
+    """Replace an exact ``fraction`` of ``peers`` together, in place.
+
+    Unlike :func:`apply_churn`, departures are one correlated batch: exactly
+    ``round(fraction * len(peers))`` distinct peers (at least one, when the
+    fraction is positive) are drawn without replacement and replaced
+    simultaneously — a flash crowd of fresh identities or a correlated
+    failure, depending on interpretation.  Replacement semantics match
+    :func:`apply_churn` exactly.
+
+    ``exclude`` removes peers from the draw (the engine passes the ids that
+    already churned independently this round, so one round never replaces —
+    or counts — the same slot twice); the batch size is still relative to
+    the full population, clamped to the eligible pool.
+
+    Returns the churned peer ids (in sampling order).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if fraction == 0.0 or not peers:
+        return []
+
+    count = round(fraction * len(peers))
+    if count < 1:
+        count = 1
+    exclude_set = set(exclude)
+    if exclude_set:
+        pool = [peer.peer_id for peer in peers if peer.peer_id not in exclude_set]
+    else:
+        pool = [peer.peer_id for peer in peers]
+    if not pool:
+        return []
+    if count > len(pool):
+        count = len(pool)
+    churned = rng.sample(pool, count)
+    _replace_and_forget(
+        peers, churned, round_index, rng, bandwidth, resample_capacity
+    )
     return churned

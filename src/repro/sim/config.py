@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.sim.bandwidth import BandwidthDistribution, piatek_distribution
+from repro.sim.dynamics import ScenarioDynamics
 
 __all__ = ["SimulationConfig"]
 
@@ -53,6 +54,11 @@ class SimulationConfig:
         largest candidate window, i.e. at least 2).
     aspiration_smoothing:
         Exponential smoothing factor of the Sort Adaptive aspiration level.
+    dynamics:
+        Optional compiled scenario dynamics (churn waves, behaviour shifts,
+        pinned initial capacities; see :mod:`repro.sim.dynamics`).  ``None``
+        — the default — runs the unmodified legacy path, bit-identical to
+        the golden reference engine.
     """
 
     n_peers: int = 50
@@ -65,6 +71,7 @@ class SimulationConfig:
     stranger_bandwidth_cap: float = 0.5
     history_rounds: int = 3
     aspiration_smoothing: float = 0.25
+    dynamics: Optional[ScenarioDynamics] = None
 
     def __post_init__(self) -> None:
         if self.n_peers < 2:
@@ -85,6 +92,18 @@ class SimulationConfig:
             raise ValueError("history_rounds must be at least 2 (TF2T window)")
         if not 0.0 < self.aspiration_smoothing <= 1.0:
             raise ValueError("aspiration_smoothing must be in (0, 1]")
+        if self.dynamics is not None:
+            capacities = self.dynamics.initial_capacities
+            if capacities is not None and len(capacities) != self.n_peers:
+                raise ValueError(
+                    f"dynamics pins {len(capacities)} initial capacities "
+                    f"for {self.n_peers} peers"
+                )
+            if self.dynamics.max_peer_id() >= self.n_peers:
+                raise ValueError(
+                    "dynamics references peer id "
+                    f"{self.dynamics.max_peer_id()} outside [0, {self.n_peers})"
+                )
 
     def distribution(self) -> BandwidthDistribution:
         """The effective bandwidth distribution (Piatek-style by default)."""

@@ -1,0 +1,247 @@
+"""Engine-level workload dynamics: churn waves and behaviour shifts.
+
+The scenario subsystem (:mod:`repro.scenarios`) describes dynamic and
+adversarial workloads declaratively; this module holds the *compiled* form
+those descriptions reduce to — plain, hashable value types the simulation
+engine executes directly:
+
+* :class:`ChurnWave` — a window of rounds with elevated departures, either
+  *independent* (an extra per-peer departure probability layered on top of
+  the base ``churn_rate``) or *correlated* (an exact fraction of the swarm
+  replaced together each wave round, modelling flash crowds and
+  failure bursts);
+* :class:`BehaviorShift` — at a given round, a fixed set of peers switches
+  to a new :class:`~repro.sim.behavior.PeerBehavior` (free-rider waves,
+  colluding groups switching on);
+* :class:`ScenarioDynamics` — the bundle attached to a
+  :class:`~repro.sim.config.SimulationConfig`, optionally also pinning the
+  initial per-peer upload capacities (heterogeneous class populations).
+
+All types are frozen, hashable and JSON round-trippable, so a configured
+dynamics bundle participates in the runner's content-addressed result cache
+exactly like every other simulation parameter.  A config whose ``dynamics``
+is ``None`` executes the unmodified legacy path — bit-identical to the
+golden reference engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.behavior import PeerBehavior
+
+__all__ = ["ChurnWave", "BehaviorShift", "ScenarioDynamics"]
+
+
+@dataclass(frozen=True)
+class ChurnWave:
+    """A window of rounds with elevated churn.
+
+    Parameters
+    ----------
+    start:
+        First round of the wave (0-based, inclusive).
+    rounds:
+        Number of consecutive rounds the wave lasts.
+    intensity:
+        For an independent wave, the extra per-peer departure probability
+        during each wave round; for a correlated wave, the exact fraction of
+        the swarm replaced together each wave round.
+    correlated:
+        Whether departures are drawn as one correlated batch (flash crowd /
+        correlated failure) instead of independent per-peer coin flips.
+    """
+
+    start: int
+    rounds: int = 1
+    intensity: float = 0.1
+    correlated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.correlated:
+            if not 0.0 < self.intensity <= 1.0:
+                raise ValueError("correlated intensity must be in (0, 1]")
+        elif not 0.0 < self.intensity < 1.0:
+            raise ValueError("independent intensity must be in (0, 1)")
+
+    def covers(self, round_index: int) -> bool:
+        """Whether ``round_index`` falls inside this wave."""
+        return self.start <= round_index < self.start + self.rounds
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "start": self.start,
+            "rounds": self.rounds,
+            "intensity": self.intensity,
+            "correlated": self.correlated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChurnWave":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            start=int(data["start"]),
+            rounds=int(data["rounds"]),
+            intensity=float(data["intensity"]),
+            correlated=bool(data["correlated"]),
+        )
+
+
+@dataclass(frozen=True)
+class BehaviorShift:
+    """A set of peers switching behaviour at a fixed round.
+
+    The shift is applied at the *start* of ``round`` (before churn and
+    decisions), so the new behaviour governs that round's decisions.  The
+    affected peers keep their identity, history and capacity — only the
+    protocol they execute (and optionally their group label) changes.
+    """
+
+    round: int
+    peer_ids: Tuple[int, ...]
+    behavior: PeerBehavior
+    group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ValueError("round must be >= 0")
+        if not isinstance(self.peer_ids, tuple):
+            object.__setattr__(self, "peer_ids", tuple(self.peer_ids))
+        if not self.peer_ids:
+            raise ValueError("a behavior shift needs at least one peer id")
+        if len(set(self.peer_ids)) != len(self.peer_ids):
+            raise ValueError("peer_ids must be distinct")
+        if min(self.peer_ids) < 0:
+            raise ValueError("peer ids must be >= 0")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "round": self.round,
+            "peer_ids": list(self.peer_ids),
+            "behavior": self.behavior.as_dict(),
+            "group": self.group,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BehaviorShift":
+        """Inverse of :meth:`as_dict`."""
+        group = data.get("group")
+        return cls(
+            round=int(data["round"]),
+            peer_ids=tuple(int(p) for p in data["peer_ids"]),
+            behavior=PeerBehavior.from_dict(data["behavior"]),
+            group=str(group) if group is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioDynamics:
+    """The compiled dynamics of one scenario, as executed by the engine.
+
+    Parameters
+    ----------
+    initial_capacities:
+        Optional explicit per-peer upload capacities (length ``n_peers``).
+        When given, the engine uses them verbatim instead of sampling from
+        the bandwidth distribution — heterogeneous class populations get
+        exact class shares rather than probabilistic ones.  Churn
+        replacements still sample from the configured distribution.
+    churn_waves:
+        Churn waves layered on top of the base ``churn_rate``.  Waves may
+        overlap; independent intensities add, and every correlated wave
+        covering a round triggers its own batch replacement.
+    behavior_shifts:
+        Behaviour switches applied at the start of their round.
+    """
+
+    initial_capacities: Optional[Tuple[float, ...]] = None
+    churn_waves: Tuple[ChurnWave, ...] = ()
+    behavior_shifts: Tuple[BehaviorShift, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.initial_capacities is not None:
+            if not isinstance(self.initial_capacities, tuple):
+                object.__setattr__(
+                    self, "initial_capacities", tuple(self.initial_capacities)
+                )
+            if any(c <= 0 for c in self.initial_capacities):
+                raise ValueError("initial capacities must be positive")
+        if not isinstance(self.churn_waves, tuple):
+            object.__setattr__(self, "churn_waves", tuple(self.churn_waves))
+        if not isinstance(self.behavior_shifts, tuple):
+            object.__setattr__(self, "behavior_shifts", tuple(self.behavior_shifts))
+
+    def is_trivial(self) -> bool:
+        """Whether this bundle changes nothing over the legacy path."""
+        return (
+            self.initial_capacities is None
+            and not self.churn_waves
+            and not self.behavior_shifts
+        )
+
+    # ------------------------------------------------------------------ #
+    # round lookups (engine helpers)
+    # ------------------------------------------------------------------ #
+    def extra_rate(self, round_index: int) -> float:
+        """Summed independent-wave intensity covering ``round_index``."""
+        return sum(
+            w.intensity
+            for w in self.churn_waves
+            if not w.correlated and w.covers(round_index)
+        )
+
+    def correlated_fraction(self, round_index: int) -> float:
+        """Summed correlated-wave fraction covering ``round_index`` (capped at 1)."""
+        fraction = sum(
+            w.intensity
+            for w in self.churn_waves
+            if w.correlated and w.covers(round_index)
+        )
+        return min(1.0, fraction)
+
+    def shifts_for_round(self, round_index: int) -> List[BehaviorShift]:
+        """The behaviour shifts firing at ``round_index`` (declaration order)."""
+        return [s for s in self.behavior_shifts if s.round == round_index]
+
+    def max_peer_id(self) -> int:
+        """Largest peer id referenced by any shift (-1 when none are)."""
+        ids = [pid for shift in self.behavior_shifts for pid in shift.peer_ids]
+        return max(ids) if ids else -1
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "initial_capacities": (
+                list(self.initial_capacities)
+                if self.initial_capacities is not None
+                else None
+            ),
+            "churn_waves": [w.as_dict() for w in self.churn_waves],
+            "behavior_shifts": [s.as_dict() for s in self.behavior_shifts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioDynamics":
+        """Inverse of :meth:`as_dict`."""
+        capacities = data.get("initial_capacities")
+        return cls(
+            initial_capacities=(
+                tuple(float(c) for c in capacities) if capacities is not None else None
+            ),
+            churn_waves=tuple(
+                ChurnWave.from_dict(w) for w in data.get("churn_waves", ())
+            ),
+            behavior_shifts=tuple(
+                BehaviorShift.from_dict(s) for s in data.get("behavior_shifts", ())
+            ),
+        )

@@ -5,6 +5,16 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+from repro.runner import get_default_runner, set_default_runner
+from repro.runner.runner import ENV_CACHE_DIR, ENV_JOBS
+
+
+@pytest.fixture
+def pristine_runner():
+    """Reset the process-wide default runner around a CLI invocation."""
+    set_default_runner(None)
+    yield
+    set_default_runner(None)
 
 
 class TestCliList:
@@ -18,7 +28,7 @@ class TestCliList:
         expected = {
             "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
             "figure7", "figure8", "figure9", "figure10", "table2", "table3",
-            "section2", "split-check", "churn-check",
+            "section2", "split-check", "churn-check", "scenarios",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -50,3 +60,89 @@ class TestCliRun:
 
     def test_verbose_flag(self, capsys):
         assert main(["-v", "run", "table2"]) == 0
+
+
+class TestCliScenario:
+    def test_list_shows_registry(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenario", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert len(scenario_names()) >= 6
+        for name in scenario_names():
+            assert name in output
+
+    def test_bare_scenario_command_lists(self, capsys):
+        assert main(["scenario"]) == 0
+        assert "flash-crowd" in capsys.readouterr().out
+
+    def test_run_named_scenario_smoke(self, capsys):
+        assert main(["scenario", "flash-crowd", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "flash-crowd" in output
+        assert "throughput" in output
+
+    def test_second_invocation_served_from_cache(self, tmp_path, capsys, pristine_runner):
+        argv = [
+            "scenario", "flash-crowd", "--scale", "smoke",
+            "--jobs", "1", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        set_default_runner(None)
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        # Deterministic table, and every job answered by the cache.
+        assert warm.splitlines()[:-1] == cold.splitlines()[:-1]
+        assert "0 misses (0 simulated)" in warm
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "does-not-exist", "--scale", "smoke"])
+
+    def test_bad_reps_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "baseline", "--scale", "smoke", "--reps", "0"])
+
+
+class TestCliRunnerConfiguration:
+    def test_env_only_configuration_is_honoured(
+        self, tmp_path, capsys, monkeypatch, pristine_runner
+    ):
+        """REPRO_JOBS/REPRO_CACHE_DIR alone must configure the runner (no flags)."""
+        from repro.runner.executors import SerialExecutor
+
+        monkeypatch.setenv(ENV_JOBS, "1")
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path))
+        assert main(["scenario", "baseline", "--scale", "smoke"]) == 0
+        runner = get_default_runner()
+        assert runner.cache is not None
+        assert str(runner.cache.root) == str(tmp_path)
+        assert isinstance(runner.executor, SerialExecutor)
+        # The run went through the env-configured cache.
+        assert runner.jobs_executed > 0
+        assert "cache:" in capsys.readouterr().out
+
+    def test_env_jobs_selects_parallel_executor(
+        self, monkeypatch, capsys, pristine_runner
+    ):
+        from repro.runner.executors import ProcessExecutor
+
+        monkeypatch.setenv(ENV_JOBS, "2")
+        monkeypatch.delenv(ENV_CACHE_DIR, raising=False)
+        assert main(["scenario", "baseline", "--scale", "smoke"]) == 0
+        runner = get_default_runner()
+        assert isinstance(runner.executor, ProcessExecutor)
+        assert runner.executor.processes == 2
+
+    def test_flag_overrides_env(self, monkeypatch, capsys, pristine_runner):
+        from repro.runner.executors import SerialExecutor
+
+        monkeypatch.setenv(ENV_JOBS, "4")
+        assert main(["scenario", "baseline", "--scale", "smoke", "--jobs", "1"]) == 0
+        assert isinstance(get_default_runner().executor, SerialExecutor)
+
+    def test_invalid_env_jobs_is_a_cli_error(self, monkeypatch, pristine_runner):
+        monkeypatch.setenv(ENV_JOBS, "many")
+        with pytest.raises(SystemExit):
+            main(["scenario", "baseline", "--scale", "smoke"])

@@ -1,0 +1,73 @@
+"""Tests for the scenario sweep experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import scenario_sweep
+from repro.runner import ExperimentRunner, using_runner
+from repro.scenarios import scenario_names
+
+
+class TestScenarioSweep:
+    def test_smoke_sweep_covers_registry(self):
+        result = scenario_sweep.run(scale="smoke", seed=0)
+        assert [s.name for s in result.stats] == scenario_names()
+        reps = scenario_sweep.repetitions_for("smoke")
+        assert result.jobs_run == len(scenario_names()) * reps
+        for stats in result.stats:
+            assert stats.repetitions == reps
+            assert stats.mean_throughput > 0.0
+            # Under churn, utilization is computed against the end-of-run
+            # capacity snapshot and can legitimately exceed 1.
+            assert stats.mean_utilization > 0.0
+            assert stats.group_mean_download
+
+    def test_subset_and_repetitions(self):
+        result = scenario_sweep.run(
+            scale="smoke", seed=0, scenarios=["flash-crowd"], repetitions=3
+        )
+        assert len(result.stats) == 1
+        assert result.stats[0].repetitions == 3
+        assert result.jobs_run == 3
+
+    def test_sweep_is_deterministic(self):
+        first = scenario_sweep.run(scale="smoke", seed=1, scenarios=["colluders"])
+        second = scenario_sweep.run(scale="smoke", seed=1, scenarios=["colluders"])
+        assert first.stats[0].mean_throughput == second.stats[0].mean_throughput
+        assert (
+            first.stats[0].group_mean_download == second.stats[0].group_mean_download
+        )
+
+    def test_adversarial_groups_visible_in_results(self):
+        result = scenario_sweep.run(
+            scale="smoke", seed=0, scenarios=["free-rider-wave", "capacity-skew"]
+        )
+        by_name = result.by_name()
+        assert "freerider" in by_name["free-rider-wave"].group_mean_download
+        assert {"seed", "mid", "leecher"} <= set(
+            by_name["capacity-skew"].group_mean_download
+        )
+
+    def test_second_sweep_served_from_cache(self, tmp_path):
+        with using_runner(ExperimentRunner(cache_dir=tmp_path)) as runner:
+            cold = scenario_sweep.run(scale="smoke", seed=0)
+            assert runner.jobs_executed == cold.jobs_run
+        with using_runner(ExperimentRunner(cache_dir=tmp_path)) as runner:
+            warm = scenario_sweep.run(scale="smoke", seed=0)
+            # The acceptance bar is >= 95% served from cache; a fully warm
+            # cache answers everything.
+            assert runner.cache_hits == warm.jobs_run
+            assert runner.jobs_executed == 0
+        for cold_stats, warm_stats in zip(cold.stats, warm.stats):
+            assert cold_stats.mean_throughput == warm_stats.mean_throughput
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            scenario_sweep.run(scale="smoke", scenarios=["nope"])
+
+    def test_render_mentions_every_scenario(self):
+        result = scenario_sweep.run(scale="smoke", seed=0)
+        text = scenario_sweep.render(result)
+        for name in scenario_names():
+            assert name in text

@@ -176,3 +176,99 @@ class TestDefaultRunner:
         runner = get_default_runner()
         assert isinstance(runner.executor, ProcessExecutor)
         assert runner.cache is not None and runner.cache.root == tmp_path
+
+
+class TestCacheCorruptionQuarantine:
+    """Corrupt cache entries behave as misses and are quarantined, not fatal."""
+
+    def _poison(self, runner, job, text: str):
+        path = runner.cache.path_for(job.fingerprint())
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_torn_file_is_a_miss_and_quarantined(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        job = make_job(seed=21)
+        fresh = runner.run_one(job)
+        path = runner.cache.path_for(job.fingerprint())
+        # Tear the entry: a valid prefix cut off mid-stream (disk full /
+        # killed process).
+        torn = path.read_text(encoding="utf-8")[: len(path.read_text(encoding="utf-8")) // 2]
+        path.write_text(torn, encoding="utf-8")
+        again = runner.run_one(job)
+        assert again.records == fresh.records
+        # The torn bytes were moved aside and a fresh entry re-stored.
+        assert path.with_suffix(".corrupt").read_text(encoding="utf-8") == torn
+        assert path.is_file()
+        assert runner.run_one(job).records == fresh.records  # now a clean hit
+
+    def test_garbage_non_dict_json_is_a_miss(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        job = make_job(seed=22)
+        fresh = runner.run_one(job)
+        path = self._poison(runner, job, "[1, 2, 3]")
+        again = runner.run_one(job)  # previously crashed: list has no .get
+        assert again.records == fresh.records
+        assert path.is_file()
+
+    def test_mangled_payload_is_a_miss(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        job = make_job(seed=23)
+        fresh = runner.run_one(job)
+        path = self._poison(
+            runner, job, '{"version": 1, "records": [{"peer_id": "zap"}]}'
+        )
+        again = runner.run_one(job)
+        assert again.records == fresh.records
+        assert path.is_file()
+
+    def test_quarantine_moves_file_aside(self, tmp_path):
+        from repro.runner.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        job = make_job(seed=24)
+        path = cache.path_for(job.fingerprint())
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(job) is None
+        assert cache.misses == 1
+        assert not path.exists()
+        quarantined = path.with_suffix(".corrupt")
+        assert quarantined.is_file()
+        assert quarantined.read_text(encoding="utf-8") == "{not json"
+        # Quarantined files do not count as stored results.
+        assert len(cache) == 0
+
+
+class TestDefaultJobCount:
+    def test_respects_cpu_affinity_mask(self, monkeypatch):
+        import repro.runner.executors as executors
+
+        monkeypatch.setattr(
+            executors.os, "sched_getaffinity", lambda pid: {0, 1, 2}, raising=False
+        )
+        assert executors.default_job_count() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        import repro.runner.executors as executors
+
+        def unavailable(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr(
+            executors.os, "sched_getaffinity", unavailable, raising=False
+        )
+        monkeypatch.setattr(executors.os, "cpu_count", lambda: 5)
+        assert executors.default_job_count() == 5
+
+    def test_at_least_one(self, monkeypatch):
+        import repro.runner.executors as executors
+
+        def unavailable(pid):
+            raise OSError("unavailable")
+
+        monkeypatch.setattr(
+            executors.os, "sched_getaffinity", unavailable, raising=False
+        )
+        monkeypatch.setattr(executors.os, "cpu_count", lambda: None)
+        assert executors.default_job_count() == 1

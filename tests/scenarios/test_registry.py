@@ -1,0 +1,91 @@
+"""Tests for the named-scenario registry and its golden pinned runs."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.runner.jobs import result_to_payload
+from repro.scenarios import (
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+    unregister,
+)
+
+EXPECTED_NAMES = {
+    "baseline",
+    "flash-crowd",
+    "burst-churn",
+    "capacity-skew",
+    "free-rider-wave",
+    "colluders",
+}
+
+#: scenario -> (job fingerprint prefix, result payload sha256 prefix) at
+#: smoke scale, master seed 0, repetition 0.  These pin the *entire* chain:
+#: spec declaration, scaling, compilation to engine primitives, the derived
+#: seed and the engine's execution of the dynamics path.  An intentional
+#: change to any of those must update these values (and invalidates cached
+#: scenario results).
+GOLDEN_SMOKE = {
+    "baseline": ("5c4dde63b17caace", "820f7d9d696a2af5"),
+    "burst-churn": ("a6d457df4239a035", "2f2f15ae610f6987"),
+    "capacity-skew": ("ba36751ec83c422b", "b00bb8df1a1bf4ec"),
+    "colluders": ("7c77e2109375dc92", "d355207727430def"),
+    "flash-crowd": ("4332a0a5c27cf0d9", "4cb51f4f81ce72b6"),
+    "free-rider-wave": ("026aa6a25679db6d", "fabe48d039d3669c"),
+}
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        assert EXPECTED_NAMES <= set(scenario_names())
+        assert len(scenario_names()) >= 6
+
+    def test_get_scenario_known_and_unknown(self):
+        assert get_scenario("baseline").name == "baseline"
+        with pytest.raises(KeyError):
+            get_scenario("does-not-exist")
+
+    def test_all_scenarios_sorted(self):
+        names = [spec.name for spec in all_scenarios()]
+        assert names == sorted(names)
+
+    def test_register_rejects_duplicates_and_unregister_cleans_up(self):
+        spec = ScenarioSpec(name="tmp-test-scenario")
+        register(spec)
+        try:
+            with pytest.raises(ValueError):
+                register(ScenarioSpec(name="tmp-test-scenario"))
+            assert get_scenario("tmp-test-scenario") is spec
+        finally:
+            unregister("tmp-test-scenario")
+        assert "tmp-test-scenario" not in scenario_names()
+
+    def test_every_builtin_round_trips(self):
+        for spec in all_scenarios():
+            clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+            assert clone == spec
+            assert clone.fingerprint() == spec.fingerprint()
+
+
+class TestGoldenRuns:
+    def test_golden_covers_all_builtins(self):
+        assert set(GOLDEN_SMOKE) == EXPECTED_NAMES
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SMOKE))
+    def test_smoke_run_pinned_by_fingerprint(self, name):
+        spec = get_scenario(name)
+        job = spec.compile("smoke", seed=spec.job_seed(0, 0))
+        job_prefix, result_prefix = GOLDEN_SMOKE[name]
+        assert job.fingerprint().startswith(job_prefix)
+        payload = result_to_payload(job.execute())
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        assert digest.startswith(result_prefix)

@@ -1,0 +1,238 @@
+"""Tests for scenario specifications: round-trips, compilation, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    BandwidthClass,
+    PopulationSpec,
+    ScenarioSpec,
+    ShiftSpec,
+)
+from repro.sim.bandwidth import MultiClassBandwidth
+from repro.sim.behavior import PeerBehavior
+
+
+def full_spec() -> ScenarioSpec:
+    """A scenario exercising every spec feature at once."""
+    return ScenarioSpec(
+        name="everything",
+        description="all features on",
+        population=PopulationSpec(
+            size=40,
+            default_behavior=PeerBehavior(),
+            classes=(
+                BandwidthClass(
+                    name="seed", fraction=0.25, capacity=500.0,
+                    behavior=PeerBehavior.generous_seed(), group="seeders",
+                ),
+                BandwidthClass(name="leecher", fraction=0.75, capacity=25.0),
+            ),
+        ),
+        arrival=ArrivalSpec(
+            kind="flash_crowd", churn_rate=0.02, at=0.25, size=0.5, duration=2
+        ),
+        shift=ShiftSpec(kind="colluders", at=0.5, fraction=0.25),
+        rounds=100,
+    )
+
+
+class TestSerialization:
+    def test_full_spec_round_trips(self):
+        spec = full_spec()
+        clone = ScenarioSpec.from_dict(spec.as_dict())
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        spec = full_spec()
+        clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+        assert clone == spec
+
+    def test_fingerprint_sensitive_to_every_axis(self):
+        spec = full_spec()
+        variants = [
+            ScenarioSpec.from_dict({**spec.as_dict(), "rounds": 120}),
+            ScenarioSpec.from_dict({**spec.as_dict(), "name": "other"}),
+            ScenarioSpec.from_dict(
+                {**spec.as_dict(), "shift": ShiftSpec(kind="none").as_dict()}
+            ),
+            ScenarioSpec.from_dict(
+                {**spec.as_dict(), "arrival": ArrivalSpec(kind="steady").as_dict()}
+            ),
+        ]
+        fingerprints = {spec.fingerprint()} | {v.fingerprint() for v in variants}
+        assert len(fingerprints) == 5
+
+
+class TestValidation:
+    def test_population_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(
+                size=10,
+                classes=(
+                    BandwidthClass(name="a", fraction=0.5, capacity=10.0),
+                    BandwidthClass(name="b", fraction=0.3, capacity=20.0),
+                ),
+            )
+
+    def test_population_class_names_distinct(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(
+                size=10,
+                classes=(
+                    BandwidthClass(name="a", fraction=0.5, capacity=10.0),
+                    BandwidthClass(name="a", fraction=0.5, capacity=20.0),
+                ),
+            )
+
+    def test_arrival_kind_checked(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="tsunami")
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="flash_crowd", size=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="burst_churn", size=0.2, period=0.0)
+
+    def test_shift_kind_checked(self):
+        with pytest.raises(ValueError):
+            ShiftSpec(kind="mutiny")
+        with pytest.raises(ValueError):
+            ShiftSpec(kind="free_rider_wave", fraction=0.0)
+        with pytest.raises(ValueError):
+            ShiftSpec(kind="custom", fraction=0.5)  # custom needs a behavior
+        with pytest.raises(ValueError):
+            ShiftSpec(kind="none", fraction=0.5)
+
+    def test_scenario_needs_name_and_rounds(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", rounds=4)
+
+
+class TestPopulationCompilation:
+    def test_exact_largest_remainder_shares(self):
+        population = full_spec().population
+        behaviors, groups, capacities, distribution = population.compile(40)
+        assert len(behaviors) == len(groups) == len(capacities) == 40
+        assert groups.count("seeders") == 10
+        assert groups.count("leecher") == 30
+        assert capacities.count(500.0) == 10
+        assert capacities.count(25.0) == 30
+        assert isinstance(distribution, MultiClassBandwidth)
+
+    def test_class_behavior_and_default(self):
+        behaviors, _groups, _caps, _dist = full_spec().population.compile(40)
+        assert behaviors[0] == PeerBehavior.generous_seed()
+        assert behaviors[-1] == PeerBehavior()
+
+    def test_homogeneous_population(self):
+        behaviors, groups, capacities, distribution = PopulationSpec(size=6).compile(6)
+        assert behaviors == (PeerBehavior(),) * 6
+        assert groups == ("default",) * 6
+        assert capacities is None and distribution is None
+
+
+class TestArrivalCompilation:
+    def test_steady(self):
+        rate, waves = ArrivalSpec(kind="steady", churn_rate=0.03).compile(100)
+        assert rate == 0.03 and waves == ()
+
+    def test_flash_crowd_single_correlated_wave(self):
+        rate, waves = ArrivalSpec(
+            kind="flash_crowd", churn_rate=0.01, at=0.3, size=0.4, duration=2
+        ).compile(100)
+        assert rate == 0.01
+        assert len(waves) == 1
+        wave = waves[0]
+        assert wave.start == 30 and wave.rounds == 2
+        assert wave.correlated and wave.intensity == 0.4
+
+    def test_burst_churn_repeats_until_end(self):
+        _rate, waves = ArrivalSpec(
+            kind="burst_churn", at=0.2, size=0.15, duration=3, period=0.2
+        ).compile(100)
+        assert [w.start for w in waves] == [20, 40, 60, 80]
+        assert all(not w.correlated for w in waves)
+        assert all(w.intensity == 0.15 for w in waves)
+
+    def test_waves_clamped_to_run(self):
+        _rate, waves = ArrivalSpec(
+            kind="flash_crowd", at=0.99, size=0.5, duration=10
+        ).compile(20)
+        wave = waves[0]
+        assert wave.start + wave.rounds <= 20
+
+
+class TestShiftCompilation:
+    def test_spread_ids_are_distinct_and_sorted(self):
+        (shift,) = ShiftSpec(kind="free_rider_wave", at=0.5, fraction=0.3).compile(20, 100)
+        assert len(set(shift.peer_ids)) == len(shift.peer_ids) == 6
+        assert list(shift.peer_ids) == sorted(shift.peer_ids)
+        assert max(shift.peer_ids) < 20
+        assert shift.round == 50
+        assert shift.behavior == PeerBehavior.free_rider()
+        assert shift.group == "freerider"
+
+    def test_colluders_default_behavior(self):
+        (shift,) = ShiftSpec(kind="colluders", fraction=0.2).compile(10, 100)
+        assert shift.behavior == PeerBehavior.colluder()
+        assert shift.group == "colluder"
+
+    def test_custom_behavior_and_group(self):
+        custom = PeerBehavior(ranking="slowest")
+        (shift,) = ShiftSpec(
+            kind="custom", fraction=0.5, behavior=custom, group="rebels"
+        ).compile(10, 100)
+        assert shift.behavior == custom and shift.group == "rebels"
+
+    def test_none_compiles_to_nothing(self):
+        assert ShiftSpec(kind="none").compile(10, 100) == ()
+
+
+class TestScenarioCompilation:
+    def test_compile_is_deterministic(self):
+        spec = full_spec()
+        first = spec.compile("smoke", seed=42)
+        second = spec.compile("smoke", seed=42)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_scales_change_size_not_structure(self):
+        spec = full_spec()
+        smoke = spec.compile("smoke", seed=0)
+        paper = spec.compile("paper", seed=0)
+        assert smoke.config.n_peers < paper.config.n_peers
+        assert smoke.config.rounds < paper.config.rounds
+        # Both carry the same kind of dynamics.
+        assert smoke.config.dynamics is not None
+        assert len(smoke.config.dynamics.churn_waves) == len(
+            paper.config.dynamics.churn_waves
+        )
+        assert len(smoke.config.dynamics.behavior_shifts) == 1
+
+    def test_at_scale_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            full_spec().at_scale("enormous")
+
+    def test_job_seed_is_deterministic_and_spec_bound(self):
+        spec = full_spec()
+        assert spec.job_seed(0, 0) == spec.job_seed(0, 0)
+        assert spec.job_seed(0, 0) != spec.job_seed(0, 1)
+        assert spec.job_seed(0, 0) != spec.job_seed(1, 0)
+        other = ScenarioSpec.from_dict({**spec.as_dict(), "name": "other"})
+        assert spec.job_seed(0, 0) != other.job_seed(0, 0)
+
+    def test_jobs_batch_unique_seeds(self):
+        jobs = full_spec().jobs("smoke", master_seed=0, repetitions=4)
+        seeds = {job.seed for job in jobs}
+        assert len(seeds) == 4
+
+    def test_compiled_job_executes(self):
+        result = full_spec().compile("smoke", seed=1).execute()
+        assert result.rounds_executed == result.config.rounds
+        assert "colluder" in result.groups()
