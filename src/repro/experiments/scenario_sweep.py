@@ -12,7 +12,7 @@ adversarial scenarios (free-riders, colluders) legible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
@@ -48,10 +48,20 @@ class ScenarioStats:
     mean_utilization: float
     churn_per_round: float
     group_mean_download: Dict[str, float]
+    #: Mean active population at the end of the run (== ``n_peers`` for
+    #: fixed-population scenarios; variable scenarios grow or shrink).
+    mean_final_population: float = 0.0
+    #: Per-cohort download per peer per measured round present — the
+    #: normalisation that keeps PRA measures comparable across varying N.
+    cohort_download_per_round: Dict[str, float] = field(default_factory=dict)
 
     @property
     def name(self) -> str:
         return self.spec.name
+
+    @property
+    def is_variable_population(self) -> bool:
+        return self.spec.arrival.is_variable
 
 
 @dataclass
@@ -72,9 +82,14 @@ def _aggregate(
 ) -> ScenarioStats:
     config = results[0].config
     group_download: Dict[str, List[float]] = {}
+    cohort_download: Dict[str, List[float]] = {}
     for result in results:
         for group, metrics in result.group_metrics().items():
             group_download.setdefault(group, []).append(metrics.mean_downloaded)
+        for cohort, metrics in result.cohort_metrics().items():
+            cohort_download.setdefault(cohort, []).append(
+                metrics.downloaded_per_peer_round
+            )
     return ScenarioStats(
         spec=spec,
         n_peers=config.n_peers,
@@ -85,6 +100,12 @@ def _aggregate(
         churn_per_round=mean(r.churn_events / r.rounds_executed for r in results),
         group_mean_download={
             group: mean(values) for group, values in sorted(group_download.items())
+        },
+        mean_final_population=mean(
+            float(r.final_active_count) for r in results
+        ),
+        cohort_download_per_round={
+            cohort: mean(values) for cohort, values in sorted(cohort_download.items())
         },
     )
 
@@ -133,15 +154,24 @@ def render(result: ScenarioSweepResult) -> str:
             f"{group}={download:.0f}"
             for group, download in stats.group_mean_download.items()
         )
+        cohorts = " ".join(
+            f"{cohort}={download:.1f}"
+            for cohort, download in stats.cohort_download_per_round.items()
+        )
+        if stats.is_variable_population:
+            population = f"{stats.n_peers}->{stats.mean_final_population:.0f}"
+        else:
+            population = str(stats.n_peers)
         rows.append(
             [
                 stats.name,
-                f"{stats.n_peers}x{stats.rounds}",
+                f"{population}x{stats.rounds}",
                 stats.repetitions,
                 stats.mean_throughput,
                 stats.mean_utilization,
                 stats.churn_per_round,
                 groups,
+                cohorts,
             ]
         )
     return format_table(
@@ -153,6 +183,7 @@ def render(result: ScenarioSweepResult) -> str:
             "utilization",
             "churn/round",
             "mean download by group",
+            "download/peer-round by cohort",
         ),
         rows,
         title=f"scenario sweep — {result.scale} scale, seed {result.seed}",

@@ -25,7 +25,7 @@ from repro.sim.bandwidth import (
 )
 from repro.sim.behavior import PeerBehavior
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import Simulation, SimulationResult
+from repro.sim.engine import SimulationResult, simulate
 from repro.sim.metrics import PeerRecord
 
 __all__ = ["SimulationJob", "result_to_payload", "result_from_payload"]
@@ -113,6 +113,12 @@ class SimulationJob:
         # (and the cache entries stored under it) stays valid.
         if config.dynamics is not None and not config.dynamics.is_trivial():
             config_payload["dynamics"] = config.dynamics.as_dict()
+        # Population dynamics likewise only appear when non-trivial: a
+        # variable-population job must never share a cache key with the
+        # fixed-population job it otherwise looks like (and two variable
+        # jobs differing only in, say, arrival rate must differ too).
+        if config.population is not None and not config.population.is_trivial():
+            config_payload["population"] = config.population.as_dict()
         return {
             "config": config_payload,
             "behaviors": [behavior.as_dict() for behavior in self.behaviors],
@@ -129,34 +135,59 @@ class SimulationJob:
     # execution
     # ------------------------------------------------------------------ #
     def execute(self) -> SimulationResult:
-        """Run the simulation described by this job."""
-        return Simulation(
+        """Run the simulation described by this job.
+
+        Dispatches to the variable-population engine when the config carries
+        non-trivial population dynamics, and to the optimised fixed-
+        population engine otherwise.
+        """
+        return simulate(
             self.config, list(self.behaviors), groups=self.groups, seed=self.seed
-        ).run()
+        )
 
 
 # ---------------------------------------------------------------------- #
 # result (de)serialisation for the on-disk cache
 # ---------------------------------------------------------------------- #
 def result_to_payload(result: SimulationResult) -> Dict[str, object]:
-    """JSON-stable payload of a result (config omitted — the job carries it)."""
-    return {
+    """JSON-stable payload of a result (config omitted — the job carries it).
+
+    Fixed-population results serialise exactly as before (every pinned
+    fingerprint stays valid); variable-population results — recognised by a
+    recorded active-count timeline — additionally carry the per-record
+    identity lifecycle and a ``population`` summary block.
+    """
+    variable = result.active_counts is not None
+    records = []
+    for record in result.records:
+        raw: Dict[str, object] = {
+            "peer_id": record.peer_id,
+            "group": record.group,
+            "upload_capacity": record.upload_capacity,
+            "behavior_label": record.behavior_label,
+            "downloaded": record.downloaded,
+            "uploaded": record.uploaded,
+        }
+        if variable:
+            raw["cohort"] = record.cohort
+            raw["joined_round"] = record.joined_round
+            raw["departed_round"] = record.departed_round
+            raw["rounds_present"] = record.rounds_present
+        records.append(raw)
+    payload: Dict[str, object] = {
         "version": RESULT_PAYLOAD_VERSION,
-        "records": [
-            {
-                "peer_id": record.peer_id,
-                "group": record.group,
-                "upload_capacity": record.upload_capacity,
-                "behavior_label": record.behavior_label,
-                "downloaded": record.downloaded,
-                "uploaded": record.uploaded,
-            }
-            for record in result.records
-        ],
+        "records": records,
         "rounds_executed": result.rounds_executed,
         "churn_events": result.churn_events,
         "total_explicit_refusals": result.total_explicit_refusals,
     }
+    if variable:
+        payload["population"] = {
+            "active_counts": list(result.active_counts),
+            "total_arrivals": result.total_arrivals,
+            "total_departures": result.total_departures,
+        }
+    return payload
 
 
 def result_from_payload(
@@ -167,21 +198,36 @@ def result_from_payload(
     The ``config`` comes from the job being looked up, so the reconstructed
     result is indistinguishable from a fresh run.
     """
-    records: List[PeerRecord] = [
-        PeerRecord(
-            peer_id=int(raw["peer_id"]),
-            group=str(raw["group"]),
-            upload_capacity=float(raw["upload_capacity"]),
-            behavior_label=str(raw["behavior_label"]),
-            downloaded=float(raw["downloaded"]),
-            uploaded=float(raw["uploaded"]),
+    records: List[PeerRecord] = []
+    for raw in payload["records"]:
+        departed = raw.get("departed_round")
+        present = raw.get("rounds_present")
+        records.append(
+            PeerRecord(
+                peer_id=int(raw["peer_id"]),
+                group=str(raw["group"]),
+                upload_capacity=float(raw["upload_capacity"]),
+                behavior_label=str(raw["behavior_label"]),
+                downloaded=float(raw["downloaded"]),
+                uploaded=float(raw["uploaded"]),
+                cohort=str(raw.get("cohort", "initial")),
+                joined_round=int(raw.get("joined_round", 0)),
+                departed_round=int(departed) if departed is not None else None,
+                rounds_present=int(present) if present is not None else None,
+            )
         )
-        for raw in payload["records"]
-    ]
+    population = payload.get("population")
     return SimulationResult(
         config=config,
         records=records,
         rounds_executed=int(payload["rounds_executed"]),
         churn_events=int(payload["churn_events"]),
         total_explicit_refusals=int(payload["total_explicit_refusals"]),
+        active_counts=(
+            tuple(int(c) for c in population["active_counts"])
+            if population is not None
+            else None
+        ),
+        total_arrivals=int(population["total_arrivals"]) if population else 0,
+        total_departures=int(population["total_departures"]) if population else 0,
     )

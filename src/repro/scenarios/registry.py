@@ -17,6 +17,12 @@ capacity-skew       seed/leecher asymmetry: few fast generous seed-class
 free-rider-wave     30% of peers switch to contributing nothing mid-run
 colluders           a clique switches on mid-run: loyal to each other,
                     defecting on everyone else
+growing-swarm       variable population: a Poisson stream of genuine
+                    newcomers grows the swarm (capped at 3x) while mild
+                    true departures thin it
+whitewash-churn     variable population: departing peers re-enter under
+                    fresh identities to shed their reputation
+                    (Sybil-style whitewashing)
 ==================  =====================================================
 
 Additional scenarios can be registered at runtime with :func:`register`
@@ -154,6 +160,34 @@ register(
         population=PopulationSpec(size=50),
         arrival=ArrivalSpec(kind="steady", churn_rate=0.01),
         shift=ShiftSpec(kind="colluders", at=0.25, fraction=0.2),
+        rounds=200,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="growing-swarm",
+        description=(
+            "Variable population: Poisson newcomers (3% of the initial swarm "
+            "per round, capped at 3x) against 1% true departures"
+        ),
+        population=PopulationSpec(size=50),
+        arrival=ArrivalSpec(
+            kind="poisson", churn_rate=0.01, at=0.0, size=0.03, cap=3.0
+        ),
+        rounds=200,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="whitewash-churn",
+        description=(
+            "Variable population: 4% true departures per round, 90% of them "
+            "re-entering under fresh identities (whitewashing)"
+        ),
+        population=PopulationSpec(size=50),
+        arrival=ArrivalSpec(kind="whitewash", churn_rate=0.04, size=0.9),
         rounds=200,
     )
 )

@@ -8,7 +8,11 @@ A :class:`ScenarioSpec` composes three orthogonal aspects of a workload:
 * **arrival/departure process** (:class:`ArrivalSpec`) — steady-state
   independent churn, a flash crowd (a correlated batch of fresh identities
   joining at once) or repeated burst-churn waves, all layered on the
-  per-round model in :mod:`repro.sim.churn`;
+  per-round model in :mod:`repro.sim.churn`; plus the *variable-population*
+  kinds (``"poisson"``, ``"whitewash"``) that compile to
+  :class:`~repro.sim.dynamics.PopulationDynamics` and run on the
+  variable-population engine, where the active peer count genuinely grows
+  and shrinks;
 * **behaviour dynamics** (:class:`ShiftSpec`) — a population fraction
   switching protocol at a point in the run (free-rider waves, colluding
   groups switching on).
@@ -37,10 +41,18 @@ from repro.runner.jobs import SimulationJob
 from repro.sim.bandwidth import MultiClassBandwidth
 from repro.sim.behavior import PeerBehavior
 from repro.sim.config import SimulationConfig
-from repro.sim.dynamics import BehaviorShift, ChurnWave, ScenarioDynamics
+from repro.sim.dynamics import (
+    ArrivalProcess,
+    BehaviorShift,
+    ChurnWave,
+    DepartureProcess,
+    PopulationDynamics,
+    ScenarioDynamics,
+)
 
 __all__ = [
     "ARRIVAL_KINDS",
+    "VARIABLE_ARRIVAL_KINDS",
     "SHIFT_KINDS",
     "SCALE_FACTORS",
     "BandwidthClass",
@@ -50,8 +62,12 @@ __all__ = [
     "ScenarioSpec",
 ]
 
+#: Variable-population kinds: true arrivals/departures on the variable
+#: engine rather than fixed-slot identity replacement.
+VARIABLE_ARRIVAL_KINDS = ("poisson", "whitewash")
+
 #: Arrival/departure process kinds.
-ARRIVAL_KINDS = ("steady", "flash_crowd", "burst_churn")
+ARRIVAL_KINDS = ("steady", "flash_crowd", "burst_churn") + VARIABLE_ARRIVAL_KINDS
 
 #: Behaviour-dynamics kinds (``custom`` requires an explicit behaviour).
 SHIFT_KINDS = ("none", "free_rider_wave", "colluders", "custom")
@@ -217,19 +233,33 @@ class ArrivalSpec:
         ``"steady"`` — only the base per-round churn;
         ``"flash_crowd"`` — one correlated wave replacing ``size`` of the
         swarm with fresh identities;
-        ``"burst_churn"`` — repeated windows of elevated independent churn.
+        ``"burst_churn"`` — repeated windows of elevated independent churn;
+        ``"poisson"`` — *variable population*: a Poisson stream of genuine
+        newcomers (expected ``size`` × initial population arrivals per
+        round, starting at ``at``) while ``churn_rate`` departures shrink
+        the active set;
+        ``"whitewash"`` — *variable population*: ``churn_rate`` true
+        departures per round, each re-entering under a fresh identity with
+        probability ``size`` (Sybil-style whitewashing).
     churn_rate:
-        Base per-peer per-round departure probability (all kinds).
+        Base per-peer per-round departure probability (all kinds; for the
+        variable kinds, the true-departure rate of the shrink process).
     at:
-        Start of the (first) wave, as a fraction of the run.
+        Start of the (first) wave — or of the Poisson arrival stream — as a
+        fraction of the run.
     size:
-        Wave intensity: the replaced fraction (flash crowd) or the extra
-        per-peer departure probability (burst churn).
+        Wave intensity: the replaced fraction (flash crowd), the extra
+        per-peer departure probability (burst churn), the per-round arrival
+        expectation as a fraction of the initial population (poisson), or
+        the whitewash probability per departure (whitewash).
     duration:
         Wave length in rounds.
     period:
         Burst churn only: distance between wave starts, as a fraction of the
         run; waves repeat until the run ends.
+    cap:
+        Variable kinds only: cap on the active population, as a multiple of
+        the initial size (0 — the default — leaves growth unbounded).
     """
 
     kind: str = "steady"
@@ -238,6 +268,7 @@ class ArrivalSpec:
     size: float = 0.0
     duration: int = 1
     period: float = 0.0
+    cap: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in ARRIVAL_KINDS:
@@ -257,9 +288,31 @@ class ArrivalSpec:
                 raise ValueError("burst churn size must be in (0, 1)")
             if not 0.0 < self.period < 1.0:
                 raise ValueError("burst churn period must be in (0, 1)")
+        if self.kind == "poisson" and self.size <= 0.0:
+            raise ValueError("poisson arrivals need size > 0 (rate fraction)")
+        if self.kind == "whitewash":
+            if not 0.0 < self.size <= 1.0:
+                raise ValueError("whitewash size (probability) must be in (0, 1]")
+            if self.churn_rate <= 0.0:
+                raise ValueError("whitewash needs churn_rate > 0 (departures)")
+        if self.cap != 0.0:
+            if self.kind not in VARIABLE_ARRIVAL_KINDS:
+                raise ValueError("cap only applies to variable-population kinds")
+            if self.cap < 1.0:
+                raise ValueError("cap must be >= 1 (a multiple of the initial size)")
+
+    @property
+    def is_variable(self) -> bool:
+        """Whether this process needs the variable-population engine."""
+        return self.kind in VARIABLE_ARRIVAL_KINDS
 
     def compile(self, rounds: int) -> Tuple[float, Tuple[ChurnWave, ...]]:
         """Reduce to ``(base churn rate, churn waves)`` for a run of ``rounds``."""
+        if self.is_variable:
+            raise ValueError(
+                f"arrival kind {self.kind!r} compiles to population dynamics; "
+                "use compile_population()"
+            )
         if self.kind == "steady":
             return self.churn_rate, ()
         start = min(rounds - 1, round(self.at * rounds))
@@ -284,8 +337,34 @@ class ArrivalSpec:
         )
         return self.churn_rate, waves
 
+    def compile_population(self, n_peers: int, rounds: int) -> PopulationDynamics:
+        """Reduce a variable kind to engine :class:`PopulationDynamics`.
+
+        Scale-free: the Poisson expectation is ``size`` arrivals per round
+        *per initial peer*, the arrival start is the ``at`` fraction of the
+        run, and the cap is a multiple of the initial population — so one
+        declaration compiles consistently at every scale.
+        """
+        if not self.is_variable:
+            raise ValueError(
+                f"arrival kind {self.kind!r} compiles to churn waves; use compile()"
+            )
+        max_active = round(self.cap * n_peers) if self.cap else 0
+        departure = DepartureProcess(rate=self.churn_rate, mode="shrink")
+        if self.kind == "poisson":
+            arrival = ArrivalProcess(
+                kind="poisson",
+                rate=self.size * n_peers,
+                start=min(rounds - 1, round(self.at * rounds)),
+            )
+        else:  # whitewash
+            arrival = ArrivalProcess(kind="whitewash", rate=self.size)
+        return PopulationDynamics(
+            arrival=arrival, departure=departure, max_active=max_active
+        )
+
     def as_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "kind": self.kind,
             "churn_rate": self.churn_rate,
             "at": self.at,
@@ -293,6 +372,11 @@ class ArrivalSpec:
             "duration": self.duration,
             "period": self.period,
         }
+        # Omitted at its default so every pre-variable-population scenario
+        # fingerprint (and the seeds derived from it) stays valid.
+        if self.cap != 0.0:
+            data["cap"] = self.cap
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ArrivalSpec":
@@ -303,6 +387,7 @@ class ArrivalSpec:
             size=float(data["size"]),
             duration=int(data["duration"]),
             period=float(data["period"]),
+            cap=float(data.get("cap", 0.0)),
         )
 
 
@@ -427,6 +512,17 @@ class ScenarioSpec:
             raise ValueError("a scenario needs a name")
         if self.rounds < _MIN_ROUNDS:
             raise ValueError(f"rounds must be >= {_MIN_ROUNDS}")
+        if self.arrival.is_variable:
+            if self.shift.kind != "none":
+                raise ValueError(
+                    "behaviour shifts address fixed peer slots and cannot be "
+                    "combined with a variable-population arrival process"
+                )
+            if self.population.classes:
+                raise ValueError(
+                    "capacity classes pin per-slot capacities and cannot be "
+                    "combined with a variable-population arrival process"
+                )
 
     # ------------------------------------------------------------------ #
     # scaling and compilation
@@ -460,6 +556,16 @@ class ScenarioSpec:
         spec = self.at_scale(scale)
         n_peers = spec.population.size
         behaviors, groups, capacities, distribution = spec.population.compile(n_peers)
+        if spec.arrival.is_variable:
+            config = SimulationConfig(
+                n_peers=n_peers,
+                rounds=spec.rounds,
+                bandwidth=distribution,
+                population=spec.arrival.compile_population(n_peers, spec.rounds),
+            )
+            return SimulationJob(
+                config=config, behaviors=behaviors, groups=groups, seed=seed
+            )
         churn_rate, waves = spec.arrival.compile(spec.rounds)
         shifts = spec.shift.compile(n_peers, spec.rounds)
         dynamics = ScenarioDynamics(

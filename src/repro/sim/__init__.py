@@ -36,10 +36,18 @@ from repro.sim.behavior import (
     PeerBehavior,
 )
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import Simulation, SimulationResult
+from repro.sim.dynamics import ArrivalProcess, DepartureProcess, PopulationDynamics
+from repro.sim.engine import Simulation, SimulationResult, simulate
 from repro.sim.history import InteractionHistory
-from repro.sim.metrics import GroupMetrics, compute_group_metrics, population_throughput
+from repro.sim.metrics import (
+    CohortMetrics,
+    GroupMetrics,
+    compute_cohort_metrics,
+    compute_group_metrics,
+    population_throughput,
+)
 from repro.sim.peer import PeerState
+from repro.sim.population import PopulationSimulation
 
 __all__ = [
     "BandwidthDistribution",
@@ -56,9 +64,16 @@ __all__ = [
     "SimulationConfig",
     "Simulation",
     "SimulationResult",
+    "simulate",
+    "ArrivalProcess",
+    "DepartureProcess",
+    "PopulationDynamics",
+    "PopulationSimulation",
     "InteractionHistory",
     "PeerState",
     "GroupMetrics",
+    "CohortMetrics",
     "compute_group_metrics",
+    "compute_cohort_metrics",
     "population_throughput",
 ]

@@ -12,17 +12,30 @@ On top of that per-round model the scenario subsystem layers *correlated*
 churn (:func:`apply_correlated_churn`): an exact fraction of the swarm
 replaced together in one round, modelling flash crowds of newcomers and
 correlated failures rather than independent departures.
+
+The variable-population engine replaces the identity-swap model with *true*
+arrivals and departures: :func:`apply_true_departures` removes identities
+from a mutable active set for good, and :func:`sample_poisson` drives the
+Poisson arrival stream.  Both consume the run's single random generator in
+a pinned order, so variable-population runs stay deterministic per seed.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Iterable, List, Sequence
 
 from repro.sim.bandwidth import BandwidthDistribution
 from repro.sim.peer import PeerState
 
-__all__ = ["apply_churn", "apply_correlated_churn"]
+__all__ = [
+    "MAX_POISSON_RATE",
+    "apply_churn",
+    "apply_correlated_churn",
+    "apply_true_departures",
+    "sample_poisson",
+]
 
 
 def _replace_and_forget(
@@ -46,7 +59,9 @@ def _replace_and_forget(
                 peer.upload_capacity = bandwidth.sample(rng)
             peer.reset_for_rejoin(round_index)
         else:
-            # Everyone else forgets the departed identities.
+            # Everyone else forgets the departed identities.  (Kept as
+            # per-id forget_peer calls: this function is shared with the
+            # frozen reference engine's snapshot history class.)
             for gone in churned_set:
                 peer.history.forget_peer(gone)
                 peer.loyalty.pop(gone, None)
@@ -151,3 +166,87 @@ def apply_correlated_churn(
         peers, churned, round_index, rng, bandwidth, resample_capacity
     )
     return churned
+
+
+# ---------------------------------------------------------------------- #
+# variable-population primitives
+# ---------------------------------------------------------------------- #
+#: Above this rate ``math.exp(-lam)`` underflows to 0.0 and Knuth's method
+#: would silently return biased counts; reject instead of miscounting.
+MAX_POISSON_RATE = 700.0
+
+
+def sample_poisson(rng: random.Random, lam: float) -> int:
+    """One Poisson(``lam``) draw from ``rng`` (Knuth's multiplication method).
+
+    Consumes one uniform draw per unit of the returned count plus one, so
+    the stream stays deterministic per seed.  Suitable for the per-round
+    arrival intensities used here (lambda up to a few hundred); rates large
+    enough to underflow ``exp(-lam)`` are rejected rather than silently
+    undercounted.
+    """
+    if lam < 0.0:
+        raise ValueError("lam must be >= 0")
+    if lam == 0.0:
+        return 0
+    if lam > MAX_POISSON_RATE:
+        raise ValueError(
+            f"lam must be <= {MAX_POISSON_RATE:g} (exp(-lam) underflows and "
+            "Knuth's method would return biased counts)"
+        )
+    threshold = math.exp(-lam)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def apply_true_departures(
+    active: List[PeerState],
+    rate: float,
+    round_index: int,
+    rng: random.Random,
+    min_active: int = 2,
+) -> List[PeerState]:
+    """Apply one round of *true* departures to the mutable ``active`` list.
+
+    Each active peer independently departs with probability ``rate`` (one
+    uniform draw per active peer, in list order — the same draw pattern as
+    :func:`apply_churn`).  Departing identities are removed from ``active``
+    for good: survivors forget them (history, loyalty, pending requests) and
+    the departed peers are marked with their departure round.  Once removals
+    would push the active count below ``min_active``, the remaining
+    departures of the round are suppressed (the swarm keeps a viable core).
+
+    Returns the departed peers, in id order of their draw.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("rate must be in [0, 1)")
+    if rate == 0.0 or not active:
+        return []
+
+    departing: List[PeerState] = []
+    for peer in active:
+        if rng.random() < rate:
+            departing.append(peer)
+    if not departing:
+        return []
+
+    allowed = len(active) - min_active
+    if allowed <= 0:
+        return []
+    if len(departing) > allowed:
+        del departing[allowed:]
+
+    departed_ids = {peer.peer_id for peer in departing}
+    for peer in departing:
+        peer.depart(round_index)
+    active[:] = [peer for peer in active if peer.peer_id not in departed_ids]
+    for peer in active:
+        peer.history.forget_peers(departed_ids)
+        for gone in departed_ids:
+            peer.loyalty.pop(gone, None)
+            peer.pending_requests.discard(gone)
+    return departing

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.sim.bandwidth import BandwidthDistribution, piatek_distribution
-from repro.sim.dynamics import ScenarioDynamics
+from repro.sim.dynamics import PopulationDynamics, ScenarioDynamics
 
 __all__ = ["SimulationConfig"]
 
@@ -59,6 +59,14 @@ class SimulationConfig:
         pinned initial capacities; see :mod:`repro.sim.dynamics`).  ``None``
         — the default — runs the unmodified legacy path, bit-identical to
         the golden reference engine.
+    population:
+        Optional variable-population dynamics (true arrivals/departures;
+        see :class:`~repro.sim.dynamics.PopulationDynamics`).  A non-trivial
+        bundle routes the run onto the variable-population engine, where
+        ``n_peers`` is the *initial* population and the active set grows
+        and shrinks over the run.  Mutually exclusive with ``churn_rate``
+        and ``dynamics`` (the population process owns all arrivals and
+        departures).
     """
 
     n_peers: int = 50
@@ -72,6 +80,7 @@ class SimulationConfig:
     history_rounds: int = 3
     aspiration_smoothing: float = 0.25
     dynamics: Optional[ScenarioDynamics] = None
+    population: Optional[PopulationDynamics] = None
 
     def __post_init__(self) -> None:
         if self.n_peers < 2:
@@ -104,6 +113,27 @@ class SimulationConfig:
                     "dynamics references peer id "
                     f"{self.dynamics.max_peer_id()} outside [0, {self.n_peers})"
                 )
+        if self.population is not None and not self.population.is_trivial():
+            if self.churn_rate != 0.0:
+                raise ValueError(
+                    "population dynamics and churn_rate are mutually exclusive; "
+                    "express departures via the DepartureProcess"
+                )
+            if self.dynamics is not None:
+                raise ValueError(
+                    "population dynamics and scenario dynamics are mutually "
+                    "exclusive (waves and shifts address fixed peer slots)"
+                )
+            if 0 < self.population.max_active < self.n_peers:
+                raise ValueError(
+                    f"max_active ({self.population.max_active}) must not be "
+                    f"below the initial population ({self.n_peers})"
+                )
+
+    @property
+    def is_variable_population(self) -> bool:
+        """Whether this run executes on the variable-population engine."""
+        return self.population is not None and not self.population.is_trivial()
 
     def distribution(self) -> BandwidthDistribution:
         """The effective bandwidth distribution (Piatek-style by default)."""

@@ -17,21 +17,49 @@ engine executes directly:
   :class:`~repro.sim.config.SimulationConfig`, optionally also pinning the
   initial per-peer upload capacities (heterogeneous class populations).
 
+On top of the fixed-slot dynamics this module also defines the
+*variable-population* primitives executed by
+:class:`~repro.sim.population.PopulationSimulation`:
+
+* :class:`ArrivalProcess` — how genuinely new identities enter the swarm
+  mid-run (Poisson stream, a scheduled flash batch, or whitewash rejoins
+  where departing peers immediately re-enter under fresh identities);
+* :class:`DepartureProcess` — how identities leave (true departures that
+  shrink the active set, or the legacy replacement semantics that keep the
+  population size fixed);
+* :class:`PopulationDynamics` — the bundle attached to
+  :class:`~repro.sim.config.SimulationConfig.population`.
+
 All types are frozen, hashable and JSON round-trippable, so a configured
 dynamics bundle participates in the runner's content-addressed result cache
 exactly like every other simulation parameter.  A config whose ``dynamics``
-is ``None`` executes the unmodified legacy path — bit-identical to the
-golden reference engine.
+and ``population`` are ``None`` executes the unmodified legacy path —
+bit-identical to the golden reference engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.sim.behavior import PeerBehavior
 
-__all__ = ["ChurnWave", "BehaviorShift", "ScenarioDynamics"]
+__all__ = [
+    "ChurnWave",
+    "BehaviorShift",
+    "ScenarioDynamics",
+    "ArrivalProcess",
+    "DepartureProcess",
+    "PopulationDynamics",
+    "ARRIVAL_PROCESS_KINDS",
+    "DEPARTURE_MODES",
+]
+
+#: Arrival-process kinds understood by the variable-population engine.
+ARRIVAL_PROCESS_KINDS = ("none", "poisson", "flash", "whitewash")
+
+#: Departure modes: true departures vs legacy identity replacement.
+DEPARTURE_MODES = ("shrink", "replace")
 
 
 @dataclass(frozen=True)
@@ -244,4 +272,229 @@ class ScenarioDynamics:
             behavior_shifts=tuple(
                 BehaviorShift.from_dict(s) for s in data.get("behavior_shifts", ())
             ),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# variable-population primitives
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """How genuinely new identities enter the swarm mid-run.
+
+    Parameters
+    ----------
+    kind:
+        ``"none"`` — no arrivals;
+        ``"poisson"`` — a Poisson stream with expectation ``rate`` arrivals
+        per round (independent across rounds);
+        ``"flash"`` — a scheduled batch of ``count`` arrivals starting at
+        round ``start``, spread evenly over ``duration`` rounds (a flash
+        crowd of genuine newcomers, not identity replacements);
+        ``"whitewash"`` — no exogenous arrivals; instead each *departing*
+        peer immediately re-enters under a fresh identity with probability
+        ``rate`` (Sybil-style whitewashing: same node, same capacity and
+        behaviour, but a blank reputation).
+    rate:
+        Poisson: expected arrivals per round (> 0).  Whitewash: probability
+        in (0, 1] that a departure rejoins under a new identity.
+    start:
+        First round arrivals may occur (flash: the batch round).
+    count:
+        Flash only: total number of arrivals in the batch.
+    duration:
+        Flash only: number of rounds the batch is spread over.
+    behavior, group:
+        Behaviour/group label given to newcomers.  ``None`` (the default)
+        cycles newcomers through the initial population's per-peer
+        behaviour/group pattern, preserving the declared mix.
+    """
+
+    kind: str = "none"
+    rate: float = 0.0
+    start: int = 0
+    count: int = 0
+    duration: int = 1
+    behavior: Optional[PeerBehavior] = None
+    group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_PROCESS_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; "
+                f"expected one of {ARRIVAL_PROCESS_KINDS}"
+            )
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.duration < 1:
+            raise ValueError("duration must be >= 1")
+        if self.kind == "poisson":
+            if self.rate <= 0.0:
+                raise ValueError("poisson arrivals need rate > 0")
+            # Fail at declaration time rather than mid-run: sample_poisson
+            # rejects rates whose exp(-rate) underflows.
+            from repro.sim.churn import MAX_POISSON_RATE
+
+            if self.rate > MAX_POISSON_RATE:
+                raise ValueError(
+                    f"poisson arrival rate must be <= {MAX_POISSON_RATE:g} "
+                    "per round (sampling would be biased beyond that)"
+                )
+        if self.kind == "whitewash" and not 0.0 < self.rate <= 1.0:
+            raise ValueError("whitewash rate must be in (0, 1]")
+        if self.kind == "flash" and self.count < 1:
+            raise ValueError("flash arrivals need count >= 1")
+
+    def is_none(self) -> bool:
+        """Whether this process never produces an arrival."""
+        return self.kind == "none"
+
+    def flash_count_for_round(self, round_index: int) -> int:
+        """Scheduled flash arrivals joining at ``round_index`` (0 otherwise).
+
+        The batch is spread as evenly as possible over ``duration`` rounds
+        starting at ``start``, earlier rounds receiving the remainder.
+        """
+        if self.kind != "flash":
+            return 0
+        offset = round_index - self.start
+        if not 0 <= offset < self.duration:
+            return 0
+        base, remainder = divmod(self.count, self.duration)
+        return base + (1 if offset < remainder else 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "kind": self.kind,
+            "rate": self.rate,
+            "start": self.start,
+            "count": self.count,
+            "duration": self.duration,
+            "behavior": self.behavior.as_dict() if self.behavior else None,
+            "group": self.group,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ArrivalProcess":
+        """Inverse of :meth:`as_dict`."""
+        behavior = data.get("behavior")
+        group = data.get("group")
+        return cls(
+            kind=str(data["kind"]),
+            rate=float(data.get("rate", 0.0)),
+            start=int(data.get("start", 0)),
+            count=int(data.get("count", 0)),
+            duration=int(data.get("duration", 1)),
+            behavior=PeerBehavior.from_dict(behavior) if behavior else None,
+            group=str(group) if group is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class DepartureProcess:
+    """How identities leave the swarm.
+
+    Parameters
+    ----------
+    rate:
+        Per-peer per-round departure probability (0 disables departures).
+    mode:
+        ``"shrink"`` — departures genuinely leave and the active set
+        shrinks; ``"replace"`` — the legacy semantics: the departed slot is
+        immediately taken by a fresh identity with a resampled capacity,
+        exactly as :func:`repro.sim.churn.apply_churn` does (this is the
+        differential-testing bridge to the fixed-population engine).
+    min_active:
+        Floor on the active population; once departures would push the
+        active count below it, the remaining departures of that round are
+        suppressed (a swarm never dissolves below a viable core).
+    """
+
+    rate: float = 0.0
+    mode: str = "shrink"
+    min_active: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError("departure rate must be in [0, 1)")
+        if self.mode not in DEPARTURE_MODES:
+            raise ValueError(
+                f"unknown departure mode {self.mode!r}; "
+                f"expected one of {DEPARTURE_MODES}"
+            )
+        if self.min_active < 2:
+            raise ValueError("min_active must be at least 2")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {"rate": self.rate, "mode": self.mode, "min_active": self.min_active}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DepartureProcess":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            rate=float(data.get("rate", 0.0)),
+            mode=str(data.get("mode", "shrink")),
+            min_active=int(data.get("min_active", 2)),
+        )
+
+
+@dataclass(frozen=True)
+class PopulationDynamics:
+    """The variable-population bundle of one simulation.
+
+    Attaching a non-trivial ``PopulationDynamics`` to a
+    :class:`~repro.sim.config.SimulationConfig` routes the run onto the
+    variable-population engine
+    (:class:`~repro.sim.population.PopulationSimulation`): arrivals create
+    genuinely new identities with fresh peer ids, and departures in
+    ``"shrink"`` mode remove identities for good.  ``max_active`` caps the
+    active population (a tracker's capacity limit); 0 means unbounded.
+
+    The degenerate bundle — no arrivals, ``"replace"`` departures — is the
+    legacy churn model expressed in the new vocabulary; the differential
+    suite proves the variable engine reproduces the fixed-population engine
+    bit-for-bit in that configuration.
+    """
+
+    arrival: ArrivalProcess = field(default_factory=ArrivalProcess)
+    departure: DepartureProcess = field(default_factory=DepartureProcess)
+    max_active: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_active < 0:
+            raise ValueError("max_active must be >= 0 (0 means unbounded)")
+        if self.arrival.kind == "whitewash" and self.departure.rate <= 0.0:
+            raise ValueError("whitewash arrivals need a positive departure rate")
+        if not self.arrival.is_none() and self.departure.mode != "shrink":
+            # Replacement departures swap identities in-place per slot, so a
+            # slot's record would blend several identities — incoherent next
+            # to arrival records that each carry one identity's lifecycle.
+            # "replace" exists only as the no-arrival differential bridge to
+            # the fixed-population engine.
+            raise ValueError(
+                "arrival processes require 'shrink' departures; 'replace' "
+                "mode is the degenerate no-arrival churn model"
+            )
+
+    def is_trivial(self) -> bool:
+        """Whether this bundle changes nothing over the legacy path."""
+        return self.arrival.is_none() and self.departure.rate == 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "arrival": self.arrival.as_dict(),
+            "departure": self.departure.as_dict(),
+            "max_active": self.max_active,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PopulationDynamics":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            arrival=ArrivalProcess.from_dict(data["arrival"]),
+            departure=DepartureProcess.from_dict(data["departure"]),
+            max_active=int(data.get("max_active", 0)),
         )

@@ -94,6 +94,20 @@ class InteractionHistory:
         for bucket in self._rounds.values():
             bucket.pop(peer_id, None)
 
+    def forget_peers(self, peer_ids: Iterable[int]) -> None:
+        """Remove every record about each id in ``peer_ids`` in one sweep.
+
+        Equivalent to calling :meth:`forget_peer` per id but touching each
+        round bucket only once — the shape the variable-population engine
+        needs when a whole batch of identities departs together.
+        """
+        ids = tuple(peer_ids)
+        if not ids:
+            return
+        for bucket in self._rounds.values():
+            for peer_id in ids:
+                bucket.pop(peer_id, None)
+
     def clear(self) -> None:
         """Drop all history (a freshly joined peer)."""
         self._rounds.clear()

@@ -11,19 +11,41 @@ The PRA quantification needs two numbers from every run:
 
 :func:`compute_group_metrics` produces both from per-peer records, plus
 capacity-utilisation figures used in tests and the ablation benchmarks.
+
+Variable-population runs additionally label every record with its join-time
+*cohort* (initial population / genuine arrival / whitewash rejoin) and the
+number of measured rounds the identity was actually present.
+:func:`compute_cohort_metrics` normalises transfers by those peer-rounds —
+download **per peer per round present** — which is what makes PRA measures
+comparable between cohorts of different sizes and lifespans, and between
+runs whose active population differs over time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["PeerRecord", "GroupMetrics", "compute_group_metrics", "population_throughput"]
+__all__ = [
+    "PeerRecord",
+    "GroupMetrics",
+    "CohortMetrics",
+    "compute_group_metrics",
+    "compute_cohort_metrics",
+    "population_throughput",
+]
 
 
 @dataclass(frozen=True)
 class PeerRecord:
-    """Per-peer accounting extracted from a finished simulation run."""
+    """Per-peer accounting extracted from a finished simulation run.
+
+    The population-lifecycle fields keep their defaults on fixed-population
+    runs (every peer is an ``"initial"`` cohort member present for the whole
+    measured window); the variable-population engine fills them in.
+    ``rounds_present`` counts *measured* rounds the identity was active
+    (``None`` means the full measured window).
+    """
 
     peer_id: int
     group: str
@@ -31,6 +53,10 @@ class PeerRecord:
     behavior_label: str
     downloaded: float
     uploaded: float
+    cohort: str = "initial"
+    joined_round: int = 0
+    departed_round: Optional[int] = None
+    rounds_present: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -82,6 +108,66 @@ def compute_group_metrics(
             mean_downloaded=total_down / count,
             mean_uploaded=total_up / count,
             total_capacity=capacity,
+        )
+    return metrics
+
+
+@dataclass(frozen=True)
+class CohortMetrics:
+    """Aggregate metrics for one join-time cohort within a run.
+
+    ``peer_rounds`` is the cohort's total exposure — the sum over members of
+    the measured rounds each was present — and the ``*_per_peer_round``
+    figures divide by it.  That normalisation is what makes the PRA measures
+    of a 5-peer late-arriving cohort comparable to a 50-peer incumbent one.
+    """
+
+    cohort: str
+    peer_count: int
+    peer_rounds: int
+    total_downloaded: float
+    total_uploaded: float
+    mean_downloaded: float
+    mean_uploaded: float
+    downloaded_per_peer_round: float
+    uploaded_per_peer_round: float
+
+
+def compute_cohort_metrics(
+    records: Sequence[PeerRecord], measured_rounds: int
+) -> Dict[str, CohortMetrics]:
+    """Compute :class:`CohortMetrics` for every cohort present in ``records``.
+
+    Records whose ``rounds_present`` is ``None`` (fixed-population runs)
+    count as present for all ``measured_rounds``.  Members present for zero
+    measured rounds contribute peers but no exposure; a cohort with zero
+    total exposure reports zero per-peer-round rates.
+    """
+    if measured_rounds < 1:
+        raise ValueError("measured_rounds must be >= 1")
+    cohorts: Dict[str, List[PeerRecord]] = {}
+    for record in records:
+        cohorts.setdefault(record.cohort, []).append(record)
+
+    metrics: Dict[str, CohortMetrics] = {}
+    for cohort, members in cohorts.items():
+        total_down = sum(m.downloaded for m in members)
+        total_up = sum(m.uploaded for m in members)
+        peer_rounds = sum(
+            m.rounds_present if m.rounds_present is not None else measured_rounds
+            for m in members
+        )
+        count = len(members)
+        metrics[cohort] = CohortMetrics(
+            cohort=cohort,
+            peer_count=count,
+            peer_rounds=peer_rounds,
+            total_downloaded=total_down,
+            total_uploaded=total_up,
+            mean_downloaded=total_down / count,
+            mean_uploaded=total_up / count,
+            downloaded_per_peer_round=total_down / peer_rounds if peer_rounds else 0.0,
+            uploaded_per_peer_round=total_up / peer_rounds if peer_rounds else 0.0,
         )
     return metrics
 

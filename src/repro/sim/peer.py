@@ -10,7 +10,7 @@ requests, and cumulative transfer accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from repro.sim.behavior import PeerBehavior
 from repro.sim.history import InteractionHistory
@@ -49,6 +49,14 @@ class PeerState:
         Cumulative transfer accounting over the whole run.
     joined_round:
         Round at which the peer (re-)joined; reset by churn.
+    cohort:
+        Join-time cohort label under variable-population dynamics
+        (``"initial"`` for the starting population, ``"arrival"`` for
+        genuine newcomers, ``"whitewash"`` for departed peers re-entering
+        under fresh identities).  Fixed-population runs leave the default.
+    departed_round:
+        Round at which the identity left the swarm for good (``None`` while
+        active; only ever set by the variable-population engine).
     """
 
     peer_id: int
@@ -62,6 +70,8 @@ class PeerState:
     total_downloaded: float = 0.0
     total_uploaded: float = 0.0
     joined_round: int = 0
+    cohort: str = "initial"
+    departed_round: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.upload_capacity <= 0:
@@ -106,6 +116,40 @@ class PeerState:
             raise ValueError("smoothing must be in (0, 1]")
         per_slot = received_this_round / max(1, self.behavior.total_slots)
         self.aspiration = (1.0 - smoothing) * self.aspiration + smoothing * per_slot
+
+    # ------------------------------------------------------------------ #
+    # identity lifecycle (variable-population engine)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def spawn(
+        cls,
+        peer_id: int,
+        upload_capacity: float,
+        behavior: PeerBehavior,
+        group: str,
+        joined_round: int,
+        cohort: str,
+        history_rounds: int,
+    ) -> "PeerState":
+        """A genuinely new identity joining mid-run.
+
+        Late joiners start with an empty interaction history window — they
+        know nobody and nobody knows them — and the default aspiration of a
+        fresh peer (capacity spread over nominal slots).
+        """
+        return cls(
+            peer_id=peer_id,
+            upload_capacity=upload_capacity,
+            behavior=behavior,
+            group=group,
+            history=InteractionHistory(max_rounds=history_rounds),
+            joined_round=joined_round,
+            cohort=cohort,
+        )
+
+    def depart(self, round_index: int) -> None:
+        """Mark this identity as having left the swarm for good."""
+        self.departed_round = round_index
 
     # ------------------------------------------------------------------ #
     # churn support

@@ -1,0 +1,417 @@
+"""The variable-population simulation engine (true arrivals/departures).
+
+:class:`PopulationSimulation` executes the same two-phase round loop as the
+fixed-population engine, but over a **mutable active set**: arrivals create
+genuinely new identities mid-run (fresh peer ids, empty history, default
+aspiration) and departures in ``"shrink"`` mode remove identities for good —
+survivors forget them, and their final accounting is preserved in the run's
+records.  This replaces the fixed-slot identity-swap churn model wherever a
+scenario needs a population whose *size* changes: growing swarms, flash
+crowds of real newcomers, and Sybil-style whitewashing where departing peers
+re-enter under fresh identities to shed their reputation.
+
+Round structure:
+
+1. **Population step** — departures are drawn per active peer (replacement
+   or true-shrink semantics per the
+   :class:`~repro.sim.dynamics.DepartureProcess`), whitewash rejoins are
+   drawn per departure, and exogenous arrivals (Poisson stream or scheduled
+   flash batch) join, capped by ``max_active``.  New identities participate
+   from this round on.
+2. **Decision phase** — every active peer decides exactly as in the
+   reference engine, via the live policy modules
+   (:mod:`repro.sim.policies`); candidate and discovery structures are
+   rebuilt from the current active set each round.
+3. **Transfer phase** — buffered allocations are applied simultaneously,
+   then loyalty, aspiration and pending requests are refreshed.
+
+Determinism and equivalence
+---------------------------
+The engine consumes its single :class:`random.Random` in a pinned order
+(departure draws in active order, whitewash draws in departure order, the
+arrival-count draw, then one capacity draw per admitted arrival, then the
+decision draws), so runs are bit-reproducible per seed for every arrival
+process.  In the **degenerate configuration** — no arrivals, ``"replace"``
+departures — the population step collapses to exactly
+:func:`repro.sim.churn.apply_churn` and the engine makes draw-for-draw the
+same random decisions as the fixed-population engine; the differential
+suite (``tests/sim/test_population_differential.py``) proves the results
+are bit-identical to :class:`repro.sim.engine.Simulation` and therefore to
+the golden :class:`repro.sim.reference.ReferenceSimulation`.
+
+Unlike fixed-population results, the records of a variable run include
+**every identity that ever existed** (departed identities keep their final
+accounting, so transfer totals balance across population change), each
+labelled with its join-time cohort and the measured rounds it was present —
+the inputs :func:`repro.sim.metrics.compute_cohort_metrics` normalises into
+per-peer-round PRA measures comparable across varying population sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.behavior import PeerBehavior
+from repro.sim.churn import apply_churn, apply_true_departures, sample_poisson
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationResult
+from repro.sim.metrics import PeerRecord
+from repro.sim.peer import PeerState
+from repro.sim.policies.allocation import allocate_upload
+from repro.sim.policies.candidate import candidate_list
+from repro.sim.policies.ranking import rank_candidates
+from repro.sim.policies.stranger import stranger_decision
+
+__all__ = ["PopulationSimulation"]
+
+
+class PopulationSimulation:
+    """A cycle-based simulation over a dynamic peer population.
+
+    Parameters mirror :class:`repro.sim.engine.Simulation`; ``config`` must
+    carry a :class:`~repro.sim.dynamics.PopulationDynamics` bundle.
+    ``config.n_peers`` is the *initial* population; ``behaviors`` and
+    ``groups`` follow the same one-or-n broadcast convention and describe
+    that initial population.  Arrivals without an explicit
+    behaviour/group override cycle through the initial per-peer pattern, so
+    a heterogeneous mix is preserved as the swarm grows.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        behaviors: Sequence[PeerBehavior],
+        groups: Optional[Sequence[str]] = None,
+        seed: Optional[int] = None,
+    ):
+        population = config.population
+        if population is None:
+            raise ValueError(
+                "PopulationSimulation needs a config with population dynamics; "
+                "use repro.sim.engine.Simulation for fixed populations"
+            )
+        self.config = config
+        self._population = population
+        self._rng = random.Random(seed)
+
+        behaviors = list(behaviors)
+        if len(behaviors) == 1:
+            behaviors = behaviors * config.n_peers
+        if len(behaviors) != config.n_peers:
+            raise ValueError(
+                f"expected 1 or {config.n_peers} behaviors, got {len(behaviors)}"
+            )
+
+        if groups is None:
+            group_labels = ["default"] * config.n_peers
+        else:
+            group_labels = list(groups)
+            if len(group_labels) == 1:
+                group_labels = group_labels * config.n_peers
+            if len(group_labels) != config.n_peers:
+                raise ValueError(
+                    f"expected 1 or {config.n_peers} group labels, got {len(group_labels)}"
+                )
+
+        self._initial_behaviors = behaviors
+        self._initial_groups = group_labels
+        self._distribution = config.distribution()
+
+        # The initial population, sampled in the same order (and therefore
+        # with the same draws) as the fixed-population engines.
+        self._active: List[PeerState] = []
+        for peer_id in range(config.n_peers):
+            self._active.append(
+                PeerState.spawn(
+                    peer_id=peer_id,
+                    upload_capacity=self._distribution.sample(self._rng),
+                    behavior=behaviors[peer_id],
+                    group=group_labels[peer_id],
+                    joined_round=0,
+                    cohort="initial",
+                    history_rounds=config.history_rounds,
+                )
+            )
+        #: Every identity ever created, in creation (= id) order.  Active
+        #: and departed peers alike; records are emitted from this list.
+        self._all_peers: List[PeerState] = list(self._active)
+        self._next_id = config.n_peers
+
+        self._measured_down: Dict[int, float] = {
+            p.peer_id: 0.0 for p in self._active
+        }
+        self._measured_up: Dict[int, float] = {p.peer_id: 0.0 for p in self._active}
+        #: Measured rounds each identity was active (variable runs only).
+        self._presence: Dict[int, int] = {p.peer_id: 0 for p in self._active}
+
+        self._churn_events = 0
+        self._explicit_refusals = 0
+        self._arrivals = 0
+        self._departures = 0
+        self._active_counts: List[int] = []
+
+        # The degenerate bundle — no arrivals, replacement departures — is
+        # the legacy churn model; the run then reports a legacy-shaped
+        # result, bit-identical to the fixed-population engine's.
+        self._legacy = (
+            population.arrival.is_none() and population.departure.mode == "replace"
+        )
+
+    # ------------------------------------------------------------------ #
+    # population step
+    # ------------------------------------------------------------------ #
+    def _spawn(
+        self,
+        capacity: float,
+        behavior: PeerBehavior,
+        group: str,
+        round_index: int,
+        cohort: str,
+    ) -> PeerState:
+        """Create a genuinely new identity and admit it to the active set."""
+        peer = PeerState.spawn(
+            peer_id=self._next_id,
+            upload_capacity=capacity,
+            behavior=behavior,
+            group=group,
+            joined_round=round_index,
+            cohort=cohort,
+            history_rounds=self.config.history_rounds,
+        )
+        self._next_id += 1
+        self._active.append(peer)
+        self._all_peers.append(peer)
+        self._measured_down[peer.peer_id] = 0.0
+        self._measured_up[peer.peer_id] = 0.0
+        self._presence[peer.peer_id] = 0
+        self._arrivals += 1
+        self._churn_events += 1
+        return peer
+
+    def _spawn_arrival(self, round_index: int) -> PeerState:
+        """Admit one exogenous newcomer (Poisson stream or flash batch)."""
+        arrival = self._population.arrival
+        new_id = self._next_id
+        n_initial = self.config.n_peers
+        behavior = (
+            arrival.behavior
+            if arrival.behavior is not None
+            else self._initial_behaviors[new_id % n_initial]
+        )
+        group = (
+            arrival.group
+            if arrival.group is not None
+            else self._initial_groups[new_id % n_initial]
+        )
+        return self._spawn(
+            capacity=self._distribution.sample(self._rng),
+            behavior=behavior,
+            group=group,
+            round_index=round_index,
+            cohort="arrival",
+        )
+
+    def _admissible(self, requested: int) -> int:
+        """Clamp an arrival count to the ``max_active`` capacity cap."""
+        cap = self._population.max_active
+        if cap <= 0:
+            return requested
+        return max(0, min(requested, cap - len(self._active)))
+
+    def _population_step(self, round_index: int) -> None:
+        population = self._population
+        departure = population.departure
+        arrival = population.arrival
+        rng = self._rng
+
+        if departure.rate > 0.0:
+            if departure.mode == "replace":
+                churned = apply_churn(
+                    self._active,
+                    departure.rate,
+                    round_index,
+                    rng,
+                    self._distribution,
+                )
+                self._churn_events += len(churned)
+            else:
+                departed = apply_true_departures(
+                    self._active,
+                    departure.rate,
+                    round_index,
+                    rng,
+                    min_active=departure.min_active,
+                )
+                if departed:
+                    self._departures += len(departed)
+                    self._churn_events += len(departed)
+                    if arrival.kind == "whitewash":
+                        # A whitewashing node re-enters immediately: same
+                        # capacity, behaviour and group, but a fresh
+                        # identity nobody has history with.
+                        for peer in departed:
+                            if rng.random() < arrival.rate:
+                                self._spawn(
+                                    capacity=peer.upload_capacity,
+                                    behavior=peer.behavior,
+                                    group=peer.group,
+                                    round_index=round_index,
+                                    cohort="whitewash",
+                                )
+
+        if arrival.kind == "poisson":
+            if round_index >= arrival.start:
+                # The count is always drawn (even when the cap admits
+                # nobody) so the random stream does not depend on the
+                # current population state.
+                count = self._admissible(sample_poisson(rng, arrival.rate))
+                for _ in range(count):
+                    self._spawn_arrival(round_index)
+        elif arrival.kind == "flash":
+            count = self._admissible(arrival.flash_count_for_round(round_index))
+            for _ in range(count):
+                self._spawn_arrival(round_index)
+
+    # ------------------------------------------------------------------ #
+    # round processing (reference-engine semantics over the active set)
+    # ------------------------------------------------------------------ #
+    def _decide_peer(
+        self, peer: PeerState, round_index: int, active_ids: List[int]
+    ) -> Tuple[Dict[int, float], List[int]]:
+        config = self.config
+        behavior = peer.behavior
+
+        candidates = candidate_list(peer, round_index)
+        ranked = rank_candidates(peer, candidates, round_index, self._rng)
+        partners = ranked[: behavior.partner_count]
+        partner_set = set(partners)
+
+        pool = set(peer.pending_requests)
+        if config.discovery_per_round > 0 and len(active_ids) > 1:
+            others = [pid for pid in active_ids if pid != peer.peer_id]
+            sample_size = min(config.discovery_per_round, len(others))
+            pool.update(self._rng.sample(others, sample_size))
+        pool.discard(peer.peer_id)
+        pool -= partner_set
+        pool -= candidates
+        stranger_pool = sorted(pool)
+
+        decision = stranger_decision(
+            peer, stranger_pool, len(partners), round_index, self._rng
+        )
+
+        allocation = allocate_upload(
+            peer,
+            partners,
+            decision.cooperate,
+            round_index,
+            stranger_bandwidth_cap=config.stranger_bandwidth_cap,
+        )
+        for refused in decision.refuse:
+            allocation.setdefault(refused, 0.0)
+            self._explicit_refusals += 1
+
+        request_targets: List[int] = []
+        if config.requests_per_round > 0 and len(active_ids) > 1:
+            eligible = [
+                pid
+                for pid in active_ids
+                if pid != peer.peer_id and pid not in partner_set
+            ]
+            if eligible:
+                sample_size = min(config.requests_per_round, len(eligible))
+                request_targets = self._rng.sample(eligible, sample_size)
+
+        return allocation, request_targets
+
+    def _run_round(self, round_index: int) -> None:
+        config = self.config
+        self._population_step(round_index)
+
+        active = self._active
+        active_ids = [peer.peer_id for peer in active]
+        self._active_counts.append(len(active))
+
+        measuring = round_index >= config.warmup_rounds
+        if measuring and not self._legacy:
+            presence = self._presence
+            for pid in active_ids:
+                presence[pid] += 1
+
+        peers_by_id = {peer.peer_id: peer for peer in active}
+        decisions: List[Tuple[PeerState, Dict[int, float]]] = []
+        incoming_requests: Dict[int, Set[int]] = {pid: set() for pid in active_ids}
+        for peer in active:
+            allocation, request_targets = self._decide_peer(
+                peer, round_index, active_ids
+            )
+            decisions.append((peer, allocation))
+            for target in request_targets:
+                incoming_requests[target].add(peer.peer_id)
+
+        measured_down = self._measured_down
+        measured_up = self._measured_up
+        for peer, allocation in decisions:
+            for target_id, amount in allocation.items():
+                target = peers_by_id[target_id]
+                target.history.record(round_index, peer.peer_id, amount)
+                if amount > 0.0:
+                    target.total_downloaded += amount
+                    peer.total_uploaded += amount
+                    if measuring:
+                        measured_down[target_id] += amount
+                        measured_up[peer.peer_id] += amount
+
+        for peer in active:
+            peer.update_loyalty(round_index)
+            received = peer.history.total_received(round_index)
+            peer.update_aspiration(received, smoothing=config.aspiration_smoothing)
+            peer.pending_requests = incoming_requests[peer.peer_id]
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Execute all rounds and return the :class:`SimulationResult`."""
+        for round_index in range(self.config.rounds):
+            self._run_round(round_index)
+
+        legacy = self._legacy
+        records: List[PeerRecord] = []
+        for peer in self._all_peers:
+            pid = peer.peer_id
+            if legacy:
+                # Legacy-shaped records: bit-identical to the fixed engine.
+                record = PeerRecord(
+                    peer_id=pid,
+                    group=peer.group,
+                    upload_capacity=peer.upload_capacity,
+                    behavior_label=peer.behavior.label(),
+                    downloaded=self._measured_down[pid],
+                    uploaded=self._measured_up[pid],
+                )
+            else:
+                record = PeerRecord(
+                    peer_id=pid,
+                    group=peer.group,
+                    upload_capacity=peer.upload_capacity,
+                    behavior_label=peer.behavior.label(),
+                    downloaded=self._measured_down[pid],
+                    uploaded=self._measured_up[pid],
+                    cohort=peer.cohort,
+                    joined_round=peer.joined_round,
+                    departed_round=peer.departed_round,
+                    rounds_present=self._presence[pid],
+                )
+            records.append(record)
+        return SimulationResult(
+            config=self.config,
+            records=records,
+            rounds_executed=self.config.rounds,
+            churn_events=self._churn_events,
+            total_explicit_refusals=self._explicit_refusals,
+            active_counts=None if legacy else tuple(self._active_counts),
+            total_arrivals=self._arrivals,
+            total_departures=self._departures,
+        )

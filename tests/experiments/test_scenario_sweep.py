@@ -71,3 +71,66 @@ class TestScenarioSweep:
         text = scenario_sweep.render(result)
         for name in scenario_names():
             assert name in text
+
+
+class TestVariablePopulationSweep:
+    """The variable-population scenarios flowing through the sweep driver."""
+
+    VARIABLE = ["growing-swarm", "whitewash-churn"]
+
+    def test_variable_scenarios_sweep_and_report_population(self):
+        result = scenario_sweep.run(scale="smoke", seed=0, scenarios=self.VARIABLE)
+        by_name = result.by_name()
+        for name in self.VARIABLE:
+            stats = by_name[name]
+            assert stats.is_variable_population
+            assert stats.mean_final_population > 0.0
+            assert stats.cohort_download_per_round
+            assert "initial" in stats.cohort_download_per_round
+        # The growing swarm must actually have grown on average.
+        grown = by_name["growing-swarm"]
+        assert grown.mean_final_population > grown.n_peers
+        assert "arrival" in grown.cohort_download_per_round
+        assert "whitewash" in by_name["whitewash-churn"].cohort_download_per_round
+
+    def test_fixed_scenarios_report_trivial_population(self):
+        result = scenario_sweep.run(scale="smoke", seed=0, scenarios=["baseline"])
+        stats = result.stats[0]
+        assert not stats.is_variable_population
+        assert stats.mean_final_population == float(stats.n_peers)
+        assert set(stats.cohort_download_per_round) == {"initial"}
+
+    def test_variable_sweep_is_deterministic(self):
+        first = scenario_sweep.run(scale="smoke", seed=2, scenarios=self.VARIABLE)
+        second = scenario_sweep.run(scale="smoke", seed=2, scenarios=self.VARIABLE)
+        for a, b in zip(first.stats, second.stats):
+            assert a.mean_throughput == b.mean_throughput
+            assert a.mean_final_population == b.mean_final_population
+            assert a.cohort_download_per_round == b.cohort_download_per_round
+
+    def test_variable_sweep_served_from_cache(self, tmp_path):
+        with using_runner(ExperimentRunner(cache_dir=tmp_path)) as runner:
+            cold = scenario_sweep.run(scale="smoke", seed=0, scenarios=self.VARIABLE)
+            assert runner.jobs_executed == cold.jobs_run
+        with using_runner(ExperimentRunner(cache_dir=tmp_path)) as runner:
+            warm = scenario_sweep.run(scale="smoke", seed=0, scenarios=self.VARIABLE)
+            assert runner.cache_hits == warm.jobs_run
+            assert runner.jobs_executed == 0
+        for cold_stats, warm_stats in zip(cold.stats, warm.stats):
+            assert cold_stats.mean_throughput == warm_stats.mean_throughput
+            assert (
+                cold_stats.cohort_download_per_round
+                == warm_stats.cohort_download_per_round
+            )
+            assert (
+                cold_stats.mean_final_population == warm_stats.mean_final_population
+            )
+
+    def test_render_shows_population_change(self):
+        result = scenario_sweep.run(
+            scale="smoke", seed=0, scenarios=["growing-swarm"]
+        )
+        text = scenario_sweep.render(result)
+        stats = result.stats[0]
+        assert f"{stats.n_peers}->" in text
+        assert "cohort" in text

@@ -1,0 +1,191 @@
+"""Property-based tests for variable-population invariants.
+
+The invariants the ISSUE calls out, checked over randomly drawn population
+dynamics and behaviours:
+
+* the active count is never negative (in fact never below the viable core
+  of two peers) and never exceeds a configured cap;
+* transfer accounting is conserved across arrivals and departures — every
+  unit uploaded by some identity is downloaded by another, including
+  identities that later left;
+* runs are deterministic under equal seeds for **every** arrival-process
+  kind;
+* identity bookkeeping is consistent: records are unique, initial +
+  arrivals = total identities, departures match departed records, and
+  presence never exceeds the measured window.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.behavior import PeerBehavior
+from repro.sim.churn import sample_poisson
+from repro.sim.config import SimulationConfig
+from repro.sim.dynamics import ArrivalProcess, DepartureProcess, PopulationDynamics
+from repro.sim.population import PopulationSimulation
+
+import random
+
+behaviors = st.sampled_from(
+    [
+        PeerBehavior(),  # BitTorrent-like default
+        PeerBehavior(
+            stranger_policy="defect",
+            stranger_count=2,
+            candidate_policy="tf2t",
+            ranking="adaptive",
+            partner_count=3,
+            allocation="prop_share",
+        ),
+        PeerBehavior(
+            stranger_policy="when_needed",
+            stranger_count=3,
+            candidate_policy="tf2t",
+            ranking="loyal",
+            partner_count=2,
+            allocation="equal_split",
+        ),
+        PeerBehavior(
+            stranger_policy="periodic",
+            stranger_count=2,
+            candidate_policy="tft",
+            ranking="slowest",
+            partner_count=4,
+            allocation="freeride",
+            stranger_period=2,
+        ),
+    ]
+)
+
+
+@st.composite
+def population_dynamics(draw):
+    """A random non-trivial PopulationDynamics bundle covering every kind."""
+    kind = draw(st.sampled_from(["none", "poisson", "flash", "whitewash"]))
+    departure_rate = draw(
+        st.floats(min_value=0.0, max_value=0.15, allow_nan=False)
+    )
+    # Replacement mode exists only as the no-arrival differential bridge.
+    mode = draw(st.sampled_from(["shrink", "replace"])) if kind == "none" else "shrink"
+    if kind == "whitewash":
+        departure_rate = max(departure_rate, 0.05)
+        arrival = ArrivalProcess(
+            kind="whitewash",
+            rate=draw(st.floats(min_value=0.1, max_value=1.0, allow_nan=False)),
+        )
+    elif kind == "poisson":
+        arrival = ArrivalProcess(
+            kind="poisson",
+            rate=draw(st.floats(min_value=0.05, max_value=1.5, allow_nan=False)),
+            start=draw(st.integers(min_value=0, max_value=5)),
+        )
+    elif kind == "flash":
+        arrival = ArrivalProcess(
+            kind="flash",
+            start=draw(st.integers(min_value=0, max_value=8)),
+            count=draw(st.integers(min_value=1, max_value=8)),
+            duration=draw(st.integers(min_value=1, max_value=3)),
+        )
+    else:
+        arrival = ArrivalProcess()
+        if departure_rate == 0.0 and mode == "shrink":
+            departure_rate = 0.05  # keep the bundle non-trivial
+    capped = draw(st.booleans())
+    return PopulationDynamics(
+        arrival=arrival,
+        departure=DepartureProcess(rate=departure_rate, mode=mode),
+        max_active=draw(st.integers(min_value=12, max_value=30)) if capped else 0,
+    )
+
+
+runs = st.builds(
+    lambda n, rounds, dynamics, behavior, seed: (
+        SimulationConfig(n_peers=n, rounds=rounds, population=dynamics),
+        behavior,
+        seed,
+    ),
+    n=st.integers(min_value=4, max_value=10),
+    rounds=st.integers(min_value=5, max_value=18),
+    dynamics=population_dynamics(),
+    behavior=behaviors,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+class TestPopulationInvariants:
+    @given(runs)
+    @settings(max_examples=60, deadline=None)
+    def test_active_count_bounds(self, run):
+        config, behavior, seed = run
+        result = PopulationSimulation(config, [behavior], seed=seed).run()
+        counts = result.active_counts
+        assert counts is None or len(counts) == config.rounds
+        if counts is None:  # legacy-shaped degenerate bundle
+            return
+        assert all(count >= 2 for count in counts), "active count below viable core"
+        cap = config.population.max_active
+        if cap:
+            assert all(count <= cap for count in counts), "cap exceeded"
+
+    @given(runs)
+    @settings(max_examples=60, deadline=None)
+    def test_transfer_conservation_across_population_change(self, run):
+        config, behavior, seed = run
+        result = PopulationSimulation(config, [behavior], seed=seed).run()
+        total_down = sum(r.downloaded for r in result.records)
+        total_up = sum(r.uploaded for r in result.records)
+        assert math.isclose(total_down, total_up, rel_tol=1e-9, abs_tol=1e-6), (
+            f"accounting leak: downloaded {total_down} != uploaded {total_up}"
+        )
+
+    @given(runs)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_under_equal_seeds(self, run):
+        config, behavior, seed = run
+        first = PopulationSimulation(config, [behavior], seed=seed).run()
+        second = PopulationSimulation(config, [behavior], seed=seed).run()
+        assert first.records == second.records
+        assert first.active_counts == second.active_counts
+        assert first.churn_events == second.churn_events
+        assert first.total_arrivals == second.total_arrivals
+        assert first.total_departures == second.total_departures
+
+    @given(runs)
+    @settings(max_examples=60, deadline=None)
+    def test_identity_bookkeeping(self, run):
+        config, behavior, seed = run
+        result = PopulationSimulation(config, [behavior], seed=seed).run()
+        ids = [record.peer_id for record in result.records]
+        assert len(ids) == len(set(ids)), "duplicate identity"
+        assert len(ids) == config.n_peers + result.total_arrivals
+        departed = [r for r in result.records if r.departed_round is not None]
+        assert len(departed) == result.total_departures
+        for record in result.records:
+            if record.rounds_present is not None:
+                assert 0 <= record.rounds_present <= config.measured_rounds
+            if record.departed_round is not None:
+                assert record.joined_round <= record.departed_round
+
+
+class TestPoissonSampling:
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+    )
+    @settings(max_examples=100)
+    def test_poisson_draws_are_nonnegative_and_deterministic(self, seed, lam):
+        first = sample_poisson(random.Random(seed), lam)
+        second = sample_poisson(random.Random(seed), lam)
+        assert first == second >= 0
+        if lam == 0.0:
+            assert first == 0
+
+    def test_poisson_mean_roughly_matches_rate(self):
+        rng = random.Random(42)
+        lam = 1.5
+        draws = [sample_poisson(rng, lam) for _ in range(4000)]
+        assert abs(sum(draws) / len(draws) - lam) < 0.1

@@ -84,6 +84,97 @@ class TestSimulationJob:
             SimulationJob(config=SimulationConfig(n_peers=4, rounds=5), behaviors=())
 
 
+class TestPopulationCacheKeys:
+    """The job hash must see the population-dynamics fields (regression).
+
+    Without this, a cached fixed-population result would be served for a
+    variable-population job (or for a variable job with different arrival
+    parameters) that hashes identically otherwise.
+    """
+
+    @staticmethod
+    def _population(arrival_rate: float = 0.5, departure_rate: float = 0.02):
+        from repro.sim.dynamics import (
+            ArrivalProcess,
+            DepartureProcess,
+            PopulationDynamics,
+        )
+
+        return PopulationDynamics(
+            arrival=ArrivalProcess(kind="poisson", rate=arrival_rate),
+            departure=DepartureProcess(rate=departure_rate),
+        )
+
+    def test_variable_job_never_shares_the_fixed_jobs_key(self):
+        fixed = make_job(seed=0)
+        variable = SimulationJob(
+            config=fixed.config.with_(population=self._population()),
+            behaviors=fixed.behaviors,
+            seed=0,
+        )
+        assert fixed.fingerprint() != variable.fingerprint()
+        assert "population" in variable.payload()["config"]
+        assert "population" not in fixed.payload()["config"]
+
+    def test_jobs_differing_only_in_arrival_rate_get_distinct_keys(self):
+        jobs = [
+            make_job(seed=0, population=self._population(arrival_rate=rate))
+            for rate in (0.25, 0.5)
+        ]
+        assert jobs[0].fingerprint() != jobs[1].fingerprint()
+
+    def test_specs_differing_only_in_arrival_rate_get_distinct_keys(self):
+        from repro.scenarios.spec import ArrivalSpec, PopulationSpec, ScenarioSpec
+
+        def spec(size: float) -> ScenarioSpec:
+            return ScenarioSpec(
+                name="arrival-rate-probe",
+                population=PopulationSpec(size=10),
+                arrival=ArrivalSpec(kind="poisson", churn_rate=0.01, size=size),
+                rounds=20,
+            )
+
+        slow, fast = spec(0.02), spec(0.04)
+        assert slow.fingerprint() != fast.fingerprint()
+        job_slow = slow.compile("smoke", seed=0)
+        job_fast = fast.compile("smoke", seed=0)
+        assert job_slow.fingerprint() != job_fast.fingerprint()
+
+    def test_cached_fixed_result_not_served_for_variable_job(self, tmp_path):
+        from repro.runner.cache import ResultCache
+
+        fixed = make_job(seed=3)
+        variable = SimulationJob(
+            config=fixed.config.with_(population=self._population()),
+            behaviors=fixed.behaviors,
+            seed=3,
+        )
+        cache = ResultCache(tmp_path)
+        cache.put(fixed, fixed.execute())
+        assert cache.get(variable) is None
+        assert cache.get(fixed) is not None
+
+    def test_variable_result_round_trips_through_the_cache(self, tmp_path):
+        from repro.runner.cache import ResultCache
+
+        job = make_job(seed=5, rounds=12, population=self._population())
+        cache = ResultCache(tmp_path)
+        fresh = job.execute()
+        cache.put(job, fresh)
+        cached = cache.get(job)
+        assert cached is not None
+        assert cached.records == fresh.records
+        assert cached.active_counts == fresh.active_counts
+        assert cached.total_arrivals == fresh.total_arrivals
+        assert cached.total_departures == fresh.total_departures
+        assert [r.cohort for r in cached.records] == [
+            r.cohort for r in fresh.records
+        ]
+        assert [r.rounds_present for r in cached.records] == [
+            r.rounds_present for r in fresh.records
+        ]
+
+
 class TestExecutors:
     def test_serial_and_process_executors_agree(self):
         jobs = [make_job(seed=s) for s in range(4)]

@@ -24,6 +24,8 @@ EXPECTED_NAMES = {
     "capacity-skew",
     "free-rider-wave",
     "colluders",
+    "growing-swarm",
+    "whitewash-churn",
 }
 
 #: scenario -> (job fingerprint prefix, result payload sha256 prefix) at
@@ -39,6 +41,10 @@ GOLDEN_SMOKE = {
     "colluders": ("7c77e2109375dc92", "d355207727430def"),
     "flash-crowd": ("4332a0a5c27cf0d9", "4cb51f4f81ce72b6"),
     "free-rider-wave": ("026aa6a25679db6d", "fabe48d039d3669c"),
+    # Variable-population scenarios (PR 3); the result payloads here carry
+    # the identity-lifecycle fields and the population summary block.
+    "growing-swarm": ("6bbf3d7764bc460e", "818df863392d78ae"),
+    "whitewash-churn": ("97b1093907756c42", "c6893992ffc2a396"),
 }
 
 
@@ -89,3 +95,45 @@ class TestGoldenRuns:
             json.dumps(payload, sort_keys=True).encode("utf-8")
         ).hexdigest()
         assert digest.startswith(result_prefix)
+
+
+class TestVariableScenarios:
+    """Behavioural guarantees of the variable-population built-ins."""
+
+    def test_growing_swarm_grows_the_active_population(self):
+        spec = get_scenario("growing-swarm")
+        result = spec.compile("smoke", seed=spec.job_seed(0, 0)).execute()
+        counts = result.active_counts
+        assert counts is not None
+        # The acceptance bar: the active peer count demonstrably changes
+        # over the run — a true arrival process, not identity replacement.
+        assert len(set(counts)) > 1
+        assert counts[-1] > counts[0]
+        assert result.total_arrivals > 0
+        # PRA measures are reported per cohort, normalised by peer-rounds.
+        cohorts = result.cohort_metrics()
+        assert "initial" in cohorts and "arrival" in cohorts
+        assert cohorts["arrival"].peer_count == result.total_arrivals
+        assert cohorts["initial"].downloaded_per_peer_round > 0.0
+        assert cohorts["arrival"].downloaded_per_peer_round > 0.0
+
+    def test_growing_swarm_respects_its_cap(self):
+        spec = get_scenario("growing-swarm")
+        job = spec.compile("smoke", seed=spec.job_seed(0, 0))
+        cap = job.config.population.max_active
+        assert cap == 3 * job.config.n_peers
+        assert all(count <= cap for count in job.execute().active_counts)
+
+    def test_whitewash_churn_creates_fresh_identities(self):
+        spec = get_scenario("whitewash-churn")
+        result = spec.compile("smoke", seed=spec.job_seed(0, 0)).execute()
+        assert result.total_departures > 0
+        cohorts = result.cohort_metrics()
+        assert "whitewash" in cohorts
+        whitewashers = [r for r in result.records if r.cohort == "whitewash"]
+        assert whitewashers
+        # A whitewashed identity is genuinely new: a fresh id outside the
+        # initial range, joined mid-run.
+        n_initial = result.config.n_peers
+        assert all(r.peer_id >= n_initial for r in whitewashers)
+        assert all(r.joined_round > 0 for r in whitewashers)

@@ -236,3 +236,96 @@ class TestScenarioCompilation:
         result = full_spec().compile("smoke", seed=1).execute()
         assert result.rounds_executed == result.config.rounds
         assert "colluder" in result.groups()
+
+
+def variable_spec(kind: str = "poisson") -> ScenarioSpec:
+    """A variable-population scenario of the given arrival kind."""
+    if kind == "poisson":
+        arrival = ArrivalSpec(
+            kind="poisson", churn_rate=0.01, at=0.1, size=0.05, cap=2.0
+        )
+    else:
+        arrival = ArrivalSpec(kind="whitewash", churn_rate=0.05, size=0.8)
+    return ScenarioSpec(
+        name=f"variable-{kind}",
+        population=PopulationSpec(size=12),
+        arrival=arrival,
+        rounds=24,
+    )
+
+
+class TestVariableArrivalSpecs:
+    @pytest.mark.parametrize("kind", ["poisson", "whitewash"])
+    def test_round_trips(self, kind):
+        spec = variable_spec(kind)
+        clone = ScenarioSpec.from_dict(spec.as_dict())
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+        assert clone.arrival.is_variable
+
+    def test_legacy_kinds_are_not_variable(self):
+        assert not ArrivalSpec(kind="steady").is_variable
+        assert not ArrivalSpec(kind="flash_crowd", size=0.4).is_variable
+
+    def test_legacy_serialization_omits_cap(self):
+        assert "cap" not in ArrivalSpec(kind="steady").as_dict()
+        assert variable_spec("poisson").arrival.as_dict()["cap"] == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="poisson", size=0.0)  # needs a rate
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="whitewash", size=0.5)  # needs departures
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="steady", cap=2.0)  # cap is variable-only
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="poisson", size=0.05, cap=0.5)  # cap < 1x
+        with pytest.raises(ValueError):  # shifts address fixed slots
+            ScenarioSpec(
+                name="bad",
+                arrival=ArrivalSpec(kind="poisson", size=0.05),
+                shift=ShiftSpec(kind="colluders", fraction=0.2),
+                rounds=24,
+            )
+        with pytest.raises(ValueError):  # classes pin fixed capacities
+            ScenarioSpec(
+                name="bad",
+                population=PopulationSpec(
+                    size=10,
+                    classes=(
+                        BandwidthClass(name="a", fraction=0.5, capacity=10.0),
+                        BandwidthClass(name="b", fraction=0.5, capacity=90.0),
+                    ),
+                ),
+                arrival=ArrivalSpec(kind="poisson", size=0.05),
+                rounds=24,
+            )
+
+    def test_compile_population_is_scale_free(self):
+        spec = variable_spec("poisson")
+        population = spec.arrival.compile_population(n_peers=12, rounds=24)
+        assert population.arrival.kind == "poisson"
+        assert population.arrival.rate == pytest.approx(0.05 * 12)
+        assert population.arrival.start == round(0.1 * 24)
+        assert population.departure.mode == "shrink"
+        assert population.departure.rate == 0.01
+        assert population.max_active == 24  # 2x the initial 12
+        bigger = spec.arrival.compile_population(n_peers=24, rounds=48)
+        assert bigger.arrival.rate == pytest.approx(0.05 * 24)
+        assert bigger.max_active == 48
+
+    def test_legacy_and_variable_compiles_are_exclusive(self):
+        with pytest.raises(ValueError):
+            variable_spec("poisson").arrival.compile(24)
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="steady").compile_population(10, 20)
+
+    @pytest.mark.parametrize("kind", ["poisson", "whitewash"])
+    def test_compiled_job_runs_on_the_variable_engine(self, kind):
+        spec = variable_spec(kind)
+        job = spec.compile("smoke", seed=spec.job_seed(0, 0))
+        assert job.config.is_variable_population
+        assert job.config.churn_rate == 0.0
+        result = job.execute()
+        assert result.active_counts is not None
+        assert len(result.active_counts) == job.config.rounds

@@ -84,3 +84,75 @@ class TestApplyChurn:
             )
         # Expected churn count is 30 * 10 * 0.2 = 60; allow generous slack.
         assert 30 <= total <= 95
+
+
+class TestTrueDepartures:
+    def test_zero_rate_makes_no_draws(self):
+        from repro.sim.churn import apply_true_departures
+
+        peers = make_peers(5)
+        rng = random.Random(0)
+        state_before = rng.getstate()
+        assert apply_true_departures(peers, 0.0, 1, rng) == []
+        assert rng.getstate() == state_before
+        assert len(peers) == 5
+
+    def test_departed_are_removed_and_forgotten(self):
+        from repro.sim.churn import apply_true_departures
+
+        peers = make_peers(6)
+        for peer in peers:
+            peer.history.record(0, 99, 1.0)
+            for other in peers:
+                if other.peer_id != peer.peer_id:
+                    peer.history.record(0, other.peer_id, 2.0)
+                    peer.loyalty[other.peer_id] = 1
+                    peer.pending_requests.add(other.peer_id)
+        departed = apply_true_departures(peers, 0.9, 3, random.Random(1))
+        assert departed
+        departed_ids = {p.peer_id for p in departed}
+        assert all(p.departed_round == 3 for p in departed)
+        assert len(peers) == 6 - len(departed)
+        for survivor in peers:
+            assert survivor.departed_round is None
+            known = survivor.history.all_known_peers()
+            assert not (known & departed_ids)
+            assert not (set(survivor.loyalty) & departed_ids)
+            assert not (survivor.pending_requests & departed_ids)
+            # Unrelated records survive the forget sweep.
+            assert 99 in known
+
+    def test_min_active_floor_suppresses_departures(self):
+        from repro.sim.churn import apply_true_departures
+
+        peers = make_peers(5)
+        # A near-certain rate would otherwise empty the swarm.
+        departed = apply_true_departures(
+            peers, 0.99, 0, random.Random(2), min_active=4
+        )
+        assert len(departed) <= 1
+        assert len(peers) >= 4
+
+    def test_invalid_rate_rejected(self):
+        from repro.sim.churn import apply_true_departures
+
+        with pytest.raises(ValueError):
+            apply_true_departures(make_peers(), 1.0, 0, random.Random(0))
+
+
+class TestPoissonGuard:
+    def test_overflow_prone_rates_rejected(self):
+        from repro.sim.churn import MAX_POISSON_RATE, sample_poisson
+
+        with pytest.raises(ValueError):
+            sample_poisson(random.Random(0), MAX_POISSON_RATE + 1)
+        with pytest.raises(ValueError):
+            sample_poisson(random.Random(0), -0.5)
+        # The boundary itself still samples unbiased.
+        assert sample_poisson(random.Random(0), MAX_POISSON_RATE) >= 0
+
+    def test_arrival_process_rejects_overflow_prone_rates(self):
+        from repro.sim.dynamics import ArrivalProcess
+
+        with pytest.raises(ValueError):
+            ArrivalProcess(kind="poisson", rate=800.0)

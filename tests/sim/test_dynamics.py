@@ -298,3 +298,116 @@ class TestMultiClassBandwidth:
             MultiClassBandwidth([(0.5, 10.0)])  # fractions must sum to 1
         with pytest.raises(ValueError):
             MultiClassBandwidth([(1.0, -5.0)])
+
+
+class TestPopulationDynamicsTypes:
+    def test_arrival_process_round_trips(self):
+        from repro.sim.dynamics import ArrivalProcess
+
+        for process in (
+            ArrivalProcess(),
+            ArrivalProcess(kind="poisson", rate=0.75, start=3),
+            ArrivalProcess(kind="flash", start=5, count=7, duration=2),
+            ArrivalProcess(kind="whitewash", rate=0.6),
+            ArrivalProcess(kind="poisson", rate=1.0, group="newcomer"),
+        ):
+            assert ArrivalProcess.from_dict(process.as_dict()) == process
+
+    def test_arrival_process_validation(self):
+        from repro.sim.dynamics import ArrivalProcess
+
+        with pytest.raises(ValueError):
+            ArrivalProcess(kind="teleport")
+        with pytest.raises(ValueError):
+            ArrivalProcess(kind="poisson", rate=0.0)
+        with pytest.raises(ValueError):
+            ArrivalProcess(kind="whitewash", rate=1.5)
+        with pytest.raises(ValueError):
+            ArrivalProcess(kind="flash", count=0)
+
+    def test_flash_schedule_spreads_the_batch(self):
+        from repro.sim.dynamics import ArrivalProcess
+
+        process = ArrivalProcess(kind="flash", start=4, count=7, duration=3)
+        schedule = [process.flash_count_for_round(r) for r in range(10)]
+        assert schedule == [0, 0, 0, 0, 3, 2, 2, 0, 0, 0]
+        assert sum(schedule) == 7
+        # Non-flash kinds never schedule anything.
+        assert ArrivalProcess(kind="poisson", rate=1.0).flash_count_for_round(4) == 0
+
+    def test_departure_process_round_trips_and_validates(self):
+        from repro.sim.dynamics import DepartureProcess
+
+        process = DepartureProcess(rate=0.05, mode="replace", min_active=4)
+        assert DepartureProcess.from_dict(process.as_dict()) == process
+        with pytest.raises(ValueError):
+            DepartureProcess(rate=1.0)
+        with pytest.raises(ValueError):
+            DepartureProcess(rate=0.1, mode="vanish")
+        with pytest.raises(ValueError):
+            DepartureProcess(rate=0.1, min_active=1)
+
+    def test_population_dynamics_round_trips_and_triviality(self):
+        from repro.sim.dynamics import (
+            ArrivalProcess,
+            DepartureProcess,
+            PopulationDynamics,
+        )
+
+        bundle = PopulationDynamics(
+            arrival=ArrivalProcess(kind="poisson", rate=0.5),
+            departure=DepartureProcess(rate=0.02),
+            max_active=40,
+        )
+        assert PopulationDynamics.from_dict(bundle.as_dict()) == bundle
+        assert not bundle.is_trivial()
+        assert PopulationDynamics().is_trivial()
+        # Whitewash arrivals are coupled to a shrink departure process.
+        with pytest.raises(ValueError):
+            PopulationDynamics(arrival=ArrivalProcess(kind="whitewash", rate=0.5))
+        with pytest.raises(ValueError):
+            PopulationDynamics(
+                arrival=ArrivalProcess(kind="whitewash", rate=0.5),
+                departure=DepartureProcess(rate=0.1, mode="replace"),
+            )
+        # Replacement departures blend identities per slot; they are only
+        # the degenerate no-arrival bridge to the fixed engine.
+        with pytest.raises(ValueError):
+            PopulationDynamics(
+                arrival=ArrivalProcess(kind="poisson", rate=0.5),
+                departure=DepartureProcess(rate=0.1, mode="replace"),
+            )
+        PopulationDynamics(departure=DepartureProcess(rate=0.1, mode="replace"))
+
+    def test_population_config_validation(self):
+        from repro.sim.dynamics import (
+            ArrivalProcess,
+            DepartureProcess,
+            PopulationDynamics,
+        )
+
+        bundle = PopulationDynamics(
+            arrival=ArrivalProcess(kind="poisson", rate=0.5),
+            departure=DepartureProcess(rate=0.02),
+        )
+        config = SimulationConfig(n_peers=10, rounds=20, population=bundle)
+        assert config.is_variable_population
+        assert not SimulationConfig(n_peers=10, rounds=20).is_variable_population
+        with pytest.raises(ValueError):  # population owns departures
+            SimulationConfig(n_peers=10, rounds=20, churn_rate=0.1, population=bundle)
+        with pytest.raises(ValueError):  # waves/shifts address fixed slots
+            SimulationConfig(
+                n_peers=10,
+                rounds=20,
+                population=bundle,
+                dynamics=ScenarioDynamics(churn_waves=(ChurnWave(start=2),)),
+            )
+        with pytest.raises(ValueError):  # cap below the initial population
+            SimulationConfig(
+                n_peers=10,
+                rounds=20,
+                population=PopulationDynamics(
+                    arrival=ArrivalProcess(kind="poisson", rate=0.5),
+                    max_active=5,
+                ),
+            )

@@ -89,6 +89,27 @@ class TestForgetting:
         history.forget_peer(1)
         assert history.all_known_peers() == {2}
 
+    def test_forget_peers_bulk_matches_per_id_forget(self):
+        bulk, one_by_one = InteractionHistory(), InteractionHistory()
+        for history in (bulk, one_by_one):
+            for round_index in range(3):
+                for sender in range(5):
+                    history.record(round_index, sender, float(sender + 1))
+        bulk.forget_peers({1, 3})
+        one_by_one.forget_peer(1)
+        one_by_one.forget_peer(3)
+        for round_index in range(3):
+            assert bulk.interactions_in_round(
+                round_index
+            ) == one_by_one.interactions_in_round(round_index)
+        assert bulk.all_known_peers() == {0, 2, 4}
+
+    def test_forget_peers_empty_is_noop(self):
+        history = InteractionHistory()
+        history.record(0, 1, 1.0)
+        history.forget_peers(())
+        assert history.all_known_peers() == {1}
+
     def test_clear(self):
         history = InteractionHistory()
         history.record(0, 1, 1.0)

@@ -54,3 +54,59 @@ class TestPopulationThroughput:
     def test_invalid_rounds(self):
         with pytest.raises(ValueError):
             population_throughput([], measured_rounds=0)
+
+
+class TestCohortMetrics:
+    @staticmethod
+    def cohort_record(peer_id, cohort, downloaded, uploaded, rounds_present):
+        return PeerRecord(
+            peer_id=peer_id,
+            group="default",
+            upload_capacity=100.0,
+            behavior_label="B1h1-C1-I1k4-R1",
+            downloaded=downloaded,
+            uploaded=uploaded,
+            cohort=cohort,
+            joined_round=0 if cohort == "initial" else 5,
+            rounds_present=rounds_present,
+        )
+
+    def test_per_peer_round_normalisation(self):
+        from repro.sim.metrics import compute_cohort_metrics
+
+        records = [
+            self.cohort_record(0, "initial", 100.0, 40.0, 10),
+            self.cohort_record(1, "initial", 300.0, 60.0, 10),
+            self.cohort_record(2, "arrival", 50.0, 20.0, 5),
+        ]
+        metrics = compute_cohort_metrics(records, measured_rounds=10)
+        initial, arrival = metrics["initial"], metrics["arrival"]
+        assert initial.peer_count == 2
+        assert initial.peer_rounds == 20
+        assert initial.downloaded_per_peer_round == pytest.approx(20.0)
+        assert arrival.peer_rounds == 5
+        assert arrival.downloaded_per_peer_round == pytest.approx(10.0)
+        assert arrival.uploaded_per_peer_round == pytest.approx(4.0)
+
+    def test_fixed_population_records_default_to_full_window(self):
+        from repro.sim.metrics import compute_cohort_metrics
+
+        records = [record(0, "a", downloaded=100.0, uploaded=50.0)]
+        metrics = compute_cohort_metrics(records, measured_rounds=4)
+        assert set(metrics) == {"initial"}
+        assert metrics["initial"].peer_rounds == 4
+        assert metrics["initial"].downloaded_per_peer_round == pytest.approx(25.0)
+
+    def test_zero_exposure_cohort_reports_zero_rates(self):
+        from repro.sim.metrics import compute_cohort_metrics
+
+        records = [self.cohort_record(0, "arrival", 0.0, 0.0, 0)]
+        metrics = compute_cohort_metrics(records, measured_rounds=8)
+        assert metrics["arrival"].peer_rounds == 0
+        assert metrics["arrival"].downloaded_per_peer_round == 0.0
+
+    def test_invalid_rounds(self):
+        from repro.sim.metrics import compute_cohort_metrics
+
+        with pytest.raises(ValueError):
+            compute_cohort_metrics([], measured_rounds=0)

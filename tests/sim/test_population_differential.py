@@ -1,0 +1,283 @@
+"""Differential suite: variable-population engine vs fixed-population engine.
+
+Two halves, mirroring the tentpole guarantee:
+
+1. **Degenerate equivalence** — with no arrivals and departures in
+   ``"replace"`` mode, :class:`repro.sim.population.PopulationSimulation`
+   must reproduce the optimised fixed-population engine (and therefore the
+   golden reference it is proven against) **bit-for-bit**, across every
+   case of the golden-equivalence suite.  The comparison includes the full
+   serialised result payload, so a single diverging random draw or float
+   operation fails here.
+
+2. **Pinned variable-count runs** — six genuinely variable configurations
+   (growth, capped growth, flash arrivals, pure shrink, whitewashing, and
+   a mixed-group encounter under growth) are pinned by the SHA-256 of
+   their serialised result payloads.  Any intentional change to the
+   variable engine's draw order or semantics must update these pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.runner.jobs import result_to_payload
+from repro.sim.config import SimulationConfig
+from repro.sim.dynamics import ArrivalProcess, DepartureProcess, PopulationDynamics
+from repro.sim.engine import Simulation, simulate
+from repro.sim.population import PopulationSimulation
+
+from tests.sim.test_engine_equivalence import VARIANTS, assert_identical_results
+
+
+def as_variable_twin(config: SimulationConfig) -> SimulationConfig:
+    """The variable-population twin of a fixed-population config.
+
+    ``churn_rate`` becomes a replacement-mode :class:`DepartureProcess` at
+    the same rate with no arrivals — the degenerate bundle the variable
+    engine must execute exactly like the legacy churn model.
+    """
+    return config.with_(
+        churn_rate=0.0,
+        population=PopulationDynamics(
+            departure=DepartureProcess(rate=config.churn_rate, mode="replace")
+        ),
+    )
+
+
+def assert_bit_identical(variable_result, fixed_result):
+    """Results must match on every output, including the cache payload."""
+    assert_identical_results(variable_result, fixed_result)
+    assert variable_result.active_counts is None
+    assert variable_result.total_arrivals == 0
+    assert variable_result.total_departures == 0
+    # The serialised payloads are what the result cache stores; equal
+    # payloads mean the two runs are indistinguishable byte-for-byte.
+    assert result_to_payload(variable_result) == result_to_payload(fixed_result)
+
+
+def run_both(config, behaviors, groups=None, seed=None):
+    fixed = Simulation(config, behaviors, groups, seed=seed).run()
+    variable = PopulationSimulation(
+        as_variable_twin(config), behaviors, groups, seed=seed
+    ).run()
+    return variable, fixed
+
+
+# ---------------------------------------------------------------------- #
+# half 1: the golden-equivalence cases, replayed differentially
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("seed", [0, 7])
+def test_homogeneous_differential(variant, seed):
+    config = SimulationConfig(n_peers=12, rounds=30)
+    variable, fixed = run_both(config, [VARIANTS[variant]], seed=seed)
+    assert_bit_identical(variable, fixed)
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_churn_as_replacement_differential(variant):
+    """The crux: replacement-mode departures == legacy churn, draw for draw."""
+    config = SimulationConfig(n_peers=10, rounds=25, churn_rate=0.05, warmup_rounds=5)
+    variable, fixed = run_both(config, [VARIANTS[variant]], seed=11)
+    assert_bit_identical(variable, fixed)
+
+
+@pytest.mark.parametrize(
+    "pair",
+    [
+        ("bittorrent", "sort_s"),
+        ("birds", "none_freeride"),
+        ("loyal_when_needed", "defect_propshare_adaptive"),
+        ("random_ranking", "periodic_slow_propshare"),
+        ("sort_s", "when_needed_no_partners"),
+    ],
+    ids=lambda pair: f"{pair[0]}-vs-{pair[1]}",
+)
+def test_encounter_differential(pair):
+    config = SimulationConfig(n_peers=10, rounds=20, churn_rate=0.02)
+    behaviors = [VARIANTS[pair[0]]] * 5 + [VARIANTS[pair[1]]] * 5
+    groups = ["A"] * 5 + ["B"] * 5
+    variable, fixed = run_both(config, behaviors, groups, seed=3)
+    assert_bit_identical(variable, fixed)
+    assert variable.group_mean_download("A") == fixed.group_mean_download("A")
+    assert variable.group_mean_download("B") == fixed.group_mean_download("B")
+
+
+def test_no_discovery_no_requests_differential():
+    config = SimulationConfig(
+        n_peers=8, rounds=20, requests_per_round=0, discovery_per_round=0
+    )
+    variable, fixed = run_both(config, [VARIANTS["bittorrent"]], seed=5)
+    assert_bit_identical(variable, fixed)
+
+
+def test_tight_stranger_cap_differential():
+    config = SimulationConfig(
+        n_peers=12, rounds=25, discovery_per_round=3, stranger_bandwidth_cap=0.2
+    )
+    variable, fixed = run_both(config, [VARIANTS["periodic_slow_propshare"]], seed=17)
+    assert_bit_identical(variable, fixed)
+
+
+@pytest.mark.parametrize("variant", ["bittorrent", "defect_propshare_adaptive"])
+def test_two_round_history_differential(variant):
+    config = SimulationConfig(n_peers=10, rounds=25, history_rounds=2, churn_rate=0.03)
+    variable, fixed = run_both(config, [VARIANTS[variant]], seed=13)
+    assert_bit_identical(variable, fixed)
+
+
+@pytest.mark.parametrize("variant", ["bittorrent", "sort_s", "periodic_slow_propshare"])
+def test_paper_scale_population_differential(variant):
+    config = SimulationConfig(n_peers=50, rounds=12, churn_rate=0.01)
+    variable, fixed = run_both(config, [VARIANTS[variant]], seed=23)
+    assert_bit_identical(variable, fixed)
+
+
+def test_many_requests_and_discoveries_differential():
+    config = SimulationConfig(
+        n_peers=14, rounds=20, requests_per_round=4, discovery_per_round=5
+    )
+    variable, fixed = run_both(config, [VARIANTS["loyal_when_needed"]], seed=29)
+    assert_bit_identical(variable, fixed)
+
+
+def test_simulate_dispatches_by_population():
+    """simulate() routes variable configs off the fixed engine (and back)."""
+    fixed_config = SimulationConfig(n_peers=8, rounds=16)
+    variable_config = fixed_config.with_(
+        population=PopulationDynamics(
+            arrival=ArrivalProcess(kind="poisson", rate=0.4),
+            departure=DepartureProcess(rate=0.02),
+        )
+    )
+    with pytest.raises(ValueError):
+        Simulation(variable_config, [VARIANTS["bittorrent"]], seed=1)
+    fixed = simulate(fixed_config, [VARIANTS["bittorrent"]], seed=1)
+    variable = simulate(variable_config, [VARIANTS["bittorrent"]], seed=1)
+    assert fixed.active_counts is None
+    assert variable.active_counts is not None
+    assert len(variable.active_counts) == variable_config.rounds
+
+
+# ---------------------------------------------------------------------- #
+# half 2: variable-count runs pinned by result fingerprint
+# ---------------------------------------------------------------------- #
+def _payload_digest(result) -> str:
+    blob = json.dumps(result_to_payload(result), sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _variable_case(name):
+    """``name -> (config, behaviors, groups, seed)`` for the pinned runs."""
+    bittorrent = VARIANTS["bittorrent"]
+    if name == "poisson-growth":
+        config = SimulationConfig(
+            n_peers=10,
+            rounds=30,
+            population=PopulationDynamics(
+                arrival=ArrivalProcess(kind="poisson", rate=0.5),
+                departure=DepartureProcess(rate=0.02),
+            ),
+        )
+        return config, [bittorrent], None, 3
+    if name == "capped-growth":
+        config = SimulationConfig(
+            n_peers=10,
+            rounds=30,
+            population=PopulationDynamics(
+                arrival=ArrivalProcess(kind="poisson", rate=1.0),
+                departure=DepartureProcess(rate=0.01),
+                max_active=15,
+            ),
+        )
+        return config, [bittorrent], None, 7
+    if name == "flash-arrivals":
+        config = SimulationConfig(
+            n_peers=8,
+            rounds=24,
+            population=PopulationDynamics(
+                arrival=ArrivalProcess(kind="flash", start=8, count=6, duration=3),
+            ),
+        )
+        return config, [VARIANTS["sort_s"]], None, 11
+    if name == "pure-shrink":
+        config = SimulationConfig(
+            n_peers=14,
+            rounds=30,
+            population=PopulationDynamics(
+                departure=DepartureProcess(rate=0.06, min_active=4),
+            ),
+        )
+        return config, [VARIANTS["loyal_when_needed"]], None, 13
+    if name == "whitewash":
+        config = SimulationConfig(
+            n_peers=12,
+            rounds=30,
+            population=PopulationDynamics(
+                arrival=ArrivalProcess(kind="whitewash", rate=0.75),
+                departure=DepartureProcess(rate=0.08),
+            ),
+        )
+        return config, [bittorrent], None, 17
+    if name == "encounter-growth":
+        config = SimulationConfig(
+            n_peers=10,
+            rounds=25,
+            warmup_rounds=5,
+            population=PopulationDynamics(
+                arrival=ArrivalProcess(kind="poisson", rate=0.4),
+                departure=DepartureProcess(rate=0.03),
+            ),
+        )
+        behaviors = [bittorrent] * 5 + [VARIANTS["defect_propshare_adaptive"]] * 5
+        groups = ["A"] * 5 + ["B"] * 5
+        return config, behaviors, groups, 19
+    raise KeyError(name)
+
+
+#: case -> sha256 prefix of the serialised result payload.  These pin the
+#: variable engine's full draw order and accounting; update them only for
+#: an intentional semantic change (which also invalidates cached results).
+GOLDEN_VARIABLE = {
+    "poisson-growth": "f705f2085eff3d2a",
+    "capped-growth": "518bdce4d363112d",
+    "flash-arrivals": "c87c7e443341931f",
+    "pure-shrink": "a2b8c3cb35e56ade",
+    "whitewash": "2a30499526c5a058",
+    "encounter-growth": "ef55537079d1b1f1",
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_VARIABLE))
+def test_variable_run_pinned_by_fingerprint(name):
+    config, behaviors, groups, seed = _variable_case(name)
+    result = PopulationSimulation(config, behaviors, groups, seed=seed).run()
+    assert _payload_digest(result).startswith(GOLDEN_VARIABLE[name])
+    # Re-running must reproduce the digest (determinism backs the pin).
+    again = PopulationSimulation(config, behaviors, groups, seed=seed).run()
+    assert _payload_digest(again) == _payload_digest(result)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_VARIABLE))
+def test_variable_run_population_accounting(name):
+    """Structural invariants of every pinned variable case."""
+    config, behaviors, groups, seed = _variable_case(name)
+    result = PopulationSimulation(config, behaviors, groups, seed=seed).run()
+    population = config.population
+    assert result.active_counts is not None
+    assert len(result.active_counts) == config.rounds
+    assert all(count >= 2 for count in result.active_counts)
+    if population.max_active:
+        assert all(count <= population.max_active for count in result.active_counts)
+    # Identities: every record is unique, initial + arrivals accounted.
+    ids = [record.peer_id for record in result.records]
+    assert len(ids) == len(set(ids))
+    assert len(result.records) == config.n_peers + result.total_arrivals
+    departed = [r for r in result.records if r.departed_round is not None]
+    assert len(departed) == result.total_departures
+    # The end-of-run bookkeeping must agree with the timeline.
+    assert result.final_active_count == len(result.records) - len(departed)
