@@ -1,0 +1,233 @@
+"""Population-engine benchmark: fixed vs variable engines on matched configs.
+
+Times three engines on matched ``(n_peers, rounds)`` workloads:
+
+* the optimised **fixed-population** engine
+  (:class:`repro.sim.engine.Simulation`) on the legacy replacement-churn
+  twin of the workload — the ceiling the variable engine is chasing;
+* the **reference** variable-population engine
+  (:class:`repro.sim.population.PopulationSimulation`);
+* the optimised variable-population engine
+  (:class:`repro.sim.population_fast.FastPopulationSimulation`).
+
+The variable workload is the ``whitewash-churn`` scenario's dynamics at
+full strength (4% true departures per round, 90% of them re-entering under
+fresh identities), the hardest steady case for incremental structures:
+membership changes almost every round.
+
+Every case also re-asserts bit-identity between the two variable engines
+while benchmarking — a speedup measured on diverging results would be
+meaningless.
+
+Results are written to ``BENCH_population.json`` at the repository root:
+a machine-readable record (config, seconds, rounds/sec, speedup vs the
+reference engine) seeding the tracked perf trajectory — regenerate it when
+engine performance changes and let git history carry the trajectory.
+
+Run the full bench grid (the acceptance gate asserts >= 2x on the
+200-peer/400-round headline case)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_population.py -s
+
+or standalone, e.g. the tiny CI perf-smoke grid::
+
+    PYTHONPATH=src python benchmarks/test_bench_population.py --grid smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.core.protocol import bittorrent_reference
+from repro.runner.jobs import result_to_payload
+from repro.sim.config import SimulationConfig
+from repro.sim.dynamics import ArrivalProcess, DepartureProcess, PopulationDynamics
+from repro.sim.engine import Simulation
+from repro.sim.population import PopulationSimulation
+from repro.sim.population_fast import FastPopulationSimulation
+
+#: (n_peers, rounds) grids; "bench" ends with the acceptance headline case.
+GRIDS: Dict[str, List[Tuple[int, int]]] = {
+    "smoke": [(30, 40), (50, 60)],
+    "bench": [(50, 200), (100, 300), (200, 400)],
+}
+
+#: The acceptance-gated case: 200 peers, 400 rounds of whitewash churn.
+HEADLINE_CASE = (200, 400)
+
+#: Minimum fast-vs-reference speedup required on the headline case.
+HEADLINE_SPEEDUP_FLOOR = 2.0
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_population.json"
+
+#: Whitewash-churn dynamics at scenario strength (see the registry entry).
+WHITEWASH_DEPARTURE_RATE = 0.04
+WHITEWASH_REJOIN_RATE = 0.9
+
+
+def _whitewash_config(n_peers: int, rounds: int) -> SimulationConfig:
+    return SimulationConfig(
+        n_peers=n_peers,
+        rounds=rounds,
+        population=PopulationDynamics(
+            arrival=ArrivalProcess(kind="whitewash", rate=WHITEWASH_REJOIN_RATE),
+            departure=DepartureProcess(rate=WHITEWASH_DEPARTURE_RATE),
+        ),
+    )
+
+
+def _fixed_twin_config(n_peers: int, rounds: int) -> SimulationConfig:
+    """The fixed-population twin: same size, legacy replacement churn."""
+    return SimulationConfig(
+        n_peers=n_peers, rounds=rounds, churn_rate=WHITEWASH_DEPARTURE_RATE
+    )
+
+
+def _time_run(factory, repeats: int = 3) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall-clock seconds for one full run."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = factory().run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def run_case(n_peers: int, rounds: int, seed: int = 0, repeats: int = 3) -> dict:
+    """Benchmark all three engines on one matched configuration."""
+    behavior = bittorrent_reference().behavior
+    variable_config = _whitewash_config(n_peers, rounds)
+    fixed_config = _fixed_twin_config(n_peers, rounds)
+
+    fixed_seconds, _ = _time_run(
+        lambda: Simulation(fixed_config, [behavior], seed=seed), repeats
+    )
+    reference_seconds, reference_result = _time_run(
+        lambda: PopulationSimulation(variable_config, [behavior], seed=seed), repeats
+    )
+    fast_seconds, fast_result = _time_run(
+        lambda: FastPopulationSimulation(variable_config, [behavior], seed=seed),
+        repeats,
+    )
+    bit_identical = result_to_payload(fast_result) == result_to_payload(
+        reference_result
+    )
+    return {
+        "config": {
+            "n_peers": n_peers,
+            "rounds": rounds,
+            "seed": seed,
+            "workload": "whitewash-churn",
+            "departure_rate": WHITEWASH_DEPARTURE_RATE,
+            "whitewash_rate": WHITEWASH_REJOIN_RATE,
+        },
+        "engines": {
+            "fixed": {
+                "seconds": round(fixed_seconds, 4),
+                "rounds_per_sec": round(rounds / fixed_seconds, 1),
+            },
+            "population_reference": {
+                "seconds": round(reference_seconds, 4),
+                "rounds_per_sec": round(rounds / reference_seconds, 1),
+            },
+            "population_fast": {
+                "seconds": round(fast_seconds, 4),
+                "rounds_per_sec": round(rounds / fast_seconds, 1),
+            },
+        },
+        "speedup_fast_vs_reference": round(reference_seconds / fast_seconds, 2),
+        "bit_identical": bit_identical,
+    }
+
+
+def run_grid(grid: str, repeats: int = 3) -> dict:
+    """Benchmark every case of ``grid`` into one JSON-ready payload."""
+    cases = [run_case(n, rounds, repeats=repeats) for n, rounds in GRIDS[grid]]
+    return {
+        "benchmark": "population-engines",
+        "grid": grid,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cases": cases,
+    }
+
+
+def write_payload(payload: dict, output: Path) -> None:
+    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def _render(payload: dict) -> str:
+    lines = [
+        f"{'peers':>6} {'rounds':>6} {'fixed r/s':>10} {'ref r/s':>10} "
+        f"{'fast r/s':>10} {'speedup':>8} {'identical':>9}"
+    ]
+    for case in payload["cases"]:
+        config = case["config"]
+        engines = case["engines"]
+        lines.append(
+            f"{config['n_peers']:>6} {config['rounds']:>6} "
+            f"{engines['fixed']['rounds_per_sec']:>10.1f} "
+            f"{engines['population_reference']['rounds_per_sec']:>10.1f} "
+            f"{engines['population_fast']['rounds_per_sec']:>10.1f} "
+            f"{case['speedup_fast_vs_reference']:>7.2f}x "
+            f"{str(case['bit_identical']):>9}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# pytest entry points (bench grid + acceptance gate)
+# ---------------------------------------------------------------------- #
+def test_population_engines_bench_grid():
+    payload = run_grid("bench")
+    write_payload(payload, DEFAULT_OUTPUT)
+    print()
+    print(_render(payload))
+    print(f"wrote {DEFAULT_OUTPUT}")
+
+    assert all(case["bit_identical"] for case in payload["cases"])
+    headline = next(
+        case
+        for case in payload["cases"]
+        if (case["config"]["n_peers"], case["config"]["rounds"]) == HEADLINE_CASE
+    )
+    assert headline["speedup_fast_vs_reference"] >= HEADLINE_SPEEDUP_FLOOR, (
+        f"fast variable-population engine must be >= "
+        f"{HEADLINE_SPEEDUP_FLOOR}x the reference on "
+        f"{HEADLINE_CASE[0]} peers / {HEADLINE_CASE[1]} rounds, got "
+        f"{headline['speedup_fast_vs_reference']}x"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# standalone entry point (CI perf-smoke)
+# ---------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--grid", default="bench", choices=sorted(GRIDS))
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, metavar="FILE"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    payload = run_grid(args.grid, repeats=args.repeats)
+    write_payload(payload, args.output)
+    print(_render(payload))
+    print(f"wrote {args.output}")
+    if not all(case["bit_identical"] for case in payload["cases"]):
+        print("ERROR: engines diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

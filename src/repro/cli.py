@@ -27,6 +27,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runner.runner import ENV_CACHE_DIR, ENV_JOBS, jobs_from_env
 from repro.scenarios import get_scenario, all_scenarios
+from repro.sim.engine import (
+    ENGINE_CHOICES,
+    ENV_ENGINE,
+    default_engine,
+    set_default_engine,
+)
 
 from repro.experiments import (
     base,
@@ -138,6 +144,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--reps", type=int, default=None, metavar="N",
         help="independent repetitions (default: per-scale)",
     )
+    scenario_parser.add_argument(
+        "--profile", action="store_true",
+        help="run one profiled simulation of the scenario and print "
+             "per-phase (population/decision/transfer) round timings "
+             "instead of the sweep (variable-population scenarios only)",
+    )
     _add_runner_arguments(scenario_parser)
     return parser
 
@@ -153,6 +165,56 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="content-addressed simulation result cache shared across "
              "invocations (default: REPRO_CACHE_DIR or disabled)",
     )
+    parser.add_argument(
+        "--engine", default=None, choices=ENGINE_CHOICES,
+        help="simulation engine: the optimised hot path or the reference "
+             "implementation — results are bit-identical either way "
+             "(default: REPRO_SIM_ENGINE or fast)",
+    )
+
+
+def _profile_scenario(parser, spec, scale: str, seed: int) -> int:
+    """Run one profiled simulation of ``spec`` and print per-phase timings."""
+    from repro.sim.engine import population_engine_class
+
+    job = spec.compile(scale=scale, seed=seed)
+    if not job.config.is_variable_population:
+        parser.error(
+            f"--profile needs a variable-population scenario; {spec.name!r} "
+            "runs on the fixed-population engine (whose decision and "
+            "transfer phases are fused and cannot be timed separately)"
+        )
+    engine = default_engine()
+    simulation = population_engine_class(engine)(
+        job.config,
+        list(job.behaviors),
+        groups=list(job.groups) if job.groups is not None else None,
+        seed=job.seed,
+        profile=True,
+    )
+    result = simulation.run()
+    rounds = result.rounds_executed
+    phases = simulation.phase_seconds
+    total = sum(phases.values())
+    print(
+        f"profile: scenario {spec.name} (scale {scale}, seed {seed}, "
+        f"engine {engine})"
+    )
+    print(
+        f"rounds: {rounds}  peers: {job.config.n_peers} -> "
+        f"{result.final_active_count}  arrivals: {result.total_arrivals}  "
+        f"departures: {result.total_departures}"
+    )
+    print(f"{'phase':<12} {'seconds':>9} {'ms/round':>9} {'share':>7}")
+    for phase in ("population", "decision", "transfer"):
+        seconds = phases[phase]
+        share = seconds / total if total > 0 else 0.0
+        print(
+            f"{phase:<12} {seconds:>9.4f} {seconds / rounds * 1e3:>9.3f} "
+            f"{share:>6.1%}"
+        )
+    print(f"{'total':<12} {total:>9.4f} {total / rounds * 1e3:>9.3f} {1:>6.0%}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -162,6 +224,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.verbose:
         configure_logging()
+
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        # Govern this process and any worker processes the runner spawns.
+        set_default_engine(engine)
+        os.environ[ENV_ENGINE] = engine
+    else:
+        # Surface a bad REPRO_SIM_ENGINE as a CLI error up front instead of
+        # a traceback from deep inside the run (or from every worker).
+        try:
+            default_engine()
+        except ValueError as error:
+            parser.error(str(error))
 
     flag_jobs = getattr(args, "jobs", None)
     flag_cache_dir = getattr(args, "cache_dir", None)
@@ -216,11 +291,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"{spec.name.ljust(width)}  {spec.description}")
             return 0
         try:
-            get_scenario(args.name)
+            spec = get_scenario(args.name)
         except KeyError as error:
             parser.error(str(error.args[0]))
         if args.reps is not None and args.reps < 1:
             parser.error(f"--reps must be >= 1, got {args.reps}")
+        if args.profile:
+            return _profile_scenario(parser, spec, args.scale, args.seed)
         result = scenario_sweep.run(
             scale=args.scale,
             seed=args.seed,

@@ -18,6 +18,15 @@ Space Analysis of Section 4 executes protocol variants:
 The engine (:mod:`repro.sim.engine`) is deliberately lightweight — plain
 dictionaries, no per-message objects — so the PRA tournament can run tens of
 thousands of simulations in a benchmark session.
+
+Each population model ships two engines proven bit-identical: an optimised
+hot path (:class:`~repro.sim.engine.Simulation` for fixed populations,
+:class:`~repro.sim.population_fast.FastPopulationSimulation` for variable
+ones) and a reference implementation (:mod:`repro.sim.reference`,
+:class:`~repro.sim.population.PopulationSimulation`).  :func:`simulate`
+dispatches onto the optimised engines by default; ``engine="reference"``,
+:func:`set_default_engine` or ``REPRO_SIM_ENGINE`` select the reference
+path.
 """
 
 from repro.sim.bandwidth import (
@@ -37,7 +46,14 @@ from repro.sim.behavior import (
 )
 from repro.sim.config import SimulationConfig
 from repro.sim.dynamics import ArrivalProcess, DepartureProcess, PopulationDynamics
-from repro.sim.engine import Simulation, SimulationResult, simulate
+from repro.sim.engine import (
+    ENGINE_CHOICES,
+    Simulation,
+    SimulationResult,
+    default_engine,
+    set_default_engine,
+    simulate,
+)
 from repro.sim.history import InteractionHistory
 from repro.sim.metrics import (
     CohortMetrics,
@@ -48,6 +64,7 @@ from repro.sim.metrics import (
 )
 from repro.sim.peer import PeerState
 from repro.sim.population import PopulationSimulation
+from repro.sim.population_fast import FastPopulationSimulation
 
 __all__ = [
     "BandwidthDistribution",
@@ -65,10 +82,14 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "simulate",
+    "ENGINE_CHOICES",
+    "default_engine",
+    "set_default_engine",
     "ArrivalProcess",
     "DepartureProcess",
     "PopulationDynamics",
     "PopulationSimulation",
+    "FastPopulationSimulation",
     "InteractionHistory",
     "PeerState",
     "GroupMetrics",

@@ -246,7 +246,9 @@ def apply_true_departures(
     active[:] = [peer for peer in active if peer.peer_id not in departed_ids]
     for peer in active:
         peer.history.forget_peers(departed_ids)
-        for gone in departed_ids:
-            peer.loyalty.pop(gone, None)
-            peer.pending_requests.discard(gone)
+        loyalty = peer.loyalty
+        if loyalty:
+            for gone in departed_ids:
+                loyalty.pop(gone, None)
+        peer.pending_requests.difference_update(departed_ids)
     return departing

@@ -1,4 +1,11 @@
-"""The variable-population simulation engine (true arrivals/departures).
+"""The reference variable-population engine (true arrivals/departures).
+
+This module is the **reference implementation** of variable-population
+semantics: it executes the round loop through the live policy modules with
+no micro-optimisation, which makes it the spec the optimised hot path
+(:class:`repro.sim.population_fast.FastPopulationSimulation`) is proven
+bit-identical against by the differential suite.  Production runs dispatch
+to the fast engine; keep this one straightforward and readable.
 
 :class:`PopulationSimulation` executes the same two-phase round loop as the
 fixed-population engine, but over a **mutable active set**: arrivals create
@@ -50,6 +57,7 @@ per-peer-round PRA measures comparable across varying population sizes.
 from __future__ import annotations
 
 import random
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.sim.behavior import PeerBehavior
@@ -84,6 +92,7 @@ class PopulationSimulation:
         behaviors: Sequence[PeerBehavior],
         groups: Optional[Sequence[str]] = None,
         seed: Optional[int] = None,
+        profile: bool = False,
     ):
         population = config.population
         if population is None:
@@ -158,6 +167,14 @@ class PopulationSimulation:
             population.arrival.is_none() and population.departure.mode == "replace"
         )
 
+        self._profile = profile
+        #: Wall-clock seconds per round phase, populated when ``profile``.
+        self.phase_seconds: Dict[str, float] = {
+            "population": 0.0,
+            "decision": 0.0,
+            "transfer": 0.0,
+        }
+
     # ------------------------------------------------------------------ #
     # population step
     # ------------------------------------------------------------------ #
@@ -212,6 +229,12 @@ class PopulationSimulation:
             cohort="arrival",
         )
 
+    def _on_departures(self, departed_ids: List[int]) -> None:
+        """Hook: true departures just removed ``departed_ids`` from the
+        active set (and any rejoins/arrivals of the round have not spawned
+        yet).  The reference engine needs no bookkeeping; the optimised
+        engine invalidates its incremental membership structures here."""
+
     def _admissible(self, requested: int) -> int:
         """Clamp an arrival count to the ``max_active`` capacity cap."""
         cap = self._population.max_active
@@ -219,22 +242,31 @@ class PopulationSimulation:
             return requested
         return max(0, min(requested, cap - len(self._active)))
 
-    def _population_step(self, round_index: int) -> None:
+    def _population_step(self, round_index: int) -> Tuple[List[int], List[int]]:
+        """Run departures/rejoins/arrivals; returns ``(churned, departed)`` ids.
+
+        ``churned`` are identities reset in place by replacement-mode
+        departures; ``departed`` are identities removed for good by true
+        departures.  The reference round loop ignores the return value; the
+        optimised engine uses it to patch its incremental structures.
+        """
         population = self._population
         departure = population.departure
         arrival = population.arrival
         rng = self._rng
+        churned_ids: List[int] = []
+        departed_ids: List[int] = []
 
         if departure.rate > 0.0:
             if departure.mode == "replace":
-                churned = apply_churn(
+                churned_ids = apply_churn(
                     self._active,
                     departure.rate,
                     round_index,
                     rng,
                     self._distribution,
                 )
-                self._churn_events += len(churned)
+                self._churn_events += len(churned_ids)
             else:
                 departed = apply_true_departures(
                     self._active,
@@ -244,8 +276,12 @@ class PopulationSimulation:
                     min_active=departure.min_active,
                 )
                 if departed:
+                    departed_ids = [peer.peer_id for peer in departed]
                     self._departures += len(departed)
                     self._churn_events += len(departed)
+                    # Fires before any whitewash rejoin spawns, so
+                    # subclasses see the membership change first.
+                    self._on_departures(departed_ids)
                     if arrival.kind == "whitewash":
                         # A whitewashing node re-enters immediately: same
                         # capacity, behaviour and group, but a fresh
@@ -272,6 +308,7 @@ class PopulationSimulation:
             count = self._admissible(arrival.flash_count_for_round(round_index))
             for _ in range(count):
                 self._spawn_arrival(round_index)
+        return churned_ids, departed_ids
 
     # ------------------------------------------------------------------ #
     # round processing (reference-engine semantics over the active set)
@@ -327,7 +364,14 @@ class PopulationSimulation:
 
     def _run_round(self, round_index: int) -> None:
         config = self.config
+        profile = self._profile
+        if profile:
+            tick = perf_counter()
         self._population_step(round_index)
+        if profile:
+            now = perf_counter()
+            self.phase_seconds["population"] += now - tick
+            tick = now
 
         active = self._active
         active_ids = [peer.peer_id for peer in active]
@@ -349,6 +393,10 @@ class PopulationSimulation:
             decisions.append((peer, allocation))
             for target in request_targets:
                 incoming_requests[target].add(peer.peer_id)
+        if profile:
+            now = perf_counter()
+            self.phase_seconds["decision"] += now - tick
+            tick = now
 
         measured_down = self._measured_down
         measured_up = self._measured_up
@@ -368,6 +416,8 @@ class PopulationSimulation:
             received = peer.history.total_received(round_index)
             peer.update_aspiration(received, smoothing=config.aspiration_smoothing)
             peer.pending_requests = incoming_requests[peer.peer_id]
+        if profile:
+            self.phase_seconds["transfer"] += perf_counter() - tick
 
     # ------------------------------------------------------------------ #
     # public API

@@ -146,3 +146,87 @@ class TestCliRunnerConfiguration:
         monkeypatch.setenv(ENV_JOBS, "many")
         with pytest.raises(SystemExit):
             main(["scenario", "baseline", "--scale", "smoke"])
+
+
+class TestCliEngineAndProfile:
+    @pytest.fixture(autouse=True)
+    def pristine_engine(self):
+        """Reset the process-wide engine selection around each test.
+
+        The ``--engine`` flag intentionally exports ``REPRO_SIM_ENGINE``
+        (worker processes inherit it), so the environment must be popped
+        explicitly — monkeypatch records nothing for a var that was absent
+        before the test set it.
+        """
+        import os
+
+        from repro.sim.engine import ENV_ENGINE, set_default_engine
+
+        os.environ.pop(ENV_ENGINE, None)
+        set_default_engine(None)
+        yield
+        set_default_engine(None)
+        os.environ.pop(ENV_ENGINE, None)
+
+    def test_engine_flag_sets_default_and_env(self, capsys):
+        import os
+
+        from repro.sim.engine import ENV_ENGINE, default_engine
+
+        assert main(
+            ["scenario", "whitewash-churn", "--scale", "smoke",
+             "--engine", "reference"]
+        ) == 0
+        assert default_engine() == "reference"
+        assert os.environ[ENV_ENGINE] == "reference"
+
+    def test_engines_render_identical_scenario_output(self, capsys):
+        assert main(["scenario", "whitewash-churn", "--scale", "smoke"]) == 0
+        fast_output = capsys.readouterr().out
+        assert main(
+            ["scenario", "whitewash-churn", "--scale", "smoke",
+             "--engine", "reference"]
+        ) == 0
+        reference_output = capsys.readouterr().out
+        assert fast_output == reference_output
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "whitewash-churn", "--engine", "warp"])
+
+    def test_invalid_env_engine_is_a_cli_error(self, monkeypatch):
+        from repro.sim.engine import ENV_ENGINE
+
+        monkeypatch.setenv(ENV_ENGINE, "warp")
+        with pytest.raises(SystemExit):
+            main(["scenario", "whitewash-churn", "--scale", "smoke"])
+
+    def test_reference_engine_covers_dynamics_scenarios(self, capsys):
+        """A reference-engine run of a ScenarioDynamics scenario completes."""
+        assert main(["scenario", "flash-crowd", "--scale", "smoke"]) == 0
+        fast_output = capsys.readouterr().out
+        assert main(
+            ["scenario", "flash-crowd", "--scale", "smoke",
+             "--engine", "reference"]
+        ) == 0
+        assert capsys.readouterr().out == fast_output
+
+    def test_profile_prints_phase_timings(self, capsys):
+        assert main(
+            ["scenario", "whitewash-churn", "--scale", "smoke", "--profile"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "engine fast" in output
+        for phase in ("population", "decision", "transfer", "ms/round"):
+            assert phase in output
+
+    def test_profile_honours_engine_override(self, capsys):
+        assert main(
+            ["scenario", "growing-swarm", "--scale", "smoke",
+             "--engine", "reference", "--profile"]
+        ) == 0
+        assert "engine reference" in capsys.readouterr().out
+
+    def test_profile_rejects_fixed_population_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "flash-crowd", "--scale", "smoke", "--profile"])

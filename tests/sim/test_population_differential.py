@@ -1,20 +1,28 @@
-"""Differential suite: variable-population engine vs fixed-population engine.
+"""Differential suite: variable-population engines vs fixed-population engine.
 
 Two halves, mirroring the tentpole guarantee:
 
 1. **Degenerate equivalence** — with no arrivals and departures in
-   ``"replace"`` mode, :class:`repro.sim.population.PopulationSimulation`
-   must reproduce the optimised fixed-population engine (and therefore the
-   golden reference it is proven against) **bit-for-bit**, across every
-   case of the golden-equivalence suite.  The comparison includes the full
-   serialised result payload, so a single diverging random draw or float
-   operation fails here.
+   ``"replace"`` mode, the variable-population engines must reproduce the
+   optimised fixed-population engine (and therefore the golden reference it
+   is proven against) **bit-for-bit**, across every case of the
+   golden-equivalence suite.  The comparison includes the full serialised
+   result payload, so a single diverging random draw or float operation
+   fails here.
 
 2. **Pinned variable-count runs** — six genuinely variable configurations
    (growth, capped growth, flash arrivals, pure shrink, whitewashing, and
    a mixed-group encounter under growth) are pinned by the SHA-256 of
    their serialised result payloads.  Any intentional change to the
-   variable engine's draw order or semantics must update these pins.
+   variable engines' draw order or semantics must update these pins.
+
+Every case runs on **both** variable-population engines — the reference
+:class:`~repro.sim.population.PopulationSimulation` and the optimised
+:class:`~repro.sim.population_fast.FastPopulationSimulation` — via the
+``engine_cls`` fixture, so the optimised hot path is held to exactly the
+same pins as the spec it replaces (see also
+``tests/sim/test_population_fast_differential.py`` for the hypothesis
+differential between the two).
 """
 
 from __future__ import annotations
@@ -29,8 +37,21 @@ from repro.sim.config import SimulationConfig
 from repro.sim.dynamics import ArrivalProcess, DepartureProcess, PopulationDynamics
 from repro.sim.engine import Simulation, simulate
 from repro.sim.population import PopulationSimulation
+from repro.sim.population_fast import FastPopulationSimulation
 
 from tests.sim.test_engine_equivalence import VARIANTS, assert_identical_results
+
+#: Both variable-population engines, held to identical behaviour.
+POPULATION_ENGINES = {
+    "reference": PopulationSimulation,
+    "fast": FastPopulationSimulation,
+}
+
+
+@pytest.fixture(params=sorted(POPULATION_ENGINES))
+def engine_cls(request):
+    """The variable-population engine class under test."""
+    return POPULATION_ENGINES[request.param]
 
 
 def as_variable_twin(config: SimulationConfig) -> SimulationConfig:
@@ -59,9 +80,9 @@ def assert_bit_identical(variable_result, fixed_result):
     assert result_to_payload(variable_result) == result_to_payload(fixed_result)
 
 
-def run_both(config, behaviors, groups=None, seed=None):
+def run_both(engine_cls, config, behaviors, groups=None, seed=None):
     fixed = Simulation(config, behaviors, groups, seed=seed).run()
-    variable = PopulationSimulation(
+    variable = engine_cls(
         as_variable_twin(config), behaviors, groups, seed=seed
     ).run()
     return variable, fixed
@@ -72,17 +93,17 @@ def run_both(config, behaviors, groups=None, seed=None):
 # ---------------------------------------------------------------------- #
 @pytest.mark.parametrize("variant", sorted(VARIANTS))
 @pytest.mark.parametrize("seed", [0, 7])
-def test_homogeneous_differential(variant, seed):
+def test_homogeneous_differential(engine_cls, variant, seed):
     config = SimulationConfig(n_peers=12, rounds=30)
-    variable, fixed = run_both(config, [VARIANTS[variant]], seed=seed)
+    variable, fixed = run_both(engine_cls, config, [VARIANTS[variant]], seed=seed)
     assert_bit_identical(variable, fixed)
 
 
 @pytest.mark.parametrize("variant", sorted(VARIANTS))
-def test_churn_as_replacement_differential(variant):
+def test_churn_as_replacement_differential(engine_cls, variant):
     """The crux: replacement-mode departures == legacy churn, draw for draw."""
     config = SimulationConfig(n_peers=10, rounds=25, churn_rate=0.05, warmup_rounds=5)
-    variable, fixed = run_both(config, [VARIANTS[variant]], seed=11)
+    variable, fixed = run_both(engine_cls, config, [VARIANTS[variant]], seed=11)
     assert_bit_identical(variable, fixed)
 
 
@@ -97,51 +118,55 @@ def test_churn_as_replacement_differential(variant):
     ],
     ids=lambda pair: f"{pair[0]}-vs-{pair[1]}",
 )
-def test_encounter_differential(pair):
+def test_encounter_differential(engine_cls, pair):
     config = SimulationConfig(n_peers=10, rounds=20, churn_rate=0.02)
     behaviors = [VARIANTS[pair[0]]] * 5 + [VARIANTS[pair[1]]] * 5
     groups = ["A"] * 5 + ["B"] * 5
-    variable, fixed = run_both(config, behaviors, groups, seed=3)
+    variable, fixed = run_both(engine_cls, config, behaviors, groups, seed=3)
     assert_bit_identical(variable, fixed)
     assert variable.group_mean_download("A") == fixed.group_mean_download("A")
     assert variable.group_mean_download("B") == fixed.group_mean_download("B")
 
 
-def test_no_discovery_no_requests_differential():
+def test_no_discovery_no_requests_differential(engine_cls):
     config = SimulationConfig(
         n_peers=8, rounds=20, requests_per_round=0, discovery_per_round=0
     )
-    variable, fixed = run_both(config, [VARIANTS["bittorrent"]], seed=5)
+    variable, fixed = run_both(engine_cls, config, [VARIANTS["bittorrent"]], seed=5)
     assert_bit_identical(variable, fixed)
 
 
-def test_tight_stranger_cap_differential():
+def test_tight_stranger_cap_differential(engine_cls):
     config = SimulationConfig(
         n_peers=12, rounds=25, discovery_per_round=3, stranger_bandwidth_cap=0.2
     )
-    variable, fixed = run_both(config, [VARIANTS["periodic_slow_propshare"]], seed=17)
+    variable, fixed = run_both(
+        engine_cls, config, [VARIANTS["periodic_slow_propshare"]], seed=17
+    )
     assert_bit_identical(variable, fixed)
 
 
 @pytest.mark.parametrize("variant", ["bittorrent", "defect_propshare_adaptive"])
-def test_two_round_history_differential(variant):
+def test_two_round_history_differential(engine_cls, variant):
     config = SimulationConfig(n_peers=10, rounds=25, history_rounds=2, churn_rate=0.03)
-    variable, fixed = run_both(config, [VARIANTS[variant]], seed=13)
+    variable, fixed = run_both(engine_cls, config, [VARIANTS[variant]], seed=13)
     assert_bit_identical(variable, fixed)
 
 
 @pytest.mark.parametrize("variant", ["bittorrent", "sort_s", "periodic_slow_propshare"])
-def test_paper_scale_population_differential(variant):
+def test_paper_scale_population_differential(engine_cls, variant):
     config = SimulationConfig(n_peers=50, rounds=12, churn_rate=0.01)
-    variable, fixed = run_both(config, [VARIANTS[variant]], seed=23)
+    variable, fixed = run_both(engine_cls, config, [VARIANTS[variant]], seed=23)
     assert_bit_identical(variable, fixed)
 
 
-def test_many_requests_and_discoveries_differential():
+def test_many_requests_and_discoveries_differential(engine_cls):
     config = SimulationConfig(
         n_peers=14, rounds=20, requests_per_round=4, discovery_per_round=5
     )
-    variable, fixed = run_both(config, [VARIANTS["loyal_when_needed"]], seed=29)
+    variable, fixed = run_both(
+        engine_cls, config, [VARIANTS["loyal_when_needed"]], seed=29
+    )
     assert_bit_identical(variable, fixed)
 
 
@@ -253,20 +278,20 @@ GOLDEN_VARIABLE = {
 
 
 @pytest.mark.parametrize("name", sorted(GOLDEN_VARIABLE))
-def test_variable_run_pinned_by_fingerprint(name):
+def test_variable_run_pinned_by_fingerprint(engine_cls, name):
     config, behaviors, groups, seed = _variable_case(name)
-    result = PopulationSimulation(config, behaviors, groups, seed=seed).run()
+    result = engine_cls(config, behaviors, groups, seed=seed).run()
     assert _payload_digest(result).startswith(GOLDEN_VARIABLE[name])
     # Re-running must reproduce the digest (determinism backs the pin).
-    again = PopulationSimulation(config, behaviors, groups, seed=seed).run()
+    again = engine_cls(config, behaviors, groups, seed=seed).run()
     assert _payload_digest(again) == _payload_digest(result)
 
 
 @pytest.mark.parametrize("name", sorted(GOLDEN_VARIABLE))
-def test_variable_run_population_accounting(name):
+def test_variable_run_population_accounting(engine_cls, name):
     """Structural invariants of every pinned variable case."""
     config, behaviors, groups, seed = _variable_case(name)
-    result = PopulationSimulation(config, behaviors, groups, seed=seed).run()
+    result = engine_cls(config, behaviors, groups, seed=seed).run()
     population = config.population
     assert result.active_counts is not None
     assert len(result.active_counts) == config.rounds

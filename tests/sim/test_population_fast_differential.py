@@ -1,0 +1,234 @@
+"""Differential tests: optimised vs reference variable-population engine.
+
+The pinned-fingerprint and degenerate-equivalence cases run on both engines
+in ``test_population_differential.py``; this module adds the parts specific
+to the two-engine architecture:
+
+* a **hypothesis differential** — randomly drawn
+  :class:`~repro.sim.dynamics.PopulationDynamics` bundles, behaviour mixes
+  and seeds, with the full serialised result payloads of
+  :class:`~repro.sim.population_fast.FastPopulationSimulation` and
+  :class:`~repro.sim.population.PopulationSimulation` compared for
+  equality (bit-identity, not tolerance);
+* the positional-skip sampler's draw-equivalence with ``Random.sample``;
+* :func:`repro.sim.engine.simulate` dispatch: fast by default, the
+  ``reference`` escape hatch via argument, :func:`set_default_engine` and
+  the ``REPRO_SIM_ENGINE`` environment variable — with the engine choice
+  provably absent from the job fingerprint (results are interchangeable,
+  so cached entries must be too);
+* the per-phase profiling hooks used by the CLI ``--profile`` flag.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner.jobs import SimulationJob, result_to_payload
+from repro.sim.config import SimulationConfig
+from repro.sim.dynamics import ArrivalProcess, DepartureProcess, PopulationDynamics
+from repro.sim.engine import (
+    ENGINE_CHOICES,
+    ENV_ENGINE,
+    default_engine,
+    set_default_engine,
+    simulate,
+)
+from repro.sim.population import PopulationSimulation
+from repro.sim.population_fast import FastPopulationSimulation, _sample_skip
+from repro.sim.reference import ReferenceSimulation
+
+from tests.property.test_property_population import behaviors, population_dynamics
+from tests.sim.test_engine_equivalence import VARIANTS
+
+
+@pytest.fixture
+def pristine_engine():
+    """Reset the process-wide default engine around a test."""
+    set_default_engine(None)
+    yield
+    set_default_engine(None)
+
+
+# ---------------------------------------------------------------------- #
+# hypothesis differential: fast engine vs reference engine
+# ---------------------------------------------------------------------- #
+differential_runs = st.builds(
+    lambda n, rounds, dynamics, behavior, warmup, seed: (
+        SimulationConfig(
+            n_peers=n, rounds=rounds, warmup_rounds=warmup, population=dynamics
+        ),
+        behavior,
+        seed,
+    ),
+    n=st.integers(min_value=4, max_value=12),
+    rounds=st.integers(min_value=5, max_value=20),
+    dynamics=population_dynamics(),
+    behavior=behaviors,
+    warmup=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+class TestFastEngineDifferential:
+    @given(differential_runs)
+    @settings(max_examples=80, deadline=None)
+    def test_bit_identical_to_reference_engine(self, run):
+        """Random bundles, seeds and behaviours: full payloads must match."""
+        config, behavior, seed = run
+        reference = PopulationSimulation(config, [behavior], seed=seed).run()
+        fast = FastPopulationSimulation(config, [behavior], seed=seed).run()
+        assert result_to_payload(fast) == result_to_payload(reference)
+        assert fast.active_counts == reference.active_counts
+        assert fast.churn_events == reference.churn_events
+
+    @given(differential_runs, st.sampled_from(sorted(VARIANTS)))
+    @settings(max_examples=30, deadline=None)
+    def test_bit_identical_on_mixed_groups(self, run, variant_name):
+        """Two-group encounters under random dynamics must also match."""
+        config, behavior, seed = run
+        half = config.n_peers // 2
+        mix = [behavior] * half + [VARIANTS[variant_name]] * (config.n_peers - half)
+        groups = ["A"] * half + ["B"] * (config.n_peers - half)
+        reference = PopulationSimulation(config, mix, groups, seed=seed).run()
+        fast = FastPopulationSimulation(config, mix, groups, seed=seed).run()
+        assert result_to_payload(fast) == result_to_payload(reference)
+
+
+class TestSampleSkip:
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        idx_seed=st.integers(min_value=0, max_value=2**16),
+        k_seed=st.integers(min_value=0, max_value=2**16),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_stdlib_sample_on_materialised_others(
+        self, n, idx_seed, k_seed, seed
+    ):
+        """Positional-skip draws == Random.sample on the others list."""
+        active_ids = list(range(100, 100 + n))
+        idx = idx_seed % n
+        others = active_ids[:idx] + active_ids[idx + 1 :]
+        k = 1 + k_seed % len(others)
+        expected = random.Random(seed).sample(others, k)
+        got = _sample_skip(
+            random.Random(seed).getrandbits, active_ids, idx, len(others), k
+        )
+        assert got == expected
+
+
+# ---------------------------------------------------------------------- #
+# engine dispatch and the reference escape hatch
+# ---------------------------------------------------------------------- #
+VARIABLE_CONFIG = SimulationConfig(
+    n_peers=8,
+    rounds=16,
+    population=PopulationDynamics(
+        arrival=ArrivalProcess(kind="poisson", rate=0.4),
+        departure=DepartureProcess(rate=0.03),
+    ),
+)
+
+
+class TestEngineDispatch:
+    def test_choices_are_fast_and_reference(self):
+        assert ENGINE_CHOICES == ("fast", "reference")
+
+    def test_default_engine_is_fast(self, pristine_engine, monkeypatch):
+        monkeypatch.delenv(ENV_ENGINE, raising=False)
+        assert default_engine() == "fast"
+
+    def test_engine_argument_selects_bit_identical_paths(self):
+        behavior = VARIANTS["bittorrent"]
+        fast = simulate(VARIABLE_CONFIG, [behavior], seed=2, engine="fast")
+        reference = simulate(VARIABLE_CONFIG, [behavior], seed=2, engine="reference")
+        assert result_to_payload(fast) == result_to_payload(reference)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate(VARIABLE_CONFIG, [VARIANTS["bittorrent"]], seed=0, engine="warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            set_default_engine("warp")
+
+    def test_set_default_engine_governs_dispatch(self, pristine_engine):
+        set_default_engine("reference")
+        assert default_engine() == "reference"
+        set_default_engine(None)
+        assert default_engine() in ENGINE_CHOICES
+
+    def test_env_variable_governs_dispatch(self, pristine_engine, monkeypatch):
+        monkeypatch.setenv(ENV_ENGINE, "reference")
+        assert default_engine() == "reference"
+        # An explicit set_default_engine overrides the environment.
+        set_default_engine("fast")
+        assert default_engine() == "fast"
+
+    def test_reference_dispatch_for_fixed_population(self):
+        """Fixed configs route onto the frozen seed engine."""
+        config = SimulationConfig(n_peers=8, rounds=12)
+        behavior = VARIANTS["bittorrent"]
+        via_simulate = simulate(config, [behavior], seed=5, engine="reference")
+        direct = ReferenceSimulation(config, [behavior], seed=5).run()
+        assert result_to_payload(via_simulate) == result_to_payload(direct)
+
+    def test_reference_engine_is_total_over_scenario_dynamics(self):
+        """Dynamics configs have one implementation; both settings run it.
+
+        A reference-engine sweep over a mixed scenario grid must not abort
+        on the fixed-population scenarios that carry ScenarioDynamics.
+        """
+        from repro.scenarios import get_scenario
+
+        job = get_scenario("flash-crowd").compile(scale="smoke", seed=3)
+        assert job.config.dynamics is not None
+        behaviors = list(job.behaviors)
+        groups = list(job.groups) if job.groups is not None else None
+        fast = simulate(job.config, behaviors, groups, seed=3, engine="fast")
+        reference = simulate(
+            job.config, behaviors, groups, seed=3, engine="reference"
+        )
+        assert result_to_payload(fast) == result_to_payload(reference)
+
+    def test_fingerprint_is_engine_independent(self):
+        """Engine choice must never split the result cache."""
+        job = SimulationJob(
+            config=VARIABLE_CONFIG, behaviors=(VARIANTS["bittorrent"],), seed=9
+        )
+        fingerprint = job.fingerprint()
+        assert "engine" not in job.payload()["config"]
+        # Both engines produce the payload stored under that fingerprint.
+        fast = simulate(VARIABLE_CONFIG, [VARIANTS["bittorrent"]], seed=9)
+        reference = simulate(
+            VARIABLE_CONFIG, [VARIANTS["bittorrent"]], seed=9, engine="reference"
+        )
+        assert result_to_payload(fast) == result_to_payload(reference)
+        assert job.fingerprint() == fingerprint
+
+
+class TestProfileHooks:
+    @pytest.mark.parametrize(
+        "engine_cls", [PopulationSimulation, FastPopulationSimulation]
+    )
+    def test_profile_collects_phase_seconds(self, engine_cls):
+        sim = engine_cls(
+            VARIABLE_CONFIG, [VARIANTS["bittorrent"]], seed=1, profile=True
+        )
+        sim.run()
+        assert set(sim.phase_seconds) == {"population", "decision", "transfer"}
+        assert all(value >= 0.0 for value in sim.phase_seconds.values())
+        assert sum(sim.phase_seconds.values()) > 0.0
+
+    @pytest.mark.parametrize(
+        "engine_cls", [PopulationSimulation, FastPopulationSimulation]
+    )
+    def test_profiling_does_not_perturb_results(self, engine_cls):
+        behavior = VARIANTS["bittorrent"]
+        plain = engine_cls(VARIABLE_CONFIG, [behavior], seed=3).run()
+        profiled = engine_cls(
+            VARIABLE_CONFIG, [behavior], seed=3, profile=True
+        ).run()
+        assert result_to_payload(plain) == result_to_payload(profiled)
