@@ -19,10 +19,12 @@ Every case also re-asserts bit-identity between the two variable engines
 while benchmarking — a speedup measured on diverging results would be
 meaningless.
 
-Results are written to ``BENCH_population.json`` at the repository root:
-a machine-readable record (config, seconds, rounds/sec, speedup vs the
-reference engine) seeding the tracked perf trajectory — regenerate it when
-engine performance changes and let git history carry the trajectory.
+Results are **appended** to ``BENCH_population.json`` at the repository
+root: one entry per (commit, grid), each a machine-readable record (config,
+seconds, rounds/sec, speedup vs the reference engine).  Re-running on the
+same commit replaces that commit's entry; running on a new commit appends —
+the file itself carries the tracked perf trajectory rather than being
+overwritten per run.  Legacy single-run files migrate automatically.
 
 Run the full bench grid (the acceptance gate asserts >= 2x on the
 200-peer/400-round headline case)::
@@ -38,11 +40,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.protocol import bittorrent_reference
 from repro.runner.jobs import result_to_payload
@@ -149,11 +153,30 @@ def run_case(n_peers: int, rounds: int, seed: int = 0, repeats: int = 3) -> dict
     }
 
 
+def current_commit() -> Optional[str]:
+    """The commit this run measures (CI env, then git; ``None`` if unknown)."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
 def run_grid(grid: str, repeats: int = 3) -> dict:
-    """Benchmark every case of ``grid`` into one JSON-ready payload."""
+    """Benchmark every case of ``grid`` into one trajectory entry."""
     cases = [run_case(n, rounds, repeats=repeats) for n, rounds in GRIDS[grid]]
     return {
-        "benchmark": "population-engines",
+        "commit": current_commit(),
         "grid": grid,
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -161,12 +184,49 @@ def run_grid(grid: str, repeats: int = 3) -> dict:
     }
 
 
-def write_payload(payload: dict, output: Path) -> None:
-    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+def load_history(output: Path) -> dict:
+    """The trajectory stored at ``output`` (empty or legacy files migrate).
+
+    The pre-trajectory layout was a single run's payload with top-level
+    ``cases``; it becomes the first entry, with an unknown commit.
+    """
+    if not output.exists():
+        return {"benchmark": "population-engines", "entries": []}
+    data = json.loads(output.read_text(encoding="utf-8"))
+    if "entries" in data:
+        return data
+    legacy = {key: data[key] for key in ("grid", "python", "machine", "cases")}
+    legacy["commit"] = data.get("commit")
+    return {
+        "benchmark": data.get("benchmark", "population-engines"),
+        "entries": [legacy],
+    }
+
+
+def append_entry(entry: dict, output: Path) -> dict:
+    """Append ``entry`` to the trajectory at ``output`` (keyed by commit).
+
+    An existing entry for the same (commit, grid) is replaced — re-running
+    on one commit refreshes its measurement instead of duplicating it — and
+    anything else is preserved, so the file accumulates one entry per
+    benchmarked commit.  Returns the written trajectory.
+    """
+    history = load_history(output)
+    key = (entry.get("commit"), entry["grid"])
+    history["entries"] = [
+        existing
+        for existing in history["entries"]
+        if (existing.get("commit"), existing["grid"]) != key
+    ]
+    history["entries"].append(entry)
+    output.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    return history
 
 
 def _render(payload: dict) -> str:
+    commit = payload.get("commit") or "unknown"
     lines = [
+        f"commit {commit[:12]}  grid {payload['grid']}",
         f"{'peers':>6} {'rounds':>6} {'fixed r/s':>10} {'ref r/s':>10} "
         f"{'fast r/s':>10} {'speedup':>8} {'identical':>9}"
     ]
@@ -189,10 +249,13 @@ def _render(payload: dict) -> str:
 # ---------------------------------------------------------------------- #
 def test_population_engines_bench_grid():
     payload = run_grid("bench")
-    write_payload(payload, DEFAULT_OUTPUT)
+    history = append_entry(payload, DEFAULT_OUTPUT)
     print()
     print(_render(payload))
-    print(f"wrote {DEFAULT_OUTPUT}")
+    print(
+        f"wrote {DEFAULT_OUTPUT} "
+        f"({len(history['entries'])} trajectory entries)"
+    )
 
     assert all(case["bit_identical"] for case in payload["cases"])
     headline = next(
@@ -220,9 +283,9 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
     payload = run_grid(args.grid, repeats=args.repeats)
-    write_payload(payload, args.output)
+    history = append_entry(payload, args.output)
     print(_render(payload))
-    print(f"wrote {args.output}")
+    print(f"wrote {args.output} ({len(history['entries'])} trajectory entries)")
     if not all(case["bit_identical"] for case in payload["cases"]):
         print("ERROR: engines diverged", file=sys.stderr)
         return 1

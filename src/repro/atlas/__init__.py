@@ -1,0 +1,41 @@
+"""The robustness atlas: protocol design space × workload scenarios.
+
+The paper's headline artifact is *design space analysis* — enumerating a
+combinatorial protocol space and asking which design points stay robust as
+the workload turns hostile.  This package crosses the two halves the
+library already has: the actualized protocol axes of
+:mod:`repro.core.design_space` and the named workload registry of
+:mod:`repro.scenarios`.
+
+* :mod:`repro.atlas.grid` — the declarative :class:`AtlasSpec` (protocol
+  axes × scenario names × seeds) that compiles to deduplicated, cached
+  simulation jobs and executes them through the experiment runner; thanks
+  to content-addressed job fingerprints, re-running a *grown* grid only
+  simulates the new cells.
+* :mod:`repro.atlas.report` — condensation of a grid run into
+  protocol-ranked robustness scores (mean and worst case across workloads,
+  after the paper's robustness ordering) and plain-text / CSV heat maps,
+  including the per-(group, cohort) PRA split that says who wins *inside*
+  an adversarial workload.
+"""
+
+from repro.atlas.grid import AtlasCell, AtlasResult, AtlasSpec, run_atlas
+from repro.atlas.report import (
+    AtlasReport,
+    build_report,
+    render_group_heatmap,
+    render_heatmap,
+    render_ranking,
+)
+
+__all__ = [
+    "AtlasCell",
+    "AtlasResult",
+    "AtlasSpec",
+    "run_atlas",
+    "AtlasReport",
+    "build_report",
+    "render_ranking",
+    "render_heatmap",
+    "render_group_heatmap",
+]

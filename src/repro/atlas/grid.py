@@ -1,0 +1,292 @@
+"""The atlas grid: a declarative protocol × workload × seed sweep.
+
+An :class:`AtlasSpec` names what to cross —
+
+* **protocol axes**: behaviour-field axes from
+  :data:`repro.core.design_space.BEHAVIOR_AXES` with the values to sweep
+  (``{"ranking": ("fastest", "loyal"), "allocation": ("equal_split",)}``),
+  applied onto a base behaviour; every combination is coerced to a
+  *coherent* design point (e.g. the ``"none"`` stranger policy forces
+  ``h = 0``) and duplicates collapse, exactly as the enumerated design
+  space treats its degenerate points;
+* **scenarios**: registered workload names from :mod:`repro.scenarios`;
+  each cell injects the protocol under test as the scenario population's
+  *default* behaviour, leaving declared sub-populations (capacity classes,
+  adversarial behaviour groups, shift targets) untouched;
+* **seeds**: ``repetitions`` independent runs per cell with seeds derived
+  deterministically per (scenario × protocol, master seed, repetition).
+
+:meth:`AtlasSpec.jobs` compiles the grid to plain
+:class:`~repro.runner.jobs.SimulationJob`\\ s and :func:`run_atlas`
+executes them as **one flat batch** on the (possibly parallel, possibly
+cached) :class:`~repro.runner.runner.ExperimentRunner`.  Because every job
+is content-addressed, a *grown* grid — more protocols, more scenarios,
+more repetitions — re-simulates only its new cells when pointed at the
+same cache; the :class:`~repro.runner.runner.RunnerStats` delta in the
+result proves it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.design_space import BEHAVIOR_AXES
+from repro.core.protocol import Protocol
+from repro.runner.jobs import SimulationJob
+from repro.runner.runner import ExperimentRunner, RunnerStats, get_default_runner
+from repro.scenarios import get_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.behavior import PeerBehavior
+from repro.sim.engine import SimulationResult
+
+__all__ = [
+    "DEFAULT_AXES",
+    "DEFAULT_SCENARIOS",
+    "AtlasSpec",
+    "AtlasCell",
+    "AtlasResult",
+    "coherent_behavior",
+    "run_atlas",
+]
+
+#: Micro axes swept when a grid declares none: the rankings the paper keeps
+#: contrasting (Sort Fastest vs Sort Loyal vs Random) crossed with the two
+#: reciprocative allocation policies — 6 protocols.
+DEFAULT_AXES: Tuple[Tuple[str, Tuple[object, ...]], ...] = (
+    ("ranking", ("fastest", "loyal", "random")),
+    ("allocation", ("equal_split", "prop_share")),
+)
+
+#: Default workload column set: the static baseline plus the adversarial
+#: scenarios the robustness ordering is about.
+DEFAULT_SCENARIOS: Tuple[str, ...] = (
+    "baseline",
+    "flash-crowd",
+    "free-rider-wave",
+    "colluders",
+    "whitewash-churn",
+    "colluding-whitewash",
+)
+
+
+def coherent_behavior(base: PeerBehavior, assignment: Mapping[str, object]) -> PeerBehavior:
+    """``base`` with ``assignment`` applied, coerced to a coherent point.
+
+    Axis combinations can name incoherent corners of the hypercube (the
+    ``"none"`` stranger policy with ``h > 0``, ``"periodic"`` with
+    ``h == 0``); rather than erroring out mid-sweep they are projected onto
+    the nearest coherent design point, mirroring how the enumerated space
+    canonicalises its degenerate selections.
+    """
+    fields = dict(assignment)
+    policy = fields.get("stranger_policy", base.stranger_policy)
+    count = fields.get("stranger_count", base.stranger_count)
+    if policy == "none":
+        fields["stranger_count"] = 0
+    elif policy in ("periodic", "when_needed") and count == 0:
+        fields["stranger_count"] = 1
+    return base.with_(**fields)
+
+
+@dataclass(frozen=True)
+class AtlasCell:
+    """One (protocol, scenario) cell of the grid."""
+
+    protocol: Protocol
+    scenario: str
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.protocol.label, self.scenario)
+
+
+@dataclass(frozen=True)
+class AtlasSpec:
+    """A declarative robustness-atlas grid.
+
+    Parameters
+    ----------
+    axes:
+        Protocol axes as ``(axis name, swept values)`` pairs (mappings are
+        normalised); names and values are validated against
+        :data:`~repro.core.design_space.BEHAVIOR_AXES`.
+    scenarios:
+        Registered scenario names (resolved at compile time, so a grid can
+        be declared before runtime registrations happen).
+    scale:
+        Run budget per cell (``smoke`` / ``bench`` / ``paper``).
+    master_seed:
+        Master seed the per-cell repetition seeds derive from.
+    repetitions:
+        Independent runs per cell.
+    base:
+        The behaviour the axis assignments are applied onto (the reference
+        BitTorrent actualization by default).
+    """
+
+    axes: Tuple[Tuple[str, Tuple[object, ...]], ...] = DEFAULT_AXES
+    scenarios: Tuple[str, ...] = DEFAULT_SCENARIOS
+    scale: str = "smoke"
+    master_seed: int = 0
+    repetitions: int = 2
+    base: PeerBehavior = field(default_factory=PeerBehavior)
+
+    def __post_init__(self) -> None:
+        axes = self.axes
+        if isinstance(axes, Mapping):
+            axes = tuple(axes.items())
+        axes = tuple((name, tuple(values)) for name, values in axes)
+        object.__setattr__(self, "axes", axes)
+        if not axes:
+            raise ValueError("an atlas needs at least one protocol axis")
+        seen = set()
+        for name, values in axes:
+            if name not in BEHAVIOR_AXES:
+                raise ValueError(
+                    f"unknown protocol axis {name!r}; "
+                    f"expected one of {tuple(BEHAVIOR_AXES)}"
+                )
+            if name in seen:
+                raise ValueError(f"axis {name!r} declared twice")
+            seen.add(name)
+            if not values:
+                raise ValueError(f"axis {name!r} sweeps no values")
+            for value in values:
+                if value not in BEHAVIOR_AXES[name]:
+                    raise ValueError(
+                        f"value {value!r} is not admissible for axis {name!r}"
+                    )
+        if not isinstance(self.scenarios, tuple):
+            object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if not self.scenarios:
+            raise ValueError("an atlas needs at least one scenario")
+        if len(set(self.scenarios)) != len(self.scenarios):
+            raise ValueError("scenario names must be distinct")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    # grid enumeration
+    # ------------------------------------------------------------------ #
+    def protocols(self) -> List[Protocol]:
+        """The swept protocols: coherent axis combinations, deduplicated.
+
+        Combinations are enumerated axis-major in declaration order and
+        labelled with their compact dimension-code label; combinations that
+        project onto the same coherent design point collapse to one entry.
+        """
+        names = [name for name, _values in self.axes]
+        value_lists = [values for _name, values in self.axes]
+        protocols: List[Protocol] = []
+        seen = set()
+        for combo in product(*value_lists):
+            behavior = coherent_behavior(self.base, dict(zip(names, combo)))
+            label = behavior.label()
+            if label in seen:
+                continue
+            seen.add(label)
+            protocols.append(Protocol(behavior=behavior, name=label))
+        return protocols
+
+    def cells(self) -> List[AtlasCell]:
+        """Every (protocol, scenario) cell, scenario-major per protocol."""
+        return [
+            AtlasCell(protocol=protocol, scenario=name)
+            for protocol in self.protocols()
+            for name in self.scenarios
+        ]
+
+    def cell_spec(self, cell: AtlasCell) -> ScenarioSpec:
+        """The scenario of ``cell`` with its protocol injected as default."""
+        return get_scenario(cell.scenario).with_default_behavior(
+            cell.protocol.behavior
+        )
+
+    def jobs(self) -> List[Tuple[AtlasCell, List[SimulationJob]]]:
+        """Compile the full grid to its per-cell simulation jobs.
+
+        Each cell's repetition seeds derive from the protocol-injected
+        scenario's fingerprint, so they are stable under grid growth: adding
+        protocols, scenarios or repetitions never changes the jobs (and
+        therefore the cache entries) of the existing cells.
+        """
+        return [
+            (
+                cell,
+                self.cell_spec(cell).jobs(
+                    self.scale,
+                    master_seed=self.master_seed,
+                    repetitions=self.repetitions,
+                ),
+            )
+            for cell in self.cells()
+        ]
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-stable description of the declared grid."""
+        return {
+            "axes": [[name, list(values)] for name, values in self.axes],
+            "scenarios": list(self.scenarios),
+            "scale": self.scale,
+            "master_seed": self.master_seed,
+            "repetitions": self.repetitions,
+            "base": self.base.as_dict(),
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash of the grid declaration."""
+        blob = json.dumps(self.as_dict(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class AtlasResult:
+    """Outcome of one atlas run: per-cell results plus execution accounting.
+
+    ``stats`` is the runner-counter *delta* of exactly this invocation:
+    ``stats.executed`` says how many unique jobs were actually simulated —
+    on a warm cache over an unchanged grid it is 0, and on a grown grid it
+    counts only the new cells.
+    """
+
+    spec: AtlasSpec
+    cells: List[AtlasCell]
+    results: Dict[Tuple[str, str], List[SimulationResult]]
+    jobs_total: int
+    stats: RunnerStats
+
+    def cell_results(self, cell: AtlasCell) -> List[SimulationResult]:
+        return self.results[cell.key]
+
+
+def run_atlas(
+    spec: AtlasSpec, runner: Optional[ExperimentRunner] = None
+) -> AtlasResult:
+    """Execute the grid as one flat batch and gather per-cell results."""
+    if runner is None:
+        runner = get_default_runner()
+    compiled = spec.jobs()
+    flat = [job for _cell, batch in compiled for job in batch]
+    before = runner.stats()
+    results = runner.run(flat)
+    stats = runner.stats() - before
+
+    by_cell: Dict[Tuple[str, str], List[SimulationResult]] = {}
+    cursor = 0
+    for cell, batch in compiled:
+        by_cell[cell.key] = results[cursor : cursor + len(batch)]
+        cursor += len(batch)
+    return AtlasResult(
+        spec=spec,
+        cells=[cell for cell, _batch in compiled],
+        results=by_cell,
+        jobs_total=len(flat),
+        stats=stats,
+    )

@@ -1,0 +1,332 @@
+"""Condensing an atlas run into robustness rankings and heat maps.
+
+The paper's design-space analysis ends in an *ordering*: which protocols
+stay good when the workload turns hostile.  :func:`build_report` reduces an
+:class:`~repro.atlas.grid.AtlasResult` the same way:
+
+* every (protocol, scenario) cell is summarised by its **download per
+  peer-round of presence** — the scale-free PRA performance figure that is
+  comparable across fixed and variable populations — pooled over the
+  cell's repetitions;
+* within each scenario the cell values are normalised by the best protocol
+  (**relative score** in [0, 1]), so hostile workloads with depressed
+  absolute throughput still separate protocols;
+* each protocol is ranked by its **worst-case** relative score across the
+  swept workloads (ties broken by the mean) — the paper's robustness
+  ordering generalised from one hostile mix to a whole scenario column;
+* each cell also carries its per-(group, cohort) PRA split
+  (:class:`~repro.sim.metrics.GroupCohortMetrics`, pooled across
+  repetitions), which is what the per-group heat map prints: who wins
+  *inside* a flash crowd or a colluder clique.
+
+Rendering goes through :mod:`repro.stats.tables` — aligned plain text for
+the CLI, CSV (long/tidy form) for machine consumption and CI artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, List, Sequence, Tuple
+
+from repro.atlas.grid import AtlasResult
+from repro.sim.engine import SimulationResult
+from repro.stats.tables import format_csv, format_table
+
+__all__ = [
+    "GroupCell",
+    "CellSummary",
+    "ProtocolRanking",
+    "AtlasReport",
+    "build_report",
+    "render_ranking",
+    "render_heatmap",
+    "render_group_heatmap",
+    "heatmap_csv",
+    "render_report",
+]
+
+
+@dataclass(frozen=True)
+class GroupCell:
+    """Pooled per-(group, cohort) figures of one atlas cell."""
+
+    group: str
+    cohort: str
+    peer_count: int
+    peer_rounds: int
+    downloaded_per_peer_round: float
+    download_share: float
+    departure_rate: float
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """One (protocol, scenario) cell, pooled over its repetitions."""
+
+    protocol: str
+    scenario: str
+    repetitions: int
+    download_per_peer_round: float
+    #: Relative score: this cell's value over the scenario's best protocol.
+    score: float
+    groups: Tuple[GroupCell, ...]
+
+    def group_download(self, group: str) -> float:
+        """Pooled download per peer-round of one behaviour group (all cohorts).
+
+        Cohorts are pooled by exposure — ``sum(download) / sum(peer-rounds)``
+        — so a short-lived whitewash rejoin weighs what it actually lived,
+        not the same as a founder present for the whole run.
+        """
+        cells = [g for g in self.groups if g.group == group]
+        if not cells:
+            raise KeyError(group)
+        total = sum(g.downloaded_per_peer_round * g.peer_rounds for g in cells)
+        exposure = sum(g.peer_rounds for g in cells)
+        return total / exposure if exposure else 0.0
+
+
+@dataclass(frozen=True)
+class ProtocolRanking:
+    """One protocol's robustness standing across the scenario columns."""
+
+    rank: int
+    protocol: str
+    worst_score: float
+    mean_score: float
+    worst_scenario: str
+
+
+@dataclass
+class AtlasReport:
+    """The condensed atlas: ranked protocols plus per-cell summaries."""
+
+    protocols: List[str]
+    scenarios: List[str]
+    rankings: List[ProtocolRanking]
+    cells: Dict[Tuple[str, str], CellSummary]
+
+    def cell(self, protocol: str, scenario: str) -> CellSummary:
+        return self.cells[(protocol, scenario)]
+
+
+def _pool_cell(
+    results: Sequence[SimulationResult],
+) -> Tuple[float, Tuple[GroupCell, ...]]:
+    """Pool one cell's repetitions into its summary figures.
+
+    Pooling sums transfers and peer-rounds across repetitions before
+    dividing — a cohort that only materialises in some repetitions (e.g.
+    whitewash rejoins under light churn) is weighted by its actual
+    exposure instead of averaging rates over runs where it never existed.
+    """
+    total_down = 0.0
+    total_rounds = 0
+    pooled: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for result in results:
+        for key, metrics in result.group_cohort_metrics().items():
+            bucket = pooled.setdefault(
+                key,
+                {"down": 0.0, "peer_rounds": 0.0, "peers": 0.0, "departed": 0.0},
+            )
+            bucket["down"] += metrics.total_downloaded
+            bucket["peer_rounds"] += metrics.peer_rounds
+            bucket["peers"] += metrics.peer_count
+            bucket["departed"] += metrics.departures
+            total_down += metrics.total_downloaded
+            total_rounds += metrics.peer_rounds
+    groups = tuple(
+        GroupCell(
+            group=group,
+            cohort=cohort,
+            peer_count=int(bucket["peers"]),
+            peer_rounds=int(bucket["peer_rounds"]),
+            downloaded_per_peer_round=(
+                bucket["down"] / bucket["peer_rounds"]
+                if bucket["peer_rounds"]
+                else 0.0
+            ),
+            download_share=bucket["down"] / total_down if total_down else 0.0,
+            departure_rate=(
+                bucket["departed"] / bucket["peers"] if bucket["peers"] else 0.0
+            ),
+        )
+        for (group, cohort), bucket in sorted(pooled.items())
+    )
+    value = total_down / total_rounds if total_rounds else 0.0
+    return value, groups
+
+
+def build_report(result: AtlasResult) -> AtlasReport:
+    """Reduce an atlas run to its report (deterministic per grid + seed)."""
+    protocols = [p.label for p in result.spec.protocols()]
+    scenarios = list(result.spec.scenarios)
+
+    raw: Dict[Tuple[str, str], Tuple[float, Tuple[GroupCell, ...]]] = {}
+    for cell in result.cells:
+        raw[cell.key] = _pool_cell(result.cell_results(cell))
+
+    cells: Dict[Tuple[str, str], CellSummary] = {}
+    for scenario in scenarios:
+        best = max(raw[(protocol, scenario)][0] for protocol in protocols)
+        for protocol in protocols:
+            value, groups = raw[(protocol, scenario)]
+            cells[(protocol, scenario)] = CellSummary(
+                protocol=protocol,
+                scenario=scenario,
+                repetitions=result.spec.repetitions,
+                download_per_peer_round=value,
+                score=value / best if best > 0 else 0.0,
+                groups=groups,
+            )
+
+    standings = []
+    for protocol in protocols:
+        scores = {s: cells[(protocol, s)].score for s in scenarios}
+        worst_scenario = min(scenarios, key=lambda s: (scores[s], s))
+        standings.append(
+            (
+                protocol,
+                scores[worst_scenario],
+                mean(scores.values()),
+                worst_scenario,
+            )
+        )
+    # The robustness ordering: worst case first, mean as tie-break.
+    standings.sort(key=lambda row: (-row[1], -row[2], row[0]))
+    rankings = [
+        ProtocolRanking(
+            rank=rank,
+            protocol=protocol,
+            worst_score=worst,
+            mean_score=mean_score,
+            worst_scenario=worst_scenario,
+        )
+        for rank, (protocol, worst, mean_score, worst_scenario) in enumerate(
+            standings, start=1
+        )
+    ]
+    return AtlasReport(
+        protocols=protocols, scenarios=scenarios, rankings=rankings, cells=cells
+    )
+
+
+# ---------------------------------------------------------------------- #
+# rendering
+# ---------------------------------------------------------------------- #
+def render_ranking(report: AtlasReport) -> str:
+    """The protocol-ranked robustness table."""
+    rows = [
+        [
+            ranking.rank,
+            ranking.protocol,
+            ranking.worst_score,
+            ranking.mean_score,
+            ranking.worst_scenario,
+        ]
+        for ranking in report.rankings
+    ]
+    return format_table(
+        ("rank", "protocol", "worst", "mean", "worst scenario"),
+        rows,
+        title="robustness ranking (relative score; worst case across workloads)",
+    )
+
+
+def render_heatmap(report: AtlasReport) -> str:
+    """Protocol × scenario heat map of relative scores."""
+    rows = [
+        [protocol]
+        + [report.cell(protocol, scenario).score for scenario in report.scenarios]
+        for protocol in report.protocols
+    ]
+    return format_table(
+        ("protocol", *report.scenarios),
+        rows,
+        title="protocol x workload heat map (download/peer-round, relative to "
+        "the scenario's best)",
+    )
+
+
+def render_group_heatmap(report: AtlasReport) -> str:
+    """Per-group PRA heat map: download per peer-round by scenario × group.
+
+    Columns only appear for (scenario, group) pairs that exist, so a grid
+    without adversarial scenarios collapses to the plain per-scenario view.
+    """
+    columns: List[Tuple[str, str]] = []
+    for scenario in report.scenarios:
+        groups: List[str] = []
+        for protocol in report.protocols:
+            for cell in report.cell(protocol, scenario).groups:
+                if cell.group not in groups:
+                    groups.append(cell.group)
+        columns.extend((scenario, group) for group in sorted(groups))
+
+    rows = []
+    for protocol in report.protocols:
+        row: List[object] = [protocol]
+        for scenario, group in columns:
+            try:
+                row.append(report.cell(protocol, scenario).group_download(group))
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    return format_table(
+        ("protocol", *(f"{scenario}:{group}" for scenario, group in columns)),
+        rows,
+        digits=1,
+        title="per-group PRA heat map (download/peer-round by behaviour group)",
+    )
+
+
+def heatmap_csv(report: AtlasReport) -> str:
+    """The atlas in long/tidy CSV: one row per (protocol, scenario, group, cohort)."""
+    rows = []
+    for protocol in report.protocols:
+        for scenario in report.scenarios:
+            cell = report.cell(protocol, scenario)
+            for group in cell.groups:
+                rows.append(
+                    [
+                        protocol,
+                        scenario,
+                        group.group,
+                        group.cohort,
+                        group.peer_count,
+                        group.peer_rounds,
+                        group.downloaded_per_peer_round,
+                        group.download_share,
+                        group.departure_rate,
+                        cell.download_per_peer_round,
+                        cell.score,
+                    ]
+                )
+    return format_csv(
+        (
+            "protocol",
+            "scenario",
+            "group",
+            "cohort",
+            "peers",
+            "peer_rounds",
+            "download_per_peer_round",
+            "download_share",
+            "departure_rate",
+            "cell_download_per_peer_round",
+            "cell_score",
+        ),
+        rows,
+    )
+
+
+def render_report(report: AtlasReport) -> str:
+    """The full plain-text report: ranking, score heat map, per-group split."""
+    return "\n\n".join(
+        (
+            render_ranking(report),
+            render_heatmap(report),
+            render_group_heatmap(report),
+        )
+    )

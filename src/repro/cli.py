@@ -9,6 +9,10 @@ Usage::
     python -m repro.cli all --scale smoke
     python -m repro.cli scenario --list
     python -m repro.cli scenario flash-crowd --scale smoke --jobs 0 --cache-dir .repro-cache
+    python -m repro atlas --scenarios baseline,whitewash-churn,colluding-whitewash
+    python -m repro atlas --protocol-axes "ranking=I1,I5;allocation=R1,R2" --csv atlas.csv
+
+(``python -m repro`` is a shorthand for ``python -m repro.cli``.)
 
 Each experiment prints the plain-text rows/series corresponding to the
 paper's table or figure; the scale argument selects the run budget (see
@@ -35,6 +39,7 @@ from repro.sim.engine import (
 )
 
 from repro.experiments import (
+    atlas as atlas_experiment,
     base,
     churn_check,
     figure1,
@@ -92,6 +97,7 @@ EXPERIMENTS: Dict[str, Tuple[str, Runner]] = {
     "figure9": ("Swarm encounters between client variants", _scaled(figure9)),
     "figure10": ("Homogeneous-swarm client performance", _scaled(figure10)),
     "scenarios": ("Named workload scenarios side by side", _scaled(scenario_sweep)),
+    "atlas": ("Protocol x workload robustness atlas", _scaled(atlas_experiment)),
 }
 
 
@@ -148,9 +154,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="run one profiled simulation of the scenario and print "
              "per-phase (population/decision/transfer) round timings "
-             "instead of the sweep (variable-population scenarios only)",
+             "instead of the sweep; on fixed-population scenarios the "
+             "buckets are coarse (fused decision+transfer phases)",
     )
     _add_runner_arguments(scenario_parser)
+
+    atlas_parser = subparsers.add_parser(
+        "atlas",
+        help="sweep protocol axes across workload scenarios and print the "
+             "robustness ranking and heat maps",
+    )
+    atlas_parser.add_argument(
+        "--protocol-axes", default=None, metavar="AXES",
+        help="swept behaviour axes, e.g. 'ranking=I1,I5;allocation=R1,R2' "
+             "(field values and paper codes mix freely; default: the micro "
+             "ranking x allocation axes)",
+    )
+    atlas_parser.add_argument(
+        "--scenarios", default=None, metavar="NAMES",
+        help="comma-separated registered scenario names "
+             "(default: the adversarial column set)",
+    )
+    atlas_parser.add_argument(
+        "--scale", default="smoke", choices=("smoke", "bench", "paper"),
+        help="run budget per cell (default: smoke)",
+    )
+    atlas_parser.add_argument("--seed", type=int, default=0, help="master seed")
+    atlas_parser.add_argument(
+        "--reps", type=int, default=None, metavar="N",
+        help="independent repetitions per cell (default: per-scale)",
+    )
+    atlas_parser.add_argument(
+        "--csv", default=None, metavar="FILE",
+        help="also write the long-form CSV heat map to FILE",
+    )
+    _add_runner_arguments(atlas_parser)
     return parser
 
 
@@ -174,18 +212,35 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _profile_scenario(parser, spec, scale: str, seed: int) -> int:
-    """Run one profiled simulation of ``spec`` and print per-phase timings."""
-    from repro.sim.engine import population_engine_class
+    """Run one profiled simulation of ``spec`` and print per-phase timings.
+
+    Variable-population scenarios profile the selected population engine;
+    fixed-population scenarios profile the optimised fixed engine with its
+    coarse buckets (the decision and transfer phases are fused with a
+    history window of three or more rounds, so the ``decision`` bucket
+    includes the transfer application and ``transfer`` covers only the
+    end-of-round bookkeeping).
+    """
+    from repro.sim.engine import (
+        FUSED_HISTORY_MIN,
+        Simulation,
+        population_engine_class,
+    )
 
     job = spec.compile(scale=scale, seed=seed)
-    if not job.config.is_variable_population:
-        parser.error(
-            f"--profile needs a variable-population scenario; {spec.name!r} "
-            "runs on the fixed-population engine (whose decision and "
-            "transfer phases are fused and cannot be timed separately)"
-        )
     engine = default_engine()
-    simulation = population_engine_class(engine)(
+    variable = job.config.is_variable_population
+    if variable:
+        engine_cls = population_engine_class(engine)
+    else:
+        if engine == "reference":
+            parser.error(
+                "--profile on a fixed-population scenario needs the "
+                "optimised engine; the frozen reference implementation "
+                "has no profile hooks (drop --engine reference)"
+            )
+        engine_cls = Simulation
+    simulation = engine_cls(
         job.config,
         list(job.behaviors),
         groups=list(job.groups) if job.groups is not None else None,
@@ -200,11 +255,19 @@ def _profile_scenario(parser, spec, scale: str, seed: int) -> int:
         f"profile: scenario {spec.name} (scale {scale}, seed {seed}, "
         f"engine {engine})"
     )
-    print(
-        f"rounds: {rounds}  peers: {job.config.n_peers} -> "
-        f"{result.final_active_count}  arrivals: {result.total_arrivals}  "
-        f"departures: {result.total_departures}"
-    )
+    if variable:
+        print(
+            f"rounds: {rounds}  peers: {job.config.n_peers} -> "
+            f"{result.final_active_count}  arrivals: {result.total_arrivals}  "
+            f"departures: {result.total_departures}"
+        )
+    else:
+        fused = job.config.history_rounds >= FUSED_HISTORY_MIN
+        print(
+            f"rounds: {rounds}  peers: {job.config.n_peers} (fixed)  "
+            f"churn events: {result.churn_events}"
+            + ("  [fused decision+transfer]" if fused else "")
+        )
     print(f"{'phase':<12} {'seconds':>9} {'ms/round':>9} {'share':>7}")
     for phase in ("population", "decision", "transfer"):
         seconds = phases[phase]
@@ -312,6 +375,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{runner_stats.cache_misses} misses "
                 f"({runner_stats.jobs_executed} simulated)"
             )
+        return 0
+
+    if args.command == "atlas":
+        from repro.core.design_space import parse_axes
+
+        axes = None
+        if args.protocol_axes is not None:
+            try:
+                axes = parse_axes(args.protocol_axes)
+            except ValueError as error:
+                parser.error(str(error))
+        scenarios = None
+        if args.scenarios is not None:
+            scenarios = [
+                name.strip() for name in args.scenarios.split(",") if name.strip()
+            ]
+            if not scenarios:
+                parser.error("--scenarios names no scenarios")
+        if args.reps is not None and args.reps < 1:
+            parser.error(f"--reps must be >= 1, got {args.reps}")
+        # Resolve the whole declaration up front: unknown scenarios and grid
+        # validation problems are usage errors, while failures inside the
+        # run itself keep their tracebacks.
+        try:
+            spec = atlas_experiment.make_spec(
+                scale=args.scale,
+                seed=args.seed,
+                scenarios=scenarios,
+                axes=axes,
+                repetitions=args.reps,
+            )
+        except KeyError as error:
+            parser.error(str(error.args[0]))
+        except ValueError as error:
+            parser.error(str(error))
+        outcome = atlas_experiment.run(spec=spec)
+        print(atlas_experiment.render(outcome))
+        if args.csv is not None:
+            with open(args.csv, "w", encoding="utf-8") as handle:
+                handle.write(outcome.csv())
+            print(f"wrote {args.csv}")
         return 0
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -20,6 +20,13 @@ The concrete, executable file-swarming space (including the numeric ``k`` and
 ``h`` sweeps) lives in :mod:`repro.core.space`; this module is about
 describing spaces, which is useful on its own — e.g. to apply DSA to another
 domain, one starts by writing down a new :class:`Parameterization`.
+
+It also hosts the **protocol-axis vocabulary** of the robustness atlas
+(:mod:`repro.atlas`): the named behaviour axes a grid declaration can sweep
+(:data:`BEHAVIOR_AXES`), with :func:`parse_axis_value` /
+:func:`parse_axes` accepting either executable field values (``"loyal"``)
+or the paper's dimension codes (``"I5"``) — the bridge between the
+declared design space and the swept one.
 """
 
 from __future__ import annotations
@@ -27,13 +34,122 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.sim.behavior import (
+    ALLOCATION_CODES,
+    ALLOCATION_POLICIES,
+    CANDIDATE_POLICIES,
+    CANDIDATE_POLICY_CODES,
+    MAX_PARTNERS,
+    MAX_STRANGERS,
+    RANKING_CODES,
+    RANKING_FUNCTIONS,
+    STRANGER_POLICIES,
+    STRANGER_POLICY_CODES,
+)
+
 __all__ = [
     "Actualization",
     "Dimension",
     "Parameterization",
+    "BEHAVIOR_AXES",
+    "parse_axis_value",
+    "parse_axes",
     "generic_p2p_parameterization",
     "gossip_parameterization",
 ]
+
+
+#: Behaviour-field axes an atlas grid declaration can sweep, with their
+#: admissible values (the Section 4.2 actualizations per dimension).
+BEHAVIOR_AXES: Dict[str, Tuple[object, ...]] = {
+    "stranger_policy": STRANGER_POLICIES,
+    "stranger_count": tuple(range(MAX_STRANGERS + 1)),
+    "candidate_policy": CANDIDATE_POLICIES,
+    "ranking": RANKING_FUNCTIONS,
+    "partner_count": tuple(range(MAX_PARTNERS + 1)),
+    "allocation": ALLOCATION_POLICIES,
+}
+
+#: Paper dimension code -> behaviour field value, for the coded axes —
+#: derived by inverting the canonical value->code tables of
+#: :mod:`repro.sim.behavior`, so the parse direction cannot drift from the
+#: label direction.
+_AXIS_CODES: Dict[str, Dict[str, str]] = {
+    axis: {code: value for value, code in table.items()}
+    for axis, table in (
+        ("stranger_policy", STRANGER_POLICY_CODES),
+        ("candidate_policy", CANDIDATE_POLICY_CODES),
+        ("ranking", RANKING_CODES),
+        ("allocation", ALLOCATION_CODES),
+    )
+}
+
+
+def parse_axis_value(axis: str, token: str):
+    """One axis value from ``token`` — a field value, paper code or integer.
+
+    ``parse_axis_value("ranking", "I5")`` and
+    ``parse_axis_value("ranking", "loyal")`` both yield ``"loyal"``;
+    numeric axes (``partner_count``, ``stranger_count``) parse integers.
+    Raises ``ValueError`` for unknown axes or inadmissible values.
+    """
+    if axis not in BEHAVIOR_AXES:
+        raise ValueError(
+            f"unknown protocol axis {axis!r}; "
+            f"expected one of {tuple(BEHAVIOR_AXES)}"
+        )
+    admissible = BEHAVIOR_AXES[axis]
+    token = token.strip()
+    codes = _AXIS_CODES.get(axis)
+    if codes and token in codes:
+        return codes[token]
+    if isinstance(admissible[0], int):
+        try:
+            value: object = int(token)
+        except ValueError:
+            raise ValueError(
+                f"axis {axis!r} takes integers in "
+                f"[{admissible[0]}, {admissible[-1]}], got {token!r}"
+            ) from None
+    else:
+        value = token
+    if value not in admissible:
+        raise ValueError(
+            f"value {token!r} is not admissible for axis {axis!r}; "
+            f"expected one of {admissible}"
+        )
+    return value
+
+
+def parse_axes(text: str) -> Dict[str, Tuple[object, ...]]:
+    """Parse an axes declaration like ``"ranking=I1,I5;allocation=R1,R2"``.
+
+    Axes are separated by ``;``, values by ``,``; each value goes through
+    :func:`parse_axis_value` (so field values and paper codes mix freely).
+    Duplicate axes and duplicate values are rejected.
+    """
+    axes: Dict[str, Tuple[object, ...]] = {}
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        axis, sep, values_text = clause.partition("=")
+        axis = axis.strip()
+        if not sep or not values_text.strip():
+            raise ValueError(
+                f"malformed axis clause {clause!r}; expected axis=v1,v2,..."
+            )
+        if axis in axes:
+            raise ValueError(f"axis {axis!r} declared twice")
+        values = tuple(
+            parse_axis_value(axis, token) for token in values_text.split(",")
+        )
+        if len(set(values)) != len(values):
+            raise ValueError(f"axis {axis!r} has duplicate values")
+        axes[axis] = values
+    if not axes:
+        raise ValueError("an axes declaration needs at least one axis")
+    return axes
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.sim.behavior import PeerBehavior
+from repro.sim.behavior import (
+    ALLOCATION_CODES,
+    CANDIDATE_POLICY_CODES,
+    RANKING_CODES,
+    STRANGER_POLICY_CODES,
+    PeerBehavior,
+)
 
 __all__ = [
     "Protocol",
@@ -38,18 +44,11 @@ __all__ = [
     "random_ranking_protocol",
 ]
 
-#: Dimension-code tables shared with the behaviour labels.
-STRANGER_CODES = {"none": "B0", "periodic": "B1", "when_needed": "B2", "defect": "B3"}
-CANDIDATE_CODES = {"tft": "C1", "tf2t": "C2"}
-RANKING_CODES = {
-    "fastest": "I1",
-    "slowest": "I2",
-    "proximity": "I3",
-    "adaptive": "I4",
-    "loyal": "I5",
-    "random": "I6",
-}
-ALLOCATION_CODES = {"equal_split": "R1", "prop_share": "R2", "freeride": "R3"}
+#: Dimension-code tables, aliased under this module's historical names —
+#: the canonical definitions live next to the policy tuples in
+#: :mod:`repro.sim.behavior`, shared with the behaviour labels.
+STRANGER_CODES = STRANGER_POLICY_CODES
+CANDIDATE_CODES = CANDIDATE_POLICY_CODES
 
 
 @dataclass(frozen=True)

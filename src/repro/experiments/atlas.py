@@ -1,0 +1,133 @@
+"""The robustness-atlas experiment: map the design space across workloads.
+
+This driver is the experiment-registry face of :mod:`repro.atlas`: it runs
+a protocol × scenario grid through the cached, parallel experiment runner
+and renders the protocol-ranked robustness table plus the score and
+per-group PRA heat maps.  The default grid sweeps the micro protocol axes
+of :data:`repro.atlas.grid.DEFAULT_AXES` over the adversarial scenario
+column set — small enough for ``repro all --scale smoke``, while the CLI
+``atlas`` command exposes the full declaration surface
+(``--protocol-axes``, ``--scenarios``, ``--reps``, ``--csv``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+from repro.atlas.grid import AtlasResult, AtlasSpec, run_atlas
+from repro.atlas.report import AtlasReport, build_report, heatmap_csv, render_report
+from repro.experiments import base
+from repro.scenarios import get_scenario
+
+__all__ = ["AtlasOutcome", "repetitions_for", "make_spec", "run", "render"]
+
+#: Independent repetitions (distinct derived seeds) per cell, by scale.
+REPETITIONS = {"smoke": 2, "bench": 3, "paper": 10}
+
+
+def repetitions_for(scale: str) -> int:
+    """Number of repetitions each grid cell runs at ``scale``."""
+    base.check_scale(scale)
+    return REPETITIONS[scale]
+
+
+@dataclass
+class AtlasOutcome:
+    """One atlas invocation: the declared grid, raw results and report."""
+
+    scale: str
+    seed: int
+    spec: AtlasSpec
+    result: AtlasResult
+    report: AtlasReport
+
+    def csv(self) -> str:
+        """The long-form CSV heat map (CI artifact format)."""
+        return heatmap_csv(self.report)
+
+
+def make_spec(
+    scale: str = "smoke",
+    seed: int = 0,
+    scenarios: Optional[Sequence[str]] = None,
+    axes: Optional[Mapping[str, Tuple[object, ...]]] = None,
+    repetitions: Optional[int] = None,
+) -> AtlasSpec:
+    """Build and validate the grid declaration without running anything.
+
+    Raises ``ValueError`` for a malformed declaration and ``KeyError`` for
+    unregistered scenario names — every input problem surfaces here, so
+    callers (the CLI) can report them as usage errors and let the run
+    itself propagate genuine failures with their tracebacks.
+    """
+    base.check_scale(scale)
+    kwargs = {}
+    if axes is not None:
+        # AtlasSpec normalises mappings and nested sequences itself.
+        kwargs["axes"] = axes
+    if scenarios is not None:
+        kwargs["scenarios"] = tuple(scenarios)
+    spec = AtlasSpec(
+        scale=scale,
+        master_seed=seed,
+        repetitions=repetitions if repetitions is not None else repetitions_for(scale),
+        **kwargs,
+    )
+    for name in spec.scenarios:
+        get_scenario(name)
+    return spec
+
+
+def run(
+    scale: str = "smoke",
+    seed: int = 0,
+    scenarios: Optional[Sequence[str]] = None,
+    axes: Optional[Mapping[str, Tuple[object, ...]]] = None,
+    repetitions: Optional[int] = None,
+    spec: Optional[AtlasSpec] = None,
+) -> AtlasOutcome:
+    """Execute the atlas grid and condense it into the report.
+
+    ``scenarios``/``axes``/``repetitions`` default to the micro grid
+    (:data:`~repro.atlas.grid.DEFAULT_AXES` ×
+    :data:`~repro.atlas.grid.DEFAULT_SCENARIOS` × per-scale repetitions);
+    a prebuilt ``spec`` (see :func:`make_spec`) overrides them all.  All
+    jobs form one flat batch on the experiment runner, so a parallel
+    runner overlaps cells and a warm cache answers unchanged cells without
+    simulating.
+    """
+    if spec is None:
+        spec = make_spec(
+            scale=scale,
+            seed=seed,
+            scenarios=scenarios,
+            axes=axes,
+            repetitions=repetitions,
+        )
+    result = run_atlas(spec, runner=base.experiment_runner())
+    return AtlasOutcome(
+        scale=spec.scale,
+        seed=spec.master_seed,
+        spec=spec,
+        result=result,
+        report=build_report(result),
+    )
+
+
+def render(outcome: AtlasOutcome) -> str:
+    """Plain-text report plus the grid's execution accounting."""
+    result = outcome.result
+    stats = result.stats
+    lines = [
+        f"robustness atlas — {len(outcome.report.protocols)} protocols x "
+        f"{len(outcome.report.scenarios)} scenarios x "
+        f"{outcome.spec.repetitions} reps ({outcome.scale} scale, seed "
+        f"{outcome.seed}, grid {outcome.spec.fingerprint()[:12]})",
+        "",
+        render_report(outcome.report),
+        "",
+        f"grid: {result.jobs_total} jobs, {stats.executed} simulated, "
+        f"{stats.cache_hits} cached, {stats.deduplicated} duplicate",
+    ]
+    return "\n".join(lines)

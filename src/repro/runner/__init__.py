@@ -28,6 +28,7 @@ from repro.runner.executors import (
 from repro.runner.jobs import SimulationJob, result_from_payload, result_to_payload
 from repro.runner.runner import (
     ExperimentRunner,
+    RunnerStats,
     configure_default_runner,
     get_default_runner,
     set_default_runner,
@@ -42,6 +43,7 @@ __all__ = [
     "ProcessExecutor",
     "default_job_count",
     "ExperimentRunner",
+    "RunnerStats",
     "get_default_runner",
     "set_default_runner",
     "configure_default_runner",

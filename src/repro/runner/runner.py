@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -41,6 +42,7 @@ from repro.utils.logging import get_logger
 
 __all__ = [
     "ExperimentRunner",
+    "RunnerStats",
     "get_default_runner",
     "set_default_runner",
     "configure_default_runner",
@@ -53,6 +55,31 @@ _LOGGER = get_logger("runner")
 #: Environment knobs honoured by :func:`get_default_runner`.
 ENV_JOBS = "REPRO_JOBS"
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+@dataclass(frozen=True)
+class RunnerStats:
+    """A point-in-time snapshot of a runner's cumulative counters.
+
+    Counters on a shared (process-wide) runner accumulate across every
+    batch it has ever executed; subtracting two snapshots
+    (``after - before``) isolates what one invocation actually did — the
+    atlas uses this to prove that re-running a grown grid only simulates
+    the new cells.
+    """
+
+    executed: int = 0
+    deduplicated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def __sub__(self, other: "RunnerStats") -> "RunnerStats":
+        return RunnerStats(
+            executed=self.executed - other.executed,
+            deduplicated=self.deduplicated - other.deduplicated,
+            cache_hits=self.cache_hits - other.cache_hits,
+            cache_misses=self.cache_misses - other.cache_misses,
+        )
 
 
 class ExperimentRunner:
@@ -166,6 +193,15 @@ class ExperimentRunner:
     @property
     def cache_misses(self) -> int:
         return self.cache.misses if self.cache is not None else 0
+
+    def stats(self) -> RunnerStats:
+        """Snapshot of the cumulative counters (subtract snapshots for deltas)."""
+        return RunnerStats(
+            executed=self.jobs_executed,
+            deduplicated=self.jobs_deduplicated,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

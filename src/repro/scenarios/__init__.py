@@ -15,6 +15,7 @@ from repro.scenarios.registry import (
 from repro.scenarios.spec import (
     ArrivalSpec,
     BandwidthClass,
+    BehaviorGroup,
     PopulationSpec,
     ScenarioSpec,
     ShiftSpec,
@@ -23,6 +24,7 @@ from repro.scenarios.spec import (
 __all__ = [
     "ArrivalSpec",
     "BandwidthClass",
+    "BehaviorGroup",
     "PopulationSpec",
     "ScenarioSpec",
     "ShiftSpec",

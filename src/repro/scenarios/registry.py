@@ -23,6 +23,10 @@ growing-swarm       variable population: a Poisson stream of genuine
 whitewash-churn     variable population: departing peers re-enter under
                     fresh identities to shed their reputation
                     (Sybil-style whitewashing)
+colluding-whitewash variable population: a colluder clique (loyal in-group,
+                    defecting outward) deliberately cycles identities —
+                    elevated targeted churn with near-certain whitewash
+                    rejoins — while honest departures leave for good
 ==================  =====================================================
 
 Additional scenarios can be registered at runtime with :func:`register`
@@ -36,6 +40,7 @@ from typing import Dict, List
 from repro.scenarios.spec import (
     ArrivalSpec,
     BandwidthClass,
+    BehaviorGroup,
     PopulationSpec,
     ScenarioSpec,
     ShiftSpec,
@@ -188,6 +193,35 @@ register(
         ),
         population=PopulationSpec(size=50),
         arrival=ArrivalSpec(kind="whitewash", churn_rate=0.04, size=0.9),
+        rounds=200,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="colluding-whitewash",
+        description=(
+            "Variable population: a 20% colluder clique sheds reputation by "
+            "targeted identity churn (+6%/round, 95% whitewash rejoins) on "
+            "top of 2% honest departures that leave for good"
+        ),
+        population=PopulationSpec(
+            size=50,
+            groups=(
+                BehaviorGroup(
+                    name="colluder",
+                    fraction=0.2,
+                    behavior=PeerBehavior.colluder(),
+                ),
+            ),
+        ),
+        arrival=ArrivalSpec(
+            kind="whitewash",
+            churn_rate=0.02,
+            size=0.95,
+            target_groups=("colluder",),
+            target_churn=0.06,
+        ),
         rounds=200,
     )
 )

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from math import floor
 from typing import Dict, List, Optional, Tuple
 
@@ -56,6 +56,7 @@ __all__ = [
     "SHIFT_KINDS",
     "SCALE_FACTORS",
     "BandwidthClass",
+    "BehaviorGroup",
     "PopulationSpec",
     "ArrivalSpec",
     "ShiftSpec",
@@ -144,26 +145,75 @@ class BandwidthClass:
 
 
 @dataclass(frozen=True)
-class PopulationSpec:
-    """Population shape: size, default behaviour and optional capacity classes.
+class BehaviorGroup:
+    """A behaviour-only sub-population (no capacity pinning).
 
-    Without classes, capacities come from the Piatek-style default
+    Unlike :class:`BandwidthClass`, a behaviour group leaves capacities to
+    the population's default distribution — which is what makes it legal in
+    *variable-population* scenarios, where per-slot capacity pinning is
+    meaningless.  Used to seed adversarial sub-populations (e.g. a colluder
+    clique) whose members are spread evenly over the id space.
+    """
+
+    name: str
+    fraction: float
+    behavior: PeerBehavior
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a behavior group needs a name")
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError("group fraction must be in (0, 1)")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "fraction": self.fraction,
+            "behavior": self.behavior.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BehaviorGroup":
+        return cls(
+            name=str(data["name"]),
+            fraction=float(data["fraction"]),
+            behavior=PeerBehavior.from_dict(data["behavior"]),
+        )
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Population shape: size, default behaviour and optional sub-populations.
+
+    Without classes or groups, capacities come from the Piatek-style default
     distribution and every peer runs ``default_behavior`` in group
     ``"default"``.  With classes (fractions summing to 1), peers are
     assigned to classes with *exact* largest-remainder shares, contiguously
     by peer id; capacities are pinned per class and churn replacements draw
     from the matching :class:`~repro.sim.bandwidth.MultiClassBandwidth`.
+    With behaviour ``groups`` (fractions summing below 1; the remainder runs
+    the default), members keep default-sampled capacities and are spread
+    evenly over the id space — the legal way to seed adversarial
+    sub-populations in variable-population scenarios.
     """
 
     size: int = 50
     default_behavior: PeerBehavior = field(default_factory=PeerBehavior)
     classes: Tuple[BandwidthClass, ...] = ()
+    groups: Tuple[BehaviorGroup, ...] = ()
 
     def __post_init__(self) -> None:
         if self.size < 2:
             raise ValueError("population size must be at least 2")
         if not isinstance(self.classes, tuple):
             object.__setattr__(self, "classes", tuple(self.classes))
+        if not isinstance(self.groups, tuple):
+            object.__setattr__(self, "groups", tuple(self.groups))
+        if self.classes and self.groups:
+            raise ValueError(
+                "capacity classes and behavior groups are mutually exclusive "
+                "(a class already carries a behaviour override)"
+            )
         if self.classes:
             total = sum(c.fraction for c in self.classes)
             if abs(total - 1.0) > 1e-6:
@@ -171,6 +221,18 @@ class PopulationSpec:
             names = [c.name for c in self.classes]
             if len(set(names)) != len(names):
                 raise ValueError("class names must be distinct")
+        if self.groups:
+            total = sum(g.fraction for g in self.groups)
+            if total >= 1.0 - 1e-6:
+                raise ValueError(
+                    f"group fractions must sum below 1 (the remainder runs "
+                    f"the default behaviour), got {total}"
+                )
+            names = [g.name for g in self.groups]
+            if len(set(names)) != len(names) or "default" in names:
+                raise ValueError(
+                    "group names must be distinct and not 'default'"
+                )
 
     def compile(
         self, n_peers: int
@@ -185,6 +247,38 @@ class PopulationSpec:
         ``capacities`` and the distribution are ``None`` without classes
         (default Piatek sampling applies).
         """
+        if self.groups:
+            # Every declared group gets at least one member and at least one
+            # default peer survives — a group that compiled to zero members
+            # would silently turn group-targeted churn into a no-op, so an
+            # impossible fit fails loudly instead.
+            if len(self.groups) + 1 > n_peers:
+                raise ValueError(
+                    f"{len(self.groups)} behaviour groups cannot fit a "
+                    f"population of {n_peers} (each group and the default "
+                    "need at least one peer)"
+                )
+            counts = [max(1, round(g.fraction * n_peers)) for g in self.groups]
+            while sum(counts) > n_peers - 1:
+                # Shrink the largest group first; some count exceeds 1 here
+                # because all-ones sums to len(groups) <= n_peers - 1.
+                counts[counts.index(max(counts))] -= 1
+            behaviors_list = [self.default_behavior] * n_peers
+            labels = ["default"] * n_peers
+            # Each group's members are spread evenly over the ids still
+            # unassigned, mirroring how behaviour shifts spread their
+            # targets (and keeping multiple groups disjoint).
+            remaining = list(range(n_peers))
+            for grp, count in zip(self.groups, counts):
+                chosen = [
+                    remaining[(i * len(remaining)) // count] for i in range(count)
+                ]
+                for pid in chosen:
+                    behaviors_list[pid] = grp.behavior
+                    labels[pid] = grp.name
+                chosen_set = set(chosen)
+                remaining = [pid for pid in remaining if pid not in chosen_set]
+            return tuple(behaviors_list), tuple(labels), None, None
         if not self.classes:
             return (
                 (self.default_behavior,) * n_peers,
@@ -206,11 +300,16 @@ class PopulationSpec:
         return tuple(behaviors), tuple(groups), tuple(capacities), distribution
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "size": self.size,
             "default_behavior": self.default_behavior.as_dict(),
             "classes": [c.as_dict() for c in self.classes],
         }
+        # Omitted when empty so every pre-group scenario fingerprint (and
+        # the seeds derived from it) stays valid.
+        if self.groups:
+            data["groups"] = [g.as_dict() for g in self.groups]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "PopulationSpec":
@@ -219,6 +318,9 @@ class PopulationSpec:
             default_behavior=PeerBehavior.from_dict(data["default_behavior"]),
             classes=tuple(
                 BandwidthClass.from_dict(c) for c in data.get("classes", ())
+            ),
+            groups=tuple(
+                BehaviorGroup.from_dict(g) for g in data.get("groups", ())
             ),
         )
 
@@ -260,6 +362,14 @@ class ArrivalSpec:
     cap:
         Variable kinds only: cap on the active population, as a multiple of
         the initial size (0 — the default — leaves growth unbounded).
+    target_groups:
+        Whitewash only: restrict rejoins to departures from these behaviour
+        groups (*targeted* identity churn — a colluder clique shedding its
+        reputation while honest departures leave for good).
+    target_churn:
+        Whitewash only, with ``target_groups``: extra per-round departure
+        probability for the targeted groups on top of ``churn_rate`` — the
+        deliberate identity cycling of the adversary.
     """
 
     kind: str = "steady"
@@ -269,6 +379,8 @@ class ArrivalSpec:
     duration: int = 1
     period: float = 0.0
     cap: float = 0.0
+    target_groups: Tuple[str, ...] = ()
+    target_churn: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in ARRIVAL_KINDS:
@@ -300,6 +412,19 @@ class ArrivalSpec:
                 raise ValueError("cap only applies to variable-population kinds")
             if self.cap < 1.0:
                 raise ValueError("cap must be >= 1 (a multiple of the initial size)")
+        if not isinstance(self.target_groups, tuple):
+            object.__setattr__(self, "target_groups", tuple(self.target_groups))
+        if self.target_groups and self.kind != "whitewash":
+            raise ValueError("target_groups only apply to whitewash arrivals")
+        if self.target_churn != 0.0:
+            if not self.target_groups:
+                raise ValueError("target_churn needs target_groups")
+            if not 0.0 < self.target_churn < 1.0 or (
+                not self.churn_rate + self.target_churn < 1.0
+            ):
+                raise ValueError(
+                    "target_churn must keep the combined departure rate in (0, 1)"
+                )
 
     @property
     def is_variable(self) -> bool:
@@ -350,7 +475,15 @@ class ArrivalSpec:
                 f"arrival kind {self.kind!r} compiles to churn waves; use compile()"
             )
         max_active = round(self.cap * n_peers) if self.cap else 0
-        departure = DepartureProcess(rate=self.churn_rate, mode="shrink")
+        departure = DepartureProcess(
+            rate=self.churn_rate,
+            mode="shrink",
+            group_rates=tuple(
+                (group, self.target_churn) for group in self.target_groups
+            )
+            if self.target_churn
+            else (),
+        )
         if self.kind == "poisson":
             arrival = ArrivalProcess(
                 kind="poisson",
@@ -358,7 +491,11 @@ class ArrivalSpec:
                 start=min(rounds - 1, round(self.at * rounds)),
             )
         else:  # whitewash
-            arrival = ArrivalProcess(kind="whitewash", rate=self.size)
+            arrival = ArrivalProcess(
+                kind="whitewash",
+                rate=self.size,
+                whitewash_groups=self.target_groups,
+            )
         return PopulationDynamics(
             arrival=arrival, departure=departure, max_active=max_active
         )
@@ -372,10 +509,15 @@ class ArrivalSpec:
             "duration": self.duration,
             "period": self.period,
         }
-        # Omitted at its default so every pre-variable-population scenario
-        # fingerprint (and the seeds derived from it) stays valid.
+        # Omitted at their defaults so every pre-variable-population (and
+        # pre-targeting) scenario fingerprint — and the seeds derived from
+        # it — stays valid.
         if self.cap != 0.0:
             data["cap"] = self.cap
+        if self.target_groups:
+            data["target_groups"] = list(self.target_groups)
+        if self.target_churn != 0.0:
+            data["target_churn"] = self.target_churn
         return data
 
     @classmethod
@@ -388,6 +530,8 @@ class ArrivalSpec:
             duration=int(data["duration"]),
             period=float(data["period"]),
             cap=float(data.get("cap", 0.0)),
+            target_groups=tuple(str(g) for g in data.get("target_groups", ())),
+            target_churn=float(data.get("target_churn", 0.0)),
         )
 
 
@@ -521,7 +665,18 @@ class ScenarioSpec:
             if self.population.classes:
                 raise ValueError(
                     "capacity classes pin per-slot capacities and cannot be "
-                    "combined with a variable-population arrival process"
+                    "combined with a variable-population arrival process "
+                    "(behaviour groups are the variable-safe alternative)"
+                )
+        if self.arrival.target_groups:
+            declared = {g.name for g in self.population.groups}
+            declared.add("default")
+            missing = [
+                g for g in self.arrival.target_groups if g not in declared
+            ]
+            if missing:
+                raise ValueError(
+                    f"arrival targets undeclared behaviour groups: {missing}"
                 )
 
     # ------------------------------------------------------------------ #
@@ -538,17 +693,26 @@ class ScenarioSpec:
             return self
         size = max(_MIN_PEERS, round(self.population.size * size_factor))
         rounds = max(_MIN_ROUNDS, round(self.rounds * rounds_factor))
-        return ScenarioSpec(
-            name=self.name,
-            population=PopulationSpec(
-                size=size,
-                default_behavior=self.population.default_behavior,
-                classes=self.population.classes,
-            ),
-            arrival=self.arrival,
-            shift=self.shift,
+        # dataclasses.replace keeps every other field by construction, so a
+        # field added to either spec type can never be silently dropped here.
+        return replace(
+            self,
+            population=replace(self.population, size=size),
             rounds=rounds,
-            description=self.description,
+        )
+
+    def with_default_behavior(self, behavior: PeerBehavior) -> "ScenarioSpec":
+        """This scenario with the default population protocol replaced.
+
+        The robustness atlas's protocol-injection point: the sub-populations
+        a workload declares (capacity classes with behaviour overrides,
+        adversarial behaviour groups, shift targets) are untouched — only
+        the peers running the *default* protocol switch to ``behavior``, so
+        the workload stays the same while the protocol under test varies.
+        """
+        return replace(
+            self,
+            population=replace(self.population, default_behavior=behavior),
         )
 
     def compile(self, scale: str = "paper", seed: Optional[int] = 0) -> SimulationJob:

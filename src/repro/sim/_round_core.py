@@ -13,6 +13,9 @@ diverge:
   (same ``getrandbits`` calls, same rejection loops), which is what keeps
   the optimised engines bit-identical to the reference implementations
   while skipping the stdlib's per-call overhead;
+* :func:`sample_skip` — :func:`inline_sample` over an id list minus one
+  position, mapping drawn indices past the skipped slot instead of
+  materialising the deciding peer's "all other peers" list;
 * :func:`round_bucket` — fetch-or-create of a peer's history bucket for the
   current round, trimming exactly as ``InteractionHistory.record`` would;
 * :func:`apply_transfer_groups` — the per-peer transfer core: applies one
@@ -40,6 +43,7 @@ __all__ = [
     "sample_setsize",
     "inline_shuffle",
     "inline_sample",
+    "sample_skip",
     "round_bucket",
     "apply_transfer_groups",
     "behavior_info",
@@ -129,6 +133,39 @@ def inline_sample(getrandbits, population: Sequence[int], k: int) -> List[int]:
                 j = getrandbits(bits)
         add(j)
         result.append(population[j])
+    return result
+
+
+def sample_skip(
+    getrandbits, ids: List[int], idx: int, n_others: int, k: int
+) -> List[int]:
+    """``inline_sample`` over ``ids`` minus position ``idx``.
+
+    Replicates the draws of sampling ``k`` ids from the deciding peer's
+    "others" list (the id list with its own slot removed) without
+    materialising that list: the selection-set branch maps drawn indices
+    positionally past the skipped slot, and only the small pool-copy branch
+    (population below CPython's set-size threshold) builds the list.
+    """
+    if n_others <= sample_setsize(k):
+        others = ids[:idx] + ids[idx + 1 :]
+        return inline_sample(getrandbits, others, k)
+    # Selection-set algorithm (large population, small k) with positional
+    # index mapping instead of a materialised population.
+    bits = n_others.bit_length()
+    result = []
+    selected = set()
+    add = selected.add
+    for _ in range(k):
+        j = getrandbits(bits)
+        while j >= n_others:
+            j = getrandbits(bits)
+        while j in selected:
+            j = getrandbits(bits)
+            while j >= n_others:
+                j = getrandbits(bits)
+        add(j)
+        result.append(ids[j] if j < idx else ids[j + 1])
     return result
 
 

@@ -29,6 +29,10 @@ __all__ = [
     "CANDIDATE_POLICIES",
     "RANKING_FUNCTIONS",
     "ALLOCATION_POLICIES",
+    "STRANGER_POLICY_CODES",
+    "CANDIDATE_POLICY_CODES",
+    "RANKING_CODES",
+    "ALLOCATION_CODES",
     "MAX_PARTNERS",
     "MAX_STRANGERS",
 ]
@@ -67,6 +71,26 @@ ALLOCATION_POLICIES: Tuple[str, ...] = (
 #: Paper sweep bounds: k in [0, 9], h in [0, 3].
 MAX_PARTNERS = 9
 MAX_STRANGERS = 3
+
+#: Field value -> paper dimension code, per coded dimension.  The single
+#: source for behaviour labels, protocol coordinates (repro.core.protocol)
+#: and atlas axis parsing (repro.core.design_space) — adding or renaming an
+#: actualization happens here once.
+STRANGER_POLICY_CODES: Dict[str, str] = {
+    "none": "B0", "periodic": "B1", "when_needed": "B2", "defect": "B3",
+}
+CANDIDATE_POLICY_CODES: Dict[str, str] = {"tft": "C1", "tf2t": "C2"}
+RANKING_CODES: Dict[str, str] = {
+    "fastest": "I1",
+    "slowest": "I2",
+    "proximity": "I3",
+    "adaptive": "I4",
+    "loyal": "I5",
+    "random": "I6",
+}
+ALLOCATION_CODES: Dict[str, str] = {
+    "equal_split": "R1", "prop_share": "R2", "freeride": "R3",
+}
 
 
 @dataclass(frozen=True)
@@ -224,22 +248,11 @@ class PeerBehavior:
 
     def label(self) -> str:
         """A compact human-readable label, e.g. ``"B2h2-C1-I5k7-R2"``."""
-        stranger_codes = {"none": "B0", "periodic": "B1", "when_needed": "B2", "defect": "B3"}
-        candidate_codes = {"tft": "C1", "tf2t": "C2"}
-        ranking_codes = {
-            "fastest": "I1",
-            "slowest": "I2",
-            "proximity": "I3",
-            "adaptive": "I4",
-            "loyal": "I5",
-            "random": "I6",
-        }
-        allocation_codes = {"equal_split": "R1", "prop_share": "R2", "freeride": "R3"}
         return (
-            f"{stranger_codes[self.stranger_policy]}h{self.stranger_count}-"
-            f"{candidate_codes[self.candidate_policy]}-"
-            f"{ranking_codes[self.ranking]}k{self.partner_count}-"
-            f"{allocation_codes[self.allocation]}"
+            f"{STRANGER_POLICY_CODES[self.stranger_policy]}h{self.stranger_count}-"
+            f"{CANDIDATE_POLICY_CODES[self.candidate_policy]}-"
+            f"{RANKING_CODES[self.ranking]}k{self.partner_count}-"
+            f"{ALLOCATION_CODES[self.allocation]}"
         )
 
     def as_dict(self) -> Dict[str, object]:

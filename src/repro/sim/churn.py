@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 from repro.sim.bandwidth import BandwidthDistribution
 from repro.sim.peer import PeerState
@@ -209,28 +209,47 @@ def apply_true_departures(
     round_index: int,
     rng: random.Random,
     min_active: int = 2,
+    extra_rates: Optional[Mapping[str, float]] = None,
 ) -> List[PeerState]:
     """Apply one round of *true* departures to the mutable ``active`` list.
 
     Each active peer independently departs with probability ``rate`` (one
     uniform draw per active peer, in list order — the same draw pattern as
-    :func:`apply_churn`).  Departing identities are removed from ``active``
-    for good: survivors forget them (history, loyalty, pending requests) and
-    the departed peers are marked with their departure round.  Once removals
-    would push the active count below ``min_active``, the remaining
-    departures of the round are suppressed (the swarm keeps a viable core).
+    :func:`apply_churn`).  ``extra_rates`` adds a per-group surcharge to
+    that probability — *targeted* identity churn, e.g. a colluder clique
+    deliberately cycling identities — without changing the draw pattern:
+    still exactly one uniform draw per active peer.  Departing identities
+    are removed from ``active`` for good: survivors forget them (history,
+    loyalty, pending requests) and the departed peers are marked with their
+    departure round.  Once removals would push the active count below
+    ``min_active``, the remaining departures of the round are suppressed
+    (the swarm keeps a viable core).
 
     Returns the departed peers, in id order of their draw.
     """
     if not 0.0 <= rate < 1.0:
         raise ValueError("rate must be in [0, 1)")
-    if rate == 0.0 or not active:
+    if extra_rates:
+        for group, extra in extra_rates.items():
+            if not 0.0 <= extra < 1.0 or not rate + extra < 1.0:
+                raise ValueError(
+                    f"extra departure rate for group {group!r} must keep the "
+                    f"combined rate in [0, 1), got {rate} + {extra}"
+                )
+    elif rate == 0.0:
+        return []
+    if not active:
         return []
 
     departing: List[PeerState] = []
-    for peer in active:
-        if rng.random() < rate:
-            departing.append(peer)
+    if extra_rates:
+        for peer in active:
+            if rng.random() < rate + extra_rates.get(peer.group, 0.0):
+                departing.append(peer)
+    else:
+        for peer in active:
+            if rng.random() < rate:
+                departing.append(peer)
     if not departing:
         return []
 

@@ -308,6 +308,11 @@ class ArrivalProcess:
         Behaviour/group label given to newcomers.  ``None`` (the default)
         cycles newcomers through the initial population's per-peer
         behaviour/group pattern, preserving the declared mix.
+    whitewash_groups:
+        Whitewash only: restrict rejoins to departures whose group label is
+        in this tuple (*targeted* identity churn — e.g. only a colluder
+        clique sheds its reputation; honest departures leave for good).
+        Empty (the default) whitewashes every departure.
     """
 
     kind: str = "none"
@@ -317,6 +322,7 @@ class ArrivalProcess:
     duration: int = 1
     behavior: Optional[PeerBehavior] = None
     group: Optional[str] = None
+    whitewash_groups: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in ARRIVAL_PROCESS_KINDS:
@@ -344,6 +350,17 @@ class ArrivalProcess:
             raise ValueError("whitewash rate must be in (0, 1]")
         if self.kind == "flash" and self.count < 1:
             raise ValueError("flash arrivals need count >= 1")
+        if not isinstance(self.whitewash_groups, tuple):
+            object.__setattr__(self, "whitewash_groups", tuple(self.whitewash_groups))
+        if self.whitewash_groups:
+            if self.kind != "whitewash":
+                raise ValueError("whitewash_groups requires kind 'whitewash'")
+            if len(set(self.whitewash_groups)) != len(self.whitewash_groups):
+                raise ValueError("whitewash_groups must be distinct")
+
+    def whitewashes(self, group: str) -> bool:
+        """Whether a departure from ``group`` is eligible to rejoin."""
+        return not self.whitewash_groups or group in self.whitewash_groups
 
     def is_none(self) -> bool:
         """Whether this process never produces an arrival."""
@@ -365,7 +382,7 @@ class ArrivalProcess:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly representation."""
-        return {
+        data: Dict[str, object] = {
             "kind": self.kind,
             "rate": self.rate,
             "start": self.start,
@@ -374,6 +391,11 @@ class ArrivalProcess:
             "behavior": self.behavior.as_dict() if self.behavior else None,
             "group": self.group,
         }
+        # Omitted at its default so every pre-targeting fingerprint (and
+        # the cache entries stored under it) stays valid.
+        if self.whitewash_groups:
+            data["whitewash_groups"] = list(self.whitewash_groups)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ArrivalProcess":
@@ -388,6 +410,9 @@ class ArrivalProcess:
             duration=int(data.get("duration", 1)),
             behavior=PeerBehavior.from_dict(behavior) if behavior else None,
             group=str(group) if group is not None else None,
+            whitewash_groups=tuple(
+                str(g) for g in data.get("whitewash_groups", ())
+            ),
         )
 
 
@@ -398,7 +423,8 @@ class DepartureProcess:
     Parameters
     ----------
     rate:
-        Per-peer per-round departure probability (0 disables departures).
+        Per-peer per-round departure probability (0 disables departures
+        unless ``group_rates`` adds targeted ones).
     mode:
         ``"shrink"`` — departures genuinely leave and the active set
         shrinks; ``"replace"`` — the legacy semantics: the departed slot is
@@ -409,11 +435,18 @@ class DepartureProcess:
         Floor on the active population; once departures would push the
         active count below it, the remaining departures of that round are
         suppressed (a swarm never dissolves below a viable core).
+    group_rates:
+        Per-group departure-rate surcharges as sorted ``(group, extra)``
+        pairs — *targeted* identity churn: peers in a named group depart
+        with probability ``rate + extra``.  Shrink mode only; combined with
+        a group-targeted whitewash arrival this models adversaries that
+        deliberately cycle identities to shed their reputation.
     """
 
     rate: float = 0.0
     mode: str = "shrink"
     min_active: int = 2
+    group_rates: Tuple[Tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate < 1.0:
@@ -425,10 +458,45 @@ class DepartureProcess:
             )
         if self.min_active < 2:
             raise ValueError("min_active must be at least 2")
+        if not isinstance(self.group_rates, tuple):
+            object.__setattr__(
+                self, "group_rates", tuple(tuple(pair) for pair in self.group_rates)
+            )
+        if self.group_rates:
+            if self.mode != "shrink":
+                raise ValueError("group_rates require 'shrink' departures")
+            groups = [group for group, _extra in self.group_rates]
+            if len(set(groups)) != len(groups):
+                raise ValueError("group_rates groups must be distinct")
+            for group, extra in self.group_rates:
+                if not 0.0 < extra < 1.0 or not self.rate + extra < 1.0:
+                    raise ValueError(
+                        f"group rate for {group!r} must keep the combined "
+                        f"rate in (0, 1), got {self.rate} + {extra}"
+                    )
+            # Canonical order: fingerprints must not depend on declaration
+            # order of the same targeting.
+            object.__setattr__(
+                self, "group_rates", tuple(sorted(self.group_rates))
+            )
+
+    def extra_rates(self) -> Optional[Dict[str, float]]:
+        """The targeted surcharges as a mapping (``None`` when untargeted)."""
+        if not self.group_rates:
+            return None
+        return dict(self.group_rates)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly representation."""
-        return {"rate": self.rate, "mode": self.mode, "min_active": self.min_active}
+        data: Dict[str, object] = {
+            "rate": self.rate,
+            "mode": self.mode,
+            "min_active": self.min_active,
+        }
+        # Omitted at its default so pre-targeting fingerprints stay valid.
+        if self.group_rates:
+            data["group_rates"] = [list(pair) for pair in self.group_rates]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "DepartureProcess":
@@ -437,6 +505,10 @@ class DepartureProcess:
             rate=float(data.get("rate", 0.0)),
             mode=str(data.get("mode", "shrink")),
             min_active=int(data.get("min_active", 2)),
+            group_rates=tuple(
+                (str(group), float(extra))
+                for group, extra in data.get("group_rates", ())
+            ),
         )
 
 
@@ -465,7 +537,9 @@ class PopulationDynamics:
     def __post_init__(self) -> None:
         if self.max_active < 0:
             raise ValueError("max_active must be >= 0 (0 means unbounded)")
-        if self.arrival.kind == "whitewash" and self.departure.rate <= 0.0:
+        if self.arrival.kind == "whitewash" and (
+            self.departure.rate <= 0.0 and not self.departure.group_rates
+        ):
             raise ValueError("whitewash arrivals need a positive departure rate")
         if not self.arrival.is_none() and self.departure.mode != "shrink":
             # Replacement departures swap identities in-place per slot, so a
@@ -480,7 +554,11 @@ class PopulationDynamics:
 
     def is_trivial(self) -> bool:
         """Whether this bundle changes nothing over the legacy path."""
-        return self.arrival.is_none() and self.departure.rate == 0.0
+        return (
+            self.arrival.is_none()
+            and self.departure.rate == 0.0
+            and not self.departure.group_rates
+        )
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly representation (round-trips via :meth:`from_dict`)."""

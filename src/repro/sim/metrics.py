@@ -19,19 +19,27 @@ number of measured rounds the identity was actually present.
 download **per peer per round present** — which is what makes PRA measures
 comparable between cohorts of different sizes and lifespans, and between
 runs whose active population differs over time.
+
+The robustness atlas (:mod:`repro.atlas`) crosses both axes:
+:func:`compute_group_cohort_metrics` keys the per-peer-round PRA measures,
+download shares and departure (identity-eviction) rates by **(behaviour
+group, cohort)** — the numbers that say who wins *inside* a flash crowd or
+a colluder clique, for fixed- and variable-population runs alike.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "PeerRecord",
     "GroupMetrics",
     "CohortMetrics",
+    "GroupCohortMetrics",
     "compute_group_metrics",
     "compute_cohort_metrics",
+    "compute_group_cohort_metrics",
     "population_throughput",
 ]
 
@@ -168,6 +176,78 @@ def compute_cohort_metrics(
             mean_uploaded=total_up / count,
             downloaded_per_peer_round=total_down / peer_rounds if peer_rounds else 0.0,
             uploaded_per_peer_round=total_up / peer_rounds if peer_rounds else 0.0,
+        )
+    return metrics
+
+
+@dataclass(frozen=True)
+class GroupCohortMetrics:
+    """Aggregate metrics for one (behaviour group, cohort) cell of a run.
+
+    The normalisations mirror :class:`CohortMetrics` (transfers divided by
+    the cell's peer-rounds of presence) with two additions the adversarial
+    analyses need: ``download_share`` — the cell's fraction of the run's
+    total download, which says who *wins* inside a hostile workload — and
+    ``departure_rate`` — the fraction of the cell's identities evicted
+    (truly departed) before the run ended, which exposes targeted identity
+    churn such as colluder whitewashing.
+    """
+
+    group: str
+    cohort: str
+    peer_count: int
+    peer_rounds: int
+    total_downloaded: float
+    total_uploaded: float
+    downloaded_per_peer_round: float
+    uploaded_per_peer_round: float
+    download_share: float
+    departures: int
+
+    @property
+    def departure_rate(self) -> float:
+        """Fraction of the cell's identities that departed during the run."""
+        return self.departures / self.peer_count
+
+
+def compute_group_cohort_metrics(
+    records: Sequence[PeerRecord], measured_rounds: int
+) -> Dict[Tuple[str, str], GroupCohortMetrics]:
+    """Compute :class:`GroupCohortMetrics` for every (group, cohort) present.
+
+    Follows the :func:`compute_cohort_metrics` conventions: records without
+    ``rounds_present`` (fixed-population runs) count as present for all
+    ``measured_rounds``, and a cell with zero exposure reports zero
+    per-peer-round rates.  ``download_share`` divides by the total download
+    over *all* records (0 when nothing was transferred), so shares sum to 1
+    across cells whenever anything flowed.
+    """
+    if measured_rounds < 1:
+        raise ValueError("measured_rounds must be >= 1")
+    cells: Dict[Tuple[str, str], List[PeerRecord]] = {}
+    for record in records:
+        cells.setdefault((record.group, record.cohort), []).append(record)
+    grand_total_down = sum(record.downloaded for record in records)
+
+    metrics: Dict[Tuple[str, str], GroupCohortMetrics] = {}
+    for (group, cohort), members in cells.items():
+        total_down = sum(m.downloaded for m in members)
+        total_up = sum(m.uploaded for m in members)
+        peer_rounds = sum(
+            m.rounds_present if m.rounds_present is not None else measured_rounds
+            for m in members
+        )
+        metrics[(group, cohort)] = GroupCohortMetrics(
+            group=group,
+            cohort=cohort,
+            peer_count=len(members),
+            peer_rounds=peer_rounds,
+            total_downloaded=total_down,
+            total_uploaded=total_up,
+            downloaded_per_peer_round=total_down / peer_rounds if peer_rounds else 0.0,
+            uploaded_per_peer_round=total_up / peer_rounds if peer_rounds else 0.0,
+            download_share=total_down / grand_total_down if grand_total_down else 0.0,
+            departures=sum(1 for m in members if m.departed_round is not None),
         )
     return metrics
 

@@ -257,7 +257,7 @@ class PopulationSimulation:
         churned_ids: List[int] = []
         departed_ids: List[int] = []
 
-        if departure.rate > 0.0:
+        if departure.rate > 0.0 or departure.group_rates:
             if departure.mode == "replace":
                 churned_ids = apply_churn(
                     self._active,
@@ -274,6 +274,7 @@ class PopulationSimulation:
                     round_index,
                     rng,
                     min_active=departure.min_active,
+                    extra_rates=departure.extra_rates(),
                 )
                 if departed:
                     departed_ids = [peer.peer_id for peer in departed]
@@ -285,8 +286,13 @@ class PopulationSimulation:
                     if arrival.kind == "whitewash":
                         # A whitewashing node re-enters immediately: same
                         # capacity, behaviour and group, but a fresh
-                        # identity nobody has history with.
+                        # identity nobody has history with.  With targeted
+                        # whitewashing only the named groups rejoin (and
+                        # only they consume a rejoin draw), so honest
+                        # departures leave for good.
                         for peer in departed:
+                            if not arrival.whitewashes(peer.group):
+                                continue
                             if rng.random() < arrival.rate:
                                 self._spawn(
                                     capacity=peer.upload_capacity,

@@ -2,14 +2,16 @@
 
 The benchmark harness prints the same rows/series as the paper's tables and
 figures.  This module renders lists of rows as aligned plain-text tables so
-the drivers don't each reinvent string formatting.
+the drivers don't each reinvent string formatting — plus the CSV twin used
+by the robustness atlas to emit machine-readable heat maps (CI uploads them
+as artifacts).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-__all__ = ["format_table", "format_float"]
+__all__ = ["format_table", "format_csv", "format_float"]
 
 
 def format_float(value, digits: int = 3) -> str:
@@ -72,3 +74,34 @@ def format_table(
     for cells in rendered_rows:
         lines.append(render_line(cells))
     return "\n".join(lines)
+
+
+def _csv_cell(value: object, digits: int) -> str:
+    """One CSV cell with minimal quoting (commas, quotes, newlines)."""
+    text = format_float(value, digits)
+    if any(c in text for c in (',', '"', '\n')):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def format_csv(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    digits: int = 6,
+) -> str:
+    """Render ``rows`` under ``headers`` as CSV (trailing newline included).
+
+    Float cells use ``digits`` decimal places via :func:`format_float`, so
+    the CSV and plain-text renderings of the same rows agree up to
+    precision.  Every row must have ``len(headers)`` cells.
+    """
+    n_headers = len(headers)
+    lines = [",".join(_csv_cell(h, digits) for h in headers)]
+    for row in rows:
+        cells = [_csv_cell(cell, digits) for cell in row]
+        if len(cells) != n_headers:
+            raise ValueError(
+                f"row has {len(cells)} cells but there are {n_headers} headers"
+            )
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,209 @@
+"""Tests for the atlas grid compiler, runner integration and report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atlas import AtlasSpec, build_report, run_atlas
+from repro.atlas.grid import DEFAULT_SCENARIOS, coherent_behavior
+from repro.atlas.report import (
+    heatmap_csv,
+    render_group_heatmap,
+    render_heatmap,
+    render_ranking,
+    render_report,
+)
+from repro.runner import ExperimentRunner
+from repro.sim.behavior import PeerBehavior
+
+MICRO_AXES = {"ranking": ("fastest", "loyal")}
+MICRO_SCENARIOS = ("baseline", "colluding-whitewash")
+
+
+def micro_spec(**overrides):
+    kwargs = dict(
+        axes=MICRO_AXES,
+        scenarios=MICRO_SCENARIOS,
+        scale="smoke",
+        repetitions=1,
+    )
+    kwargs.update(overrides)
+    return AtlasSpec(**kwargs)
+
+
+class TestAtlasSpec:
+    def test_defaults_are_registered_and_micro(self):
+        spec = AtlasSpec()
+        assert set(DEFAULT_SCENARIOS) <= {c.scenario for c in spec.cells()}
+        assert 1 < len(spec.protocols()) <= 12
+
+    def test_axes_validation(self):
+        with pytest.raises(ValueError):
+            AtlasSpec(axes={"warp_drive": ("on",)})
+        with pytest.raises(ValueError):
+            AtlasSpec(axes={"ranking": ()})
+        with pytest.raises(ValueError):
+            AtlasSpec(axes={"ranking": ("sideways",)})
+        with pytest.raises(ValueError):
+            AtlasSpec(axes=MICRO_AXES, scenarios=("baseline", "baseline"))
+        with pytest.raises(ValueError):
+            AtlasSpec(axes=MICRO_AXES, repetitions=0)
+
+    def test_incoherent_axis_corners_collapse(self):
+        # 'none' forces h=0, so ('none', h=1..3) all collapse to one point:
+        # 4 x 3 combinations -> 10 distinct protocols (as in the paper's
+        # 10 stranger policies).
+        spec = AtlasSpec(
+            axes={
+                "stranger_policy": ("none", "periodic", "when_needed", "defect"),
+                "stranger_count": (1, 2, 3),
+            },
+            scenarios=("baseline",),
+        )
+        labels = [p.label for p in spec.protocols()]
+        assert len(labels) == 10
+        assert len(set(labels)) == 10
+
+    def test_coherent_behavior_projections(self):
+        base = PeerBehavior()
+        none_point = coherent_behavior(base, {"stranger_policy": "none"})
+        assert none_point.stranger_count == 0
+        periodic = coherent_behavior(
+            base, {"stranger_policy": "periodic", "stranger_count": 0}
+        )
+        assert periodic.stranger_count == 1
+
+    def test_protocol_injection_preserves_subpopulations(self):
+        spec = micro_spec(scenarios=("capacity-skew", "colluding-whitewash"))
+        for cell in spec.cells():
+            derived = spec.cell_spec(cell)
+            assert derived.population.default_behavior == cell.protocol.behavior
+            original = derived.name
+            if original == "capacity-skew":
+                seed_class = derived.population.classes[0]
+                assert seed_class.behavior == PeerBehavior.generous_seed()
+            else:
+                clique = derived.population.groups[0]
+                assert clique.behavior == PeerBehavior.colluder()
+
+    def test_fingerprint_tracks_the_declaration(self):
+        assert micro_spec().fingerprint() == micro_spec().fingerprint()
+        assert micro_spec().fingerprint() != micro_spec(master_seed=1).fingerprint()
+
+    def test_grid_growth_keeps_existing_jobs(self):
+        small = micro_spec()
+        grown = micro_spec(
+            axes={"ranking": ("fastest", "loyal", "random")},
+            scenarios=MICRO_SCENARIOS + ("whitewash-churn",),
+            repetitions=2,
+        )
+        small_fps = {
+            job.fingerprint() for _c, batch in small.jobs() for job in batch
+        }
+        grown_fps = {
+            job.fingerprint() for _c, batch in grown.jobs() for job in batch
+        }
+        assert small_fps <= grown_fps
+
+
+class TestRunAndCacheReuse:
+    def test_superset_grid_simulates_only_new_cells(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        small = micro_spec()
+        first = run_atlas(small, runner=runner)
+        assert first.stats.executed == first.jobs_total
+        assert first.stats.cache_hits == 0
+
+        # Same grid, warm cache: nothing simulates.
+        rerun = run_atlas(small, runner=runner)
+        assert rerun.stats.executed == 0
+        assert rerun.stats.cache_hits == rerun.jobs_total
+
+        # Grown grid: only the genuinely new cells simulate.
+        grown = micro_spec(axes={"ranking": ("fastest", "loyal", "random")})
+        result = run_atlas(grown, runner=runner)
+        new_jobs = result.jobs_total - first.jobs_total
+        assert new_jobs > 0
+        assert result.stats.executed == new_jobs
+        assert result.stats.cache_hits == first.jobs_total
+
+    def test_results_are_deterministic_per_seed(self):
+        spec = micro_spec()
+        first = render_report(build_report(run_atlas(spec, runner=ExperimentRunner())))
+        second = render_report(build_report(run_atlas(spec, runner=ExperimentRunner())))
+        assert first == second
+
+    def test_unknown_scenario_fails_at_compile_time(self):
+        spec = micro_spec(scenarios=("baseline", "not-a-scenario"))
+        with pytest.raises(KeyError):
+            spec.jobs()
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report(run_atlas(micro_spec(), runner=ExperimentRunner()))
+
+    def test_scores_are_normalised_within_scenarios(self, report):
+        for scenario in report.scenarios:
+            scores = [
+                report.cell(protocol, scenario).score
+                for protocol in report.protocols
+            ]
+            assert all(0.0 <= score <= 1.0 for score in scores)
+            assert max(scores) == pytest.approx(1.0)
+
+    def test_ranking_is_worst_case_ordered(self, report):
+        ranks = [r.rank for r in report.rankings]
+        assert ranks == list(range(1, len(report.protocols) + 1))
+        worsts = [r.worst_score for r in report.rankings]
+        assert worsts == sorted(worsts, reverse=True)
+        for ranking in report.rankings:
+            cell = report.cell(ranking.protocol, ranking.worst_scenario)
+            assert cell.score == pytest.approx(ranking.worst_score)
+
+    def test_group_heatmap_shows_the_clique(self, report):
+        text = render_group_heatmap(report)
+        assert "colluding-whitewash:colluder" in text
+        assert "colluding-whitewash:default" in text
+
+    def test_renderings_cover_every_protocol(self, report):
+        for text in (render_ranking(report), render_heatmap(report)):
+            for protocol in report.protocols:
+                assert protocol in text
+
+    def test_group_download_pools_cohorts_by_exposure(self):
+        from repro.atlas.report import CellSummary, GroupCell
+
+        founder = GroupCell(
+            group="g", cohort="initial", peer_count=1, peer_rounds=100,
+            downloaded_per_peer_round=10.0, download_share=0.5,
+            departure_rate=0.0,
+        )
+        rejoiners = GroupCell(
+            group="g", cohort="whitewash", peer_count=10, peer_rounds=10,
+            downloaded_per_peer_round=2.0, download_share=0.5,
+            departure_rate=1.0,
+        )
+        summary = CellSummary(
+            protocol="p", scenario="s", repetitions=1,
+            download_per_peer_round=0.0, score=0.0,
+            groups=(founder, rejoiners),
+        )
+        # sum(download) / sum(peer-rounds): ten short-lived rejoiners must
+        # not outweigh a founder present for the whole run (head-count
+        # weighting would give (10*1 + 2*10) / 11 ≈ 2.7).
+        assert summary.group_download("g") == pytest.approx(1020.0 / 110.0)
+        with pytest.raises(KeyError):
+            summary.group_download("absent")
+
+    def test_csv_is_long_form_and_parseable(self, report):
+        import csv
+        import io
+
+        rows = list(csv.DictReader(io.StringIO(heatmap_csv(report))))
+        assert rows
+        assert {row["protocol"] for row in rows} == set(report.protocols)
+        assert {row["scenario"] for row in rows} == set(report.scenarios)
+        for row in rows:
+            assert 0.0 <= float(row["cell_score"]) <= 1.0

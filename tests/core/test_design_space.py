@@ -96,3 +96,44 @@ class TestPaperParameterizations:
 
     def test_gossip_example_has_four_dimensions(self):
         assert len(gossip_parameterization().dimensions) == 4
+
+
+class TestBehaviorAxes:
+    def test_axes_cover_every_swept_dimension(self):
+        from repro.core.design_space import BEHAVIOR_AXES
+
+        assert set(BEHAVIOR_AXES) == {
+            "stranger_policy", "stranger_count", "candidate_policy",
+            "ranking", "partner_count", "allocation",
+        }
+
+    def test_parse_axis_value_accepts_codes_and_field_values(self):
+        from repro.core.design_space import parse_axis_value
+
+        assert parse_axis_value("ranking", "I5") == "loyal"
+        assert parse_axis_value("ranking", "loyal") == "loyal"
+        assert parse_axis_value("partner_count", "4") == 4
+        assert parse_axis_value("allocation", "R2") == "prop_share"
+        with pytest.raises(ValueError):
+            parse_axis_value("ranking", "I9")
+        with pytest.raises(ValueError):
+            parse_axis_value("partner_count", "99")
+        with pytest.raises(ValueError):
+            parse_axis_value("warp", "I1")
+
+    def test_parse_axes_declaration(self):
+        from repro.core.design_space import parse_axes
+
+        axes = parse_axes("ranking=I1, loyal; allocation=R1")
+        assert axes == {
+            "ranking": ("fastest", "loyal"),
+            "allocation": ("equal_split",),
+        }
+        with pytest.raises(ValueError):
+            parse_axes("ranking=I1;ranking=I2")
+        with pytest.raises(ValueError):
+            parse_axes("ranking=I1,I1")
+        with pytest.raises(ValueError):
+            parse_axes("ranking")
+        with pytest.raises(ValueError):
+            parse_axes("  ")

@@ -28,7 +28,7 @@ class TestCliList:
         expected = {
             "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
             "figure7", "figure8", "figure9", "figure10", "table2", "table3",
-            "section2", "split-check", "churn-check", "scenarios",
+            "section2", "split-check", "churn-check", "scenarios", "atlas",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -103,6 +103,65 @@ class TestCliScenario:
     def test_bad_reps_rejected(self):
         with pytest.raises(SystemExit):
             main(["scenario", "baseline", "--scale", "smoke", "--reps", "0"])
+
+
+class TestCliAtlas:
+    ARGS = [
+        "atlas", "--scale", "smoke",
+        "--protocol-axes", "ranking=I1,I5",
+        "--scenarios", "baseline,colluding-whitewash",
+        "--reps", "1",
+    ]
+
+    def test_atlas_prints_ranking_and_heatmaps(self, capsys):
+        assert main(self.ARGS) == 0
+        output = capsys.readouterr().out
+        assert "robustness ranking" in output
+        assert "protocol x workload heat map" in output
+        assert "per-group PRA heat map" in output
+        assert "colluding-whitewash:colluder" in output
+        # The paper codes resolved onto the swept protocols.
+        assert "I1" in output and "I5" in output
+
+    def test_atlas_output_is_deterministic(self, capsys):
+        assert main(self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        assert capsys.readouterr().out == first
+
+    def test_atlas_writes_csv(self, tmp_path, capsys):
+        target = tmp_path / "atlas.csv"
+        assert main(self.ARGS + ["--csv", str(target)]) == 0
+        lines = target.read_text().splitlines()
+        assert lines[0].startswith("protocol,scenario,group,cohort")
+        assert len(lines) > 1
+
+    def test_atlas_served_from_cache_on_rerun(self, tmp_path, capsys, pristine_runner):
+        argv = self.ARGS + ["--jobs", "1", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        set_default_runner(None)
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert ", 0 simulated" in warm
+        # Identical report either way.
+        assert [l for l in warm.splitlines() if not l.startswith("grid:")] == [
+            l for l in cold.splitlines() if not l.startswith("grid:")
+        ]
+
+    def test_atlas_rejects_bad_axes_and_scenarios(self):
+        with pytest.raises(SystemExit):
+            main(["atlas", "--protocol-axes", "warp=9"])
+        with pytest.raises(SystemExit):
+            main(["atlas", "--scenarios", "no-such-scenario", "--scale", "smoke"])
+        with pytest.raises(SystemExit):
+            main(["atlas", "--reps", "0", "--scale", "smoke"])
+        # Grid validation errors surface as CLI errors, not tracebacks.
+        with pytest.raises(SystemExit):
+            main(
+                ["atlas", "--scenarios", "baseline,baseline",
+                 "--protocol-axes", "ranking=I1", "--scale", "smoke"]
+            )
 
 
 class TestCliRunnerConfiguration:
@@ -227,6 +286,19 @@ class TestCliEngineAndProfile:
         ) == 0
         assert "engine reference" in capsys.readouterr().out
 
-    def test_profile_rejects_fixed_population_scenario(self):
+    def test_profile_covers_fixed_population_scenarios(self, capsys):
+        assert main(
+            ["scenario", "flash-crowd", "--scale", "smoke", "--profile"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "(fixed)" in output
+        assert "[fused decision+transfer]" in output
+        for phase in ("population", "decision", "transfer", "ms/round"):
+            assert phase in output
+
+    def test_fixed_profile_rejects_reference_engine(self):
         with pytest.raises(SystemExit):
-            main(["scenario", "flash-crowd", "--scale", "smoke", "--profile"])
+            main(
+                ["scenario", "flash-crowd", "--scale", "smoke",
+                 "--engine", "reference", "--profile"]
+            )

@@ -32,7 +32,21 @@ class TestCorrelationProperties:
         assert (math.isnan(a) and math.isnan(b)) or a == b
 
     @given(
-        st.lists(finite_floats, min_size=2, max_size=30),
+        # Magnitudes bounded away from the denormal range: for values like
+        # 1e-81 the squared deviations underflow and the affine-invariance
+        # identity genuinely fails in float arithmetic (e.g. xs=[0.0,
+        # 1.33e-81] yields r≈0.8), which is a property of IEEE 754, not a
+        # bug in pearson_correlation.
+        st.lists(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ).filter(lambda x: x == 0.0 or abs(x) >= 1e-6),
+            min_size=2,
+            max_size=30,
+        ),
         st.floats(min_value=0.1, max_value=10, allow_nan=False),
         st.floats(min_value=-100, max_value=100, allow_nan=False),
     )

@@ -26,6 +26,7 @@ EXPECTED_NAMES = {
     "colluders",
     "growing-swarm",
     "whitewash-churn",
+    "colluding-whitewash",
 }
 
 #: scenario -> (job fingerprint prefix, result payload sha256 prefix) at
@@ -45,6 +46,9 @@ GOLDEN_SMOKE = {
     # the identity-lifecycle fields and the population summary block.
     "growing-swarm": ("6bbf3d7764bc460e", "818df863392d78ae"),
     "whitewash-churn": ("97b1093907756c42", "c6893992ffc2a396"),
+    # Targeted identity churn (PR 5): behaviour groups + group-targeted
+    # departures/whitewash in the job config and payload.
+    "colluding-whitewash": ("0ef1b722446e55d1", "61d91d80ad6c7460"),
 }
 
 
@@ -123,6 +127,39 @@ class TestVariableScenarios:
         cap = job.config.population.max_active
         assert cap == 3 * job.config.n_peers
         assert all(count <= cap for count in job.execute().active_counts)
+
+    def test_colluding_whitewash_targets_the_clique(self):
+        # Bench scale: large enough for the targeted-vs-honest churn gap to
+        # dominate the sampling noise of a smoke-size swarm.
+        spec = get_scenario("colluding-whitewash")
+        result = spec.compile("bench", seed=spec.job_seed(0, 0)).execute()
+        records = result.records
+        # The clique exists and only colluders ever whitewash back in.
+        assert any(r.group == "colluder" for r in records)
+        whitewashers = [r for r in records if r.cohort == "whitewash"]
+        assert whitewashers
+        assert all(r.group == "colluder" for r in whitewashers)
+        # Honest departures leave for good: no whitewash cohort outside the
+        # clique, so the active set only shrinks through the default group.
+        assert ("default", "whitewash") not in result.group_cohort_metrics()
+
+        # Targeted churn: colluder identities (all cohorts pooled) are
+        # evicted at a higher rate than the honest default group.
+        def eviction_rate(group):
+            members = [r for r in records if r.group == group]
+            departed = sum(1 for r in members if r.departed_round is not None)
+            return departed / len(members)
+
+        assert eviction_rate("colluder") > eviction_rate("default")
+
+    def test_colluding_whitewash_is_deterministic_per_seed(self):
+        from repro.runner.jobs import result_to_payload
+
+        spec = get_scenario("colluding-whitewash")
+        job = spec.compile("smoke", seed=spec.job_seed(0, 0))
+        assert result_to_payload(job.execute()) == result_to_payload(
+            job.execute()
+        )
 
     def test_whitewash_churn_creates_fresh_identities(self):
         spec = get_scenario("whitewash-churn")

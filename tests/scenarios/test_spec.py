@@ -329,3 +329,161 @@ class TestVariableArrivalSpecs:
         result = job.execute()
         assert result.active_counts is not None
         assert len(result.active_counts) == job.config.rounds
+
+
+class TestBehaviorGroups:
+    def _spec(self, fraction=0.2, size=20):
+        from repro.scenarios.spec import BehaviorGroup
+
+        return PopulationSpec(
+            size=size,
+            groups=(
+                BehaviorGroup(
+                    name="colluder",
+                    fraction=fraction,
+                    behavior=PeerBehavior.colluder(),
+                ),
+            ),
+        )
+
+    def test_compile_spreads_the_group_over_the_id_space(self):
+        behaviors, labels, capacities, distribution = self._spec().compile(20)
+        assert capacities is None and distribution is None
+        clique = [i for i, label in enumerate(labels) if label == "colluder"]
+        assert len(clique) == 4
+        # Spread, not contiguous: members span the id range.
+        assert clique[0] < 10 <= clique[-1]
+        for pid in clique:
+            assert behaviors[pid] == PeerBehavior.colluder()
+        assert labels.count("default") == 16
+
+    def test_every_declared_group_gets_at_least_one_member(self):
+        from repro.scenarios.spec import BehaviorGroup
+
+        spec = PopulationSpec(
+            size=50,
+            groups=(
+                BehaviorGroup(
+                    name="big", fraction=0.85, behavior=PeerBehavior.free_rider()
+                ),
+                BehaviorGroup(
+                    name="clique", fraction=0.1, behavior=PeerBehavior.colluder()
+                ),
+            ),
+        )
+        # Scaled down to a smoke-size swarm the big group would previously
+        # swallow every assignable id, compiling 'clique' to zero members
+        # and silently disabling anything targeting it.
+        _behaviors, labels, _caps, _dist = spec.compile(8)
+        assert labels.count("clique") >= 1
+        assert labels.count("big") >= 1
+        assert labels.count("default") >= 1
+        # An impossible fit fails loudly instead of dropping groups.
+        with pytest.raises(ValueError):
+            spec.compile(2)
+
+    def test_groups_and_classes_are_mutually_exclusive(self):
+        from repro.scenarios.spec import BehaviorGroup
+
+        with pytest.raises(ValueError):
+            PopulationSpec(
+                size=20,
+                classes=(BandwidthClass(name="c", fraction=1.0, capacity=10.0),),
+                groups=(
+                    BehaviorGroup(
+                        name="g", fraction=0.2, behavior=PeerBehavior()
+                    ),
+                ),
+            )
+
+    def test_group_validation(self):
+        from repro.scenarios.spec import BehaviorGroup
+
+        with pytest.raises(ValueError):
+            BehaviorGroup(name="", fraction=0.2, behavior=PeerBehavior())
+        with pytest.raises(ValueError):
+            BehaviorGroup(name="g", fraction=1.5, behavior=PeerBehavior())
+        with pytest.raises(ValueError):
+            PopulationSpec(
+                size=20,
+                groups=(
+                    BehaviorGroup(
+                        name="default", fraction=0.2, behavior=PeerBehavior()
+                    ),
+                ),
+            )
+
+    def test_round_trip_and_fingerprint_compat(self):
+        import json
+
+        spec = ScenarioSpec(
+            name="grouped",
+            population=self._spec(),
+            arrival=ArrivalSpec(kind="whitewash", churn_rate=0.02, size=0.9),
+        )
+        clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+        assert clone == spec
+        # A group-less population serialises exactly as before the groups
+        # field existed, so historical fingerprints are unchanged.
+        assert "groups" not in PopulationSpec(size=20).as_dict()
+
+
+class TestTargetedWhitewashSpecs:
+    def test_compile_population_maps_targeting_onto_dynamics(self):
+        from repro.scenarios.spec import BehaviorGroup
+
+        spec = ScenarioSpec(
+            name="targeted",
+            population=PopulationSpec(
+                size=20,
+                groups=(
+                    BehaviorGroup(
+                        name="clique", fraction=0.2, behavior=PeerBehavior.colluder()
+                    ),
+                ),
+            ),
+            arrival=ArrivalSpec(
+                kind="whitewash", churn_rate=0.02, size=0.9,
+                target_groups=("clique",), target_churn=0.06,
+            ),
+        )
+        dynamics = spec.arrival.compile_population(20, 100)
+        assert dynamics.arrival.whitewash_groups == ("clique",)
+        assert dynamics.departure.group_rates == (("clique", 0.06),)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="poisson", size=0.05, target_groups=("g",))
+        with pytest.raises(ValueError):
+            ArrivalSpec(
+                kind="whitewash", churn_rate=0.02, size=0.9, target_churn=0.1
+            )
+        with pytest.raises(ValueError):
+            ArrivalSpec(
+                kind="whitewash", churn_rate=0.5, size=0.9,
+                target_groups=("g",), target_churn=0.5,
+            )
+        # Targets must name declared groups (or the implicit default).
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="bad-target",
+                arrival=ArrivalSpec(
+                    kind="whitewash", churn_rate=0.02, size=0.9,
+                    target_groups=("ghost",),
+                ),
+            )
+
+    def test_untargeted_arrival_serialises_as_before(self):
+        data = ArrivalSpec(kind="whitewash", churn_rate=0.04, size=0.9).as_dict()
+        assert "target_groups" not in data and "target_churn" not in data
+
+    def test_with_default_behavior_keeps_the_workload(self):
+        from repro.scenarios import get_scenario
+
+        original = get_scenario("colluding-whitewash")
+        injected = original.with_default_behavior(PeerBehavior.free_rider())
+        assert injected.population.default_behavior == PeerBehavior.free_rider()
+        assert injected.population.groups == original.population.groups
+        assert injected.arrival == original.arrival
+        assert injected.rounds == original.rounds
+        assert injected.fingerprint() != original.fingerprint()

@@ -1,0 +1,148 @@
+"""Invariants of the per-(group, cohort) metrics the atlas reports on.
+
+The hypothesis suite checks the partition laws over synthetic records —
+the cells partition the records, so their totals must sum to the record
+totals, download shares to 1 and the marginals must agree with the
+group-only and cohort-only aggregations — plus per-seed determinism on a
+real targeted-churn simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import (
+    PeerRecord,
+    compute_cohort_metrics,
+    compute_group_cohort_metrics,
+    compute_group_metrics,
+)
+
+MEASURED_ROUNDS = 40
+
+
+def _record(draw_tuple):
+    index, group, cohort, down, up, rounds_present, departed = draw_tuple
+    return PeerRecord(
+        peer_id=index,
+        group=group,
+        upload_capacity=50.0,
+        behavior_label="B1h1-C1-I1k4-R1",
+        downloaded=down,
+        uploaded=up,
+        cohort=cohort,
+        joined_round=0,
+        departed_round=10 if departed else None,
+        rounds_present=rounds_present,
+    )
+
+
+record_tuples = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(["default", "colluder", "seed"]),
+    st.sampled_from(["initial", "arrival", "whitewash"]),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=MEASURED_ROUNDS)),
+    st.booleans(),
+)
+
+records_strategy = st.lists(record_tuples, min_size=1, max_size=40).map(
+    lambda tuples: [_record(t) for t in tuples]
+)
+
+
+class TestGroupCohortInvariants:
+    @given(records=records_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_cells_partition_the_records(self, records):
+        metrics = compute_group_cohort_metrics(records, MEASURED_ROUNDS)
+        assert sum(m.peer_count for m in metrics.values()) == len(records)
+        assert math.isclose(
+            sum(m.total_downloaded for m in metrics.values()),
+            sum(r.downloaded for r in records),
+            rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+        assert math.isclose(
+            sum(m.total_uploaded for m in metrics.values()),
+            sum(r.uploaded for r in records),
+            rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+        assert sum(m.departures for m in metrics.values()) == sum(
+            1 for r in records if r.departed_round is not None
+        )
+
+    @given(records=records_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_download_shares_sum_to_one_when_anything_flowed(self, records):
+        metrics = compute_group_cohort_metrics(records, MEASURED_ROUNDS)
+        total = sum(r.downloaded for r in records)
+        share_sum = sum(m.download_share for m in metrics.values())
+        if total > 0:
+            assert math.isclose(share_sum, 1.0, rel_tol=1e-9)
+        else:
+            assert share_sum == 0.0
+
+    @given(records=records_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_marginals_agree_with_single_axis_aggregations(self, records):
+        cells = compute_group_cohort_metrics(records, MEASURED_ROUNDS)
+        by_group = compute_group_metrics(records, MEASURED_ROUNDS)
+        for group, expected in by_group.items():
+            row = [m for (g, _c), m in cells.items() if g == group]
+            assert sum(m.peer_count for m in row) == expected.peer_count
+            assert math.isclose(
+                sum(m.total_downloaded for m in row),
+                expected.total_downloaded,
+                rel_tol=1e-9,
+                abs_tol=1e-6,
+            )
+        by_cohort = compute_cohort_metrics(records, MEASURED_ROUNDS)
+        for cohort, expected in by_cohort.items():
+            column = [m for (_g, c), m in cells.items() if c == cohort]
+            assert sum(m.peer_count for m in column) == expected.peer_count
+            assert sum(m.peer_rounds for m in column) == expected.peer_rounds
+
+    @given(records=records_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_rates_are_bounded_and_exposure_consistent(self, records):
+        metrics = compute_group_cohort_metrics(records, MEASURED_ROUNDS)
+        for m in metrics.values():
+            assert 0.0 <= m.download_share <= 1.0 + 1e-9
+            assert 0.0 <= m.departure_rate <= 1.0
+            assert m.peer_rounds <= m.peer_count * MEASURED_ROUNDS
+            if m.peer_rounds == 0:
+                assert m.downloaded_per_peer_round == 0.0
+                assert m.uploaded_per_peer_round == 0.0
+
+    def test_measured_rounds_validated(self):
+        with pytest.raises(ValueError):
+            compute_group_cohort_metrics([], 0)
+
+
+class TestDeterminismOnRealRuns:
+    def test_identical_seeds_give_identical_metrics(self):
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("colluding-whitewash")
+        job = spec.compile("smoke", seed=spec.job_seed(3, 0))
+        first = job.execute().group_cohort_metrics()
+        second = job.execute().group_cohort_metrics()
+        assert first == second
+
+    def test_fixed_population_runs_expose_a_single_cohort(self):
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("colluders")
+        result = spec.compile("smoke", seed=spec.job_seed(0, 0)).execute()
+        metrics = result.group_cohort_metrics()
+        assert metrics
+        assert {cohort for _g, cohort in metrics} == {"initial"}
+        # Fixed engines never record true departures.
+        assert all(m.departures == 0 for m in metrics.values())

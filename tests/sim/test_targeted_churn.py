@@ -1,0 +1,144 @@
+"""Targeted identity churn: group-targeted departures and whitewash rejoins."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.behavior import PeerBehavior
+from repro.sim.churn import apply_true_departures
+from repro.sim.config import SimulationConfig
+from repro.sim.dynamics import (
+    ArrivalProcess,
+    DepartureProcess,
+    PopulationDynamics,
+)
+from repro.sim.engine import simulate
+from repro.sim.history import InteractionHistory
+from repro.sim.peer import PeerState
+
+
+def _peers(groups):
+    return [
+        PeerState(
+            peer_id=i,
+            upload_capacity=50.0,
+            behavior=PeerBehavior(),
+            group=group,
+            history=InteractionHistory(max_rounds=3),
+        )
+        for i, group in enumerate(groups)
+    ]
+
+
+class TestApplyTrueDeparturesTargeting:
+    def test_empty_extra_rates_match_the_untargeted_path(self):
+        groups = ["default"] * 30
+        departed_plain = apply_true_departures(
+            _peers(groups), 0.2, 0, random.Random(7)
+        )
+        departed_empty = apply_true_departures(
+            _peers(groups), 0.2, 0, random.Random(7), extra_rates={}
+        )
+        assert [p.peer_id for p in departed_plain] == [
+            p.peer_id for p in departed_empty
+        ]
+
+    def test_targeted_groups_depart_more(self):
+        departures = {"colluder": 0, "default": 0}
+        population = {"colluder": 0, "default": 0}
+        rng = random.Random(11)
+        for _ in range(60):
+            peers = _peers(["colluder" if i % 5 == 0 else "default" for i in range(25)])
+            for peer in peers:
+                population[peer.group] += 1
+            for peer in apply_true_departures(
+                peers, 0.02, 0, rng, extra_rates={"colluder": 0.3}
+            ):
+                departures[peer.group] += 1
+        colluder_rate = departures["colluder"] / population["colluder"]
+        default_rate = departures["default"] / population["default"]
+        assert colluder_rate > default_rate * 3
+
+    def test_zero_base_rate_with_targeting_only_evicts_targets(self):
+        peers = _peers(["colluder" if i < 10 else "default" for i in range(40)])
+        departed = apply_true_departures(
+            peers, 0.0, 0, random.Random(3), extra_rates={"colluder": 0.5}
+        )
+        assert departed
+        assert all(p.group == "colluder" for p in departed)
+
+    def test_combined_rate_must_stay_below_one(self):
+        with pytest.raises(ValueError):
+            apply_true_departures(
+                _peers(["x"]), 0.6, 0, random.Random(0), extra_rates={"x": 0.5}
+            )
+
+
+class TestDynamicsValidationAndSerialization:
+    def test_departure_group_rates_round_trip_and_sort(self):
+        process = DepartureProcess(
+            rate=0.02, group_rates=(("zeta", 0.1), ("alpha", 0.2))
+        )
+        assert process.group_rates == (("alpha", 0.2), ("zeta", 0.1))
+        clone = DepartureProcess.from_dict(process.as_dict())
+        assert clone == process
+        # The targeting key is omitted when untargeted, keeping every
+        # pre-targeting payload (and cache fingerprint) unchanged.
+        assert "group_rates" not in DepartureProcess(rate=0.02).as_dict()
+
+    def test_departure_group_rates_validation(self):
+        with pytest.raises(ValueError):
+            DepartureProcess(rate=0.0, mode="replace", group_rates=(("g", 0.1),))
+        with pytest.raises(ValueError):
+            DepartureProcess(rate=0.5, group_rates=(("g", 0.5),))
+        with pytest.raises(ValueError):
+            DepartureProcess(rate=0.0, group_rates=(("g", 0.1), ("g", 0.2)))
+
+    def test_arrival_whitewash_groups_round_trip(self):
+        process = ArrivalProcess(
+            kind="whitewash", rate=0.9, whitewash_groups=("colluder",)
+        )
+        assert ArrivalProcess.from_dict(process.as_dict()) == process
+        assert "whitewash_groups" not in ArrivalProcess(
+            kind="whitewash", rate=0.9
+        ).as_dict()
+        assert process.whitewashes("colluder")
+        assert not process.whitewashes("default")
+        with pytest.raises(ValueError):
+            ArrivalProcess(kind="poisson", rate=1.0, whitewash_groups=("g",))
+
+    def test_group_rates_alone_make_dynamics_non_trivial(self):
+        bundle = PopulationDynamics(
+            departure=DepartureProcess(rate=0.0, group_rates=(("g", 0.1),))
+        )
+        assert not bundle.is_trivial()
+        assert PopulationDynamics.from_dict(bundle.as_dict()) == bundle
+
+
+class TestEnginesAgreeOnTargetedChurn:
+    def test_fast_and_reference_engines_stay_bit_identical(self):
+        from repro.runner.jobs import result_to_payload
+
+        config = SimulationConfig(
+            n_peers=16,
+            rounds=30,
+            population=PopulationDynamics(
+                arrival=ArrivalProcess(
+                    kind="whitewash", rate=0.9, whitewash_groups=("clique",)
+                ),
+                departure=DepartureProcess(
+                    rate=0.02, group_rates=(("clique", 0.1),)
+                ),
+            ),
+        )
+        behaviors = [PeerBehavior()] * 16
+        groups = ["clique" if i % 4 == 0 else "default" for i in range(16)]
+        fast = simulate(config, behaviors, groups=groups, seed=5, engine="fast")
+        reference = simulate(
+            config, behaviors, groups=groups, seed=5, engine="reference"
+        )
+        assert result_to_payload(fast) == result_to_payload(reference)
+        whitewashers = [r for r in fast.records if r.cohort == "whitewash"]
+        assert all(r.group == "clique" for r in whitewashers)

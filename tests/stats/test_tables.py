@@ -44,3 +44,23 @@ class TestFormatTable:
     def test_empty_rows_ok(self):
         text = format_table(("a", "b"), [])
         assert "a" in text
+
+
+class TestFormatCsv:
+    def test_rows_and_floats(self):
+        from repro.stats.tables import format_csv
+
+        text = format_csv(("a", "b"), [("x", 1.5), ("y", 2)], digits=2)
+        assert text == "a,b\nx,1.50\ny,2\n"
+
+    def test_quoting(self):
+        from repro.stats.tables import format_csv
+
+        text = format_csv(("a",), [('needs,"quotes"',)])
+        assert text.splitlines()[1] == '"needs,""quotes"""'
+
+    def test_wrong_cell_count_raises(self):
+        from repro.stats.tables import format_csv
+
+        with pytest.raises(ValueError):
+            format_csv(("a", "b"), [(1,)])
