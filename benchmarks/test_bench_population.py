@@ -1,6 +1,6 @@
-"""Population-engine benchmark: fixed vs variable engines on matched configs.
+"""Population-engine benchmark: fixed, reference, fast and vec engines.
 
-Times three engines on matched ``(n_peers, rounds)`` workloads:
+Times up to four engines on matched ``(n_peers, rounds)`` workloads:
 
 * the optimised **fixed-population** engine
   (:class:`repro.sim.engine.Simulation`) on the legacy replacement-churn
@@ -8,26 +8,34 @@ Times three engines on matched ``(n_peers, rounds)`` workloads:
 * the **reference** variable-population engine
   (:class:`repro.sim.population.PopulationSimulation`);
 * the optimised variable-population engine
-  (:class:`repro.sim.population_fast.FastPopulationSimulation`).
+  (:class:`repro.sim.population_fast.FastPopulationSimulation`);
+* the numpy batch engine
+  (:class:`repro.sim.population_vec.VecSimulation`) — statistically
+  equivalent rather than bit-identical, gated by ``tests/statistical/``.
 
 The variable workload is the ``whitewash-churn`` scenario's dynamics at
 full strength (4% true departures per round, 90% of them re-entering under
 fresh identities), the hardest steady case for incremental structures:
 membership changes almost every round.
 
-Every case also re-asserts bit-identity between the two variable engines
-while benchmarking — a speedup measured on diverging results would be
-meaningless.
+Engines are selected per case size: the reference engine drops out beyond
+a few hundred peers and everything but vec drops out at the 10k scale tier
+(timing a pure-python engine for minutes would measure patience, not
+progress).  Every case that times both variable replica engines also
+re-asserts their bit-identity — a speedup measured on diverging results
+would be meaningless.  The vec engine is exempt from that check by design;
+its gate is the distributional harness.
 
 Results are **appended** to ``BENCH_population.json`` at the repository
 root: one entry per (commit, grid), each a machine-readable record (config,
-seconds, rounds/sec, speedup vs the reference engine).  Re-running on the
-same commit replaces that commit's entry; running on a new commit appends —
-the file itself carries the tracked perf trajectory rather than being
-overwritten per run.  Legacy single-run files migrate automatically.
+seconds, rounds/sec, speedups).  Re-running on the same commit replaces
+that commit's entry; running on a new commit appends — the file itself
+carries the tracked perf trajectory rather than being overwritten per run.
+Legacy single-run files migrate automatically.
 
-Run the full bench grid (the acceptance gate asserts >= 2x on the
-200-peer/400-round headline case)::
+Run the full bench grid (the acceptance gate asserts >= 2x fast-vs-
+reference on the 200-peer/400-round headline case) plus the scale grid
+(>= 3x vec-vs-fast at 1000 peers, 10k-peer completion)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_population.py -s
 
@@ -55,11 +63,14 @@ from repro.sim.dynamics import ArrivalProcess, DepartureProcess, PopulationDynam
 from repro.sim.engine import Simulation
 from repro.sim.population import PopulationSimulation
 from repro.sim.population_fast import FastPopulationSimulation
+from repro.sim.population_vec import VecSimulation
 
-#: (n_peers, rounds) grids; "bench" ends with the acceptance headline case.
+#: (n_peers, rounds) grids; "bench" ends with the acceptance headline case,
+#: "scale" carries the 1k/10k swarm tier that only the vec engine can hold.
 GRIDS: Dict[str, List[Tuple[int, int]]] = {
     "smoke": [(30, 40), (50, 60)],
     "bench": [(50, 200), (100, 300), (200, 400)],
+    "scale": [(1000, 60), (10000, 20)],
 }
 
 #: The acceptance-gated case: 200 peers, 400 rounds of whitewash churn.
@@ -68,11 +79,26 @@ HEADLINE_CASE = (200, 400)
 #: Minimum fast-vs-reference speedup required on the headline case.
 HEADLINE_SPEEDUP_FLOOR = 2.0
 
+#: The vec acceptance case: 1000 peers, 60 rounds of whitewash churn.
+VEC_HEADLINE_CASE = (1000, 60)
+
+#: Minimum vec-vs-fast speedup on the vec headline case.  Measured ~5.5x;
+#: the gate sits well below that so shared-runner noise cannot flake it.
+VEC_SPEEDUP_FLOOR = 3.0
+
+#: Above this population only the vec engine is timed.
+VEC_ONLY_MIN_PEERS = 2000
+
+#: Above this population the pure-python reference engine is skipped.
+REFERENCE_MAX_PEERS = 500
+
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_population.json"
 
 #: Whitewash-churn dynamics at scenario strength (see the registry entry).
 WHITEWASH_DEPARTURE_RATE = 0.04
 WHITEWASH_REJOIN_RATE = 0.9
+
+ENGINE_ORDER = ("fixed", "population_reference", "population_fast", "population_vec")
 
 
 def _whitewash_config(n_peers: int, rounds: int) -> SimulationConfig:
@@ -93,6 +119,15 @@ def _fixed_twin_config(n_peers: int, rounds: int) -> SimulationConfig:
     )
 
 
+def engines_for_case(n_peers: int) -> Tuple[str, ...]:
+    """Which engines a case of ``n_peers`` can afford to time."""
+    if n_peers >= VEC_ONLY_MIN_PEERS:
+        return ("population_vec",)
+    if n_peers > REFERENCE_MAX_PEERS:
+        return ("fixed", "population_fast", "population_vec")
+    return ENGINE_ORDER
+
+
 def _time_run(factory, repeats: int = 3) -> Tuple[float, object]:
     """Best-of-``repeats`` wall-clock seconds for one full run."""
     best = float("inf")
@@ -106,26 +141,38 @@ def _time_run(factory, repeats: int = 3) -> Tuple[float, object]:
     return best, result
 
 
-def run_case(n_peers: int, rounds: int, seed: int = 0, repeats: int = 3) -> dict:
-    """Benchmark all three engines on one matched configuration."""
+def run_case(
+    n_peers: int,
+    rounds: int,
+    seed: int = 0,
+    repeats: int = 3,
+    engines: Optional[Tuple[str, ...]] = None,
+) -> dict:
+    """Benchmark the selected engines on one matched configuration."""
+    if engines is None:
+        engines = engines_for_case(n_peers)
     behavior = bittorrent_reference().behavior
     variable_config = _whitewash_config(n_peers, rounds)
     fixed_config = _fixed_twin_config(n_peers, rounds)
 
-    fixed_seconds, _ = _time_run(
-        lambda: Simulation(fixed_config, [behavior], seed=seed), repeats
-    )
-    reference_seconds, reference_result = _time_run(
-        lambda: PopulationSimulation(variable_config, [behavior], seed=seed), repeats
-    )
-    fast_seconds, fast_result = _time_run(
-        lambda: FastPopulationSimulation(variable_config, [behavior], seed=seed),
-        repeats,
-    )
-    bit_identical = result_to_payload(fast_result) == result_to_payload(
-        reference_result
-    )
-    return {
+    factories = {
+        "fixed": lambda: Simulation(fixed_config, [behavior], seed=seed),
+        "population_reference": lambda: PopulationSimulation(
+            variable_config, [behavior], seed=seed
+        ),
+        "population_fast": lambda: FastPopulationSimulation(
+            variable_config, [behavior], seed=seed
+        ),
+        "population_vec": lambda: VecSimulation(
+            variable_config, [behavior], seed=seed
+        ),
+    }
+    timings: Dict[str, float] = {}
+    results: Dict[str, object] = {}
+    for name in engines:
+        timings[name], results[name] = _time_run(factories[name], repeats)
+
+    case = {
         "config": {
             "n_peers": n_peers,
             "rounds": rounds,
@@ -135,22 +182,25 @@ def run_case(n_peers: int, rounds: int, seed: int = 0, repeats: int = 3) -> dict
             "whitewash_rate": WHITEWASH_REJOIN_RATE,
         },
         "engines": {
-            "fixed": {
-                "seconds": round(fixed_seconds, 4),
-                "rounds_per_sec": round(rounds / fixed_seconds, 1),
-            },
-            "population_reference": {
-                "seconds": round(reference_seconds, 4),
-                "rounds_per_sec": round(rounds / reference_seconds, 1),
-            },
-            "population_fast": {
-                "seconds": round(fast_seconds, 4),
-                "rounds_per_sec": round(rounds / fast_seconds, 1),
-            },
+            name: {
+                "seconds": round(seconds, 4),
+                "rounds_per_sec": round(rounds / seconds, 1),
+            }
+            for name, seconds in timings.items()
         },
-        "speedup_fast_vs_reference": round(reference_seconds / fast_seconds, 2),
-        "bit_identical": bit_identical,
     }
+    if {"population_reference", "population_fast"} <= timings.keys():
+        case["speedup_fast_vs_reference"] = round(
+            timings["population_reference"] / timings["population_fast"], 2
+        )
+        case["bit_identical"] = result_to_payload(
+            results["population_fast"]
+        ) == result_to_payload(results["population_reference"])
+    if {"population_fast", "population_vec"} <= timings.keys():
+        case["speedup_vec_vs_fast"] = round(
+            timings["population_fast"] / timings["population_vec"], 2
+        )
+    return case
 
 
 def current_commit() -> Optional[str]:
@@ -228,24 +278,33 @@ def _render(payload: dict) -> str:
     lines = [
         f"commit {commit[:12]}  grid {payload['grid']}",
         f"{'peers':>6} {'rounds':>6} {'fixed r/s':>10} {'ref r/s':>10} "
-        f"{'fast r/s':>10} {'speedup':>8} {'identical':>9}"
+        f"{'fast r/s':>10} {'vec r/s':>10} {'fast/ref':>9} {'vec/fast':>9} "
+        f"{'identical':>9}"
     ]
     for case in payload["cases"]:
         config = case["config"]
         engines = case["engines"]
+
+        def rps(name: str) -> str:
+            timing = engines.get(name)
+            return f"{timing['rounds_per_sec']:.1f}" if timing else "-"
+
+        fast_ref = case.get("speedup_fast_vs_reference")
+        vec_fast = case.get("speedup_vec_vs_fast")
+        identical = case.get("bit_identical")
         lines.append(
             f"{config['n_peers']:>6} {config['rounds']:>6} "
-            f"{engines['fixed']['rounds_per_sec']:>10.1f} "
-            f"{engines['population_reference']['rounds_per_sec']:>10.1f} "
-            f"{engines['population_fast']['rounds_per_sec']:>10.1f} "
-            f"{case['speedup_fast_vs_reference']:>7.2f}x "
-            f"{str(case['bit_identical']):>9}"
+            f"{rps('fixed'):>10} {rps('population_reference'):>10} "
+            f"{rps('population_fast'):>10} {rps('population_vec'):>10} "
+            f"{f'{fast_ref:.2f}x' if fast_ref is not None else '-':>9} "
+            f"{f'{vec_fast:.2f}x' if vec_fast is not None else '-':>9} "
+            f"{str(identical) if identical is not None else '-':>9}"
         )
     return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------- #
-# pytest entry points (bench grid + acceptance gate)
+# pytest entry points (bench grid + acceptance gates)
 # ---------------------------------------------------------------------- #
 def test_population_engines_bench_grid():
     payload = run_grid("bench")
@@ -257,7 +316,11 @@ def test_population_engines_bench_grid():
         f"({len(history['entries'])} trajectory entries)"
     )
 
-    assert all(case["bit_identical"] for case in payload["cases"])
+    assert all(
+        case["bit_identical"]
+        for case in payload["cases"]
+        if "bit_identical" in case
+    )
     headline = next(
         case
         for case in payload["cases"]
@@ -269,6 +332,36 @@ def test_population_engines_bench_grid():
         f"{HEADLINE_CASE[0]} peers / {HEADLINE_CASE[1]} rounds, got "
         f"{headline['speedup_fast_vs_reference']}x"
     )
+
+
+def test_vec_engine_scale_grid():
+    """The 1k/10k swarm tier: vec must beat fast at 1k and hold 10k."""
+    payload = run_grid("scale")
+    history = append_entry(payload, DEFAULT_OUTPUT)
+    print()
+    print(_render(payload))
+    print(
+        f"wrote {DEFAULT_OUTPUT} "
+        f"({len(history['entries'])} trajectory entries)"
+    )
+
+    headline = next(
+        case
+        for case in payload["cases"]
+        if (case["config"]["n_peers"], case["config"]["rounds"])
+        == VEC_HEADLINE_CASE
+    )
+    assert headline["speedup_vec_vs_fast"] >= VEC_SPEEDUP_FLOOR, (
+        f"vec engine must be >= {VEC_SPEEDUP_FLOOR}x the fast engine on "
+        f"{VEC_HEADLINE_CASE[0]} peers / {VEC_HEADLINE_CASE[1]} rounds, got "
+        f"{headline['speedup_vec_vs_fast']}x"
+    )
+    ten_k = next(
+        case for case in payload["cases"] if case["config"]["n_peers"] >= 10_000
+    )
+    assert ten_k["engines"]["population_vec"]["rounds_per_sec"] > 0.0
+    # 10k is vec-only: no other engine may sneak into (and stall) the tier.
+    assert set(ten_k["engines"]) == {"population_vec"}
 
 
 # ---------------------------------------------------------------------- #
@@ -286,7 +379,11 @@ def main(argv=None) -> int:
     history = append_entry(payload, args.output)
     print(_render(payload))
     print(f"wrote {args.output} ({len(history['entries'])} trajectory entries)")
-    if not all(case["bit_identical"] for case in payload["cases"]):
+    if not all(
+        case["bit_identical"]
+        for case in payload["cases"]
+        if "bit_identical" in case
+    ):
         print("ERROR: engines diverged", file=sys.stderr)
         return 1
     return 0

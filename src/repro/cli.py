@@ -205,8 +205,9 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine", default=None, choices=ENGINE_CHOICES,
-        help="simulation engine: the optimised hot path or the reference "
-             "implementation — results are bit-identical either way "
+        help="simulation engine: fast and reference are bit-identical "
+             "replicas; vec is the numpy batch engine for large swarms, "
+             "statistically equivalent but not draw-for-draw identical "
              "(default: REPRO_SIM_ENGINE or fast)",
     )
 
@@ -219,7 +220,8 @@ def _profile_scenario(parser, spec, scale: str, seed: int) -> int:
     coarse buckets (the decision and transfer phases are fused with a
     history window of three or more rounds, so the ``decision`` bucket
     includes the transfer application and ``transfer`` covers only the
-    end-of-round bookkeeping).
+    end-of-round bookkeeping).  The vec engine profiles both shapes with
+    one implementation.
     """
     from repro.sim.engine import (
         FUSED_HISTORY_MIN,
@@ -230,7 +232,7 @@ def _profile_scenario(parser, spec, scale: str, seed: int) -> int:
     job = spec.compile(scale=scale, seed=seed)
     engine = default_engine()
     variable = job.config.is_variable_population
-    if variable:
+    if variable or engine == "vec":
         engine_cls = population_engine_class(engine)
     else:
         if engine == "reference":
@@ -262,7 +264,10 @@ def _profile_scenario(parser, spec, scale: str, seed: int) -> int:
             f"departures: {result.total_departures}"
         )
     else:
-        fused = job.config.history_rounds >= FUSED_HISTORY_MIN
+        fused = (
+            engine_cls is Simulation
+            and job.config.history_rounds >= FUSED_HISTORY_MIN
+        )
         print(
             f"rounds: {rounds}  peers: {job.config.n_peers} (fixed)  "
             f"churn events: {result.churn_events}"

@@ -19,14 +19,19 @@ The engine (:mod:`repro.sim.engine`) is deliberately lightweight — plain
 dictionaries, no per-message objects — so the PRA tournament can run tens of
 thousands of simulations in a benchmark session.
 
-Each population model ships two engines proven bit-identical: an optimised
-hot path (:class:`~repro.sim.engine.Simulation` for fixed populations,
+Three engines are selectable.  Each population model ships two replica
+engines proven bit-identical: an optimised hot path
+(:class:`~repro.sim.engine.Simulation` for fixed populations,
 :class:`~repro.sim.population_fast.FastPopulationSimulation` for variable
 ones) and a reference implementation (:mod:`repro.sim.reference`,
-:class:`~repro.sim.population.PopulationSimulation`).  :func:`simulate`
-dispatches onto the optimised engines by default; ``engine="reference"``,
-:func:`set_default_engine` or ``REPRO_SIM_ENGINE`` select the reference
-path.
+:class:`~repro.sim.population.PopulationSimulation`).  The third,
+:class:`~repro.sim.population_vec.VecSimulation`, executes whole rounds as
+numpy batch operations for 10k–100k-peer swarms; it samples the same
+stochastic process with different random draws and is gated by the
+``tests/statistical/`` equivalence harness rather than bit-identity.
+:func:`simulate` dispatches onto the optimised replica engines by default;
+``engine="reference"`` / ``engine="vec"``, :func:`set_default_engine` or
+``REPRO_SIM_ENGINE`` select the other paths.
 """
 
 from repro.sim.bandwidth import (
@@ -65,6 +70,7 @@ from repro.sim.metrics import (
 from repro.sim.peer import PeerState
 from repro.sim.population import PopulationSimulation
 from repro.sim.population_fast import FastPopulationSimulation
+from repro.sim.population_vec import VecSimulation
 
 __all__ = [
     "BandwidthDistribution",
@@ -90,6 +96,7 @@ __all__ = [
     "PopulationDynamics",
     "PopulationSimulation",
     "FastPopulationSimulation",
+    "VecSimulation",
     "InteractionHistory",
     "PeerState",
     "GroupMetrics",

@@ -1,0 +1,1009 @@
+"""The vectorised batch engine (numpy whole-round array operations).
+
+:class:`VecSimulation` is the third engine of the library: it executes the
+same two-phase round structure as the reference engines, but reshapes the
+peer-at-a-time control flow into whole-batch numpy array operations over
+flat peer-id-indexed state matrices.  Rounds/sec stays roughly flat in
+population size up to the sorting terms, which is what makes 10k–100k-peer
+swarms reachable — the pure-python engines collapse roughly 4× per
+population doubling.
+
+Statistical equivalence, not bit-identity
+-----------------------------------------
+Unlike the ``fast``/``reference`` pair — which consume the identical
+Mersenne-Twister stream and are proven **bit-identical** — this engine
+draws its randomness from a numpy ``Generator``.  Per-run results therefore
+differ from the replica engines in their random draws while sampling from
+the *same stochastic process*: every decision rule (candidate windows,
+ranking keys, stranger policies, allocation arithmetic, arrival/departure
+processes) is implemented with the same mathematics, and only tie-breaking
+and sampling randomness differ.  The contract is enforced by the
+``tests/statistical/`` suite: per-seed-batch distributional comparisons
+(two-sample KS tests on download shares, per-cohort PRA and eviction-rate
+tolerances) between ``vec`` and ``fast`` across the whole scenario
+registry, with pinned thresholds that fail loudly on drift.
+
+Because the engine choice never changes the modelled process, it is kept
+out of job cache fingerprints — a cached ``fast`` result is a valid answer
+for a ``vec`` request and vice versa (both are draws from the same
+distribution; per-seed reproducibility holds within one engine).
+
+State layout
+------------
+All per-peer state lives in dense peer-id-indexed arrays (capacity,
+aspiration, behaviour/group codes, cohort, join/departure rounds, transfer
+accounting), grown geometrically as identities arrive.  Relational state is
+kept as flat COO edge lists:
+
+* **history** — the last two rounds of interactions as ``(receiver,
+  sender, amount)`` triples (candidate windows never look further back);
+  zero-amount refusals are included, exactly as the reference records them;
+* **loyalty streaks** — ``(receiver, sender, streak)`` triples for pairs
+  whose sender delivered a positive amount in the immediately preceding
+  round (the only state the Sort-Loyal key can observe);
+* **pending requests** — ``(target, requester)`` pairs issued last round.
+
+Each round, candidate selection, ranking, partner cutoffs, stranger pools,
+allocation and transfer accounting are computed with ``np.lexsort`` /
+``np.bincount`` group operations over these edge lists; population change
+(replacement churn, scenario waves and shifts, true departures with
+``min_active`` truncation, whitewash rejoins, Poisson/flash arrivals with
+the ``max_active`` cap) is applied as batched array updates.
+
+The engine accepts **both** population models: fixed-slot configs
+(including non-trivial :class:`~repro.sim.dynamics.ScenarioDynamics`) and
+variable-population configs (any :class:`~repro.sim.dynamics.ArrivalProcess`
+/ :class:`~repro.sim.dynamics.DepartureProcess` combination), so the whole
+scenario registry can run vectorised.
+"""
+
+from __future__ import annotations
+
+import random
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.behavior import PeerBehavior
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import SimulationResult
+from repro.sim.metrics import PeerRecord
+
+__all__ = ["VecSimulation"]
+
+# Compact behaviour-dimension codes used by the per-edge branch masks.
+_RANK_CODES = {
+    "fastest": 0, "slowest": 1, "proximity": 2,
+    "adaptive": 3, "loyal": 4, "random": 5,
+}
+_ALLOC_CODES = {"equal_split": 0, "prop_share": 1, "freeride": 2}
+_SPOL_CODES = {"none": 0, "periodic": 1, "when_needed": 2, "defect": 3}
+
+_COHORT_INITIAL = 0
+_COHORT_ARRIVAL = 1
+_COHORT_WHITEWASH = 2
+_COHORT_LABELS = ("initial", "arrival", "whitewash")
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
+
+#: Vectorised rejection-sampling rounds before falling back to the exact
+#: per-row python path (only ever reached on pathologically small pools).
+_MAX_RESAMPLE_ROUNDS = 64
+
+#: Peer-pair edges are keyed as ``(a << 32) | b``.  Peer ids stay far below
+#: 2**31, so the packing is collision-free, order-preserving per ``a``, and
+#: independent of the current id bound — sorted key arrays stay valid as
+#: the population grows.
+_KEY_SHIFT = 32
+_KEY_MASK = (1 << _KEY_SHIFT) - 1
+
+
+def _pair_keys(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a << _KEY_SHIFT) | b
+
+
+def _member(query: np.ndarray, sorted_keys: np.ndarray) -> np.ndarray:
+    """Membership of ``query`` in ``sorted_keys`` (both int64 key arrays)."""
+    if query.size == 0 or sorted_keys.size == 0:
+        return np.zeros(query.shape, dtype=bool)
+    j = np.searchsorted(sorted_keys, query)
+    hit = np.zeros(query.shape, dtype=bool)
+    valid = j < sorted_keys.size
+    hit[valid] = sorted_keys[j[valid]] == query[valid]
+    return hit
+
+
+def _group_offsets(counts: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sums: start offset of each group in a grouped sort."""
+    offsets = np.empty(counts.size, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(counts[:-1], out=offsets[1:])
+    return offsets
+
+
+class VecSimulation:
+    """One simulation run executed as whole-round numpy batch operations.
+
+    Parameters mirror :class:`repro.sim.engine.Simulation` /
+    :class:`repro.sim.population.PopulationSimulation`: ``behaviors`` and
+    ``groups`` follow the one-or-n broadcast convention over the initial
+    population, ``seed`` pins the run's random draws (numpy ``Generator``
+    for array draws plus a ``random.Random`` for capacity sampling — runs
+    are bit-reproducible per seed *within this engine*, but not against the
+    replica engines; see the module docstring), and ``profile`` accumulates
+    wall-clock per-phase timings in ``phase_seconds``.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        behaviors: Sequence[PeerBehavior],
+        groups: Optional[Sequence[str]] = None,
+        seed: Optional[int] = None,
+        profile: bool = False,
+    ):
+        self.config = config
+        self._variable = config.is_variable_population
+        self._population = config.population if self._variable else None
+        dynamics = config.dynamics
+        if dynamics is not None and dynamics.is_trivial():
+            dynamics = None
+        self._dynamics = dynamics
+
+        self._rng = np.random.default_rng(seed)
+        # Capacity draws go through BandwidthDistribution.sample, which
+        # expects a stdlib Random; an independent deterministic stream.
+        self._py_rng = random.Random(seed)
+        self._distribution = config.distribution()
+
+        n = config.n_peers
+        behaviors = list(behaviors)
+        if len(behaviors) == 1:
+            behaviors = behaviors * n
+        if len(behaviors) != n:
+            raise ValueError(
+                f"expected 1 or {n} behaviors, got {len(behaviors)}"
+            )
+        if groups is None:
+            group_labels = ["default"] * n
+        else:
+            group_labels = list(groups)
+            if len(group_labels) == 1:
+                group_labels = group_labels * n
+            if len(group_labels) != n:
+                raise ValueError(
+                    f"expected 1 or {n} group labels, got {len(group_labels)}"
+                )
+
+        # ---- behaviour / group registries ----------------------------- #
+        # Every behaviour and group label the run can ever reference is
+        # known at construction (initial population, arrival overrides,
+        # scenario shifts), so the per-code lookup tables are frozen here.
+        self._b_objects: List[PeerBehavior] = []
+        self._b_index: Dict[PeerBehavior, int] = {}
+        self._g_labels: List[str] = []
+        self._g_index: Dict[str, int] = {}
+
+        init_bcodes = np.array(
+            [self._register_behavior(b) for b in behaviors], dtype=np.int64
+        )
+        init_gcodes = np.array(
+            [self._register_group(g) for g in group_labels], dtype=np.int64
+        )
+        self._init_bcode_pattern = init_bcodes
+        self._init_gcode_pattern = init_gcodes
+
+        if self._population is not None:
+            arrival = self._population.arrival
+            if arrival.behavior is not None:
+                self._register_behavior(arrival.behavior)
+            if arrival.group is not None:
+                self._register_group(arrival.group)
+
+        # Behaviour shifts grouped by round, with codes precomputed.
+        self._shifts_by_round: Dict[int, list] = {}
+        if dynamics is not None:
+            for shift in dynamics.behavior_shifts:
+                bcode = self._register_behavior(shift.behavior)
+                gcode = (
+                    self._register_group(shift.group)
+                    if shift.group is not None
+                    else None
+                )
+                self._shifts_by_round.setdefault(shift.round, []).append(
+                    (np.array(shift.peer_ids, dtype=np.int64), bcode, gcode)
+                )
+
+        self._freeze_tables()
+
+        # ---- dense peer-id-indexed state ------------------------------ #
+        capacity0 = max(16, 2 * n)
+        self._alloc_len = capacity0
+        self._capacity = np.zeros(capacity0)
+        self._aspiration = np.zeros(capacity0)
+        self._bcode = np.zeros(capacity0, dtype=np.int64)
+        self._gcode = np.zeros(capacity0, dtype=np.int64)
+        self._cohort = np.zeros(capacity0, dtype=np.int64)
+        self._joined = np.zeros(capacity0, dtype=np.int64)
+        self._departed = np.full(capacity0, -1, dtype=np.int64)
+        self._presence = np.zeros(capacity0, dtype=np.int64)
+        self._m_down = np.zeros(capacity0)
+        self._m_up = np.zeros(capacity0)
+
+        pinned = dynamics.initial_capacities if dynamics is not None else None
+        if pinned is not None:
+            caps = np.array(pinned, dtype=np.float64)
+        else:
+            caps = np.array(
+                self._distribution.sample_population(n, self._py_rng),
+                dtype=np.float64,
+            )
+        self._capacity[:n] = caps
+        self._bcode[:n] = init_bcodes
+        self._gcode[:n] = init_gcodes
+        self._aspiration[:n] = caps / self._b_slots[init_bcodes]
+
+        self._next_id = n
+        self._active_ids = np.arange(n, dtype=np.int64)
+
+        # ---- relational state as COO edge lists ----------------------- #
+        self._hist_prev: Tuple[np.ndarray, np.ndarray, np.ndarray] = (
+            _EMPTY_I, _EMPTY_I, _EMPTY_F,
+        )
+        self._hist_old: Tuple[np.ndarray, np.ndarray, np.ndarray] = (
+            _EMPTY_I, _EMPTY_I, _EMPTY_F,
+        )
+        # Loyalty streaks: (sorted pair keys, streak values), keyed by
+        # ``_pair_keys(receiver, sender)``.
+        self._streak: Tuple[np.ndarray, np.ndarray] = (_EMPTY_I, _EMPTY_I)
+        self._pending: Tuple[np.ndarray, np.ndarray] = (_EMPTY_I, _EMPTY_I)
+
+        self._churn_events = 0
+        self._explicit_refusals = 0
+        self._arrivals = 0
+        self._departures = 0
+        self._active_counts: List[int] = []
+
+        # Legacy-shaped results: fixed-population runs, and the degenerate
+        # variable bundle (no arrivals, replacement departures) — exactly
+        # the cases where the replica engines emit legacy records.
+        self._legacy_records = self._population is None or (
+            self._population.arrival.is_none()
+            and self._population.departure.mode == "replace"
+        )
+
+        self._profile = profile
+        #: Wall-clock seconds per round phase, populated when ``profile``.
+        self.phase_seconds: Dict[str, float] = {
+            "population": 0.0,
+            "decision": 0.0,
+            "transfer": 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # registries
+    # ------------------------------------------------------------------ #
+    def _register_behavior(self, behavior: PeerBehavior) -> int:
+        code = self._b_index.get(behavior)
+        if code is None:
+            code = len(self._b_objects)
+            self._b_index[behavior] = code
+            self._b_objects.append(behavior)
+        return code
+
+    def _register_group(self, label: str) -> int:
+        code = self._g_index.get(label)
+        if code is None:
+            code = len(self._g_labels)
+            self._g_index[label] = code
+            self._g_labels.append(label)
+        return code
+
+    def _freeze_tables(self) -> None:
+        bs = self._b_objects
+        self._b_window = np.array([b.candidate_window for b in bs], dtype=np.int64)
+        self._b_k = np.array([b.partner_count for b in bs], dtype=np.int64)
+        self._b_rank = np.array([_RANK_CODES[b.ranking] for b in bs], dtype=np.int64)
+        self._b_alloc = np.array(
+            [_ALLOC_CODES[b.allocation] for b in bs], dtype=np.int64
+        )
+        self._b_spol = np.array(
+            [_SPOL_CODES[b.stranger_policy] for b in bs], dtype=np.int64
+        )
+        self._b_h = np.array([b.stranger_count for b in bs], dtype=np.int64)
+        self._b_period = np.array([b.stranger_period for b in bs], dtype=np.int64)
+        self._b_slots = np.array(
+            [max(1, b.total_slots) for b in bs], dtype=np.int64
+        )
+        self._b_labels = [b.label() for b in bs]
+
+        n_groups = len(self._g_labels)
+        self._g_extra = np.zeros(n_groups)
+        self._g_whitewash = np.ones(n_groups, dtype=bool)
+        if self._population is not None:
+            extra = self._population.departure.extra_rates()
+            if extra:
+                for label, surcharge in extra.items():
+                    code = self._g_index.get(label)
+                    if code is not None:
+                        self._g_extra[code] = surcharge
+            targeted = self._population.arrival.whitewash_groups
+            if targeted:
+                self._g_whitewash[:] = False
+                for label in targeted:
+                    code = self._g_index.get(label)
+                    if code is not None:
+                        self._g_whitewash[code] = True
+
+    # ------------------------------------------------------------------ #
+    # dense-state growth
+    # ------------------------------------------------------------------ #
+    def _ensure(self, needed: int) -> None:
+        if needed <= self._alloc_len:
+            return
+        new_len = self._alloc_len
+        while new_len < needed:
+            new_len *= 2
+        pad = new_len - self._alloc_len
+        self._capacity = np.concatenate([self._capacity, np.zeros(pad)])
+        self._aspiration = np.concatenate([self._aspiration, np.zeros(pad)])
+        self._bcode = np.concatenate(
+            [self._bcode, np.zeros(pad, dtype=np.int64)]
+        )
+        self._gcode = np.concatenate(
+            [self._gcode, np.zeros(pad, dtype=np.int64)]
+        )
+        self._cohort = np.concatenate(
+            [self._cohort, np.zeros(pad, dtype=np.int64)]
+        )
+        self._joined = np.concatenate(
+            [self._joined, np.zeros(pad, dtype=np.int64)]
+        )
+        self._departed = np.concatenate(
+            [self._departed, np.full(pad, -1, dtype=np.int64)]
+        )
+        self._presence = np.concatenate(
+            [self._presence, np.zeros(pad, dtype=np.int64)]
+        )
+        self._m_down = np.concatenate([self._m_down, np.zeros(pad)])
+        self._m_up = np.concatenate([self._m_up, np.zeros(pad)])
+        self._alloc_len = new_len
+
+    # ------------------------------------------------------------------ #
+    # relational-state maintenance
+    # ------------------------------------------------------------------ #
+    def _forget(self, gone: np.ndarray) -> None:
+        """Erase ``gone`` identities from history, streaks and pending.
+
+        Dropping edges on *both* sides covers every forgetting rule of the
+        replica engines at once: the departed/churned identity's own state
+        is cleared (it is the receiver side of its history and streaks) and
+        every survivor forgets it (the sender side, and either side of a
+        pending pair).
+        """
+        gone_mask = np.zeros(self._next_id, dtype=bool)
+        gone_mask[gone] = True
+        for attr in ("_hist_prev", "_hist_old"):
+            recv, send, amt = getattr(self, attr)
+            if recv.size:
+                keep = ~(gone_mask[recv] | gone_mask[send])
+                if not keep.all():
+                    setattr(self, attr, (recv[keep], send[keep], amt[keep]))
+        s_keys, s_val = self._streak
+        if s_keys.size:
+            keep = ~(
+                gone_mask[s_keys >> _KEY_SHIFT] | gone_mask[s_keys & _KEY_MASK]
+            )
+            if not keep.all():
+                self._streak = (s_keys[keep], s_val[keep])
+        p_tgt, p_req = self._pending
+        if p_tgt.size:
+            keep = ~(gone_mask[p_tgt] | gone_mask[p_req])
+            if not keep.all():
+                self._pending = (p_tgt[keep], p_req[keep])
+
+    def _streak_lookup(self, recv: np.ndarray, send: np.ndarray) -> np.ndarray:
+        """Current loyalty streak per (recv, send) pair (0 when absent)."""
+        out = np.zeros(recv.size)
+        s_keys, s_val = self._streak
+        if s_keys.size and recv.size:
+            query = _pair_keys(recv, send)
+            j = np.minimum(np.searchsorted(s_keys, query), s_keys.size - 1)
+            hit = s_keys[j] == query
+            out[hit] = s_val[j[hit]]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # population step
+    # ------------------------------------------------------------------ #
+    def _sample_capacities(self, count: int) -> np.ndarray:
+        return np.array(
+            self._distribution.sample_population(count, self._py_rng),
+            dtype=np.float64,
+        )
+
+    def _apply_replacement(self, churned: np.ndarray, round_index: int) -> None:
+        """Replacement churn: fresh identity takes over the slot in place."""
+        caps = self._sample_capacities(churned.size)
+        self._capacity[churned] = caps
+        self._aspiration[churned] = caps / self._b_slots[self._bcode[churned]]
+        self._joined[churned] = round_index
+        self._forget(churned)
+        self._churn_events += churned.size
+
+    def _spawn_batch(
+        self,
+        caps: np.ndarray,
+        bcodes: np.ndarray,
+        gcodes: np.ndarray,
+        cohort: int,
+        round_index: int,
+    ) -> None:
+        count = caps.size
+        if count == 0:
+            return
+        start = self._next_id
+        end = start + count
+        self._ensure(end)
+        idx = np.arange(start, end, dtype=np.int64)
+        self._capacity[idx] = caps
+        self._bcode[idx] = bcodes
+        self._gcode[idx] = gcodes
+        self._cohort[idx] = cohort
+        self._joined[idx] = round_index
+        self._aspiration[idx] = caps / self._b_slots[bcodes]
+        self._next_id = end
+        self._active_ids = np.concatenate([self._active_ids, idx])
+        self._arrivals += count
+        self._churn_events += count
+
+    def _spawn_arrivals(self, count: int, round_index: int) -> None:
+        if count <= 0:
+            return
+        arrival = self._population.arrival
+        idx = np.arange(self._next_id, self._next_id + count, dtype=np.int64)
+        cycle = idx % self.config.n_peers
+        if arrival.behavior is not None:
+            bcodes = np.full(count, self._b_index[arrival.behavior], dtype=np.int64)
+        else:
+            bcodes = self._init_bcode_pattern[cycle]
+        if arrival.group is not None:
+            gcodes = np.full(count, self._g_index[arrival.group], dtype=np.int64)
+        else:
+            gcodes = self._init_gcode_pattern[cycle]
+        self._spawn_batch(
+            self._sample_capacities(count), bcodes, gcodes,
+            _COHORT_ARRIVAL, round_index,
+        )
+
+    def _admissible(self, requested: int) -> int:
+        cap = self._population.max_active
+        if cap <= 0:
+            return requested
+        return max(0, min(requested, cap - self._active_ids.size))
+
+    def _population_step_variable(self, round_index: int) -> None:
+        population = self._population
+        departure = population.departure
+        arrival = population.arrival
+        ids = self._active_ids
+        n = ids.size
+
+        if departure.rate > 0.0 or departure.group_rates:
+            if departure.mode == "replace":
+                mask = self._rng.random(n) < departure.rate
+                churned = ids[mask]
+                if churned.size:
+                    self._apply_replacement(churned, round_index)
+            else:
+                if departure.group_rates:
+                    probs = departure.rate + self._g_extra[self._gcode[ids]]
+                    mask = self._rng.random(n) < probs
+                else:
+                    mask = self._rng.random(n) < departure.rate
+                if mask.any():
+                    allowed = n - departure.min_active
+                    if allowed <= 0:
+                        mask[:] = False
+                    else:
+                        chosen = np.nonzero(mask)[0]
+                        if chosen.size > allowed:
+                            # Keep the earliest draws in active order, as
+                            # the reference truncation does.
+                            mask[chosen[allowed:]] = False
+                if mask.any():
+                    departed = ids[mask]
+                    self._departed[departed] = round_index
+                    self._departures += departed.size
+                    self._churn_events += departed.size
+                    self._active_ids = ids[~mask]
+                    self._forget(departed)
+                    if arrival.kind == "whitewash":
+                        eligible = departed[
+                            self._g_whitewash[self._gcode[departed]]
+                        ]
+                        if eligible.size:
+                            rejoin = eligible[
+                                self._rng.random(eligible.size) < arrival.rate
+                            ]
+                            if rejoin.size:
+                                self._spawn_batch(
+                                    self._capacity[rejoin],
+                                    self._bcode[rejoin],
+                                    self._gcode[rejoin],
+                                    _COHORT_WHITEWASH,
+                                    round_index,
+                                )
+
+        if arrival.kind == "poisson":
+            if round_index >= arrival.start:
+                count = self._admissible(int(self._rng.poisson(arrival.rate)))
+                self._spawn_arrivals(count, round_index)
+        elif arrival.kind == "flash":
+            count = self._admissible(arrival.flash_count_for_round(round_index))
+            self._spawn_arrivals(count, round_index)
+
+    def _population_step_fixed(self, round_index: int) -> None:
+        dynamics = self._dynamics
+        churn_rate = self.config.churn_rate
+        if dynamics is not None:
+            for peer_ids, bcode, gcode in self._shifts_by_round.get(
+                round_index, ()
+            ):
+                self._bcode[peer_ids] = bcode
+                if gcode is not None:
+                    self._gcode[peer_ids] = gcode
+            extra = dynamics.extra_rate(round_index)
+            if extra > 0.0:
+                churn_rate = min(churn_rate + extra, 1.0 - 1e-9)
+
+        ids = self._active_ids
+        churned = _EMPTY_I
+        if churn_rate > 0.0:
+            mask = self._rng.random(ids.size) < churn_rate
+            churned = ids[mask]
+            if churned.size:
+                self._apply_replacement(churned, round_index)
+        if dynamics is not None:
+            fraction = dynamics.correlated_fraction(round_index)
+            if fraction > 0.0:
+                count = round(fraction * ids.size)
+                if count < 1:
+                    count = 1
+                pool = ids[~np.isin(ids, churned)] if churned.size else ids
+                if pool.size:
+                    if count > pool.size:
+                        count = pool.size
+                    batch = self._rng.choice(pool, size=count, replace=False)
+                    self._apply_replacement(batch, round_index)
+
+    # ------------------------------------------------------------------ #
+    # vectorised sampling helpers
+    # ------------------------------------------------------------------ #
+    def _sample_others(self, rows: np.ndarray, size: int, n: int) -> np.ndarray:
+        """Per row, ``size`` distinct locals from [0, n) excluding the row.
+
+        Column-by-column rejection resampling: each accepted column value is
+        uniform over the remaining eligible locals, which is exactly
+        sampling without replacement.
+        """
+        out = np.empty((rows.size, size), dtype=np.int64)
+        for column in range(size):
+            draw = self._rng.integers(0, n, size=rows.size)
+            while True:
+                bad = draw == rows
+                if column:
+                    bad |= (draw[:, None] == out[:, :column]).any(axis=1)
+                redo = np.nonzero(bad)[0]
+                if redo.size == 0:
+                    break
+                draw[redo] = self._rng.integers(0, n, size=redo.size)
+            out[:, column] = draw
+        return out
+
+    def _draw_requests(
+        self,
+        ids: np.ndarray,
+        n: int,
+        n_partners: np.ndarray,
+        partner_keys: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Next round's pending ``(target, requester)`` pairs.
+
+        Each peer requests ``requests_per_round`` distinct targets drawn
+        uniformly from the active peers that are neither itself nor one of
+        its current partners.
+        """
+        requests = self.config.requests_per_round
+        eligible = (n - 1) - n_partners
+        rows = np.nonzero(eligible > 0)[0]
+        if rows.size == 0:
+            return _EMPTY_I, _EMPTY_I
+        targets: List[np.ndarray] = []
+        requesters: List[np.ndarray] = []
+        quota = np.minimum(requests, eligible[rows])
+        max_quota = int(quota.max())
+        chosen = np.full((rows.size, max_quota), -1, dtype=np.int64)
+        for column in range(max_quota):
+            live = np.nonzero(quota > column)[0]
+            if live.size == 0:
+                break
+            draw = self._rng.integers(0, n, size=live.size)
+            row_locals = rows[live]
+            for _ in range(_MAX_RESAMPLE_ROUNDS):
+                bad = draw == row_locals
+                bad |= _member(
+                    _pair_keys(ids[row_locals], ids[draw]), partner_keys
+                )
+                if column:
+                    bad |= (draw[:, None] == chosen[live, :column]).any(axis=1)
+                redo = np.nonzero(bad)[0]
+                if redo.size == 0:
+                    break
+                draw[redo] = self._rng.integers(0, n, size=redo.size)
+            else:
+                # Tiny eligible pools: finish the stragglers exactly.
+                partner_set = set(partner_keys.tolist())
+                for local_idx in np.nonzero(bad)[0]:
+                    row_local = int(row_locals[local_idx])
+                    taken = set(chosen[live[local_idx], :column].tolist())
+                    options = [
+                        t
+                        for t in range(n)
+                        if t != row_local
+                        and t not in taken
+                        and (int(ids[row_local]) << _KEY_SHIFT)
+                        | int(ids[t]) not in partner_set
+                    ]
+                    draw[local_idx] = self._py_rng.choice(options)
+            chosen[live, column] = draw
+            targets.append(ids[draw])
+            requesters.append(ids[row_locals])
+        if not targets:
+            return _EMPTY_I, _EMPTY_I
+        return np.concatenate(targets), np.concatenate(requesters)
+
+    # ------------------------------------------------------------------ #
+    # round processing
+    # ------------------------------------------------------------------ #
+    def _run_round(self, round_index: int) -> None:
+        profile = self._profile
+        if profile:
+            tick = perf_counter()
+        if self._variable:
+            self._population_step_variable(round_index)
+        else:
+            self._population_step_fixed(round_index)
+        if profile:
+            now = perf_counter()
+            self.phase_seconds["population"] += now - tick
+            tick = now
+
+        config = self.config
+        ids = self._active_ids
+        n = ids.size
+        self._active_counts.append(n)
+        measuring = round_index >= config.warmup_rounds
+        if measuring and not self._legacy_records:
+            self._presence[ids] += 1
+
+        id_bound = self._next_id
+        pos = np.full(id_bound, -1, dtype=np.int64)
+        pos[ids] = np.arange(n, dtype=np.int64)
+
+        bcodes = self._bcode[ids]
+        window = self._b_window[bcodes]
+        k = self._b_k[bcodes]
+
+        # ---- candidate edges (dimension C) ---------------------------- #
+        prev_r, prev_s, prev_a = self._hist_prev
+        old_r, old_s, old_a = self._hist_old
+        if old_r.size:
+            in_window = self._b_window[self._bcode[old_r]] == 2
+            old_r, old_s, old_a = (
+                old_r[in_window], old_s[in_window], old_a[in_window],
+            )
+        if prev_r.size or old_r.size:
+            recv = np.concatenate([prev_r, old_r])
+            send = np.concatenate([prev_s, old_s])
+            amt = np.concatenate([prev_a, old_a])
+            keys = _pair_keys(recv, send)
+            cand_keys, inverse = np.unique(keys, return_inverse=True)
+            cand_val = np.bincount(
+                inverse, weights=amt, minlength=cand_keys.size
+            )
+            cand_recv = cand_keys >> _KEY_SHIFT
+            cand_send = cand_keys & _KEY_MASK
+        else:
+            cand_keys = _EMPTY_I
+            cand_val = _EMPTY_F
+            cand_recv = _EMPTY_I
+            cand_send = _EMPTY_I
+
+        # ---- ranking (I) and partner selection ------------------------ #
+        n_edges = cand_recv.size
+        if n_edges:
+            edge_local = pos[cand_recv]
+            rate = cand_val / window[edge_local]
+            rank = self._b_rank[self._bcode[cand_recv]]
+            primary = np.zeros(n_edges)
+            secondary = np.zeros(n_edges)
+            m = rank == 0  # fastest: highest rate first
+            primary[m] = -rate[m]
+            m = rank == 1  # slowest
+            primary[m] = rate[m]
+            m = rank == 2  # proximity to own per-slot rate
+            if m.any():
+                target = (
+                    self._capacity[cand_recv[m]]
+                    / self._b_slots[self._bcode[cand_recv[m]]]
+                )
+                primary[m] = np.abs(rate[m] - target)
+            m = rank == 3  # adaptive: proximity to aspiration
+            if m.any():
+                primary[m] = np.abs(
+                    rate[m] - self._aspiration[cand_recv[m]]
+                )
+            m = rank == 4  # loyal: longest active streak, then fastest
+            if m.any():
+                primary[m] = -self._streak_lookup(cand_recv[m], cand_send[m])
+                secondary[m] = -rate[m]
+            # rank == 5 (random): all keys zero, the tie-break decides.
+            tie = self._rng.random(n_edges)
+            order = np.lexsort((tie, secondary, primary, edge_local))
+            sorted_local = edge_local[order]
+            cand_count = np.bincount(edge_local, minlength=n)
+            within = (
+                np.arange(n_edges, dtype=np.int64)
+                - _group_offsets(cand_count)[sorted_local]
+            )
+            selected = order[within < k[sorted_local]]
+            part_recv = cand_recv[selected]
+            part_dst = cand_send[selected]
+            part_val = cand_val[selected]
+        else:
+            part_recv = _EMPTY_I
+            part_dst = _EMPTY_I
+            part_val = _EMPTY_F
+
+        n_partners = np.bincount(pos[part_recv], minlength=n)
+        partner_keys = np.sort(_pair_keys(part_recv, part_dst))
+
+        # ---- stranger policy (B) -------------------------------------- #
+        spol = self._b_spol[bcodes]
+        h = self._b_h[bcodes]
+        coop_now = np.zeros(n, dtype=bool)
+        m = spol == 1  # periodic
+        if m.any():
+            coop_now[m] = (round_index % self._b_period[bcodes[m]]) == 0
+        m = spol == 2  # when_needed
+        if m.any():
+            coop_now[m] = n_partners[m] < k[m]
+        defect = spol == 3
+
+        pend_tgt, pend_req = self._pending
+        pool_peer = _EMPTY_I
+        pool_cand = _EMPTY_I
+        pool_isreq = _EMPTY_F
+        if pend_tgt.size:
+            pend_local = pos[pend_tgt]
+            from_pending = coop_now[pend_local]
+            if from_pending.any():
+                pool_peer = pend_tgt[from_pending]
+                pool_cand = pend_req[from_pending]
+                pool_isreq = np.ones(pool_peer.size)
+        discovery = config.discovery_per_round
+        coop_rows = np.nonzero(coop_now)[0]
+        if discovery > 0 and n > 1 and coop_rows.size:
+            sample_size = min(discovery, n - 1)
+            sampled = self._sample_others(coop_rows, sample_size, n)
+            sampled_peer = np.repeat(ids[coop_rows], sample_size)
+            sampled_cand = ids[sampled.ravel()]
+            pool_peer = np.concatenate([pool_peer, sampled_peer])
+            pool_cand = np.concatenate([pool_cand, sampled_cand])
+            pool_isreq = np.concatenate(
+                [pool_isreq, np.zeros(sampled_peer.size)]
+            )
+
+        if pool_peer.size:
+            pool_keys = _pair_keys(pool_peer, pool_cand)
+            keep = ~(
+                _member(pool_keys, partner_keys)
+                | _member(pool_keys, cand_keys)
+            )
+            pool_keys = pool_keys[keep]
+            pool_isreq = pool_isreq[keep]
+        if pool_peer.size and pool_keys.size:
+            unique_keys, inverse = np.unique(pool_keys, return_inverse=True)
+            is_requester = (
+                np.bincount(
+                    inverse, weights=pool_isreq, minlength=unique_keys.size
+                )
+                > 0
+            )
+            stranger_peer = unique_keys >> _KEY_SHIFT
+            stranger_cand = unique_keys & _KEY_MASK
+            stranger_local = pos[stranger_peer]
+            tie = self._rng.random(unique_keys.size)
+            order = np.lexsort(
+                (tie, np.where(is_requester, 0, 1), stranger_local)
+            )
+            sorted_local = stranger_local[order]
+            counts = np.bincount(stranger_local, minlength=n)
+            within = (
+                np.arange(unique_keys.size, dtype=np.int64)
+                - _group_offsets(counts)[sorted_local]
+            )
+            selected = order[within < h[sorted_local]]
+            coop_peer = stranger_peer[selected]
+            coop_dst = stranger_cand[selected]
+        else:
+            coop_peer = _EMPTY_I
+            coop_dst = _EMPTY_I
+        n_coop = np.bincount(pos[coop_peer], minlength=n)
+
+        # Defect: explicitly refuse up to max(1, h) surviving requesters.
+        refuse_peer = _EMPTY_I
+        refuse_dst = _EMPTY_I
+        if pend_tgt.size and defect.any():
+            from_pending = defect[pos[pend_tgt]]
+            if from_pending.any():
+                rf_peer = pend_tgt[from_pending]
+                rf_cand = pend_req[from_pending]
+                rf_keys = _pair_keys(rf_peer, rf_cand)
+                keep = ~(
+                    _member(rf_keys, partner_keys)
+                    | _member(rf_keys, cand_keys)
+                )
+                rf_peer = rf_peer[keep]
+                rf_cand = rf_cand[keep]
+                if rf_peer.size:
+                    rf_local = pos[rf_peer]
+                    tie = self._rng.random(rf_peer.size)
+                    order = np.lexsort((tie, rf_local))
+                    sorted_local = rf_local[order]
+                    counts = np.bincount(rf_local, minlength=n)
+                    within = (
+                        np.arange(rf_peer.size, dtype=np.int64)
+                        - _group_offsets(counts)[sorted_local]
+                    )
+                    cutoff = np.maximum(h, 1)
+                    selected = order[within < cutoff[sorted_local]]
+                    refuse_peer = rf_peer[selected]
+                    refuse_dst = rf_cand[selected]
+                    self._explicit_refusals += refuse_peer.size
+
+        # ---- allocation (R) ------------------------------------------- #
+        active_slots = n_partners + n_coop
+        cap_active = self._capacity[ids]
+        per_slot = np.zeros(n)
+        has_slots = active_slots > 0
+        per_slot[has_slots] = cap_active[has_slots] / active_slots[has_slots]
+        stranger_budget = np.minimum(
+            per_slot * n_coop, config.stranger_bandwidth_cap * cap_active
+        )
+        coop_share = np.zeros(n)
+        has_coop = n_coop > 0
+        coop_share[has_coop] = stranger_budget[has_coop] / n_coop[has_coop]
+        coop_amt = coop_share[pos[coop_peer]]
+
+        part_amt = np.zeros(part_recv.size)
+        if part_recv.size:
+            part_local = pos[part_recv]
+            alloc = self._b_alloc[self._bcode[part_recv]]
+            m = alloc == 0  # equal_split
+            part_amt[m] = per_slot[part_local[m]]
+            m = alloc == 1  # prop_share
+            if m.any():
+                contrib_total = np.bincount(
+                    part_local[m], weights=part_val[m], minlength=n
+                )
+                edge_total = contrib_total[part_local[m]]
+                budget = per_slot[part_local[m]] * n_partners[part_local[m]]
+                share = np.zeros(edge_total.size)
+                positive = edge_total > 0
+                share[positive] = (
+                    budget[positive]
+                    * part_val[m][positive]
+                    / edge_total[positive]
+                )
+                part_amt[m] = share
+            # alloc == 2 (freeride): zero-amount interactions.
+
+        if profile:
+            now = perf_counter()
+            self.phase_seconds["decision"] += now - tick
+            tick = now
+
+        # ---- transfer phase ------------------------------------------- #
+        t_src = np.concatenate([coop_peer, part_recv, refuse_peer])
+        t_dst = np.concatenate([coop_dst, part_dst, refuse_dst])
+        t_amt = np.concatenate(
+            [coop_amt, part_amt, np.zeros(refuse_peer.size)]
+        )
+
+        self._hist_old = self._hist_prev
+        self._hist_prev = (t_dst, t_src, t_amt)
+
+        gave = t_amt > 0.0
+        if gave.any():
+            down = np.bincount(
+                t_dst[gave], weights=t_amt[gave], minlength=id_bound
+            )
+            up = np.bincount(
+                t_src[gave], weights=t_amt[gave], minlength=id_bound
+            )
+            if measuring:
+                self._m_down[:id_bound] += down
+                self._m_up[:id_bound] += up
+            giver_dst = t_dst[gave]
+            giver_src = t_src[gave]
+            streak = (
+                self._streak_lookup(giver_dst, giver_src) + 1
+            ).astype(np.int64)
+            streak_keys = _pair_keys(giver_dst, giver_src)
+            order = np.argsort(streak_keys)
+            self._streak = (streak_keys[order], streak[order])
+        else:
+            self._streak = (_EMPTY_I, _EMPTY_I)
+
+        received = np.bincount(pos[t_dst], weights=t_amt, minlength=n)
+        smoothing = config.aspiration_smoothing
+        self._aspiration[ids] = (1.0 - smoothing) * self._aspiration[
+            ids
+        ] + smoothing * (received / self._b_slots[bcodes])
+
+        if config.requests_per_round > 0 and n > 1:
+            self._pending = self._draw_requests(ids, n, n_partners, partner_keys)
+        else:
+            self._pending = (_EMPTY_I, _EMPTY_I)
+        if profile:
+            self.phase_seconds["transfer"] += perf_counter() - tick
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Execute all rounds and return the :class:`SimulationResult`."""
+        for round_index in range(self.config.rounds):
+            self._run_round(round_index)
+
+        legacy = self._legacy_records
+        records: List[PeerRecord] = []
+        for pid in range(self._next_id):
+            if legacy:
+                record = PeerRecord(
+                    peer_id=pid,
+                    group=self._g_labels[self._gcode[pid]],
+                    upload_capacity=float(self._capacity[pid]),
+                    behavior_label=self._b_labels[self._bcode[pid]],
+                    downloaded=float(self._m_down[pid]),
+                    uploaded=float(self._m_up[pid]),
+                )
+            else:
+                departed = int(self._departed[pid])
+                record = PeerRecord(
+                    peer_id=pid,
+                    group=self._g_labels[self._gcode[pid]],
+                    upload_capacity=float(self._capacity[pid]),
+                    behavior_label=self._b_labels[self._bcode[pid]],
+                    downloaded=float(self._m_down[pid]),
+                    uploaded=float(self._m_up[pid]),
+                    cohort=_COHORT_LABELS[self._cohort[pid]],
+                    joined_round=int(self._joined[pid]),
+                    departed_round=departed if departed >= 0 else None,
+                    rounds_present=int(self._presence[pid]),
+                )
+            records.append(record)
+        return SimulationResult(
+            config=self.config,
+            records=records,
+            rounds_executed=self.config.rounds,
+            churn_events=self._churn_events,
+            total_explicit_refusals=self._explicit_refusals,
+            active_counts=None if legacy else tuple(self._active_counts),
+            total_arrivals=self._arrivals,
+            total_departures=self._departures,
+        )

@@ -9,7 +9,9 @@ The paper's analysis section relies on a small set of statistical tools:
 * empirical CDF / complementary CDF curves (Figure 5),
 * 2-D histograms of a score against a design parameter (Figures 3 and 4),
 * simple summary statistics with confidence intervals (error bars of
-  Figures 9 and 10).
+  Figures 9 and 10),
+* two-sample statistical-equivalence primitives (KS tests, relative
+  tolerances) gating the ``vec`` engine against the replica engines.
 
 All of these are implemented here on top of numpy/scipy so the experiment
 drivers stay small and testable.
@@ -21,6 +23,12 @@ from repro.stats.distribution import (
     ecdf,
     histogram2d_frequency,
     normalized_histogram,
+)
+from repro.stats.equivalence import (
+    ks_critical_value,
+    ks_statistic,
+    ks_two_sample_passes,
+    relative_difference,
 )
 from repro.stats.regression import (
     DesignMatrix,
@@ -43,6 +51,10 @@ __all__ = [
     "ecdf",
     "histogram2d_frequency",
     "normalized_histogram",
+    "ks_critical_value",
+    "ks_statistic",
+    "ks_two_sample_passes",
+    "relative_difference",
     "DesignMatrix",
     "RegressionResult",
     "RegressionTerm",

@@ -1,0 +1,94 @@
+"""Two-sample statistical-equivalence primitives.
+
+The ``vec`` engine samples the same stochastic process as the replica
+engines but with different random draws, so its gate is distributional
+rather than bit-identical: the ``tests/statistical/`` harness compares
+seed-batch outputs of ``vec`` and ``fast`` with the helpers here.
+
+Only numpy is assumed (the CI environment has no scipy), so the
+Kolmogorov–Smirnov machinery is implemented directly: the two-sample KS
+statistic via a merged-ECDF sweep, and the classical large-sample rejection
+threshold
+
+    ``D_crit = c(alpha) * sqrt((n + m) / (n * m))``,
+    ``c(alpha) = sqrt(-ln(alpha / 2) / 2)``,
+
+which is the Smirnov asymptotic approximation — conservative enough for the
+batch sizes the harness uses (tens of seeds, hundreds of pooled peers).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ks_statistic",
+    "ks_critical_value",
+    "ks_two_sample_passes",
+    "relative_difference",
+]
+
+
+def ks_statistic(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic ``sup_x |F_a(x) - F_b(x)|``.
+
+    Raises
+    ------
+    ValueError
+        If either sample is empty.
+    """
+    a = np.sort(np.asarray(sample_a, dtype=float))
+    b = np.sort(np.asarray(sample_b, dtype=float))
+    if a.size == 0 or b.size == 0:
+        raise ValueError("ks_statistic requires two non-empty samples")
+    # Evaluate both ECDFs at every observed point: F(x) = P(X <= x).
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def ks_critical_value(n: int, m: int, alpha: float = 0.01) -> float:
+    """Rejection threshold for the two-sample KS statistic at level ``alpha``.
+
+    Values of :func:`ks_statistic` above this reject the hypothesis that the
+    two samples come from the same distribution.
+    """
+    if n < 1 or m < 1:
+        raise ValueError("both sample sizes must be >= 1")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    c_alpha = math.sqrt(-0.5 * math.log(alpha / 2.0))
+    return c_alpha * math.sqrt((n + m) / (n * m))
+
+
+def ks_two_sample_passes(
+    sample_a: Sequence[float],
+    sample_b: Sequence[float],
+    alpha: float = 0.01,
+) -> Tuple[bool, float, float]:
+    """KS equivalence check; returns ``(passes, statistic, critical_value)``.
+
+    ``passes`` is ``True`` when the samples are *not* distinguishable at
+    level ``alpha`` — the acceptance direction the equivalence harness
+    wants, so a drifting engine fails loudly.
+    """
+    statistic = ks_statistic(sample_a, sample_b)
+    critical = ks_critical_value(len(sample_a), len(sample_b), alpha)
+    return statistic <= critical, statistic, critical
+
+
+def relative_difference(value_a: float, value_b: float) -> float:
+    """``|a - b|`` scaled by the larger magnitude (0 when both are ~0).
+
+    Symmetric in its arguments and well-defined at zero, which matters for
+    metrics like departure rates that are legitimately 0.0 in churn-free
+    scenarios.
+    """
+    scale = max(abs(value_a), abs(value_b))
+    if scale <= 1e-12:
+        return 0.0
+    return abs(value_a - value_b) / scale

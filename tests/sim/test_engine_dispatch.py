@@ -1,0 +1,124 @@
+"""Engine-dispatch regressions: env-var validation and the vec route.
+
+``test_population_fast_differential.py`` covers the fast/reference dispatch
+pairs; this module adds the parts the three-engine architecture introduced:
+
+* an unknown ``REPRO_SIM_ENGINE`` value must raise a clear error at
+  resolution time instead of silently falling back to ``fast`` (the
+  original dispatch tests only exercised unknown *argument* values);
+* ``engine="vec"`` routes **every** config — fixed-slot, scenario-dynamics
+  and variable-population — onto
+  :class:`~repro.sim.population_vec.VecSimulation`;
+* the engine choice stays out of job fingerprints with ``vec`` in the
+  choice set (vec results are statistically interchangeable with the
+  replica engines', so cached entries must be shared, not split).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.jobs import SimulationJob, result_to_payload
+from repro.sim.behavior import PeerBehavior
+from repro.sim.config import SimulationConfig
+from repro.sim.dynamics import ArrivalProcess, DepartureProcess, PopulationDynamics
+from repro.sim.engine import (
+    ENGINE_CHOICES,
+    ENV_ENGINE,
+    default_engine,
+    population_engine_class,
+    set_default_engine,
+    simulate,
+)
+from repro.sim.population_vec import VecSimulation
+
+BEHAVIOR = PeerBehavior()
+
+FIXED_CONFIG = SimulationConfig(n_peers=8, rounds=12)
+
+VARIABLE_CONFIG = SimulationConfig(
+    n_peers=8,
+    rounds=16,
+    population=PopulationDynamics(
+        arrival=ArrivalProcess(kind="poisson", rate=0.4),
+        departure=DepartureProcess(rate=0.03),
+    ),
+)
+
+
+@pytest.fixture
+def pristine_engine():
+    """Reset the process-wide default engine around a test."""
+    set_default_engine(None)
+    yield
+    set_default_engine(None)
+
+
+class TestUnknownEnvEngine:
+    def test_unknown_env_value_raises_instead_of_falling_back(
+        self, pristine_engine, monkeypatch
+    ):
+        monkeypatch.setenv(ENV_ENGINE, "warp")
+        with pytest.raises(ValueError, match="unknown engine 'warp'"):
+            default_engine()
+
+    def test_unknown_env_value_fails_simulate(self, pristine_engine, monkeypatch):
+        monkeypatch.setenv(ENV_ENGINE, "warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            simulate(FIXED_CONFIG, [BEHAVIOR], seed=0)
+
+    def test_error_names_the_valid_choices(self, pristine_engine, monkeypatch):
+        monkeypatch.setenv(ENV_ENGINE, "warp")
+        with pytest.raises(ValueError, match="fast.*reference.*vec"):
+            default_engine()
+
+    def test_explicit_default_shadows_bad_env(self, pristine_engine, monkeypatch):
+        """set_default_engine wins before the env value is even inspected."""
+        monkeypatch.setenv(ENV_ENGINE, "warp")
+        set_default_engine("fast")
+        assert default_engine() == "fast"
+
+
+class TestVecDispatch:
+    def test_population_engine_class_maps_vec(self):
+        assert population_engine_class("vec") is VecSimulation
+
+    def test_env_variable_selects_vec(self, pristine_engine, monkeypatch):
+        monkeypatch.setenv(ENV_ENGINE, "vec")
+        assert default_engine() == "vec"
+        assert population_engine_class() is VecSimulation
+
+    def test_vec_argument_routes_variable_config(self):
+        via_simulate = simulate(VARIABLE_CONFIG, [BEHAVIOR], seed=2, engine="vec")
+        direct = VecSimulation(VARIABLE_CONFIG, [BEHAVIOR], seed=2).run()
+        assert result_to_payload(via_simulate) == result_to_payload(direct)
+
+    def test_vec_argument_routes_fixed_config(self):
+        via_simulate = simulate(FIXED_CONFIG, [BEHAVIOR], seed=5, engine="vec")
+        direct = VecSimulation(FIXED_CONFIG, [BEHAVIOR], seed=5).run()
+        assert result_to_payload(via_simulate) == result_to_payload(direct)
+
+    def test_vec_is_total_over_scenario_dynamics(self):
+        """The whole scenario registry must be runnable on the vec engine."""
+        from repro.scenarios import get_scenario
+
+        job = get_scenario("flash-crowd").compile(scale="smoke", seed=3)
+        assert job.config.dynamics is not None
+        groups = list(job.groups) if job.groups is not None else None
+        result = simulate(
+            job.config, list(job.behaviors), groups, seed=3, engine="vec"
+        )
+        assert result.rounds_executed == job.config.rounds
+
+    def test_vec_in_engine_choices(self):
+        assert "vec" in ENGINE_CHOICES
+
+    def test_fingerprint_is_engine_independent_with_vec(self):
+        """Engine choice must never split the result cache."""
+        job = SimulationJob(
+            config=VARIABLE_CONFIG, behaviors=(BEHAVIOR,), seed=9
+        )
+        fingerprint = job.fingerprint()
+        assert "engine" not in job.payload()["config"]
+        simulate(VARIABLE_CONFIG, [BEHAVIOR], seed=9, engine="vec")
+        assert job.fingerprint() == fingerprint

@@ -135,8 +135,8 @@ VARIABLE_CONFIG = SimulationConfig(
 
 
 class TestEngineDispatch:
-    def test_choices_are_fast_and_reference(self):
-        assert ENGINE_CHOICES == ("fast", "reference")
+    def test_choices_are_fast_reference_and_vec(self):
+        assert ENGINE_CHOICES == ("fast", "reference", "vec")
 
     def test_default_engine_is_fast(self, pristine_engine, monkeypatch):
         monkeypatch.delenv(ENV_ENGINE, raising=False)

@@ -1,0 +1,205 @@
+"""Unit tests for the vec (numpy batch) engine.
+
+Distributional agreement with the replica engines is enforced by
+``tests/statistical/``; here we pin the engine-local contracts: broadcast
+and validation rules, conservation and accounting, behavioural contrast
+(the qualitative orderings every engine must reproduce), result shapes for
+fixed/legacy/variable runs, cohort labelling, and the profiling hooks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.bandwidth import ConstantBandwidth
+from repro.sim.behavior import PeerBehavior
+from repro.sim.config import SimulationConfig
+from repro.sim.dynamics import ArrivalProcess, DepartureProcess, PopulationDynamics
+from repro.sim.population_vec import VecSimulation
+
+
+def bt_like() -> PeerBehavior:
+    return PeerBehavior(
+        stranger_policy="periodic", stranger_count=1, ranking="fastest",
+        partner_count=3, allocation="equal_split",
+    )
+
+
+def full_defector() -> PeerBehavior:
+    return PeerBehavior(
+        stranger_policy="defect", stranger_count=1, ranking="fastest",
+        partner_count=3, allocation="freeride",
+    )
+
+
+@pytest.fixture
+def config() -> SimulationConfig:
+    return SimulationConfig(n_peers=8, rounds=15, bandwidth=ConstantBandwidth(100.0))
+
+
+def whitewash_config(n_peers: int = 10, rounds: int = 25) -> SimulationConfig:
+    return SimulationConfig(
+        n_peers=n_peers,
+        rounds=rounds,
+        bandwidth=ConstantBandwidth(100.0),
+        population=PopulationDynamics(
+            arrival=ArrivalProcess(kind="whitewash", rate=0.9),
+            departure=DepartureProcess(rate=0.08, mode="shrink"),
+            max_active=3 * n_peers,
+        ),
+    )
+
+
+class TestConstruction:
+    def test_single_behavior_broadcast(self, config):
+        result = VecSimulation(config, [bt_like()], seed=0).run()
+        assert len(result.records) == config.n_peers
+
+    def test_behavior_count_mismatch_rejected(self, config):
+        with pytest.raises(ValueError):
+            VecSimulation(config, [bt_like()] * 3, seed=0)
+
+    def test_group_count_mismatch_rejected(self, config):
+        with pytest.raises(ValueError):
+            VecSimulation(config, [bt_like()], groups=["a", "b"], seed=0)
+
+    def test_capacities_drawn_from_distribution(self, config):
+        result = VecSimulation(config, [bt_like()], seed=0).run()
+        assert all(r.upload_capacity == 100.0 for r in result.records)
+
+
+class TestConservationAndAccounting:
+    def test_total_download_equals_total_upload(self, config):
+        result = VecSimulation(config, [bt_like()], seed=1).run()
+        downloaded = sum(r.downloaded for r in result.records)
+        uploaded = sum(r.uploaded for r in result.records)
+        assert downloaded == pytest.approx(uploaded)
+
+    def test_upload_never_exceeds_capacity(self, config):
+        result = VecSimulation(config, [bt_like()], seed=1).run()
+        for record in result.records:
+            assert record.uploaded <= record.upload_capacity * config.rounds + 1e-6
+
+    def test_utilization_in_unit_interval(self, config):
+        result = VecSimulation(config, [bt_like()], seed=2).run()
+        assert 0.0 <= result.utilization() <= 1.0
+
+    def test_warmup_rounds_excluded_from_metrics(self):
+        config = SimulationConfig(
+            n_peers=8, rounds=20, warmup_rounds=10, bandwidth=ConstantBandwidth(100.0)
+        )
+        full = SimulationConfig(n_peers=8, rounds=20, bandwidth=ConstantBandwidth(100.0))
+        with_warmup = VecSimulation(config, [bt_like()], seed=3).run()
+        without_warmup = VecSimulation(full, [bt_like()], seed=3).run()
+        assert sum(r.downloaded for r in with_warmup.records) < sum(
+            r.downloaded for r in without_warmup.records
+        )
+
+
+class TestBehaviouralContrast:
+    def test_cooperators_outperform_full_defectors_in_throughput(self, config):
+        cooperative = VecSimulation(config, [bt_like()], seed=4).run()
+        defecting = VecSimulation(config, [full_defector()], seed=4).run()
+        assert cooperative.throughput > defecting.throughput
+
+    def test_full_defectors_upload_nothing(self, config):
+        result = VecSimulation(config, [full_defector()], seed=5).run()
+        assert result.utilization() == 0.0
+
+    def test_explicit_refusals_counted_for_defect_policy(self, config):
+        result = VecSimulation(config, [full_defector()], seed=7).run()
+        assert result.total_explicit_refusals > 0
+
+    def test_encounter_group_metrics(self, config):
+        n = config.n_peers
+        behaviors = [bt_like()] * (n // 2) + [full_defector()] * (n - n // 2)
+        groups = ["coop"] * (n // 2) + ["defect"] * (n - n // 2)
+        result = VecSimulation(config, behaviors, groups, seed=6).run()
+        assert set(result.groups()) == {"coop", "defect"}
+        assert result.group_mean_download("coop") > result.group_mean_download("defect")
+
+
+class TestDeterminismAndChurn:
+    def test_same_seed_same_result(self, config):
+        a = VecSimulation(config, [bt_like()], seed=11).run()
+        b = VecSimulation(config, [bt_like()], seed=11).run()
+        assert [r.downloaded for r in a.records] == [r.downloaded for r in b.records]
+
+    def test_different_seeds_differ(self, config):
+        a = VecSimulation(config, [bt_like()], seed=11).run()
+        b = VecSimulation(config, [bt_like()], seed=12).run()
+        assert [r.downloaded for r in a.records] != [r.downloaded for r in b.records]
+
+    def test_churn_counted(self):
+        config = SimulationConfig(
+            n_peers=8, rounds=30, churn_rate=0.2, bandwidth=ConstantBandwidth(100.0)
+        )
+        result = VecSimulation(config, [bt_like()], seed=13).run()
+        assert result.churn_events > 0
+
+    def test_churned_population_still_transfers(self):
+        config = SimulationConfig(
+            n_peers=8, rounds=30, churn_rate=0.1, bandwidth=ConstantBandwidth(100.0)
+        )
+        result = VecSimulation(config, [bt_like()], seed=14).run()
+        assert result.throughput > 0.0
+
+
+class TestResultShapes:
+    def test_fixed_run_is_legacy_shaped(self, config):
+        result = VecSimulation(config, [bt_like()], seed=15).run()
+        assert len(result.records) == config.n_peers
+        assert result.active_counts is None
+        assert result.total_arrivals == 0
+        assert result.total_departures == 0
+        assert all(r.rounds_present is None for r in result.records)
+
+    def test_variable_run_reports_active_counts_and_cohorts(self):
+        config = whitewash_config()
+        result = VecSimulation(config, [bt_like()], seed=16).run()
+        assert result.active_counts is not None
+        assert len(result.active_counts) == config.rounds
+        assert len(result.records) == config.n_peers + result.total_arrivals
+        cohorts = {r.cohort for r in result.records}
+        assert "initial" in cohorts
+
+    def test_whitewash_rejoins_labelled_as_whitewash_cohort(self):
+        config = whitewash_config(rounds=40)
+        result = VecSimulation(config, [bt_like()], seed=17).run()
+        assert result.total_departures > 0
+        whitewashed = [r for r in result.records if r.cohort == "whitewash"]
+        assert whitewashed, "expected whitewash rejoins at rate 0.9"
+        for record in whitewashed:
+            # Rejoins are fresh identities appended after the initial block.
+            assert record.peer_id >= config.n_peers
+
+    def test_degenerate_bundle_is_legacy_shaped(self):
+        config = SimulationConfig(
+            n_peers=8,
+            rounds=12,
+            bandwidth=ConstantBandwidth(100.0),
+            population=PopulationDynamics(
+                arrival=ArrivalProcess(),
+                departure=DepartureProcess(rate=0.1, mode="replace"),
+            ),
+        )
+        result = VecSimulation(config, [bt_like()], seed=18).run()
+        assert result.active_counts is None
+        assert len(result.records) == config.n_peers
+
+
+class TestProfileHooks:
+    def test_profile_collects_phase_seconds(self):
+        sim = VecSimulation(whitewash_config(), [bt_like()], seed=1, profile=True)
+        sim.run()
+        assert set(sim.phase_seconds) == {"population", "decision", "transfer"}
+        assert all(value >= 0.0 for value in sim.phase_seconds.values())
+        assert sum(sim.phase_seconds.values()) > 0.0
+
+    def test_profiling_does_not_perturb_results(self):
+        config = whitewash_config()
+        plain = VecSimulation(config, [bt_like()], seed=3).run()
+        profiled = VecSimulation(config, [bt_like()], seed=3, profile=True).run()
+        assert [r.downloaded for r in plain.records] == [
+            r.downloaded for r in profiled.records
+        ]

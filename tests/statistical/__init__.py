@@ -1,0 +1,1 @@
+"""Statistical-equivalence suites gating engines that are not bit-identical."""

@@ -1,0 +1,230 @@
+"""Statistical-equivalence gate: ``vec`` engine vs the ``fast`` replica.
+
+The vec engine draws its randomness from a numpy ``Generator`` instead of
+the replica engines' Mersenne-Twister stream, so it cannot be pinned
+bit-identically.  Its contract is distributional: for every registered
+scenario, a deterministic batch of seeds is run through both engines and
+the batches must be statistically indistinguishable.
+
+Four checks per scenario, all on the same cached seed batch:
+
+* **seed-level KS** — two-sample KS test on the per-seed
+  ``download_per_peer_round`` samples at the classical alpha = 0.001
+  critical value (seeds are genuinely independent, so the nominal
+  threshold applies);
+* **pooled peer-rate KS** — KS statistic on per-peer download-per-round-
+  present values pooled across the batch, against a pinned per-scenario
+  threshold (peers within one run are correlated, so the nominal critical
+  value would be anti-conservative — see the calibration note below);
+* **mean / per-cohort PRA tolerance** — relative difference of the batch
+  mean download rate and of every cohort's pooled downloaded-per-peer-round
+  (the PRA measure), against pinned per-scenario tolerances;
+* **eviction-rate tolerance** — relative difference of the pooled true-
+  departure rate per round; scenarios without departures must report
+  exactly zero on both engines.
+
+Calibration of the pinned thresholds
+------------------------------------
+Thresholds were calibrated empirically on this exact seed batch (master
+seed 777, 32 repetitions, smoke scale) against two yardsticks: the
+observed vec-vs-fast statistic, and a fast-vs-fast *null* batch run from a
+different master seed, which measures the pure seed-noise floor of each
+metric.  Every pinned threshold is ~2-2.5x the observed vec-vs-fast value
+— tight where the metric is tight (baseline PRA differs by 0.1%), loose
+where seed noise dominates (smoke-scale eviction counts are small-sample
+Poisson) — and sits at or below the null floor wherever the null floor is
+higher, so a real behavioural drift trips the gate while seed noise does
+not.  Fail-loudly is the design goal: a vec change that alters the modelled
+process (allocation arithmetic, ranking keys, arrival/departure handling)
+moves these metrics far beyond the pinned envelope.
+
+The whole suite runs the batch once per scenario and engine (cached at
+module scope) to stay inside the tier-1 time budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.sim.engine import simulate
+from repro.stats.equivalence import (
+    ks_critical_value,
+    ks_statistic,
+    relative_difference,
+)
+
+MASTER_SEED = 777
+N_SEEDS = 32
+SCALE = "smoke"
+SEED_KS_ALPHA = 0.001
+
+#: Pinned per-scenario equivalence envelope.  Keys:
+#: ``pool_ks``   — max KS statistic on pooled per-peer download rates,
+#: ``mean_rel``  — max relative difference of batch mean download/peer/round,
+#: ``pra_rel``   — max relative difference of any cohort's pooled PRA,
+#: ``dep_rel``   — max relative difference of the pooled departure rate
+#:                 (absent => the scenario must have zero departures).
+THRESHOLDS: Dict[str, Dict[str, float]] = {
+    "baseline": {"pool_ks": 0.12, "mean_rel": 0.05, "pra_rel": 0.05},
+    "burst-churn": {"pool_ks": 0.25, "mean_rel": 0.25, "pra_rel": 0.25},
+    "capacity-skew": {"pool_ks": 0.12, "mean_rel": 0.05, "pra_rel": 0.05},
+    "colluders": {"pool_ks": 0.16, "mean_rel": 0.15, "pra_rel": 0.15},
+    "colluding-whitewash": {
+        "pool_ks": 0.15, "mean_rel": 0.25, "pra_rel": 0.45, "dep_rel": 0.12,
+    },
+    "flash-crowd": {"pool_ks": 0.18, "mean_rel": 0.28, "pra_rel": 0.28},
+    "free-rider-wave": {"pool_ks": 0.10, "mean_rel": 0.05, "pra_rel": 0.05},
+    "growing-swarm": {
+        "pool_ks": 0.10, "mean_rel": 0.18, "pra_rel": 0.20, "dep_rel": 0.50,
+    },
+    "whitewash-churn": {
+        "pool_ks": 0.10, "mean_rel": 0.15, "pra_rel": 0.20, "dep_rel": 0.25,
+    },
+}
+
+
+@dataclass(frozen=True)
+class BatchSummary:
+    """Distributional summary of one (scenario, engine) seed batch."""
+
+    per_seed_download: Tuple[float, ...]
+    pooled_peer_rates: Tuple[float, ...]
+    cohort_pra: Dict[str, float]
+    departure_rate: float
+
+    @property
+    def mean_download(self) -> float:
+        return sum(self.per_seed_download) / len(self.per_seed_download)
+
+
+_batch_cache: Dict[Tuple[str, str], BatchSummary] = {}
+
+
+def run_batch(scenario_name: str, engine: str) -> BatchSummary:
+    """Run the pinned seed batch of a scenario on one engine (cached)."""
+    key = (scenario_name, engine)
+    cached = _batch_cache.get(key)
+    if cached is not None:
+        return cached
+    spec = get_scenario(scenario_name)
+    per_seed: List[float] = []
+    pooled: List[float] = []
+    cohort_down: Dict[str, float] = {}
+    cohort_rounds: Dict[str, int] = {}
+    departures = 0
+    total_rounds = 0
+    for repetition in range(N_SEEDS):
+        job = spec.compile(scale=SCALE, seed=spec.job_seed(MASTER_SEED, repetition))
+        result = simulate(
+            job.config,
+            job.behaviors,
+            groups=job.groups,
+            seed=job.seed,
+            engine=engine,
+        )
+        per_seed.append(result.download_per_peer_round())
+        measured = job.config.measured_rounds
+        for record in result.records:
+            present = (
+                record.rounds_present
+                if record.rounds_present is not None
+                else measured
+            )
+            if present:
+                pooled.append(record.downloaded / present)
+        for cohort, metrics in result.cohort_metrics().items():
+            cohort_down[cohort] = (
+                cohort_down.get(cohort, 0.0) + metrics.total_downloaded
+            )
+            cohort_rounds[cohort] = (
+                cohort_rounds.get(cohort, 0) + metrics.peer_rounds
+            )
+        departures += result.total_departures
+        total_rounds += job.config.rounds
+    summary = BatchSummary(
+        per_seed_download=tuple(per_seed),
+        pooled_peer_rates=tuple(pooled),
+        cohort_pra={
+            cohort: (cohort_down[cohort] / cohort_rounds[cohort])
+            if cohort_rounds[cohort]
+            else 0.0
+            for cohort in cohort_down
+        },
+        departure_rate=departures / total_rounds,
+    )
+    _batch_cache[key] = summary
+    return summary
+
+
+def test_every_registered_scenario_has_a_pinned_envelope():
+    """New scenarios must ship with calibrated thresholds, not defaults."""
+    assert set(scenario_names()) == set(THRESHOLDS)
+
+
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_seed_level_download_distribution_matches(scenario_name):
+    vec = run_batch(scenario_name, "vec")
+    fast = run_batch(scenario_name, "fast")
+    statistic = ks_statistic(vec.per_seed_download, fast.per_seed_download)
+    critical = ks_critical_value(N_SEEDS, N_SEEDS, alpha=SEED_KS_ALPHA)
+    assert statistic <= critical, (
+        f"{scenario_name}: per-seed download distributions diverge "
+        f"(KS={statistic:.3f} > {critical:.3f} at alpha={SEED_KS_ALPHA})"
+    )
+
+
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_pooled_peer_download_share_distribution_matches(scenario_name):
+    vec = run_batch(scenario_name, "vec")
+    fast = run_batch(scenario_name, "fast")
+    statistic = ks_statistic(vec.pooled_peer_rates, fast.pooled_peer_rates)
+    limit = THRESHOLDS[scenario_name]["pool_ks"]
+    assert statistic <= limit, (
+        f"{scenario_name}: pooled per-peer download-rate distributions "
+        f"diverge (KS={statistic:.3f} > pinned {limit})"
+    )
+
+
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_mean_and_cohort_pra_within_envelope(scenario_name):
+    vec = run_batch(scenario_name, "vec")
+    fast = run_batch(scenario_name, "fast")
+    limits = THRESHOLDS[scenario_name]
+    mean_diff = relative_difference(vec.mean_download, fast.mean_download)
+    assert mean_diff <= limits["mean_rel"], (
+        f"{scenario_name}: mean download/peer/round drifted "
+        f"({vec.mean_download:.2f} vs {fast.mean_download:.2f}, "
+        f"rel={mean_diff:.3f} > pinned {limits['mean_rel']})"
+    )
+    cohorts = set(vec.cohort_pra) | set(fast.cohort_pra)
+    for cohort in sorted(cohorts):
+        pra_diff = relative_difference(
+            vec.cohort_pra.get(cohort, 0.0), fast.cohort_pra.get(cohort, 0.0)
+        )
+        assert pra_diff <= limits["pra_rel"], (
+            f"{scenario_name}: cohort {cohort!r} PRA drifted "
+            f"(rel={pra_diff:.3f} > pinned {limits['pra_rel']})"
+        )
+
+
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_departure_rate_within_envelope(scenario_name):
+    vec = run_batch(scenario_name, "vec")
+    fast = run_batch(scenario_name, "fast")
+    limit = THRESHOLDS[scenario_name].get("dep_rel")
+    if limit is None:
+        assert vec.departure_rate == 0.0 and fast.departure_rate == 0.0, (
+            f"{scenario_name}: unexpected departures in a departure-free "
+            f"scenario (vec={vec.departure_rate}, fast={fast.departure_rate})"
+        )
+        return
+    dep_diff = relative_difference(vec.departure_rate, fast.departure_rate)
+    assert dep_diff <= limit, (
+        f"{scenario_name}: eviction rate drifted "
+        f"(vec={vec.departure_rate:.4f} vs fast={fast.departure_rate:.4f}, "
+        f"rel={dep_diff:.3f} > pinned {limit})"
+    )
