@@ -23,9 +23,17 @@ discrete-time simulator:
 """
 
 from repro.bittorrent.config import SwarmConfig
+from repro.bittorrent.events import NetworkEvent, NetworkState
 from repro.bittorrent.pieces import PieceSet, select_piece_rarest_first
-from repro.bittorrent.rate import RateEstimator
-from repro.bittorrent.swarm import SwarmResult, SwarmSimulation
+from repro.bittorrent.rate import RateEstimator, RateLimiter
+from repro.bittorrent.scenario import (
+    SwarmArrivalModel,
+    SwarmChurnWindow,
+    SwarmPeerPlan,
+    SwarmScenarioConfig,
+    SwarmShift,
+)
+from repro.bittorrent.swarm import SwarmPeerRecord, SwarmResult, SwarmSimulation
 from repro.bittorrent.torrent import TorrentMetadata
 from repro.bittorrent.tracker import Tracker
 from repro.bittorrent.variants import (
@@ -36,13 +44,23 @@ from repro.bittorrent.variants import (
     reference_bittorrent,
     sort_s_client,
     variant_by_name,
+    variant_from_behavior,
 )
 
 __all__ = [
     "SwarmConfig",
+    "NetworkEvent",
+    "NetworkState",
     "PieceSet",
     "select_piece_rarest_first",
     "RateEstimator",
+    "RateLimiter",
+    "SwarmArrivalModel",
+    "SwarmChurnWindow",
+    "SwarmPeerPlan",
+    "SwarmScenarioConfig",
+    "SwarmShift",
+    "SwarmPeerRecord",
     "SwarmResult",
     "SwarmSimulation",
     "TorrentMetadata",
@@ -54,4 +72,5 @@ __all__ = [
     "sort_s_client",
     "random_client",
     "variant_by_name",
+    "variant_from_behavior",
 ]

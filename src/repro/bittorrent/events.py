@@ -1,0 +1,136 @@
+"""Network-event injection for packet-level swarm scenarios.
+
+Scenario specs can declare *network events* — link degradation windows and
+partition/heal cycles — that the swarm substrate injects per tick.  This is
+the survivability-under-failure framing: the abstract round engine can only
+approximate such faults as churn, while the swarm substrate models them as
+what they are (reduced transfer budgets, unreachable peer pairs) without
+destroying any peer state.
+
+Two event kinds are supported:
+
+``degrade``
+    A sampled fraction of active leechers has its upload budget scaled by
+    ``1 - severity`` for the duration of the window.
+``partition``
+    A sampled fraction of active leechers is split off from the rest of the
+    swarm: transfers across the cut are blocked in both directions until the
+    window ends (the *heal*).  Choking/interest state is left untouched —
+    the connections stall rather than reset, so recovery is immediate.
+
+The seeder is never sampled into an event (a dead seed trivially stalls the
+swarm and measures nothing about the protocols under test).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Set
+
+__all__ = ["NetworkEvent", "NetworkState"]
+
+_EVENT_KINDS = ("degrade", "partition")
+
+
+@dataclass(frozen=True)
+class NetworkEvent:
+    """One scheduled network fault, in tick units.
+
+    Parameters
+    ----------
+    kind:
+        ``"degrade"`` or ``"partition"``.
+    start:
+        First tick of the fault window.
+    duration:
+        Window length in ticks; the fault heals at ``start + duration``.
+    fraction:
+        Fraction of active leechers affected (sampled once at ``start``).
+    severity:
+        For ``degrade``: the capacity reduction factor (0.5 → half rate).
+        Ignored for ``partition``.
+    """
+
+    kind: str
+    start: int
+    duration: int
+    fraction: float
+    severity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in _EVENT_KINDS:
+            raise ValueError(f"kind must be one of {_EVENT_KINDS}, got {self.kind!r}")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.duration < 1:
+            raise ValueError("duration must be >= 1")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError("severity must be in [0, 1]")
+
+    @property
+    def end(self) -> int:
+        """First tick at which the fault has healed."""
+        return self.start + self.duration
+
+
+class NetworkState:
+    """Tracks which faults are live and which peers they touch.
+
+    Call :meth:`advance` once per tick before any transfers; then consult
+    :meth:`capacity_factor` and :meth:`blocked` from the transfer loop.
+    Affected peers are sampled when an event's window opens and the sample
+    is frozen for the window's duration — peers arriving mid-window are
+    unaffected, and departing peers simply drop out of the sample.
+    """
+
+    def __init__(self, events: Sequence[NetworkEvent], seeder_id: int):
+        self._events = tuple(sorted(events, key=lambda e: (e.start, e.kind)))
+        self._seeder_id = seeder_id
+        #: event index -> frozen sample of affected peer ids.  Keyed by
+        #: index, not by the (value-equal) event itself, so two identical
+        #: declared events still sample and compound independently.
+        self._samples: Dict[int, Set[int]] = {}
+        self._degraded: Dict[int, float] = {}
+        self._partitioned: Set[int] = set()
+
+    @property
+    def events(self) -> Sequence[NetworkEvent]:
+        return self._events
+
+    def advance(self, tick: int, active_ids: Iterable[int], rng: random.Random) -> None:
+        """Open/close event windows and rebuild the per-tick fault maps."""
+        for index, event in enumerate(self._events):
+            if event.start == tick and index not in self._samples:
+                pool = sorted(pid for pid in active_ids if pid != self._seeder_id)
+                count = min(len(pool), max(1, round(event.fraction * len(pool)))) if pool else 0
+                self._samples[index] = set(rng.sample(pool, count)) if count else set()
+
+        self._degraded = {}
+        self._partitioned = set()
+        for index, sample in self._samples.items():
+            event = self._events[index]
+            if not event.start <= tick < event.end:
+                continue
+            if event.kind == "degrade":
+                factor = 1.0 - event.severity
+                for pid in sample:
+                    # Overlapping degradations compound multiplicatively.
+                    self._degraded[pid] = self._degraded.get(pid, 1.0) * factor
+            else:
+                self._partitioned |= sample
+
+    def capacity_factor(self, peer_id: int) -> float:
+        """Multiplier on ``peer_id``'s upload budget this tick (1.0 = healthy)."""
+        return self._degraded.get(peer_id, 1.0)
+
+    def blocked(self, a: int, b: int) -> bool:
+        """Whether a transfer between ``a`` and ``b`` crosses a partition cut."""
+        return (a in self._partitioned) != (b in self._partitioned)
+
+    @property
+    def partitioned(self) -> Set[int]:
+        """The minority side of the current partition (empty when healed)."""
+        return set(self._partitioned)

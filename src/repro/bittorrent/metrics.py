@@ -5,16 +5,72 @@ confidence intervals over at least 10 runs.  :func:`summarize_by_variant`
 pools the download times of repeated runs per variant and returns
 :class:`~repro.stats.summary.SummaryStats` for each, which is what the
 experiment drivers print.
+
+Scenario-compiled swarms carry provenance labels per peer (behaviour group,
+capacity class, arrival cohort), so the same pooling generalises:
+:func:`summarize_by_class` and :func:`group_cohort_breakdown` line swarm
+metrics up with the abstract engine's
+:class:`~repro.sim.metrics.GroupCohortMetrics` — completion fraction plus
+download-time summaries per (group, cohort) or per capacity class.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.bittorrent.swarm import SwarmResult
 from repro.stats.summary import SummaryStats, summarize
 
-__all__ = ["pooled_download_times", "summarize_by_variant"]
+__all__ = [
+    "SwarmGroupMetrics",
+    "censored_mean_download_time",
+    "pooled_download_times",
+    "summarize_by_variant",
+    "summarize_by_class",
+    "group_cohort_breakdown",
+]
+
+
+@dataclass(frozen=True)
+class SwarmGroupMetrics:
+    """Pooled download outcomes of one peer stratum across swarm runs.
+
+    The swarm-side counterpart of the abstract engine's per-(group, cohort)
+    metrics: ``peers`` counts every matching leecher over all runs,
+    ``completion_fraction`` the share that finished before the horizon (or
+    an early departure), and ``download_time`` summarises the finishers
+    (``None`` when nobody completed).
+    """
+
+    peers: int
+    completed: int
+    download_time: Optional[SummaryStats]
+    mean_downloaded_kb: float
+
+    @property
+    def completion_fraction(self) -> float:
+        return self.completed / self.peers if self.peers else 0.0
+
+
+def censored_mean_download_time(results: Iterable[SwarmResult]) -> float:
+    """Mean download time with non-finishers censored at the run horizon.
+
+    Peers that never completed (still downloading at ``max_ticks``, or
+    departed early) count at their run's full horizon rather than being
+    dropped — dropping them would *reward* a protocol for starving its
+    slowest peers.  This is the swarm-side scalar used to rank protocols
+    within a scenario; ``nan`` if there are no leechers at all.
+    """
+    total = 0.0
+    peers = 0
+    for result in results:
+        horizon = float(result.config.max_ticks)
+        for record in result.records:
+            peers += 1
+            time = record.download_time
+            total += time if time is not None else horizon
+    return total / peers if peers else float("nan")
 
 
 def pooled_download_times(
@@ -44,3 +100,81 @@ def summarize_by_variant(
         if times:
             summaries[variant] = summarize(times, confidence=confidence)
     return summaries
+
+
+def _pool_stratum(
+    results: List[SwarmResult], confidence: float, **filters: Optional[str]
+) -> SwarmGroupMetrics:
+    peers = 0
+    completed = 0
+    downloaded = 0.0
+    times: List[float] = []
+    for result in results:
+        for record in result._select(**filters):
+            peers += 1
+            downloaded += record.downloaded_kb
+            if record.download_time is not None:
+                completed += 1
+                times.append(record.download_time)
+    return SwarmGroupMetrics(
+        peers=peers,
+        completed=completed,
+        download_time=summarize(times, confidence=confidence) if times else None,
+        mean_downloaded_kb=downloaded / peers if peers else 0.0,
+    )
+
+
+def summarize_by_class(
+    results: Iterable[SwarmResult], confidence: float = 0.95
+) -> Dict[str, SwarmGroupMetrics]:
+    """Per-capacity-class download outcomes pooled across runs.
+
+    Peers without a capacity class (default-distribution swarms) pool under
+    the pseudo-class ``"unclassed"`` so nothing silently drops out.
+    """
+    results = list(results)
+    classes = sorted({c for result in results for c in result.capacity_classes()})
+    pooled = {
+        cls: _pool_stratum(results, confidence, capacity_class=cls)
+        for cls in classes
+    }
+    times: List[float] = []
+    downloaded = 0.0
+    peers = 0
+    completed = 0
+    for result in results:
+        for record in result.records:
+            if record.capacity_class is None:
+                peers += 1
+                downloaded += record.downloaded_kb
+                if record.download_time is not None:
+                    completed += 1
+                    times.append(record.download_time)
+    if peers:
+        pooled["unclassed"] = SwarmGroupMetrics(
+            peers=peers,
+            completed=completed,
+            download_time=summarize(times, confidence=confidence) if times else None,
+            mean_downloaded_kb=downloaded / peers,
+        )
+    return pooled
+
+
+def group_cohort_breakdown(
+    results: Iterable[SwarmResult], confidence: float = 0.95
+) -> Dict[Tuple[str, str], SwarmGroupMetrics]:
+    """Per-(behaviour group, arrival cohort) outcomes pooled across runs.
+
+    Keys mirror the abstract engine's group-cohort metrics so the atlas and
+    cross-substrate reports can treat both substrates uniformly.
+    """
+    results = list(results)
+    strata = sorted(
+        {(r.group, r.cohort) for result in results for r in result.records}
+    )
+    return {
+        (group, cohort): _pool_stratum(
+            results, confidence, group=group, cohort=cohort
+        )
+        for group, cohort in strata
+    }

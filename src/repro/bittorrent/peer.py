@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
 from repro.bittorrent.pieces import PieceSet
-from repro.bittorrent.rate import RateEstimator
+from repro.bittorrent.rate import RateEstimator, RateLimiter
 from repro.bittorrent.variants import ClientVariant
 
 __all__ = ["Leecher"]
@@ -51,6 +51,13 @@ class Leecher:
         it.
     joined_tick / completion_tick:
         Arrival time and completion time (``None`` while incomplete).
+    group / capacity_class / cohort:
+        Scenario-compiled provenance labels (behaviour group, bandwidth
+        class, arrival cohort); defaults describe a legacy static swarm.
+    limiter:
+        Optional token-bucket cap on per-tick uploads (scenario-compiled
+        swarms attach one per bandwidth class; ``None`` means uncapped,
+        i.e. legacy capacity-per-tick behaviour).
     """
 
     peer_id: int
@@ -67,6 +74,13 @@ class Leecher:
     piece_progress: Dict[int, float] = field(default_factory=dict)
     joined_tick: int = 0
     completion_tick: Optional[int] = None
+    departed_tick: Optional[int] = None
+    group: str = "default"
+    capacity_class: Optional[str] = None
+    cohort: str = "initial"
+    limiter: Optional[RateLimiter] = None
+    downloaded_kb: float = 0.0
+    uploaded_kb: float = 0.0
 
     def __post_init__(self) -> None:
         if self.upload_capacity <= 0:

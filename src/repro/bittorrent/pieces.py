@@ -24,6 +24,9 @@ class PieceSet:
             raise ValueError("piece_count must be >= 1")
         self.piece_count = int(piece_count)
         self._owned: Set[int] = set(range(piece_count)) if complete else set()
+        #: Bumped on every mutation; lets callers cache derived facts (e.g.
+        #: pairwise interest) and invalidate exactly when a set changes.
+        self.version = 0
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -31,7 +34,9 @@ class PieceSet:
     def add(self, piece: int) -> None:
         """Mark ``piece`` as owned."""
         self._check(piece)
-        self._owned.add(piece)
+        if piece not in self._owned:
+            self._owned.add(piece)
+            self.version += 1
 
     # ------------------------------------------------------------------ #
     # queries
@@ -63,7 +68,9 @@ class PieceSet:
 
     def is_interested_in(self, other: "PieceSet") -> bool:
         """Whether this peer wants anything ``other`` has."""
-        return bool(other._owned - self._owned)
+        # Subset test instead of set difference: short-circuits and avoids
+        # allocating a temporary set on the per-tick hot path.
+        return not other._owned <= self._owned
 
     def _check(self, piece: int) -> None:
         if not 0 <= piece < self.piece_count:

@@ -1,4 +1,4 @@
-"""Sliding-window transfer-rate estimation.
+"""Sliding-window transfer-rate estimation and upload rate limiting.
 
 BitTorrent's choker ranks neighbours by the download rate recently received
 from them (the reference client averages over a ~20 second window).  The
@@ -6,14 +6,64 @@ simulator needs the same signal, so :class:`RateEstimator` records the bytes
 received from each neighbour per tick and reports the average rate over a
 configurable window.  The same estimator doubles as the "observed upload
 bandwidth" signal used by the Birds proximity ranking.
+
+:class:`RateLimiter` is the sending-side complement: a token bucket capping
+how many KB a peer may upload per tick.  Scenario-compiled swarms give every
+leecher a limiter derived from its :class:`~repro.scenarios.spec.BandwidthClass`
+capacity (free-riders get a zero-rate limiter), and network-event degradation
+scales the per-tick budget without touching the choker's capacity signal.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
-__all__ = ["RateEstimator"]
+__all__ = ["RateEstimator", "RateLimiter"]
+
+
+class RateLimiter:
+    """Token-bucket cap on per-tick upload volume.
+
+    Parameters
+    ----------
+    rate_kb_per_tick:
+        Sustained budget refilled every tick (KB); 0 forbids uploading
+        entirely (the free-rider limiter).
+    burst_ticks:
+        Bucket depth as a multiple of the per-tick rate.  The default of 1
+        makes the limiter exactly reproduce the unlimited engine's
+        "capacity per tick" behaviour when ``rate == capacity``, while
+        still capping accumulated credit for bursty senders.
+    """
+
+    def __init__(self, rate_kb_per_tick: float, burst_ticks: float = 1.0):
+        if rate_kb_per_tick < 0:
+            raise ValueError("rate_kb_per_tick must be >= 0")
+        if burst_ticks < 1.0:
+            raise ValueError("burst_ticks must be >= 1")
+        self.rate_kb_per_tick = float(rate_kb_per_tick)
+        self.burst_kb = self.rate_kb_per_tick * float(burst_ticks)
+        self._tokens = self.burst_kb
+        self._last_tick: Optional[int] = None
+
+    def available(self, tick: int) -> float:
+        """KB this peer may still send during ``tick`` (refills the bucket)."""
+        if self._last_tick is None:
+            self._tokens = self.burst_kb
+        elif tick > self._last_tick:
+            self._tokens = min(
+                self.burst_kb,
+                self._tokens + self.rate_kb_per_tick * (tick - self._last_tick),
+            )
+        self._last_tick = tick
+        return self._tokens
+
+    def consume(self, amount_kb: float) -> None:
+        """Spend ``amount_kb`` of the current budget."""
+        if amount_kb < 0:
+            raise ValueError("amount_kb must be >= 0")
+        self._tokens = max(0.0, self._tokens - amount_kb)
 
 
 class RateEstimator:

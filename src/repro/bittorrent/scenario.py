@@ -1,0 +1,212 @@
+"""Compiled scenario plans for the packet-level swarm substrate.
+
+The scenario layer (:mod:`repro.scenarios`) is substrate-agnostic: a
+:class:`~repro.scenarios.spec.ScenarioSpec` *compiles* either to abstract
+round-engine primitives or — via :mod:`repro.scenarios.substrate` — to the
+:class:`SwarmScenarioConfig` defined here.  This module deliberately holds
+plain data only (no compilation logic) so ``repro.bittorrent`` never imports
+the scenario layer: the dependency points one way, scenarios → bittorrent.
+
+The plan vocabulary mirrors the abstract engine's, translated to swarm
+terms.  One scenario *round* spans one rechoke interval of ticks, so wave
+timing, shifts and network events compiled from run-fraction declarations
+land on rechoke boundaries exactly like their round-engine counterparts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.bittorrent.config import SwarmConfig
+from repro.bittorrent.events import NetworkEvent
+from repro.bittorrent.variants import ClientVariant
+
+__all__ = [
+    "SwarmPeerPlan",
+    "SwarmChurnWindow",
+    "SwarmShift",
+    "SwarmArrivalModel",
+    "SwarmScenarioConfig",
+]
+
+#: Arrival-model kinds: fixed-population identity replacement (steady /
+#: flash-crowd / burst-churn scenarios), a genuine Poisson arrival stream,
+#: or whitewashing departures that may rejoin under fresh identities.
+SWARM_ARRIVAL_KINDS = ("replacement", "poisson", "whitewash")
+
+
+@dataclass(frozen=True)
+class SwarmPeerPlan:
+    """How one (initial or arriving) leecher is configured.
+
+    ``capacity`` pins the upload capacity (bandwidth classes); ``None``
+    samples from the swarm config's distribution at join time.
+    ``free_rider`` peers get a zero-rate upload limiter — they accept data
+    but never reciprocate, the packet-level reading of an allocation policy
+    that uploads nothing.
+    """
+
+    variant: ClientVariant
+    capacity: Optional[float] = None
+    group: str = "default"
+    capacity_class: Optional[str] = None
+    free_rider: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity <= 0:
+            raise ValueError("pinned capacity must be positive")
+        if not self.group:
+            raise ValueError("a peer plan needs a group label")
+
+
+@dataclass(frozen=True)
+class SwarmChurnWindow:
+    """A churn wave in round units (the swarm analogue of ``ChurnWave``).
+
+    ``correlated`` windows replace an exact ``intensity`` fraction of the
+    active swarm per wave round; independent windows add ``intensity`` to
+    each peer's per-round departure probability.
+    """
+
+    start_round: int
+    rounds: int = 1
+    intensity: float = 0.1
+    correlated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.start_round < 0:
+            raise ValueError("start_round must be >= 0")
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if not 0.0 < self.intensity <= 1.0:
+            raise ValueError("intensity must be in (0, 1]")
+
+    @property
+    def end_round(self) -> int:
+        return self.start_round + self.rounds
+
+
+@dataclass(frozen=True)
+class SwarmShift:
+    """A behaviour shift applied at a round boundary.
+
+    ``slot_ids`` address *initial-population slots* (0..n-1), matching the
+    abstract engine where replacements inherit the slot of the peer they
+    replace — the shift hits whichever identity currently occupies the slot.
+    """
+
+    round: int
+    slot_ids: Tuple[int, ...]
+    variant: ClientVariant
+    free_rider: bool = False
+    group: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.round < 0:
+            raise ValueError("round must be >= 0")
+        if not self.slot_ids:
+            raise ValueError("a shift needs at least one slot id")
+
+
+@dataclass(frozen=True)
+class SwarmArrivalModel:
+    """The compiled arrival/departure process of a swarm scenario.
+
+    Parameters
+    ----------
+    kind:
+        ``"replacement"`` — churn departures are replaced by fresh
+        identities running the departed peer's plan (fixed population);
+        ``"poisson"`` — a Poisson stream of genuine newcomers while
+        departures shrink the swarm; ``"whitewash"`` — true departures that
+        rejoin under fresh identities with probability ``rejoin_prob``.
+    churn_rate:
+        Base per-peer per-round departure probability.
+    arrival_rate / arrival_start_round:
+        Poisson only: expected arrivals per round, and the round the stream
+        opens.
+    arrival_plan:
+        Plan given to Poisson newcomers (defaults to the population's
+        default plan; ``None`` is only legal for non-Poisson kinds).
+    rejoin_prob:
+        Whitewash only: probability a churn departure rejoins fresh.
+    target_groups / target_churn:
+        Extra per-round departure probability for the named behaviour
+        groups; with whitewash and non-empty ``target_groups``, rejoining
+        is restricted to departures from those groups.
+    max_active:
+        Cap on concurrently active leechers (0 = unbounded).
+    """
+
+    kind: str = "replacement"
+    churn_rate: float = 0.0
+    arrival_rate: float = 0.0
+    arrival_start_round: int = 0
+    arrival_plan: Optional[SwarmPeerPlan] = None
+    rejoin_prob: float = 0.0
+    target_groups: Tuple[str, ...] = ()
+    target_churn: float = 0.0
+    max_active: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SWARM_ARRIVAL_KINDS:
+            raise ValueError(
+                f"kind must be one of {SWARM_ARRIVAL_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 <= self.churn_rate < 1.0:
+            raise ValueError("churn_rate must be in [0, 1)")
+        if self.kind == "poisson":
+            if self.arrival_rate <= 0.0:
+                raise ValueError("poisson arrivals need arrival_rate > 0")
+            if self.arrival_plan is None:
+                raise ValueError("poisson arrivals need an arrival_plan")
+        if self.kind == "whitewash" and not 0.0 < self.rejoin_prob <= 1.0:
+            raise ValueError("whitewash needs rejoin_prob in (0, 1]")
+        if self.target_churn < 0.0 or self.churn_rate + self.target_churn >= 1.0:
+            raise ValueError("target_churn must keep the departure rate in [0, 1)")
+        if self.max_active < 0:
+            raise ValueError("max_active must be >= 0")
+
+
+@dataclass(frozen=True)
+class SwarmScenarioConfig:
+    """A fully compiled swarm scenario, ready for ``SwarmSimulation``.
+
+    ``base`` fixes the static swarm parameters (file, choker timings,
+    capacity distribution, horizon); ``plans`` configures the initial
+    population (one entry per initial leecher); the remaining fields drive
+    the per-round dynamics.  ``rounds × base.rechoke_interval`` must fit in
+    ``base.max_ticks``.
+    """
+
+    base: SwarmConfig
+    plans: Tuple[SwarmPeerPlan, ...]
+    rounds: int
+    arrivals: SwarmArrivalModel = SwarmArrivalModel()
+    waves: Tuple[SwarmChurnWindow, ...] = ()
+    shifts: Tuple[SwarmShift, ...] = ()
+    events: Tuple[NetworkEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.plans) != self.base.n_leechers:
+            raise ValueError(
+                f"expected {self.base.n_leechers} peer plans, got {len(self.plans)}"
+            )
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.rounds * self.base.rechoke_interval > self.base.max_ticks:
+            raise ValueError(
+                "rounds * rechoke_interval exceeds the max_ticks horizon"
+            )
+        for shift in self.shifts:
+            if shift.round >= self.rounds:
+                raise ValueError(f"shift at round {shift.round} is past the run")
+            bad = [s for s in shift.slot_ids if not 0 <= s < len(self.plans)]
+            if bad:
+                raise ValueError(f"shift addresses unknown slots {bad}")
+
+    @property
+    def round_ticks(self) -> int:
+        """Ticks per scenario round (one rechoke interval)."""
+        return self.base.rechoke_interval

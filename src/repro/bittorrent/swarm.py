@@ -5,12 +5,24 @@ and the choker, advancing time in one-second ticks:
 
 * every ``rechoke_interval`` ticks each leecher (and the seeder) re-evaluates
   its unchoke set; loyalty counters advance at the same boundary;
-* every tick each uploader divides its upload capacity equally over its
+* every tick each uploader divides its upload budget equally over its
   unchoked, interested, still-active neighbours; the receiving peer
   accumulates the bytes towards a piece chosen by local rarest first;
 * a leecher that completes all pieces leaves the swarm at the end of the tick
   (the Section 5 setup has peers leave upon completing their download);
 * the run ends when every leecher has finished or the time horizon is hit.
+
+The simulation runs in one of two modes.  The legacy mode — ``config`` plus
+a variant list — reproduces the original static swarm bit-for-bit.  Passing
+``scenario=`` (a compiled :class:`~repro.bittorrent.scenario.SwarmScenarioConfig`)
+enables the scenario substrate: mid-run arrivals and departures through the
+tracker, per-bandwidth-class rate limits, behaviour shifts at round
+boundaries and injected network events (link degradation, partition/heal).
+
+Pairwise interest ("does A want anything B has?") dominates the per-tick
+cost of large swarms; it is memoised against :class:`PieceSet` version
+counters so the O(peers × neighbours) transfer loop recomputes it only when
+one of the two piece sets actually changed.
 
 The result records each leecher's download time, which is the quantity
 Figures 9 and 10 compare across protocol mixes.
@@ -18,14 +30,23 @@ Figures 9 and 10 compare across protocol mixes.
 
 from __future__ import annotations
 
+import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bittorrent.choker import run_rechoke
 from repro.bittorrent.config import SwarmConfig
+from repro.bittorrent.events import NetworkState
 from repro.bittorrent.peer import Leecher
 from repro.bittorrent.pieces import PieceSet, select_piece_rarest_first
+from repro.bittorrent.rate import RateLimiter
+from repro.bittorrent.scenario import (
+    SwarmChurnWindow,
+    SwarmPeerPlan,
+    SwarmScenarioConfig,
+    SwarmShift,
+)
 from repro.bittorrent.seeder import Seeder
 from repro.bittorrent.torrent import TorrentMetadata
 from repro.bittorrent.tracker import Tracker
@@ -34,14 +55,38 @@ from repro.bittorrent.variants import ClientVariant
 __all__ = ["SwarmPeerRecord", "SwarmResult", "SwarmSimulation"]
 
 
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's Poisson sampler (rates here are a handful per round at most)."""
+    if lam <= 0.0:
+        return 0
+    threshold = math.exp(-lam)
+    count, product = 0, 1.0
+    while True:
+        product *= rng.random()
+        if product <= threshold:
+            return count
+        count += 1
+
+
 @dataclass(frozen=True)
 class SwarmPeerRecord:
-    """Per-leecher outcome of a swarm run."""
+    """Per-leecher outcome of a swarm run.
+
+    The scenario fields default to the values a legacy static swarm implies:
+    every peer is an ``"initial"``-cohort member of group ``"default"`` with
+    no capacity class, joining at tick 0 and never departing early.
+    """
 
     peer_id: int
     variant: str
     upload_capacity: float
     download_time: Optional[float]
+    group: str = "default"
+    capacity_class: Optional[str] = None
+    cohort: str = "initial"
+    joined_tick: int = 0
+    departed_tick: Optional[int] = None
+    downloaded_kb: float = 0.0
 
     @property
     def completed(self) -> bool:
@@ -55,31 +100,75 @@ class SwarmResult:
     config: SwarmConfig
     records: List[SwarmPeerRecord]
     ticks_executed: int
+    total_transferred_kb: float = 0.0
+    arrivals: int = 0
+    departures: int = 0
+    peak_active: int = 0
 
     def variants(self) -> List[str]:
         """Distinct variant names present, sorted."""
         return sorted({r.variant for r in self.records})
 
-    def download_times(self, variant: Optional[str] = None) -> List[float]:
-        """Download times of completed leechers (optionally one variant only)."""
+    def groups(self) -> List[str]:
+        """Distinct behaviour-group labels present, sorted."""
+        return sorted({r.group for r in self.records})
+
+    def capacity_classes(self) -> List[str]:
+        """Distinct capacity-class labels present (unclassed peers excluded)."""
+        return sorted({r.capacity_class for r in self.records if r.capacity_class})
+
+    def _select(
+        self,
+        variant: Optional[str] = None,
+        group: Optional[str] = None,
+        capacity_class: Optional[str] = None,
+        cohort: Optional[str] = None,
+    ) -> List[SwarmPeerRecord]:
         return [
-            r.download_time
+            r
             for r in self.records
-            if r.download_time is not None and (variant is None or r.variant == variant)
+            if (variant is None or r.variant == variant)
+            and (group is None or r.group == group)
+            and (capacity_class is None or r.capacity_class == capacity_class)
+            and (cohort is None or r.cohort == cohort)
         ]
 
-    def mean_download_time(self, variant: Optional[str] = None) -> float:
+    def download_times(
+        self,
+        variant: Optional[str] = None,
+        group: Optional[str] = None,
+        capacity_class: Optional[str] = None,
+        cohort: Optional[str] = None,
+    ) -> List[float]:
+        """Download times of completed leechers matching the given filters."""
+        return [
+            r.download_time
+            for r in self._select(variant, group, capacity_class, cohort)
+            if r.download_time is not None
+        ]
+
+    def mean_download_time(
+        self,
+        variant: Optional[str] = None,
+        group: Optional[str] = None,
+        capacity_class: Optional[str] = None,
+        cohort: Optional[str] = None,
+    ) -> float:
         """Average download time of completed leechers (``nan`` if none completed)."""
-        times = self.download_times(variant)
+        times = self.download_times(variant, group, capacity_class, cohort)
         if not times:
             return float("nan")
         return sum(times) / len(times)
 
-    def completion_fraction(self, variant: Optional[str] = None) -> float:
-        """Fraction of leechers (of the given variant) that completed in time."""
-        relevant = [
-            r for r in self.records if variant is None or r.variant == variant
-        ]
+    def completion_fraction(
+        self,
+        variant: Optional[str] = None,
+        group: Optional[str] = None,
+        capacity_class: Optional[str] = None,
+        cohort: Optional[str] = None,
+    ) -> float:
+        """Fraction of matching leechers that completed in time."""
+        relevant = self._select(variant, group, capacity_class, cohort)
         if not relevant:
             return 0.0
         return sum(1 for r in relevant if r.completed) / len(relevant)
@@ -91,36 +180,46 @@ class SwarmSimulation:
     Parameters
     ----------
     config:
-        Swarm parameters (size, file, choker timings, ...).
+        Swarm parameters (size, file, choker timings, ...).  Required unless
+        ``scenario`` is given.
     variants:
         Client variant per leecher, or a single variant broadcast to all.
+        Required unless ``scenario`` is given.
     seed:
         Seed of the run's private random generator.
+    scenario:
+        A compiled swarm scenario; mutually exclusive with
+        ``config``/``variants`` (the scenario's ``base`` supplies the config
+        and its peer plans supply variants, capacities and rate limits).
     """
 
     def __init__(
         self,
-        config: SwarmConfig,
-        variants: Sequence[ClientVariant],
+        config: Optional[SwarmConfig] = None,
+        variants: Optional[Sequence[ClientVariant]] = None,
         seed: Optional[int] = None,
+        *,
+        scenario: Optional[SwarmScenarioConfig] = None,
     ):
+        if scenario is not None:
+            if config is not None or variants is not None:
+                raise ValueError(
+                    "pass either (config, variants) or scenario=, not both"
+                )
+            config = scenario.base
+        elif config is None or variants is None:
+            raise ValueError("config and variants are required without a scenario")
+
         self.config = config
+        self.scenario = scenario
         self._rng = random.Random(seed)
         self.torrent = TorrentMetadata(
             total_size_kb=config.file_size_mb * 1024.0,
             piece_size_kb=config.piece_size_kb,
         )
 
-        variants = list(variants)
-        if len(variants) == 1:
-            variants = variants * config.n_leechers
-        if len(variants) != config.n_leechers:
-            raise ValueError(
-                f"expected 1 or {config.n_leechers} variants, got {len(variants)}"
-            )
-
         piece_count = self.torrent.piece_count
-        distribution = config.distribution()
+        self._distribution = config.distribution()
 
         self.seeder_id = config.n_leechers
         self.tracker = Tracker(max_peers_per_announce=max(50, config.n_leechers))
@@ -133,14 +232,62 @@ class SwarmSimulation:
         self.tracker.register(self.seeder_id)
 
         self.leechers: Dict[int, Leecher] = {}
-        for peer_id in range(config.n_leechers):
-            self.tracker.register(peer_id)
-            self.leechers[peer_id] = Leecher(
-                peer_id=peer_id,
-                upload_capacity=distribution.sample(self._rng),
-                variant=variants[peer_id],
-                pieces=PieceSet(piece_count),
-            )
+        #: downloader id -> uploader id -> (dl version, ul version, interested)
+        self._interest_cache: Dict[int, Dict[int, Tuple[int, int, bool]]] = {}
+        #: current plan per active peer (replacements/rejoins inherit it)
+        self._plan_of: Dict[int, SwarmPeerPlan] = {}
+        #: slot lineage for behaviour shifts (slot -> occupant and back)
+        self._slot_peer: Dict[int, int] = {}
+        self._peer_slot: Dict[int, int] = {}
+        self._next_peer_id = self.seeder_id + 1
+        self.arrivals = 0
+        self.departures = 0
+        self.total_transferred_kb = 0.0
+        #: KB delivered per executed tick (byte-conservation invariant hook)
+        self.tick_transferred: List[float] = []
+        self._network = (
+            NetworkState(scenario.events, self.seeder_id)
+            if scenario is not None and scenario.events
+            else None
+        )
+
+        if scenario is None:
+            variants = list(variants)
+            if len(variants) == 1:
+                variants = variants * config.n_leechers
+            if len(variants) != config.n_leechers:
+                raise ValueError(
+                    f"expected 1 or {config.n_leechers} variants, got {len(variants)}"
+                )
+            for peer_id in range(config.n_leechers):
+                self.tracker.register(peer_id)
+                self.leechers[peer_id] = Leecher(
+                    peer_id=peer_id,
+                    upload_capacity=self._distribution.sample(self._rng),
+                    variant=variants[peer_id],
+                    pieces=PieceSet(piece_count),
+                )
+        else:
+            for slot, plan in enumerate(scenario.plans):
+                self.tracker.register(slot)
+                capacity = (
+                    plan.capacity
+                    if plan.capacity is not None
+                    else self._distribution.sample(self._rng)
+                )
+                self.leechers[slot] = Leecher(
+                    peer_id=slot,
+                    upload_capacity=capacity,
+                    variant=plan.variant,
+                    pieces=PieceSet(piece_count),
+                    group=plan.group,
+                    capacity_class=plan.capacity_class,
+                    cohort="initial",
+                    limiter=RateLimiter(0.0 if plan.free_rider else capacity),
+                )
+                self._plan_of[slot] = plan
+                self._slot_peer[slot] = slot
+                self._peer_slot[slot] = slot
 
         # Everyone announces once the swarm is fully registered; the seeder is
         # always added so the swarm is guaranteed to be bootstrappable.
@@ -151,6 +298,7 @@ class SwarmSimulation:
             leecher.neighbours = neighbours
 
         self._active: Set[int] = set(self.leechers.keys())
+        self.peak_active = len(self._active)
         self._ticks_executed = 0
 
     # ------------------------------------------------------------------ #
@@ -161,13 +309,32 @@ class SwarmSimulation:
             return self.seeder.pieces
         return self.leechers[peer_id].pieces
 
-    def _interested_in(self, owner_pieces: PieceSet, peer_ids: Sequence[int]) -> List[int]:
-        """Active leechers among ``peer_ids`` that want something from ``owner_pieces``."""
+    def _is_interested(
+        self, downloader: Leecher, uploader_id: int, uploader_pieces: PieceSet
+    ) -> bool:
+        """Memoised ``downloader wants something uploader has`` test."""
+        if uploader_id == self.seeder_id:
+            # The seeder owns everything: interest == not yet complete.
+            return not downloader.pieces.is_complete
+        cache = self._interest_cache.setdefault(downloader.peer_id, {})
+        down_version = downloader.pieces.version
+        up_version = uploader_pieces.version
+        entry = cache.get(uploader_id)
+        if entry is not None and entry[0] == down_version and entry[1] == up_version:
+            return entry[2]
+        interested = downloader.pieces.is_interested_in(uploader_pieces)
+        cache[uploader_id] = (down_version, up_version, interested)
+        return interested
+
+    def _interested_in(
+        self, owner_id: int, owner_pieces: PieceSet, peer_ids: Sequence[int]
+    ) -> List[int]:
+        """Active leechers among ``peer_ids`` that want something from the owner."""
         interested = []
         for peer_id in peer_ids:
             if peer_id == self.seeder_id or peer_id not in self._active:
                 continue
-            if self.leechers[peer_id].pieces.is_interested_in(owner_pieces):
+            if self._is_interested(self.leechers[peer_id], owner_id, owner_pieces):
                 interested.append(peer_id)
         return interested
 
@@ -178,7 +345,9 @@ class SwarmSimulation:
             leecher = self.leechers[peer_id]
             if tick > 0:
                 leecher.update_loyalty_period()
-            interested = self._interested_in(leecher.pieces, sorted(leecher.neighbours))
+            interested = self._interested_in(
+                peer_id, leecher.pieces, sorted(leecher.neighbours)
+            )
             run_rechoke(
                 leecher,
                 interested,
@@ -188,7 +357,7 @@ class SwarmSimulation:
                 self._rng,
             )
         seeder_interested = self._interested_in(
-            self.seeder.pieces, sorted(self._active)
+            self.seeder_id, self.seeder.pieces, sorted(self._active)
         )
         self.seeder.rechoke(seeder_interested, self._rng)
 
@@ -199,8 +368,8 @@ class SwarmSimulation:
         target: Leecher,
         amount_kb: float,
         tick: int,
-    ) -> None:
-        """Deliver ``amount_kb`` from ``uploader_id`` to ``target`` this tick."""
+    ) -> float:
+        """Deliver ``amount_kb`` from ``uploader_id`` to ``target``; return KB delivered."""
         piece = target.in_flight.get(uploader_id)
         if piece is None or target.pieces.has(piece) or not uploader_pieces.has(piece):
             neighbour_sets = [
@@ -216,10 +385,11 @@ class SwarmSimulation:
                 exclude=target.in_flight.values(),
             )
             if piece is None:
-                return
+                return 0.0
             target.in_flight[uploader_id] = piece
 
         target.record_received(uploader_id, tick, amount_kb)
+        target.downloaded_kb += amount_kb
         progress = target.piece_progress.get(piece, 0.0) + amount_kb
         if progress >= self.torrent.piece_size_kb:
             target.pieces.add(piece)
@@ -230,32 +400,62 @@ class SwarmSimulation:
                     del target.in_flight[neighbour]
         else:
             target.piece_progress[piece] = progress
+        return amount_kb
 
-    def _upload_from(self, uploader_id: int, tick: int) -> None:
-        """Run one tick of uploads from ``uploader_id`` to its unchoked targets."""
+    def _upload_from(self, uploader_id: int, tick: int) -> float:
+        """Run one tick of uploads from ``uploader_id``; return KB delivered."""
         if uploader_id == self.seeder_id:
             capacity = self.seeder.upload_capacity
             unchoked = self.seeder.unchoked
             uploader_pieces = self.seeder.pieces
+            limiter = None
         else:
             leecher = self.leechers[uploader_id]
             capacity = leecher.upload_capacity
             unchoked = leecher.currently_unchoked()
             uploader_pieces = leecher.pieces
+            limiter = leecher.limiter
+
+        network = self._network
+        if network is not None and uploader_id != self.seeder_id:
+            capacity *= network.capacity_factor(uploader_id)
+        if limiter is not None:
+            capacity = min(capacity, limiter.available(tick))
+        if capacity <= 0:
+            return 0.0
 
         targets = [
             t
             for t in unchoked
             if t in self._active
-            and self.leechers[t].pieces.is_interested_in(uploader_pieces)
+            and self._is_interested(self.leechers[t], uploader_id, uploader_pieces)
+            and (network is None or not network.blocked(uploader_id, t))
         ]
         if not targets:
-            return
+            return 0.0
         per_target = capacity / len(targets)
+        delivered = 0.0
         for target_id in sorted(targets):
-            self._transfer(
+            delivered += self._transfer(
                 uploader_id, uploader_pieces, self.leechers[target_id], per_target, tick
             )
+        if limiter is not None and delivered > 0:
+            limiter.consume(delivered)
+        if uploader_id != self.seeder_id and delivered > 0:
+            self.leechers[uploader_id].uploaded_kb += delivered
+        return delivered
+
+    def _forget_everywhere(self, peer_id: int) -> None:
+        """Purge a leaving peer from every remaining member's state."""
+        self.tracker.unregister(peer_id)
+        self.seeder.forget_neighbour(peer_id)
+        for other_id in self._active:
+            self.leechers[other_id].forget_neighbour(peer_id)
+        self._interest_cache.pop(peer_id, None)
+        slot = self._peer_slot.pop(peer_id, None)
+        if slot is not None and self._slot_peer.get(slot) == peer_id:
+            self._slot_peer.pop(slot, None)
+        self._plan_of.pop(peer_id, None)
 
     def _handle_completions(self, tick: int) -> None:
         finished = [pid for pid in self._active if self.leechers[pid].is_complete]
@@ -263,10 +463,164 @@ class SwarmSimulation:
             leecher = self.leechers[peer_id]
             leecher.completion_tick = tick + 1
             self._active.discard(peer_id)
-            self.tracker.unregister(peer_id)
-            self.seeder.forget_neighbour(peer_id)
-            for other_id in self._active:
-                self.leechers[other_id].forget_neighbour(peer_id)
+            self._forget_everywhere(peer_id)
+
+    # ------------------------------------------------------------------ #
+    # scenario dynamics (round boundaries)
+    # ------------------------------------------------------------------ #
+    def _depart(self, peer_id: int, tick: int) -> SwarmPeerPlan:
+        """Remove an active peer early (churn); return its plan for reuse."""
+        leecher = self.leechers[peer_id]
+        plan = self._plan_of.get(
+            peer_id,
+            SwarmPeerPlan(
+                variant=leecher.variant,
+                group=leecher.group,
+                capacity_class=leecher.capacity_class,
+            ),
+        )
+        leecher.departed_tick = tick
+        self._active.discard(peer_id)
+        self._forget_everywhere(peer_id)
+        self.departures += 1
+        return plan
+
+    def _join(
+        self,
+        plan: SwarmPeerPlan,
+        tick: int,
+        cohort: str,
+        slot: Optional[int] = None,
+    ) -> int:
+        """Admit a fresh identity running ``plan``; returns the new peer id."""
+        peer_id = self._next_peer_id
+        self._next_peer_id += 1
+        capacity = (
+            plan.capacity
+            if plan.capacity is not None
+            else self._distribution.sample(self._rng)
+        )
+        leecher = Leecher(
+            peer_id=peer_id,
+            upload_capacity=capacity,
+            variant=plan.variant,
+            pieces=PieceSet(self.torrent.piece_count),
+            joined_tick=tick,
+            group=plan.group,
+            capacity_class=plan.capacity_class,
+            cohort=cohort,
+            limiter=RateLimiter(0.0 if plan.free_rider else capacity),
+        )
+        neighbours = set(self.tracker.announce(peer_id, self._rng))
+        neighbours.add(self.seeder_id)
+        neighbours.discard(peer_id)
+        leecher.neighbours = neighbours
+        # Connections are bidirectional: announced peers learn of the
+        # newcomer when it connects to them.
+        for other_id in neighbours:
+            if other_id != self.seeder_id and other_id in self._active:
+                self.leechers[other_id].neighbours.add(peer_id)
+        self.leechers[peer_id] = leecher
+        self._active.add(peer_id)
+        self._plan_of[peer_id] = plan
+        if slot is not None:
+            self._peer_slot[peer_id] = slot
+            self._slot_peer[slot] = peer_id
+        self.arrivals += 1
+        self.peak_active = max(self.peak_active, len(self._active))
+        return peer_id
+
+    def _apply_shift(self, shift: SwarmShift) -> None:
+        for slot in shift.slot_ids:
+            peer_id = self._slot_peer.get(slot)
+            if peer_id is None or peer_id not in self._active:
+                continue
+            leecher = self.leechers[peer_id]
+            leecher.variant = shift.variant
+            if shift.group is not None:
+                leecher.group = shift.group
+            if shift.free_rider:
+                leecher.limiter = RateLimiter(0.0)
+            old_plan = self._plan_of.get(peer_id)
+            if old_plan is not None:
+                # Future replacements of this slot inherit the shifted plan.
+                self._plan_of[peer_id] = replace(
+                    old_plan,
+                    variant=shift.variant,
+                    free_rider=shift.free_rider or old_plan.free_rider,
+                    group=shift.group if shift.group is not None else old_plan.group,
+                )
+
+    def _process_round_boundary(self, tick: int) -> None:
+        scenario = self.scenario
+        round_index = tick // scenario.round_ticks
+        if round_index >= scenario.rounds:
+            return
+        for shift in scenario.shifts:
+            if shift.round == round_index:
+                self._apply_shift(shift)
+        for wave in scenario.waves:
+            if wave.correlated and wave.start_round <= round_index < wave.end_round:
+                self._correlated_wave(wave, tick)
+        model = scenario.arrivals
+        extra = sum(
+            wave.intensity
+            for wave in scenario.waves
+            if not wave.correlated and wave.start_round <= round_index < wave.end_round
+        )
+        base_rate = model.churn_rate + extra
+        if base_rate > 0.0 or model.target_churn > 0.0:
+            targeted = set(model.target_groups)
+            for peer_id in sorted(self._active):
+                rate = base_rate
+                if model.target_churn and self.leechers[peer_id].group in targeted:
+                    rate += model.target_churn
+                if rate > 0.0 and self._rng.random() < min(rate, 1.0):
+                    self._churn_departure(peer_id, tick)
+        if model.kind == "poisson" and round_index >= model.arrival_start_round:
+            for _ in range(_poisson(self._rng, model.arrival_rate)):
+                if model.max_active and len(self._active) >= model.max_active:
+                    break
+                self._join(model.arrival_plan, tick, cohort="arrival")
+
+    def _correlated_wave(self, wave: SwarmChurnWindow, tick: int) -> None:
+        """Replace an exact fraction of the active swarm with fresh arrivals."""
+        active = sorted(self._active)
+        if not active:
+            return
+        count = min(len(active), max(1, round(wave.intensity * len(active))))
+        for peer_id in sorted(self._rng.sample(active, count)):
+            slot = self._peer_slot.get(peer_id)
+            plan = self._depart(peer_id, tick)
+            self._join(plan, tick, cohort="arrival", slot=slot)
+
+    def _churn_departure(self, peer_id: int, tick: int) -> None:
+        model = self.scenario.arrivals
+        group = self.leechers[peer_id].group
+        slot = self._peer_slot.get(peer_id)
+        plan = self._depart(peer_id, tick)
+        if model.kind == "replacement":
+            self._join(plan, tick, cohort="churn", slot=slot)
+        elif model.kind == "whitewash":
+            eligible = not model.target_groups or group in model.target_groups
+            if eligible and self._rng.random() < model.rejoin_prob:
+                # A fresh identity shedding all progress and reputation.
+                self._join(plan, tick, cohort="whitewash")
+
+    def _growth_possible(self, tick: int) -> bool:
+        """Whether new peers can still appear after this tick (empty-swarm check)."""
+        if self.scenario is None:
+            return False
+        model = self.scenario.arrivals
+        if model.kind != "poisson":
+            # Replacement and whitewash arrivals are triggered by departures
+            # of active peers: an empty swarm stays empty.
+            return False
+        next_round = tick // self.scenario.round_ticks + 1
+        return (
+            next_round < self.scenario.rounds
+            and self.scenario.rounds - 1 >= model.arrival_start_round
+        )
 
     # ------------------------------------------------------------------ #
     # public API
@@ -274,17 +628,26 @@ class SwarmSimulation:
     def run(self) -> SwarmResult:
         """Execute the swarm until everyone finishes or the horizon is reached."""
         config = self.config
+        scenario = self.scenario
         for tick in range(config.max_ticks):
-            self._ticks_executed = tick + 1
-            if not self._active:
+            if scenario is not None and tick > 0 and tick % scenario.round_ticks == 0:
+                self._process_round_boundary(tick)
+            if not self._active and not self._growth_possible(tick):
                 break
+            # Counted only once the tick actually transfers, so
+            # ``ticks_executed`` always equals ``len(tick_transferred)``.
+            self._ticks_executed = tick + 1
+            if self._network is not None:
+                self._network.advance(tick, self._active, self._rng)
             if tick % config.rechoke_interval == 0:
                 self._rechoke_all(tick)
-            self._upload_from(self.seeder_id, tick)
+            delivered = self._upload_from(self.seeder_id, tick)
             for uploader_id in sorted(self._active):
-                self._upload_from(uploader_id, tick)
+                delivered += self._upload_from(uploader_id, tick)
+            self.tick_transferred.append(delivered)
+            self.total_transferred_kb += delivered
             self._handle_completions(tick)
-            if not self._active:
+            if not self._active and not self._growth_possible(tick):
                 break
 
         records = [
@@ -293,9 +656,21 @@ class SwarmSimulation:
                 variant=leecher.variant.name,
                 upload_capacity=leecher.upload_capacity,
                 download_time=leecher.download_time,
+                group=leecher.group,
+                capacity_class=leecher.capacity_class,
+                cohort=leecher.cohort,
+                joined_tick=leecher.joined_tick,
+                departed_tick=leecher.departed_tick,
+                downloaded_kb=leecher.downloaded_kb,
             )
             for leecher in self.leechers.values()
         ]
         return SwarmResult(
-            config=config, records=records, ticks_executed=self._ticks_executed
+            config=config,
+            records=records,
+            ticks_executed=self._ticks_executed,
+            total_transferred_kb=self.total_transferred_kb,
+            arrivals=self.arrivals,
+            departures=self.departures,
+            peak_active=self.peak_active,
         )

@@ -28,6 +28,7 @@ __all__ = [
     "sort_s_client",
     "random_client",
     "variant_by_name",
+    "variant_from_behavior",
 ]
 
 _RANKINGS = ("fastest", "slowest", "proximity", "loyal", "random")
@@ -167,3 +168,53 @@ def variant_by_name(name: str) -> ClientVariant:
         raise KeyError(
             f"unknown variant {name!r}; known: {sorted(variants)}"
         ) from exc
+
+
+# ---------------------------------------------------------------------- #
+# abstract-engine behaviour -> swarm variant compilation
+# ---------------------------------------------------------------------- #
+_BEHAVIOR_RANKINGS = {
+    "fastest": "fastest",
+    "slowest": "slowest",
+    "proximity": "proximity",
+    # The abstract engine's adaptive ranking tunes toward bandwidth-matched
+    # partners; proximity is the packet-level analogue.
+    "adaptive": "proximity",
+    "loyal": "loyal",
+    "random": "random",
+}
+
+_STRANGER_POLICIES = {
+    "periodic": "periodic",
+    "when_needed": "when_needed",
+    # "none" never gives to strangers; "defect" accepts but never reciprocates.
+    # Neither maps to an optimistic unchoke, so both compile to "never".
+    "none": "never",
+    "defect": "never",
+}
+
+
+def variant_from_behavior(behavior: "object") -> ClientVariant:
+    """Compile a :class:`~repro.sim.behavior.PeerBehavior` to a swarm variant.
+
+    Only the choker-visible axes translate: the ranking, the stranger
+    (optimistic-unchoke) policy, and the partner count.  Allocation policy
+    is not a swarm knob — free-riding is expressed by the rate limiter the
+    scenario compiler attaches, not by the variant.  Accepts any object
+    with ``ranking``, ``stranger_policy``, ``partner_count`` and ``label()``
+    to avoid importing the sim layer here.
+    """
+    ranking = _BEHAVIOR_RANKINGS.get(getattr(behavior, "ranking"))
+    if ranking is None:
+        raise ValueError(f"no swarm ranking for behaviour ranking {behavior.ranking!r}")
+    policy = _STRANGER_POLICIES.get(getattr(behavior, "stranger_policy"))
+    if policy is None:
+        raise ValueError(
+            f"no swarm optimistic policy for stranger_policy {behavior.stranger_policy!r}"
+        )
+    return ClientVariant(
+        name=behavior.label(),
+        ranking=ranking,
+        optimistic_policy=policy,
+        regular_slots=max(1, int(behavior.partner_count)),
+    )

@@ -30,7 +30,7 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runner.runner import ENV_CACHE_DIR, ENV_JOBS, jobs_from_env
-from repro.scenarios import get_scenario, all_scenarios
+from repro.scenarios import SUBSTRATE_CHOICES, get_scenario, all_scenarios
 from repro.sim.engine import (
     ENGINE_CHOICES,
     ENV_ENGINE,
@@ -42,6 +42,7 @@ from repro.experiments import (
     atlas as atlas_experiment,
     base,
     churn_check,
+    cross_substrate,
     figure1,
     figure2,
     figure3,
@@ -98,6 +99,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Runner]] = {
     "figure10": ("Homogeneous-swarm client performance", _scaled(figure10)),
     "scenarios": ("Named workload scenarios side by side", _scaled(scenario_sweep)),
     "atlas": ("Protocol x workload robustness atlas", _scaled(atlas_experiment)),
+    "cross-substrate": (
+        "Protocol rankings compared across the rounds and swarm substrates",
+        _scaled(cross_substrate),
+    ),
 }
 
 
@@ -151,6 +156,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="independent repetitions (default: per-scale)",
     )
     scenario_parser.add_argument(
+        "--substrate", default="rounds", choices=SUBSTRATE_CHOICES,
+        help="execution substrate: 'rounds' compiles the scenario onto the "
+             "abstract round engines, 'swarm' onto the packet-level "
+             "BitTorrent simulator (default: rounds)",
+    )
+    scenario_parser.add_argument(
         "--profile", action="store_true",
         help="run one profiled simulation of the scenario and print "
              "per-phase (population/decision/transfer) round timings "
@@ -183,6 +194,10 @@ def _build_parser() -> argparse.ArgumentParser:
     atlas_parser.add_argument(
         "--reps", type=int, default=None, metavar="N",
         help="independent repetitions per cell (default: per-scale)",
+    )
+    atlas_parser.add_argument(
+        "--substrate", default="rounds", choices=SUBSTRATE_CHOICES,
+        help="execution substrate for every grid cell (default: rounds)",
     )
     atlas_parser.add_argument(
         "--csv", default=None, metavar="FILE",
@@ -365,14 +380,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.reps is not None and args.reps < 1:
             parser.error(f"--reps must be >= 1, got {args.reps}")
         if args.profile:
+            if args.substrate != "rounds":
+                parser.error(
+                    "--profile is a round-engine instrument; drop "
+                    "--substrate swarm"
+                )
             return _profile_scenario(parser, spec, args.scale, args.seed)
-        result = scenario_sweep.run(
-            scale=args.scale,
-            seed=args.seed,
-            scenarios=[args.name],
-            repetitions=args.reps,
-        )
-        print(scenario_sweep.render(result))
+        if args.substrate == "swarm":
+            swarm_result = scenario_sweep.run_swarm(
+                scale=args.scale,
+                seed=args.seed,
+                scenarios=[args.name],
+                repetitions=args.reps,
+            )
+            print(scenario_sweep.render_swarm(swarm_result))
+        else:
+            result = scenario_sweep.run(
+                scale=args.scale,
+                seed=args.seed,
+                scenarios=[args.name],
+                repetitions=args.reps,
+            )
+            print(scenario_sweep.render(result))
         runner_stats = base.experiment_runner()
         if runner_stats.cache is not None:
             print(
@@ -415,8 +444,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(str(error.args[0]))
         except ValueError as error:
             parser.error(str(error))
-        outcome = atlas_experiment.run(spec=spec)
-        print(atlas_experiment.render(outcome))
+        if args.substrate == "swarm":
+            outcome = atlas_experiment.run_swarm(spec=spec)
+            print(atlas_experiment.render_swarm(outcome))
+        else:
+            outcome = atlas_experiment.run(spec=spec)
+            print(atlas_experiment.render(outcome))
         if args.csv is not None:
             with open(args.csv, "w", encoding="utf-8") as handle:
                 handle.write(outcome.csv())

@@ -13,14 +13,27 @@ column set — small enough for ``repro all --scale smoke``, while the CLI
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.atlas.grid import AtlasResult, AtlasSpec, run_atlas
 from repro.atlas.report import AtlasReport, build_report, heatmap_csv, render_report
+from repro.bittorrent.metrics import censored_mean_download_time
 from repro.experiments import base
-from repro.scenarios import get_scenario
+from repro.runner.runner import RunnerStats
+from repro.scenarios import get_scenario, get_substrate
+from repro.sim.engine import using_engine
+from repro.stats.tables import format_table
 
-__all__ = ["AtlasOutcome", "repetitions_for", "make_spec", "run", "render"]
+__all__ = [
+    "AtlasOutcome",
+    "SwarmAtlasOutcome",
+    "repetitions_for",
+    "make_spec",
+    "run",
+    "render",
+    "run_swarm",
+    "render_swarm",
+]
 
 #: Independent repetitions (distinct derived seeds) per cell, by scale.
 REPETITIONS = {"smoke": 2, "bench": 3, "paper": 10}
@@ -86,16 +99,18 @@ def run(
     axes: Optional[Mapping[str, Tuple[object, ...]]] = None,
     repetitions: Optional[int] = None,
     spec: Optional[AtlasSpec] = None,
+    engine: Optional[str] = None,
 ) -> AtlasOutcome:
     """Execute the atlas grid and condense it into the report.
 
     ``scenarios``/``axes``/``repetitions`` default to the micro grid
     (:data:`~repro.atlas.grid.DEFAULT_AXES` ×
     :data:`~repro.atlas.grid.DEFAULT_SCENARIOS` × per-scale repetitions);
-    a prebuilt ``spec`` (see :func:`make_spec`) overrides them all.  All
-    jobs form one flat batch on the experiment runner, so a parallel
-    runner overlaps cells and a warm cache answers unchanged cells without
-    simulating.
+    a prebuilt ``spec`` (see :func:`make_spec`) overrides them all;
+    ``engine`` scopes a round-engine choice (``fast`` / ``reference`` /
+    ``vec``) over exactly this grid, workers included.  All jobs form one
+    flat batch on the experiment runner, so a parallel runner overlaps
+    cells and a warm cache answers unchanged cells without simulating.
     """
     if spec is None:
         spec = make_spec(
@@ -105,13 +120,153 @@ def run(
             axes=axes,
             repetitions=repetitions,
         )
-    result = run_atlas(spec, runner=base.experiment_runner())
+    with using_engine(engine):
+        result = run_atlas(spec, runner=base.experiment_runner())
     return AtlasOutcome(
         scale=spec.scale,
         seed=spec.master_seed,
         spec=spec,
         result=result,
         report=build_report(result),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# swarm substrate
+# ---------------------------------------------------------------------- #
+@dataclass
+class SwarmAtlasOutcome:
+    """One swarm-substrate atlas invocation.
+
+    ``scores`` maps (protocol label, scenario) to the censored mean download
+    time pooled over the cell's repetitions (lower is better);
+    ``relative`` rescales each scenario column against its best protocol
+    (1.0 = the column winner), which is the within-scenario *relative*
+    standing the cross-substrate comparison is about.
+    """
+
+    scale: str
+    seed: int
+    spec: AtlasSpec
+    scores: Dict[Tuple[str, str], float]
+    relative: Dict[Tuple[str, str], float]
+    jobs_total: int
+    stats: RunnerStats
+
+    def protocol_labels(self) -> List[str]:
+        return [protocol.label for protocol in self.spec.protocols()]
+
+    def mean_relative(self, label: str) -> float:
+        """A protocol's relative standing averaged over the scenario columns."""
+        values = [self.relative[(label, name)] for name in self.spec.scenarios]
+        return sum(values) / len(values)
+
+    def csv(self) -> str:
+        """Long-form CSV of the swarm grid (CI artifact format)."""
+        lines = ["scenario,protocol,censored_mean_time,relative_score"]
+        for name in self.spec.scenarios:
+            for label in self.protocol_labels():
+                score = self.scores[(label, name)]
+                rel = self.relative[(label, name)]
+                lines.append(f"{name},{label},{score:.4f},{rel:.4f}")
+        return "\n".join(lines) + "\n"
+
+
+def run_swarm(
+    scale: str = "smoke",
+    seed: int = 0,
+    scenarios: Optional[Sequence[str]] = None,
+    axes: Optional[Mapping[str, Tuple[object, ...]]] = None,
+    repetitions: Optional[int] = None,
+    spec: Optional[AtlasSpec] = None,
+) -> SwarmAtlasOutcome:
+    """Execute the atlas grid on the packet-level swarm substrate.
+
+    The grid declaration is the same :class:`AtlasSpec` — each cell injects
+    its protocol as the scenario population's default behaviour, exactly as
+    the round-engine atlas does — but every cell compiles through
+    :class:`~repro.scenarios.substrate.SwarmSubstrate` and is scored by the
+    censored mean download time (non-finishers count at the horizon).
+    """
+    if spec is None:
+        spec = make_spec(
+            scale=scale,
+            seed=seed,
+            scenarios=scenarios,
+            axes=axes,
+            repetitions=repetitions,
+        )
+    substrate = get_substrate("swarm")
+    runner = base.experiment_runner()
+    compiled = [
+        (
+            cell,
+            substrate.jobs(
+                spec.cell_spec(cell),
+                spec.scale,
+                master_seed=spec.master_seed,
+                repetitions=spec.repetitions,
+            ),
+        )
+        for cell in spec.cells()
+    ]
+    flat = [job for _cell, batch in compiled for job in batch]
+    before = runner.stats()
+    results = runner.run(flat)
+    stats = runner.stats() - before
+
+    scores: Dict[Tuple[str, str], float] = {}
+    cursor = 0
+    for cell, batch in compiled:
+        chunk = results[cursor : cursor + len(batch)]
+        cursor += len(batch)
+        scores[cell.key] = censored_mean_download_time(chunk)
+
+    relative: Dict[Tuple[str, str], float] = {}
+    labels = [protocol.label for protocol in spec.protocols()]
+    for name in spec.scenarios:
+        best = min(scores[(label, name)] for label in labels)
+        for label in labels:
+            relative[(label, name)] = best / scores[(label, name)]
+    return SwarmAtlasOutcome(
+        scale=spec.scale,
+        seed=spec.master_seed,
+        spec=spec,
+        scores=scores,
+        relative=relative,
+        jobs_total=len(flat),
+        stats=stats,
+    )
+
+
+def render_swarm(outcome: SwarmAtlasOutcome) -> str:
+    """Protocol ranking table of the swarm-substrate atlas."""
+    spec = outcome.spec
+    labels = sorted(
+        outcome.protocol_labels(), key=outcome.mean_relative, reverse=True
+    )
+    rows = []
+    for label in labels:
+        rows.append(
+            [label, outcome.mean_relative(label)]
+            + [outcome.scores[(label, name)] for name in spec.scenarios]
+        )
+    table = format_table(
+        ("protocol", "mean rel") + tuple(spec.scenarios),
+        rows,
+        title=(
+            f"swarm robustness atlas — censored mean download time (ticks), "
+            f"{outcome.scale} scale, seed {outcome.seed}"
+        ),
+    )
+    stats = outcome.stats
+    return "\n".join(
+        [
+            table,
+            "",
+            f"grid: {outcome.jobs_total} jobs, {stats.executed} simulated, "
+            f"{stats.cache_hits} cached, {stats.deduplicated} duplicate",
+        ]
     )
 
 

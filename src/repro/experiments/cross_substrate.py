@@ -1,0 +1,209 @@
+"""Cross-substrate validation: do the two simulators rank protocols alike?
+
+The repo carries two executable models of the same system: the abstract
+round engine (the paper's PRA methodology) and the packet-level BitTorrent
+swarm.  Their scores are incommensurable — download volume per peer-round
+versus censored download time in ticks — so agreement is measured where it
+matters: the *within-scenario relative ordering* of protocol variants.  For
+each scenario, five ranking-axis protocols (the five swarm client rankings)
+are injected as the population's default behaviour and run on both
+substrates with shared per-(scenario, repetition) seed streams; the report
+is the Spearman rank correlation between the two orderings per scenario.
+
+A high correlation is evidence that the abstract engine's design-space
+conclusions are not artefacts of its abstraction level; a low one flags the
+scenarios where the packet-level mechanics (piece availability, choking
+slots, rate limits) change which protocol wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bittorrent.metrics import censored_mean_download_time
+from repro.experiments import base
+from repro.scenarios import get_scenario, get_substrate
+from repro.sim.behavior import PeerBehavior
+from repro.stats.correlation import spearman_rank_correlation
+from repro.stats.tables import format_table
+
+__all__ = [
+    "CrossSubstrateResult",
+    "DEFAULT_SCENARIOS",
+    "PROTOCOL_RANKINGS",
+    "repetitions_for",
+    "run",
+    "render",
+]
+
+#: The compared protocols: one per ranking function both substrates model
+#: natively (the five swarm client variants map onto exactly these).
+PROTOCOL_RANKINGS: Tuple[str, ...] = (
+    "fastest",
+    "slowest",
+    "proximity",
+    "loyal",
+    "random",
+)
+
+#: Default scenario columns: the static baseline plus the dynamics the
+#: swarm substrate models mechanically (churn, shifts, adversaries).
+DEFAULT_SCENARIOS: Tuple[str, ...] = (
+    "baseline",
+    "flash-crowd",
+    "free-rider-wave",
+    "colluders",
+)
+
+#: Independent repetitions (distinct derived seeds) per cell, by scale.
+REPETITIONS = {"smoke": 2, "bench": 3, "paper": 10}
+
+
+def repetitions_for(scale: str) -> int:
+    """Number of repetitions each (scenario, protocol) cell runs at ``scale``."""
+    base.check_scale(scale)
+    return REPETITIONS[scale]
+
+
+@dataclass
+class CrossSubstrateResult:
+    """Outcome of one cross-substrate comparison.
+
+    Scores are keyed (scenario, ranking); both are oriented so *higher is
+    better* (the swarm score is the negated censored mean download time),
+    which makes the per-scenario orderings directly comparable.
+    """
+
+    scale: str
+    seed: int
+    scenarios: Tuple[str, ...]
+    protocols: Tuple[str, ...]
+    repetitions: int
+    rounds_scores: Dict[Tuple[str, str], float]
+    swarm_scores: Dict[Tuple[str, str], float]
+    correlations: Dict[str, float]
+    jobs_run: int
+
+    @property
+    def mean_correlation(self) -> float:
+        return mean(self.correlations.values())
+
+    def ordering(self, scenario: str, substrate: str) -> List[str]:
+        """Protocol labels best-first under ``substrate`` in ``scenario``."""
+        scores = self.rounds_scores if substrate == "rounds" else self.swarm_scores
+        return sorted(
+            self.protocols, key=lambda p: scores[(scenario, p)], reverse=True
+        )
+
+    def csv(self) -> str:
+        """Long-form CSV of both score columns (CI artifact format)."""
+        lines = ["scenario,protocol,rounds_score,swarm_score"]
+        for scenario in self.scenarios:
+            for protocol in self.protocols:
+                rounds = self.rounds_scores[(scenario, protocol)]
+                swarm = self.swarm_scores[(scenario, protocol)]
+                lines.append(f"{scenario},{protocol},{rounds:.4f},{swarm:.4f}")
+        return "\n".join(lines) + "\n"
+
+
+def run(
+    scale: str = "smoke",
+    seed: int = 0,
+    scenarios: Optional[Sequence[str]] = None,
+    repetitions: Optional[int] = None,
+) -> CrossSubstrateResult:
+    """Run every (scenario, protocol) cell on both substrates and correlate.
+
+    Rounds jobs and swarm jobs form **one** mixed flat batch on the cached,
+    parallel experiment runner — the executors dispatch on ``job.execute()``
+    and the cache keys on fingerprints, which carry a substrate
+    discriminator, so both substrates share a runner and a cache directory.
+    Per-cell seeds derive from the protocol-injected spec's fingerprint, so
+    the two substrates see the same seed stream per (scenario, repetition).
+    """
+    base.check_scale(scale)
+    names = tuple(scenarios) if scenarios is not None else DEFAULT_SCENARIOS
+    if repetitions is None:
+        repetitions = repetitions_for(scale)
+
+    rounds_substrate = get_substrate("rounds")
+    swarm_substrate = get_substrate("swarm")
+    cells = []
+    flat: List[object] = []
+    for name in names:
+        for ranking in PROTOCOL_RANKINGS:
+            spec = get_scenario(name).with_default_behavior(
+                PeerBehavior().with_(ranking=ranking)
+            )
+            rounds_batch = rounds_substrate.jobs(
+                spec, scale, master_seed=seed, repetitions=repetitions
+            )
+            swarm_batch = swarm_substrate.jobs(
+                spec, scale, master_seed=seed, repetitions=repetitions
+            )
+            cells.append((name, ranking, len(rounds_batch), len(swarm_batch)))
+            flat.extend(rounds_batch)
+            flat.extend(swarm_batch)
+    results = base.experiment_runner().run(flat)
+
+    rounds_scores: Dict[Tuple[str, str], float] = {}
+    swarm_scores: Dict[Tuple[str, str], float] = {}
+    cursor = 0
+    for name, ranking, n_rounds, n_swarm in cells:
+        rounds_chunk = results[cursor : cursor + n_rounds]
+        cursor += n_rounds
+        swarm_chunk = results[cursor : cursor + n_swarm]
+        cursor += n_swarm
+        rounds_scores[(name, ranking)] = mean(r.throughput for r in rounds_chunk)
+        swarm_scores[(name, ranking)] = -censored_mean_download_time(swarm_chunk)
+
+    correlations = {
+        name: spearman_rank_correlation(
+            [rounds_scores[(name, p)] for p in PROTOCOL_RANKINGS],
+            [swarm_scores[(name, p)] for p in PROTOCOL_RANKINGS],
+        )
+        for name in names
+    }
+    return CrossSubstrateResult(
+        scale=scale,
+        seed=seed,
+        scenarios=names,
+        protocols=PROTOCOL_RANKINGS,
+        repetitions=repetitions,
+        rounds_scores=rounds_scores,
+        swarm_scores=swarm_scores,
+        correlations=correlations,
+        jobs_run=len(flat),
+    )
+
+
+def render(result: CrossSubstrateResult) -> str:
+    """Per-scenario rank-correlation table plus the headline mean."""
+    rows = []
+    for scenario in result.scenarios:
+        rows.append(
+            [
+                scenario,
+                result.correlations[scenario],
+                " > ".join(result.ordering(scenario, "rounds")),
+                " > ".join(result.ordering(scenario, "swarm")),
+            ]
+        )
+    table = format_table(
+        ("scenario", "spearman", "rounds ranking (best first)", "swarm ranking (best first)"),
+        rows,
+        title=(
+            f"cross-substrate protocol rankings — {result.scale} scale, "
+            f"seed {result.seed}, {result.repetitions} reps"
+        ),
+    )
+    return "\n".join(
+        [
+            table,
+            "",
+            f"mean Spearman over {len(result.scenarios)} scenarios: "
+            f"{result.mean_correlation:.3f}  ({result.jobs_run} jobs)",
+        ]
+    )

@@ -14,15 +14,31 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.bittorrent.metrics import (
+    censored_mean_download_time,
+    group_cohort_breakdown,
+    summarize_by_class,
+)
+from repro.bittorrent.swarm import SwarmResult
 from repro.experiments import base
-from repro.scenarios import all_scenarios, get_scenario
+from repro.scenarios import all_scenarios, get_scenario, get_substrate
 from repro.scenarios.spec import ScenarioSpec
-from repro.sim.engine import SimulationResult
+from repro.sim.engine import SimulationResult, using_engine
 from repro.stats.tables import format_table
 
-__all__ = ["ScenarioStats", "ScenarioSweepResult", "repetitions_for", "run", "render"]
+__all__ = [
+    "ScenarioStats",
+    "ScenarioSweepResult",
+    "SwarmScenarioStats",
+    "SwarmSweepResult",
+    "repetitions_for",
+    "run",
+    "render",
+    "run_swarm",
+    "render_swarm",
+]
 
 #: Independent repetitions (distinct derived seeds) per scenario, by scale.
 REPETITIONS = {"smoke": 2, "bench": 3, "paper": 10}
@@ -115,13 +131,16 @@ def run(
     seed: int = 0,
     scenarios: Optional[Sequence[str]] = None,
     repetitions: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> ScenarioSweepResult:
     """Run the scenario grid and aggregate per-scenario statistics.
 
     ``scenarios`` selects registry names (default: every registered
-    scenario); ``repetitions`` overrides the per-scale default.  All jobs of
-    the whole grid form one batch, so a parallel runner overlaps scenarios
-    and a warm cache answers the entire sweep without simulating.
+    scenario); ``repetitions`` overrides the per-scale default; ``engine``
+    scopes a round-engine choice (``fast`` / ``reference`` / ``vec``) over
+    exactly this sweep, workers included.  All jobs of the whole grid form
+    one batch, so a parallel runner overlaps scenarios and a warm cache
+    answers the entire sweep without simulating.
     """
     base.check_scale(scale)
     if scenarios is None:
@@ -133,7 +152,8 @@ def run(
 
     batches = [spec.jobs(scale, master_seed=seed, repetitions=repetitions) for spec in specs]
     flat = [job for batch in batches for job in batch]
-    results = base.experiment_runner().run(flat)
+    with using_engine(engine):
+        results = base.experiment_runner().run(flat)
 
     stats: List[ScenarioStats] = []
     cursor = 0
@@ -187,4 +207,164 @@ def render(result: ScenarioSweepResult) -> str:
         ),
         rows,
         title=f"scenario sweep — {result.scale} scale, seed {result.seed}",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# swarm substrate
+# ---------------------------------------------------------------------- #
+@dataclass
+class SwarmScenarioStats:
+    """Aggregates over one scenario's swarm-substrate repetitions."""
+
+    spec: ScenarioSpec
+    n_peers: int
+    rounds: int
+    ticks: int
+    repetitions: int
+    #: Share of all leechers (initial and arriving) that completed.
+    mean_completion: float
+    #: Mean download time with non-finishers censored at the horizon.
+    censored_mean_time: float
+    mean_arrivals: float
+    mean_departures: float
+    mean_peak_active: float
+    #: Pooled completion fraction per behaviour group.
+    group_completion: Dict[str, float] = field(default_factory=dict)
+    #: Pooled completion fraction per capacity class (when declared).
+    class_completion: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+@dataclass
+class SwarmSweepResult:
+    """Outcome of one swarm-substrate scenario sweep."""
+
+    scale: str
+    seed: int
+    stats: List[SwarmScenarioStats]
+    jobs_run: int
+
+    def by_name(self) -> Dict[str, SwarmScenarioStats]:
+        return {s.name: s for s in self.stats}
+
+
+def _aggregate_swarm(
+    spec: ScenarioSpec, results: Sequence[SwarmResult]
+) -> SwarmScenarioStats:
+    config = results[0].config
+    total_peers = sum(len(r.records) for r in results)
+    completed = sum(
+        1 for r in results for record in r.records if record.download_time is not None
+    )
+    # Collapse cohorts: report completion per group over all cohorts.
+    by_group: Dict[str, List[Tuple[int, int]]] = {}
+    for (group, _cohort), metrics in group_cohort_breakdown(results).items():
+        by_group.setdefault(group, []).append((metrics.completed, metrics.peers))
+    group_completion = {
+        group: sum(c for c, _p in pairs) / sum(p for _c, p in pairs)
+        for group, pairs in sorted(by_group.items())
+        if sum(p for _c, p in pairs)
+    }
+    class_completion = {
+        cls: metrics.completion_fraction
+        for cls, metrics in sorted(summarize_by_class(results).items())
+        if cls != "unclassed" and metrics.peers
+    }
+    return SwarmScenarioStats(
+        spec=spec,
+        n_peers=config.n_leechers,
+        rounds=spec.rounds,
+        ticks=config.max_ticks,
+        repetitions=len(results),
+        mean_completion=completed / total_peers if total_peers else 0.0,
+        censored_mean_time=censored_mean_download_time(results),
+        mean_arrivals=mean(float(r.arrivals) for r in results),
+        mean_departures=mean(float(r.departures) for r in results),
+        mean_peak_active=mean(float(r.peak_active) for r in results),
+        group_completion=group_completion,
+        class_completion=class_completion,
+    )
+
+
+def run_swarm(
+    scale: str = "bench",
+    seed: int = 0,
+    scenarios: Optional[Sequence[str]] = None,
+    repetitions: Optional[int] = None,
+) -> SwarmSweepResult:
+    """Run the scenario grid on the packet-level swarm substrate.
+
+    Same batching discipline as :func:`run` — the swarm jobs flow through
+    the same cached, parallel experiment runner (their fingerprints carry a
+    ``substrate`` discriminator, so the two substrates share a cache
+    directory without collisions) — but the aggregates are swarm-native:
+    completion fractions and censored download times instead of
+    round-engine throughput.
+    """
+    base.check_scale(scale)
+    if scenarios is None:
+        specs = all_scenarios()
+    else:
+        specs = [get_scenario(name) for name in scenarios]
+    if repetitions is None:
+        repetitions = repetitions_for(scale)
+
+    substrate = get_substrate("swarm")
+    batches = [
+        substrate.jobs(spec, scale, master_seed=seed, repetitions=repetitions)
+        for spec in specs
+    ]
+    flat = [job for batch in batches for job in batch]
+    results = base.experiment_runner().run(flat)
+
+    stats: List[SwarmScenarioStats] = []
+    cursor = 0
+    for spec, batch in zip(specs, batches):
+        chunk = results[cursor : cursor + len(batch)]
+        cursor += len(batch)
+        stats.append(_aggregate_swarm(spec, chunk))
+    return SwarmSweepResult(scale=scale, seed=seed, stats=stats, jobs_run=len(flat))
+
+
+def render_swarm(result: SwarmSweepResult) -> str:
+    """Plain-text table of the swarm-substrate sweep."""
+    rows = []
+    for stats in result.stats:
+        groups = " ".join(
+            f"{group}={fraction:.2f}"
+            for group, fraction in stats.group_completion.items()
+        )
+        classes = " ".join(
+            f"{cls}={fraction:.2f}"
+            for cls, fraction in stats.class_completion.items()
+        )
+        rows.append(
+            [
+                stats.name,
+                f"{stats.n_peers}x{stats.rounds}",
+                stats.repetitions,
+                stats.mean_completion,
+                stats.censored_mean_time,
+                f"{stats.mean_arrivals:.1f}/{stats.mean_departures:.1f}",
+                stats.mean_peak_active,
+                (groups + (" | " + classes if classes else "")).strip(),
+            ]
+        )
+    return format_table(
+        (
+            "scenario",
+            "peers x rounds",
+            "reps",
+            "completion",
+            "censored time",
+            "arrivals/departures",
+            "peak active",
+            "completion by group | class",
+        ),
+        rows,
+        title=f"swarm scenario sweep — {result.scale} scale, seed {result.seed}",
     )

@@ -15,6 +15,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.bittorrent.swarm import SwarmPeerRecord, SwarmResult
 from repro.sim.bandwidth import (
     BandwidthDistribution,
     ConstantBandwidth,
@@ -149,14 +150,86 @@ class SimulationJob:
 # ---------------------------------------------------------------------- #
 # result (de)serialisation for the on-disk cache
 # ---------------------------------------------------------------------- #
-def result_to_payload(result: SimulationResult) -> Dict[str, object]:
+def _swarm_result_to_payload(result: SwarmResult) -> Dict[str, object]:
+    """JSON-stable payload of a packet-level swarm result.
+
+    Distinguished from abstract-engine payloads by ``"kind": "swarm"`` — a
+    key no round-engine payload has ever carried, so the two result shapes
+    can never be confused in the shared cache.
+    """
+    records = [
+        {
+            "peer_id": r.peer_id,
+            "variant": r.variant,
+            "upload_capacity": r.upload_capacity,
+            "download_time": r.download_time,
+            "group": r.group,
+            "capacity_class": r.capacity_class,
+            "cohort": r.cohort,
+            "joined_tick": r.joined_tick,
+            "departed_tick": r.departed_tick,
+            "downloaded_kb": r.downloaded_kb,
+        }
+        for r in result.records
+    ]
+    return {
+        "version": RESULT_PAYLOAD_VERSION,
+        "kind": "swarm",
+        "records": records,
+        "ticks_executed": result.ticks_executed,
+        "total_transferred_kb": result.total_transferred_kb,
+        "arrivals": result.arrivals,
+        "departures": result.departures,
+        "peak_active": result.peak_active,
+    }
+
+
+def _swarm_result_from_payload(payload: Dict[str, object], config) -> SwarmResult:
+    records = []
+    for raw in payload["records"]:
+        download_time = raw["download_time"]
+        departed = raw.get("departed_tick")
+        capacity_class = raw.get("capacity_class")
+        records.append(
+            SwarmPeerRecord(
+                peer_id=int(raw["peer_id"]),
+                variant=str(raw["variant"]),
+                upload_capacity=float(raw["upload_capacity"]),
+                download_time=(
+                    float(download_time) if download_time is not None else None
+                ),
+                group=str(raw.get("group", "default")),
+                capacity_class=(
+                    str(capacity_class) if capacity_class is not None else None
+                ),
+                cohort=str(raw.get("cohort", "initial")),
+                joined_tick=int(raw.get("joined_tick", 0)),
+                departed_tick=int(departed) if departed is not None else None,
+                downloaded_kb=float(raw.get("downloaded_kb", 0.0)),
+            )
+        )
+    return SwarmResult(
+        config=config,
+        records=records,
+        ticks_executed=int(payload["ticks_executed"]),
+        total_transferred_kb=float(payload.get("total_transferred_kb", 0.0)),
+        arrivals=int(payload.get("arrivals", 0)),
+        departures=int(payload.get("departures", 0)),
+        peak_active=int(payload.get("peak_active", 0)),
+    )
+
+
+def result_to_payload(result) -> Dict[str, object]:
     """JSON-stable payload of a result (config omitted — the job carries it).
 
     Fixed-population results serialise exactly as before (every pinned
     fingerprint stays valid); variable-population results — recognised by a
     recorded active-count timeline — additionally carry the per-record
-    identity lifecycle and a ``population`` summary block.
+    identity lifecycle and a ``population`` summary block.  Swarm results
+    get their own payload shape, tagged ``"kind": "swarm"``.
     """
+    if isinstance(result, SwarmResult):
+        return _swarm_result_to_payload(result)
     variable = result.active_counts is not None
     records = []
     for record in result.records:
@@ -190,14 +263,16 @@ def result_to_payload(result: SimulationResult) -> Dict[str, object]:
     return payload
 
 
-def result_from_payload(
-    payload: Dict[str, object], config: SimulationConfig
-) -> SimulationResult:
-    """Rebuild a :class:`SimulationResult` cached by :func:`result_to_payload`.
+def result_from_payload(payload: Dict[str, object], config):
+    """Rebuild a result cached by :func:`result_to_payload`.
 
     The ``config`` comes from the job being looked up, so the reconstructed
-    result is indistinguishable from a fresh run.
+    result is indistinguishable from a fresh run.  Swarm payloads (tagged
+    ``"kind": "swarm"``) rebuild a :class:`~repro.bittorrent.swarm.SwarmResult`;
+    everything else rebuilds a :class:`SimulationResult`.
     """
+    if payload.get("kind") == "swarm":
+        return _swarm_result_from_payload(payload, config)
     records: List[PeerRecord] = []
     for raw in payload["records"]:
         departed = raw.get("departed_round")

@@ -16,18 +16,36 @@ from repro.scenarios.spec import (
     ArrivalSpec,
     BandwidthClass,
     BehaviorGroup,
+    NetworkEventSpec,
     PopulationSpec,
     ScenarioSpec,
     ShiftSpec,
+)
+from repro.scenarios.substrate import (
+    SUBSTRATE_CHOICES,
+    RoundsSubstrate,
+    Substrate,
+    SwarmJob,
+    SwarmSubstrate,
+    compile_swarm,
+    get_substrate,
 )
 
 __all__ = [
     "ArrivalSpec",
     "BandwidthClass",
     "BehaviorGroup",
+    "NetworkEventSpec",
     "PopulationSpec",
     "ScenarioSpec",
     "ShiftSpec",
+    "SUBSTRATE_CHOICES",
+    "Substrate",
+    "RoundsSubstrate",
+    "SwarmSubstrate",
+    "SwarmJob",
+    "compile_swarm",
+    "get_substrate",
     "all_scenarios",
     "get_scenario",
     "register",

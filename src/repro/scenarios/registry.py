@@ -27,6 +27,11 @@ colluding-whitewash variable population: a colluder clique (loyal in-group,
                     defecting outward) deliberately cycles identities —
                     elevated targeted churn with near-certain whitewash
                     rejoins — while honest departures leave for good
+network-faults      steady mild churn plus injected network events: a
+                    link-degradation window mid-run and a partition/heal
+                    cycle later (survivability under failure; the swarm
+                    substrate injects the faults natively, the round
+                    engine approximates them as churn waves)
 ==================  =====================================================
 
 Additional scenarios can be registered at runtime with :func:`register`
@@ -41,6 +46,7 @@ from repro.scenarios.spec import (
     ArrivalSpec,
     BandwidthClass,
     BehaviorGroup,
+    NetworkEventSpec,
     PopulationSpec,
     ScenarioSpec,
     ShiftSpec,
@@ -193,6 +199,26 @@ register(
         ),
         population=PopulationSpec(size=50),
         arrival=ArrivalSpec(kind="whitewash", churn_rate=0.04, size=0.9),
+        rounds=200,
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="network-faults",
+        description=(
+            "Survivability under failure: 30% of peers degraded to half "
+            "rate at t=0.25 for 20% of the run, then a 25% partition at "
+            "t=0.6 healing after 15% of the run, over 1% steady churn"
+        ),
+        population=PopulationSpec(size=50),
+        arrival=ArrivalSpec(kind="steady", churn_rate=0.01),
+        network=(
+            NetworkEventSpec(
+                kind="degrade", at=0.25, span=0.2, fraction=0.3, severity=0.5
+            ),
+            NetworkEventSpec(kind="partition", at=0.6, span=0.15, fraction=0.25),
+        ),
         rounds=200,
     )
 )

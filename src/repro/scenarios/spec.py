@@ -54,12 +54,14 @@ __all__ = [
     "ARRIVAL_KINDS",
     "VARIABLE_ARRIVAL_KINDS",
     "SHIFT_KINDS",
+    "NETWORK_EVENT_KINDS",
     "SCALE_FACTORS",
     "BandwidthClass",
     "BehaviorGroup",
     "PopulationSpec",
     "ArrivalSpec",
     "ShiftSpec",
+    "NetworkEventSpec",
     "ScenarioSpec",
 ]
 
@@ -72,6 +74,9 @@ ARRIVAL_KINDS = ("steady", "flash_crowd", "burst_churn") + VARIABLE_ARRIVAL_KIND
 
 #: Behaviour-dynamics kinds (``custom`` requires an explicit behaviour).
 SHIFT_KINDS = ("none", "free_rider_wave", "colluders", "custom")
+
+#: Network-event kinds (link degradation / partition-and-heal windows).
+NETWORK_EVENT_KINDS = ("degrade", "partition")
 
 #: ``scale -> (population factor, rounds factor)`` applied by ``at_scale``.
 SCALE_FACTORS = {"paper": (1.0, 1.0), "bench": (0.4, 0.3), "smoke": (0.2, 0.1)}
@@ -635,6 +640,110 @@ class ShiftSpec:
 
 
 @dataclass(frozen=True)
+class NetworkEventSpec:
+    """A scheduled network fault, declared scale-free.
+
+    The packet-level swarm substrate injects these faithfully (reduced
+    upload budgets, a partition cut blocking transfers until the heal);
+    the abstract round engine — which has no link model — approximates
+    them as churn via :meth:`to_churn_wave`, so one declaration compiles
+    on both substrates.
+
+    Parameters
+    ----------
+    kind:
+        ``"degrade"`` (affected peers upload at ``1 - severity`` of their
+        capacity) or ``"partition"`` (affected peers are cut off from the
+        rest of the swarm, healing when the window ends).
+    at:
+        Start of the fault window, as a fraction of the run.
+    span:
+        Window length, as a fraction of the run.
+    fraction:
+        Fraction of active peers affected (sampled at the window start).
+    severity:
+        Degradation factor for ``"degrade"`` (ignored for partitions).
+    """
+
+    kind: str
+    at: float
+    span: float
+    fraction: float
+    severity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in NETWORK_EVENT_KINDS:
+            raise ValueError(
+                f"unknown network event kind {self.kind!r}; "
+                f"expected one of {NETWORK_EVENT_KINDS}"
+            )
+        if not 0.0 <= self.at < 1.0:
+            raise ValueError("at must be in [0, 1)")
+        if not 0.0 < self.span <= 1.0:
+            raise ValueError("span must be in (0, 1]")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError("severity must be in [0, 1]")
+
+    def start_round(self, rounds: int) -> int:
+        """First affected round of a run of ``rounds``."""
+        return min(rounds - 1, round(self.at * rounds))
+
+    def span_rounds(self, rounds: int) -> int:
+        """Window length in rounds (at least one)."""
+        start = self.start_round(rounds)
+        return max(1, min(round(self.span * rounds), rounds - start))
+
+    def to_churn_wave(self, rounds: int) -> Optional[ChurnWave]:
+        """The round-engine approximation of this fault as a churn wave.
+
+        A partition loses the cut-off peers' accumulated state for its
+        duration, which the round engine can only express as correlated
+        identity churn of the same fraction.  Degradation bleeds peers'
+        effectiveness, approximated as independent churn scaled by
+        ``severity``.  Returns ``None`` when the approximation is a no-op
+        (zero-severity degradation).
+        """
+        start = self.start_round(rounds)
+        if self.kind == "partition":
+            return ChurnWave(
+                start=start,
+                rounds=self.span_rounds(rounds),
+                intensity=self.fraction,
+                correlated=True,
+            )
+        intensity = self.fraction * self.severity
+        if intensity <= 0.0:
+            return None
+        return ChurnWave(
+            start=start,
+            rounds=self.span_rounds(rounds),
+            intensity=intensity,
+            correlated=False,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "span": self.span,
+            "fraction": self.fraction,
+            "severity": self.severity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NetworkEventSpec":
+        return cls(
+            kind=str(data["kind"]),
+            at=float(data["at"]),
+            span=float(data["span"]),
+            fraction=float(data["fraction"]),
+            severity=float(data.get("severity", 0.5)),
+        )
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One complete workload scenario: population × arrivals × dynamics.
 
@@ -650,12 +759,21 @@ class ScenarioSpec:
     shift: ShiftSpec = field(default_factory=ShiftSpec)
     rounds: int = 200
     description: str = ""
+    network: Tuple[NetworkEventSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a scenario needs a name")
         if self.rounds < _MIN_ROUNDS:
             raise ValueError(f"rounds must be >= {_MIN_ROUNDS}")
+        if not isinstance(self.network, tuple):
+            object.__setattr__(self, "network", tuple(self.network))
+        if self.network and self.arrival.is_variable:
+            raise ValueError(
+                "network events are approximated as churn waves on the round "
+                "engine and cannot be combined with a variable-population "
+                "arrival process"
+            )
         if self.arrival.is_variable:
             if self.shift.kind != "none":
                 raise ValueError(
@@ -731,10 +849,17 @@ class ScenarioSpec:
                 config=config, behaviors=behaviors, groups=groups, seed=seed
             )
         churn_rate, waves = spec.arrival.compile(spec.rounds)
+        # Network faults have no native round-engine form; fold in their
+        # churn-wave approximations (a no-op for event-free scenarios).
+        event_waves = tuple(
+            wave
+            for wave in (e.to_churn_wave(spec.rounds) for e in spec.network)
+            if wave is not None
+        )
         shifts = spec.shift.compile(n_peers, spec.rounds)
         dynamics = ScenarioDynamics(
             initial_capacities=capacities,
-            churn_waves=waves,
+            churn_waves=waves + event_waves,
             behavior_shifts=shifts,
         )
         config = SimulationConfig(
@@ -769,7 +894,7 @@ class ScenarioSpec:
     # ------------------------------------------------------------------ #
     def as_dict(self) -> Dict[str, object]:
         """JSON-friendly representation (round-trips via :meth:`from_dict`)."""
-        return {
+        data: Dict[str, object] = {
             "name": self.name,
             "population": self.population.as_dict(),
             "arrival": self.arrival.as_dict(),
@@ -777,6 +902,11 @@ class ScenarioSpec:
             "rounds": self.rounds,
             "description": self.description,
         }
+        # Omitted when empty so every pre-network-event scenario fingerprint
+        # (and the seeds derived from it) stays valid.
+        if self.network:
+            data["network"] = [e.as_dict() for e in self.network]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
@@ -788,6 +918,9 @@ class ScenarioSpec:
             shift=ShiftSpec.from_dict(data["shift"]),
             rounds=int(data["rounds"]),
             description=str(data.get("description", "")),
+            network=tuple(
+                NetworkEventSpec.from_dict(e) for e in data.get("network", ())
+            ),
         )
 
     def fingerprint(self) -> str:

@@ -1,0 +1,331 @@
+"""Substrates: the two executable backends a scenario compiles onto.
+
+The scenario layer is a *compiler* with two targets.  A
+:class:`~repro.scenarios.spec.ScenarioSpec` is substrate-agnostic — it
+declares population shape, arrival process, behaviour dynamics and network
+events in scale-free terms — and a :class:`Substrate` turns it into an
+executable, fingerprintable, cacheable job:
+
+* :class:`RoundsSubstrate` targets the abstract round engines behind
+  :func:`repro.sim.engine.simulate` (fast / reference / vec dispatch); the
+  compiled artefact is the existing
+  :class:`~repro.runner.jobs.SimulationJob`.
+* :class:`SwarmSubstrate` targets the packet-level BitTorrent simulator:
+  the spec compiles to a :class:`~repro.bittorrent.scenario.SwarmScenarioConfig`
+  (peer plans with per-bandwidth-class rate limits, tracker-mediated
+  arrivals/departures, behaviour-group → choker-variant mapping, network
+  events in tick units) wrapped in a :class:`SwarmJob`.
+
+Both job types flow through the same cached
+:class:`~repro.runner.runner.ExperimentRunner`: executors call
+``job.execute()`` polymorphically and the cache keys on ``fingerprint()``.
+Swarm job payloads carry a ``"substrate": "swarm"`` discriminator that no
+round-engine payload emits, so the two substrates can never collide in the
+content-addressed cache — and every pre-existing fingerprint is untouched.
+
+One scenario *round* maps to one rechoke interval of swarm ticks, so wave
+timing, shifts and event windows land at the same relative points of the
+run on both substrates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bittorrent.config import SwarmConfig
+from repro.bittorrent.events import NetworkEvent
+from repro.bittorrent.scenario import (
+    SwarmArrivalModel,
+    SwarmChurnWindow,
+    SwarmPeerPlan,
+    SwarmScenarioConfig,
+    SwarmShift,
+)
+from repro.bittorrent.swarm import SwarmResult, SwarmSimulation
+from repro.bittorrent.variants import variant_from_behavior
+from repro.runner.jobs import SimulationJob, _bandwidth_payload
+from repro.scenarios.spec import SCALE_FACTORS, ScenarioSpec, _largest_remainder
+
+__all__ = [
+    "SUBSTRATE_CHOICES",
+    "SWARM_KB_PER_ROUND",
+    "Substrate",
+    "RoundsSubstrate",
+    "SwarmSubstrate",
+    "SwarmJob",
+    "compile_swarm",
+    "get_substrate",
+]
+
+#: Substrate names accepted by the CLI and the experiment drivers.
+SUBSTRATE_CHOICES = ("rounds", "swarm")
+
+#: File volume per scenario round for swarm-compiled scenarios (KB).
+#:
+#: A typical Piatek-capacity swarm delivers ~60 KB/tick per peer, i.e.
+#: ~600 KB per 10-tick round; at 400 KB/round the median peer finishes
+#: around two thirds of the horizon.  This matters: it keeps downloads
+#: *overlapping* the scenario's mid-run dynamics (waves, shifts, faults)
+#: instead of the whole swarm completing before the first wave fires, while
+#: leaving slow/free-riding peers measurably censored at the horizon.
+SWARM_KB_PER_ROUND = 400.0
+
+
+def compile_swarm(spec: ScenarioSpec, scale: str = "paper") -> SwarmScenarioConfig:
+    """Reduce a scenario to a fully compiled packet-level swarm plan.
+
+    The population compiles through the same
+    :meth:`~repro.scenarios.spec.PopulationSpec.compile` as the round
+    substrate, then maps per peer: behaviour → choker variant
+    (:func:`~repro.bittorrent.variants.variant_from_behavior`), bandwidth
+    class → pinned capacity + rate limiter, ``uploads_nothing`` behaviours →
+    zero-rate limiter.  Arrival kinds map to the swarm arrival models
+    (identity replacement, Poisson growth, whitewash rejoins), shifts keep
+    their exact slot targets, and network events convert to tick windows.
+    """
+    spec = spec.at_scale(scale)  # validates the scale name
+    n_peers = spec.population.size
+    rounds = spec.rounds
+    behaviors, groups, capacities, distribution = spec.population.compile(n_peers)
+
+    class_names: List[Optional[str]] = [None] * n_peers
+    if spec.population.classes:
+        counts = _largest_remainder(
+            [c.fraction for c in spec.population.classes], n_peers
+        )
+        index = 0
+        for cls_spec, count in zip(spec.population.classes, counts):
+            for _ in range(count):
+                class_names[index] = cls_spec.name
+                index += 1
+
+    base = SwarmConfig(
+        n_leechers=n_peers,
+        file_size_mb=rounds * SWARM_KB_PER_ROUND / 1024.0,
+        bandwidth=distribution,
+    )
+    base = base.with_(max_ticks=rounds * base.rechoke_interval)
+    round_ticks = base.rechoke_interval
+
+    plans = tuple(
+        SwarmPeerPlan(
+            variant=variant_from_behavior(behaviors[i]),
+            capacity=capacities[i] if capacities is not None else None,
+            group=groups[i],
+            capacity_class=class_names[i],
+            free_rider=behaviors[i].uploads_nothing,
+        )
+        for i in range(n_peers)
+    )
+
+    arrival = spec.arrival
+    waves: tuple = ()
+    if arrival.is_variable:
+        if arrival.kind == "poisson":
+            default_plan = SwarmPeerPlan(
+                variant=variant_from_behavior(spec.population.default_behavior),
+                free_rider=spec.population.default_behavior.uploads_nothing,
+            )
+            model = SwarmArrivalModel(
+                kind="poisson",
+                churn_rate=arrival.churn_rate,
+                arrival_rate=arrival.size * n_peers,
+                arrival_start_round=min(rounds - 1, round(arrival.at * rounds)),
+                arrival_plan=default_plan,
+                max_active=round(arrival.cap * n_peers) if arrival.cap else 0,
+            )
+        else:  # whitewash
+            model = SwarmArrivalModel(
+                kind="whitewash",
+                churn_rate=arrival.churn_rate,
+                rejoin_prob=arrival.size,
+                target_groups=arrival.target_groups,
+                target_churn=arrival.target_churn,
+            )
+    else:
+        churn_rate, churn_waves = arrival.compile(rounds)
+        model = SwarmArrivalModel(kind="replacement", churn_rate=churn_rate)
+        waves = tuple(
+            SwarmChurnWindow(
+                start_round=w.start,
+                rounds=w.rounds,
+                intensity=w.intensity,
+                correlated=w.correlated,
+            )
+            for w in churn_waves
+        )
+
+    shifts = tuple(
+        SwarmShift(
+            round=bs.round,
+            slot_ids=bs.peer_ids,
+            variant=variant_from_behavior(bs.behavior),
+            free_rider=bs.behavior.uploads_nothing,
+            group=bs.group,
+        )
+        for bs in spec.shift.compile(n_peers, rounds)
+    )
+
+    events = tuple(
+        NetworkEvent(
+            kind=e.kind,
+            start=e.start_round(rounds) * round_ticks,
+            duration=e.span_rounds(rounds) * round_ticks,
+            fraction=e.fraction,
+            severity=e.severity,
+        )
+        for e in spec.network
+    )
+
+    return SwarmScenarioConfig(
+        base=base,
+        plans=plans,
+        rounds=rounds,
+        arrivals=model,
+        waves=waves,
+        shifts=shifts,
+        events=events,
+    )
+
+
+@dataclass(frozen=True)
+class SwarmJob:
+    """One swarm-substrate scenario run, described by value.
+
+    Stores the *paper-scale* spec plus the scale so the job is a small,
+    picklable value (process executors ship it to workers); compilation is
+    deterministic and cheap, so it happens on demand.
+    """
+
+    spec: ScenarioSpec
+    scale: str = "paper"
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.scale not in SCALE_FACTORS:
+            raise ValueError(
+                f"scale must be one of {tuple(SCALE_FACTORS)}, got {self.scale!r}"
+            )
+
+    @property
+    def config(self) -> SwarmConfig:
+        """The effective swarm config (what cache hits are rebuilt against)."""
+        return compile_swarm(self.spec, self.scale).base
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    def payload(self) -> Dict[str, object]:
+        """Everything that determines the run outcome, as JSON-stable data.
+
+        The ``"substrate"`` discriminator keeps swarm fingerprints disjoint
+        from every round-engine fingerprint; the compiled swarm parameters
+        are included so a change to the spec → swarm mapping changes the
+        fingerprint (stale cached results can never be served).
+        """
+        config = self.config
+        return {
+            "substrate": "swarm",
+            "scenario": self.spec.as_dict(),
+            "scale": self.scale,
+            "swarm": {
+                "n_leechers": config.n_leechers,
+                "seeder_upload_kbps": config.seeder_upload_kbps,
+                "file_size_mb": config.file_size_mb,
+                "piece_size_kb": config.piece_size_kb,
+                "rechoke_interval": config.rechoke_interval,
+                "optimistic_interval": config.optimistic_interval,
+                "regular_slots": config.regular_slots,
+                "seeder_slots": config.seeder_slots,
+                "max_ticks": config.max_ticks,
+                "bandwidth": _bandwidth_payload(config.distribution()),
+            },
+            "seed": self.seed,
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this job (and therefore its result)."""
+        blob = json.dumps(self.payload(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self) -> SwarmResult:
+        """Compile and run the packet-level swarm described by this job."""
+        scenario = compile_swarm(self.spec, self.scale)
+        return SwarmSimulation(scenario=scenario, seed=self.seed).run()
+
+
+class Substrate:
+    """Interface of a scenario compilation target.
+
+    A substrate turns a :class:`ScenarioSpec` into executable jobs; the
+    runner and cache treat the result uniformly via ``execute()`` /
+    ``fingerprint()`` duck typing.
+    """
+
+    name: str = "abstract"
+
+    def compile_job(
+        self, spec: ScenarioSpec, scale: str = "paper", seed: Optional[int] = 0
+    ):
+        raise NotImplementedError
+
+    def jobs(
+        self,
+        spec: ScenarioSpec,
+        scale: str = "paper",
+        master_seed: int = 0,
+        repetitions: int = 1,
+    ) -> List[object]:
+        """``repetitions`` independent jobs with deterministic derived seeds.
+
+        Seeds derive from the spec fingerprint exactly like the round
+        substrate's :meth:`ScenarioSpec.jobs`, so paired cross-substrate
+        comparisons share seed streams per (scenario, repetition).
+        """
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        return [
+            self.compile_job(spec, scale, seed=spec.job_seed(master_seed, repetition))
+            for repetition in range(repetitions)
+        ]
+
+
+class RoundsSubstrate(Substrate):
+    """The abstract round-engine substrate (fast / reference / vec dispatch)."""
+
+    name = "rounds"
+
+    def compile_job(
+        self, spec: ScenarioSpec, scale: str = "paper", seed: Optional[int] = 0
+    ) -> SimulationJob:
+        return spec.compile(scale, seed=seed)
+
+
+class SwarmSubstrate(Substrate):
+    """The packet-level BitTorrent swarm substrate."""
+
+    name = "swarm"
+
+    def compile_job(
+        self, spec: ScenarioSpec, scale: str = "paper", seed: Optional[int] = 0
+    ) -> SwarmJob:
+        return SwarmJob(spec=spec, scale=scale, seed=seed)
+
+
+_SUBSTRATES = {"rounds": RoundsSubstrate(), "swarm": SwarmSubstrate()}
+
+
+def get_substrate(name: str) -> Substrate:
+    """The substrate registered under ``name`` (``"rounds"`` or ``"swarm"``)."""
+    try:
+        return _SUBSTRATES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown substrate {name!r}; expected one of {SUBSTRATE_CHOICES}"
+        ) from None

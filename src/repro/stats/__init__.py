@@ -17,7 +17,7 @@ All of these are implemented here on top of numpy/scipy so the experiment
 drivers stay small and testable.
 """
 
-from repro.stats.correlation import pearson_correlation
+from repro.stats.correlation import pearson_correlation, spearman_rank_correlation
 from repro.stats.distribution import (
     ccdf,
     ecdf,
@@ -47,6 +47,7 @@ from repro.stats.summary import (
 
 __all__ = [
     "pearson_correlation",
+    "spearman_rank_correlation",
     "ccdf",
     "ecdf",
     "histogram2d_frequency",

@@ -14,7 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["pearson_correlation"]
+__all__ = ["pearson_correlation", "spearman_rank_correlation"]
 
 
 def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
@@ -54,3 +54,43 @@ def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
     if denom == 0.0:
         return float("nan")
     return float(np.clip(np.sum(xd * yd) / denom, -1.0, 1.0))
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks of ``values`` (1-based), ties receiving their average rank."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=float)
+    ranks[order] = np.arange(1, values.size + 1, dtype=float)
+    # Average the ranks within each group of equal values.
+    sorted_values = values[order]
+    i = 0
+    while i < sorted_values.size:
+        j = i
+        while j + 1 < sorted_values.size and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = ranks[order[i : j + 1]].mean()
+        i = j + 1
+    return ranks
+
+
+def spearman_rank_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Return Spearman's rank correlation coefficient between ``x`` and ``y``.
+
+    Defined as the Pearson correlation of the average-tie ranks, so it
+    measures monotone (not linear) association — exactly what is needed to
+    compare *orderings* of protocol variants across execution substrates,
+    where the two score scales are incommensurable.  Degenerate inputs
+    follow :func:`pearson_correlation`: constant input → ``nan``.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape:
+        raise ValueError(
+            f"x and y must have the same length, got {xs.shape} and {ys.shape}"
+        )
+    if xs.ndim != 1:
+        raise ValueError("inputs must be one-dimensional")
+    if xs.size < 2:
+        raise ValueError("at least two observations are required")
+    return pearson_correlation(_average_ranks(xs), _average_ranks(ys))

@@ -207,3 +207,57 @@ class TestReport:
         assert {row["scenario"] for row in rows} == set(report.scenarios)
         for row in rows:
             assert 0.0 <= float(row["cell_score"]) <= 1.0
+
+
+class TestSwarmAtlas:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        from repro.experiments import atlas as atlas_experiment
+
+        return atlas_experiment.run_swarm(spec=micro_spec())
+
+    def test_grid_scored_by_censored_time(self, outcome):
+        spec = micro_spec()
+        labels = outcome.protocol_labels()
+        assert len(labels) == 2
+        assert set(outcome.scores) == {
+            (label, name) for label in labels for name in spec.scenarios
+        }
+        for score in outcome.scores.values():
+            assert score > 0.0
+        assert outcome.jobs_total == len(labels) * len(spec.scenarios)
+
+    def test_relative_scores_normalised_per_scenario(self, outcome):
+        for name in MICRO_SCENARIOS:
+            column = [
+                outcome.relative[(label, name)]
+                for label in outcome.protocol_labels()
+            ]
+            assert max(column) == pytest.approx(1.0)
+            assert all(0.0 < value <= 1.0 for value in column)
+
+    def test_swarm_atlas_is_deterministic(self, outcome):
+        from repro.experiments import atlas as atlas_experiment
+
+        again = atlas_experiment.run_swarm(spec=micro_spec())
+        assert again.scores == outcome.scores
+
+    def test_render_orders_by_mean_relative(self, outcome):
+        from repro.experiments.atlas import render_swarm
+
+        text = render_swarm(outcome)
+        assert "swarm robustness atlas" in text
+        for label in outcome.protocol_labels():
+            assert label in text
+        for name in MICRO_SCENARIOS:
+            assert name in text
+
+    def test_csv_is_long_form_and_parseable(self, outcome):
+        import csv
+        import io
+
+        rows = list(csv.DictReader(io.StringIO(outcome.csv())))
+        assert len(rows) == len(outcome.scores)
+        assert {row["scenario"] for row in rows} == set(MICRO_SCENARIOS)
+        for row in rows:
+            assert 0.0 < float(row["relative_score"]) <= 1.0

@@ -1,0 +1,117 @@
+"""Tests for network-event scenarios (link degradation, partition/heal)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bittorrent.events import NetworkEvent, NetworkState
+
+SEEDER = 99
+
+
+def make_state(*events):
+    return NetworkState(events, seeder_id=SEEDER)
+
+
+class TestNetworkEvent:
+    def test_end_property(self):
+        event = NetworkEvent(kind="degrade", start=10, duration=5, fraction=0.5)
+        assert event.end == 15
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "meteor", "start": 0, "duration": 1, "fraction": 0.5},
+            {"kind": "degrade", "start": -1, "duration": 1, "fraction": 0.5},
+            {"kind": "degrade", "start": 0, "duration": 0, "fraction": 0.5},
+            {"kind": "degrade", "start": 0, "duration": 1, "fraction": 0.0},
+            {"kind": "degrade", "start": 0, "duration": 1, "fraction": 1.5},
+            {
+                "kind": "degrade",
+                "start": 0,
+                "duration": 1,
+                "fraction": 0.5,
+                "severity": 2.0,
+            },
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkEvent(**kwargs)
+
+
+class TestNetworkState:
+    def test_no_events_no_effect(self):
+        state = make_state()
+        state.advance(0, {1, 2, 3}, random.Random(0))
+        assert state.capacity_factor(1) == 1.0
+        assert not state.blocked(1, 2)
+        assert not state.partitioned
+
+    def test_degrade_scales_capacity_inside_window_only(self):
+        event = NetworkEvent(
+            kind="degrade", start=5, duration=10, fraction=1.0, severity=0.5
+        )
+        state = make_state(event)
+        rng = random.Random(1)
+        active = {1, 2, 3}
+        state.advance(0, active, rng)
+        assert all(state.capacity_factor(p) == 1.0 for p in active)
+        state.advance(5, active, rng)
+        assert all(state.capacity_factor(p) == pytest.approx(0.5) for p in active)
+        state.advance(15, active, rng)  # window closed
+        assert all(state.capacity_factor(p) == 1.0 for p in active)
+
+    def test_degrade_sample_respects_fraction_and_excludes_seeder(self):
+        event = NetworkEvent(
+            kind="degrade", start=0, duration=10, fraction=0.5, severity=1.0
+        )
+        state = make_state(event)
+        active = set(range(10)) | {SEEDER}
+        state.advance(0, active, random.Random(2))
+        degraded = {p for p in active if state.capacity_factor(p) < 1.0}
+        assert len(degraded) == 5
+        assert SEEDER not in degraded
+
+    def test_partition_blocks_cross_side_pairs_only(self):
+        event = NetworkEvent(kind="partition", start=0, duration=10, fraction=0.4)
+        state = make_state(event)
+        active = set(range(10))
+        state.advance(0, active, random.Random(3))
+        assert state.partitioned
+        inside = {p for p in active if state.blocked(p, SEEDER)}
+        outside = active - inside
+        assert len(inside) == 4
+        for a in inside:
+            for b in inside:
+                assert not state.blocked(a, b)
+            for b in outside:
+                assert state.blocked(a, b)
+        state.advance(10, active, random.Random(3))  # heal
+        assert not state.partitioned
+
+    def test_membership_frozen_at_window_open(self):
+        # The affected sample is drawn once when the window opens; peers
+        # arriving later are unaffected even while the window is hot.
+        event = NetworkEvent(
+            kind="degrade", start=0, duration=20, fraction=1.0, severity=1.0
+        )
+        state = make_state(event)
+        rng = random.Random(4)
+        state.advance(0, {1, 2}, rng)
+        state.advance(1, {1, 2, 3}, rng)
+        assert state.capacity_factor(1) == 0.0
+        assert state.capacity_factor(3) == 1.0
+
+    def test_overlapping_degrades_compound(self):
+        a = NetworkEvent(
+            kind="degrade", start=0, duration=10, fraction=1.0, severity=0.5
+        )
+        b = NetworkEvent(
+            kind="degrade", start=0, duration=10, fraction=1.0, severity=0.5
+        )
+        state = make_state(a, b)
+        state.advance(0, {1}, random.Random(5))
+        assert state.capacity_factor(1) == pytest.approx(0.25)

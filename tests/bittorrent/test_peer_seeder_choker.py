@@ -109,6 +109,15 @@ class TestSeeder:
         with pytest.raises(ValueError):
             Seeder(9, 128.0, PieceSet(4, complete=True), slots=0)
 
+    def test_rechoke_with_no_interested_clears_unchokes(self, rng):
+        # An all-seeder swarm: nobody is interested in anyone, so the
+        # seeder's unchoke set must drain rather than go stale.
+        seeder = Seeder(9, 128.0, PieceSet(4, complete=True), slots=4)
+        seeder.rechoke([1, 2], rng)
+        assert seeder.unchoked
+        assert seeder.rechoke([], rng) == set()
+        assert seeder.unchoked == set()
+
 
 class TestChoker:
     def test_regular_slots_take_top_ranked(self, rng):
@@ -157,6 +166,45 @@ class TestChoker:
         # still a candidate it must be kept until the next rotation.
         if target not in leecher.unchoked:
             assert leecher.optimistic_target == target
+
+    def test_departed_optimistic_target_replaced_mid_rechoke(self, rng):
+        # A peer can leave the swarm between rotations; the next rechoke
+        # must not keep pointing the optimistic slot at the ghost even
+        # though the rotation is not yet due.
+        leecher = make_leecher(variant=reference_bittorrent())
+        for neighbour in (1, 2, 3, 4):
+            leecher.record_received(neighbour, tick=5, amount_kb=float(neighbour))
+        run_rechoke(leecher, [1, 2, 3, 4], tick=10, default_slots=2,
+                    optimistic_rotation_due=True, rng=rng)
+        departed = leecher.optimistic_target
+        assert departed is not None
+        remaining = [n for n in (1, 2, 3, 4) if n != departed]
+        run_rechoke(leecher, remaining, tick=20, default_slots=2,
+                    optimistic_rotation_due=False, rng=rng)
+        assert leecher.optimistic_target != departed
+        assert leecher.optimistic_target in remaining or (
+            leecher.optimistic_target is None
+        )
+
+    def test_departed_peer_dropped_from_regular_slots(self, rng):
+        # Regular slots are rebuilt from the candidate list every rechoke,
+        # so a departed top-ranked neighbour silently falls out.
+        leecher = make_leecher(variant=reference_bittorrent())
+        for neighbour, amount in ((1, 50.0), (2, 10.0), (3, 30.0)):
+            leecher.record_received(neighbour, tick=5, amount_kb=amount)
+        run_rechoke(leecher, [1, 2, 3], tick=10, default_slots=2,
+                    optimistic_rotation_due=False, rng=rng)
+        assert 1 in leecher.unchoked
+        run_rechoke(leecher, [2, 3], tick=20, default_slots=2,
+                    optimistic_rotation_due=False, rng=rng)
+        assert leecher.unchoked == {2, 3}
+
+    def test_single_candidate_fills_one_slot(self, rng):
+        leecher = make_leecher(variant=reference_bittorrent())
+        run_rechoke(leecher, [4], tick=0, default_slots=3,
+                    optimistic_rotation_due=False, rng=rng)
+        assert leecher.unchoked == {4}
+        assert leecher.optimistic_target is None
 
     def test_no_candidates_clears_unchokes(self, rng):
         leecher = make_leecher()

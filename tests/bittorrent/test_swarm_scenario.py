@@ -1,0 +1,172 @@
+"""Scenario-mode swarm tests: arrivals, departures, shifts and invariants.
+
+The behaviour tests drive :class:`SwarmSimulation`'s scenario hooks directly
+(join/depart/shift) where determinism matters; the property tests run whole
+compiled scenarios under hypothesis-chosen seeds and check the invariants
+that must hold on *every* arrival/departure path: per-tick byte
+conservation, the active-set cap, and bit-identical per-seed replay.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bittorrent.config import SwarmConfig
+from repro.bittorrent.events import NetworkEvent
+from repro.bittorrent.scenario import SwarmPeerPlan, SwarmScenarioConfig
+from repro.bittorrent.swarm import SwarmSimulation
+from repro.bittorrent.variants import reference_bittorrent
+from repro.runner.jobs import result_to_payload
+from repro.scenarios import SwarmJob, compile_swarm, get_scenario
+
+
+def small_scenario(**overrides) -> SwarmScenarioConfig:
+    """A 4-leecher scenario small enough for direct-hook tests."""
+    base = SwarmConfig(n_leechers=4, file_size_mb=0.5, max_ticks=400)
+    plan = SwarmPeerPlan(variant=reference_bittorrent())
+    defaults = dict(base=base, plans=(plan,) * 4, rounds=40)
+    defaults.update(overrides)
+    return SwarmScenarioConfig(**defaults)
+
+
+class TestScenarioHooks:
+    def test_join_announces_with_bidirectional_links(self):
+        sim = SwarmSimulation(scenario=small_scenario(), seed=1)
+        plan = SwarmPeerPlan(variant=reference_bittorrent(), group="late")
+        peer_id = sim._join(plan, tick=50, cohort="arrival")
+        assert peer_id > sim.seeder_id
+        assert peer_id in sim.tracker.members()
+        assert peer_id in sim._active
+        newcomer = sim.leechers[peer_id]
+        assert sim.seeder_id in newcomer.neighbours
+        assert newcomer.joined_tick == 50
+        assert newcomer.group == "late" and newcomer.cohort == "arrival"
+        # Connections are bidirectional: everyone announced to the newcomer
+        # also learns of it.
+        for other_id in newcomer.neighbours - {sim.seeder_id}:
+            assert peer_id in sim.leechers[other_id].neighbours
+        assert sim.arrivals == 1
+
+    def test_depart_unregisters_and_purges_neighbour_state(self):
+        sim = SwarmSimulation(scenario=small_scenario(), seed=2)
+        sim._depart(0, tick=70)
+        assert sim.leechers[0].departed_tick == 70
+        assert 0 not in sim._active
+        assert 0 not in sim.tracker.members()
+        assert 0 not in sim.seeder.unchoked
+        for other_id in sim._active:
+            assert 0 not in sim.leechers[other_id].neighbours
+        assert sim.departures == 1
+
+    def test_departed_plan_reused_by_replacement(self):
+        sim = SwarmSimulation(scenario=small_scenario(), seed=3)
+        plan = sim._depart(1, tick=30)
+        replacement = sim._join(plan, tick=30, cohort="churn", slot=1)
+        assert replacement != 1
+        assert sim._slot_peer[1] == replacement
+        assert sim.leechers[replacement].variant is plan.variant
+
+    def test_shift_turns_slot_occupants_into_free_riders(self):
+        scenario = compile_swarm(get_scenario("free-rider-wave"), "smoke")
+        sim = SwarmSimulation(scenario=scenario, seed=4)
+        shift = scenario.shifts[0]
+        sim._apply_shift(shift)
+        for slot in shift.slot_ids:
+            leecher = sim.leechers[sim._slot_peer[slot]]
+            assert leecher.variant is shift.variant
+            assert leecher.limiter is not None
+            assert leecher.limiter.rate_kb_per_tick == 0.0
+            if shift.group is not None:
+                assert leecher.group == shift.group
+
+    def test_free_rider_downloads_without_uploading(self):
+        free = SwarmPeerPlan(variant=reference_bittorrent(), free_rider=True,
+                             group="freeride")
+        fair = SwarmPeerPlan(variant=reference_bittorrent())
+        sim = SwarmSimulation(
+            scenario=small_scenario(plans=(free, fair, fair, fair)), seed=5
+        )
+        sim.run()
+        assert sim.leechers[0].uploaded_kb == 0.0
+        assert sim.leechers[0].downloaded_kb > 0.0
+        assert any(sim.leechers[p].uploaded_kb > 0.0 for p in (1, 2, 3))
+
+    def test_total_degrade_silences_leecher_uploads(self):
+        # severity-1.0 degradation on every leecher: only the (never
+        # sampled) seeder can deliver data for the whole run.
+        event = NetworkEvent(
+            kind="degrade", start=0, duration=400, fraction=1.0, severity=1.0
+        )
+        sim = SwarmSimulation(scenario=small_scenario(events=(event,)), seed=6)
+        result = sim.run()
+        assert all(l.uploaded_kb == 0.0 for l in sim.leechers.values())
+        assert result.total_transferred_kb > 0.0  # seeder still uploads
+
+    def test_whitewash_rejoins_get_fresh_identities(self):
+        scenario = compile_swarm(get_scenario("colluding-whitewash"), "smoke")
+        sim = SwarmSimulation(scenario=scenario, seed=14)
+        result = sim.run()
+        rejoined = [r for r in result.records if r.cohort == "whitewash"]
+        assert rejoined, "expected at least one whitewash rejoin at this seed"
+        targets = set(scenario.arrivals.target_groups)
+        for record in rejoined:
+            assert record.peer_id > sim.seeder_id
+            assert record.joined_tick > 0
+            assert record.group in targets
+
+
+SCENARIO_NAMES = st.sampled_from(
+    ["baseline", "burst-churn", "colluding-whitewash", "growing-swarm"]
+)
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestScenarioInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(name=SCENARIO_NAMES, seed=SEEDS)
+    def test_bytes_conserved_per_tick(self, name, seed):
+        # Everything delivered in a tick lands in some leecher's piece set,
+        # including peers that later depart mid-download.
+        sim = SwarmSimulation(scenario=compile_swarm(get_scenario(name), "smoke"),
+                              seed=seed)
+        result = sim.run()
+        assert len(sim.tick_transferred) == result.ticks_executed
+        assert sum(sim.tick_transferred) == pytest.approx(
+            result.total_transferred_kb
+        )
+        assert result.total_transferred_kb == pytest.approx(
+            sum(r.downloaded_kb for r in result.records)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=SEEDS)
+    def test_poisson_growth_respects_active_cap(self, seed):
+        scenario = compile_swarm(get_scenario("growing-swarm"), "smoke")
+        cap = scenario.arrivals.max_active
+        assert cap > 0
+        sim = SwarmSimulation(scenario=scenario, seed=seed)
+        result = sim.run()
+        assert result.peak_active <= cap
+        assert result.arrivals == len(
+            [r for r in result.records if r.cohort != "initial"]
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(name=SCENARIO_NAMES, seed=SEEDS)
+    def test_same_seed_replays_bit_identically(self, name, seed):
+        job = SwarmJob(spec=get_scenario(name), scale="smoke", seed=seed)
+        assert result_to_payload(job.execute()) == result_to_payload(job.execute())
+
+    @settings(max_examples=10, deadline=None)
+    @given(name=SCENARIO_NAMES, seed=SEEDS)
+    def test_departure_bookkeeping_consistent(self, name, seed):
+        result = SwarmSimulation(
+            scenario=compile_swarm(get_scenario(name), "smoke"), seed=seed
+        ).run()
+        departed = [r for r in result.records if r.departed_tick is not None]
+        assert result.departures == len(departed)
+        for record in departed:
+            assert record.joined_tick <= record.departed_tick
+            assert record.download_time is None

@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.bittorrent.rate import RateEstimator
+from repro.bittorrent.rate import RateEstimator, RateLimiter
 from repro.bittorrent.tracker import Tracker
 
 
@@ -38,6 +38,30 @@ class TestTracker:
         for peer_id in range(20):
             tracker.register(peer_id)
         assert len(tracker.announce(100, rng)) == 5
+
+    def test_announce_into_empty_swarm(self, rng):
+        # The very first arrival gets an empty peer list but is registered:
+        # a scenario's seed joins an empty tracker this way.
+        tracker = Tracker()
+        assert tracker.announce(7, rng) == []
+        assert tracker.members() == {7}
+
+    def test_announce_after_everyone_left(self, rng):
+        tracker = Tracker()
+        tracker.register(1)
+        tracker.register(2)
+        tracker.unregister(1)
+        tracker.unregister(2)
+        assert tracker.announce(3, rng) == []
+
+    def test_departed_peer_never_announced(self, rng):
+        # Mid-run departures must stop being handed to new arrivals.
+        tracker = Tracker()
+        for peer_id in range(5):
+            tracker.register(peer_id)
+        tracker.unregister(3)
+        for _ in range(10):
+            assert 3 not in tracker.announce(100, rng)
 
     def test_invalid_bound(self):
         with pytest.raises(ValueError):
@@ -79,3 +103,53 @@ class TestRateEstimator:
         estimator.record(1, 0, 5.0)
         estimator.forget(1)
         assert estimator.total_received(1) == 0.0
+
+
+class TestRateLimiter:
+    def test_full_budget_on_first_tick(self):
+        limiter = RateLimiter(rate_kb_per_tick=60.0)
+        assert limiter.available(0) == pytest.approx(60.0)
+
+    def test_consume_reduces_budget_within_tick(self):
+        limiter = RateLimiter(rate_kb_per_tick=60.0)
+        limiter.available(0)
+        limiter.consume(45.0)
+        assert limiter.available(0) == pytest.approx(15.0)
+
+    def test_refill_capped_at_burst(self):
+        # With the default depth of one tick, idle ticks never accumulate
+        # credit: the limiter reproduces "capacity per tick" exactly.
+        limiter = RateLimiter(rate_kb_per_tick=60.0)
+        limiter.available(0)
+        limiter.consume(60.0)
+        assert limiter.available(5) == pytest.approx(60.0)
+
+    def test_burst_depth_accumulates_unused_credit(self):
+        limiter = RateLimiter(rate_kb_per_tick=10.0, burst_ticks=3.0)
+        limiter.available(0)
+        limiter.consume(30.0)
+        assert limiter.available(1) == pytest.approx(10.0)
+        assert limiter.available(2) == pytest.approx(20.0)
+        assert limiter.available(10) == pytest.approx(30.0)
+
+    def test_zero_rate_forbids_upload(self):
+        # The free-rider limiter.
+        limiter = RateLimiter(rate_kb_per_tick=0.0)
+        assert limiter.available(0) == 0.0
+        assert limiter.available(100) == 0.0
+
+    def test_overdraw_clamps_to_zero(self):
+        limiter = RateLimiter(rate_kb_per_tick=10.0)
+        limiter.available(0)
+        limiter.consume(25.0)
+        assert limiter.available(0) == 0.0
+        assert limiter.available(1) == pytest.approx(10.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate_kb_per_tick=-1.0)
+        with pytest.raises(ValueError):
+            RateLimiter(rate_kb_per_tick=10.0, burst_ticks=0.5)
+        limiter = RateLimiter(rate_kb_per_tick=10.0)
+        with pytest.raises(ValueError):
+            limiter.consume(-1.0)

@@ -29,6 +29,7 @@ class TestCliList:
             "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
             "figure7", "figure8", "figure9", "figure10", "table2", "table3",
             "section2", "split-check", "churn-check", "scenarios", "atlas",
+            "cross-substrate",
         }
         assert expected == set(EXPERIMENTS)
 
@@ -302,3 +303,67 @@ class TestCliEngineAndProfile:
                 ["scenario", "flash-crowd", "--scale", "smoke",
                  "--engine", "reference", "--profile"]
             )
+
+
+class TestCliSwarmSubstrate:
+    def test_scenario_runs_on_swarm_substrate(self, capsys):
+        assert main(
+            ["scenario", "burst-churn", "--scale", "smoke",
+             "--substrate", "swarm"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "burst-churn" in output
+        assert "censored" in output
+
+    def test_swarm_scenario_served_from_cache(self, tmp_path, capsys, pristine_runner):
+        argv = [
+            "scenario", "baseline", "--scale", "smoke", "--substrate", "swarm",
+            "--jobs", "1", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        set_default_runner(None)
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm.splitlines()[:-1] == cold.splitlines()[:-1]
+        assert "0 misses (0 simulated)" in warm
+
+    def test_profile_rejected_on_swarm_substrate(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["scenario", "baseline", "--scale", "smoke",
+                 "--substrate", "swarm", "--profile"]
+            )
+
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "baseline", "--substrate", "packets"])
+
+    def test_atlas_runs_on_swarm_substrate(self, capsys):
+        assert main(
+            ["atlas", "--scale", "smoke", "--substrate", "swarm",
+             "--protocol-axes", "ranking=I1,I5",
+             "--scenarios", "baseline,colluding-whitewash", "--reps", "1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "swarm robustness atlas" in output
+        assert "I1" in output and "I5" in output
+
+    def test_atlas_swarm_csv(self, tmp_path, capsys):
+        target = tmp_path / "swarm_atlas.csv"
+        assert main(
+            ["atlas", "--scale", "smoke", "--substrate", "swarm",
+             "--protocol-axes", "ranking=I1,I5",
+             "--scenarios", "baseline,colluding-whitewash", "--reps", "1",
+             "--csv", str(target)]
+        ) == 0
+        lines = target.read_text().splitlines()
+        assert lines[0] == "scenario,protocol,censored_mean_time,relative_score"
+        assert len(lines) == 5
+
+    def test_cross_substrate_experiment_runs(self, capsys):
+        assert main(
+            ["run", "cross-substrate", "--scale", "smoke"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Spearman" in output

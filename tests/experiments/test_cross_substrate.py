@@ -1,0 +1,96 @@
+"""Tests for the cross-substrate rank-correlation experiment."""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+
+import pytest
+
+from repro.experiments import cross_substrate
+from repro.runner import ExperimentRunner, using_runner
+
+NAMES = ["baseline", "colluders"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return cross_substrate.run(
+        scale="smoke", seed=0, scenarios=NAMES, repetitions=1
+    )
+
+
+class TestCrossSubstrateRun:
+    def test_scores_cover_the_grid_on_both_substrates(self, result):
+        cells = {
+            (scenario, protocol)
+            for scenario in NAMES
+            for protocol in cross_substrate.PROTOCOL_RANKINGS
+        }
+        assert set(result.rounds_scores) == cells
+        assert set(result.swarm_scores) == cells
+        # One rounds job and one swarm job per cell at one repetition.
+        assert result.jobs_run == 2 * len(cells)
+
+    def test_correlations_are_valid_spearman_values(self, result):
+        assert set(result.correlations) == set(NAMES)
+        for value in result.correlations.values():
+            assert math.isnan(value) or -1.0 <= value <= 1.0
+        if not any(math.isnan(v) for v in result.correlations.values()):
+            assert -1.0 <= result.mean_correlation <= 1.0
+
+    def test_orderings_rank_all_protocols_best_first(self, result):
+        for scenario in NAMES:
+            for substrate in ("rounds", "swarm"):
+                ordering = result.ordering(scenario, substrate)
+                assert sorted(ordering) == sorted(
+                    cross_substrate.PROTOCOL_RANKINGS
+                )
+                scores = (
+                    result.rounds_scores
+                    if substrate == "rounds"
+                    else result.swarm_scores
+                )
+                values = [scores[(scenario, p)] for p in ordering]
+                assert values == sorted(values, reverse=True)
+
+    def test_run_is_deterministic(self, result):
+        again = cross_substrate.run(
+            scale="smoke", seed=0, scenarios=NAMES, repetitions=1
+        )
+        assert again.rounds_scores == result.rounds_scores
+        assert again.swarm_scores == result.swarm_scores
+
+    def test_csv_is_long_form_and_parseable(self, result):
+        rows = list(csv.DictReader(io.StringIO(result.csv())))
+        assert len(rows) == len(NAMES) * len(cross_substrate.PROTOCOL_RANKINGS)
+        for row in rows:
+            assert row["scenario"] in NAMES
+            float(row["rounds_score"])
+            float(row["swarm_score"])
+
+    def test_render_tabulates_correlations(self, result):
+        text = cross_substrate.render(result)
+        for scenario in NAMES:
+            assert scenario in text
+        assert "Spearman" in text
+
+    def test_both_substrates_share_one_cache(self, tmp_path):
+        with using_runner(ExperimentRunner(cache_dir=tmp_path)) as runner:
+            cold = cross_substrate.run(
+                scale="smoke", seed=0, scenarios=["baseline"], repetitions=1
+            )
+            assert runner.jobs_executed == cold.jobs_run
+        with using_runner(ExperimentRunner(cache_dir=tmp_path)) as runner:
+            warm = cross_substrate.run(
+                scale="smoke", seed=0, scenarios=["baseline"], repetitions=1
+            )
+            assert runner.cache_hits == warm.jobs_run
+            assert runner.jobs_executed == 0
+        assert warm.rounds_scores == cold.rounds_scores
+        assert warm.swarm_scores == cold.swarm_scores
+
+    def test_bad_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            cross_substrate.run(scale="smoke", scenarios=NAMES, repetitions=0)

@@ -134,3 +134,106 @@ class TestVariablePopulationSweep:
         stats = result.stats[0]
         assert f"{stats.n_peers}->" in text
         assert "cohort" in text
+
+
+class TestEngineScopedSweep:
+    @pytest.fixture(autouse=True)
+    def pristine_engine(self):
+        import os
+
+        from repro.sim.engine import ENV_ENGINE, set_default_engine
+
+        os.environ.pop(ENV_ENGINE, None)
+        set_default_engine(None)
+        yield
+        set_default_engine(None)
+        os.environ.pop(ENV_ENGINE, None)
+
+    def test_engine_parameter_scopes_the_run(self):
+        from repro.sim.engine import default_engine
+
+        result = scenario_sweep.run(
+            scale="smoke", seed=0, scenarios=["baseline"], engine="reference"
+        )
+        assert result.stats[0].mean_throughput > 0.0
+        # The override must not leak past the sweep.
+        assert default_engine() == "fast"
+
+    def test_replica_engines_agree_through_the_sweep(self):
+        fast = scenario_sweep.run(
+            scale="smoke", seed=0, scenarios=["colluders"], engine="fast"
+        )
+        reference = scenario_sweep.run(
+            scale="smoke", seed=0, scenarios=["colluders"], engine="reference"
+        )
+        assert (
+            fast.stats[0].mean_throughput == reference.stats[0].mean_throughput
+        )
+
+    def test_vec_engine_runs_the_sweep(self):
+        result = scenario_sweep.run(
+            scale="smoke", seed=0, scenarios=["growing-swarm"], engine="vec"
+        )
+        assert result.stats[0].mean_throughput > 0.0
+
+
+class TestSwarmSweep:
+    def test_swarm_sweep_covers_registry(self):
+        result = scenario_sweep.run_swarm(scale="smoke", seed=0)
+        assert [s.name for s in result.stats] == scenario_names()
+        reps = scenario_sweep.repetitions_for("smoke")
+        assert result.jobs_run == len(scenario_names()) * reps
+        for stats in result.stats:
+            assert stats.repetitions == reps
+            assert 0.0 <= stats.mean_completion <= 1.0
+            assert 0.0 < stats.censored_mean_time <= stats.ticks
+            assert stats.group_completion
+
+    def test_swarm_sweep_is_deterministic(self):
+        first = scenario_sweep.run_swarm(
+            scale="smoke", seed=1, scenarios=["burst-churn"]
+        )
+        second = scenario_sweep.run_swarm(
+            scale="smoke", seed=1, scenarios=["burst-churn"]
+        )
+        assert (
+            first.stats[0].censored_mean_time == second.stats[0].censored_mean_time
+        )
+        assert first.stats[0].group_completion == second.stats[0].group_completion
+
+    def test_churn_scenarios_report_dynamics(self):
+        result = scenario_sweep.run_swarm(
+            scale="smoke", seed=0, scenarios=["burst-churn", "growing-swarm"]
+        )
+        by_name = result.by_name()
+        assert by_name["burst-churn"].mean_departures > 0.0
+        assert by_name["growing-swarm"].mean_arrivals > 0.0
+
+    def test_capacity_classes_surface_in_breakdown(self):
+        result = scenario_sweep.run_swarm(
+            scale="smoke", seed=0, scenarios=["capacity-skew"]
+        )
+        assert {"seed", "mid", "leecher"} <= set(
+            result.stats[0].class_completion
+        )
+
+    def test_swarm_sweep_served_from_cache(self, tmp_path):
+        names = ["baseline", "whitewash-churn"]
+        with using_runner(ExperimentRunner(cache_dir=tmp_path)) as runner:
+            cold = scenario_sweep.run_swarm(scale="smoke", seed=0, scenarios=names)
+            assert runner.jobs_executed == cold.jobs_run
+        with using_runner(ExperimentRunner(cache_dir=tmp_path)) as runner:
+            warm = scenario_sweep.run_swarm(scale="smoke", seed=0, scenarios=names)
+            assert runner.cache_hits == warm.jobs_run
+            assert runner.jobs_executed == 0
+        for cold_stats, warm_stats in zip(cold.stats, warm.stats):
+            assert cold_stats.censored_mean_time == warm_stats.censored_mean_time
+            assert cold_stats.group_completion == warm_stats.group_completion
+
+    def test_render_swarm_tabulates_every_scenario(self):
+        result = scenario_sweep.run_swarm(
+            scale="smoke", seed=0, scenarios=["colluding-whitewash"]
+        )
+        text = scenario_sweep.render_swarm(result)
+        assert "colluding-whitewash" in text
+        assert "colluder" in text

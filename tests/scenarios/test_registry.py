@@ -27,6 +27,7 @@ EXPECTED_NAMES = {
     "growing-swarm",
     "whitewash-churn",
     "colluding-whitewash",
+    "network-faults",
 }
 
 #: scenario -> (job fingerprint prefix, result payload sha256 prefix) at
@@ -49,6 +50,10 @@ GOLDEN_SMOKE = {
     # Targeted identity churn (PR 5): behaviour groups + group-targeted
     # departures/whitewash in the job config and payload.
     "colluding-whitewash": ("0ef1b722446e55d1", "61d91d80ad6c7460"),
+    # Network events (PR 7): the round engine approximates the injected
+    # degradation/partition windows as churn waves compiled from the
+    # scenario's NetworkEventSpec entries.
+    "network-faults": ("d41b3d118291f77d", "d30de920af31c922"),
 }
 
 

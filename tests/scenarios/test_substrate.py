@@ -1,0 +1,239 @@
+"""Tests for the two-substrate scenario system.
+
+Covers the substrate dispatch surface, the spec → swarm compilation
+(:func:`compile_swarm`), the :class:`SwarmJob` identity/cache contract, and
+the golden swarm-substrate pins: every registered scenario must either carry
+a pinned smoke run on the swarm substrate or be explicitly marked
+unsupported — mirroring the registry-coverage discipline of the round
+engines' golden pins and the vec statistical envelope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+
+import pytest
+
+from repro.bittorrent.events import NetworkEvent
+from repro.bittorrent.swarm import SwarmResult
+from repro.runner.jobs import SimulationJob, result_from_payload, result_to_payload
+from repro.runner.cache import ResultCache
+from repro.scenarios import (
+    SUBSTRATE_CHOICES,
+    RoundsSubstrate,
+    SwarmJob,
+    SwarmSubstrate,
+    compile_swarm,
+    get_scenario,
+    get_substrate,
+    scenario_names,
+)
+from repro.scenarios.substrate import SWARM_KB_PER_ROUND
+
+#: scenario -> (swarm job fingerprint prefix, result payload sha256 prefix)
+#: at smoke scale, master seed 0, repetition 0.  These pin the whole swarm
+#: chain: spec declaration, scaling, compilation to peer plans / arrival
+#: models / tick-level events, the derived seed and the packet-level
+#: execution of the dynamics.  An intentional change to any of those must
+#: update these values (and invalidates cached swarm results).
+GOLDEN_SWARM_SMOKE = {
+    "baseline": ("a5abe916e2e93d19", "d8d585f4fac52825"),
+    "burst-churn": ("af698ca48e633837", "7fd7aea522b2790f"),
+    "capacity-skew": ("3be9154e66245c48", "a448429a12fe1f26"),
+    "colluders": ("18dd990c0fa5033d", "7b54a3a520fc36f6"),
+    "colluding-whitewash": ("f39b57e504c9a500", "287e1c6b034b1722"),
+    "flash-crowd": ("053bdd24284302a3", "fe8dfecaf026d068"),
+    "free-rider-wave": ("2bb2a4e45c733f87", "da725064727272ed"),
+    "growing-swarm": ("b983946af8cd0ab7", "04e7a0189d577f4f"),
+    "network-faults": ("42357e3300c4d989", "85a2994fdb5e22d7"),
+    "whitewash-churn": ("8f19f89baec9a9f2", "39fa29c5df68d22f"),
+}
+
+#: Registered scenarios that deliberately do NOT compile to the swarm
+#: substrate.  Empty today; a scenario added here must explain why in a
+#: comment, and the coverage test below keeps the union exhaustive.
+SWARM_UNSUPPORTED: set = set()
+
+
+class TestSubstrateDispatch:
+    def test_choices_and_lookup(self):
+        assert SUBSTRATE_CHOICES == ("rounds", "swarm")
+        assert isinstance(get_substrate("rounds"), RoundsSubstrate)
+        assert isinstance(get_substrate("swarm"), SwarmSubstrate)
+
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(ValueError, match="unknown substrate"):
+            get_substrate("packets")
+
+    def test_rounds_substrate_compiles_simulation_jobs(self):
+        spec = get_scenario("baseline")
+        job = get_substrate("rounds").compile_job(spec, "smoke", seed=7)
+        assert isinstance(job, SimulationJob)
+        assert job.seed == 7
+
+    def test_swarm_substrate_compiles_swarm_jobs(self):
+        spec = get_scenario("baseline")
+        job = get_substrate("swarm").compile_job(spec, "smoke", seed=7)
+        assert isinstance(job, SwarmJob)
+        assert job.seed == 7 and job.scale == "smoke"
+
+    def test_jobs_share_seed_streams_across_substrates(self):
+        # Paired comparisons rely on per-(scenario, repetition) seeds being
+        # identical on both substrates.
+        spec = get_scenario("baseline")
+        rounds = get_substrate("rounds").jobs(spec, "smoke", master_seed=3, repetitions=4)
+        swarm = get_substrate("swarm").jobs(spec, "smoke", master_seed=3, repetitions=4)
+        assert [j.seed for j in rounds] == [j.seed for j in swarm]
+        assert len({j.seed for j in rounds}) == 4
+
+    def test_jobs_rejects_bad_repetitions(self):
+        spec = get_scenario("baseline")
+        with pytest.raises(ValueError):
+            get_substrate("swarm").jobs(spec, "smoke", repetitions=0)
+
+
+class TestCompileSwarm:
+    def test_round_tick_alignment_and_volume(self):
+        spec = get_scenario("baseline")
+        scenario = compile_swarm(spec, "smoke")
+        smoke = spec.at_scale("smoke")
+        assert scenario.rounds == smoke.rounds
+        assert scenario.base.max_ticks == smoke.rounds * scenario.base.rechoke_interval
+        assert scenario.base.file_size_mb == pytest.approx(
+            smoke.rounds * SWARM_KB_PER_ROUND / 1024.0
+        )
+        assert len(scenario.plans) == smoke.population.size
+
+    def test_capacity_classes_pin_capacities(self):
+        scenario = compile_swarm(get_scenario("capacity-skew"), "smoke")
+        by_class = {}
+        for plan in scenario.plans:
+            by_class.setdefault(plan.capacity_class, set()).add(plan.capacity)
+        assert set(by_class) == {"seed", "mid", "leecher"}
+        assert by_class["seed"] == {800.0}
+        assert by_class["leecher"] == {20.0}
+
+    def test_free_rider_shift_compiles_with_slot_targets(self):
+        spec = get_scenario("free-rider-wave")
+        scenario = compile_swarm(spec, "smoke")
+        assert len(scenario.shifts) == 1
+        shift = scenario.shifts[0]
+        assert shift.free_rider
+        assert 0 < len(shift.slot_ids) <= len(scenario.plans)
+        assert all(0 <= s < len(scenario.plans) for s in shift.slot_ids)
+
+    def test_flash_crowd_compiles_to_correlated_wave(self):
+        scenario = compile_swarm(get_scenario("flash-crowd"), "smoke")
+        assert scenario.arrivals.kind == "replacement"
+        assert any(w.correlated for w in scenario.waves)
+
+    def test_poisson_arrival_model(self):
+        scenario = compile_swarm(get_scenario("growing-swarm"), "smoke")
+        model = scenario.arrivals
+        assert model.kind == "poisson"
+        assert model.arrival_rate > 0.0
+        assert model.arrival_plan is not None
+        assert model.max_active == 3 * len(scenario.plans)
+
+    def test_whitewash_arrival_model_keeps_targets(self):
+        scenario = compile_swarm(get_scenario("colluding-whitewash"), "smoke")
+        model = scenario.arrivals
+        assert model.kind == "whitewash"
+        assert model.target_groups == ("colluder",)
+        assert model.target_churn > 0.0
+        assert 0.0 < model.rejoin_prob <= 1.0
+
+    def test_network_events_convert_to_tick_windows(self):
+        spec = get_scenario("network-faults")
+        scenario = compile_swarm(spec, "smoke")
+        smoke = spec.at_scale("smoke")
+        assert len(scenario.events) == 2
+        round_ticks = scenario.base.rechoke_interval
+        for event, declared in zip(scenario.events, smoke.network):
+            assert isinstance(event, NetworkEvent)
+            assert event.kind == declared.kind
+            assert event.start == declared.start_round(smoke.rounds) * round_ticks
+            assert event.duration == declared.span_rounds(smoke.rounds) * round_ticks
+            assert event.start + event.duration <= scenario.base.max_ticks
+
+
+class TestSwarmJobIdentity:
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            SwarmJob(spec=get_scenario("baseline"), scale="huge")
+
+    def test_payload_carries_substrate_discriminator(self):
+        job = SwarmJob(spec=get_scenario("baseline"), scale="smoke", seed=1)
+        payload = job.payload()
+        assert payload["substrate"] == "swarm"
+        json.dumps(payload, sort_keys=True)  # JSON-stable
+
+    def test_fingerprint_disjoint_from_rounds_substrate(self):
+        spec = get_scenario("baseline")
+        seed = spec.job_seed(0, 0)
+        swarm = get_substrate("swarm").compile_job(spec, "smoke", seed=seed)
+        rounds = get_substrate("rounds").compile_job(spec, "smoke", seed=seed)
+        assert swarm.fingerprint() != rounds.fingerprint()
+
+    def test_fingerprint_sensitive_to_spec_scale_and_seed(self):
+        job = SwarmJob(spec=get_scenario("baseline"), scale="smoke", seed=1)
+        assert job.fingerprint() != SwarmJob(
+            spec=get_scenario("colluders"), scale="smoke", seed=1
+        ).fingerprint()
+        assert job.fingerprint() != SwarmJob(
+            spec=get_scenario("baseline"), scale="bench", seed=1
+        ).fingerprint()
+        assert job.fingerprint() != SwarmJob(
+            spec=get_scenario("baseline"), scale="smoke", seed=2
+        ).fingerprint()
+
+    def test_job_is_picklable(self):
+        # Process executors ship jobs to workers by pickling them.
+        job = SwarmJob(spec=get_scenario("colluding-whitewash"), scale="smoke", seed=5)
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone == job
+        assert clone.fingerprint() == job.fingerprint()
+
+    def test_result_payload_round_trip(self):
+        job = SwarmJob(spec=get_scenario("whitewash-churn"), scale="smoke", seed=3)
+        result = job.execute()
+        payload = json.loads(json.dumps(result_to_payload(result), sort_keys=True))
+        assert payload["kind"] == "swarm"
+        rebuilt = result_from_payload(payload, job.config)
+        assert isinstance(rebuilt, SwarmResult)
+        assert rebuilt.records == result.records
+        assert rebuilt.ticks_executed == result.ticks_executed
+        assert rebuilt.arrivals == result.arrivals
+        assert rebuilt.departures == result.departures
+
+    def test_cache_round_trip(self, tmp_path):
+        job = SwarmJob(spec=get_scenario("baseline"), scale="smoke", seed=9)
+        cache = ResultCache(tmp_path)
+        fingerprint = job.fingerprint()
+        assert cache.get(job, fingerprint) is None
+        result = job.execute()
+        cache.put(job, result, fingerprint)
+        cached = cache.get(job, fingerprint)
+        assert isinstance(cached, SwarmResult)
+        assert cached.records == result.records
+
+
+class TestGoldenSwarmRuns:
+    def test_every_scenario_pinned_or_marked_unsupported(self):
+        """New registry entries must ship a swarm pin or an explicit marker."""
+        assert set(GOLDEN_SWARM_SMOKE) | SWARM_UNSUPPORTED == set(scenario_names())
+        assert not set(GOLDEN_SWARM_SMOKE) & SWARM_UNSUPPORTED
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SWARM_SMOKE))
+    def test_smoke_run_pinned_by_fingerprint(self, name):
+        spec = get_scenario(name)
+        job = get_substrate("swarm").compile_job(spec, "smoke", seed=spec.job_seed(0, 0))
+        job_prefix, result_prefix = GOLDEN_SWARM_SMOKE[name]
+        assert job.fingerprint().startswith(job_prefix)
+        payload = result_to_payload(job.execute())
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        assert digest.startswith(result_prefix)

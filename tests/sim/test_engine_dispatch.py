@@ -122,3 +122,54 @@ class TestVecDispatch:
         assert "engine" not in job.payload()["config"]
         simulate(VARIABLE_CONFIG, [BEHAVIOR], seed=9, engine="vec")
         assert job.fingerprint() == fingerprint
+
+
+class TestUsingEngine:
+    def test_scopes_default_and_env(self, pristine_engine):
+        import os
+
+        from repro.sim.engine import using_engine
+
+        os.environ.pop(ENV_ENGINE, None)
+        with using_engine("vec"):
+            assert default_engine() == "vec"
+            # Worker processes inherit the choice through the environment.
+            assert os.environ[ENV_ENGINE] == "vec"
+        assert default_engine() == "fast"
+        assert ENV_ENGINE not in os.environ
+
+    def test_restores_previous_selection(self, pristine_engine, monkeypatch):
+        from repro.sim.engine import using_engine
+
+        monkeypatch.setenv(ENV_ENGINE, "reference")
+        set_default_engine("reference")
+        with using_engine("vec"):
+            assert default_engine() == "vec"
+        assert default_engine() == "reference"
+        import os
+
+        assert os.environ[ENV_ENGINE] == "reference"
+
+    def test_none_is_a_no_op(self, pristine_engine):
+        from repro.sim.engine import using_engine
+
+        set_default_engine("reference")
+        with using_engine(None):
+            assert default_engine() == "reference"
+        assert default_engine() == "reference"
+
+    def test_restores_on_exception(self, pristine_engine):
+        from repro.sim.engine import using_engine
+
+        with pytest.raises(RuntimeError):
+            with using_engine("vec"):
+                raise RuntimeError("boom")
+        assert default_engine() == "fast"
+
+    def test_unknown_engine_rejected_before_entry(self, pristine_engine):
+        from repro.sim.engine import using_engine
+
+        with pytest.raises(ValueError, match="unknown engine"):
+            with using_engine("warp"):
+                pass  # pragma: no cover
+        assert default_engine() == "fast"

@@ -81,6 +81,9 @@ THRESHOLDS: Dict[str, Dict[str, float]] = {
     "growing-swarm": {
         "pool_ks": 0.10, "mean_rel": 0.18, "pra_rel": 0.20, "dep_rel": 0.50,
     },
+    # Event waves compile to correlated replacement churn on the round
+    # engines: identities are replaced, never truly depart (no dep_rel).
+    "network-faults": {"pool_ks": 0.15, "mean_rel": 0.15, "pra_rel": 0.15},
     "whitewash-churn": {
         "pool_ks": 0.10, "mean_rel": 0.15, "pra_rel": 0.20, "dep_rel": 0.25,
     },

@@ -1,4 +1,4 @@
-"""Tests for the Pearson correlation implementation."""
+"""Tests for the Pearson and Spearman correlation implementations."""
 
 from __future__ import annotations
 
@@ -7,7 +7,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.stats.correlation import pearson_correlation
+from repro.stats.correlation import pearson_correlation, spearman_rank_correlation
 
 
 class TestPearsonCorrelation:
@@ -42,3 +42,40 @@ class TestPearsonCorrelation:
     def test_two_dimensional_input_raises(self):
         with pytest.raises(ValueError):
             pearson_correlation(np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestSpearmanRankCorrelation:
+    def test_monotone_nonlinear_is_perfect(self):
+        # Spearman sees through monotone transforms that break Pearson.
+        x = [1.0, 2.0, 3.0, 4.0, 5.0]
+        y = [math.exp(v) for v in x]
+        assert spearman_rank_correlation(x, y) == pytest.approx(1.0)
+        assert pearson_correlation(x, y) < 1.0
+
+    def test_reversed_order_is_minus_one(self):
+        assert spearman_rank_correlation(
+            [1, 2, 3, 4], [40, 30, 20, 10]
+        ) == pytest.approx(-1.0)
+
+    def test_ties_get_average_ranks(self):
+        # scipy.stats.spearmanr([1, 2, 2, 3], [1, 2, 3, 4]) == 0.9486832...
+        r = spearman_rank_correlation([1, 2, 2, 3], [1, 2, 3, 4])
+        assert r == pytest.approx(0.9486832980505138)
+
+    def test_invariant_under_monotone_rescaling(self):
+        x = [3.0, 1.0, 4.0, 1.5, 9.0]
+        y = [2.0, 7.0, 1.0, 8.0, 2.5]
+        assert spearman_rank_correlation(x, y) == pytest.approx(
+            spearman_rank_correlation([10 * v + 3 for v in x], y)
+        )
+
+    def test_constant_input_returns_nan(self):
+        assert math.isnan(spearman_rank_correlation([5, 5, 5], [1, 2, 3]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1, 2], [1, 2, 3])
+
+    def test_too_few_observations_raises(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1], [2])
