@@ -11,6 +11,9 @@ Usage::
     python -m repro.cli scenario flash-crowd --scale smoke --jobs 0 --cache-dir .repro-cache
     python -m repro atlas --scenarios baseline,whitewash-churn,colluding-whitewash
     python -m repro atlas --protocol-axes "ranking=I1,I5;allocation=R1,R2" --csv atlas.csv
+    python -m repro serve --root .repro-service --workers 4
+    python -m repro submit --root .repro-service --scenarios baseline,colluders
+    python -m repro serve --root .repro-service --stop
 
 (``python -m repro`` is a shorthand for ``python -m repro.cli``.)
 
@@ -204,7 +207,99 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the long-form CSV heat map to FILE",
     )
     _add_runner_arguments(atlas_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run persistent service workers against a spool directory "
+             "(the worker half of atlas-as-a-service)",
+    )
+    _add_service_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="persistent worker processes to run (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--max-idle", type=float, default=None, metavar="SEC",
+        help="exit after the queue has been empty this long "
+             "(default: serve until stopped)",
+    )
+    serve_parser.add_argument(
+        "--stats-interval", type=float, default=2.0, metavar="SEC",
+        help="seconds between service status lines (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--stop", action="store_true",
+        help="raise the stop sentinel for every worker on this spool "
+             "and exit (stops a running serve)",
+    )
+    serve_parser.add_argument(
+        "--engine", default=None, choices=ENGINE_CHOICES,
+        help="simulation engine the workers execute with "
+             "(default: REPRO_SIM_ENGINE or fast)",
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="submit an atlas grid to the service and stream the report "
+             "progressively as cells complete",
+    )
+    _add_service_arguments(submit_parser)
+    submit_parser.add_argument(
+        "--protocol-axes", default=None, metavar="AXES",
+        help="swept behaviour axes, e.g. 'ranking=I1,I5;allocation=R1,R2' "
+             "(default: the micro ranking x allocation axes)",
+    )
+    submit_parser.add_argument(
+        "--scenarios", default=None, metavar="NAMES",
+        help="comma-separated registered scenario names "
+             "(default: the adversarial column set)",
+    )
+    submit_parser.add_argument(
+        "--scale", default="smoke", choices=("smoke", "bench", "paper"),
+        help="run budget per cell (default: smoke)",
+    )
+    submit_parser.add_argument("--seed", type=int, default=0, help="master seed")
+    submit_parser.add_argument(
+        "--reps", type=int, default=None, metavar="N",
+        help="independent repetitions per cell (default: per-scale)",
+    )
+    submit_parser.add_argument(
+        "--substrate", default="rounds", choices=SUBSTRATE_CHOICES,
+        help="execution substrate for every grid cell (default: rounds)",
+    )
+    submit_parser.add_argument(
+        "--csv", default=None, metavar="FILE",
+        help="also write the long-form CSV heat map to FILE",
+    )
+    submit_parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="spawn N ephemeral local workers for this submission "
+             "(default: 0 — rely on a running `repro serve`)",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="fail the submission if not complete within SEC "
+             "(default: wait indefinitely)",
+    )
+    submit_parser.add_argument(
+        "--engine", default=None, choices=ENGINE_CHOICES,
+        help="simulation engine for ephemeral --workers (a running serve "
+             "keeps its own; default: REPRO_SIM_ENGINE or fast)",
+    )
     return parser
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--root", default=".repro-service", metavar="DIR",
+        help="service spool directory shared by workers and submitters "
+             "(default: .repro-service)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="sqlite-indexed shared result store "
+             "(default: <root>/cache)",
+    )
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -297,6 +392,129 @@ def _profile_scenario(parser, spec, scale: str, seed: int) -> int:
             f"{share:>6.1%}"
         )
     print(f"{'total':<12} {total:>9.4f} {total / rounds * 1e3:>9.3f} {1:>6.0%}")
+    return 0
+
+
+def _service_paths(args) -> Tuple[str, str]:
+    """(spool root, cache dir) for the service commands."""
+    root = args.root
+    cache_dir = args.cache_dir or os.path.join(root, "cache")
+    return root, cache_dir
+
+
+def _serve(parser, args) -> int:
+    """Run (or stop) persistent service workers on a spool directory."""
+    import time
+
+    from repro.service import Scheduler, Spool, WorkerPool
+
+    root, cache_dir = _service_paths(args)
+    spool = Spool(root)
+    if args.stop:
+        spool.request_stop()
+        print(f"stop requested for workers on {root}")
+        return 0
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.stats_interval <= 0:
+        parser.error("--stats-interval must be > 0")
+    scheduler = Scheduler(root, cache_dir=cache_dir)
+    pool = WorkerPool(root, cache_dir, workers=args.workers)
+    pool.start()
+    print(
+        f"serving {args.workers} workers on {root} (store: {cache_dir}); "
+        f"stop with `repro serve --root {root} --stop`",
+        flush=True,
+    )
+    idle_since = time.time()
+    try:
+        while True:
+            stats = scheduler.service_stats()
+            print(f"serve: {stats.render()}", flush=True)
+            if spool.stop_requested():
+                break
+            if stats.queue_depth or stats.in_flight:
+                idle_since = time.time()
+            elif args.max_idle is not None and time.time() - idle_since > args.max_idle:
+                print(f"idle for {args.max_idle:.1f}s; shutting down", flush=True)
+                break
+            time.sleep(args.stats_interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted; shutting down", flush=True)
+    finally:
+        pool.stop()
+    return 0
+
+
+def _submit(parser, args) -> int:
+    """Submit an atlas grid through the service, streaming cell completions."""
+    from contextlib import ExitStack
+
+    from repro.core.design_space import parse_axes
+    from repro.service import Scheduler, ServiceError, WorkerPool
+    from repro.service.atlas import run_atlas_service
+
+    axes = None
+    if args.protocol_axes is not None:
+        try:
+            axes = parse_axes(args.protocol_axes)
+        except ValueError as error:
+            parser.error(str(error))
+    scenarios = None
+    if args.scenarios is not None:
+        scenarios = [
+            name.strip() for name in args.scenarios.split(",") if name.strip()
+        ]
+        if not scenarios:
+            parser.error("--scenarios names no scenarios")
+    if args.reps is not None and args.reps < 1:
+        parser.error(f"--reps must be >= 1, got {args.reps}")
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
+    try:
+        spec = atlas_experiment.make_spec(
+            scale=args.scale,
+            seed=args.seed,
+            scenarios=scenarios,
+            axes=axes,
+            repetitions=args.reps,
+        )
+    except KeyError as error:
+        parser.error(str(error.args[0]))
+    except ValueError as error:
+        parser.error(str(error))
+
+    root, cache_dir = _service_paths(args)
+    scheduler = Scheduler(root, cache_dir=cache_dir)
+    cells = len(spec.cells())
+    print(
+        f"submitting {cells} cells x {spec.repetitions} reps to {root} "
+        f"(store: {cache_dir})",
+        flush=True,
+    )
+    with ExitStack() as stack:
+        if args.workers:
+            pool = WorkerPool(root, cache_dir, workers=args.workers)
+            stack.enter_context(pool)
+        try:
+            outcome = run_atlas_service(
+                spec,
+                scheduler,
+                substrate=args.substrate,
+                timeout=args.timeout,
+                emit=lambda line: print(line, flush=True),
+            )
+        except ServiceError as error:
+            print(f"submission failed: {error}", flush=True)
+            return 1
+    if args.substrate == "swarm":
+        print(atlas_experiment.render_swarm(outcome))
+    else:
+        print(atlas_experiment.render(outcome))
+    if args.csv is not None:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(outcome.csv())
+        print(f"wrote {args.csv}")
     return 0
 
 
@@ -455,6 +673,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 handle.write(outcome.csv())
             print(f"wrote {args.csv}")
         return 0
+
+    if args.command == "serve":
+        return _serve(parser, args)
+
+    if args.command == "submit":
+        return _submit(parser, args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -100,6 +100,7 @@ def run(
     repetitions: Optional[int] = None,
     spec: Optional[AtlasSpec] = None,
     engine: Optional[str] = None,
+    runner=None,
 ) -> AtlasOutcome:
     """Execute the atlas grid and condense it into the report.
 
@@ -109,8 +110,11 @@ def run(
     a prebuilt ``spec`` (see :func:`make_spec`) overrides them all;
     ``engine`` scopes a round-engine choice (``fast`` / ``reference`` /
     ``vec``) over exactly this grid, workers included.  All jobs form one
-    flat batch on the experiment runner, so a parallel runner overlaps
-    cells and a warm cache answers unchanged cells without simulating.
+    flat batch on the experiment runner — the process default, or an
+    explicit ``runner`` (e.g. a :class:`~repro.service.runner.ServiceRunner`
+    fanning the grid out to persistent service workers) — so a parallel
+    runner overlaps cells and a warm cache answers unchanged cells without
+    simulating.
     """
     if spec is None:
         spec = make_spec(
@@ -121,7 +125,9 @@ def run(
             repetitions=repetitions,
         )
     with using_engine(engine):
-        result = run_atlas(spec, runner=base.experiment_runner())
+        result = run_atlas(
+            spec, runner=runner if runner is not None else base.experiment_runner()
+        )
     return AtlasOutcome(
         scale=spec.scale,
         seed=spec.master_seed,
@@ -179,6 +185,7 @@ def run_swarm(
     axes: Optional[Mapping[str, Tuple[object, ...]]] = None,
     repetitions: Optional[int] = None,
     spec: Optional[AtlasSpec] = None,
+    runner=None,
 ) -> SwarmAtlasOutcome:
     """Execute the atlas grid on the packet-level swarm substrate.
 
@@ -187,6 +194,8 @@ def run_swarm(
     the round-engine atlas does — but every cell compiles through
     :class:`~repro.scenarios.substrate.SwarmSubstrate` and is scored by the
     censored mean download time (non-finishers count at the horizon).
+    ``runner`` overrides the process-default experiment runner (the service
+    front door passes a :class:`~repro.service.runner.ServiceRunner`).
     """
     if spec is None:
         spec = make_spec(
@@ -197,7 +206,8 @@ def run_swarm(
             repetitions=repetitions,
         )
     substrate = get_substrate("swarm")
-    runner = base.experiment_runner()
+    if runner is None:
+        runner = base.experiment_runner()
     compiled = [
         (
             cell,

@@ -95,7 +95,14 @@ class ResultCache:
             self.misses += 1
             return None
         try:
-            result = result_from_payload(payload, job.config)
+            # Jobs outside the simulation families (service fault-injection
+            # doubles, future job types) may carry their own payload codec;
+            # simulation jobs use the shared one.
+            loader = getattr(job, "result_from_payload", None)
+            if loader is not None:
+                result = loader(payload)
+            else:
+                result = result_from_payload(payload, job.config)
         except (KeyError, TypeError, ValueError):
             # Parseable JSON with a mangled payload is corruption too.
             self._quarantine(path)
@@ -122,7 +129,8 @@ class ResultCache:
         fingerprint = fingerprint or job.fingerprint()
         path = self.path_for(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = result_to_payload(result)
+        dumper = getattr(job, "result_to_payload", None)
+        payload = dumper(result) if dumper is not None else result_to_payload(result)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=f".{fingerprint[:8]}-", suffix=".tmp"
         )
@@ -131,9 +139,13 @@ class ResultCache:
                 json.dump(payload, handle, separators=(",", ":"))
             os.replace(tmp_name, path)
         except BaseException:
+            # Cover *any* OSError from the unlink, not just a missing file:
+            # on exotic filesystems ``os.replace`` itself can fail after a
+            # successful dump (EXDEV, EPERM, quota), and the temp file must
+            # not leak just because its cleanup hit e.g. a permission error.
             try:
                 os.unlink(tmp_name)
-            except FileNotFoundError:
+            except OSError:
                 pass
             raise
         return path
@@ -141,14 +153,26 @@ class ResultCache:
     # ------------------------------------------------------------------ #
     # maintenance
     # ------------------------------------------------------------------ #
+    def corrupt_count(self) -> int:
+        """Number of quarantined ``.corrupt`` entries currently on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.corrupt"))
+
     def clear(self) -> int:
-        """Delete every stored result; returns the number removed."""
+        """Delete every stored result *and* quarantined ``.corrupt`` file.
+
+        Returns the number of files removed (results plus quarantine
+        entries); without the quarantine sweep, ``.corrupt`` files — which
+        ``__len__`` never counts — would accumulate forever.
+        """
         removed = 0
         if not self.root.exists():
             return 0
-        for entry in self.root.glob("*/*.json"):
-            entry.unlink(missing_ok=True)
-            removed += 1
+        for pattern in ("*/*.json", "*/*.corrupt"):
+            for entry in self.root.glob(pattern):
+                entry.unlink(missing_ok=True)
+                removed += 1
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

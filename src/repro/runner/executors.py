@@ -17,14 +17,53 @@ floating-point accumulation, and therefore every figure, bit-identical.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Protocol, Sequence
 
 from repro.runner.jobs import SimulationJob
 from repro.sim.engine import SimulationResult
 
-__all__ = ["Executor", "SerialExecutor", "ProcessExecutor", "default_job_count"]
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "JobExecutionError",
+    "default_job_count",
+]
+
+
+class JobExecutionError(RuntimeError):
+    """A job failed (or its worker died) during batch execution.
+
+    Carries the failed job's content ``fingerprint`` so a thousand-job batch
+    failure points at the one job to re-run, instead of an anonymous
+    traceback from somewhere inside a worker.
+    """
+
+    def __init__(self, message: str, fingerprint: Optional[str] = None):
+        super().__init__(message)
+        self.fingerprint = fingerprint
+
+    def __reduce__(self):
+        # Exceptions pickle by args; keep the fingerprint across the
+        # worker -> parent process boundary.
+        return (type(self), (self.args[0], self.fingerprint))
+
+
+def describe_job(job) -> str:
+    """A short human-readable identity for a job, for error messages."""
+    spec = getattr(job, "spec", None)
+    if spec is not None and getattr(spec, "name", None):
+        return f"scenario {spec.name!r}, seed {job.seed}"
+    config = getattr(job, "config", None)
+    if config is not None and hasattr(config, "n_peers"):
+        return (
+            f"{config.n_peers} peers x {getattr(config, 'rounds', '?')} rounds, "
+            f"seed {job.seed}"
+        )
+    return f"seed {getattr(job, 'seed', None)}"
 
 
 def default_job_count() -> int:
@@ -60,11 +99,21 @@ class SerialExecutor:
 
 def _execute_job(job: SimulationJob) -> SimulationResult:
     """Module-level trampoline so pool workers can unpickle the callable."""
-    return job.execute()
+    try:
+        return job.execute()
+    except Exception as error:
+        # Attach the job's identity: a bare worker exception says nothing
+        # about *which* of a thousand batched jobs failed.
+        fingerprint = job.fingerprint()
+        raise JobExecutionError(
+            f"job {fingerprint[:12]} ({describe_job(job)}) failed: "
+            f"{type(error).__name__}: {error}",
+            fingerprint=fingerprint,
+        ) from error
 
 
 class ProcessExecutor:
-    """Execute jobs on a :class:`multiprocessing.Pool`.
+    """Execute jobs on a process pool.
 
     Parameters
     ----------
@@ -78,6 +127,13 @@ class ProcessExecutor:
     A pool is created per :meth:`run` call and torn down afterwards, so no
     worker processes outlive a batch.  Batches smaller than two jobs (or a
     single worker) short-circuit to in-process execution.
+
+    Failure behaviour: a job that raises surfaces as a
+    :class:`JobExecutionError` naming the job's fingerprint and scenario,
+    and a worker that *dies* mid-batch (OOM-killed, segfault, ``SIGKILL``)
+    raises instead of hanging the batch forever — the pool backend is
+    :class:`concurrent.futures.ProcessPoolExecutor`, whose broken-pool
+    detection ``multiprocessing.Pool.map`` lacks.
     """
 
     def __init__(self, processes: Optional[int] = None, chunksize: Optional[int] = None):
@@ -96,8 +152,15 @@ class ProcessExecutor:
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, len(jobs) // (workers * 4))
-        with multiprocessing.Pool(processes=workers) as pool:
-            return pool.map(_execute_job, jobs, chunksize=chunksize)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            try:
+                return list(pool.map(_execute_job, jobs, chunksize=chunksize))
+            except BrokenProcessPool as error:
+                raise JobExecutionError(
+                    f"a worker process died mid-batch while executing "
+                    f"{len(jobs)} jobs (killed or crashed); the batch is "
+                    f"incomplete — re-run it (cached results are kept)"
+                ) from error
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"ProcessExecutor(processes={self.processes})"

@@ -148,7 +148,17 @@ class ExperimentRunner:
         resolved: Dict[str, SimulationResult] = {}
         pending: List[str] = []
         if self.cache is not None:
+            # An indexed cache (repro.service.IndexedResultStore) answers
+            # "which of these are stored?" in O(1) queries; only the actual
+            # hits then read their payload files.  A plain cache probes one
+            # file per fingerprint, as before.
+            probe = getattr(self.cache, "probe_many", None)
+            known = probe(order) if probe is not None else None
             for fingerprint in order:
+                if known is not None and fingerprint not in known:
+                    self.cache.misses += 1
+                    pending.append(fingerprint)
+                    continue
                 cached = self.cache.get(unique[fingerprint], fingerprint)
                 if cached is not None:
                     resolved[fingerprint] = cached

@@ -1,0 +1,47 @@
+"""``repro.service`` — the persistent distributed job layer.
+
+Turns the batch-oriented, in-process experiment runner into a long-running
+service: an sqlite-indexed shared result store, a directory/queue spool
+coordinating persistent worker processes, a scheduler with per-job
+timeout / bounded retry / dead-worker recovery, and streaming submissions
+that render atlas reports progressively.  ``python -m repro serve`` and
+``python -m repro submit`` are the CLI front door.
+
+Layering (the dispatch / orchestration split):
+
+.. code-block:: text
+
+    cli serve/submit            front door
+      └─ service.atlas          progressive atlas glue
+          └─ service.runner     ExperimentRunner-compatible facade
+              └─ service.scheduler   submissions, retry, recovery
+                  ├─ service.spool   directory/queue protocol (work)
+                  ├─ service.worker  persistent worker processes
+                  └─ service.store   sqlite-indexed result store (results)
+"""
+
+from repro.service.runner import ServiceRunner
+from repro.service.scheduler import (
+    Scheduler,
+    ServiceConfig,
+    ServiceError,
+    ServiceStats,
+    Submission,
+)
+from repro.service.spool import Spool, WorkerInfo
+from repro.service.store import IndexedResultStore
+from repro.service.worker import WorkerPool, worker_main
+
+__all__ = [
+    "IndexedResultStore",
+    "Scheduler",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceRunner",
+    "ServiceStats",
+    "Spool",
+    "Submission",
+    "WorkerInfo",
+    "WorkerPool",
+    "worker_main",
+]

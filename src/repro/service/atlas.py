@@ -1,0 +1,106 @@
+"""Atlas-as-a-service: progressive grid runs through the job service.
+
+The glue between the declarative :class:`~repro.atlas.grid.AtlasSpec` and
+the service layer.  :func:`run_atlas_service` executes a grid exactly as
+``repro atlas`` does — same compiled jobs, same seeds, same report, proven
+bit-identical by the service test-suite — but on a
+:class:`~repro.service.runner.ServiceRunner`: the cells are computed by
+persistent workers (surviving worker death mid-grid) and the report data
+*streams*, with a per-cell progress line emitted the moment each
+(protocol, scenario) cell has all its repetitions in the store.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.atlas.grid import AtlasSpec
+from repro.experiments import atlas as atlas_experiment
+from repro.scenarios import get_substrate
+from repro.service.runner import ServiceRunner
+from repro.service.scheduler import Scheduler
+
+__all__ = ["cell_progress", "run_atlas_service"]
+
+
+def cell_progress(
+    spec: AtlasSpec,
+    substrate: str = "rounds",
+    emit: Optional[Callable[[str], None]] = print,
+) -> Callable[[str, object, int, int], None]:
+    """A :class:`ServiceRunner` progress callback that reports whole cells.
+
+    Compiles the grid (deterministically — the same jobs the run itself
+    compiles) to map each job fingerprint onto its cells, then emits one
+    line per *completed cell*: the granularity at which the atlas report
+    grows, rather than one line per repetition.
+    """
+    if substrate == "rounds":
+        compiled = spec.jobs()
+    else:
+        sub = get_substrate(substrate)
+        compiled = [
+            (
+                cell,
+                sub.jobs(
+                    spec.cell_spec(cell),
+                    spec.scale,
+                    master_seed=spec.master_seed,
+                    repetitions=spec.repetitions,
+                ),
+            )
+            for cell in spec.cells()
+        ]
+    remaining: Dict[Tuple[str, str], set] = {}
+    owners: Dict[str, List[Tuple[str, str]]] = {}
+    for cell, batch in compiled:
+        fingerprints = {job.fingerprint() for job in batch}
+        remaining[cell.key] = set(fingerprints)
+        for fingerprint in fingerprints:
+            owners.setdefault(fingerprint, []).append(cell.key)
+    total_cells = len(remaining)
+    done_cells = 0
+
+    def callback(fingerprint: str, result, done: int, total: int) -> None:
+        nonlocal done_cells
+        for key in owners.get(fingerprint, ()):
+            cell_pending = remaining[key]
+            cell_pending.discard(fingerprint)
+            if not cell_pending:
+                done_cells += 1
+                if emit is not None:
+                    protocol, scenario = key
+                    emit(
+                        f"  cell {done_cells}/{total_cells} complete: "
+                        f"{protocol} x {scenario} "
+                        f"({done}/{total} jobs)"
+                    )
+
+    return callback
+
+
+def run_atlas_service(
+    spec: AtlasSpec,
+    scheduler: Scheduler,
+    substrate: str = "rounds",
+    timeout: Optional[float] = None,
+    emit: Optional[Callable[[str], None]] = print,
+    engine: Optional[str] = None,
+):
+    """Run an atlas grid through the service, streaming cell completions.
+
+    Returns the same outcome object the in-process drivers return
+    (:class:`~repro.experiments.atlas.AtlasOutcome` on the rounds
+    substrate, :class:`~repro.experiments.atlas.SwarmAtlasOutcome` on
+    swarm), so rendering, CSV export and the execution-accounting footer
+    are shared code; the underlying simulations ran on whatever workers
+    serve the scheduler's spool.
+    """
+    runner = ServiceRunner(
+        scheduler,
+        timeout=timeout,
+        progress=cell_progress(spec, substrate=substrate, emit=emit),
+    )
+    if substrate == "swarm":
+        return atlas_experiment.run_swarm(spec=spec, runner=runner)
+    return atlas_experiment.run(spec=spec, runner=runner, engine=engine)

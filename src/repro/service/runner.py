@@ -1,0 +1,103 @@
+"""A drop-in runner that executes batches through the service.
+
+:class:`ServiceRunner` speaks the :class:`~repro.runner.runner.ExperimentRunner`
+interface — ``run(jobs)`` in job order, cumulative ``stats()`` snapshots —
+but delegates execution to a :class:`~repro.service.scheduler.Scheduler`:
+jobs are deduped against the sqlite-indexed store, queued on the spool,
+computed by whatever persistent workers serve it, and streamed back as they
+complete.
+
+Because the interface (and the content-addressed determinism underneath)
+is identical, every existing driver — ``run_atlas``, the scenario sweep,
+the cross-substrate experiment — runs through the service *unchanged* and
+produces bit-identical results; the only observable difference is where
+the compute happened.  A ``progress`` callback surfaces the streaming:
+it fires per completed unique job with ``(fingerprint, result, done,
+total)``, which is how the CLI renders an atlas progressively.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.runner.runner import RunnerStats
+from repro.service.scheduler import Scheduler, ServiceStats, Submission
+
+__all__ = ["ServiceRunner"]
+
+ProgressCallback = Callable[[str, object, int, int], None]
+
+
+class ServiceRunner:
+    """Execute job batches on a service instead of an in-process pool."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        timeout: Optional[float] = None,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        self.scheduler = scheduler
+        self.timeout = timeout
+        self.progress = progress
+        self.jobs_executed = 0
+        self.jobs_deduplicated = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.retries = 0
+        self.last_submission: Optional[Submission] = None
+
+    @property
+    def cache(self):
+        """The shared store (``ExperimentRunner.cache`` duck-type)."""
+        return self.scheduler.store
+
+    def run(self, jobs: Sequence[object]) -> List[object]:
+        """Submit, stream to completion, return results in job order."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        submission = self.scheduler.submit(jobs)
+        self.last_submission = submission
+        done = 0
+        for fingerprint, result in submission.stream(timeout=self.timeout):
+            done += 1
+            if self.progress is not None:
+                self.progress(fingerprint, result, done, submission.total_unique)
+        results = submission.results(timeout=self.timeout, strict=True)
+        executed = max(0, len(submission.completed) - submission.initial_hits)
+        self.jobs_executed += executed
+        self.jobs_deduplicated += submission.deduplicated
+        self.cache_hits += submission.initial_hits
+        self.cache_misses += executed
+        self.retries += submission.retries
+        return results
+
+    def run_one(self, job) -> object:
+        return self.run([job])[0]
+
+    def stats(self) -> RunnerStats:
+        """Cumulative counters in :class:`RunnerStats` form.
+
+        ``executed`` counts jobs the service actually computed for this
+        runner's submissions (queue hits by *other* submitters count as
+        cache hits here — the service computed them once, globally).
+        """
+        return RunnerStats(
+            executed=self.jobs_executed,
+            deduplicated=self.jobs_deduplicated,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+        )
+
+    def service_stats(self) -> ServiceStats:
+        """Live service metrics of the most recent submission (or spool)."""
+        if self.last_submission is not None:
+            return self.last_submission.stats()
+        return self.scheduler.service_stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ServiceRunner(scheduler={self.scheduler!r}, "
+            f"executed={self.jobs_executed})"
+        )

@@ -1,0 +1,346 @@
+"""The spool: a directory/queue protocol coordinating schedulers and workers.
+
+Everything the service shares between processes lives in one spool
+directory, manipulated only through atomic filesystem operations — no
+sockets, no locks, no daemons — so any number of submitters and workers
+(including on different machines over a shared filesystem) cooperate
+safely:
+
+.. code-block:: text
+
+    <root>/
+      pending/<fp>.job           queued work: one pickled job per file
+      claimed/<worker>/<fp>.job  in-flight work, owned by one worker
+      errors/<fp>.json           last execution error for a job (atomic)
+      workers/<worker>.json      registration (pid, started) per worker
+      workers/<worker>.alive     heartbeat: mtime touched by the worker loop
+      stop                       sentinel: workers drain and exit
+
+The invariants the protocol rests on:
+
+* **enqueue is exclusive** — a job file is created via temp-file +
+  ``os.link``, which fails with ``FileExistsError`` if another submitter
+  got there first: concurrent submitters sharing a spool enqueue each
+  unique fingerprint once;
+* **claim is atomic** — a worker takes a job with a single ``os.rename``
+  from ``pending/`` into its own ``claimed/<worker>/`` directory; rename
+  either succeeds (the worker owns the job) or raises (someone else won);
+  a job file is therefore always at exactly one place;
+* **death is visible** — a worker killed mid-job leaves its claimed file
+  behind and its heartbeat goes stale; the scheduler re-queues such
+  orphans (jobs *survive* worker death, in the survivability-strategy
+  sense: re-mapped, not lost);
+* **results are elsewhere** — completion is "the fingerprint appears in
+  the shared :class:`~repro.service.store.IndexedResultStore`", so the
+  spool never carries result payloads and a re-executed job is harmless
+  (content-addressed results are idempotent).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["Spool", "WorkerInfo"]
+
+
+@dataclass(frozen=True)
+class WorkerInfo:
+    """One registered worker as seen through the spool."""
+
+    worker_id: str
+    pid: Optional[int]
+    heartbeat_age: float
+    alive: bool
+    claimed: int
+
+
+class Spool:
+    """Handle on a spool directory (creates the layout on first use)."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # layout
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_dir(self) -> Path:
+        return self.root / "pending"
+
+    @property
+    def claimed_dir(self) -> Path:
+        return self.root / "claimed"
+
+    @property
+    def errors_dir(self) -> Path:
+        return self.root / "errors"
+
+    @property
+    def workers_dir(self) -> Path:
+        return self.root / "workers"
+
+    @property
+    def stop_path(self) -> Path:
+        return self.root / "stop"
+
+    def ensure_layout(self) -> None:
+        for directory in (
+            self.pending_dir,
+            self.claimed_dir,
+            self.errors_dir,
+            self.workers_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # enqueue / claim / finish
+    # ------------------------------------------------------------------ #
+    def _job_path(self, fingerprint: str) -> Path:
+        return self.pending_dir / f"{fingerprint}.job"
+
+    def enqueue(self, fingerprint: str, job) -> bool:
+        """Queue ``job`` under ``fingerprint``; False if already queued.
+
+        The job file appears atomically (temp file + ``os.link``) and
+        exclusively — the loser of an enqueue race sees ``False`` and
+        simply awaits the winner's job.
+        """
+        self.ensure_layout()
+        target = self._job_path(fingerprint)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.pending_dir, prefix=f".{fingerprint[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(job, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            try:
+                os.link(tmp_name, target)
+            except FileExistsError:
+                return False
+            return True
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+    def is_queued_or_claimed(self, fingerprint: str) -> bool:
+        """Whether a job file for ``fingerprint`` exists anywhere."""
+        if self._job_path(fingerprint).exists():
+            return True
+        name = f"{fingerprint}.job"
+        if not self.claimed_dir.exists():
+            return False
+        return any(
+            (worker_dir / name).exists()
+            for worker_dir in self.claimed_dir.iterdir()
+            if worker_dir.is_dir()
+        )
+
+    def claim(self, worker_id: str) -> Optional[Tuple[str, object]]:
+        """Atomically take one pending job, or ``None`` if the queue is empty.
+
+        Claims the oldest pending entry first (FIFO by enqueue mtime, name
+        as tie-break) so long-waiting jobs are not starved; rename races
+        with other workers simply move on to the next candidate — that *is*
+        the work-stealing: every idle worker pulls from the one shared
+        queue, so a fast worker drains what a slow one never got to.
+        """
+        if not self.pending_dir.exists():
+            return None
+        own_dir = self.claimed_dir / worker_id
+        own_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            candidates = sorted(
+                self.pending_dir.glob("*.job"),
+                key=lambda p: (p.stat().st_mtime, p.name),
+            )
+        except OSError:
+            candidates = sorted(self.pending_dir.glob("*.job"))
+        for candidate in candidates:
+            target = own_dir / candidate.name
+            try:
+                os.rename(candidate, target)
+            except OSError:
+                continue  # another worker won the race (or file vanished)
+            try:
+                with target.open("rb") as handle:
+                    job = pickle.load(handle)
+            except Exception:
+                # Undecodable job file: drop it rather than poison the
+                # worker loop; the scheduler's timeout path re-queues.
+                target.unlink(missing_ok=True)
+                continue
+            return candidate.stem, job
+        return None
+
+    def finish(self, worker_id: str, fingerprint: str) -> None:
+        """Release a claimed job (after its result landed in the store)."""
+        path = self.claimed_dir / worker_id / f"{fingerprint}.job"
+        path.unlink(missing_ok=True)
+
+    def release_claim(self, worker_id: str, fingerprint: str) -> bool:
+        """Move one claimed job back to pending (scheduler recovery path)."""
+        source = self.claimed_dir / worker_id / f"{fingerprint}.job"
+        target = self._job_path(fingerprint)
+        self.ensure_layout()
+        try:
+            os.rename(source, target)
+        except OSError:
+            return False
+        return True
+
+    def claimed_jobs(self) -> Dict[str, List[str]]:
+        """``worker_id -> [fingerprint, ...]`` of every in-flight claim."""
+        claims: Dict[str, List[str]] = {}
+        if not self.claimed_dir.exists():
+            return claims
+        for worker_dir in self.claimed_dir.iterdir():
+            if not worker_dir.is_dir():
+                continue
+            fingerprints = [entry.stem for entry in worker_dir.glob("*.job")]
+            if fingerprints:
+                claims[worker_dir.name] = fingerprints
+        return claims
+
+    def queue_depth(self) -> int:
+        """Number of pending (unclaimed) jobs."""
+        if not self.pending_dir.exists():
+            return 0
+        return sum(1 for _ in self.pending_dir.glob("*.job"))
+
+    def in_flight(self) -> int:
+        """Number of claimed (in-execution) jobs."""
+        return sum(len(fps) for fps in self.claimed_jobs().values())
+
+    # ------------------------------------------------------------------ #
+    # execution errors
+    # ------------------------------------------------------------------ #
+    def report_error(self, fingerprint: str, worker_id: str, error: BaseException) -> None:
+        """Record a job execution failure (last error wins, atomic)."""
+        self.ensure_layout()
+        payload = {
+            "fingerprint": fingerprint,
+            "worker": worker_id,
+            "error": f"{type(error).__name__}: {error}",
+            "time": time.time(),
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=self.errors_dir, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_name, self.errors_dir / f"{fingerprint}.json")
+
+    def error_fingerprints(self) -> List[str]:
+        """Fingerprints with a recorded execution error (one listing)."""
+        if not self.errors_dir.exists():
+            return []
+        return [entry.stem for entry in self.errors_dir.glob("*.json")]
+
+    def take_error(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """Consume (read + delete) the recorded error for a job, if any."""
+        path = self.errors_dir / f"{fingerprint}.json"
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        path.unlink(missing_ok=True)
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # worker liveness
+    # ------------------------------------------------------------------ #
+    def register_worker(self, worker_id: str, pid: Optional[int] = None) -> None:
+        self.ensure_layout()
+        info = {"pid": pid if pid is not None else os.getpid(), "started": time.time()}
+        path = self.workers_dir / f"{worker_id}.json"
+        fd, tmp_name = tempfile.mkstemp(dir=self.workers_dir, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(info, handle)
+        os.replace(tmp_name, path)
+        self.heartbeat(worker_id)
+
+    def unregister_worker(self, worker_id: str) -> None:
+        (self.workers_dir / f"{worker_id}.json").unlink(missing_ok=True)
+        (self.workers_dir / f"{worker_id}.alive").unlink(missing_ok=True)
+
+    def heartbeat(self, worker_id: str) -> None:
+        """Touch the worker's liveness file (cheap: one utime or create)."""
+        path = self.workers_dir / f"{worker_id}.alive"
+        try:
+            os.utime(path)
+        except FileNotFoundError:
+            self.ensure_layout()
+            path.touch()
+
+    def heartbeat_age(self, worker_id: str, now: Optional[float] = None) -> float:
+        """Seconds since the worker's last heartbeat (``inf`` if never)."""
+        path = self.workers_dir / f"{worker_id}.alive"
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            return float("inf")
+        return max(0.0, (now if now is not None else time.time()) - mtime)
+
+    def workers(self, liveness_timeout: float = 5.0) -> List[WorkerInfo]:
+        """Every worker that registered (or left claims behind), with liveness."""
+        claims = self.claimed_jobs()
+        seen = set()
+        infos: List[WorkerInfo] = []
+        now = time.time()
+        if self.workers_dir.exists():
+            for entry in sorted(self.workers_dir.glob("*.json")):
+                worker_id = entry.stem
+                seen.add(worker_id)
+                try:
+                    with entry.open("r", encoding="utf-8") as handle:
+                        pid = json.load(handle).get("pid")
+                except (OSError, json.JSONDecodeError):
+                    pid = None
+                age = self.heartbeat_age(worker_id, now)
+                infos.append(
+                    WorkerInfo(
+                        worker_id=worker_id,
+                        pid=pid,
+                        heartbeat_age=age,
+                        alive=age <= liveness_timeout,
+                        claimed=len(claims.get(worker_id, [])),
+                    )
+                )
+        # Claims of workers that never registered (or whose registration
+        # was cleaned up) still need liveness accounting: report them dead.
+        for worker_id in sorted(set(claims) - seen):
+            infos.append(
+                WorkerInfo(
+                    worker_id=worker_id,
+                    pid=None,
+                    heartbeat_age=float("inf"),
+                    alive=False,
+                    claimed=len(claims[worker_id]),
+                )
+            )
+        return infos
+
+    # ------------------------------------------------------------------ #
+    # stop sentinel
+    # ------------------------------------------------------------------ #
+    def request_stop(self) -> None:
+        """Ask every worker sharing the spool to drain and exit."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stop_path.touch()
+
+    def clear_stop(self) -> None:
+        self.stop_path.unlink(missing_ok=True)
+
+    def stop_requested(self) -> bool:
+        return self.stop_path.exists()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Spool(root={str(self.root)!r})"

@@ -1,0 +1,298 @@
+"""The sqlite-indexed result store: the service's shared source of truth.
+
+:class:`IndexedResultStore` wraps the content-addressed file cache
+(:class:`~repro.runner.cache.ResultCache`) with an sqlite index holding one
+row per stored fingerprint — substrate, scenario, seed, payload version and
+file mtime.  The files stay the durable record (one JSON per result, exactly
+as before, so every pre-existing cache directory and fingerprint keeps
+working); the index is a *derived* structure that turns the two hot probes
+of a long-running service into single indexed queries:
+
+* **batch dedupe** — "which of these 10 000 fingerprints are already
+  stored?" is one ``SELECT ... WHERE fingerprint IN (...)`` per chunk
+  instead of 10 000 ``stat`` calls (the RVH-style observation: an index
+  over the hash space beats per-key filesystem probes);
+* **completion polling** — the scheduler streams results as they land by
+  probing the same index, so a million-cell atlas never re-stats the world
+  per poll tick.
+
+Consistency model: the payload file is written *before* its index row, so
+the index can only ever under-report (a crash between the two steps costs
+one redundant recompute, never a wrong answer).  :meth:`rebuild` reconciles
+the index from the files — used on first open of a pre-existing cache
+directory and available for manual repair.
+
+Several processes (workers, schedulers, CLI clients) share one index; WAL
+journaling and a busy timeout make concurrent readers/writers safe, and
+each process opens its own connection (sqlite connections must not cross
+``fork``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.runner.cache import ResultCache
+
+__all__ = ["IndexedResultStore", "INDEX_FILENAME"]
+
+#: The index database, stored alongside the fingerprint shard directories.
+INDEX_FILENAME = "index.sqlite"
+
+#: Fingerprints per ``IN (...)`` clause — comfortably under sqlite's
+#: default 999-variable limit while keeping a 10k-probe at ~20 queries.
+_PROBE_CHUNK = 500
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT PRIMARY KEY,
+    substrate   TEXT NOT NULL DEFAULT 'rounds',
+    scenario    TEXT,
+    -- TEXT: derived per-repetition seeds are sha256-based and routinely
+    -- exceed sqlite's 64-bit INTEGER range.
+    seed        TEXT,
+    version     INTEGER NOT NULL,
+    mtime       REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_scenario
+    ON results (scenario, substrate);
+"""
+
+
+class IndexedResultStore(ResultCache):
+    """A :class:`ResultCache` with an sqlite index over its fingerprints.
+
+    Drop-in compatible with the plain cache (``get``/``put``/``clear`` keep
+    their contracts and the file layout is unchanged); additionally
+    maintains the index on every ``put`` and answers membership probes
+    (:meth:`probe_many`) without touching the filesystem.
+
+    ``query_count`` counts index queries issued — the O(1)-probes property
+    is asserted against it by the service test-suite.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        super().__init__(root)
+        self._connection: Optional[sqlite3.Connection] = None
+        self._owner_pid: Optional[int] = None
+        self.query_count = 0
+        # A pre-existing file cache opened for the first time gets its
+        # index reconciled up front, so probes never under-report the
+        # warm cache an earlier (index-less) run built.
+        if self.root.exists() and not (self.root / INDEX_FILENAME).exists():
+            if any(self.root.glob("*/*.json")):
+                self.rebuild()
+
+    # ------------------------------------------------------------------ #
+    # connection management
+    # ------------------------------------------------------------------ #
+    @property
+    def index_path(self) -> Path:
+        return self.root / INDEX_FILENAME
+
+    def _connect(self) -> sqlite3.Connection:
+        """This process's connection (re-opened after a ``fork``)."""
+        pid = os.getpid()
+        if self._connection is None or self._owner_pid != pid:
+            self.root.mkdir(parents=True, exist_ok=True)
+            connection = sqlite3.connect(self.index_path, timeout=30.0)
+            connection.execute("PRAGMA busy_timeout = 30000")
+            try:
+                connection.execute("PRAGMA journal_mode = WAL")
+            except sqlite3.OperationalError:  # pragma: no cover - odd fs
+                pass
+            connection.executescript(_SCHEMA)
+            connection.commit()
+            self._connection = connection
+            self._owner_pid = pid
+        return self._connection
+
+    def close(self) -> None:
+        """Close this process's index connection (files are unaffected)."""
+        if self._connection is not None and self._owner_pid == os.getpid():
+            self._connection.close()
+        self._connection = None
+        self._owner_pid = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Stores travel to worker processes by value; the sqlite
+        # connection does not survive pickling or fork and is re-opened
+        # lazily on first use in the new process.
+        state = self.__dict__.copy()
+        state["_connection"] = None
+        state["_owner_pid"] = None
+        return state
+
+    # ------------------------------------------------------------------ #
+    # index maintenance
+    # ------------------------------------------------------------------ #
+    def put(self, job, result, fingerprint=None) -> Path:
+        """Store the result file, then index it (file first — see module doc)."""
+        fingerprint = fingerprint or job.fingerprint()
+        path = super().put(job, result, fingerprint)
+        self.index_entry(fingerprint, job=job, path=path)
+        return path
+
+    def index_entry(self, fingerprint: str, job=None, path: Optional[Path] = None) -> None:
+        """Insert/refresh one index row from a stored payload file."""
+        path = path or self.path_for(fingerprint)
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            mtime = 0.0
+        substrate, scenario, seed, version = self._describe(job, path)
+        connection = self._connect()
+        self.query_count += 1
+        connection.execute(
+            "INSERT OR REPLACE INTO results "
+            "(fingerprint, substrate, scenario, seed, version, mtime) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (fingerprint, substrate, scenario, seed, version, mtime),
+        )
+        connection.commit()
+
+    @staticmethod
+    def _describe(job, path: Path):
+        """(substrate, scenario, seed, version) for an index row."""
+        from repro.runner.jobs import RESULT_PAYLOAD_VERSION
+
+        substrate = "rounds"
+        scenario: Optional[str] = None
+        seed: Optional[str] = None
+        version = RESULT_PAYLOAD_VERSION
+        if job is not None:
+            raw_seed = getattr(job, "seed", None)
+            seed = str(raw_seed) if raw_seed is not None else None
+            spec = getattr(job, "spec", None)
+            if spec is not None and getattr(spec, "name", None):
+                scenario = spec.name
+            if hasattr(job, "payload"):
+                try:
+                    if job.payload().get("substrate") == "swarm":
+                        substrate = "swarm"
+                except Exception:
+                    pass
+        else:
+            # Rebuild path: sniff the stored payload instead.
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                if isinstance(payload, dict):
+                    version = int(payload.get("version", version))
+                    if payload.get("kind") == "swarm":
+                        substrate = "swarm"
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError, ValueError):
+                pass
+        return substrate, scenario, seed, version
+
+    def rebuild(self) -> int:
+        """Reconcile the index from the payload files; returns the row count.
+
+        Drops every row and re-indexes what is actually on disk — the
+        recovery path for an index lost, corrupted, or created after the
+        file cache (a plain :class:`ResultCache` run leaves no index).
+        Scenario and seed are unknown for rebuilt rows (the files do not
+        record them); substrate and payload version come from the payload.
+        """
+        connection = self._connect()
+        self.query_count += 1
+        connection.execute("DELETE FROM results")
+        rows = []
+        if self.root.exists():
+            for entry in self.root.glob("*/*.json"):
+                fingerprint = entry.stem
+                try:
+                    mtime = entry.stat().st_mtime
+                except OSError:
+                    continue
+                substrate, scenario, seed, version = self._describe(None, entry)
+                rows.append((fingerprint, substrate, scenario, seed, version, mtime))
+        if rows:
+            self.query_count += 1
+            connection.executemany(
+                "INSERT OR REPLACE INTO results "
+                "(fingerprint, substrate, scenario, seed, version, mtime) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+        connection.commit()
+        return len(rows)
+
+    # ------------------------------------------------------------------ #
+    # probes
+    # ------------------------------------------------------------------ #
+    def probe_many(self, fingerprints: Sequence[str]) -> Set[str]:
+        """The subset of ``fingerprints`` present in the store.
+
+        One indexed query per :data:`_PROBE_CHUNK` fingerprints — the whole
+        point of the index: a 1000-job dedupe probe is 2 queries, not 1000
+        file ``stat`` calls.
+        """
+        unique: List[str] = list(dict.fromkeys(fingerprints))
+        present: Set[str] = set()
+        if not unique:
+            return present
+        connection = self._connect()
+        for start in range(0, len(unique), _PROBE_CHUNK):
+            chunk = unique[start : start + _PROBE_CHUNK]
+            marks = ",".join("?" * len(chunk))
+            self.query_count += 1
+            cursor = connection.execute(
+                f"SELECT fingerprint FROM results WHERE fingerprint IN ({marks})",
+                chunk,
+            )
+            present.update(row[0] for row in cursor)
+        return present
+
+    def probe(self, fingerprint: str) -> bool:
+        """Whether one fingerprint is present (single indexed query)."""
+        return fingerprint in self.probe_many([fingerprint])
+
+    def indexed_count(self) -> int:
+        """Number of rows in the index (== stored results when consistent)."""
+        self.query_count += 1
+        cursor = self._connect().execute("SELECT COUNT(*) FROM results")
+        return int(cursor.fetchone()[0])
+
+    def scenario_counts(self) -> Dict[str, int]:
+        """Stored results per scenario label (``None`` key for unlabelled)."""
+        self.query_count += 1
+        cursor = self._connect().execute(
+            "SELECT scenario, COUNT(*) FROM results GROUP BY scenario"
+        )
+        return {row[0]: int(row[1]) for row in cursor}
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def clear(self) -> int:
+        """Delete every result, quarantine file *and* index row."""
+        removed = super().clear()
+        connection = self._connect()
+        self.query_count += 1
+        connection.execute("DELETE FROM results")
+        connection.commit()
+        return removed
+
+    def forget(self, fingerprints: Iterable[str]) -> None:
+        """Drop index rows (e.g. for files found missing); files untouched."""
+        connection = self._connect()
+        batch = list(fingerprints)
+        for start in range(0, len(batch), _PROBE_CHUNK):
+            chunk = batch[start : start + _PROBE_CHUNK]
+            marks = ",".join("?" * len(chunk))
+            self.query_count += 1
+            connection.execute(
+                f"DELETE FROM results WHERE fingerprint IN ({marks})", chunk
+            )
+        connection.commit()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"IndexedResultStore(root={str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, queries={self.query_count})"
+        )

@@ -1,0 +1,118 @@
+"""Fault-injection jobs for exercising the service's failure paths.
+
+These doubles satisfy the job duck type (``fingerprint()`` / ``execute()``
+/ ``seed``) without touching the simulation engines, and live in the
+installed package — not the test tree — so spool-pickled instances load in
+*any* worker process (CI smoke runs, ``repro serve`` workers, forked
+pools alike).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.runner.jobs import RESULT_PAYLOAD_VERSION
+
+__all__ = ["EchoJob", "FailJob", "HangJob", "WorkerKillJob"]
+
+
+class _StringResultCodec:
+    """Payload hooks letting the doubles' string results round-trip the cache.
+
+    The result cache serialises simulation results with a shared codec; jobs
+    of any other type provide ``result_to_payload``/``result_from_payload``
+    themselves (see :meth:`repro.runner.cache.ResultCache.put`) — here a
+    trivial tagged envelope, so the doubles flow through the *real*
+    store/worker machinery end to end.
+    """
+
+    def result_to_payload(self, result):
+        return {
+            "version": RESULT_PAYLOAD_VERSION,
+            "kind": "service-testing",
+            "value": result,
+        }
+
+    def result_from_payload(self, payload):
+        return payload["value"]
+
+
+@dataclass(frozen=True)
+class EchoJob(_StringResultCodec):
+    """Completes instantly with a deterministic payload-free result."""
+
+    token: str
+    seed: int = 0
+
+    def fingerprint(self) -> str:
+        blob = f"echo:{self.token}:{self.seed}".encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def execute(self) -> str:
+        return f"echo:{self.token}"
+
+
+@dataclass(frozen=True)
+class FailJob(_StringResultCodec):
+    """Raises on every attempt — exercises retry exhaustion."""
+
+    token: str
+    seed: int = 0
+
+    def fingerprint(self) -> str:
+        blob = f"fail:{self.token}:{self.seed}".encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def execute(self):
+        raise RuntimeError(f"injected failure for {self.token}")
+
+
+@dataclass(frozen=True)
+class HangJob(_StringResultCodec):
+    """Sleeps far past any sane job timeout — exercises the timeout path."""
+
+    token: str
+    sleep_seconds: float = 3600.0
+    seed: int = 0
+
+    def fingerprint(self) -> str:
+        blob = f"hang:{self.token}:{self.sleep_seconds}:{self.seed}".encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def execute(self):
+        time.sleep(self.sleep_seconds)
+        return f"hang:{self.token}"
+
+
+@dataclass(frozen=True)
+class WorkerKillJob(_StringResultCodec):
+    """SIGKILLs the executing worker — exercises dead-worker re-queue.
+
+    ``max_kills`` bounds the carnage via a marker directory: once that many
+    workers have died on this job, later attempts succeed — modelling a
+    transient crash (OOM kill, preemption) rather than a poison pill.
+    """
+
+    token: str
+    marker_dir: str
+    max_kills: int = 1
+    seed: int = 0
+
+    def fingerprint(self) -> str:
+        blob = f"kill:{self.token}:{self.max_kills}:{self.seed}".encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    def execute(self) -> str:
+        os.makedirs(self.marker_dir, exist_ok=True)
+        kills = len(os.listdir(self.marker_dir))
+        if kills < self.max_kills:
+            with open(
+                os.path.join(self.marker_dir, f"kill-{kills}-{os.getpid()}"), "w"
+            ):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+        return f"kill:{self.token}:survived"

@@ -1,0 +1,184 @@
+"""Persistent service workers: claim → execute → store, forever.
+
+A worker is a long-running process bound to a spool directory and a shared
+:class:`~repro.service.store.IndexedResultStore`.  Its loop is the whole
+contract:
+
+1. heartbeat (touch ``workers/<id>.alive`` — the scheduler's liveness
+   signal),
+2. atomically claim one pending job from the spool,
+3. skip execution if the result already landed (another worker, an earlier
+   attempt, a warm cache — one indexed probe, results are idempotent),
+4. execute, store the result (file + index row), release the claim,
+5. report execution errors to the spool instead of dying — a worker
+   outlives any individual job failure; only a kill/crash takes it down,
+   and then the stale heartbeat plus the left-behind claim are exactly
+   what the scheduler's dead-worker sweep looks for.
+
+:class:`WorkerPool` manages a set of such workers as local child
+processes; ``python -m repro serve`` is its CLI face.  Nothing requires
+the pool, though — any process on any machine that can see the spool
+directory can run :func:`worker_main` and join the service.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.service.spool import Spool
+from repro.service.store import IndexedResultStore
+from repro.utils.logging import get_logger
+
+__all__ = ["worker_main", "WorkerPool", "DEFAULT_POLL_INTERVAL"]
+
+_LOGGER = get_logger("service.worker")
+
+#: Seconds a worker sleeps between queue polls when idle.
+DEFAULT_POLL_INTERVAL = 0.05
+
+
+def worker_main(
+    spool_root: Union[str, Path],
+    cache_dir: Union[str, Path],
+    worker_id: Optional[str] = None,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    max_idle: Optional[float] = None,
+) -> int:
+    """Run one worker until the stop sentinel appears (or idle expiry).
+
+    Returns the number of jobs this worker executed.  ``max_idle`` bounds
+    how long the worker lingers with an empty queue — ``None`` means "serve
+    forever" (the ``repro serve`` default).
+    """
+    worker_id = worker_id or f"w-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    spool = Spool(spool_root)
+    store = IndexedResultStore(cache_dir)
+    spool.register_worker(worker_id)
+    executed = 0
+    idle_since = time.time()
+    try:
+        while True:
+            spool.heartbeat(worker_id)
+            if spool.stop_requested():
+                break
+            claimed = spool.claim(worker_id)
+            if claimed is None:
+                if max_idle is not None and time.time() - idle_since > max_idle:
+                    break
+                time.sleep(poll_interval)
+                continue
+            idle_since = time.time()
+            fingerprint, job = claimed
+            if store.probe(fingerprint):
+                # Someone else already computed it (retry overlap, a second
+                # submitter, a warm cache): drop the claim, keep the result.
+                spool.finish(worker_id, fingerprint)
+                continue
+            try:
+                result = job.execute()
+                store.put(job, result, fingerprint)
+            except Exception as error:  # noqa: BLE001 - the loop must survive
+                # Execution *and* store failures report through the spool:
+                # a worker outlives any single bad job (or full disk) and
+                # the scheduler owns the retry policy.
+                _LOGGER.warning(
+                    "worker %s: job %s failed: %s", worker_id, fingerprint[:12], error
+                )
+                spool.report_error(fingerprint, worker_id, error)
+                spool.finish(worker_id, fingerprint)
+                continue
+            spool.finish(worker_id, fingerprint)
+            executed += 1
+    finally:
+        spool.unregister_worker(worker_id)
+        store.close()
+    return executed
+
+
+class WorkerPool:
+    """A set of local worker processes bound to one spool + store.
+
+    The pool only *manages* processes (spawn, liveness, stop); all actual
+    coordination goes through the spool, so pool workers and foreign
+    workers (another ``repro serve`` on the same directory) are
+    indistinguishable to the scheduler.
+    """
+
+    def __init__(
+        self,
+        spool_root: Union[str, Path],
+        cache_dir: Union[str, Path],
+        workers: int = 2,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        max_idle: Optional[float] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.spool = Spool(spool_root)
+        self.cache_dir = Path(cache_dir)
+        self.poll_interval = poll_interval
+        self.max_idle = max_idle
+        self.worker_count = workers
+        self.processes: List[multiprocessing.Process] = []
+
+    def start(self) -> "WorkerPool":
+        """Spawn the worker processes (idempotent top-up to the target count)."""
+        self.spool.clear_stop()
+        alive = [p for p in self.processes if p.is_alive()]
+        for index in range(len(alive), self.worker_count):
+            worker_id = f"pool-{os.getpid()}-{index}-{uuid.uuid4().hex[:6]}"
+            process = multiprocessing.Process(
+                target=worker_main,
+                args=(str(self.spool.root), str(self.cache_dir), worker_id),
+                kwargs={
+                    "poll_interval": self.poll_interval,
+                    "max_idle": self.max_idle,
+                },
+                daemon=True,
+                name=worker_id,
+            )
+            process.start()
+            self.processes.append(process)
+        return self
+
+    def alive_count(self) -> int:
+        return sum(1 for p in self.processes if p.is_alive())
+
+    def kill_one(self) -> Optional[int]:
+        """SIGKILL one live worker (fault injection for tests/CI); its pid."""
+        for process in self.processes:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+                return process.pid
+        return None
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Raise the stop sentinel and reap every pool process."""
+        self.spool.request_stop()
+        deadline = time.time() + timeout
+        for process in self.processes:
+            process.join(timeout=max(0.0, deadline - time.time()))
+        for process in self.processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout=1.0)
+        self.processes = []
+        self.spool.clear_stop()
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"WorkerPool(root={str(self.spool.root)!r}, "
+            f"workers={self.worker_count}, alive={self.alive_count()})"
+        )

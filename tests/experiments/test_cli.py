@@ -367,3 +367,60 @@ class TestCliSwarmSubstrate:
         ) == 0
         output = capsys.readouterr().out
         assert "Spearman" in output
+
+
+class TestCliService:
+    def test_serve_stop_writes_sentinel(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        assert main(["serve", "--root", str(root), "--stop"]) == 0
+        assert "stop requested" in capsys.readouterr().out
+        assert (root / "stop").exists()
+
+    def test_serve_with_max_idle_drains_and_exits(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        assert main(
+            ["serve", "--root", str(root), "--workers", "1",
+             "--max-idle", "0.2", "--stats-interval", "0.05"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "serving 1 workers" in output
+        assert "serve: queue=" in output
+        assert "shutting down" in output
+
+    def test_submit_micro_grid_through_ephemeral_workers(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        argv = [
+            "submit", "--root", str(root),
+            "--protocol-axes", "ranking=I1,I5",
+            "--scenarios", "baseline,colluders",
+            "--scale", "smoke", "--workers", "2", "--timeout", "180",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "submitting 4 cells x 2 reps" in output
+        assert "cell 4/4 complete" in output
+        assert "robustness atlas" in output
+        assert "8 simulated" in output
+
+        # Warm re-submit: every cell streams straight from the store.
+        target = tmp_path / "atlas.csv"
+        assert main(argv + ["--csv", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "cell 4/4 complete" in output
+        assert "0 simulated" in output
+        assert "8 cached" in output
+        lines = target.read_text().splitlines()
+        assert lines[0].startswith("protocol,scenario")
+
+    def test_service_commands_reject_bad_input(self, tmp_path):
+        root = str(tmp_path / "svc")
+        with pytest.raises(SystemExit):
+            main(["serve", "--root", root, "--workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["submit", "--root", root, "--reps", "0"])
+        with pytest.raises(SystemExit):
+            main(["submit", "--root", root, "--scenarios", " ,"])
+        with pytest.raises(SystemExit):
+            main(["submit", "--root", root, "--protocol-axes", "nonsense"])
+        with pytest.raises(SystemExit):
+            main(["submit", "--root", root, "--scenarios", "no-such-scenario"])

@@ -363,3 +363,101 @@ class TestDefaultJobCount:
         )
         monkeypatch.setattr(executors.os, "cpu_count", lambda: None)
         assert executors.default_job_count() == 1
+
+
+class TestCacheMaintenance:
+    """clear() sweeps quarantine files too, and put() never leaks temps."""
+
+    def test_clear_removes_results_and_corrupt_files(self, tmp_path):
+        from repro.runner.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        stored = make_job(seed=30)
+        cache.put(stored, stored.execute())
+        poisoned = make_job(seed=31)
+        bad_path = cache.path_for(poisoned.fingerprint())
+        bad_path.parent.mkdir(parents=True, exist_ok=True)
+        bad_path.write_text("{not json", encoding="utf-8")
+        assert cache.get(poisoned) is None  # quarantines the garbage
+        assert cache.corrupt_count() == 1
+
+        removed = cache.clear()
+        assert removed == 2  # one result + one .corrupt file
+        assert len(cache) == 0
+        assert cache.corrupt_count() == 0
+        assert list(tmp_path.glob("*/*")) == []
+
+    def test_corrupt_count_on_missing_root(self, tmp_path):
+        from repro.runner.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.corrupt_count() == 0
+        assert cache.clear() == 0
+
+    def test_put_cleans_temp_file_when_replace_fails(self, tmp_path, monkeypatch):
+        import repro.runner.cache as cache_module
+        from repro.runner.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        job = make_job(seed=32)
+        result = job.execute()
+
+        def refuse(src, dst):
+            raise PermissionError("replace refused")  # an OSError, not ENOENT
+
+        monkeypatch.setattr(cache_module.os, "replace", refuse)
+        with pytest.raises(PermissionError):
+            cache.put(job, result)
+        # The temp file must not leak even though the failure was not a
+        # missing-file error.
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file()]
+        assert leftovers == []
+
+
+class TestExecutorFailureAttribution:
+    """Worker failures name the job; dead workers raise instead of hanging."""
+
+    def test_failed_job_raises_attributed_error(self, tmp_path):
+        from repro.runner.executors import JobExecutionError
+        from repro.service.testing import FailJob
+
+        jobs = [FailJob("first"), FailJob("second")]
+        with pytest.raises(JobExecutionError) as excinfo:
+            ProcessExecutor(processes=2).run(jobs)
+        error = excinfo.value
+        assert error.fingerprint in {job.fingerprint() for job in jobs}
+        assert error.fingerprint[:12] in str(error)
+        assert "RuntimeError: injected failure" in str(error)
+
+    def test_attributed_error_survives_pickling(self):
+        import pickle
+
+        from repro.runner.executors import JobExecutionError
+
+        error = JobExecutionError("job abc failed", fingerprint="abc123")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, JobExecutionError)
+        assert clone.fingerprint == "abc123"
+        assert str(clone) == str(error)
+
+    def test_dead_worker_raises_instead_of_hanging(self, tmp_path):
+        from repro.runner.executors import JobExecutionError
+        from repro.service.testing import EchoJob, WorkerKillJob
+
+        jobs = [
+            WorkerKillJob("bomb", marker_dir=str(tmp_path / "kills"), max_kills=99)
+        ] + [EchoJob(f"pad-{i}") for i in range(3)]
+        with pytest.raises(JobExecutionError, match="worker process died"):
+            ProcessExecutor(processes=2).run(jobs)
+
+    def test_describe_job_names_scenario_and_config(self):
+        from types import SimpleNamespace
+
+        from repro.runner.executors import describe_job
+
+        scenario_job = SimpleNamespace(
+            spec=SimpleNamespace(name="colluders"), seed=7
+        )
+        assert describe_job(scenario_job) == "scenario 'colluders', seed 7"
+        sim_job = make_job(seed=5)
+        assert describe_job(sim_job) == "6 peers x 6 rounds, seed 5"

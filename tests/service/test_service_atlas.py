@@ -1,0 +1,116 @@
+"""End-to-end: the robustness atlas through the service, faults included.
+
+The acceptance criterion for the service layer: a micro-atlas submitted
+through the scheduler onto a two-worker pool — with one worker SIGKILLed
+mid-grid — completes with every cell present and **bit-identical** stored
+results to the plain serial ``atlas`` run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.experiments import atlas as atlas_experiment
+from repro.runner import ExperimentRunner
+from repro.service import IndexedResultStore, Scheduler, ServiceConfig, WorkerPool
+from repro.service.atlas import cell_progress, run_atlas_service
+
+AXES = {"ranking": ("fastest", "loyal")}
+SCENARIOS = ("baseline", "colluders")
+
+
+def micro_spec():
+    return atlas_experiment.make_spec(
+        scale="smoke", seed=0, scenarios=SCENARIOS, axes=AXES
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_outcome(tmp_path_factory):
+    """The reference run: plain serial runner, plain cache directory."""
+    cache_dir = tmp_path_factory.mktemp("serial-cache")
+    runner = ExperimentRunner(cache_dir=cache_dir)
+    outcome = atlas_experiment.run(spec=micro_spec(), runner=runner)
+    return outcome, cache_dir
+
+
+class TestAtlasThroughService:
+    def test_bit_identical_with_worker_killed_mid_grid(
+        self, tmp_path, serial_outcome
+    ):
+        outcome_serial, serial_cache = serial_outcome
+        spec = micro_spec()
+        spool_root = str(tmp_path / "spool")
+        cache_dir = tmp_path / "cache"
+        config = ServiceConfig(
+            job_timeout=60.0,
+            max_attempts=3,
+            backoff_base=0.02,
+            backoff_max=0.1,
+            liveness_timeout=0.5,
+            poll_interval=0.02,
+        )
+        scheduler = Scheduler(spool_root, cache_dir=cache_dir, config=config)
+        lines = []
+        killed = []
+
+        with WorkerPool(spool_root, cache_dir, workers=2, poll_interval=0.02) as pool:
+            # Fault injection: SIGKILL one worker as soon as the first
+            # result lands — i.e. while the rest of the grid is in flight.
+            def killer():
+                # Own store handle: sqlite connections are per-thread.
+                probe = IndexedResultStore(cache_dir)
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    if probe.indexed_count() >= 1:
+                        killed.append(pool.kill_one())
+                        return
+                    time.sleep(0.01)
+
+            watcher = threading.Thread(target=killer, daemon=True)
+            watcher.start()
+            outcome = run_atlas_service(
+                spec, scheduler, timeout=120, emit=lines.append
+            )
+            watcher.join(timeout=30)
+
+        assert killed and killed[0] is not None  # a worker really died
+
+        # Every cell is present and streamed exactly once.
+        cells = len(spec.cells())
+        assert len(lines) == cells
+        assert lines[-1].startswith(f"  cell {cells}/{cells} complete:")
+
+        # The report — ranking, heat maps, execution accounting — is
+        # exactly the serial run's.
+        assert atlas_experiment.render(outcome) == atlas_experiment.render(
+            outcome_serial
+        )
+        assert outcome.csv() == outcome_serial.csv()
+
+        # And the stored results themselves are bit-identical, file by file.
+        serial_files = sorted(serial_cache.glob("*/*.json"))
+        assert len(serial_files) == spec.repetitions * cells
+        for serial_file in serial_files:
+            twin = cache_dir / serial_file.parent.name / serial_file.name
+            assert twin.read_bytes() == serial_file.read_bytes()
+
+    def test_cell_progress_emits_one_line_per_completed_cell(self):
+        spec = micro_spec()
+        lines = []
+        callback = cell_progress(spec, emit=lines.append)
+        fingerprints = list(
+            dict.fromkeys(
+                job.fingerprint() for _, batch in spec.jobs() for job in batch
+            )
+        )
+        for done, fingerprint in enumerate(fingerprints, start=1):
+            callback(fingerprint, None, done, len(fingerprints))
+        cells = len(spec.cells())
+        assert len(lines) == cells
+        assert lines[-1].startswith(f"  cell {cells}/{cells} complete:")
+        for scenario in SCENARIOS:
+            assert any(f"x {scenario}" in line for line in lines)

@@ -1,0 +1,143 @@
+"""Tests for the directory/queue spool protocol."""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.service.spool import Spool
+from repro.service.testing import EchoJob
+
+
+def fp(token: str) -> str:
+    return EchoJob(token).fingerprint()
+
+
+class TestEnqueueClaim:
+    def test_enqueue_is_exclusive(self, tmp_path):
+        spool = Spool(tmp_path)
+        job = EchoJob("a")
+        assert spool.enqueue(fp("a"), job) is True
+        assert spool.enqueue(fp("a"), job) is False
+        assert spool.queue_depth() == 1
+
+    def test_claim_moves_job_to_worker_dir(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.enqueue(fp("a"), EchoJob("a"))
+        claimed = spool.claim("w1")
+        assert claimed is not None
+        fingerprint, job = claimed
+        assert fingerprint == fp("a")
+        assert job == EchoJob("a")
+        assert spool.queue_depth() == 0
+        assert spool.in_flight() == 1
+        assert spool.claimed_jobs() == {"w1": [fp("a")]}
+        # Nothing left for a second worker.
+        assert spool.claim("w2") is None
+
+    def test_claim_is_fifo_by_enqueue_time(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.enqueue(fp("old"), EchoJob("old"))
+        spool.enqueue(fp("new"), EchoJob("new"))
+        # Force distinct mtimes (filesystems may round to the same tick).
+        now = time.time()
+        os.utime(spool.pending_dir / f"{fp('old')}.job", (now - 60, now - 60))
+        os.utime(spool.pending_dir / f"{fp('new')}.job", (now, now))
+        assert spool.claim("w1")[0] == fp("old")
+        assert spool.claim("w1")[0] == fp("new")
+
+    def test_claim_drops_undecodable_job_file(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.ensure_layout()
+        (spool.pending_dir / f"{fp('bad')}.job").write_bytes(b"not a pickle")
+        assert spool.claim("w1") is None
+        assert spool.queue_depth() == 0
+        assert spool.in_flight() == 0
+
+    def test_finish_releases_claim(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.enqueue(fp("a"), EchoJob("a"))
+        spool.claim("w1")
+        spool.finish("w1", fp("a"))
+        assert spool.in_flight() == 0
+        assert spool.queue_depth() == 0
+
+    def test_release_claim_requeues(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.enqueue(fp("a"), EchoJob("a"))
+        spool.claim("w1")
+        assert spool.release_claim("w1", fp("a")) is True
+        assert spool.queue_depth() == 1
+        assert spool.in_flight() == 0
+        # Releasing a claim that is not held fails without side effects.
+        assert spool.release_claim("w1", fp("a")) is False
+
+    def test_is_queued_or_claimed_tracks_both_states(self, tmp_path):
+        spool = Spool(tmp_path)
+        assert not spool.is_queued_or_claimed(fp("a"))
+        spool.enqueue(fp("a"), EchoJob("a"))
+        assert spool.is_queued_or_claimed(fp("a"))
+        spool.claim("w1")
+        assert spool.is_queued_or_claimed(fp("a"))
+        spool.finish("w1", fp("a"))
+        assert not spool.is_queued_or_claimed(fp("a"))
+
+
+class TestErrors:
+    def test_error_report_take_roundtrip(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.report_error(fp("a"), "w1", RuntimeError("boom"))
+        assert spool.error_fingerprints() == [fp("a")]
+        payload = spool.take_error(fp("a"))
+        assert payload["worker"] == "w1"
+        assert "RuntimeError: boom" in payload["error"]
+        # Consumed: gone on the second take.
+        assert spool.take_error(fp("a")) is None
+        assert spool.error_fingerprints() == []
+
+
+class TestWorkerLiveness:
+    def test_registered_heartbeating_worker_is_alive(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.register_worker("w1")
+        (info,) = spool.workers(liveness_timeout=5.0)
+        assert info.worker_id == "w1"
+        assert info.alive
+        assert info.pid == os.getpid()
+
+    def test_stale_heartbeat_marks_worker_dead(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.register_worker("w1")
+        old = time.time() - 60
+        os.utime(spool.workers_dir / "w1.alive", (old, old))
+        (info,) = spool.workers(liveness_timeout=5.0)
+        assert not info.alive
+        assert info.heartbeat_age > 5.0
+
+    def test_unregistered_claimer_is_reported_dead(self, tmp_path):
+        # A worker that left claims behind but never registered (or whose
+        # registration was cleaned up) must still show up, dead, so the
+        # scheduler can re-queue its jobs.
+        spool = Spool(tmp_path)
+        spool.enqueue(fp("a"), EchoJob("a"))
+        spool.claim("ghost")
+        (info,) = spool.workers(liveness_timeout=5.0)
+        assert info.worker_id == "ghost"
+        assert not info.alive
+        assert info.claimed == 1
+
+    def test_unregister_removes_worker(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.register_worker("w1")
+        spool.unregister_worker("w1")
+        assert spool.workers() == []
+
+
+class TestStopSentinel:
+    def test_stop_roundtrip(self, tmp_path):
+        spool = Spool(tmp_path)
+        assert not spool.stop_requested()
+        spool.request_stop()
+        assert spool.stop_requested()
+        spool.clear_stop()
+        assert not spool.stop_requested()

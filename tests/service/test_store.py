@@ -1,0 +1,170 @@
+"""Tests for the sqlite-indexed result store."""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.protocol import bittorrent_reference
+from repro.runner import SimulationJob
+from repro.runner.cache import ResultCache
+from repro.service.store import INDEX_FILENAME, IndexedResultStore
+from repro.service.testing import EchoJob
+from repro.sim.config import SimulationConfig
+
+
+def make_sim_job(seed: int = 0, rounds: int = 6) -> SimulationJob:
+    config = SimulationConfig(n_peers=6, rounds=rounds)
+    return SimulationJob(
+        config=config, behaviors=(bittorrent_reference().behavior,), seed=seed
+    )
+
+
+def fake_fingerprints(count: int):
+    return [hashlib.sha256(f"fp-{i}".encode()).hexdigest() for i in range(count)]
+
+
+class TestIndexRoundTrip:
+    def test_put_indexes_and_get(self, tmp_path):
+        store = IndexedResultStore(tmp_path / "cache")
+        job = EchoJob("a")
+        fingerprint = job.fingerprint()
+        store.put(job, job.execute(), fingerprint)
+        assert store.probe(fingerprint)
+        assert store.indexed_count() == 1
+        assert store.get(job, fingerprint) == "echo:a"
+        assert (tmp_path / "cache" / INDEX_FILENAME).exists()
+        # A fresh handle on the same directory sees the persisted index.
+        again = IndexedResultStore(tmp_path / "cache")
+        assert again.probe(fingerprint)
+        assert again.get(job, fingerprint) == "echo:a"
+
+    def test_simulation_result_round_trips(self, tmp_path):
+        store = IndexedResultStore(tmp_path / "cache")
+        job = make_sim_job(seed=3)
+        result = job.execute()
+        store.put(job, result)
+        assert store.get(job).records == result.records
+
+    def test_files_bit_identical_to_plain_cache(self, tmp_path):
+        """The index is additive: the payload files are byte-for-byte the
+        ones a plain ResultCache writes, so every pinned fingerprint and
+        golden file stays valid."""
+        job = make_sim_job(seed=1)
+        result = job.execute()
+        plain_path = ResultCache(tmp_path / "plain").put(job, result)
+        store_path = IndexedResultStore(tmp_path / "indexed").put(job, result)
+        assert plain_path.read_bytes() == store_path.read_bytes()
+        assert plain_path.relative_to(tmp_path / "plain") == store_path.relative_to(
+            tmp_path / "indexed"
+        )
+
+    def test_probe_misses_are_absent(self, tmp_path):
+        store = IndexedResultStore(tmp_path / "cache")
+        assert not store.probe("0" * 64)
+        assert store.probe_many(fake_fingerprints(10)) == set()
+
+
+class TestProbeQueryComplexity:
+    def test_thousand_job_probe_is_two_queries_not_thousand_stats(self, tmp_path):
+        """The acceptance criterion: a 1000-fingerprint dedupe probe issues
+        O(1) indexed queries (ceil(1000/500) == 2), not one stat per job."""
+        store = IndexedResultStore(tmp_path / "cache")
+        fingerprints = fake_fingerprints(1000)
+        stored = fingerprints[::2]
+        for fingerprint in stored:
+            store.index_entry(fingerprint)
+        store.query_count = 0
+        present = store.probe_many(fingerprints)
+        assert store.query_count == 2
+        assert present == set(stored)
+
+    def test_probe_many_dedupes_input(self, tmp_path):
+        store = IndexedResultStore(tmp_path / "cache")
+        fingerprint = fake_fingerprints(1)[0]
+        store.index_entry(fingerprint)
+        store.query_count = 0
+        assert store.probe_many([fingerprint] * 600) == {fingerprint}
+        assert store.query_count == 1  # 600 duplicates collapse to one chunk
+
+
+class TestRebuild:
+    def test_index_rebuilt_from_preexisting_file_cache(self, tmp_path):
+        """A cache directory built by a plain (index-less) ResultCache run
+        gets its index reconciled on first IndexedResultStore open."""
+        plain = ResultCache(tmp_path / "cache")
+        jobs = [make_sim_job(seed=seed) for seed in range(3)]
+        fingerprints = [job.fingerprint() for job in jobs]
+        for job, fingerprint in zip(jobs, fingerprints):
+            plain.put(job, job.execute(), fingerprint)
+        assert not (tmp_path / "cache" / INDEX_FILENAME).exists()
+
+        store = IndexedResultStore(tmp_path / "cache")
+        assert (tmp_path / "cache" / INDEX_FILENAME).exists()
+        assert store.indexed_count() == 3
+        assert store.probe_many(fingerprints) == set(fingerprints)
+        for job, fingerprint in zip(jobs, fingerprints):
+            assert store.get(job, fingerprint) is not None
+
+    def test_rebuild_reconciles_out_of_band_changes(self, tmp_path):
+        store = IndexedResultStore(tmp_path / "cache")
+        job = make_sim_job(seed=9)
+        fingerprint = job.fingerprint()
+        path = store.put(job, job.execute(), fingerprint)
+        path.unlink()  # out-of-band deletion: index now over-reports
+        assert store.probe(fingerprint)
+        assert store.rebuild() == 0
+        assert not store.probe(fingerprint)
+
+
+class TestIndexMetadata:
+    def test_scenario_and_seed_recorded(self, tmp_path):
+        store = IndexedResultStore(tmp_path / "cache")
+        swarm_like = SimpleNamespace(
+            seed=7,
+            spec=SimpleNamespace(name="baseline"),
+            payload=lambda: {"substrate": "swarm"},
+        )
+        store.index_entry("a" * 64, job=swarm_like)
+        store.index_entry("b" * 64, job=SimpleNamespace(seed=2**80, spec=None))
+        counts = store.scenario_counts()
+        assert counts == {"baseline": 1, None: 1}
+
+    def test_huge_derived_seeds_fit_the_index(self, tmp_path):
+        # Scenario-derived per-repetition seeds are sha256-based and exceed
+        # sqlite's 64-bit INTEGER range; the seed column must hold them.
+        store = IndexedResultStore(tmp_path / "cache")
+        store.index_entry("c" * 64, job=SimpleNamespace(seed=2**200, spec=None))
+        assert store.probe("c" * 64)
+
+
+class TestMaintenance:
+    def test_clear_clears_files_and_index(self, tmp_path):
+        store = IndexedResultStore(tmp_path / "cache")
+        job = EchoJob("x")
+        store.put(job, job.execute(), job.fingerprint())
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.indexed_count() == 0
+        assert not store.probe(job.fingerprint())
+
+    def test_forget_drops_rows_but_keeps_files(self, tmp_path):
+        store = IndexedResultStore(tmp_path / "cache")
+        job = EchoJob("y")
+        fingerprint = job.fingerprint()
+        path = store.put(job, job.execute(), fingerprint)
+        store.forget([fingerprint])
+        assert not store.probe(fingerprint)
+        assert path.exists()
+
+    def test_store_survives_pickling(self, tmp_path):
+        # Stores travel into worker processes by value; the connection must
+        # not come along (and must lazily re-open on the other side).
+        store = IndexedResultStore(tmp_path / "cache")
+        job = EchoJob("z")
+        store.put(job, job.execute(), job.fingerprint())
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.probe(job.fingerprint())
