@@ -167,9 +167,10 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario_parser.add_argument(
         "--profile", action="store_true",
         help="run one profiled simulation of the scenario and print "
-             "per-phase (population/decision/transfer) round timings "
-             "instead of the sweep; on fixed-population scenarios the "
-             "buckets are coarse (fused decision+transfer phases)",
+             "per-phase (churn/decision/allocation/transfer/metrics) round "
+             "timings instead of the sweep; the vec engine adds dotted "
+             "sub-phase attribution, the fixed fast engine reports coarse "
+             "fused buckets",
     )
     _add_runner_arguments(scenario_parser)
 
@@ -205,6 +206,12 @@ def _build_parser() -> argparse.ArgumentParser:
     atlas_parser.add_argument(
         "--csv", default=None, metavar="FILE",
         help="also write the long-form CSV heat map to FILE",
+    )
+    atlas_parser.add_argument(
+        "--profile", action="store_true",
+        help="additionally run one profiled repetition per grid cell "
+             "(serially, bypassing the cache) and append the per-cell and "
+             "aggregated per-phase breakdown to the report",
     )
     _add_runner_arguments(atlas_parser)
 
@@ -331,38 +338,33 @@ def _profile_scenario(parser, spec, scale: str, seed: int) -> int:
     history window of three or more rounds, so the ``decision`` bucket
     includes the transfer application and ``transfer`` covers only the
     end-of-round bookkeeping).  The vec engine profiles both shapes with
-    one implementation.
+    one implementation and dotted sub-phase attribution.
     """
     from repro.sim.engine import (
         FUSED_HISTORY_MIN,
         Simulation,
-        population_engine_class,
+        profiled_simulation,
     )
+    from repro.sim.profiling import profile_seconds_of, render_phases
 
     job = spec.compile(scale=scale, seed=seed)
     engine = default_engine()
     variable = job.config.is_variable_population
-    if variable or engine == "vec":
-        engine_cls = population_engine_class(engine)
-    else:
-        if engine == "reference":
-            parser.error(
-                "--profile on a fixed-population scenario needs the "
-                "optimised engine; the frozen reference implementation "
-                "has no profile hooks (drop --engine reference)"
-            )
-        engine_cls = Simulation
-    simulation = engine_cls(
-        job.config,
-        list(job.behaviors),
-        groups=list(job.groups) if job.groups is not None else None,
-        seed=job.seed,
-        profile=True,
-    )
+    try:
+        simulation = profiled_simulation(
+            job.config,
+            list(job.behaviors),
+            groups=list(job.groups) if job.groups is not None else None,
+            seed=job.seed,
+        )
+    except ValueError:
+        parser.error(
+            "--profile on a fixed-population scenario needs the "
+            "optimised engine; the frozen reference implementation "
+            "has no profile hooks (drop --engine reference)"
+        )
     result = simulation.run()
     rounds = result.rounds_executed
-    phases = simulation.phase_seconds
-    total = sum(phases.values())
     print(
         f"profile: scenario {spec.name} (scale {scale}, seed {seed}, "
         f"engine {engine})"
@@ -375,7 +377,7 @@ def _profile_scenario(parser, spec, scale: str, seed: int) -> int:
         )
     else:
         fused = (
-            engine_cls is Simulation
+            type(simulation) is Simulation
             and job.config.history_rounds >= FUSED_HISTORY_MIN
         )
         print(
@@ -383,15 +385,7 @@ def _profile_scenario(parser, spec, scale: str, seed: int) -> int:
             f"churn events: {result.churn_events}"
             + ("  [fused decision+transfer]" if fused else "")
         )
-    print(f"{'phase':<12} {'seconds':>9} {'ms/round':>9} {'share':>7}")
-    for phase in ("population", "decision", "transfer"):
-        seconds = phases[phase]
-        share = seconds / total if total > 0 else 0.0
-        print(
-            f"{phase:<12} {seconds:>9.4f} {seconds / rounds * 1e3:>9.3f} "
-            f"{share:>6.1%}"
-        )
-    print(f"{'total':<12} {total:>9.4f} {total / rounds * 1e3:>9.3f} {1:>6.0%}")
+    print(render_phases(profile_seconds_of(simulation), rounds=rounds))
     return 0
 
 
@@ -663,10 +657,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ValueError as error:
             parser.error(str(error))
         if args.substrate == "swarm":
+            if args.profile:
+                parser.error(
+                    "--profile is a round-engine instrument; drop "
+                    "--substrate swarm"
+                )
             outcome = atlas_experiment.run_swarm(spec=spec)
             print(atlas_experiment.render_swarm(outcome))
         else:
-            outcome = atlas_experiment.run(spec=spec)
+            outcome = atlas_experiment.run(spec=spec, profile=args.profile)
             print(atlas_experiment.render(outcome))
         if args.csv is not None:
             with open(args.csv, "w", encoding="utf-8") as handle:

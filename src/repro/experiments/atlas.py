@@ -54,6 +54,10 @@ class AtlasOutcome:
     spec: AtlasSpec
     result: AtlasResult
     report: AtlasReport
+    #: ``"protocol/scenario" -> phase payload`` of one profiled repetition
+    #: per grid cell (:func:`repro.sim.profiling.phases_payload` shape);
+    #: ``None`` unless the atlas ran with ``profile=True``.
+    phase_profiles: Optional[Dict[str, dict]] = None
 
     def csv(self) -> str:
         """The long-form CSV heat map (CI artifact format)."""
@@ -101,6 +105,7 @@ def run(
     spec: Optional[AtlasSpec] = None,
     engine: Optional[str] = None,
     runner=None,
+    profile: bool = False,
 ) -> AtlasOutcome:
     """Execute the atlas grid and condense it into the report.
 
@@ -114,7 +119,9 @@ def run(
     explicit ``runner`` (e.g. a :class:`~repro.service.runner.ServiceRunner`
     fanning the grid out to persistent service workers) — so a parallel
     runner overlaps cells and a warm cache answers unchanged cells without
-    simulating.
+    simulating.  ``profile=True`` additionally runs one profiled repetition
+    per grid cell (serially, bypassing the cache) and attaches the
+    per-cell phase payloads as ``phase_profiles``.
     """
     if spec is None:
         spec = make_spec(
@@ -124,16 +131,28 @@ def run(
             axes=axes,
             repetitions=repetitions,
         )
+    phase_profiles: Optional[Dict[str, dict]] = None
     with using_engine(engine):
         result = run_atlas(
             spec, runner=runner if runner is not None else base.experiment_runner()
         )
+        if profile:
+            from repro.experiments.scenario_sweep import profile_job
+
+            phase_profiles = {}
+            for cell in spec.cells():
+                label, scenario = cell.key
+                job = spec.cell_spec(cell).jobs(
+                    spec.scale, master_seed=spec.master_seed, repetitions=1
+                )[0]
+                phase_profiles[f"{label}/{scenario}"] = profile_job(job)
     return AtlasOutcome(
         scale=spec.scale,
         seed=spec.master_seed,
         spec=spec,
         result=result,
         report=build_report(result),
+        phase_profiles=phase_profiles,
     )
 
 
@@ -295,4 +314,29 @@ def render(outcome: AtlasOutcome) -> str:
         f"grid: {result.jobs_total} jobs, {stats.executed} simulated, "
         f"{stats.cache_hits} cached, {stats.deduplicated} duplicate",
     ]
+    if outcome.phase_profiles:
+        from repro.sim.profiling import (
+            aggregate_phases,
+            payload_seconds,
+            render_phases,
+        )
+
+        lines.extend(["", "phase breakdown (one profiled rep per cell):"])
+        for key, profile in outcome.phase_profiles.items():
+            total = sum(profile["phases"].values())
+            top = max(profile["phases"], key=profile["phases"].get)
+            share = profile["phases"][top] / total if total > 0 else 0.0
+            lines.append(
+                f"  {key}: {total:.4f}s over {profile['rounds']} rounds "
+                f"(top: {top} {share:.0%})"
+            )
+        lines.append("  aggregate:")
+        lines.append(
+            render_phases(
+                aggregate_phases(
+                    payload_seconds(p) for p in outcome.phase_profiles.values()
+                ),
+                indent="    ",
+            )
+        )
     return "\n".join(lines)

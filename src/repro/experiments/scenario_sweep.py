@@ -33,6 +33,7 @@ __all__ = [
     "ScenarioSweepResult",
     "SwarmScenarioStats",
     "SwarmSweepResult",
+    "profile_job",
     "repetitions_for",
     "run",
     "render",
@@ -70,6 +71,10 @@ class ScenarioStats:
     #: Per-cohort download per peer per measured round present — the
     #: normalisation that keeps PRA measures comparable across varying N.
     cohort_download_per_round: Dict[str, float] = field(default_factory=dict)
+    #: Machine-readable per-phase breakdown of one profiled repetition
+    #: (:func:`repro.sim.profiling.phases_payload` shape); ``None`` unless
+    #: the sweep ran with ``profile=True``.
+    phase_profile: Optional[dict] = None
 
     @property
     def name(self) -> str:
@@ -126,12 +131,36 @@ def _aggregate(
     )
 
 
+def profile_job(job) -> dict:
+    """One profiled, cache-bypassing run of ``job``; its phase payload.
+
+    The sweep's aggregate numbers still come from the cached batch — the
+    profiled repetition is an *extra* serial run (same config, same seed as
+    the batch's first repetition), so profiling never perturbs cached
+    results or their fingerprints.
+    """
+    from repro.sim.engine import profiled_simulation
+    from repro.sim.profiling import phases_payload, profile_seconds_of
+
+    simulation = profiled_simulation(
+        job.config,
+        list(job.behaviors),
+        groups=list(job.groups) if job.groups is not None else None,
+        seed=job.seed,
+    )
+    result = simulation.run()
+    return phases_payload(
+        profile_seconds_of(simulation), rounds=result.rounds_executed
+    )
+
+
 def run(
     scale: str = "bench",
     seed: int = 0,
     scenarios: Optional[Sequence[str]] = None,
     repetitions: Optional[int] = None,
     engine: Optional[str] = None,
+    profile: bool = False,
 ) -> ScenarioSweepResult:
     """Run the scenario grid and aggregate per-scenario statistics.
 
@@ -140,7 +169,10 @@ def run(
     scopes a round-engine choice (``fast`` / ``reference`` / ``vec``) over
     exactly this sweep, workers included.  All jobs of the whole grid form
     one batch, so a parallel runner overlaps scenarios and a warm cache
-    answers the entire sweep without simulating.
+    answers the entire sweep without simulating.  ``profile=True``
+    additionally runs one profiled repetition per scenario (serially,
+    bypassing the cache) and attaches its per-phase breakdown to each
+    :class:`ScenarioStats`.
     """
     base.check_scale(scale)
     if scenarios is None:
@@ -154,13 +186,16 @@ def run(
     flat = [job for batch in batches for job in batch]
     with using_engine(engine):
         results = base.experiment_runner().run(flat)
+        profiles = [profile_job(batch[0]) if profile else None for batch in batches]
 
     stats: List[ScenarioStats] = []
     cursor = 0
-    for spec, batch in zip(specs, batches):
+    for spec, batch, phase_profile in zip(specs, batches, profiles):
         chunk = results[cursor : cursor + len(batch)]
         cursor += len(batch)
-        stats.append(_aggregate(spec, scale, chunk))
+        scenario_stats = _aggregate(spec, scale, chunk)
+        scenario_stats.phase_profile = phase_profile
+        stats.append(scenario_stats)
     return ScenarioSweepResult(
         scale=scale, seed=seed, stats=stats, jobs_run=len(flat)
     )
@@ -194,7 +229,7 @@ def render(result: ScenarioSweepResult) -> str:
                 cohorts,
             ]
         )
-    return format_table(
+    table = format_table(
         (
             "scenario",
             "peers x rounds",
@@ -208,6 +243,31 @@ def render(result: ScenarioSweepResult) -> str:
         rows,
         title=f"scenario sweep — {result.scale} scale, seed {result.seed}",
     )
+    profiled = [s for s in result.stats if s.phase_profile is not None]
+    if not profiled:
+        return table
+    from repro.sim.profiling import (
+        aggregate_phases,
+        payload_seconds,
+        render_phases,
+    )
+
+    lines = [table, "", "phase breakdown (one profiled rep per scenario):"]
+    for stats in profiled:
+        profile = stats.phase_profile
+        lines.append(f"  {stats.name} ({profile['rounds']} rounds):")
+        lines.append(render_phases(payload_seconds(profile), indent="    "))
+    if len(profiled) > 1:
+        lines.append("  aggregate:")
+        lines.append(
+            render_phases(
+                aggregate_phases(
+                    payload_seconds(s.phase_profile) for s in profiled
+                ),
+                indent="    ",
+            )
+        )
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,380 @@
+"""Hot-path kernels for the vectorised batch engine.
+
+The vec engine's round loop reduces to a handful of *grouped* primitives
+over flat edge lists: "for every peer, pick the top-``k`` of its candidate
+edges under a lexicographic key".  PR 6 implemented those with one global
+``np.lexsort`` over ``(tie, secondary, primary, group)`` — four stable
+sort passes over every edge, every round.  The kernels here replace that
+with **partial selection**: segments (one per peer) are bucketed by width
+class into padded matrices, ``np.argpartition`` extracts each row's
+top-``k`` slice by the primary key alone, only that ``k``-wide slice is
+fully sorted, and the (usually tiny) set of edges tied *exactly at the
+selection boundary* is resolved by the remaining keys with a sort over
+just those edges.  Work drops from ``O(E log E)`` per key to
+``O(E + S·k log k + T log T)`` where ``T`` is the boundary-tie count —
+and segments no wider than ``k`` never touch a sort at all.
+
+Exactness
+---------
+:func:`grouped_topk` selects, per segment, exactly the edge *set* a full
+``np.lexsort((tie, secondary, primary, group))`` cutoff would select —
+property-tested against that oracle across adversarial tie patterns in
+``tests/sim/test_vec_kernels.py``.  Floats are compared through an
+order-preserving bijection into ``uint64``
+(:func:`pack_float64_for_order`), so no precision is lost.  When two
+edges of one segment tie on the *entire* ``(primary, secondary, tie)``
+triple the top-``k`` set itself is ambiguous and either valid set may be
+returned; the engine feeds ``tie`` from a continuous RNG draw, which
+makes full-triple ties a measure-zero event.
+
+The module also carries the engine's round-scoped
+:class:`ScratchBuffers` (preallocated, geometrically grown arrays that
+kill per-round allocation churn) and the merge/compaction helpers for
+the pair-key-sorted ("CSR-style": grouped by receiver, senders sorted
+within each group) interaction-history rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ScratchBuffers",
+    "grouped_topk",
+    "merge_sorted_histories",
+    "pack_float64_for_order",
+    "segment_bounds",
+]
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+
+#: Sign-bit mask for the float64 -> uint64 order-preserving bijection.
+_SIGN = np.uint64(0x8000000000000000)
+
+
+def pack_float64_for_order(values: np.ndarray) -> np.ndarray:
+    """Map float64 to uint64 preserving ``<`` exactly (NaN-free inputs).
+
+    The usual IEEE-754 trick: non-negative floats get the sign bit set
+    (shifting them above every negative), negative floats are bitwise
+    complemented (reversing their order).  The result compares with
+    integer ``<`` exactly as the inputs compare with float ``<``, which
+    lets :func:`grouped_topk` partition on a single unsigned key.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    # ``-0.0 + 0.0 == +0.0``: collapse signed zeros so the bijection puts
+    # them in one equivalence class, exactly as float ``<`` does.
+    bits = np.ascontiguousarray(values + 0.0).view(np.uint64)
+    return np.where(bits & _SIGN, ~bits, bits | _SIGN)
+
+
+def segment_bounds(sorted_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(starts, widths)`` of the runs in an already-sorted id array.
+
+    The vec engine keeps its edge lists sorted by packed pair key, which
+    groups them by receiver; run boundaries are therefore a single
+    vectorised comparison — no ``bincount`` over the (ever-growing) dense
+    id space.
+    """
+    count = sorted_ids.size
+    if count == 0:
+        return _EMPTY_I, _EMPTY_I
+    boundaries = np.flatnonzero(sorted_ids[1:] != sorted_ids[:-1]) + 1
+    starts = np.empty(boundaries.size + 1, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = boundaries
+    widths = np.empty(starts.size, dtype=np.int64)
+    widths[:-1] = np.diff(starts)
+    widths[-1] = count - starts[-1]
+    return starts, widths
+
+
+def _resolve_boundary_ties(
+    rows: np.ndarray,
+    need: np.ndarray,
+    secondary: Optional[np.ndarray],
+    tie: np.ndarray,
+) -> np.ndarray:
+    """Pick ``need[r]`` of each row's boundary-tied edges by (secondary, tie).
+
+    ``rows`` labels the tied edges by row/segment (already restricted to
+    rows where the ties outnumber the remaining quota); returns a boolean
+    mask over them.  This is the only place the kernel still sorts by the
+    full key — over the tied edges alone.
+    """
+    if secondary is None:
+        order = np.lexsort((tie, rows))
+    else:
+        order = np.lexsort((tie, secondary, rows))
+    sorted_rows = rows[order]
+    count = sorted_rows.size
+    new_run = np.empty(count, dtype=bool)
+    new_run[0] = True
+    np.not_equal(sorted_rows[1:], sorted_rows[:-1], out=new_run[1:])
+    run_id = np.cumsum(new_run) - 1
+    run_start = np.flatnonzero(new_run)
+    within = np.arange(count, dtype=np.int64) - run_start[run_id]
+    keep = np.zeros(count, dtype=bool)
+    keep[order] = within < need[sorted_rows]
+    return keep
+
+
+def grouped_topk(
+    starts: np.ndarray,
+    widths: np.ndarray,
+    k: np.ndarray,
+    primary: np.ndarray,
+    tie: np.ndarray,
+    secondary: Optional[np.ndarray] = None,
+    scratch: Optional["ScratchBuffers"] = None,
+) -> np.ndarray:
+    """Indices of each segment's top-``k[s]`` edges by (primary, secondary, tie).
+
+    Segments are contiguous slices ``[starts[s], starts[s] + widths[s])``
+    of the flat edge arrays, ascending keys win, and the selected index
+    set per segment equals the full-lexsort oracle's cutoff (see module
+    docstring for the exactness contract).  ``secondary`` may be omitted
+    when every segment's secondary key is constant (the common case: only
+    the Sort-Loyal ranking uses it).  Returned indices are in no
+    particular order — callers treat the selection as a set.
+    """
+    n_edges = primary.size
+    if n_edges == 0 or starts.size == 0:
+        return _EMPTY_I
+    k = np.minimum(k, widths)
+    packed = pack_float64_for_order(primary)
+    if int(k.max()) <= 1:
+        return _grouped_argmin(starts, widths, k, packed, secondary, tie)
+
+    # Segments no wider than their quota: every edge selected, no sorting.
+    saturated = widths <= k
+    selected_parts = []
+    if saturated.any():
+        sat_starts = starts[saturated]
+        sat_widths = widths[saturated]
+        take = _expand_segments(sat_starts, sat_widths, scratch)
+        selected_parts.append(take)
+    open_rows = np.flatnonzero(~saturated & (k > 0))
+    if open_rows.size == 0:
+        return (
+            selected_parts[0]
+            if len(selected_parts) == 1
+            else np.concatenate(selected_parts)
+            if selected_parts
+            else _EMPTY_I
+        )
+
+    # Bucket the remaining segments by power-of-two width class and run
+    # the padded partial selection per class.  ``frexp`` exponents give
+    # exact integer bit lengths (widths here are far below 2**53).
+    open_widths = widths[open_rows]
+    classes = np.frexp(open_widths - 1)[1]
+    for cls in np.unique(classes):
+        rows = open_rows[classes == cls]
+        width_cap = 1 << int(cls)
+        selected_parts.append(
+            _class_topk(
+                starts[rows], widths[rows], k[rows], width_cap,
+                packed, secondary, tie, scratch,
+            )
+        )
+    return np.concatenate(selected_parts)
+
+
+def _grouped_argmin(
+    starts: np.ndarray,
+    widths: np.ndarray,
+    k: np.ndarray,
+    packed: np.ndarray,
+    secondary: Optional[np.ndarray],
+    tie: np.ndarray,
+) -> np.ndarray:
+    """Top-1 fast path: a segment argmin via ``reduceat``, no matrices.
+
+    ``k == 1`` dominates the stranger-pool selection (narrow segments,
+    single winner); the padded width-class machinery costs several times
+    the reduction itself there, so this path handles every segment with
+    one ``minimum.reduceat`` plus an O(E) equality probe.  Segments with
+    ``k == 0`` select nothing; min-ties are resolved by (secondary, tie)
+    over the tied edges alone, exactly as the general path does.
+    """
+    seg_min = np.minimum.reduceat(packed, starts)
+    seg_of = np.zeros(packed.size, dtype=np.int64)
+    seg_of[starts[1:]] = 1
+    np.cumsum(seg_of, out=seg_of)
+    hit = packed == seg_min[seg_of]
+    if (k == 0).any():
+        hit &= (k != 0)[seg_of]
+    winners = np.flatnonzero(hit)
+    rows = seg_of[winners]
+    dup = np.bincount(rows, minlength=starts.size)[rows] > 1
+    if not dup.any():
+        return winners
+    contested = winners[dup]
+    keep = _resolve_boundary_ties(
+        rows[dup],
+        np.ones(starts.size, dtype=np.int64),
+        secondary[contested] if secondary is not None else None,
+        tie[contested],
+    )
+    return np.concatenate([winners[~dup], contested[keep]])
+
+
+def _expand_segments(
+    starts: np.ndarray, widths: np.ndarray, scratch: Optional["ScratchBuffers"]
+) -> np.ndarray:
+    """Concatenate ``arange(starts[s], starts[s] + widths[s])`` runs."""
+    del scratch  # callers may hold the result across rounds; always fresh
+    total = int(widths.sum())
+    if total == 0:
+        return _EMPTY_I
+    out = np.empty(total, dtype=np.int64)
+    # Vectorised multi-range arange: cumulative offsets minus per-run bases.
+    out[:] = 1
+    ends = np.cumsum(widths)
+    out[0] = starts[0]
+    if starts.size > 1:
+        out[ends[:-1]] = starts[1:] - (starts[:-1] + widths[:-1]) + 1
+    np.cumsum(out, out=out)
+    return out
+
+
+def _class_topk(
+    starts: np.ndarray,
+    widths: np.ndarray,
+    k: np.ndarray,
+    width_cap: int,
+    packed: np.ndarray,
+    secondary: Optional[np.ndarray],
+    tie: np.ndarray,
+    scratch: Optional["ScratchBuffers"],
+) -> np.ndarray:
+    """Partial top-k selection over one padded width class."""
+    n_rows = starts.size
+    cols = np.arange(width_cap, dtype=np.int64)
+    gather = starts[:, None] + cols[None, :]
+    valid = cols[None, :] < widths[:, None]
+    np.minimum(gather, packed.size - 1, out=gather)
+    matrix = packed[gather]
+    matrix[~valid] = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    kmax = int(k.max())
+    row_idx = np.arange(n_rows)
+    if width_cap > kmax:
+        # argpartition pulls each row's kmax smallest to the front; only
+        # that narrow slice is fully sorted to find per-row pivots.
+        part = np.argpartition(matrix, kmax - 1, axis=1)[:, :kmax]
+        slice_vals = np.take_along_axis(matrix, part, axis=1)
+        order = np.argsort(slice_vals, axis=1)
+        slice_sorted = np.take_along_axis(slice_vals, order, axis=1)
+        pivot = slice_sorted[row_idx, k - 1]
+    else:
+        matrix_sorted = np.sort(matrix, axis=1)
+        pivot = matrix_sorted[row_idx, k - 1]
+
+    below = matrix < pivot[:, None]
+    n_below = below.sum(axis=1)
+    at_pivot = matrix == pivot[:, None]
+    n_at = at_pivot.sum(axis=1)
+    need = k - n_below
+
+    # Edges strictly below the pivot are always in.
+    sel_rows, sel_cols = np.nonzero(below)
+    selected = [starts[sel_rows] + sel_cols]
+
+    # Rows whose pivot ties fit exactly take all of them; the rest go to
+    # the (secondary, tie) resolver.
+    exact = n_at == need
+    if exact.any():
+        rows_e, cols_e = np.nonzero(at_pivot & exact[:, None])
+        selected.append(starts[rows_e] + cols_e)
+    contested = ~exact
+    if contested.any():
+        rows_c, cols_c = np.nonzero(at_pivot & contested[:, None])
+        edge_idx = starts[rows_c] + cols_c
+        keep = _resolve_boundary_ties(
+            rows_c,
+            need,
+            secondary[edge_idx] if secondary is not None else None,
+            tie[edge_idx],
+        )
+        selected.append(edge_idx[keep])
+    return np.concatenate(selected)
+
+
+def merge_sorted_histories(
+    keys_a: np.ndarray,
+    amounts_a: np.ndarray,
+    keys_b: np.ndarray,
+    amounts_b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two key-sorted history rounds, summing duplicate pair keys.
+
+    Both inputs are sorted by packed ``(receiver, sender)`` pair key with
+    unique keys (one interaction per pair per round); the result is the
+    candidate aggregation — sorted unique keys plus per-pair summed
+    amounts — produced with one stable merge and a ``reduceat``, never a
+    scatter back through an ``unique(return_inverse)`` indirection.
+    """
+    if keys_a.size == 0:
+        return keys_b, amounts_b
+    if keys_b.size == 0:
+        return keys_a, amounts_a
+    keys = np.concatenate([keys_a, keys_b])
+    amounts = np.concatenate([amounts_a, amounts_b])
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    amounts = amounts[order]
+    fresh = np.empty(keys.size, dtype=bool)
+    fresh[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=fresh[1:])
+    run_starts = np.flatnonzero(fresh)
+    merged_keys = keys[run_starts]
+    merged_amounts = np.add.reduceat(amounts, run_starts)
+    return merged_keys, merged_amounts
+
+
+class ScratchBuffers:
+    """Round-scoped reusable arrays, grown geometrically and never freed.
+
+    The vec engine allocates a dozen dense work arrays per round; at 100k
+    peers that is tens of megabytes of allocator traffic per simulated
+    round.  Each named buffer here is allocated once at the high-water
+    size and handed out as a length-``size`` view, so steady-state rounds
+    allocate nothing.  Callers own the buffer until they next request the
+    same name — the engine's phases are strictly sequential, which makes
+    that discipline trivial to honour.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def _get(self, name: str, size: int, dtype) -> np.ndarray:
+        buffer = self._buffers.get(name)
+        if buffer is None or buffer.size < size:
+            capacity = max(16, size)
+            if buffer is not None:
+                capacity = max(capacity, 2 * buffer.size)
+            buffer = np.empty(capacity, dtype=dtype)
+            self._buffers[name] = buffer
+        return buffer[:size]
+
+    def int64(self, name: str, size: int) -> np.ndarray:
+        return self._get(name, size, np.int64)
+
+    def float64(self, name: str, size: int) -> np.ndarray:
+        return self._get(name, size, np.float64)
+
+    def zeros_float64(self, name: str, size: int) -> np.ndarray:
+        view = self._get(name, size, np.float64)
+        view[:] = 0.0
+        return view
+
+    def zeros_int64(self, name: str, size: int) -> np.ndarray:
+        view = self._get(name, size, np.int64)
+        view[:] = 0
+        return view

@@ -277,7 +277,9 @@ class TestCliEngineAndProfile:
         ) == 0
         output = capsys.readouterr().out
         assert "engine fast" in output
-        for phase in ("population", "decision", "transfer", "ms/round"):
+        # The fast engines record the legacy "population" phase; reports
+        # render it under the canonical name "churn".
+        for phase in ("churn", "decision", "transfer", "ms/round"):
             assert phase in output
 
     def test_profile_honours_engine_override(self, capsys):
@@ -294,7 +296,7 @@ class TestCliEngineAndProfile:
         output = capsys.readouterr().out
         assert "(fixed)" in output
         assert "[fused decision+transfer]" in output
-        for phase in ("population", "decision", "transfer", "ms/round"):
+        for phase in ("churn", "decision", "transfer", "ms/round"):
             assert phase in output
 
     def test_fixed_profile_rejects_reference_engine(self):

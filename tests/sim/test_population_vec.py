@@ -192,9 +192,16 @@ class TestProfileHooks:
     def test_profile_collects_phase_seconds(self):
         sim = VecSimulation(whitewash_config(), [bt_like()], seed=1, profile=True)
         sim.run()
-        assert set(sim.phase_seconds) == {"population", "decision", "transfer"}
+        assert set(sim.phase_seconds) == {
+            "churn", "decision", "allocation", "transfer", "metrics",
+        }
         assert all(value >= 0.0 for value in sim.phase_seconds.values())
         assert sum(sim.phase_seconds.values()) > 0.0
+
+    def test_unprofiled_run_keeps_phase_seconds_empty(self):
+        sim = VecSimulation(whitewash_config(), [bt_like()], seed=1)
+        sim.run()
+        assert sim.phase_seconds == {}
 
     def test_profiling_does_not_perturb_results(self):
         config = whitewash_config()

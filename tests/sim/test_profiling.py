@@ -1,0 +1,193 @@
+"""Tests for the per-phase profiling harness.
+
+The load-bearing property is *accounting closure*: a profiled engine run's
+phase totals must sum to its wall-clock time within tolerance, otherwise a
+"regression in phase X" read off a breakdown could be an artifact of
+unattributed time.  The rest pins the harness surface itself: roll-ups,
+legacy aliases, payload round-trips, rendering and the no-op profiler.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.sim.bandwidth import ConstantBandwidth
+from repro.sim.behavior import PeerBehavior
+from repro.sim.config import SimulationConfig
+from repro.sim.dynamics import ArrivalProcess, DepartureProcess, PopulationDynamics
+from repro.sim.population_vec import VecSimulation
+from repro.sim.profiling import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+    aggregate_phases,
+    payload_seconds,
+    phases_payload,
+    profile_seconds_of,
+    profiler_for,
+    render_phases,
+    top_level_phases,
+)
+
+
+class TestPhaseProfiler:
+    def test_tick_lap_accumulates(self):
+        profiler = PhaseProfiler()
+        profiler.tick()
+        time.sleep(0.002)
+        profiler.lap("decision")
+        profiler.lap("transfer")
+        assert profiler.seconds["decision"] >= 0.002
+        assert profiler.seconds["transfer"] >= 0.0
+        profiler.tick()
+        profiler.lap("decision")
+        assert set(profiler.seconds) == {"decision", "transfer"}
+
+    def test_phase_context_manager(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("metrics"):
+            time.sleep(0.002)
+        assert profiler.seconds["metrics"] >= 0.002
+
+    def test_phase_totals_close_over_wall_time(self):
+        # The split timer charges every interval between marks to exactly
+        # one phase, so a fully-lapped block's phase sum equals its wall
+        # time up to timer resolution.
+        profiler = PhaseProfiler()
+        start = time.perf_counter()
+        profiler.tick()
+        for name in ("churn", "decision", "allocation", "transfer"):
+            time.sleep(0.003)
+            profiler.lap(name)
+        wall = time.perf_counter() - start
+        assert profiler.total() == pytest.approx(wall, rel=0.25, abs=0.005)
+        assert profiler.total() >= 4 * 0.003
+
+    def test_engine_run_phase_totals_sum_to_wall_time(self):
+        config = SimulationConfig(
+            n_peers=50,
+            rounds=40,
+            bandwidth=ConstantBandwidth(100.0),
+            population=PopulationDynamics(
+                arrival=ArrivalProcess(kind="whitewash", rate=0.9),
+                departure=DepartureProcess(rate=0.08, mode="shrink"),
+            ),
+        )
+        behavior = PeerBehavior(
+            stranger_policy="periodic", stranger_count=1, ranking="fastest",
+            partner_count=3, allocation="equal_split",
+        )
+        sim = VecSimulation(config, [behavior], seed=2, profile=True)
+        start = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - start
+        total = sum(sim.phase_seconds.values())
+        # Everything inside run() is lapped; the slack covers the loop
+        # scaffolding between laps and timer overhead.
+        assert total <= wall
+        assert total >= 0.80 * wall
+
+    def test_merge_and_add(self):
+        profiler = PhaseProfiler()
+        profiler.add("decision", 1.0)
+        profiler.merge({"decision": 0.5, "transfer": 2.0})
+        assert profiler.seconds == {"decision": 1.5, "transfer": 2.0}
+
+
+class TestRollups:
+    def test_dotted_subphases_roll_up(self):
+        rolled = top_level_phases(
+            {"decision.rank": 1.0, "decision.select": 0.5, "transfer": 2.0}
+        )
+        assert rolled == {"decision": 1.5, "transfer": 2.0}
+
+    def test_legacy_population_alias(self):
+        assert top_level_phases({"population": 1.0}) == {"churn": 1.0}
+
+    def test_canonical_order_then_alphabetical(self):
+        rolled = top_level_phases(
+            {"zeta": 1.0, "metrics": 1.0, "churn": 1.0, "decision": 1.0}
+        )
+        assert list(rolled) == ["churn", "decision", "metrics", "zeta"]
+
+    def test_aggregate_phases(self):
+        total = aggregate_phases(
+            [{"decision": 1.0}, {"decision": 2.0, "transfer": 1.0}]
+        )
+        assert total == {"decision": 3.0, "transfer": 1.0}
+
+
+class TestPayload:
+    def test_payload_shape_and_round_trip(self):
+        seconds = {"decision.rank": 0.25, "decision": 0.5, "transfer": 1.0}
+        payload = phases_payload(seconds, rounds=10)
+        assert payload["phases"] == {"decision": 0.75, "transfer": 1.0}
+        assert payload["subphases"] == {"decision.rank": 0.25}
+        assert payload["rounds"] == 10
+        assert payload["ms_per_round"]["transfer"] == pytest.approx(100.0)
+        assert payload["total_seconds"] == pytest.approx(1.75)
+        # payload_seconds reconstructs the finest-grained table: the
+        # sub-phase replaces its share of the roll-up.
+        seconds_back = payload_seconds(payload)
+        assert seconds_back == pytest.approx(
+            {"decision": 0.5, "decision.rank": 0.25, "transfer": 1.0}
+        )
+        assert top_level_phases(seconds_back) == pytest.approx(
+            payload["phases"]
+        )
+
+    def test_profiler_as_payload_delegates(self):
+        profiler = PhaseProfiler()
+        profiler.add("decision", 0.5)
+        assert profiler.as_payload() == phases_payload({"decision": 0.5})
+
+    def test_profile_seconds_of_prefers_profiler(self):
+        class WithProfiler:
+            profiler = PhaseProfiler()
+            phase_seconds = {"decision": 9.0}
+
+        WithProfiler.profiler.add("decision.rank", 1.0)
+        assert profile_seconds_of(WithProfiler()) == {"decision.rank": 1.0}
+
+        class PlainEngine:
+            phase_seconds = {"population": 2.0}
+
+        assert profile_seconds_of(PlainEngine()) == {"population": 2.0}
+
+
+class TestRender:
+    def test_render_lists_subphases_and_total(self):
+        text = render_phases(
+            {"decision": 1.0, "decision.rank": 0.5, "transfer": 0.5},
+            rounds=10,
+        )
+        lines = text.splitlines()
+        assert "ms/round" in lines[0]
+        assert any(line.lstrip().startswith("decision") for line in lines)
+        assert any(".rank" in line for line in lines)
+        assert lines[-1].startswith("total")
+
+    def test_render_zero_total_does_not_divide(self):
+        assert "0.0%" in render_phases({"decision": 0.0})
+
+
+class TestNullProfiler:
+    def test_shared_instance_records_nothing(self):
+        NULL_PROFILER.tick()
+        NULL_PROFILER.lap("decision")
+        NULL_PROFILER.add("decision", 1.0)
+        NULL_PROFILER.merge({"transfer": 1.0})
+        with NULL_PROFILER.phase("metrics"):
+            pass
+        assert NULL_PROFILER.seconds == {}
+        assert NULL_PROFILER.total() == 0.0
+        assert not NULL_PROFILER.enabled
+
+    def test_profiler_for(self):
+        assert profiler_for(False) is NULL_PROFILER
+        enabled = profiler_for(True)
+        assert isinstance(enabled, PhaseProfiler)
+        assert not isinstance(enabled, NullProfiler)
+        assert enabled is not profiler_for(True)

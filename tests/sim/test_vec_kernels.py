@@ -1,0 +1,253 @@
+"""Property tests for the vec engine's selection and history kernels.
+
+The exactness contract of :func:`repro.sim._vec_kernels.grouped_topk` is
+set-equality against the full ``np.lexsort`` oracle: for every segment,
+the selected *set* must equal the first ``k`` entries of the segment
+sorted ascending by ``(primary, secondary, tie)``.  The engine draws
+``tie`` from a continuous RNG, so full-key ties are measure-zero there —
+but these tests feed adversarial discrete keys (constant columns, heavy
+ties, negative values, mixed signed zeros) to force every tie-resolution
+path: the ``k <= 1`` reduceat fast path, the saturated-segment expansion,
+the width-class argpartition path, and the boundary-tie resolver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim._vec_kernels import (
+    ScratchBuffers,
+    grouped_topk,
+    merge_sorted_histories,
+    pack_float64_for_order,
+    segment_bounds,
+)
+
+
+def lexsort_oracle(group, k_per_seg, primary, tie, secondary):
+    """Selected-index set per the full lexsort ranking (the spec)."""
+    if secondary is None:
+        order = np.lexsort((tie, primary, group))
+    else:
+        order = np.lexsort((tie, secondary, primary, group))
+    g = group[order]
+    new = np.empty(g.size, bool)
+    new[0] = True
+    new[1:] = g[1:] != g[:-1]
+    run_id = np.cumsum(new) - 1
+    run_start = np.flatnonzero(new)
+    within = np.arange(g.size) - run_start[run_id]
+    keep = within < k_per_seg[run_id]
+    return set(order[keep].tolist())
+
+
+def primary_for_style(rng, style, n):
+    if style == "continuous":
+        return rng.random(n)
+    if style == "heavy_ties":
+        return rng.integers(0, 3, n).astype(float)
+    if style == "all_tied":
+        return np.zeros(n)
+    if style == "negative_ties":
+        return -rng.integers(0, 5, n).astype(float)
+    assert style == "signed_zeros"
+    return rng.choice([0.0, -0.0, 1.5, -2.25, 1e-300, -1e-300], n)
+
+
+STYLES = ("continuous", "heavy_ties", "all_tied", "negative_ties", "signed_zeros")
+
+
+class TestGroupedTopk:
+    @pytest.mark.parametrize("style", STYLES)
+    @pytest.mark.parametrize("use_secondary", (False, True))
+    def test_matches_lexsort_oracle(self, style, use_secondary):
+        rng = np.random.default_rng(hash((style, use_secondary)) % 2**32)
+        scratch = ScratchBuffers()
+        for trial in range(60):
+            n_segs = int(rng.integers(1, 40))
+            widths = rng.integers(1, 70, n_segs)
+            group = np.repeat(np.arange(n_segs), widths)
+            n = group.size
+            primary = primary_for_style(rng, style, n)
+            tie = rng.random(n)
+            secondary = (
+                rng.integers(0, 2, n).astype(float) if use_secondary else None
+            )
+            k = rng.integers(0, 12, n_segs)
+            starts, seg_widths = segment_bounds(group)
+            assert np.array_equal(seg_widths, widths)
+            selected = grouped_topk(
+                starts, seg_widths, k, primary, tie, secondary,
+                scratch if trial % 2 else None,
+            )
+            got = set(selected.tolist())
+            want = lexsort_oracle(group, k, primary, tie, secondary)
+            assert got == want, (
+                f"trial {trial}: extra={sorted(got - want)[:5]} "
+                f"missing={sorted(want - got)[:5]}"
+            )
+
+    def test_k_one_fast_path_with_duplicated_minima(self):
+        # k == 1 everywhere routes through the reduceat argmin fast path;
+        # constant primaries force its duplicate-minimum tie resolver.
+        rng = np.random.default_rng(7)
+        for _ in range(40):
+            n_segs = int(rng.integers(1, 30))
+            widths = rng.integers(1, 6, n_segs)
+            group = np.repeat(np.arange(n_segs), widths)
+            n = group.size
+            primary = np.zeros(n)
+            tie = rng.random(n)
+            k = np.ones(n_segs, dtype=np.int64)
+            starts, seg_widths = segment_bounds(group)
+            got = set(
+                grouped_topk(starts, seg_widths, k, primary, tie).tolist()
+            )
+            assert got == lexsort_oracle(group, k, primary, tie, None)
+
+    def test_k_zero_selects_nothing(self):
+        group = np.repeat(np.arange(3), [4, 2, 5])
+        starts, widths = segment_bounds(group)
+        k = np.zeros(3, dtype=np.int64)
+        selected = grouped_topk(
+            starts, widths, k, np.zeros(group.size), np.zeros(group.size)
+        )
+        assert selected.size == 0
+
+    def test_k_at_least_width_selects_everything(self):
+        group = np.repeat(np.arange(3), [4, 1, 7])
+        starts, widths = segment_bounds(group)
+        k = np.array([4, 10, 7], dtype=np.int64)
+        rng = np.random.default_rng(11)
+        selected = grouped_topk(
+            starts, widths, k, rng.random(group.size), rng.random(group.size)
+        )
+        assert set(selected.tolist()) == set(range(group.size))
+
+    @pytest.mark.parametrize("width", (1, 2, 3, 4, 5, 8, 9, 16, 17, 64, 65))
+    def test_width_class_boundaries(self, width):
+        # Power-of-two width classes: widths straddling each boundary must
+        # gather/pad correctly.
+        rng = np.random.default_rng(width)
+        n_segs = 8
+        group = np.repeat(np.arange(n_segs), width)
+        primary = rng.integers(0, 2, group.size).astype(float)
+        tie = rng.random(group.size)
+        k = rng.integers(0, width + 2, n_segs)
+        starts, widths = segment_bounds(group)
+        got = set(grouped_topk(starts, widths, k, primary, tie).tolist())
+        assert got == lexsort_oracle(group, k, primary, tie, None)
+
+    def test_scratch_reuse_across_calls_is_safe(self):
+        # Reusing one ScratchBuffers over growing then shrinking workloads
+        # must never leak a previous call's contents into the next result.
+        rng = np.random.default_rng(3)
+        scratch = ScratchBuffers()
+        for n_segs in (40, 5, 60, 2):
+            widths = rng.integers(1, 50, n_segs)
+            group = np.repeat(np.arange(n_segs), widths)
+            primary = rng.integers(0, 2, group.size).astype(float)
+            tie = rng.random(group.size)
+            k = rng.integers(0, 8, n_segs)
+            starts, seg_widths = segment_bounds(group)
+            got = set(
+                grouped_topk(
+                    starts, seg_widths, k, primary, tie, None, scratch
+                ).tolist()
+            )
+            assert got == lexsort_oracle(group, k, primary, tie, None)
+
+
+class TestPackFloat64:
+    def test_pack_preserves_float_order(self):
+        rng = np.random.default_rng(5)
+        values = np.concatenate(
+            [
+                rng.standard_normal(5000) * 1e3,
+                [0.0, -0.0, 1e-300, -1e-300, 1e300, -1e300],
+            ]
+        )
+        packed = pack_float64_for_order(values)
+        assert np.all(np.diff(values[np.argsort(packed)]) >= 0)
+
+    def test_signed_zeros_pack_equal(self):
+        # -0.0 and 0.0 compare equal as floats; the pack must not invent
+        # an ordering between them (it would diverge from the lexsort
+        # oracle on zero-valued keys).
+        packed = pack_float64_for_order(np.array([0.0, -0.0]))
+        assert packed[0] == packed[1]
+
+
+class TestSegmentBounds:
+    def test_runs_of_sorted_ids(self):
+        ids = np.array([2, 2, 2, 5, 7, 7])
+        starts, widths = segment_bounds(ids)
+        assert starts.tolist() == [0, 3, 4]
+        assert widths.tolist() == [3, 1, 2]
+
+    def test_empty(self):
+        starts, widths = segment_bounds(np.empty(0, dtype=np.int64))
+        assert starts.size == 0 and widths.size == 0
+
+
+class TestMergeSortedHistories:
+    def test_matches_unique_reduce_oracle(self):
+        rng = np.random.default_rng(13)
+        for _ in range(60):
+            na, nb = rng.integers(0, 50, 2)
+            keys_a = (
+                np.sort(
+                    rng.choice(np.arange(100, dtype=np.uint64), na, replace=False)
+                )
+                if na
+                else np.empty(0, np.uint64)
+            )
+            keys_b = (
+                np.sort(
+                    rng.choice(np.arange(100, dtype=np.uint64), nb, replace=False)
+                )
+                if nb
+                else np.empty(0, np.uint64)
+            )
+            amounts_a = rng.random(na)
+            amounts_b = rng.random(nb)
+            merged_keys, merged_amounts = merge_sorted_histories(
+                keys_a, amounts_a, keys_b, amounts_b
+            )
+            all_keys = np.concatenate([keys_a, keys_b])
+            all_amounts = np.concatenate([amounts_a, amounts_b])
+            want_keys, inverse = np.unique(all_keys, return_inverse=True)
+            want_amounts = np.bincount(
+                inverse, weights=all_amounts, minlength=want_keys.size
+            )
+            assert np.array_equal(merged_keys, want_keys)
+            assert np.allclose(merged_amounts, want_amounts)
+
+    def test_overlapping_keys_sum(self):
+        keys_a = np.array([1, 3, 5], dtype=np.uint64)
+        keys_b = np.array([3, 5, 9], dtype=np.uint64)
+        merged_keys, merged_amounts = merge_sorted_histories(
+            keys_a, np.array([1.0, 2.0, 3.0]), keys_b, np.array([10.0, 20.0, 30.0])
+        )
+        assert merged_keys.tolist() == [1, 3, 5, 9]
+        assert merged_amounts.tolist() == [1.0, 12.0, 23.0, 30.0]
+
+
+class TestScratchBuffers:
+    def test_buffers_grow_and_are_reused(self):
+        scratch = ScratchBuffers()
+        small = scratch.int64("a", 10)
+        assert small.shape == (10,)
+        grown = scratch.int64("a", 1000)
+        assert grown.shape == (1000,)
+        again = scratch.int64("a", 500)
+        assert again.shape == (500,)
+        # Shrinking requests reuse the grown allocation (views share base).
+        assert again.base is grown.base or again.base is grown
+
+    def test_zeros_buffers_are_zeroed(self):
+        scratch = ScratchBuffers()
+        buf = scratch.zeros_float64("z", 8)
+        buf[:] = 7.0
+        assert np.all(scratch.zeros_float64("z", 8) == 0.0)

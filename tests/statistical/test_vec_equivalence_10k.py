@@ -1,0 +1,144 @@
+"""10k-peer statistical-equivalence smoke: vec kernels at bench scale.
+
+The main equivalence suite (``test_vec_equivalence.py``) pins the vec
+engine distributionally at smoke scale, where every selection segment is
+small.  The partial-selection kernels (`repro.sim._vec_kernels`) switch
+strategies with segment width and ``k`` — reduceat argmin for single-slot
+segments, padded argpartition classes above — and a 10-peer smoke run
+never exercises the wide classes.  This smoke runs one registered
+scenario's dynamics at 10,000 peers through both engines and checks the
+same distributional yardsticks, so a kernel bug that only manifests at
+scale (wide width classes, large scratch reuse, chunked-history
+compaction) trips a blocking CI gate rather than a benchmark.
+
+Runtime is dominated by the pure-python fast engine (~seconds per seed at
+10k), so the smoke is opt-in via ``REPRO_STAT_10K=1`` — the CI
+statistical-equivalence job sets it; plain tier-1 runs skip it.
+
+Thresholds were calibrated like the smoke-scale envelope: pinned at
+~3-4x the observed vec-vs-fast statistic on this exact deterministic seed
+batch (observed: pool KS 0.0043, mean rel 0.0024, departure rel 0.0045).
+At this population the pooled peer-rate distribution is far tighter than
+at smoke scale (~40k pooled samples), so the envelope is correspondingly
+tight — drift a kernel and the KS statistic moves an order of magnitude.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.scenarios.registry import get_scenario
+from repro.sim.engine import simulate
+from repro.stats.equivalence import ks_statistic, relative_difference
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_STAT_10K") != "1",
+    reason="10k-peer equivalence smoke is opt-in: set REPRO_STAT_10K=1 "
+    "(the CI statistical-equivalence job does)",
+)
+
+SCENARIO = "whitewash-churn"
+N_PEERS = 10_000
+ROUNDS = 20
+N_SEEDS = 3
+MASTER_SEED = 4242
+
+#: Pinned envelope (see module docstring for the calibration discipline).
+POOL_KS_LIMIT = 0.015
+MEAN_REL_LIMIT = 0.01
+DEP_REL_LIMIT = 0.02
+
+
+def scaled_spec():
+    """The registry scenario with its population raised to 10k peers."""
+    spec = get_scenario(SCENARIO)
+    return replace(
+        spec,
+        population=replace(spec.population, size=N_PEERS),
+        rounds=ROUNDS,
+    )
+
+
+_batch_cache: Dict[str, dict] = {}
+
+
+def run_batch(engine: str) -> dict:
+    cached = _batch_cache.get(engine)
+    if cached is not None:
+        return cached
+    spec = scaled_spec()
+    per_seed: List[float] = []
+    pooled: List[float] = []
+    departures = 0
+    total_rounds = 0
+    for repetition in range(N_SEEDS):
+        # ``paper`` scale applies no size/rounds factor, so the 10k
+        # override above reaches the engines unchanged.
+        job = spec.compile(
+            scale="paper", seed=spec.job_seed(MASTER_SEED, repetition)
+        )
+        result = simulate(
+            job.config,
+            job.behaviors,
+            groups=job.groups,
+            seed=job.seed,
+            engine=engine,
+        )
+        per_seed.append(result.download_per_peer_round())
+        measured = job.config.measured_rounds
+        for record in result.records:
+            present = (
+                record.rounds_present
+                if record.rounds_present is not None
+                else measured
+            )
+            if present:
+                pooled.append(record.downloaded / present)
+        departures += result.total_departures
+        total_rounds += job.config.rounds
+    summary = {
+        "per_seed": per_seed,
+        "pooled": pooled,
+        "departure_rate": departures / total_rounds,
+    }
+    _batch_cache[engine] = summary
+    return summary
+
+
+def test_pooled_peer_rates_match_at_10k():
+    vec = run_batch("vec")
+    fast = run_batch("fast")
+    statistic = ks_statistic(vec["pooled"], fast["pooled"])
+    assert statistic <= POOL_KS_LIMIT, (
+        f"{SCENARIO}@10k: pooled per-peer download-rate distributions "
+        f"diverge (KS={statistic:.4f} > pinned {POOL_KS_LIMIT})"
+    )
+
+
+def test_mean_download_matches_at_10k():
+    vec = run_batch("vec")
+    fast = run_batch("fast")
+    vec_mean = sum(vec["per_seed"]) / len(vec["per_seed"])
+    fast_mean = sum(fast["per_seed"]) / len(fast["per_seed"])
+    rel = relative_difference(vec_mean, fast_mean)
+    assert rel <= MEAN_REL_LIMIT, (
+        f"{SCENARIO}@10k: mean download/peer/round drifted "
+        f"({vec_mean:.2f} vs {fast_mean:.2f}, rel={rel:.4f} > pinned "
+        f"{MEAN_REL_LIMIT})"
+    )
+
+
+def test_departure_rate_matches_at_10k():
+    vec = run_batch("vec")
+    fast = run_batch("fast")
+    rel = relative_difference(vec["departure_rate"], fast["departure_rate"])
+    assert rel <= DEP_REL_LIMIT, (
+        f"{SCENARIO}@10k: eviction rate drifted "
+        f"(vec={vec['departure_rate']:.2f} vs "
+        f"fast={fast['departure_rate']:.2f}, rel={rel:.4f} > pinned "
+        f"{DEP_REL_LIMIT})"
+    )
