@@ -14,6 +14,9 @@ Usage::
     python -m repro serve --root .repro-service --workers 4
     python -m repro submit --root .repro-service --scenarios baseline,colluders
     python -m repro serve --root .repro-service --stop
+    python -m repro serve --root .repro-service --telemetry .repro-service/telemetry
+    python -m repro status --root .repro-service --telemetry .repro-service/telemetry
+    python -m repro trace --telemetry .repro-service/telemetry
 
 (``python -m repro`` is a shorthand for ``python -m repro.cli``.)
 
@@ -62,7 +65,7 @@ from repro.experiments import (
     table2,
     table3,
 )
-from repro.utils.logging import configure_logging
+from repro.utils.logging import configure_logging, configure_progress_logging
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -240,6 +243,12 @@ def _build_parser() -> argparse.ArgumentParser:
              "and exit (stops a running serve)",
     )
     serve_parser.add_argument(
+        "--compact-interval", type=float, default=None, metavar="SEC",
+        help="garbage-collect spool debris (stale heartbeat files, orphaned "
+             "claim dirs, consumed stop sentinels, old error files) every "
+             "SEC seconds (default: no compaction)",
+    )
+    serve_parser.add_argument(
         "--engine", default=None, choices=ENGINE_CHOICES,
         help="simulation engine the workers execute with "
              "(default: REPRO_SIM_ENGINE or fast)",
@@ -293,6 +302,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulation engine for ephemeral --workers (a running serve "
              "keeps its own; default: REPRO_SIM_ENGINE or fast)",
     )
+
+    status_parser = subparsers.add_parser(
+        "status",
+        help="print a live view of a service spool: workers and heartbeat "
+             "ages, queue depth, and aggregated telemetry metrics",
+    )
+    _add_service_arguments(status_parser)
+    status_parser.add_argument(
+        "--liveness-timeout", type=float, default=5.0, metavar="SEC",
+        help="heartbeat age beyond which a worker reads as dead (default: 5)",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="render per-job timelines and a critical-path summary from a "
+             "telemetry directory's merged event log",
+    )
+    trace_parser.add_argument(
+        "--telemetry", default=None, metavar="DIR", required=True,
+        help="telemetry directory the traced serve/submit wrote "
+             "(their --telemetry argument)",
+    )
+    trace_parser.add_argument(
+        "--jobs-limit", type=int, default=20, metavar="N",
+        help="render at most N per-job timelines, 0 for all (default: 20)",
+    )
+    trace_parser.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="also write the merged, time-ordered event log to FILE "
+             "(one JSON record per line — the CI artifact format)",
+    )
     return parser
 
 
@@ -306,6 +346,16 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="sqlite-indexed shared result store "
              "(default: <root>/cache)",
+    )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="enable structured job tracing + metrics, written to DIR "
+             "(read back with `repro status`/`repro trace`; default: off)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress routine progress output (stats ticker, per-cell "
+             "progress lines); warnings and the final report still print",
     )
 
 
@@ -401,7 +451,10 @@ def _serve(parser, args) -> int:
     import time
 
     from repro.service import Scheduler, Spool, WorkerPool
+    from repro.telemetry import telemetry_for
+    from repro.utils.logging import get_progress_logger
 
+    progress = get_progress_logger("serve")
     root, cache_dir = _service_paths(args)
     spool = Spool(root)
     if args.stop:
@@ -412,31 +465,56 @@ def _serve(parser, args) -> int:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.stats_interval <= 0:
         parser.error("--stats-interval must be > 0")
-    scheduler = Scheduler(root, cache_dir=cache_dir)
-    pool = WorkerPool(root, cache_dir, workers=args.workers)
-    pool.start()
-    print(
-        f"serving {args.workers} workers on {root} (store: {cache_dir}); "
-        f"stop with `repro serve --root {root} --stop`",
-        flush=True,
+    if args.compact_interval is not None and args.compact_interval <= 0:
+        parser.error("--compact-interval must be > 0")
+    telemetry = telemetry_for(args.telemetry)
+    scheduler = Scheduler(root, cache_dir=cache_dir, telemetry=telemetry)
+    pool = WorkerPool(
+        root, cache_dir, workers=args.workers, telemetry_dir=args.telemetry
     )
+    pool.start()
+    progress.info(
+        "serving %d workers on %s (store: %s); stop with "
+        "`repro serve --root %s --stop`",
+        args.workers, root, cache_dir, root,
+    )
+    config = scheduler.config
     idle_since = time.time()
+    last_compact = time.time()
     try:
         while True:
             stats = scheduler.service_stats()
-            print(f"serve: {stats.render()}", flush=True)
+            progress.info("serve: %s", stats.render())
             if spool.stop_requested():
                 break
+            if (
+                args.compact_interval is not None
+                and time.time() - last_compact > args.compact_interval
+            ):
+                last_compact = time.time()
+                removed = spool.compact(
+                    liveness_timeout=config.liveness_timeout
+                )
+                total = sum(removed.values())
+                if total:
+                    progress.info(
+                        "compacted spool: removed %d stale entries (%s)",
+                        total,
+                        ", ".join(
+                            f"{k}={v}" for k, v in removed.items() if v
+                        ),
+                    )
             if stats.queue_depth or stats.in_flight:
                 idle_since = time.time()
             elif args.max_idle is not None and time.time() - idle_since > args.max_idle:
-                print(f"idle for {args.max_idle:.1f}s; shutting down", flush=True)
+                progress.info("idle for %.1fs; shutting down", args.max_idle)
                 break
             time.sleep(args.stats_interval)
     except KeyboardInterrupt:  # pragma: no cover - interactive only
-        print("interrupted; shutting down", flush=True)
+        progress.warning("interrupted; shutting down")
     finally:
         pool.stop()
+        telemetry.close()
     return 0
 
 
@@ -447,6 +525,8 @@ def _submit(parser, args) -> int:
     from repro.core.design_space import parse_axes
     from repro.service import Scheduler, ServiceError, WorkerPool
     from repro.service.atlas import run_atlas_service
+    from repro.telemetry import telemetry_for
+    from repro.utils.logging import get_progress_logger
 
     axes = None
     if args.protocol_axes is not None:
@@ -479,16 +559,23 @@ def _submit(parser, args) -> int:
         parser.error(str(error))
 
     root, cache_dir = _service_paths(args)
-    scheduler = Scheduler(root, cache_dir=cache_dir)
+    telemetry = telemetry_for(args.telemetry)
+    scheduler = Scheduler(root, cache_dir=cache_dir, telemetry=telemetry)
     cells = len(spec.cells())
-    print(
-        f"submitting {cells} cells x {spec.repetitions} reps to {root} "
-        f"(store: {cache_dir})",
-        flush=True,
+    progress = get_progress_logger("submit")
+    progress.info(
+        "submitting %d cells x %d reps to %s (store: %s)",
+        cells, spec.repetitions, root, cache_dir,
     )
     with ExitStack() as stack:
+        stack.callback(telemetry.close)
         if args.workers:
-            pool = WorkerPool(root, cache_dir, workers=args.workers)
+            pool = WorkerPool(
+                root,
+                cache_dir,
+                workers=args.workers,
+                telemetry_dir=args.telemetry,
+            )
             stack.enter_context(pool)
         try:
             outcome = run_atlas_service(
@@ -496,7 +583,6 @@ def _submit(parser, args) -> int:
                 scheduler,
                 substrate=args.substrate,
                 timeout=args.timeout,
-                emit=lambda line: print(line, flush=True),
             )
         except ServiceError as error:
             print(f"submission failed: {error}", flush=True)
@@ -512,6 +598,48 @@ def _submit(parser, args) -> int:
     return 0
 
 
+def _status(parser, args) -> int:
+    """Print a live view of a service spool (workers, queue, metrics)."""
+    from repro.service import IndexedResultStore, Spool
+    from repro.telemetry.report import render_status
+
+    root, cache_dir = _service_paths(args)
+    if not os.path.isdir(root):
+        parser.error(f"no spool directory at {root}")
+    store = IndexedResultStore(cache_dir) if os.path.isdir(cache_dir) else None
+    try:
+        print(
+            render_status(
+                Spool(root),
+                store=store,
+                telemetry_root=args.telemetry,
+                liveness_timeout=args.liveness_timeout,
+            )
+        )
+    finally:
+        if store is not None:
+            store.close()
+    return 0
+
+
+def _trace(parser, args) -> int:
+    """Render job timelines + critical path from a telemetry directory."""
+    from repro.telemetry import read_events, write_merged
+    from repro.telemetry.report import render_trace
+
+    if not os.path.isdir(args.telemetry):
+        parser.error(f"no telemetry directory at {args.telemetry}")
+    if args.jobs_limit < 0:
+        parser.error(f"--jobs-limit must be >= 0, got {args.jobs_limit}")
+    events = read_events(args.telemetry)
+    jobs_limit = args.jobs_limit if args.jobs_limit else None
+    print(render_trace(events, jobs_limit=jobs_limit))
+    if args.jsonl is not None:
+        count = write_merged(events, args.jsonl)
+        print(f"wrote {count} merged events to {args.jsonl}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -519,6 +647,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.verbose:
         configure_logging()
+    # Progress lines (stats ticker, per-cell completions) are routed
+    # through the repro.progress logger; --quiet raises its level.
+    configure_progress_logging(quiet=getattr(args, "quiet", False))
 
     engine = getattr(args, "engine", None)
     if engine is not None:
@@ -678,6 +809,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "submit":
         return _submit(parser, args)
+
+    if args.command == "status":
+        return _status(parser, args)
+
+    if args.command == "trace":
+        return _trace(parser, args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

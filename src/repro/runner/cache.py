@@ -31,6 +31,7 @@ from repro.runner.jobs import (
     result_to_payload,
 )
 from repro.sim.engine import SimulationResult
+from repro.telemetry.metrics import NULL_METRICS
 
 __all__ = ["ResultCache"]
 
@@ -42,12 +43,18 @@ class ResultCache:
     ----------
     root:
         Cache directory (created lazily on first store).
+
+    The local ``hits``/``misses`` counters always run; ``metrics`` is an
+    optional :class:`~repro.telemetry.metrics.MetricsRegistry` (assigned by
+    telemetry-enabled owners like service workers) that additionally feeds
+    the cross-process ``cache.*`` counters.
     """
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.metrics = NULL_METRICS
 
     # ------------------------------------------------------------------ #
     # layout
@@ -79,20 +86,20 @@ class ResultCache:
             with path.open("r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except FileNotFoundError:
-            self.misses += 1
+            self._miss()
             return None
         except (json.JSONDecodeError, UnicodeDecodeError, OSError):
             # Truncated or garbage entry (disk full, killed process):
             # quarantine it and miss; the re-run stores a fresh result.
             self._quarantine(path)
-            self.misses += 1
+            self._miss()
             return None
         if not isinstance(payload, dict):
             self._quarantine(path)
-            self.misses += 1
+            self._miss()
             return None
         if payload.get("version") != RESULT_PAYLOAD_VERSION:
-            self.misses += 1
+            self._miss()
             return None
         try:
             # Jobs outside the simulation families (service fault-injection
@@ -106,18 +113,23 @@ class ResultCache:
         except (KeyError, TypeError, ValueError):
             # Parseable JSON with a mangled payload is corruption too.
             self._quarantine(path)
-            self.misses += 1
+            self._miss()
             return None
         self.hits += 1
+        self.metrics.inc("cache.hits")
         return result
 
-    @staticmethod
-    def _quarantine(path: Path) -> None:
+    def _miss(self) -> None:
+        self.misses += 1
+        self.metrics.inc("cache.misses")
+
+    def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside (best effort, never raises)."""
         try:
             os.replace(path, path.with_suffix(".corrupt"))
         except OSError:
             pass
+        self.metrics.inc("cache.quarantined")
 
     def put(
         self,

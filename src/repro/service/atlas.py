@@ -19,14 +19,23 @@ from repro.experiments import atlas as atlas_experiment
 from repro.scenarios import get_substrate
 from repro.service.runner import ServiceRunner
 from repro.service.scheduler import Scheduler
+from repro.utils.logging import get_progress_logger
 
 __all__ = ["cell_progress", "run_atlas_service"]
+
+_PROGRESS = get_progress_logger("atlas")
+
+#: Default progress sink: the ``repro.progress`` logger, so applications
+#: control progress output with ``configure_progress_logging`` (and the CLI
+#: ``--quiet`` flag) instead of monkeypatching ``print``.  Pass an explicit
+#: ``emit`` to capture lines, or ``emit=None`` for silence.
+_LOG_EMIT = _PROGRESS.info
 
 
 def cell_progress(
     spec: AtlasSpec,
     substrate: str = "rounds",
-    emit: Optional[Callable[[str], None]] = print,
+    emit: Optional[Callable[[str], None]] = _LOG_EMIT,
 ) -> Callable[[str, object, int, int], None]:
     """A :class:`ServiceRunner` progress callback that reports whole cells.
 
@@ -84,7 +93,7 @@ def run_atlas_service(
     scheduler: Scheduler,
     substrate: str = "rounds",
     timeout: Optional[float] = None,
-    emit: Optional[Callable[[str], None]] = print,
+    emit: Optional[Callable[[str], None]] = _LOG_EMIT,
     engine: Optional[str] = None,
 ):
     """Run an atlas grid through the service, streaming cell completions.

@@ -42,6 +42,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.service.spool import Spool
 from repro.service.store import IndexedResultStore
+from repro.telemetry import NULL_TELEMETRY
 from repro.utils.logging import get_logger
 
 __all__ = [
@@ -69,6 +70,12 @@ class ServiceConfig:
     backoff_max: float = 10.0
     #: Heartbeat age beyond which a worker counts as dead.
     liveness_timeout: float = 5.0
+    #: Seconds a worker that has *never* heartbeated stays presumed-alive,
+    #: judged from its registration/claim mtimes.  A freshly spawned worker
+    #: (registered, mid-import, not yet through its first loop iteration)
+    #: has ``heartbeat_age == inf``; without the grace window the dead-worker
+    #: sweep would re-queue its claims out from under it.
+    registration_grace: float = 10.0
     #: Seconds between scheduler poll sweeps while streaming.
     poll_interval: float = 0.05
 
@@ -117,8 +124,10 @@ class Scheduler:
         cache_dir: Union[str, Path, None] = None,
         store: Optional[IndexedResultStore] = None,
         config: Optional[ServiceConfig] = None,
+        telemetry=None,
     ):
-        self.spool = Spool(spool_root)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.spool = Spool(spool_root, telemetry=self.telemetry)
         if store is not None:
             self.store = store
         elif cache_dir is not None:
@@ -133,7 +142,10 @@ class Scheduler:
 
     def service_stats(self) -> ServiceStats:
         """Spool-level metrics only (no submission attached)."""
-        workers = self.spool.workers(self.config.liveness_timeout)
+        workers = self.spool.workers(
+            self.config.liveness_timeout,
+            registration_grace=self.config.registration_grace,
+        )
         return ServiceStats(
             queue_depth=self.spool.queue_depth(),
             in_flight=self.spool.in_flight(),
@@ -162,6 +174,7 @@ class Submission:
 
     def __init__(self, scheduler: Scheduler, jobs: List[object]):
         self.scheduler = scheduler
+        self.telemetry = scheduler.telemetry
         self.jobs = jobs
         self.fingerprints: List[str] = [job.fingerprint() for job in jobs]
         # Batch-level dedupe: one state per unique fingerprint, first job wins.
@@ -184,17 +197,29 @@ class Submission:
         self.enqueued = 0
         self._ready = [fp for fp in order if fp in cached]
 
+        metrics = self.telemetry.metrics
+        metrics.inc("scheduler.submitted", float(len(order)))
+        if self.deduplicated:
+            metrics.inc("dedupe.batch", float(self.deduplicated))
+        if self.initial_hits:
+            metrics.inc("dedupe.store_hits", float(self.initial_hits))
+
         # Spool-level dedupe: skip what another submitter queued or a
         # worker holds; enqueue itself is exclusive, so races are safe.
         spool = scheduler.spool
         for fingerprint in order:
+            self.telemetry.emit(
+                "submit", fingerprint=fingerprint, cached=fingerprint in cached
+            )
             if fingerprint in cached:
                 continue
             state = self.states[fingerprint]
             if spool.is_queued_or_claimed(fingerprint):
+                metrics.inc("dedupe.spool_skips")
                 continue
             if spool.enqueue(fingerprint, state.job):
                 self.enqueued += 1
+        self.telemetry.flush()
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -213,7 +238,10 @@ class Submission:
     def stats(self) -> ServiceStats:
         spool = self.scheduler.spool
         config = self.scheduler.config
-        workers = spool.workers(config.liveness_timeout)
+        workers = spool.workers(
+            config.liveness_timeout,
+            registration_grace=config.registration_grace,
+        )
         executed = max(0, len(self.completed) - self.initial_hits)
         return ServiceStats(
             queue_depth=spool.queue_depth(),
@@ -240,6 +268,10 @@ class Submission:
             self.scheduler.store.forget([fingerprint])
             return None
         self.completed[fingerprint] = result
+        self.telemetry.emit(
+            "complete", fingerprint=fingerprint, attempts=state.attempts
+        )
+        self.telemetry.metrics.inc("scheduler.completed")
         return result
 
     def _fail_or_defer(self, fingerprint: str, reason: str, now: float) -> None:
@@ -252,11 +284,26 @@ class Submission:
                 f"{reason} (attempt {state.attempts}/{config.max_attempts}, "
                 f"retries exhausted)"
             )
+            self.telemetry.emit(
+                "failed",
+                fingerprint=fingerprint,
+                reason=reason,
+                attempts=state.attempts,
+            )
+            self.telemetry.metrics.inc("scheduler.failed")
             _LOGGER.warning("job %s failed terminally: %s", fingerprint[:12], reason)
             return
         self.retries += 1
         state.deferred = True
         state.eligible_at = now + config.backoff_delay(state.attempts)
+        self.telemetry.emit(
+            "retry",
+            fingerprint=fingerprint,
+            reason=reason,
+            attempt=state.attempts,
+            delay=round(state.eligible_at - now, 6),
+        )
+        self.telemetry.metrics.inc("scheduler.retries")
         _LOGGER.info(
             "job %s: %s — retry %d/%d in %.2fs",
             fingerprint[:12],
@@ -303,10 +350,15 @@ class Submission:
                 )
 
         # 3. Worker liveness: re-queue every claim a dead worker holds.
+        # The registration grace keeps never-heartbeated (still starting)
+        # workers out of the dead set — see ServiceConfig.registration_grace.
         claims = spool.claimed_jobs()
         dead = {
             info.worker_id
-            for info in spool.workers(config.liveness_timeout)
+            for info in spool.workers(
+                config.liveness_timeout,
+                registration_grace=config.registration_grace,
+            )
             if not info.alive
         }
         claimed_now = set()
@@ -315,7 +367,9 @@ class Submission:
                 for fingerprint in fingerprints:
                     if fingerprint not in awaiting:
                         continue
-                    if spool.release_claim(worker_id, fingerprint):
+                    if spool.release_claim(
+                        worker_id, fingerprint, reason="dead-worker"
+                    ):
                         self.retries += 1
                         self.states[fingerprint].first_claimed = None
                         _LOGGER.warning(
@@ -333,9 +387,16 @@ class Submission:
                 if state.first_claimed is None:
                     state.first_claimed = now
                 elif now - state.first_claimed > config.job_timeout:
+                    self.telemetry.emit(
+                        "timeout",
+                        fingerprint=fingerprint,
+                        held_for=round(now - state.first_claimed, 6),
+                    )
                     for worker_id, fingerprints in claims.items():
                         if fingerprint in fingerprints:
-                            spool.release_claim(worker_id, fingerprint)
+                            spool.release_claim(
+                                worker_id, fingerprint, reason="timeout"
+                            )
                             break
                     state.first_claimed = None
                     self._fail_or_defer(
@@ -370,6 +431,11 @@ class Submission:
                 # it fell through a crack — put it back (idempotent).
                 if spool.enqueue(fingerprint, state.job):
                     self.enqueued += 1
+
+        metrics = self.telemetry.metrics
+        metrics.gauge("spool.queue_depth", spool.queue_depth())
+        metrics.gauge("spool.in_flight", spool.in_flight())
+        self.telemetry.flush()
         return fresh
 
     # ------------------------------------------------------------------ #

@@ -34,6 +34,15 @@ The invariants the protocol rests on:
   the shared :class:`~repro.service.store.IndexedResultStore`", so the
   spool never carries result payloads and a re-executed job is harmless
   (content-addressed results are idempotent).
+
+The spool is also where telemetry hooks the job lifecycle: handed a
+:class:`~repro.telemetry.Telemetry`, it emits ``enqueue``/``claim``/
+``requeue``/``error`` events at the exact atomic operations — whichever
+process (scheduler or worker) performs them — and observes claim latency
+(time a job file sat in ``pending/``, read off its mtime, which both
+``enqueue`` and ``release_claim`` preserve) into the shared metrics.
+Without telemetry the hooks are :data:`~repro.telemetry.NULL_TELEMETRY`
+stubs.
 """
 
 from __future__ import annotations
@@ -46,6 +55,8 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
+
+from repro.telemetry import NULL_TELEMETRY
 
 __all__ = ["Spool", "WorkerInfo"]
 
@@ -64,8 +75,9 @@ class WorkerInfo:
 class Spool:
     """Handle on a spool directory (creates the layout on first use)."""
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: Union[str, Path], telemetry=None):
         self.root = Path(root)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     # ------------------------------------------------------------------ #
     # layout
@@ -124,6 +136,8 @@ class Spool:
                 os.link(tmp_name, target)
             except FileExistsError:
                 return False
+            self.telemetry.emit("enqueue", fingerprint=fingerprint)
+            self.telemetry.metrics.inc("spool.enqueued")
             return True
         finally:
             try:
@@ -178,6 +192,22 @@ class Spool:
                 # worker loop; the scheduler's timeout path re-queues.
                 target.unlink(missing_ok=True)
                 continue
+            # Rename preserves mtime, so the claimed file still carries its
+            # enqueue time: the difference *is* the queue wait.
+            queue_wait = None
+            try:
+                queue_wait = max(0.0, time.time() - target.stat().st_mtime)
+            except OSError:
+                pass
+            self.telemetry.emit(
+                "claim",
+                fingerprint=candidate.stem,
+                worker=worker_id,
+                queue_wait=queue_wait,
+            )
+            self.telemetry.metrics.inc("spool.claimed")
+            if queue_wait is not None:
+                self.telemetry.metrics.observe("claim_latency_seconds", queue_wait)
             return candidate.stem, job
         return None
 
@@ -186,8 +216,14 @@ class Spool:
         path = self.claimed_dir / worker_id / f"{fingerprint}.job"
         path.unlink(missing_ok=True)
 
-    def release_claim(self, worker_id: str, fingerprint: str) -> bool:
-        """Move one claimed job back to pending (scheduler recovery path)."""
+    def release_claim(
+        self, worker_id: str, fingerprint: str, reason: str = "requeue"
+    ) -> bool:
+        """Move one claimed job back to pending (scheduler recovery path).
+
+        ``reason`` labels the telemetry event — ``"dead-worker"`` and
+        ``"timeout"`` are the scheduler's two recovery sweeps.
+        """
         source = self.claimed_dir / worker_id / f"{fingerprint}.job"
         target = self._job_path(fingerprint)
         self.ensure_layout()
@@ -195,6 +231,11 @@ class Spool:
             os.rename(source, target)
         except OSError:
             return False
+        self.telemetry.emit(
+            "requeue", fingerprint=fingerprint, worker=worker_id, reason=reason
+        )
+        self.telemetry.metrics.inc("spool.requeued")
+        self.telemetry.metrics.inc(f"spool.requeued.{reason}")
         return True
 
     def claimed_jobs(self) -> Dict[str, List[str]]:
@@ -236,6 +277,13 @@ class Spool:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         os.replace(tmp_name, self.errors_dir / f"{fingerprint}.json")
+        self.telemetry.emit(
+            "error",
+            fingerprint=fingerprint,
+            worker=worker_id,
+            error=payload["error"],
+        )
+        self.telemetry.metrics.inc("spool.errors")
 
     def error_fingerprints(self) -> List[str]:
         """Fingerprints with a recorded execution error (one listing)."""
@@ -289,12 +337,49 @@ class Spool:
             return float("inf")
         return max(0.0, (now if now is not None else time.time()) - mtime)
 
-    def workers(self, liveness_timeout: float = 5.0) -> List[WorkerInfo]:
-        """Every worker that registered (or left claims behind), with liveness."""
+    def _grace_age(self, worker_id: str, now: float) -> float:
+        """Age of the youngest non-heartbeat evidence a worker exists.
+
+        Registration file and claim directory mtimes — what a worker that
+        has not heartbeated yet (still importing numpy, still between its
+        registration write and its first heartbeat touch) leaves behind.
+        """
+        age = float("inf")
+        for path in (
+            self.workers_dir / f"{worker_id}.json",
+            self.claimed_dir / worker_id,
+        ):
+            try:
+                age = min(age, max(0.0, now - path.stat().st_mtime))
+            except OSError:
+                continue
+        return age
+
+    def workers(
+        self, liveness_timeout: float = 5.0, registration_grace: float = 0.0
+    ) -> List[WorkerInfo]:
+        """Every worker that registered (or left claims behind), with liveness.
+
+        A worker with no heartbeat at all (``heartbeat_age == inf``) is not
+        necessarily dead — it may be *young*: registered (or holding a
+        freshly created claim directory) but not yet through its first
+        loop iteration.  ``registration_grace`` keeps such workers alive
+        while their registration/claim evidence is younger than the grace
+        window, so the scheduler's dead-worker sweep does not re-queue a
+        claim out from under a worker that is still starting up.
+        """
         claims = self.claimed_jobs()
         seen = set()
         infos: List[WorkerInfo] = []
         now = time.time()
+
+        def liveness(worker_id: str, age: float) -> bool:
+            if age <= liveness_timeout:
+                return True
+            if age == float("inf") and registration_grace > 0.0:
+                return self._grace_age(worker_id, now) <= registration_grace
+            return False
+
         if self.workers_dir.exists():
             for entry in sorted(self.workers_dir.glob("*.json")):
                 worker_id = entry.stem
@@ -310,19 +395,20 @@ class Spool:
                         worker_id=worker_id,
                         pid=pid,
                         heartbeat_age=age,
-                        alive=age <= liveness_timeout,
+                        alive=liveness(worker_id, age),
                         claimed=len(claims.get(worker_id, [])),
                     )
                 )
         # Claims of workers that never registered (or whose registration
-        # was cleaned up) still need liveness accounting: report them dead.
+        # was cleaned up) still need liveness accounting: dead, unless the
+        # claim evidence is young enough to fall in the grace window.
         for worker_id in sorted(set(claims) - seen):
             infos.append(
                 WorkerInfo(
                     worker_id=worker_id,
                     pid=None,
                     heartbeat_age=float("inf"),
-                    alive=False,
+                    alive=liveness(worker_id, float("inf")),
                     claimed=len(claims[worker_id]),
                 )
             )
@@ -341,6 +427,129 @@ class Spool:
 
     def stop_requested(self) -> bool:
         return self.stop_path.exists()
+
+    # ------------------------------------------------------------------ #
+    # garbage collection
+    # ------------------------------------------------------------------ #
+    def compact(
+        self,
+        liveness_timeout: float = 5.0,
+        worker_ttl: float = 60.0,
+        error_ttl: float = 3600.0,
+        now: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Garbage-collect spool debris; returns per-category removal counts.
+
+        A long-lived spool accumulates residue that no protocol step ever
+        cleans up: registration/heartbeat files of workers that exited
+        uncleanly, empty claim directories left by :meth:`release_claim`,
+        error files nobody collected (e.g. a scheduler that went away), and
+        a stop sentinel from a previous drain.  None of it breaks
+        correctness, but it slows directory scans and makes ``repro
+        status`` lie about the worker roster.  Everything removed here is
+        either provably stale or re-creatable, and every removal uses the
+        same tolerant, atomic idioms as the hot path — so compaction is
+        safe to run concurrently with live workers.
+
+        * worker files: removed once a worker has been heartbeat-dead for
+          ``worker_ttl`` beyond ``liveness_timeout`` and holds no claims
+          (claims are left for the scheduler's re-queue sweep first);
+        * stray ``.alive`` files without a matching registration follow the
+          same staleness rule;
+        * empty claim directories of dead or unknown workers are rmdir'd
+          (``OSError`` means the worker raced a new claim in — skip);
+        * error files older than ``error_ttl`` are dropped;
+        * the stop sentinel is cleared when it is stale and no registered
+          worker is still alive to consume it.
+        """
+        if now is None:
+            now = time.time()
+        removed = {
+            "workers": 0,
+            "heartbeats": 0,
+            "claim_dirs": 0,
+            "errors": 0,
+            "stop": 0,
+        }
+        claims = self.claimed_jobs()
+        stale_cutoff = liveness_timeout + worker_ttl
+
+        registered = set()
+        if self.workers_dir.exists():
+            for entry in sorted(self.workers_dir.glob("*.json")):
+                worker_id = entry.stem
+                registered.add(worker_id)
+                age = self.heartbeat_age(worker_id, now)
+                if age == float("inf"):
+                    # Never heartbeated: judge by registration age instead,
+                    # same grace logic the liveness check uses.
+                    age = self._grace_age(worker_id, now)
+                if age <= stale_cutoff or claims.get(worker_id):
+                    continue
+                alive_path = self.workers_dir / f"{worker_id}.alive"
+                entry.unlink(missing_ok=True)
+                removed["workers"] += 1
+                if alive_path.exists():
+                    alive_path.unlink(missing_ok=True)
+                    removed["heartbeats"] += 1
+            # Heartbeat files whose registration is already gone.
+            for alive_path in sorted(self.workers_dir.glob("*.alive")):
+                worker_id = alive_path.stem
+                if worker_id in registered:
+                    continue
+                try:
+                    age = max(0.0, now - alive_path.stat().st_mtime)
+                except OSError:
+                    continue
+                if age > stale_cutoff and not claims.get(worker_id):
+                    alive_path.unlink(missing_ok=True)
+                    removed["heartbeats"] += 1
+
+        # Empty claim directories of workers that are gone.  Live workers
+        # re-create theirs on the next claim; rmdir refuses non-empty ones
+        # and a concurrent claim simply makes it fail — both fine.
+        if self.claimed_dir.exists():
+            live = {
+                info.worker_id
+                for info in self.workers(liveness_timeout)
+                if info.alive
+            }
+            for claim_dir in sorted(self.claimed_dir.iterdir()):
+                if not claim_dir.is_dir() or claim_dir.name in live:
+                    continue
+                try:
+                    claim_dir.rmdir()
+                except OSError:
+                    continue  # not empty, or a claim raced in
+                removed["claim_dirs"] += 1
+
+        if self.errors_dir.exists():
+            for error_path in sorted(self.errors_dir.glob("*.json")):
+                try:
+                    age = max(0.0, now - error_path.stat().st_mtime)
+                except OSError:
+                    continue
+                if age > error_ttl:
+                    error_path.unlink(missing_ok=True)
+                    removed["errors"] += 1
+
+        if self.stop_path.exists():
+            any_alive = any(
+                info.alive for info in self.workers(liveness_timeout)
+            )
+            try:
+                stop_age = max(0.0, now - self.stop_path.stat().st_mtime)
+            except OSError:
+                stop_age = 0.0
+            if not any_alive and stop_age > stale_cutoff:
+                self.stop_path.unlink(missing_ok=True)
+                removed["stop"] += 1
+
+        if any(removed.values()):
+            self.telemetry.metrics.inc(
+                "spool.compacted", float(sum(removed.values()))
+            )
+        return removed
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"Spool(root={str(self.root)!r})"

@@ -246,6 +246,13 @@ class IndexedResultStore(ResultCache):
                 chunk,
             )
             present.update(row[0] for row in cursor)
+        hits, misses = len(present), len(unique) - len(present)
+        if hits:
+            self.hits += hits
+            self.metrics.inc("cache.hits", hits)
+        if misses:
+            self.misses += misses
+            self.metrics.inc("cache.misses", misses)
         return present
 
     def probe(self, fingerprint: str) -> bool:

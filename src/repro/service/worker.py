@@ -32,6 +32,7 @@ from typing import List, Optional, Union
 
 from repro.service.spool import Spool
 from repro.service.store import IndexedResultStore
+from repro.telemetry import telemetry_for
 from repro.utils.logging import get_logger
 
 __all__ = ["worker_main", "WorkerPool", "DEFAULT_POLL_INTERVAL"]
@@ -41,6 +42,44 @@ _LOGGER = get_logger("service.worker")
 #: Seconds a worker sleeps between queue polls when idle.
 DEFAULT_POLL_INTERVAL = 0.05
 
+#: Seconds between ``worker.heartbeat`` trace events.  The liveness *file*
+#: is touched every poll; the event is a rate-limited trace breadcrumb.
+_HEARTBEAT_EVENT_INTERVAL = 1.0
+
+
+def _execute_traced(job, telemetry):
+    """Execute ``job``; returns ``(result, phase_payload_or_None)``.
+
+    With telemetry enabled, round-engine :class:`SimulationJob`\\ s run
+    through :func:`~repro.sim.engine.profiled_simulation` so the execute
+    span carries the engine's per-phase wall-clock decomposition.  The
+    profiled run is bit-identical to ``job.execute()`` (profiling only
+    times; the engine is deterministic given the seed), so cached results
+    and fingerprints are unaffected.  Anything that cannot take the
+    profiled path — echo/test jobs, swarm jobs, an engine without profile
+    hooks — falls back to plain execution; only *construction* failures
+    trigger the fallback, so genuine execution errors still propagate.
+    """
+    if not telemetry.enabled:
+        return job.execute(), None
+    try:
+        from repro.sim.engine import profiled_simulation
+        from repro.sim.profiling import phases_payload, profile_seconds_of
+
+        simulation = profiled_simulation(
+            job.config,
+            list(job.behaviors),
+            groups=list(job.groups) if job.groups is not None else None,
+            seed=job.seed,
+        )
+    except (AttributeError, TypeError, ValueError):
+        return job.execute(), None
+    result = simulation.run()
+    payload = phases_payload(
+        profile_seconds_of(simulation), rounds=result.rounds_executed
+    )
+    return result, payload
+
 
 def worker_main(
     spool_root: Union[str, Path],
@@ -48,40 +87,85 @@ def worker_main(
     worker_id: Optional[str] = None,
     poll_interval: float = DEFAULT_POLL_INTERVAL,
     max_idle: Optional[float] = None,
+    telemetry_dir: Union[str, Path, None] = None,
 ) -> int:
     """Run one worker until the stop sentinel appears (or idle expiry).
 
     Returns the number of jobs this worker executed.  ``max_idle`` bounds
     how long the worker lingers with an empty queue — ``None`` means "serve
-    forever" (the ``repro serve`` default).
+    forever" (the ``repro serve`` default).  ``telemetry_dir`` enables
+    structured tracing + metrics (see :mod:`repro.telemetry`); the worker
+    is its own writer, so a SIGKILL costs at most one torn trace line.
     """
     worker_id = worker_id or f"w-{os.getpid()}-{uuid.uuid4().hex[:6]}"
-    spool = Spool(spool_root)
+    telemetry = telemetry_for(telemetry_dir, writer=worker_id)
+    spool = Spool(spool_root, telemetry=telemetry)
     store = IndexedResultStore(cache_dir)
+    store.metrics = telemetry.metrics
     spool.register_worker(worker_id)
+    telemetry.emit("worker.start", worker=worker_id, ppid=os.getppid())
+    stop_reason = "stop-sentinel"
     executed = 0
     idle_since = time.time()
+    last_heartbeat_event = 0.0
     try:
         while True:
             spool.heartbeat(worker_id)
+            now = time.monotonic()
+            if now - last_heartbeat_event >= _HEARTBEAT_EVENT_INTERVAL:
+                last_heartbeat_event = now
+                telemetry.emit(
+                    "worker.heartbeat", worker=worker_id, executed=executed
+                )
             if spool.stop_requested():
                 break
             claimed = spool.claim(worker_id)
             if claimed is None:
                 if max_idle is not None and time.time() - idle_since > max_idle:
+                    stop_reason = "max-idle"
                     break
+                telemetry.flush()
                 time.sleep(poll_interval)
                 continue
             idle_since = time.time()
             fingerprint, job = claimed
-            if store.probe(fingerprint):
+            probe_start = time.monotonic()
+            hit = store.probe(fingerprint)
+            telemetry.emit(
+                "probe",
+                fingerprint=fingerprint,
+                worker=worker_id,
+                hit=hit,
+                duration=round(time.monotonic() - probe_start, 6),
+            )
+            if hit:
                 # Someone else already computed it (retry overlap, a second
                 # submitter, a warm cache): drop the claim, keep the result.
+                telemetry.metrics.inc("worker.dedupe_skips")
                 spool.finish(worker_id, fingerprint)
                 continue
             try:
-                result = job.execute()
+                execute_start = time.monotonic()
+                result, phases = _execute_traced(job, telemetry)
+                execute_seconds = time.monotonic() - execute_start
+                telemetry.emit(
+                    "execute",
+                    fingerprint=fingerprint,
+                    worker=worker_id,
+                    duration=round(execute_seconds, 6),
+                    profile=phases,
+                )
+                telemetry.metrics.observe("execute_seconds", execute_seconds)
+                store_start = time.monotonic()
                 store.put(job, result, fingerprint)
+                store_seconds = time.monotonic() - store_start
+                telemetry.emit(
+                    "store",
+                    fingerprint=fingerprint,
+                    worker=worker_id,
+                    duration=round(store_seconds, 6),
+                )
+                telemetry.metrics.observe("store_seconds", store_seconds)
             except Exception as error:  # noqa: BLE001 - the loop must survive
                 # Execution *and* store failures report through the spool:
                 # a worker outlives any single bad job (or full disk) and
@@ -94,9 +178,15 @@ def worker_main(
                 continue
             spool.finish(worker_id, fingerprint)
             executed += 1
+            telemetry.metrics.inc("worker.executed")
+            telemetry.flush()
     finally:
         spool.unregister_worker(worker_id)
         store.close()
+        telemetry.emit(
+            "worker.stop", worker=worker_id, executed=executed, reason=stop_reason
+        )
+        telemetry.close()
     return executed
 
 
@@ -116,6 +206,7 @@ class WorkerPool:
         workers: int = 2,
         poll_interval: float = DEFAULT_POLL_INTERVAL,
         max_idle: Optional[float] = None,
+        telemetry_dir: Union[str, Path, None] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -123,6 +214,9 @@ class WorkerPool:
         self.cache_dir = Path(cache_dir)
         self.poll_interval = poll_interval
         self.max_idle = max_idle
+        self.telemetry_dir = (
+            str(telemetry_dir) if telemetry_dir is not None else None
+        )
         self.worker_count = workers
         self.processes: List[multiprocessing.Process] = []
 
@@ -138,6 +232,7 @@ class WorkerPool:
                 kwargs={
                     "poll_interval": self.poll_interval,
                     "max_idle": self.max_idle,
+                    "telemetry_dir": self.telemetry_dir,
                 },
                 daemon=True,
                 name=worker_id,

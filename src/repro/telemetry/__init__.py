@@ -1,0 +1,166 @@
+"""``repro.telemetry`` — structured tracing + metrics for the service layer.
+
+One :class:`Telemetry` handle bundles the two instruments a service
+process carries:
+
+* a :class:`~repro.telemetry.events.Tracer` appending span/event records
+  to its own JSONL file in the telemetry directory (merged on read — see
+  :func:`~repro.telemetry.events.read_events`), and
+* a :class:`~repro.telemetry.metrics.MetricsRegistry` of counters, gauges
+  and fixed-bucket histograms, periodically published as an atomic
+  snapshot file for cross-process aggregation.
+
+The handle is what gets threaded through the spool, scheduler and workers;
+:data:`NULL_TELEMETRY` is its disabled twin (no files, no allocation,
+method stubs), so instrumented code never branches — the
+:data:`~repro.sim.profiling.NULL_PROFILER` discipline extended to the
+service layer.  ``repro status`` reads the metric snapshots live;
+``repro trace`` renders the merged event log post-hoc.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.telemetry.events import (
+    CANONICAL_EVENTS,
+    JOB_EVENTS,
+    NULL_TRACER,
+    NullTracer,
+    RECOVERY_EVENTS,
+    Tracer,
+    WORKER_EVENTS,
+    read_events,
+    trace_id,
+    write_merged,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    aggregate_snapshots,
+    read_metrics,
+    read_snapshots,
+)
+
+__all__ = [
+    "CANONICAL_EVENTS",
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "JOB_EVENTS",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTelemetry",
+    "NullTracer",
+    "RECOVERY_EVENTS",
+    "Telemetry",
+    "Tracer",
+    "WORKER_EVENTS",
+    "aggregate_snapshots",
+    "read_events",
+    "read_metrics",
+    "read_snapshots",
+    "telemetry_for",
+    "trace_id",
+    "write_merged",
+]
+
+#: Seconds between metric-snapshot publishes from :meth:`Telemetry.flush`
+#: calls that are not forced — bounds snapshot I/O regardless of job rate.
+SNAPSHOT_INTERVAL = 1.0
+
+
+class Telemetry:
+    """A process's telemetry handle: tracer + metrics bound to a directory."""
+
+    enabled = True
+
+    def __init__(self, root: Union[str, Path], writer: Optional[str] = None):
+        self.root = Path(root)
+        self.writer = writer or f"p{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self.tracer = Tracer(self.root, writer=self.writer)
+        self.metrics = MetricsRegistry()
+        self._last_flush = 0.0
+
+    def emit(self, event: str, fingerprint: Optional[str] = None, **fields) -> None:
+        """Shorthand for ``self.tracer.emit`` (the common call site shape)."""
+        self.tracer.emit(event, fingerprint=fingerprint, **fields)
+
+    def flush(self, force: bool = False) -> None:
+        """Publish a metrics snapshot, throttled to :data:`SNAPSHOT_INTERVAL`.
+
+        Call freely from hot-ish paths (after each job, per scheduler
+        sweep); actual file writes happen at most once per interval unless
+        ``force`` (worker shutdown, end of submission).
+        """
+        now = time.monotonic()
+        if not force and now - self._last_flush < SNAPSHOT_INTERVAL:
+            return
+        self._last_flush = now
+        self.metrics.write_snapshot(self.root, self.writer)
+
+    def close(self) -> None:
+        """Final snapshot + tracer shutdown (idempotent)."""
+        try:
+            self.flush(force=True)
+        finally:
+            self.tracer.close()
+
+    def __getstate__(self):
+        # Travels by value to worker processes (e.g. riding on a pickled
+        # spool); the tracer drops its handle and the child re-opens its
+        # own event file, so writers never share a file.
+        state = self.__dict__.copy()
+        state["_last_flush"] = 0.0
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Telemetry(root={str(self.root)!r}, writer={self.writer!r})"
+
+
+class NullTelemetry(Telemetry):
+    """Disabled telemetry: no directory, no files, stub methods."""
+
+    enabled = False
+
+    def __init__(self):
+        self.root = Path(os.devnull)
+        self.writer = "null"
+        self.tracer = NULL_TRACER
+        self.metrics = NULL_METRICS
+        self._last_flush = 0.0
+
+    def emit(self, event: str, fingerprint: Optional[str] = None, **fields) -> None:
+        pass
+
+    def flush(self, force: bool = False) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared disabled instance — safe to hand to any number of components.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def telemetry_for(
+    root: Union[str, Path, None], writer: Optional[str] = None
+) -> Telemetry:
+    """A live :class:`Telemetry` for ``root``, or :data:`NULL_TELEMETRY`.
+
+    The one-liner every entry point uses to honour an optional
+    ``--telemetry DIR`` flag.
+    """
+    if root is None:
+        return NULL_TELEMETRY
+    return Telemetry(root, writer=writer)

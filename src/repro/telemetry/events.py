@@ -1,0 +1,229 @@
+"""Structured job tracing: an append-only JSONL event log for the service.
+
+Every interesting transition in the life of a service job — and of the
+workers and schedulers moving it along — is recorded as one JSON line in a
+telemetry directory.  The design constraints mirror the spool's:
+
+* **lock-free** — each writer (scheduler process, worker process) appends
+  to its *own* ``events-<pid>-<nonce>.jsonl`` file, so concurrent writers
+  on one machine or across a shared filesystem never contend or interleave
+  lines; :func:`read_events` merges the files on read, sorted by wall
+  timestamp (with the per-writer sequence number as tie-break);
+* **crash-tolerant** — a writer killed mid-line leaves at most one torn
+  record at the end of its file; the reader skips undecodable lines, so a
+  SIGKILLed worker (the exact event tracing exists to explain!) never
+  poisons the trace;
+* **correlated** — every job-scoped record carries the job fingerprint and
+  a ``trace`` id derived from it (:func:`trace_id`), so one grep — or the
+  ``repro trace`` renderer — reconstructs a job's full
+  ``submit -> enqueue -> claim -> probe -> execute -> store -> complete``
+  timeline across however many processes touched it, including the second
+  ``claim`` after a dead-worker re-queue.
+
+Timestamps come in pairs: ``t`` is wall-clock (``time.time()`` — comparable
+across processes and meaningful to humans) and ``m`` is monotonic
+(``time.monotonic()`` — immune to clock steps; on Linux the monotonic clock
+is system-wide, so same-host durations are computed from ``m``).
+
+The event vocabulary is **closed** (:data:`CANONICAL_EVENTS`): a strict
+tracer rejects unknown event names, exactly as the profiling harness pins
+its canonical phase names — ad-hoc events would silently fall out of every
+renderer and metric.  Fields beyond the envelope are free-form.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, IO, Iterable, List, Optional, Union
+
+__all__ = [
+    "CANONICAL_EVENTS",
+    "JOB_EVENTS",
+    "NULL_TRACER",
+    "NullTracer",
+    "RECOVERY_EVENTS",
+    "Tracer",
+    "WORKER_EVENTS",
+    "read_events",
+    "trace_id",
+    "write_merged",
+]
+
+#: The job lifecycle, in order.  ``submit`` is scheduler-side intent,
+#: ``enqueue``/``claim`` are the spool's atomic hand-offs, ``probe`` is the
+#: worker's dedupe check, ``execute``/``store`` are spans (they carry a
+#: ``duration``), ``complete`` is the scheduler observing the result.
+JOB_EVENTS = ("submit", "enqueue", "claim", "probe", "execute", "store", "complete")
+
+#: Worker lifecycle events (``worker.heartbeat`` is emitted throttled — the
+#: liveness *file* is touched every poll, the event at most once a second).
+WORKER_EVENTS = ("worker.start", "worker.stop", "worker.heartbeat")
+
+#: Recovery machinery: execution errors, scheduler retries with backoff,
+#: claims pulled back to pending (``requeue`` carries a ``reason`` of
+#: ``"dead-worker"`` or ``"timeout"``), claim-age timeouts and terminal
+#: failures.
+RECOVERY_EVENTS = ("error", "retry", "requeue", "timeout", "failed")
+
+#: The full closed vocabulary a strict :class:`Tracer` accepts.
+CANONICAL_EVENTS = JOB_EVENTS + WORKER_EVENTS + RECOVERY_EVENTS
+
+_EVENT_FILE_GLOB = "events-*.jsonl"
+
+
+def trace_id(fingerprint: str) -> str:
+    """The trace id of a job: a 16-hex prefix of its content fingerprint.
+
+    Deterministic by construction — every process that touches the job
+    derives the same id with no coordination, and a re-submitted job maps
+    onto the same trace (content-addressed results make that the right
+    identity: same fingerprint, same work).
+    """
+    return fingerprint[:16]
+
+
+class Tracer:
+    """One process's append-only JSONL event writer.
+
+    The file is created lazily on first emit and re-opened if the pid
+    changes (a forked child must never share the parent's file offset).
+    ``strict`` (default) enforces the canonical vocabulary.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        writer: Optional[str] = None,
+        strict: bool = True,
+    ):
+        self.root = Path(root)
+        self.writer = writer or f"p{os.getpid()}"
+        self.strict = strict
+        self._handle: Optional[IO[str]] = None
+        self._owner_pid: Optional[int] = None
+        self._seq = 0
+
+    def _file(self) -> IO[str]:
+        pid = os.getpid()
+        if self._handle is None or self._owner_pid != pid:
+            self.root.mkdir(parents=True, exist_ok=True)
+            name = f"events-{pid}-{uuid.uuid4().hex[:6]}.jsonl"
+            self._handle = (self.root / name).open("a", encoding="utf-8")
+            self._owner_pid = pid
+            self._seq = 0
+        return self._handle
+
+    def emit(self, event: str, fingerprint: Optional[str] = None, **fields) -> None:
+        """Append one event record (and flush — the log must survive SIGKILL)."""
+        if self.strict and event not in CANONICAL_EVENTS:
+            raise ValueError(
+                f"unknown telemetry event {event!r}; the vocabulary is closed "
+                f"(see CANONICAL_EVENTS) so traces stay renderable"
+            )
+        record: Dict[str, object] = {
+            "event": event,
+            "t": time.time(),
+            "m": time.monotonic(),
+            "pid": os.getpid(),
+            "writer": self.writer,
+            "seq": self._seq,
+        }
+        if fingerprint is not None:
+            record["fp"] = fingerprint
+            record["trace"] = trace_id(fingerprint)
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        handle = self._file()
+        self._seq += 1
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None and self._owner_pid == os.getpid():
+            self._handle.close()
+        self._handle = None
+        self._owner_pid = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Tracers may ride along on pickled carriers (a spool handed to a
+        # pool); the file handle stays behind and re-opens in the child.
+        state = self.__dict__.copy()
+        state["_handle"] = None
+        state["_owner_pid"] = None
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Tracer(root={str(self.root)!r}, writer={self.writer!r})"
+
+
+class NullTracer(Tracer):
+    """No-op tracer for disabled runs; ``emit`` is a stub (no validation,
+    no I/O) so the wired code paths cost one method call when telemetry is
+    off — the :data:`~repro.sim.profiling.NULL_PROFILER` discipline."""
+
+    def __init__(self):
+        super().__init__(root=os.devnull, writer="null")
+
+    def emit(self, event: str, fingerprint: Optional[str] = None, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared no-op instance (it never opens a file by construction).
+NULL_TRACER = NullTracer()
+
+
+def read_events(root: Union[str, Path]) -> List[dict]:
+    """Merge every writer's JSONL file into one time-ordered event list.
+
+    Undecodable lines (a writer killed mid-append) and non-dict payloads
+    are skipped; ordering is wall time, then writer, then per-writer
+    sequence — so two events with colliding timestamps from one writer
+    still appear in emit order.
+    """
+    root = Path(root)
+    events: List[dict] = []
+    if not root.exists():
+        return events
+    for path in sorted(root.glob(_EVENT_FILE_GLOB)):
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn tail of a killed writer
+                    if isinstance(record, dict) and "event" in record:
+                        events.append(record)
+        except OSError:
+            continue
+    events.sort(
+        key=lambda r: (r.get("t", 0.0), str(r.get("writer", "")), r.get("seq", 0))
+    )
+    return events
+
+
+def write_merged(events: Iterable[dict], path: Union[str, Path]) -> int:
+    """Write an already-merged event list as one JSONL file; line count.
+
+    The artifact format for CI uploads and offline analysis — byte-stable
+    given the same events.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in events:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count

@@ -1,0 +1,342 @@
+"""Renderers for the two observability CLIs: live ``status``, post-hoc ``trace``.
+
+``render_status`` is a point-in-time view of a running spool — workers and
+their heartbeat ages, queue depth, and (when a telemetry directory is
+present) the aggregated cross-process metrics: completion rates, dedupe
+hits, latency quantiles.
+
+``render_trace`` reconstructs job timelines from the merged JSONL event
+log: every job's ``enqueue -> claim -> probe -> execute -> store ->
+complete`` chain (split into *attempts* at each ``claim``, so a
+dead-worker re-queue shows as attempt 1 ending in ``requeue`` and attempt
+2 carrying the re-execution), plus a critical-path summary decomposing
+where the submission's wall-clock actually went: queue wait vs execution
+vs store vs scheduler slack.  Execute spans that carry an attached engine
+profile contribute a per-phase roll-up, so service-level and engine-level
+time share one report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.telemetry.events import JOB_EVENTS, RECOVERY_EVENTS
+from repro.telemetry.metrics import Histogram, read_metrics
+
+__all__ = [
+    "job_timelines",
+    "render_status",
+    "render_trace",
+    "trace_summary",
+]
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 100:
+        return f"{value:.0f}s"
+    if value >= 1:
+        return f"{value:.2f}s"
+    return f"{value * 1e3:.1f}ms"
+
+
+def _fmt_age(value: float) -> str:
+    if value == float("inf"):
+        return "never"
+    return _fmt_seconds(value) + " ago"
+
+
+# ---------------------------------------------------------------------- #
+# trace reconstruction
+# ---------------------------------------------------------------------- #
+def job_timelines(events: Sequence[dict]) -> Dict[str, List[dict]]:
+    """Job-scoped events grouped by fingerprint, in merged (time) order.
+
+    Worker lifecycle events carry no fingerprint and are excluded; the
+    grouping preserves the global sort, so each job's list *is* its
+    timeline.
+    """
+    timelines: Dict[str, List[dict]] = {}
+    for record in events:
+        fingerprint = record.get("fp")
+        if fingerprint is None:
+            continue
+        timelines.setdefault(fingerprint, []).append(record)
+    return timelines
+
+
+def _attempts(timeline: Sequence[dict]) -> List[List[dict]]:
+    """Split one job's timeline into attempts (a ``claim`` opens each)."""
+    attempts: List[List[dict]] = []
+    current: Optional[List[dict]] = None
+    for record in timeline:
+        if record["event"] == "claim":
+            current = [record]
+            attempts.append(current)
+        elif current is not None and record["event"] not in ("submit", "enqueue"):
+            current.append(record)
+    return attempts
+
+
+def trace_summary(events: Sequence[dict]) -> dict:
+    """Aggregate accounting over a merged event list (render-ready numbers)."""
+    timelines = job_timelines(events)
+    event_counts: Dict[str, int] = {}
+    for record in events:
+        event_counts[record["event"]] = event_counts.get(record["event"], 0) + 1
+
+    queue_wait = Histogram()
+    execute = Histogram()
+    store = Histogram()
+    requeue_reasons: Dict[str, int] = {}
+    phase_seconds: Dict[str, float] = {}
+    spans: List[float] = []
+    span_queue = span_execute = span_store = 0.0
+
+    for record in events:
+        event = record["event"]
+        if event == "claim" and "queue_wait" in record:
+            queue_wait.observe(float(record["queue_wait"]))
+        elif event == "execute" and "duration" in record:
+            execute.observe(float(record["duration"]))
+            profile = record.get("profile")
+            if isinstance(profile, Mapping):
+                for name, value in profile.get("phases", {}).items():
+                    phase_seconds[name] = phase_seconds.get(name, 0.0) + float(value)
+        elif event == "store" and "duration" in record:
+            store.observe(float(record["duration"]))
+        elif event == "requeue":
+            reason = str(record.get("reason", "requeue"))
+            requeue_reasons[reason] = requeue_reasons.get(reason, 0) + 1
+
+    completed = 0
+    for timeline in timelines.values():
+        first_enqueue = next(
+            (r for r in timeline if r["event"] == "enqueue"), None
+        )
+        complete = next(
+            (r for r in reversed(timeline) if r["event"] == "complete"), None
+        )
+        if first_enqueue is None or complete is None:
+            continue
+        completed += 1
+        spans.append(max(0.0, complete["t"] - first_enqueue["t"]))
+        for record in timeline:
+            event = record["event"]
+            if event == "claim" and "queue_wait" in record:
+                span_queue += float(record["queue_wait"])
+            elif event == "execute" and "duration" in record:
+                span_execute += float(record["duration"])
+            elif event == "store" and "duration" in record:
+                span_store += float(record["duration"])
+
+    wall = 0.0
+    if events:
+        wall = max(0.0, events[-1]["t"] - events[0]["t"])
+    workers = sorted(
+        {
+            str(record["worker"])
+            for record in events
+            if record["event"] == "worker.start" and "worker" in record
+        }
+    )
+    span_total = sum(spans)
+    return {
+        "jobs": len(timelines),
+        "completed": completed,
+        "events": len(events),
+        "writers": len({str(r.get("writer", "")) for r in events}),
+        "workers": workers,
+        "wall": wall,
+        "event_counts": event_counts,
+        "queue_wait": queue_wait,
+        "execute": execute,
+        "store": store,
+        "requeue_reasons": requeue_reasons,
+        "span_total": span_total,
+        "span_queue": span_queue,
+        "span_execute": span_execute,
+        "span_store": span_store,
+        "span_slack": max(0.0, span_total - span_queue - span_execute - span_store),
+        "phase_seconds": dict(
+            sorted(phase_seconds.items(), key=lambda kv: -kv[1])
+        ),
+    }
+
+
+def _histogram_line(label: str, histogram: Histogram) -> str:
+    return (
+        f"  {label:<12} n={histogram.count:<5} mean {_fmt_seconds(histogram.mean())}"
+        f"  p50 {_fmt_seconds(histogram.quantile(0.5))}"
+        f"  p95 {_fmt_seconds(histogram.quantile(0.95))}"
+        f"  max {_fmt_seconds(histogram.max)}"
+    )
+
+
+def _render_timeline(fingerprint: str, timeline: Sequence[dict]) -> List[str]:
+    origin = timeline[0]["t"]
+    attempts = _attempts(timeline)
+    complete = next(
+        (r for r in reversed(timeline) if r["event"] == "complete"), None
+    )
+    span = f", completed in {_fmt_seconds(complete['t'] - origin)}" if complete else ""
+    lines = [
+        f"job {fingerprint[:16]}  "
+        f"({len(timeline)} events, {len(attempts)} attempt"
+        f"{'s' if len(attempts) != 1 else ''}{span})"
+    ]
+    for record in timeline:
+        event = record["event"]
+        offset = f"+{record['t'] - origin:8.3f}s"
+        detail = []
+        if "worker" in record:
+            detail.append(f"worker={record['worker']}")
+        if event == "claim" and "queue_wait" in record:
+            detail.append(f"wait={_fmt_seconds(float(record['queue_wait']))}")
+        if "duration" in record:
+            detail.append(f"took={_fmt_seconds(float(record['duration']))}")
+        if event == "probe" and "hit" in record:
+            detail.append(f"hit={record['hit']}")
+        if "reason" in record:
+            detail.append(f"reason={record['reason']}")
+        if "attempt" in record:
+            detail.append(f"attempt={record['attempt']}")
+        if event == "execute" and isinstance(record.get("profile"), Mapping):
+            phases = record["profile"].get("phases", {})
+            if phases:
+                top = max(phases.items(), key=lambda kv: kv[1])
+                detail.append(f"profile:{top[0]}={_fmt_seconds(float(top[1]))}")
+        if "error" in record:
+            detail.append(f"error={record['error']}")
+        lines.append(f"  {offset} {event:<10} {' '.join(detail)}".rstrip())
+    return lines
+
+
+def render_trace(events: Sequence[dict], jobs_limit: Optional[int] = 20) -> str:
+    """The full ``repro trace`` rendering: summary, then per-job timelines."""
+    if not events:
+        return "trace: no events (is the telemetry directory right?)"
+    summary = trace_summary(events)
+    counts = summary["event_counts"]
+    lifecycle = "  ".join(
+        f"{name}={counts.get(name, 0)}" for name in JOB_EVENTS
+    )
+    recovery = "  ".join(
+        f"{name}={counts.get(name, 0)}" for name in RECOVERY_EVENTS
+    )
+    lines = [
+        f"trace: {summary['jobs']} jobs ({summary['completed']} completed), "
+        f"{summary['events']} events from {summary['writers']} writers, "
+        f"wall span {_fmt_seconds(summary['wall'])}",
+        f"  lifecycle   {lifecycle}",
+        f"  recovery    {recovery}",
+    ]
+    for reason, count in sorted(summary["requeue_reasons"].items()):
+        lines.append(f"    requeue[{reason}] x{count}")
+    for label, key in (("queue wait", "queue_wait"), ("execute", "execute"), ("store", "store")):
+        histogram = summary[key]
+        if histogram.count:
+            lines.append(_histogram_line(label, histogram))
+    if summary["span_total"] > 0:
+        total = summary["span_total"]
+        lines.append(
+            "  critical path (summed enqueue->complete spans "
+            f"{_fmt_seconds(total)}): "
+            f"queue {summary['span_queue'] / total:.0%}, "
+            f"execute {summary['span_execute'] / total:.0%}, "
+            f"store {summary['span_store'] / total:.0%}, "
+            f"scheduler/poll slack {summary['span_slack'] / total:.0%}"
+        )
+    if summary["phase_seconds"]:
+        phase_total = sum(summary["phase_seconds"].values()) or 1.0
+        breakdown = "  ".join(
+            f"{name}={value / phase_total:.0%}"
+            for name, value in summary["phase_seconds"].items()
+        )
+        lines.append(f"  engine phases (attached profiles): {breakdown}")
+
+    timelines = job_timelines(events)
+    shown = list(timelines.items())
+    if jobs_limit is not None and len(shown) > jobs_limit:
+        lines.append(
+            f"timelines (first {jobs_limit} of {len(shown)} jobs; "
+            f"--jobs-limit 0 for all):"
+        )
+        shown = shown[:jobs_limit]
+    else:
+        lines.append("timelines:")
+    for fingerprint, timeline in shown:
+        lines.extend(_render_timeline(fingerprint, timeline))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# live status
+# ---------------------------------------------------------------------- #
+def render_status(
+    spool,
+    store=None,
+    telemetry_root=None,
+    liveness_timeout: float = 5.0,
+    registration_grace: float = 10.0,
+) -> str:
+    """The ``repro status`` rendering: spool + workers + aggregated metrics.
+
+    ``spool``/``store`` are duck-typed (a :class:`~repro.service.spool.Spool`
+    and an :class:`~repro.service.store.IndexedResultStore`) so this module
+    stays importable without the service package loaded.
+    """
+    lines = [
+        f"spool: {spool.root}",
+        f"  queue depth: {spool.queue_depth()} pending, "
+        f"{spool.in_flight()} in flight",
+    ]
+    workers = spool.workers(liveness_timeout, registration_grace=registration_grace)
+    alive = sum(1 for w in workers if w.alive)
+    lines.append(f"workers: {alive} alive, {len(workers) - alive} dead")
+    if workers:
+        lines.append(f"  {'id':<32} {'pid':>8} {'heartbeat':>12} {'claimed':>8}  state")
+        for info in workers:
+            pid = str(info.pid) if info.pid is not None else "-"
+            lines.append(
+                f"  {info.worker_id:<32} {pid:>8} "
+                f"{_fmt_age(info.heartbeat_age):>12} {info.claimed:>8}  "
+                f"{'alive' if info.alive else 'dead'}"
+            )
+    if spool.stop_requested():
+        lines.append("  stop sentinel raised: workers are draining")
+    if store is not None:
+        lines.append(f"store: {store.indexed_count()} results indexed")
+    if telemetry_root is not None:
+        aggregated = read_metrics(telemetry_root)
+        if aggregated["writers"]:
+            counters = aggregated["counters"]
+            lines.append(
+                f"telemetry: {telemetry_root} ({aggregated['writers']} writers)"
+            )
+            interesting = (
+                ("executed", "worker.executed"),
+                ("completed", "scheduler.completed"),
+                ("dedupe skips", "worker.dedupe_skips"),
+                ("store hits", "dedupe.store_hits"),
+                ("requeues", "spool.requeued"),
+                ("retries", "scheduler.retries"),
+                ("errors", "spool.errors"),
+            )
+            parts = [
+                f"{label} {int(counters[key])}"
+                for label, key in interesting
+                if key in counters
+            ]
+            if parts:
+                lines.append("  " + "  ".join(parts))
+            for label, key in (
+                ("claim wait", "claim_latency_seconds"),
+                ("execute", "execute_seconds"),
+                ("store", "store_seconds"),
+            ):
+                histogram = aggregated["histograms"].get(key)
+                if histogram is not None and histogram.count:
+                    lines.append(_histogram_line(label, histogram))
+        else:
+            lines.append(f"telemetry: {telemetry_root} (no snapshots yet)")
+    return "\n".join(lines)

@@ -12,10 +12,17 @@ import logging
 import sys
 from typing import Optional
 
-__all__ = ["configure_logging", "get_logger"]
+__all__ = [
+    "configure_logging",
+    "configure_progress_logging",
+    "get_logger",
+    "get_progress_logger",
+]
 
 _ROOT_NAME = "repro"
+_PROGRESS_NAME = "repro.progress"
 _DEFAULT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_PROGRESS_FORMAT = "%(message)s"
 
 
 def get_logger(name: Optional[str] = None) -> logging.Logger:
@@ -51,6 +58,44 @@ def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
             logger.removeHandler(handler)
     handler = logging.StreamHandler(stream or sys.stderr)
     handler.setFormatter(logging.Formatter(_DEFAULT_FORMAT))
+    handler._repro_managed = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_progress_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger in the ``repro.progress`` namespace.
+
+    Progress lines (per-cell atlas completions, the ``serve`` stats ticker)
+    are user-facing output, not diagnostics: they render bare (no
+    timestamp/level prefix) and go to stdout, separately configurable from
+    the diagnostic ``repro.*`` stream — which is what lets ``--quiet``
+    silence them without touching warnings.
+    """
+    if not name:
+        return logging.getLogger(_PROGRESS_NAME)
+    return logging.getLogger(f"{_PROGRESS_NAME}.{name}")
+
+
+def configure_progress_logging(
+    quiet: bool = False, stream=None
+) -> logging.Logger:
+    """Attach a bare-message stdout handler to ``repro.progress``.
+
+    With ``quiet`` the level is raised to WARNING, so routine progress
+    lines vanish while anything genuinely alarming still prints.  Like
+    :func:`configure_logging`, repeated calls replace the managed handler.
+    ``stream`` defaults to ``sys.stdout`` — progress is output, pipelines
+    ``grep`` it (the CI smoke job does), diagnostics stay on stderr.
+    """
+    logger = logging.getLogger(_PROGRESS_NAME)
+    logger.setLevel(logging.WARNING if quiet else logging.INFO)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_managed", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stdout)
+    handler.setFormatter(logging.Formatter(_PROGRESS_FORMAT))
     handler._repro_managed = True  # type: ignore[attr-defined]
     logger.addHandler(handler)
     logger.propagate = False

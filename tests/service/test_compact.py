@@ -1,0 +1,207 @@
+"""Spool compaction: GC of stale worker files, claim dirs, errors, sentinels.
+
+Compaction must only ever remove debris that is provably stale — a live
+worker's registration, a held claim, or a fresh error report must survive
+any compact() call, no matter how aggressive the TTLs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service import Spool
+from repro.service.testing import EchoJob
+from repro.telemetry import Telemetry
+
+FAR_FUTURE = 10_000.0  # seconds past any TTL used below
+
+
+def _spool(tmp_path, **kwargs):
+    spool = Spool(tmp_path / "spool", **kwargs)
+    spool.ensure_layout()
+    return spool
+
+
+class TestWorkerFileGC:
+    def test_stale_dead_worker_files_are_removed(self, tmp_path):
+        spool = _spool(tmp_path)
+        spool.register_worker("old", pid=1)
+        spool.heartbeat("old")
+        removed = spool.compact(now=time.time() + FAR_FUTURE)
+        assert removed["workers"] == 1
+        assert removed["heartbeats"] == 1
+        assert not list(spool.workers_dir.iterdir())
+
+    def test_fresh_worker_files_survive(self, tmp_path):
+        spool = _spool(tmp_path)
+        spool.register_worker("young", pid=1)
+        spool.heartbeat("young")
+        removed = spool.compact()
+        assert removed["workers"] == 0
+        assert (spool.workers_dir / "young.json").exists()
+        assert (spool.workers_dir / "young.alive").exists()
+
+    def test_worker_holding_a_claim_is_never_removed(self, tmp_path):
+        """Claims are the scheduler's to re-queue; compaction must not
+        erase the claimant's identity out from under that sweep."""
+        spool = _spool(tmp_path)
+        job = EchoJob("held")
+        spool.enqueue(job.fingerprint(), job)
+        spool.register_worker("holder", pid=1)
+        spool.heartbeat("holder")
+        assert spool.claim("holder") is not None
+        removed = spool.compact(now=time.time() + FAR_FUTURE)
+        assert removed["workers"] == 0
+        assert (spool.workers_dir / "holder.json").exists()
+
+    def test_stray_heartbeat_without_registration_is_removed(self, tmp_path):
+        spool = _spool(tmp_path)
+        (spool.workers_dir / "ghost.alive").touch()
+        removed = spool.compact(now=time.time() + FAR_FUTURE)
+        assert removed["heartbeats"] == 1
+        assert not (spool.workers_dir / "ghost.alive").exists()
+
+    def test_never_heartbeated_registration_ages_by_its_file(self, tmp_path):
+        """A registration with no .alive file is judged by the json's
+        mtime (the same grace signal the liveness check uses), so a
+        just-registered worker survives and an ancient one does not."""
+        spool = _spool(tmp_path)
+        spool.register_worker("starting", pid=1)
+        assert spool.compact()["workers"] == 0
+        assert (spool.workers_dir / "starting.json").exists()
+        assert spool.compact(now=time.time() + FAR_FUTURE)["workers"] == 1
+
+
+class TestClaimDirAndErrorGC:
+    def test_empty_claim_dir_of_a_dead_worker_is_removed(self, tmp_path):
+        spool = _spool(tmp_path)
+        (spool.claimed_dir / "departed").mkdir(parents=True)
+        removed = spool.compact()
+        assert removed["claim_dirs"] == 1
+        assert not (spool.claimed_dir / "departed").exists()
+
+    def test_nonempty_claim_dir_is_left_alone(self, tmp_path):
+        spool = _spool(tmp_path)
+        job = EchoJob("in-flight")
+        spool.enqueue(job.fingerprint(), job)
+        assert spool.claim("departed") is not None  # claim, then vanish
+        removed = spool.compact(now=time.time() + FAR_FUTURE)
+        assert removed["claim_dirs"] == 0
+        assert (spool.claimed_dir / "departed").is_dir()
+
+    def test_live_workers_claim_dir_is_kept_even_when_empty(self, tmp_path):
+        spool = _spool(tmp_path)
+        spool.register_worker("busy", pid=1)
+        spool.heartbeat("busy")
+        (spool.claimed_dir / "busy").mkdir(parents=True)
+        assert spool.compact()["claim_dirs"] == 0
+        assert (spool.claimed_dir / "busy").is_dir()
+
+    def test_old_error_files_are_dropped_and_fresh_ones_kept(self, tmp_path):
+        spool = _spool(tmp_path)
+        spool.report_error("aa" * 32, "w", RuntimeError("ancient"))
+        spool.report_error("bb" * 32, "w", RuntimeError("fresh"))
+        old = spool.errors_dir / f"{'aa' * 32}.json"
+        back_then = time.time() - 7200
+        import os
+
+        os.utime(old, (back_then, back_then))
+        removed = spool.compact(error_ttl=3600.0)
+        assert removed["errors"] == 1
+        assert not old.exists()
+        assert (spool.errors_dir / f"{'bb' * 32}.json").exists()
+
+
+class TestStopSentinelGC:
+    def test_stale_sentinel_with_no_live_workers_is_cleared(self, tmp_path):
+        spool = _spool(tmp_path)
+        spool.request_stop()
+        assert spool.compact(now=time.time() + FAR_FUTURE)["stop"] == 1
+        assert not spool.stop_requested()
+
+    def test_sentinel_is_kept_while_a_worker_lives_to_consume_it(self, tmp_path):
+        import os
+
+        spool = _spool(tmp_path)
+        spool.register_worker("draining", pid=1)
+        spool.heartbeat("draining")
+        spool.request_stop()
+        back_then = time.time() - FAR_FUTURE  # sentinel is ancient...
+        os.utime(spool.stop_path, (back_then, back_then))
+        assert spool.compact()["stop"] == 0  # ...but a live worker wants it
+        assert spool.stop_requested()
+
+    def test_fresh_sentinel_is_kept(self, tmp_path):
+        spool = _spool(tmp_path)
+        spool.request_stop()
+        assert spool.compact()["stop"] == 0
+        assert spool.stop_requested()
+
+
+class TestCompactTelemetryAndIdempotence:
+    def test_removals_count_into_the_compacted_metric(self, tmp_path):
+        telemetry = Telemetry(tmp_path / "telemetry", writer="gc")
+        spool = _spool(tmp_path, telemetry=telemetry)
+        spool.register_worker("old", pid=1)
+        spool.heartbeat("old")
+        (spool.claimed_dir / "old").mkdir(parents=True)
+        removed = spool.compact(now=time.time() + FAR_FUTURE)
+        total = sum(removed.values())
+        assert total == 3  # json + alive + claim dir
+        assert telemetry.metrics.counters["spool.compacted"] == total
+        telemetry.close()
+
+    def test_compact_on_a_clean_spool_is_a_noop(self, tmp_path):
+        spool = _spool(tmp_path)
+        removed = spool.compact(now=time.time() + FAR_FUTURE)
+        assert removed == {
+            "workers": 0,
+            "heartbeats": 0,
+            "claim_dirs": 0,
+            "errors": 0,
+            "stop": 0,
+        }
+        # And twice more, for idempotence.
+        assert sum(spool.compact().values()) == 0
+
+
+class TestRegistrationGrace:
+    def test_fresh_registration_counts_alive_under_grace(self, tmp_path):
+        """Satellite bugfix: a worker that registered but has not yet
+        heartbeated (heartbeat_age == inf) must not read as instantly
+        dead — the registration file's age covers the gap."""
+        spool = _spool(tmp_path)
+        spool.register_worker("booting", pid=1)
+        # Simulate the pre-first-heartbeat window (register_worker touches
+        # the heartbeat itself, so drop it to reproduce the gap).
+        (spool.workers_dir / "booting.alive").unlink()
+        (strict,) = spool.workers(liveness_timeout=0.0, registration_grace=0.0)
+        assert not strict.alive
+        (graced,) = spool.workers(liveness_timeout=0.0, registration_grace=10.0)
+        assert graced.alive
+
+    def test_grace_expires_with_the_registration_age(self, tmp_path):
+        spool = _spool(tmp_path)
+        spool.register_worker("stalled", pid=1)
+        (spool.workers_dir / "stalled.alive").unlink()
+        old = time.time() - 60
+        import os
+
+        path = spool.workers_dir / "stalled.json"
+        os.utime(path, (old, old))
+        (info,) = spool.workers(liveness_timeout=0.0, registration_grace=10.0)
+        assert not info.alive
+
+    def test_grace_does_not_resurrect_a_worker_that_heartbeated(self, tmp_path):
+        """Once a worker has heartbeated, liveness is the heartbeat's
+        business alone — grace must not mask a real death."""
+        spool = _spool(tmp_path)
+        spool.register_worker("died", pid=1)
+        spool.heartbeat("died")
+        old = time.time() - 60
+        import os
+
+        alive = spool.workers_dir / "died.alive"
+        os.utime(alive, (old, old))
+        (info,) = spool.workers(liveness_timeout=5.0, registration_grace=300.0)
+        assert not info.alive

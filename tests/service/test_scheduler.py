@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 
 import pytest
 
@@ -130,9 +131,13 @@ class TestRetryAndFailure:
 
 class TestFaultRecovery:
     def test_dead_worker_claim_is_requeued(self, dirs):
-        scheduler = Scheduler(dirs[0], cache_dir=dirs[1], config=FAST)
+        # registration_grace=0 restores the pre-grace reading: a claimer
+        # that never registered is dead immediately.  (With the default
+        # grace it would be presumed a still-starting worker for a few
+        # seconds first — pinned by the telemetry/compaction suite.)
+        config = replace(FAST, registration_grace=0.0)
+        scheduler = Scheduler(dirs[0], cache_dir=dirs[1], config=config)
         submission = scheduler.submit([EchoJob("a")])
-        # A claimer that never registered reads as dead immediately.
         assert scheduler.spool.claim("ghost") is not None
         assert scheduler.spool.queue_depth() == 0
         submission._pump()

@@ -1,0 +1,259 @@
+"""End-to-end telemetry: a traced micro-grid and a traced worker kill.
+
+The accounting-closure test is the service-layer analogue of the profiling
+suite's wall-clock closure (``tests/sim/test_profiling.py``): every job's
+traced probe/execute/store durations must fit inside the monotonic
+claim→store interval the worker actually spent on it, and the lifecycle
+counts must balance exactly — nothing double-counted, nothing lost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import atlas as atlas_experiment
+from repro.service import Scheduler, ServiceConfig, WorkerPool
+from repro.service.atlas import run_atlas_service
+from repro.service.testing import EchoJob, WorkerKillJob
+from repro.sim.profiling import CANONICAL_PHASES
+from repro.telemetry import CANONICAL_EVENTS, read_events, read_metrics
+
+AXES = {"ranking": ("fastest", "loyal")}
+SCENARIOS = ("baseline", "colluders")
+
+FAST = ServiceConfig(
+    job_timeout=60.0,
+    max_attempts=3,
+    backoff_base=0.02,
+    backoff_max=0.1,
+    liveness_timeout=0.5,
+    poll_interval=0.02,
+)
+
+
+def _traced_micro_grid(tmp_path):
+    """Run the 2x2 micro-atlas on two traced workers; merged events + metrics."""
+    from repro.telemetry import Telemetry
+
+    spec = atlas_experiment.make_spec(
+        scale="smoke", seed=0, scenarios=SCENARIOS, axes=AXES
+    )
+    spool_root = str(tmp_path / "spool")
+    cache_dir = tmp_path / "cache"
+    telemetry_dir = tmp_path / "telemetry"
+    telemetry = Telemetry(telemetry_dir, writer="sched")
+    scheduler = Scheduler(
+        spool_root, cache_dir=cache_dir, config=FAST, telemetry=telemetry
+    )
+    with WorkerPool(
+        spool_root,
+        cache_dir,
+        workers=2,
+        poll_interval=0.02,
+        telemetry_dir=telemetry_dir,
+    ):
+        outcome = run_atlas_service(spec, scheduler, timeout=120, emit=None)
+    telemetry.close()
+    return {
+        "spec": spec,
+        "outcome": outcome,
+        "events": read_events(telemetry_dir),
+        "metrics": read_metrics(telemetry_dir),
+        "cache_dir": cache_dir,
+        "base": tmp_path,
+    }
+
+
+@pytest.fixture(scope="module")
+def traced_grid(tmp_path_factory):
+    return _traced_micro_grid(tmp_path_factory.mktemp("traced-grid"))
+
+
+class TestAccountingClosure:
+    def test_event_vocabulary_is_closed(self, traced_grid):
+        """Every event a real service run emits is canonical — the service
+        twin of the profiling suite's phase-vocabulary check."""
+        events = traced_grid["events"]
+        assert events, "the traced run produced no events"
+        assert {r["event"] for r in events} <= set(CANONICAL_EVENTS)
+
+    def test_lifecycle_counts_balance(self, traced_grid):
+        spec, events = traced_grid["spec"], traced_grid["events"]
+        jobs = spec.repetitions * len(spec.cells())
+        counts = {}
+        for record in events:
+            counts[record["event"]] = counts.get(record["event"], 0) + 1
+        assert counts["submit"] == jobs
+        assert counts["complete"] == jobs
+        # The scheduler may idempotently re-enqueue a job it raced with a
+        # finishing worker (by design — results are content-addressed), so
+        # enqueue/claim may exceed the job count but never undershoot it.
+        assert counts["enqueue"] >= jobs
+        assert counts["claim"] >= jobs
+        # Every claim is probed; every miss is executed and stored exactly
+        # once; every hit is a dedupe skip.  That's the closure.
+        assert counts["probe"] == counts["claim"]
+        assert counts["store"] == counts["execute"]
+        probe_hits = sum(
+            1 for r in events if r["event"] == "probe" and r.get("hit")
+        )
+        assert counts["execute"] + probe_hits == counts["probe"]
+        assert counts["execute"] >= jobs  # a cold store: every job computed
+        assert "error" not in counts
+
+    def test_durations_fit_inside_the_claim_to_store_interval(self, traced_grid):
+        """Per attempt: probe + execute + store wall time is bounded by the
+        monotonic claim→store interval, and accounts for most of it."""
+        events = traced_grid["events"]
+        by_fp = {}
+        for record in events:
+            if "fp" in record:
+                by_fp.setdefault(record["fp"], []).append(record)
+        checked = 0
+        for timeline in by_fp.values():
+            # Split the timeline into attempts at each claim, so a job the
+            # scheduler idempotently re-enqueued is checked per attempt.
+            attempts = []
+            for record in timeline:
+                if record["event"] == "claim":
+                    attempts.append([record])
+                elif attempts:
+                    attempts[-1].append(record)
+            stored = [
+                a for a in attempts
+                if any(r["event"] == "store" for r in a)
+            ]
+            assert stored, "job completed without a traced store"
+            for attempt in stored:
+                claim = attempt[0]
+                store = next(r for r in attempt if r["event"] == "store")
+                parts = sum(
+                    float(r.get("duration", 0.0))
+                    for r in attempt
+                    if r["event"] in ("probe", "execute", "store")
+                )
+                interval = store["m"] - claim["m"]
+                assert interval >= 0
+                # Durations cannot exceed the interval they are nested in
+                # (small epsilon: the emits themselves take time)...
+                assert parts <= interval + 0.01
+                # ...and the un-attributed gap stays small (spool I/O, emits).
+                assert interval - parts < 0.25
+                checked += 1
+        assert checked >= len(by_fp)
+
+    def test_execute_spans_carry_engine_phase_profiles(self, traced_grid):
+        events = traced_grid["events"]
+        executes = [r for r in events if r["event"] == "execute"]
+        assert executes
+        for record in executes:
+            profile = record.get("profile")
+            assert profile is not None, "execute span lost its engine profile"
+            phases = profile["phases"]
+            assert phases
+            assert set(phases) <= set(CANONICAL_PHASES)
+
+    def test_metrics_agree_with_the_trace(self, traced_grid):
+        spec, events = traced_grid["spec"], traced_grid["events"]
+        outcome, metrics = traced_grid["outcome"], traced_grid["metrics"]
+        jobs = spec.repetitions * len(spec.cells())
+        counters = metrics["counters"]
+        executes = sum(1 for r in events if r["event"] == "execute")
+        enqueues = sum(1 for r in events if r["event"] == "enqueue")
+        claims = sum(1 for r in events if r["event"] == "claim")
+        assert counters["scheduler.submitted"] == jobs
+        assert counters["scheduler.completed"] == jobs
+        assert counters["spool.enqueued"] == enqueues
+        assert counters["spool.claimed"] == claims
+        assert counters["worker.executed"] == executes
+        assert counters["cache.misses"] >= executes  # every execute was a miss
+        histograms = metrics["histograms"]
+        assert histograms["execute_seconds"].count == executes
+        assert histograms["claim_latency_seconds"].count == claims
+        # The grid really ran: the outcome carries every cell.
+        assert len(outcome.report.cells) == len(spec.cells())
+
+    def test_rerun_is_all_store_hits(self, traced_grid, tmp_path):
+        """Submitting the same grid against the warm store re-executes
+        nothing, and the second trace says so: submits tagged cached,
+        nothing enqueued, no worker events at all."""
+        from repro.telemetry import Telemetry
+
+        spec = traced_grid["spec"]
+        telemetry_dir = tmp_path / "telemetry2"
+        telemetry = Telemetry(telemetry_dir, writer="resched")
+        scheduler = Scheduler(
+            str(tmp_path / "spool2"),
+            cache_dir=traced_grid["cache_dir"],  # the warm store
+            config=FAST,
+            telemetry=telemetry,
+        )
+        outcome = run_atlas_service(spec, scheduler, timeout=60, emit=None)
+        telemetry.close()
+        assert len(outcome.report.cells) == len(spec.cells())
+
+        jobs = spec.repetitions * len(spec.cells())
+        events = read_events(telemetry_dir)
+        submits = [r for r in events if r["event"] == "submit"]
+        assert len(submits) == jobs
+        assert all(r["cached"] for r in submits)
+        assert not any(r["event"] == "enqueue" for r in events)
+        assert not any(r["event"] == "execute" for r in events)
+        counters = read_metrics(telemetry_dir)["counters"]
+        assert counters["dedupe.store_hits"] == jobs
+        assert "spool.enqueued" not in counters
+
+
+class TestKilledWorkerTrace:
+    def test_kill_requeue_reexecute_sequence_is_traced(self, tmp_path):
+        """A worker SIGKILLed mid-execute leaves exactly the trace the
+        telemetry exists to produce: claim by the victim, dead-worker
+        re-queue, second claim by the survivor, execute, complete."""
+        from repro.telemetry import Telemetry
+        from repro.telemetry.report import render_trace
+
+        spool_root = str(tmp_path / "spool")
+        cache_dir = tmp_path / "cache"
+        telemetry_dir = tmp_path / "telemetry"
+        marker_dir = str(tmp_path / "kills")
+        telemetry = Telemetry(telemetry_dir, writer="sched")
+        scheduler = Scheduler(
+            spool_root, cache_dir=cache_dir, config=FAST, telemetry=telemetry
+        )
+        jobs = [EchoJob(f"e{i}") for i in range(3)] + [
+            WorkerKillJob("victim", marker_dir)
+        ]
+        kill_fp = jobs[-1].fingerprint()
+        with WorkerPool(
+            spool_root,
+            cache_dir,
+            workers=2,
+            poll_interval=0.02,
+            telemetry_dir=telemetry_dir,
+        ):
+            results = scheduler.submit(jobs).results(timeout=60)
+        telemetry.close()
+        assert results[-1] == "kill:victim:survived"
+
+        events = read_events(telemetry_dir)
+        kill_events = [r for r in events if r.get("fp") == kill_fp]
+        sequence = [r["event"] for r in kill_events]
+        # Two claims bracketing a dead-worker re-queue, then completion.
+        assert sequence.count("claim") == 2
+        requeues = [r for r in kill_events if r["event"] == "requeue"]
+        assert [r["reason"] for r in requeues] == ["dead-worker"]
+        assert sequence.index("requeue") > sequence.index("claim")
+        assert sequence[-1] == "complete"
+        # The two claims came from two different workers.
+        claimants = [r["worker"] for r in kill_events if r["event"] == "claim"]
+        assert len(set(claimants)) == 2
+        # The victim's worker.stop never made it to the log (SIGKILL), but
+        # the survivor's lifecycle is fully recorded.
+        starts = [r for r in events if r["event"] == "worker.start"]
+        stops = [r for r in events if r["event"] == "worker.stop"]
+        assert len(starts) == 2
+        assert len(stops) == 1
+        # The rendered trace names the recovery in human-readable form.
+        text = render_trace(events, jobs_limit=None)
+        assert "requeue[dead-worker] x1" in text
+        assert "2 attempts" in text

@@ -1,0 +1,175 @@
+"""The JSONL trace log: vocabulary closure, envelope, multi-writer merge."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.telemetry import (
+    CANONICAL_EVENTS,
+    JOB_EVENTS,
+    NULL_TELEMETRY,
+    NULL_TRACER,
+    RECOVERY_EVENTS,
+    Telemetry,
+    Tracer,
+    WORKER_EVENTS,
+    read_events,
+    telemetry_for,
+    trace_id,
+    write_merged,
+)
+
+
+class TestVocabulary:
+    """The event vocabulary is closed, like the profiler's phase names."""
+
+    def test_canonical_is_the_three_groups_with_no_duplicates(self):
+        assert CANONICAL_EVENTS == JOB_EVENTS + WORKER_EVENTS + RECOVERY_EVENTS
+        assert len(set(CANONICAL_EVENTS)) == len(CANONICAL_EVENTS)
+
+    def test_job_events_spell_the_lifecycle_in_order(self):
+        assert JOB_EVENTS == (
+            "submit", "enqueue", "claim", "probe", "execute", "store", "complete"
+        )
+
+    def test_strict_tracer_rejects_unknown_events(self, tmp_path):
+        tracer = Tracer(tmp_path, writer="w")
+        with pytest.raises(ValueError, match="closed"):
+            tracer.emit("telport")  # typo'd event must fail loudly
+        tracer.close()
+
+    def test_lenient_tracer_accepts_anything(self, tmp_path):
+        tracer = Tracer(tmp_path, writer="w", strict=False)
+        tracer.emit("custom.event", note="ok")
+        tracer.close()
+        assert read_events(tmp_path)[0]["event"] == "custom.event"
+
+
+class TestTracer:
+    def test_envelope_fields_and_fingerprint_correlation(self, tmp_path):
+        tracer = Tracer(tmp_path, writer="w1")
+        fingerprint = "ab" * 32
+        tracer.emit("enqueue", fingerprint=fingerprint, extra=7, dropped=None)
+        tracer.close()
+        (record,) = read_events(tmp_path)
+        assert record["event"] == "enqueue"
+        assert record["writer"] == "w1"
+        assert record["pid"] == os.getpid()
+        assert record["seq"] == 0
+        assert isinstance(record["t"], float) and isinstance(record["m"], float)
+        assert record["fp"] == fingerprint
+        assert record["trace"] == trace_id(fingerprint) == fingerprint[:16]
+        assert record["extra"] == 7
+        assert "dropped" not in record  # None-valued fields are elided
+
+    def test_sequence_numbers_increment_per_writer(self, tmp_path):
+        tracer = Tracer(tmp_path, writer="w")
+        for _ in range(5):
+            tracer.emit("worker.heartbeat")
+        tracer.close()
+        assert [r["seq"] for r in read_events(tmp_path)] == list(range(5))
+
+    def test_torn_tail_of_a_killed_writer_is_skipped(self, tmp_path):
+        tracer = Tracer(tmp_path, writer="w")
+        tracer.emit("worker.start")
+        tracer.emit("worker.heartbeat")
+        tracer.close()
+        # Simulate SIGKILL mid-append: garbage half-line at the file's end.
+        (event_file,) = tmp_path.glob("events-*.jsonl")
+        with event_file.open("a", encoding="utf-8") as handle:
+            handle.write('{"event": "worker.st')
+        events = read_events(tmp_path)
+        assert [r["event"] for r in events] == ["worker.start", "worker.heartbeat"]
+
+    def test_pickled_tracer_reopens_its_own_file(self, tmp_path):
+        tracer = Tracer(tmp_path, writer="w")
+        tracer.emit("worker.start")
+        clone = pickle.loads(pickle.dumps(tracer))
+        assert clone._handle is None  # the file handle stayed behind
+        clone.emit("worker.stop")
+        tracer.close()
+        clone.close()
+        assert len(list(tmp_path.glob("events-*.jsonl"))) == 2
+        assert [r["event"] for r in read_events(tmp_path)] == [
+            "worker.start",
+            "worker.stop",
+        ]
+
+    def test_write_merged_round_trips(self, tmp_path):
+        tracer = Tracer(tmp_path, writer="w")
+        for _ in range(3):
+            tracer.emit("worker.heartbeat")
+        tracer.close()
+        events = read_events(tmp_path)
+        out = tmp_path / "out" / "merged.jsonl"
+        assert write_merged(events, out) == 3
+        with out.open("r", encoding="utf-8") as handle:
+            assert [json.loads(line) for line in handle] == events
+
+    def test_read_events_on_missing_directory_is_empty(self, tmp_path):
+        assert read_events(tmp_path / "nope") == []
+
+
+def _writer_process(root: str, writer: str, count: int) -> None:
+    tracer = Tracer(root, writer=writer)
+    for index in range(count):
+        tracer.emit("worker.heartbeat", worker=writer, index=index)
+    tracer.close()
+
+
+class TestConcurrentWriters:
+    def test_merge_across_concurrent_writer_pids(self, tmp_path):
+        """Three processes append concurrently; the merge loses nothing and
+        preserves every writer's emit order."""
+        count = 40
+        processes = [
+            multiprocessing.Process(
+                target=_writer_process, args=(str(tmp_path), f"w{i}", count)
+            )
+            for i in range(3)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=30)
+            assert process.exitcode == 0
+        assert len(list(tmp_path.glob("events-*.jsonl"))) == 3
+
+        events = read_events(tmp_path)
+        assert len(events) == 3 * count
+        assert len({r["pid"] for r in events}) == 3
+        # Global order is non-decreasing in wall time...
+        times = [r["t"] for r in events]
+        assert times == sorted(times)
+        # ...and each writer's records appear in emit (seq) order.
+        for writer in ("w0", "w1", "w2"):
+            seqs = [r["seq"] for r in events if r["writer"] == writer]
+            assert seqs == list(range(count))
+
+
+class TestTelemetryHandle:
+    def test_telemetry_for_none_is_the_shared_null(self):
+        assert telemetry_for(None) is NULL_TELEMETRY
+        assert not NULL_TELEMETRY.enabled
+        assert NULL_TELEMETRY.tracer is NULL_TRACER
+
+    def test_null_telemetry_never_writes(self, tmp_path):
+        NULL_TELEMETRY.emit("execute", fingerprint="ff" * 32, duration=1.0)
+        NULL_TELEMETRY.metrics.inc("anything")
+        NULL_TELEMETRY.flush(force=True)
+        assert NULL_TELEMETRY.metrics.counters == {}
+
+    def test_enabled_telemetry_emits_and_snapshots(self, tmp_path):
+        telemetry = telemetry_for(tmp_path, writer="me")
+        assert telemetry.enabled
+        telemetry.emit("enqueue", fingerprint="cd" * 32)
+        telemetry.metrics.inc("spool.enqueued")
+        telemetry.flush(force=True)
+        telemetry.close()
+        assert read_events(tmp_path)[0]["event"] == "enqueue"
+        assert (tmp_path / "metrics-me.json").exists()

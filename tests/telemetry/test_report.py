@@ -1,0 +1,142 @@
+"""Trace/status renderers on synthetic event streams and a real spool."""
+
+from __future__ import annotations
+
+from repro.service import Spool
+from repro.telemetry import Telemetry
+from repro.telemetry.report import (
+    job_timelines,
+    render_status,
+    render_trace,
+    trace_summary,
+)
+
+FP_A = "aa" * 32
+FP_B = "bb" * 32
+
+
+def _record(event, t, fp=None, writer="w", seq=0, **fields):
+    record = {"event": event, "t": t, "m": t, "pid": 1, "writer": writer, "seq": seq}
+    if fp is not None:
+        record["fp"] = fp
+        record["trace"] = fp[:16]
+    record.update(fields)
+    return record
+
+
+def _happy_and_requeued_events():
+    """Job A completes first try; job B loses its first worker mid-claim."""
+    return [
+        _record("worker.start", 0.0, worker="w1"),
+        _record("worker.start", 0.0, worker="w2"),
+        _record("submit", 0.1, fp=FP_A),
+        _record("enqueue", 0.1, fp=FP_A),
+        _record("submit", 0.1, fp=FP_B),
+        _record("enqueue", 0.1, fp=FP_B),
+        _record("claim", 0.2, fp=FP_A, worker="w1", queue_wait=0.1),
+        _record("probe", 0.21, fp=FP_A, worker="w1", hit=False, duration=0.01),
+        _record(
+            "execute", 0.5, fp=FP_A, worker="w1", duration=0.3,
+            profile={"phases": {"decision": 0.2, "transfer": 0.1}},
+        ),
+        _record("store", 0.55, fp=FP_A, worker="w1", duration=0.05),
+        _record("complete", 0.6, fp=FP_A),
+        _record("claim", 0.2, fp=FP_B, worker="w2", queue_wait=0.1),
+        _record("requeue", 1.0, fp=FP_B, worker="w2", reason="dead-worker"),
+        _record("claim", 1.1, fp=FP_B, worker="w1", queue_wait=0.9),
+        _record("probe", 1.11, fp=FP_B, worker="w1", hit=False, duration=0.01),
+        _record("execute", 1.4, fp=FP_B, worker="w1", duration=0.29),
+        _record("store", 1.45, fp=FP_B, worker="w1", duration=0.05),
+        _record("complete", 1.5, fp=FP_B),
+    ]
+
+
+class TestTraceSummary:
+    def test_timelines_group_job_scoped_events_only(self):
+        timelines = job_timelines(_happy_and_requeued_events())
+        assert set(timelines) == {FP_A, FP_B}
+        assert len(timelines[FP_A]) == 7
+        assert len(timelines[FP_B]) == 9
+
+    def test_summary_accounting(self):
+        summary = trace_summary(_happy_and_requeued_events())
+        assert summary["jobs"] == 2
+        assert summary["completed"] == 2
+        assert summary["workers"] == ["w1", "w2"]
+        assert summary["event_counts"]["claim"] == 3
+        assert summary["requeue_reasons"] == {"dead-worker": 1}
+        assert summary["queue_wait"].count == 3
+        assert summary["execute"].count == 2
+        # Span decomposition: A spans 0.5s, B spans 1.4s.
+        assert summary["span_total"] == 1.9
+        assert summary["span_queue"] == 1.1
+        assert summary["span_execute"] == 0.59
+        assert summary["span_store"] == 0.1
+        assert summary["span_slack"] > 0
+        # The attached engine profile rolled up, largest phase first.
+        assert list(summary["phase_seconds"]) == ["decision", "transfer"]
+
+    def test_incomplete_jobs_do_not_count_as_completed(self):
+        events = _happy_and_requeued_events()[:10]  # cut before A completes
+        summary = trace_summary(events)
+        assert summary["completed"] == 0
+        assert summary["span_total"] == 0
+
+
+class TestRenderTrace:
+    def test_render_mentions_recovery_and_critical_path(self):
+        text = render_trace(_happy_and_requeued_events())
+        assert "2 jobs (2 completed)" in text
+        assert "requeue[dead-worker] x1" in text
+        assert "critical path" in text
+        assert "engine phases" in text
+        # Per-job timeline shows the re-queue attempt split.
+        assert "2 attempts" in text
+        assert "reason=dead-worker" in text
+
+    def test_jobs_limit_truncates_timelines(self):
+        text = render_trace(_happy_and_requeued_events(), jobs_limit=1)
+        assert "first 1 of 2 jobs" in text
+
+    def test_empty_trace_degrades_gracefully(self):
+        assert "no events" in render_trace([])
+
+
+class TestRenderStatus:
+    def test_status_on_a_live_spool(self, tmp_path):
+        spool_root = tmp_path / "spool"
+        telemetry = Telemetry(tmp_path / "telemetry", writer="w1")
+        spool = Spool(spool_root, telemetry=telemetry)
+        spool.ensure_layout()
+        spool.register_worker("w1", pid=4242)
+        telemetry.metrics.inc("worker.executed", 3)
+        telemetry.metrics.observe("execute_seconds", 0.1)
+        telemetry.flush(force=True)
+        telemetry.close()
+
+        text = render_status(
+            spool, telemetry_root=tmp_path / "telemetry", liveness_timeout=60.0
+        )
+        assert "queue depth: 0 pending, 0 in flight" in text
+        assert "workers: 1 alive, 0 dead" in text
+        assert "4242" in text
+        assert "executed 3" in text
+        assert "execute" in text
+
+    def test_status_grace_marks_fresh_registration_alive(self, tmp_path):
+        spool = Spool(tmp_path / "spool")
+        spool.ensure_layout()
+        spool.register_worker("young", pid=1)
+        (spool.workers_dir / "young.alive").unlink()  # never heartbeated
+        # Grace window (default 10s) keeps the fresh registration alive...
+        assert "1 alive, 0 dead" in render_status(spool, liveness_timeout=0.0)
+        # ...and grace 0 restores the strict reading.
+        assert "0 alive, 1 dead" in render_status(
+            spool, liveness_timeout=0.0, registration_grace=0.0
+        )
+
+    def test_status_without_telemetry_directory(self, tmp_path):
+        spool = Spool(tmp_path / "spool")
+        spool.ensure_layout()
+        text = render_status(spool, telemetry_root=tmp_path / "nope")
+        assert "no snapshots yet" in text
